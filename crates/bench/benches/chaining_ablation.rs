@@ -1,0 +1,37 @@
+//! G2 bench: sequential continuations vs job chaining (§6) on the
+//! production target — the ablation `report_chaining` prints in full.
+
+use amp_bench::queue;
+use amp_core::OptimizationSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_chaining(c: &mut Criterion) {
+    let mut g = c.benchmark_group("g2/chaining_ablation");
+    g.sample_size(10);
+    let spec = OptimizationSpec {
+        ga_runs: 2,
+        population: 20,
+        generations: 40,
+        cores_per_run: 128,
+        seed: 8,
+    };
+    for (label, chaining) in [("sequential", false), ("chained", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let study = queue::run_study(
+                    amp_grid::systems::kraken(),
+                    1,
+                    spec.clone(),
+                    chaining,
+                    4242,
+                    1.05,
+                );
+                study.makespan_hours
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chaining);
+criterion_main!(benches);

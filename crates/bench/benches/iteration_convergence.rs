@@ -1,0 +1,32 @@
+//! C1 bench: the iteration-time convergence computation (GA run with
+//! per-generation cost accounting) whose output backs the paper's
+//! 160x-180x claim. Asserts the ratio stays in the reproduction band on
+//! every iteration.
+
+use amp_bench::{convergence, target_star};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c1/iteration_convergence");
+    g.sample_size(10);
+    // reduced generations for bench cadence; the report runs the full 200
+    g.bench_function("ga_cost_series_126x60", |b| {
+        b.iter(|| {
+            let s = convergence::series(&target_star(), 23.6, 126, 60, 5);
+            assert_eq!(s.len(), 61);
+            s
+        })
+    });
+    g.bench_function("full_series_ratio_126x200", |b| {
+        b.iter(|| {
+            let s = convergence::series(&target_star(), 23.6, 126, 200, 5);
+            let r = convergence::ratio(&s);
+            assert!((140.0..195.0).contains(&r), "ratio {r}");
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! G1 bench: the section-6 queue-wait study machinery — an optimization
+//! batch against a background-loaded scheduler, producing the Gantt data.
+
+use amp_bench::queue;
+use amp_core::OptimizationSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_queue_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("g1/queue_wait");
+    g.sample_size(10);
+    let spec = OptimizationSpec {
+        ga_runs: 2,
+        population: 20,
+        generations: 20,
+        cores_per_run: 128,
+        seed: 5,
+    };
+    for profile in [amp_grid::systems::kraken(), amp_grid::systems::lonestar()] {
+        let name = profile.name.clone();
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                let study = queue::run_study(profile.clone(), 1, spec.clone(), false, 99, 1.0);
+                assert!(study.stats.jobs > 0);
+                study.stats.wait_to_run_ratio
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue_study);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table 1 bench: times the simulation machinery that regenerates the
+//! table — a full direct-run benchmark measurement per system, and a
+//! reduced-ensemble optimization on the production target. The table
+//! itself (paper-scale ensemble) is produced by `report_table1`.
+
+use amp_bench::table1;
+use amp_core::OptimizationSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_stellar_benchmark(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/stellar_benchmark");
+    g.sample_size(10);
+    for profile in amp_grid::systems::table1_systems() {
+        let name = profile.name.clone();
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                let minutes = table1::measure_stellar_benchmark(profile.clone());
+                assert!(
+                    (minutes - profile.model_benchmark_minutes).abs() < 0.5,
+                    "{name}: {minutes}"
+                );
+                minutes
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimization_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/optimization_run");
+    g.sample_size(10);
+    let spec = OptimizationSpec {
+        ga_runs: 2,
+        population: 30,
+        generations: 30,
+        cores_per_run: 128,
+        seed: 3,
+    };
+    g.bench_function("kraken_reduced_ensemble", |b| {
+        b.iter(|| {
+            let m = table1::measure_optimization(amp_grid::systems::kraken(), spec.clone(), 7);
+            assert!(m.cpuh > 0.0);
+            m
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stellar_benchmark, bench_optimization_run);
+criterion_main!(benches);

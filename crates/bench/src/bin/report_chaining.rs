@@ -1,0 +1,56 @@
+//! G2 — the §6 proposal, implemented and measured: "Many schedulers ...
+//! support job chaining ... such that multiple jobs can be submitted at
+//! once and queued independently but declared eligible to run only after a
+//! prior job has completed. This would be perfect for AMP jobs, as the
+//! initial simulation submission could include the 4-8 jobs that are
+//! always required ..., possibly reducing the cumulative queue wait time."
+//!
+//! Usage: `cargo run --release -p amp-bench --bin report_chaining`
+
+use amp_bench::queue;
+use amp_core::OptimizationSpec;
+
+fn main() {
+    println!("== G2: sequential continuations vs job chaining (section 6) ==\n");
+    let spec = OptimizationSpec {
+        ga_runs: 2,
+        population: 30,
+        generations: 60, // needs several walltime-limited jobs per run
+        cores_per_run: 128,
+        seed: 13,
+    };
+    println!(
+        "{:<10} {:>12} {:>16} {:>16} {:>14}",
+        "system", "mode", "mean wait (min)", "total wait (h)", "makespan (h)"
+    );
+    for profile in [amp_grid::systems::kraken(), amp_grid::systems::lonestar()] {
+        let name = profile.name.clone();
+        let mut rows = Vec::new();
+        for &chaining in &[false, true] {
+            let study = queue::run_study(profile.clone(), 2, spec.clone(), chaining, 4242, 1.05);
+            let total_wait_h =
+                study.stats.mean_wait_secs * study.stats.jobs as f64 / 3600.0;
+            println!(
+                "{:<10} {:>12} {:>16.1} {:>16.1} {:>14.1}",
+                name,
+                if chaining { "chained" } else { "sequential" },
+                study.stats.mean_wait_secs / 60.0,
+                total_wait_h,
+                study.makespan_hours,
+            );
+            rows.push((total_wait_h, study.makespan_hours));
+        }
+        let (seq, chain) = (&rows[0], &rows[1]);
+        println!(
+            "{:<10} {:>12} makespan change {:+.1}% | cumulative wait includes overlapped queueing\n",
+            name,
+            "->",
+            (chain.1 - seq.1) / seq.1 * 100.0,
+        );
+    }
+    println!(
+        "(chained continuation jobs queue while their predecessor runs, so the\n\
+         per-continuation queue wait overlaps execution instead of extending the\n\
+         makespan — the effect the paper hoped for)"
+    );
+}

@@ -1,0 +1,51 @@
+//! Claim C1 (§2): "the 200 iterations can be performed in about 160x to
+//! 180x of the first iteration's measured time" — because the iteration
+//! blocks on the slowest star and the population's run times converge.
+//!
+//! Usage: `cargo run --release -p amp-bench --bin report_convergence`
+
+use amp_bench::{convergence, target_star};
+use amp_stellar::StellarParams;
+
+fn main() {
+    println!("== C1: iteration-time convergence (paper: 160x-180x of first iteration) ==\n");
+    let bench = 23.6; // Kraken, the production target
+    let mut ratios = Vec::new();
+    for (label, truth, seed) in [
+        ("mid-domain target", target_star(), 5u64),
+        ("young 1.2 Msun", StellarParams { mass: 1.2, age: 2.0, ..target_star() }, 21),
+        ("old subgiant", StellarParams { mass: 0.9, age: 8.0, ..target_star() }, 99),
+        ("metal-poor dwarf", StellarParams { metallicity: 0.008, age: 5.5, ..target_star() }, 12),
+    ] {
+        let series = convergence::series(&truth, bench, 126, 200, seed);
+        let ratio = convergence::ratio(&series);
+        ratios.push(ratio);
+        let first = series[0].1;
+        let last50: f64 = series[151..].iter().map(|(_, c)| c).sum::<f64>() / 50.0;
+        println!(
+            "{label:<18} first iter {first:>6.1} min | mean of last 50 iters {last50:>6.1} min | total/first = {ratio:>5.1}x"
+        );
+        // a compact sparkline of iteration cost every 10 generations
+        let marks: String = series
+            .iter()
+            .step_by(10)
+            .map(|(_, c)| {
+                let t = (c - 0.5 * first) / (0.6 * first);
+                match (t * 5.0) as i64 {
+                    i64::MIN..=0 => '_',
+                    1 => '.',
+                    2 => '-',
+                    3 => '=',
+                    _ => '#',
+                }
+            })
+            .collect();
+        println!("{:<18} cost/10gen: [{marks}]", "");
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("\nmean ratio {mean:.1}x (paper: \"about 160x to 180x\")");
+    println!(
+        "all within the approximate band [140, 190]: {}",
+        ratios.iter().all(|r| (140.0..190.0).contains(r))
+    );
+}

@@ -1,0 +1,81 @@
+//! Regenerate Table 1: measured stellar benchmark + optimization run cost
+//! for the four TeraGrid systems, side by side with the paper's numbers.
+//!
+//! Usage: `cargo run --release -p amp-bench --bin report_table1 [--quick]`
+//! (`--quick` uses a reduced ensemble to finish in seconds).
+
+use amp_bench::table1;
+use amp_core::OptimizationSpec;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = if quick {
+        OptimizationSpec {
+            ga_runs: 2,
+            population: 30,
+            generations: 40,
+            cores_per_run: 128,
+            seed: 1,
+        }
+    } else {
+        OptimizationSpec::default() // the paper's 4 x 126 x 200
+    };
+    println!(
+        "== Table 1 reproduction ({} GA runs x {} stars x {} iterations) ==\n",
+        spec.ga_runs, spec.population, spec.generations
+    );
+    println!("{}", table1::render(&table1::paper_rows(), "--- paper (GCE 2009) ---"));
+    let measured = table1::measured_rows(spec);
+    println!("{}", table1::render(&measured, "--- measured (simulated TeraGrid) ---"));
+
+    // Shape checks the paper's narrative draws from the table.
+    let frost = &measured[0];
+    let lonestar = &measured[2];
+    let cheapest_sus = measured
+        .iter()
+        .min_by(|a, b| a.sus.total_cmp(&b.sus))
+        .unwrap();
+    let fastest = measured
+        .iter()
+        .min_by(|a, b| a.opt_hours.total_cmp(&b.opt_hours))
+        .unwrap();
+    println!("shape checks:");
+    println!(
+        "  fastest system:      {} ({:.1} h)   [paper: lonestar]",
+        fastest.system, fastest.opt_hours
+    );
+    println!(
+        "  fewest SUs:          {} ({:.0} SUs) [paper: lonestar]",
+        cheapest_sus.system, cheapest_sus.sus
+    );
+    println!(
+        "  frost/lonestar time: {:.1}x          [paper: {:.1}x]",
+        frost.opt_hours / lonestar.opt_hours,
+        293.3 / 40.4
+    );
+    println!(
+        "  frost > 12 days:     {}            [paper: 'over 12 days']",
+        frost.opt_hours > 12.0 * 24.0
+    );
+
+    // §2's deployment decision, recomputed from the measured landscape.
+    let (best, ranked) = amp_gridamp::recommend(
+        &amp_grid::systems::table1_systems(),
+        &OptimizationSpec::default(),
+    );
+    println!("
+production recommendation: {}  [paper: kraken]", best.system);
+    for a in &ranked {
+        println!(
+            "  {:<10} score {:>7.1} | predicted {:>6.1} h | concerns: {}",
+            a.system,
+            a.score,
+            a.predicted_opt_hours,
+            if a.concerns.is_empty() {
+                "none".to_string()
+            } else {
+                a.concerns.join(", ")
+            }
+        );
+    }
+}

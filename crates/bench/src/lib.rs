@@ -1,0 +1,388 @@
+//! Experiment drivers shared by the Criterion benches and the `report_*`
+//! binaries. Each public module regenerates one table/figure/claim of the
+//! paper; `EXPERIMENTS.md` records paper-vs-measured values.
+
+use amp_core::models::Simulation;
+use amp_core::roles::{ROLE_ADMIN, ROLE_WEB};
+use amp_core::{OptimizationSpec, SimStatus};
+use amp_grid::SystemProfile;
+use amp_gridamp::{deploy, seed_fixtures, DaemonConfig, Deployment};
+use amp_simdb::orm::Manager;
+use amp_simdb::Query;
+use amp_stellar::StellarParams;
+
+/// A mid-domain synthetic target star used across experiments.
+pub fn target_star() -> StellarParams {
+    StellarParams {
+        mass: 1.05,
+        metallicity: 0.02,
+        helium: 0.27,
+        alpha: 2.0,
+        age: 4.0,
+    }
+}
+
+/// Deploy a quiet (no background load) AMP installation on one system.
+pub fn quiet_deployment(profile: SystemProfile, walltime_hours: f64) -> Deployment {
+    let config = DaemonConfig {
+        site: profile.name.clone(),
+        work_walltime_hours: walltime_hours,
+        poll_interval_secs: 300,
+        ..DaemonConfig::default()
+    };
+    deploy(profile, config, None).expect("deployment")
+}
+
+/// Submit one simulation row via the web role and return its id.
+pub fn submit(dep: &Deployment, sim: Simulation) -> i64 {
+    let web = dep.db.connect(ROLE_WEB).expect("web role");
+    let mut sim = sim;
+    Manager::<Simulation>::new(web).create(&mut sim).expect("submit")
+}
+
+/// Load a simulation with the admin role.
+pub fn load_sim(dep: &Deployment, id: i64) -> Simulation {
+    let admin = dep.db.connect(ROLE_ADMIN).expect("admin role");
+    Manager::<Simulation>::new(admin).get(id).expect("simulation")
+}
+
+/// All grid-job records of a simulation.
+pub fn load_jobs(dep: &Deployment, id: i64) -> Vec<amp_core::models::GridJobRecord> {
+    let admin = dep.db.connect(ROLE_ADMIN).expect("admin role");
+    Manager::<amp_core::models::GridJobRecord>::new(admin)
+        .filter(&Query::new().eq("simulation_id", id).order_by("id"))
+        .expect("jobs")
+}
+
+/// Table 1 — stellar benchmark + optimization run cost per TeraGrid system.
+pub mod table1 {
+    use super::*;
+
+    /// One row of Table 1.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        pub system: String,
+        /// Stellar model benchmark run time \[min].
+        pub model_minutes: f64,
+        /// Optimization run time \[h].
+        pub opt_hours: f64,
+        /// CPU-hours consumed (cores x hours over all GA + solution jobs).
+        pub cpuh: f64,
+        /// TeraGrid SU charge factor.
+        pub su_per_cpuh: f64,
+        /// Total SUs charged.
+        pub sus: f64,
+        /// Optimization time as a multiple of the benchmark time.
+        pub multiple: f64,
+    }
+
+    /// The paper's published Table 1.
+    pub fn paper_rows() -> Vec<Row> {
+        let raw = [
+            ("frost", 110.0, 293.3, 150_187.0, 0.558, 83_804.0),
+            ("kraken", 23.6, 61.9, 31_723.0, 1.623, 51_486.0),
+            ("lonestar", 15.1, 40.4, 20_670.0, 1.935, 39_996.0),
+            ("ranger", 21.1, 56.2, 28_771.0, 1.644, 47_229.0),
+        ];
+        raw.iter()
+            .map(|&(s, m, h, cpuh, f, sus)| Row {
+                system: s.to_string(),
+                model_minutes: m,
+                opt_hours: h,
+                cpuh,
+                su_per_cpuh: f,
+                sus,
+                multiple: h * 60.0 / m,
+            })
+            .collect()
+    }
+
+    /// Measure the stellar-model benchmark by running a direct simulation
+    /// end-to-end on a quiet system and reading the work job's run time.
+    pub fn measure_stellar_benchmark(profile: SystemProfile) -> f64 {
+        let mut dep = quiet_deployment(profile.clone(), 24.0);
+        let (user, star, alloc, _obs) =
+            seed_fixtures(&dep.db, &profile.name, &target_star(), 1).expect("fixtures");
+        let sim_id = submit(
+            &dep,
+            Simulation::new_direct(
+                star,
+                user,
+                StellarParams::benchmark(),
+                &profile.name,
+                alloc,
+                0,
+            ),
+        );
+        dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+        let jobs = load_jobs(&dep, sim_id);
+        let work = jobs
+            .iter()
+            .find(|j| j.purpose == amp_core::JobPurpose::Work)
+            .expect("work job");
+        work.run_secs().expect("completed") as f64 / 60.0
+    }
+
+    /// Measurements from one full optimization run.
+    #[derive(Debug, Clone)]
+    pub struct OptMeasurement {
+        pub opt_hours: f64,
+        pub cpuh: f64,
+        pub sus: f64,
+    }
+
+    /// Run a full optimization on a quiet system and account its cost.
+    pub fn measure_optimization(
+        profile: SystemProfile,
+        spec: OptimizationSpec,
+        seed: u64,
+    ) -> OptMeasurement {
+        let su_factor = profile.su_per_cpuh;
+        let mut dep = quiet_deployment(profile.clone(), 24.0);
+        let (user, star, alloc, obs) =
+            seed_fixtures(&dep.db, &profile.name, &target_star(), seed).expect("fixtures");
+        let sim_id = submit(
+            &dep,
+            Simulation::new_optimization(star, user, spec, obs, &profile.name, alloc, 0),
+        );
+        dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 60.0);
+        let sim = load_sim(&dep, sim_id);
+        assert_eq!(
+            sim.status,
+            SimStatus::Done,
+            "optimization did not finish: {}",
+            sim.status_message
+        );
+        let opt_hours =
+            (sim.completed_at.unwrap() - sim.started_at.unwrap()) as f64 / 3600.0;
+        let cpuh: f64 = load_jobs(&dep, sim_id)
+            .iter()
+            .filter(|j| {
+                matches!(
+                    j.purpose,
+                    amp_core::JobPurpose::Work | amp_core::JobPurpose::SolutionEvaluation
+                )
+            })
+            .filter_map(|j| j.run_secs().map(|r| r as f64 / 3600.0 * j.cores as f64))
+            .sum();
+        OptMeasurement {
+            opt_hours,
+            cpuh,
+            sus: cpuh * su_factor,
+        }
+    }
+
+    /// Regenerate the whole table with a configurable ensemble spec (the
+    /// paper's 4x126x200 by default; smaller specs for quick checks).
+    pub fn measured_rows(spec: OptimizationSpec) -> Vec<Row> {
+        amp_grid::systems::table1_systems()
+            .into_iter()
+            .enumerate()
+            .map(|(i, profile)| {
+                let model_minutes = measure_stellar_benchmark(profile.clone());
+                let m = measure_optimization(profile.clone(), spec.clone(), 100 + i as u64);
+                Row {
+                    system: profile.name.clone(),
+                    model_minutes,
+                    opt_hours: m.opt_hours,
+                    cpuh: m.cpuh,
+                    su_per_cpuh: profile.su_per_cpuh,
+                    sus: m.sus,
+                    multiple: m.opt_hours * 60.0 / model_minutes,
+                }
+            })
+            .collect()
+    }
+
+    /// Render rows in the paper's layout.
+    pub fn render(rows: &[Row], title: &str) -> String {
+        let mut out = format!(
+            "{title}\n{:<10} {:>14} {:>14} {:>12} {:>10} {:>12} {:>9}\n",
+            "System", "Model (min)", "Opt run (h)", "CPUh", "SUs/CPUh", "SUs", "multiple"
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{:<10} {:>14.1} {:>14.1} {:>12.0} {:>10.3} {:>12.0} {:>8.0}x\n",
+                r.system, r.model_minutes, r.opt_hours, r.cpuh, r.su_per_cpuh, r.sus, r.multiple
+            ));
+        }
+        out
+    }
+}
+
+/// Claim C1 — 200 iterations complete in 160x–180x the first iteration's
+/// measured time, because the iteration time is the population max and the
+/// population converges.
+pub mod convergence {
+    use amp_ga::{Ga, GaConfig};
+    use amp_gridamp::StellarFitProblem;
+    use amp_stellar::{iteration_minutes, synthesize, Domain, StellarParams};
+
+    /// Per-iteration simulated cost of one GA run: (generation, minutes).
+    /// Generation 0 is the initial-population evaluation — the paper's
+    /// "first iteration's measured time" yardstick.
+    pub fn series(
+        truth: &StellarParams,
+        benchmark_minutes: f64,
+        population: usize,
+        generations: u32,
+        seed: u64,
+    ) -> Vec<(u32, f64)> {
+        let domain = Domain::default();
+        let observed = synthesize("C1", truth, &domain, 0.1, seed).expect("observable truth");
+        let problem = StellarFitProblem::new(observed);
+        let mut ga = Ga::new(
+            &problem,
+            GaConfig {
+                population,
+                generations,
+                ..GaConfig::default()
+            },
+            seed,
+        );
+        let cost = |ga: &Ga<'_, StellarFitProblem>| {
+            let params: Vec<StellarParams> = ga
+                .population()
+                .iter()
+                .map(|i| problem.decode(&i.phenotype))
+                .collect();
+            iteration_minutes(params.iter(), benchmark_minutes)
+        };
+        let mut out = vec![(0, cost(&ga))];
+        while !ga.finished() {
+            ga.step();
+            out.push((ga.generation(), cost(&ga)));
+        }
+        out
+    }
+
+    /// Total time as a multiple of the first iteration's time.
+    pub fn ratio(series: &[(u32, f64)]) -> f64 {
+        let first = series.first().map(|(_, c)| *c).unwrap_or(1.0);
+        let total: f64 = series.iter().map(|(_, c)| c).sum();
+        total / first
+    }
+}
+
+/// G1 — the section-6 Gantt/queue-wait study, and G2 — the job-chaining
+/// ablation.
+pub mod queue {
+    use super::*;
+    use amp_gridamp::{chart_for, gantt, GanttChart};
+
+    /// Outcome of a batch of optimization runs on one (busy) system.
+    #[derive(Debug, Clone)]
+    pub struct QueueStudy {
+        pub system: String,
+        pub charts: Vec<GanttChart>,
+        pub stats: amp_gridamp::WaitRunStats,
+        /// Wall-clock (simulated) makespan of the whole batch \[h].
+        pub makespan_hours: f64,
+    }
+
+    /// Run `n_sims` small optimization runs against a background-loaded
+    /// system, with or without job chaining (§6). `bg_utilization`
+    /// overrides the profile's long-run competing load — §2's "allocation
+    /// oversubscription" means offered load at or above capacity, which is
+    /// what makes batch queues back up.
+    pub fn run_study(
+        mut profile: SystemProfile,
+        n_sims: usize,
+        spec: OptimizationSpec,
+        chaining: bool,
+        bg_seed: u64,
+        bg_utilization: f64,
+    ) -> QueueStudy {
+        profile.background_utilization = bg_utilization;
+        let site = profile.name.clone();
+        let config = DaemonConfig {
+            site: site.clone(),
+            work_walltime_hours: 6.0,
+            job_chaining: chaining,
+            poll_interval_secs: 300,
+            ..DaemonConfig::default()
+        };
+        let mut dep = deploy(profile, config, Some(bg_seed)).expect("deployment");
+        // warm the machine up so the queue has contention from t=0
+        dep.grid.advance(amp_grid::SimDuration::from_hours(24.0));
+
+        let (user, star, alloc, obs) =
+            seed_fixtures(&dep.db, &site, &target_star(), 7).expect("fixtures");
+        let mut ids = Vec::new();
+        for i in 0..n_sims {
+            let mut s = spec.clone();
+            s.seed += i as u64 * 101;
+            ids.push(submit(
+                &dep,
+                Simulation::new_optimization(
+                    star,
+                    user,
+                    s,
+                    obs,
+                    &site,
+                    alloc,
+                    dep.grid.now().as_secs() as i64,
+                ),
+            ));
+        }
+        let t0 = dep.grid.now();
+        dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 90.0);
+        let makespan_hours = (dep.grid.now() - t0).as_hours();
+
+        let admin = dep.db.connect(ROLE_ADMIN).expect("admin");
+        let charts: Vec<GanttChart> = ids
+            .iter()
+            .map(|&id| chart_for(&admin, id).expect("chart"))
+            .collect();
+        let rows: Vec<amp_gridamp::GanttRow> = charts
+            .iter()
+            .flat_map(|c| c.rows.iter().cloned())
+            .collect();
+        QueueStudy {
+            system: site,
+            charts,
+            stats: gantt::stats(&rows),
+            makespan_hours,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_multiples_are_near_160() {
+        for row in table1::paper_rows() {
+            assert!(
+                (150.0..170.0).contains(&row.multiple),
+                "{}: {}",
+                row.system,
+                row.multiple
+            );
+        }
+    }
+
+    #[test]
+    fn stellar_benchmark_measured_matches_calibration() {
+        // Lonestar is the fastest: one direct run, quick to simulate.
+        let minutes = table1::measure_stellar_benchmark(amp_grid::systems::lonestar());
+        assert!((minutes - 15.1).abs() < 0.5, "{minutes}");
+    }
+
+    #[test]
+    fn convergence_ratio_in_paper_band() {
+        let s = convergence::series(&target_star(), 23.6, 126, 200, 5);
+        assert_eq!(s.len(), 201);
+        let r = convergence::ratio(&s);
+        assert!(
+            (150.0..195.0).contains(&r),
+            "convergence ratio {r} far outside the paper's 160-180 band"
+        );
+        // first iteration is among the most expensive
+        let first = s[0].1;
+        let later_mean: f64 =
+            s[150..].iter().map(|(_, c)| c).sum::<f64>() / 51.0;
+        assert!(later_mean < first, "no convergence: {later_mean} vs {first}");
+    }
+}

@@ -1,0 +1,382 @@
+//! Strict input/result file marshaling.
+//!
+//! §3: "All input data from users is marshaled through the SQL database...
+//! the input files are regenerated from the database by the GridAMP daemon
+//! and then staged to TeraGrid systems. It is thus exceptionally difficult
+//! to send any data other than a properly formatted asteroseismology input
+//! file to a TeraGrid resource." Generators here emit exactly one rigid
+//! line format; parsers reject anything else. `parse(generate(x)) == x`
+//! is property-tested.
+
+use amp_stellar::{Constraint, ObservedMode, ObservedStar, StellarParams};
+use std::fmt::Write as _;
+
+/// Marshaling failures — always a model/data problem, never a transient.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarshalError {
+    /// Line didn't match the grammar.
+    Syntax { line: usize, detail: String },
+    /// Structurally valid but semantically wrong (counts, ranges).
+    Semantic(String),
+}
+
+impl std::fmt::Display for MarshalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarshalError::Syntax { line, detail } => {
+                write!(f, "input file syntax error on line {line}: {detail}")
+            }
+            MarshalError::Semantic(d) => write!(f, "input file semantic error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for MarshalError {}
+
+const HEADER: &str = "# AMP asteroseismology input v1";
+const PARAMS_HEADER: &str = "# AMP direct model input v1";
+
+/// Render an observation set as the GA input file staged to the remote
+/// system. All floats use `{:.6e}` so the format is locale- and
+/// precision-stable.
+pub fn generate_observation_file(obs: &ObservedStar) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "STAR {}", sanitize_identifier(&obs.identifier));
+    if let Some(t) = obs.teff {
+        let _ = writeln!(out, "TEFF {:.6e} {:.6e}", t.value, t.sigma);
+    }
+    if let Some(l) = obs.luminosity {
+        let _ = writeln!(out, "LUM {:.6e} {:.6e}", l.value, l.sigma);
+    }
+    let _ = writeln!(out, "NMODES {}", obs.modes.len());
+    for m in &obs.modes {
+        let _ = writeln!(
+            out,
+            "MODE {} {} {:.6e} {:.6e}",
+            m.l, m.n, m.frequency, m.sigma
+        );
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Identifier characters allowed through to the remote side. Everything
+/// else is replaced — input files cannot smuggle shell metacharacters.
+fn sanitize_identifier(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ' ' || c == '-' || c == '+' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Parse a staged observation file (the executable side of the contract).
+pub fn parse_observation_file(text: &str) -> Result<ObservedStar, MarshalError> {
+    let mut lines = text.lines().enumerate();
+    let syntax = |line: usize, detail: &str| MarshalError::Syntax {
+        line: line + 1,
+        detail: detail.to_string(),
+    };
+
+    let (i, first) = lines.next().ok_or_else(|| syntax(0, "empty file"))?;
+    if first != HEADER {
+        return Err(syntax(i, "missing or wrong header"));
+    }
+
+    let mut identifier: Option<String> = None;
+    let mut teff = None;
+    let mut lum = None;
+    let mut nmodes: Option<usize> = None;
+    let mut modes: Vec<ObservedMode> = Vec::new();
+    let mut ended = false;
+
+    for (i, raw) in lines {
+        if ended {
+            if !raw.trim().is_empty() {
+                return Err(syntax(i, "content after END"));
+            }
+            continue;
+        }
+        let mut parts = raw.split_whitespace();
+        let Some(tag) = parts.next() else {
+            return Err(syntax(i, "blank line inside body"));
+        };
+        let rest: Vec<&str> = parts.collect();
+        match tag {
+            "STAR" => {
+                if identifier.is_some() {
+                    return Err(syntax(i, "duplicate STAR"));
+                }
+                if rest.is_empty() {
+                    return Err(syntax(i, "STAR requires an identifier"));
+                }
+                identifier = Some(rest.join(" "));
+            }
+            "TEFF" | "LUM" => {
+                let c = parse_constraint(&rest).ok_or_else(|| syntax(i, "expect 2 floats"))?;
+                if tag == "TEFF" {
+                    if teff.replace(c).is_some() {
+                        return Err(syntax(i, "duplicate TEFF"));
+                    }
+                } else if lum.replace(c).is_some() {
+                    return Err(syntax(i, "duplicate LUM"));
+                }
+            }
+            "NMODES" => {
+                if nmodes.is_some() {
+                    return Err(syntax(i, "duplicate NMODES"));
+                }
+                let n = rest
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| syntax(i, "NMODES requires a count"))?;
+                nmodes = Some(n);
+            }
+            "MODE" => {
+                if rest.len() != 4 {
+                    return Err(syntax(i, "MODE requires l n freq sigma"));
+                }
+                let l: u8 = rest[0].parse().map_err(|_| syntax(i, "bad l"))?;
+                let n: u32 = rest[1].parse().map_err(|_| syntax(i, "bad n"))?;
+                let frequency: f64 = rest[2].parse().map_err(|_| syntax(i, "bad freq"))?;
+                let sigma: f64 = rest[3].parse().map_err(|_| syntax(i, "bad sigma"))?;
+                if !(frequency.is_finite() && sigma.is_finite()) || sigma <= 0.0 {
+                    return Err(syntax(i, "non-finite or non-positive mode values"));
+                }
+                if l > 3 {
+                    return Err(MarshalError::Semantic(format!("mode degree l={l} > 3")));
+                }
+                modes.push(ObservedMode {
+                    l,
+                    n,
+                    frequency,
+                    sigma,
+                });
+            }
+            "END" => ended = true,
+            other => return Err(syntax(i, &format!("unknown tag {other:?}"))),
+        }
+    }
+
+    if !ended {
+        return Err(MarshalError::Semantic("missing END".to_string()));
+    }
+    let identifier = identifier.ok_or_else(|| MarshalError::Semantic("missing STAR".into()))?;
+    let nmodes = nmodes.ok_or_else(|| MarshalError::Semantic("missing NMODES".into()))?;
+    if nmodes != modes.len() {
+        return Err(MarshalError::Semantic(format!(
+            "NMODES {} but {} MODE lines",
+            nmodes,
+            modes.len()
+        )));
+    }
+    Ok(ObservedStar {
+        identifier,
+        modes,
+        teff,
+        luminosity: lum,
+    })
+}
+
+fn parse_constraint(rest: &[&str]) -> Option<Constraint> {
+    if rest.len() != 2 {
+        return None;
+    }
+    let value: f64 = rest[0].parse().ok()?;
+    let sigma: f64 = rest[1].parse().ok()?;
+    if !value.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
+        return None;
+    }
+    Some(Constraint { value, sigma })
+}
+
+/// Render a direct-run parameter file (five floats, §2).
+pub fn generate_params_file(p: &StellarParams) -> String {
+    format!(
+        "{PARAMS_HEADER}\nMASS {:.6e}\nZ {:.6e}\nY {:.6e}\nALPHA {:.6e}\nAGE {:.6e}\nEND\n",
+        p.mass, p.metallicity, p.helium, p.alpha, p.age
+    )
+}
+
+/// Parse a direct-run parameter file.
+pub fn parse_params_file(text: &str) -> Result<StellarParams, MarshalError> {
+    let mut lines = text.lines().enumerate();
+    let syntax = |line: usize, detail: &str| MarshalError::Syntax {
+        line: line + 1,
+        detail: detail.to_string(),
+    };
+    let (i, first) = lines.next().ok_or_else(|| syntax(0, "empty file"))?;
+    if first != PARAMS_HEADER {
+        return Err(syntax(i, "missing or wrong header"));
+    }
+    let mut vals: [Option<f64>; 5] = [None; 5];
+    const TAGS: [&str; 5] = ["MASS", "Z", "Y", "ALPHA", "AGE"];
+    let mut ended = false;
+    for (i, raw) in lines {
+        if ended {
+            if !raw.trim().is_empty() {
+                return Err(syntax(i, "content after END"));
+            }
+            continue;
+        }
+        let mut parts = raw.split_whitespace();
+        let tag = parts.next().ok_or_else(|| syntax(i, "blank line"))?;
+        if tag == "END" {
+            ended = true;
+            continue;
+        }
+        let idx = TAGS
+            .iter()
+            .position(|t| *t == tag)
+            .ok_or_else(|| syntax(i, &format!("unknown tag {tag:?}")))?;
+        let v: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| syntax(i, "expect one float"))?;
+        if !v.is_finite() {
+            return Err(syntax(i, "non-finite value"));
+        }
+        if parts.next().is_some() {
+            return Err(syntax(i, "trailing tokens"));
+        }
+        if vals[idx].replace(v).is_some() {
+            return Err(syntax(i, &format!("duplicate {tag}")));
+        }
+    }
+    if !ended {
+        return Err(MarshalError::Semantic("missing END".into()));
+    }
+    let get = |i: usize| {
+        vals[i].ok_or_else(|| MarshalError::Semantic(format!("missing {}", TAGS[i])))
+    };
+    Ok(StellarParams {
+        mass: get(0)?,
+        metallicity: get(1)?,
+        helium: get(2)?,
+        alpha: get(3)?,
+        age: get(4)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_stellar::{synthesize, Domain};
+
+    fn sample() -> ObservedStar {
+        synthesize(
+            "HD 52265",
+            &StellarParams::benchmark(),
+            &Domain::default(),
+            0.15,
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn observation_roundtrip() {
+        let obs = sample();
+        let text = generate_observation_file(&obs);
+        let parsed = parse_observation_file(&text).unwrap();
+        assert_eq!(parsed.identifier, obs.identifier);
+        assert_eq!(parsed.modes.len(), obs.modes.len());
+        for (a, b) in parsed.modes.iter().zip(obs.modes.iter()) {
+            assert_eq!(a.l, b.l);
+            assert_eq!(a.n, b.n);
+            assert!((a.frequency - b.frequency).abs() < 1e-3);
+        }
+        assert!(parsed.teff.is_some());
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let p = StellarParams {
+            mass: 1.23,
+            metallicity: 0.0213,
+            helium: 0.271,
+            alpha: 2.05,
+            age: 6.7,
+        };
+        let q = parse_params_file(&generate_params_file(&p)).unwrap();
+        assert!((p.mass - q.mass).abs() < 1e-6);
+        assert!((p.age - q.age).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identifier_sanitized() {
+        let mut obs = sample();
+        obs.identifier = "HD 1; rm -rf / $(evil) `cmd`".into();
+        let text = generate_observation_file(&obs);
+        assert!(!text.contains(';'));
+        assert!(!text.contains('$'));
+        assert!(!text.contains('`'));
+        assert!(!text.contains('/'));
+        let parsed = parse_observation_file(&text).unwrap();
+        assert!(parsed.identifier.starts_with("HD 1_"));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_observation_file("").is_err());
+        assert!(parse_observation_file("garbage\n").is_err());
+        let obs = sample();
+        let good = generate_observation_file(&obs);
+
+        // wrong mode count
+        let bad = good.replace(&format!("NMODES {}", obs.modes.len()), "NMODES 2");
+        assert!(matches!(
+            parse_observation_file(&bad),
+            Err(MarshalError::Semantic(_))
+        ));
+
+        // missing END
+        let bad = good.replace("END\n", "");
+        assert!(parse_observation_file(&bad).is_err());
+
+        // unknown tag
+        let bad = good.replace("NMODES", "NMOODS");
+        assert!(matches!(
+            parse_observation_file(&bad),
+            Err(MarshalError::Syntax { .. })
+        ));
+
+        // trailing content after END
+        let bad = format!("{good}EXTRA\n");
+        assert!(parse_observation_file(&bad).is_err());
+
+        // impossible mode degree
+        let bad = good.replacen("MODE 0", "MODE 9", 1);
+        assert!(parse_observation_file(&bad).is_err());
+    }
+
+    #[test]
+    fn params_rejects_malformed() {
+        let p = StellarParams::benchmark();
+        let good = generate_params_file(&p);
+        assert!(parse_params_file(&good.replace("MASS", "MASSIVE")).is_err());
+        assert!(parse_params_file(&good.replace("AGE 9", "AGE nine")).is_err());
+        let missing = good.replace("ALPHA 1.900000e0\n", "");
+        assert!(parse_params_file(&missing).is_err());
+        let dup = good.replace(
+            "Z 1.800000e-2\n",
+            "Z 1.800000e-2\nZ 1.800000e-2\n",
+        );
+        assert!(parse_params_file(&dup).is_err());
+        assert!(parse_params_file(&good.replace("AGE 9.500000e0", "AGE inf")).is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let text = format!("{HEADER}\nBOGUS line\nEND\n");
+        match parse_observation_file(&text) {
+            Err(MarshalError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

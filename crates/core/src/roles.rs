@@ -1,0 +1,179 @@
+//! The canonical database roles of the AMP architecture (Figure 2).
+//!
+//! §3: "the roles and privileges of the public web portal and GridAMP
+//! daemon are strictly managed and controlled." The public web server is
+//! "essentially a database-driven web server without any Grid connectivity"
+//! — it may create users, stars, observations, and simulation *requests*,
+//! and read statuses, but may not touch grid-job bookkeeping or
+//! allocations. The daemon owns workflow execution but has no business
+//! editing user accounts. Only `admin` (never on a public host, §4.1) can
+//! do everything.
+
+use crate::models::{
+    Allocation, AmpUser, GridJobRecord, Notification, Observation, Simulation,
+    SystemAuthorization,
+};
+use amp_simdb::orm::Model as _;
+use amp_simdb::{PermSet, Role};
+
+/// Role name constants.
+pub const ROLE_WEB: &str = "web";
+pub const ROLE_DAEMON: &str = "daemon";
+pub const ROLE_ADMIN: &str = "admin";
+
+/// The public portal's grants.
+pub fn web_role() -> Role {
+    Role::new(ROLE_WEB)
+        // account self-service: register + profile edits
+        .grant(
+            AmpUser::TABLE,
+            PermSet {
+                select: true,
+                insert: true,
+                update: true,
+                delete: false,
+            },
+        )
+        // catalog browse/import (SIMBAD fall-through inserts rows)
+        .grant(
+            Star::TABLE,
+            PermSet {
+                select: true,
+                insert: true,
+                update: true,
+                delete: false,
+            },
+        )
+        .grant(
+            Observation::TABLE,
+            PermSet {
+                select: true,
+                insert: true,
+                update: false,
+                delete: false,
+            },
+        )
+        // simulation submission + status display; never deletes
+        .grant(
+            Simulation::TABLE,
+            PermSet {
+                select: true,
+                insert: true,
+                update: false,
+                delete: false,
+            },
+        )
+        // read-only visibility of job progress for the results pages
+        .grant(GridJobRecord::TABLE, PermSet::READ_ONLY)
+        // sees which allocations exist to offer system choices
+        .grant(Allocation::TABLE, PermSet::READ_ONLY)
+        .grant(SystemAuthorization::TABLE, PermSet::READ_ONLY)
+        // enqueues nothing itself; reads its own notification history
+        .grant(Notification::TABLE, PermSet::READ_ONLY)
+}
+
+/// The GridAMP daemon's grants.
+pub fn daemon_role() -> Role {
+    Role::new(ROLE_DAEMON)
+        // reads users for notification targeting only
+        .grant(AmpUser::TABLE, PermSet::READ_ONLY)
+        .grant(
+            Star::TABLE,
+            PermSet {
+                select: true,
+                insert: false,
+                update: true, // sets has_results
+                delete: false,
+            },
+        )
+        .grant(Observation::TABLE, PermSet::READ_ONLY)
+        .grant(
+            Simulation::TABLE,
+            PermSet {
+                select: true,
+                insert: false,
+                update: true, // drives the workflow states
+                delete: false,
+            },
+        )
+        .grant(GridJobRecord::TABLE, PermSet::ALL)
+        .grant(
+            Allocation::TABLE,
+            PermSet {
+                select: true,
+                insert: false,
+                update: true, // SU accounting
+                delete: false,
+            },
+        )
+        .grant(SystemAuthorization::TABLE, PermSet::READ_ONLY)
+        .grant(
+            Notification::TABLE,
+            PermSet {
+                select: true,
+                insert: true, // writes the outbox
+                update: true, // marks sent
+                delete: false,
+            },
+        )
+}
+
+/// The administrator/migration role.
+pub fn admin_role() -> Role {
+    Role::superuser(ROLE_ADMIN)
+}
+
+use crate::models::star::Star;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_simdb::Action;
+
+    #[test]
+    fn web_cannot_touch_grid_state() {
+        let web = web_role();
+        assert!(web.check(GridJobRecord::TABLE, Action::Insert).is_err());
+        assert!(web.check(GridJobRecord::TABLE, Action::Update).is_err());
+        assert!(web.check(Allocation::TABLE, Action::Update).is_err());
+        assert!(web.check(Simulation::TABLE, Action::Update).is_err());
+        assert!(web.check(Simulation::TABLE, Action::Delete).is_err());
+    }
+
+    #[test]
+    fn web_can_do_its_job() {
+        let web = web_role();
+        assert!(web.check(AmpUser::TABLE, Action::Insert).is_ok());
+        assert!(web.check(Simulation::TABLE, Action::Insert).is_ok());
+        assert!(web.check(Simulation::TABLE, Action::Select).is_ok());
+        assert!(web.check(Observation::TABLE, Action::Insert).is_ok());
+        assert!(web.check(Star::TABLE, Action::Insert).is_ok());
+    }
+
+    #[test]
+    fn daemon_cannot_edit_accounts_or_requests() {
+        let d = daemon_role();
+        assert!(d.check(AmpUser::TABLE, Action::Insert).is_err());
+        assert!(d.check(AmpUser::TABLE, Action::Update).is_err());
+        assert!(d.check(Simulation::TABLE, Action::Insert).is_err());
+        assert!(d.check(Observation::TABLE, Action::Insert).is_err());
+    }
+
+    #[test]
+    fn daemon_drives_workflow() {
+        let d = daemon_role();
+        assert!(d.check(Simulation::TABLE, Action::Update).is_ok());
+        assert!(d.check(GridJobRecord::TABLE, Action::Insert).is_ok());
+        assert!(d.check(GridJobRecord::TABLE, Action::Update).is_ok());
+        assert!(d.check(Allocation::TABLE, Action::Update).is_ok());
+        assert!(d.check(Notification::TABLE, Action::Insert).is_ok());
+    }
+
+    #[test]
+    fn nobody_but_admin_touches_unknown_tables() {
+        for role in [web_role(), daemon_role()] {
+            assert!(role.check("django_secrets", Action::Select).is_err());
+        }
+        assert!(admin_role().check("django_secrets", Action::Select).is_ok());
+    }
+}

@@ -1,0 +1,294 @@
+//! Checkpoint/restart: the GA's "restart progress file".
+//!
+//! Paper §2/§4.3: "a GA may not converge in a single task execution within
+//! the target supercomputer's walltime limitations. Thus, each GA run may
+//! require several invocations of the executable" — every model invocation
+//! stages out "its restart progress file". This module defines that file:
+//! a self-describing JSON document containing config, generation counter,
+//! population genomes, adaptive mutation state, and history. Resuming from
+//! it continues the run bit-for-bit identically to an uninterrupted run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::encoding::Genome;
+use crate::ga::{Ga, GaConfig, GenStats, Individual};
+use crate::problem::Problem;
+
+/// Serializable GA state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub format_version: u32,
+    pub config: GaConfig,
+    pub base_seed: u64,
+    pub generation: u32,
+    pub pmut: f64,
+    pub population: Vec<Individual>,
+    pub history: Vec<GenStats>,
+}
+
+/// Problems decoding a restart file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    Parse(String),
+    BadVersion(u32),
+    /// Genomes malformed or inconsistent with the config.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Parse(m) => write!(f, "restart file parse error: {m}"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported restart version {v}"),
+            CheckpointError::Invalid(m) => write!(f, "invalid restart contents: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+pub const FORMAT_VERSION: u32 = 1;
+
+impl Checkpoint {
+    /// Capture the current state of a running GA.
+    pub fn capture<P: Problem>(ga: &Ga<'_, P>) -> Checkpoint {
+        Checkpoint {
+            format_version: FORMAT_VERSION,
+            config: ga.config.clone(),
+            base_seed: ga.base_seed(),
+            generation: ga.generation(),
+            pmut: ga.pmut(),
+            population: ga.population_owned(),
+            history: ga.history().to_vec(),
+        }
+    }
+
+    /// Serialize to the staged restart-file text.
+    pub fn to_text(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serializes")
+    }
+
+    /// Parse and validate a staged restart file.
+    pub fn from_text(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let cp: Checkpoint =
+            serde_json::from_str(text).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        cp.validate()?;
+        Ok(cp)
+    }
+
+    /// Structural validation — AMP's daemon treats a failure here as a
+    /// *model failure* (hold + notify), not a transient.
+    pub fn validate(&self) -> Result<(), CheckpointError> {
+        if self.format_version != FORMAT_VERSION {
+            return Err(CheckpointError::BadVersion(self.format_version));
+        }
+        if self.population.len() != self.config.population {
+            return Err(CheckpointError::Invalid(format!(
+                "population {} != configured {}",
+                self.population.len(),
+                self.config.population
+            )));
+        }
+        if self.generation > self.config.generations {
+            return Err(CheckpointError::Invalid(format!(
+                "generation {} beyond configured {}",
+                self.generation, self.config.generations
+            )));
+        }
+        let n_genes = self
+            .population
+            .first()
+            .map(|i| i.genome.n_genes())
+            .unwrap_or(0);
+        for (i, ind) in self.population.iter().enumerate() {
+            if !ind.genome.validate() {
+                return Err(CheckpointError::Invalid(format!(
+                    "individual {i}: malformed genome"
+                )));
+            }
+            if ind.genome.nd != self.config.nd {
+                return Err(CheckpointError::Invalid(format!(
+                    "individual {i}: nd {} != config nd {}",
+                    ind.genome.nd, self.config.nd
+                )));
+            }
+            if ind.genome.n_genes() != n_genes {
+                return Err(CheckpointError::Invalid(format!(
+                    "individual {i}: gene count differs"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fractional progress toward the configured iteration count — what the
+    /// daemon's partial-result interpretation reports to the website.
+    pub fn progress(&self) -> f64 {
+        if self.config.generations == 0 {
+            1.0
+        } else {
+            self.generation as f64 / self.config.generations as f64
+        }
+    }
+
+    /// Whether the run has performed all configured iterations.
+    pub fn converged(&self) -> bool {
+        self.generation >= self.config.generations
+    }
+
+    /// Best genome recorded in the checkpoint (by stored fitness).
+    pub fn best_genome(&self) -> Option<&Genome> {
+        self.population
+            .iter()
+            .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
+            .map(|i| &i.genome)
+    }
+
+    /// Resume execution against the (same) problem.
+    pub fn resume<'p, P: Problem>(&self, problem: &'p P) -> Result<Ga<'p, P>, CheckpointError> {
+        self.validate()?;
+        if self
+            .population
+            .first()
+            .map(|i| i.genome.n_genes() != problem.n_genes())
+            .unwrap_or(false)
+        {
+            return Err(CheckpointError::Invalid(
+                "genome arity does not match problem".to_string(),
+            ));
+        }
+        Ok(Ga::from_parts(
+            problem,
+            self.config.clone(),
+            self.base_seed,
+            self.generation,
+            self.population.clone(),
+            self.pmut,
+            self.history.clone(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Sphere;
+
+    fn cfg() -> GaConfig {
+        GaConfig {
+            population: 30,
+            generations: 40,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn resume_equals_uninterrupted() {
+        let p = Sphere {
+            target: vec![0.4, 0.6],
+        };
+        // uninterrupted run
+        let mut full = Ga::new(&p, cfg(), 99);
+        full.run(40);
+
+        // interrupted after 13 generations, staged out + back in as text
+        let mut part = Ga::new(&p, cfg(), 99);
+        part.run(13);
+        let text = Checkpoint::capture(&part).to_text();
+        let cp = Checkpoint::from_text(&text).unwrap();
+        assert!((cp.progress() - 13.0 / 40.0).abs() < 1e-12);
+        let mut resumed = cp.resume(&p).unwrap();
+        resumed.run(u32::MAX);
+
+        assert_eq!(resumed.generation(), full.generation());
+        assert_eq!(resumed.best().genome, full.best().genome);
+        assert_eq!(
+            resumed.history().last().unwrap(),
+            full.history().last().unwrap()
+        );
+    }
+
+    #[test]
+    fn multi_hop_resume_chain() {
+        // like four sequential walltime-limited jobs
+        let p = Sphere {
+            target: vec![0.25, 0.75, 0.1],
+        };
+        let mut full = Ga::new(&p, cfg(), 5);
+        full.run(40);
+
+        let mut cp = {
+            let mut g = Ga::new(&p, cfg(), 5);
+            g.run(10);
+            Checkpoint::capture(&g)
+        };
+        for _hop in 0..3 {
+            let mut g = cp.resume(&p).unwrap();
+            g.run(10);
+            cp = Checkpoint::capture(&g);
+        }
+        assert!(cp.converged());
+        assert_eq!(cp.best_genome().unwrap(), &full.best().genome);
+    }
+
+    #[test]
+    fn corrupt_text_is_model_failure() {
+        assert!(matches!(
+            Checkpoint::from_text("{ nope"),
+            Err(CheckpointError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_tampering() {
+        let p = Sphere { target: vec![0.5] };
+        let mut g = Ga::new(&p, cfg(), 1);
+        g.run(3);
+        let mut cp = Checkpoint::capture(&g);
+
+        let mut bad = cp.clone();
+        bad.format_version = 9;
+        assert!(matches!(
+            bad.validate(),
+            Err(CheckpointError::BadVersion(9))
+        ));
+
+        let mut bad = cp.clone();
+        bad.population.pop();
+        assert!(bad.validate().is_err());
+
+        let mut bad = cp.clone();
+        bad.generation = 1000;
+        assert!(bad.validate().is_err());
+
+        bad = cp.clone();
+        bad.population[0].genome.digits[0] = 77;
+        assert!(bad.validate().is_err());
+
+        cp.config.nd = 4; // mismatch with stored genomes
+        assert!(cp.validate().is_err());
+    }
+
+    #[test]
+    fn resume_rejects_wrong_problem_arity() {
+        let p1 = Sphere { target: vec![0.5] };
+        let p2 = Sphere {
+            target: vec![0.5, 0.5],
+        };
+        let g = Ga::new(&p1, cfg(), 1);
+        let cp = Checkpoint::capture(&g);
+        assert!(cp.resume(&p2).is_err());
+        assert!(cp.resume(&p1).is_ok());
+    }
+
+    #[test]
+    fn progress_and_convergence() {
+        let p = Sphere { target: vec![0.5] };
+        let mut g = Ga::new(&p, cfg(), 1);
+        assert_eq!(Checkpoint::capture(&g).progress(), 0.0);
+        g.run(u32::MAX);
+        let cp = Checkpoint::capture(&g);
+        assert!(cp.converged());
+        assert_eq!(cp.progress(), 1.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! PIKAIA-style decimal genotype encoding.
+//!
+//! MPIKAIA (Metcalfe & Charbonneau 2003) inherits PIKAIA's representation:
+//! each normalized parameter in [0,1) is written as `ND` decimal digits and
+//! the genome is the concatenated digit string. Crossover cuts the string;
+//! mutation perturbs digits (uniform "jump" or ±1 "creep" with carry).
+
+use serde::{Deserialize, Serialize};
+
+/// Digits of precision per parameter (PIKAIA default is 5–6).
+pub const DEFAULT_DIGITS: usize = 6;
+
+/// A decimal-encoded genome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Genome {
+    /// Concatenated digits, most significant first, `digits` per gene.
+    pub digits: Vec<u8>,
+    /// Digits per gene.
+    pub nd: usize,
+}
+
+impl Genome {
+    /// Encode normalized phenotype values (each clamped to [0, 1)) into
+    /// decimal digits.
+    pub fn encode(phenotype: &[f64], nd: usize) -> Genome {
+        assert!((1..=9).contains(&nd), "1..=9 digits supported");
+        let scale = 10f64.powi(nd as i32);
+        let mut digits = Vec::with_capacity(phenotype.len() * nd);
+        for &x in phenotype {
+            let x = x.clamp(0.0, 1.0 - 1e-12);
+            // round-to-nearest, clamped below 1.0, so decode∘encode is a
+            // fixed point (truncation is not: 0.63115355 * 1e8 can land
+            // one ulp below the integer it decoded from)
+            let mut v = ((x * scale).round() as u64).min(scale as u64 - 1);
+            let mut gene = [0u8; 9];
+            for d in (0..nd).rev() {
+                gene[d] = (v % 10) as u8;
+                v /= 10;
+            }
+            digits.extend_from_slice(&gene[..nd]);
+        }
+        Genome { digits, nd }
+    }
+
+    /// Decode back into normalized phenotype values in [0, 1).
+    pub fn decode(&self) -> Vec<f64> {
+        let scale = 10f64.powi(self.nd as i32);
+        self.digits
+            .chunks(self.nd)
+            .map(|gene| {
+                let mut v = 0u64;
+                for &d in gene {
+                    v = v * 10 + d as u64;
+                }
+                v as f64 / scale
+            })
+            .collect()
+    }
+
+    /// Number of genes (parameters).
+    pub fn n_genes(&self) -> usize {
+        self.digits.len() / self.nd
+    }
+
+    /// Validate digit range (decoded data from a restart file).
+    pub fn validate(&self) -> bool {
+        self.nd >= 1
+            && self.nd <= 9
+            && !self.digits.is_empty()
+            && self.digits.len().is_multiple_of(self.nd)
+            && self.digits.iter().all(|&d| d < 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_to_precision() {
+        let x = [0.123456789, 0.0, 0.999999, 0.5];
+        let g = Genome::encode(&x, 6);
+        assert_eq!(g.n_genes(), 4);
+        let y = g.decode();
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn decode_encode_is_identity_on_grid() {
+        // values already on the decimal grid survive exactly
+        let x = [0.123456, 0.000001, 0.999999];
+        let g = Genome::encode(&x, 6);
+        let y = g.decode();
+        let g2 = Genome::encode(&y, 6);
+        assert_eq!(g, g2);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let g = Genome::encode(&[1.5, -0.3], 4);
+        let y = g.decode();
+        assert!(y[0] < 1.0 && y[0] > 0.999);
+        assert_eq!(y[1], 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_digits() {
+        let mut g = Genome::encode(&[0.5], 4);
+        assert!(g.validate());
+        g.digits[0] = 11;
+        assert!(!g.validate());
+        let odd = Genome {
+            digits: vec![1, 2, 3],
+            nd: 2,
+        };
+        assert!(!odd.validate());
+    }
+
+    #[test]
+    fn values_decode_below_one() {
+        for nd in 1..=9 {
+            let g = Genome::encode(&[0.9999999999], nd);
+            assert!(g.decode()[0] < 1.0);
+        }
+    }
+}

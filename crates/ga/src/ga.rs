@@ -1,0 +1,422 @@
+//! The generational GA engine.
+//!
+//! Mirrors MPIKAIA's structure (paper §2): a population of candidate stars
+//! (default 126, matching "each GA models a population of 126 stars using
+//! 128 processors"), evaluated in parallel, evolved for a fixed number of
+//! iterations (default 200) with rank selection, one-point crossover on
+//! decimal genomes, jump+creep mutation with adaptive rate, and elitism.
+//!
+//! Determinism: each generation's randomness is drawn from a fresh stream
+//! seeded by `(base_seed, generation)`, so a run checkpointed after any
+//! generation and resumed elsewhere reproduces the uninterrupted run
+//! exactly — the property AMP's multi-job continuation workflow relies on.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::encoding::Genome;
+use crate::operators::{
+    adapt_pmut, crossover, fitness_ranks, mutate, select_ranked, MutationMode,
+};
+use crate::problem::Problem;
+
+/// Engine configuration. Defaults reproduce the paper's Kepler setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Population size (paper: 126).
+    pub population: usize,
+    /// Total iterations an optimization performs (paper: 200).
+    pub generations: u32,
+    /// Decimal digits per gene.
+    pub nd: usize,
+    /// Crossover probability.
+    pub pcross: f64,
+    /// Initial per-digit mutation probability.
+    pub pmut: f64,
+    pub pmut_min: f64,
+    pub pmut_max: f64,
+    /// Fraction of mutations using creep (vs jump).
+    pub creep_fraction: f64,
+    /// Copies of the best individual preserved each generation.
+    pub elitism: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 126,
+            generations: 200,
+            nd: 6,
+            pcross: 0.85,
+            pmut: 0.005,
+            pmut_min: 0.0005,
+            pmut_max: 0.25,
+            creep_fraction: 0.5,
+            elitism: 1,
+        }
+    }
+}
+
+/// One individual: genome plus cached fitness and phenotype.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Individual {
+    pub genome: Genome,
+    pub phenotype: Vec<f64>,
+    pub fitness: f64,
+}
+
+/// Per-generation statistics (the "partial result" content AMP's daemon
+/// downloads and interprets).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenStats {
+    pub generation: u32,
+    pub best_fitness: f64,
+    pub mean_fitness: f64,
+    pub median_fitness: f64,
+    pub pmut: f64,
+}
+
+/// The GA engine. Holds the problem by reference; all serializable state
+/// lives in [`crate::checkpoint::Checkpoint`].
+pub struct Ga<'p, P: Problem> {
+    pub config: GaConfig,
+    problem: &'p P,
+    base_seed: u64,
+    generation: u32,
+    population: Vec<Individual>,
+    pmut: f64,
+    history: Vec<GenStats>,
+}
+
+impl<'p, P: Problem> Ga<'p, P> {
+    /// Initialize generation 0 with a random population (paper §2: "each
+    /// task is started with randomly generated seed parameters").
+    pub fn new(problem: &'p P, config: GaConfig, seed: u64) -> Self {
+        let mut rng = Self::gen_rng(seed, u32::MAX); // init stream
+        let n = problem.n_genes();
+        let population: Vec<Individual> = (0..config.population)
+            .map(|_| {
+                let phenotype: Vec<f64> =
+                    (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+                Individual {
+                    genome: Genome::encode(&phenotype, config.nd),
+                    phenotype,
+                    fitness: 0.0,
+                }
+            })
+            .collect();
+        let pmut = config.pmut;
+        let mut ga = Ga {
+            config,
+            problem,
+            base_seed: seed,
+            generation: 0,
+            population,
+            pmut,
+            history: Vec::new(),
+        };
+        ga.evaluate_all();
+        ga
+    }
+
+    /// Rebuild an engine from checkpointed state (see `checkpoint` module).
+    pub(crate) fn from_parts(
+        problem: &'p P,
+        config: GaConfig,
+        base_seed: u64,
+        generation: u32,
+        population: Vec<Individual>,
+        pmut: f64,
+        history: Vec<GenStats>,
+    ) -> Self {
+        let mut ga = Ga {
+            config,
+            problem,
+            base_seed,
+            generation,
+            population,
+            pmut,
+            history,
+        };
+        // Fitness values ride in the restart file but are recomputed on
+        // load: the file format stores genomes authoritatively.
+        ga.evaluate_all();
+        ga
+    }
+
+    fn gen_rng(base_seed: u64, generation: u32) -> ChaCha8Rng {
+        // Distinct, deterministic stream per (seed, generation).
+        let mixed = base_seed
+            ^ (generation as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ 0xA5A5_5A5A_DEAD_BEEF;
+        ChaCha8Rng::seed_from_u64(mixed)
+    }
+
+    fn evaluate_all(&mut self) {
+        let problem = self.problem;
+        self.population.par_iter_mut().for_each(|ind| {
+            ind.phenotype = ind.genome.decode();
+            ind.fitness = problem.fitness(&ind.phenotype);
+        });
+    }
+
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    pub fn history(&self) -> &[GenStats] {
+        &self.history
+    }
+
+    pub fn population(&self) -> &[Individual] {
+        &self.population
+    }
+
+    pub(crate) fn population_owned(&self) -> Vec<Individual> {
+        self.population.clone()
+    }
+
+    pub(crate) fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    pub(crate) fn pmut(&self) -> f64 {
+        self.pmut
+    }
+
+    /// Best individual of the current population.
+    pub fn best(&self) -> &Individual {
+        self.population
+            .iter()
+            .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
+            .expect("non-empty population")
+    }
+
+    /// Whether the configured iteration budget has been spent.
+    pub fn finished(&self) -> bool {
+        self.generation >= self.config.generations
+    }
+
+    fn stats(&self) -> GenStats {
+        let mut f: Vec<f64> = self.population.iter().map(|i| i.fitness).collect();
+        f.sort_by(|a, b| a.total_cmp(b));
+        let n = f.len();
+        GenStats {
+            generation: self.generation,
+            best_fitness: f[n - 1],
+            mean_fitness: f.iter().sum::<f64>() / n as f64,
+            median_fitness: f[n / 2],
+            pmut: self.pmut,
+        }
+    }
+
+    /// Advance one generation ("iteration" in the paper's terms). Returns
+    /// the post-step statistics.
+    pub fn step(&mut self) -> GenStats {
+        let mut rng = Self::gen_rng(self.base_seed, self.generation);
+        let fitness: Vec<f64> = self.population.iter().map(|i| i.fitness).collect();
+        let ranks = fitness_ranks(&fitness);
+
+        let elite: Vec<Individual> = {
+            let mut order: Vec<usize> = (0..self.population.len()).collect();
+            order.sort_by(|&a, &b| fitness[b].total_cmp(&fitness[a]).then(a.cmp(&b)));
+            order
+                .iter()
+                .take(self.config.elitism.min(self.population.len()))
+                .map(|&i| self.population[i].clone())
+                .collect()
+        };
+
+        let mut next: Vec<Individual> = Vec::with_capacity(self.population.len());
+        while next.len() + elite.len() < self.population.len() {
+            let pa = select_ranked(&mut rng, &ranks);
+            let pb = select_ranked(&mut rng, &ranks);
+            let (mut ca, mut cb) = crossover(
+                &mut rng,
+                &self.population[pa].genome,
+                &self.population[pb].genome,
+                self.config.pcross,
+            );
+            for child in [&mut ca, &mut cb] {
+                let mode = if rng.random_range(0.0..1.0) < self.config.creep_fraction {
+                    MutationMode::Creep
+                } else {
+                    MutationMode::Jump
+                };
+                mutate(&mut rng, child, self.pmut, mode);
+            }
+            next.push(Individual {
+                genome: ca,
+                phenotype: Vec::new(),
+                fitness: 0.0,
+            });
+            if next.len() + elite.len() < self.population.len() {
+                next.push(Individual {
+                    genome: cb,
+                    phenotype: Vec::new(),
+                    fitness: 0.0,
+                });
+            }
+        }
+        next.extend(elite);
+        self.population = next;
+        self.evaluate_all();
+        self.generation += 1;
+
+        let s = self.stats();
+        self.pmut = adapt_pmut(
+            self.pmut,
+            s.best_fitness,
+            s.median_fitness,
+            self.config.pmut_min,
+            self.config.pmut_max,
+        );
+        self.history.push(s);
+        s
+    }
+
+    /// Run until `finished()` or `max_steps` further generations, whichever
+    /// comes first — the walltime-limited "one job's worth" of progress.
+    /// Returns the number of generations actually executed.
+    pub fn run(&mut self, max_steps: u32) -> u32 {
+        let mut done = 0;
+        while !self.finished() && done < max_steps {
+            self.step();
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Ripple, Sphere};
+
+    fn small_cfg() -> GaConfig {
+        GaConfig {
+            population: 40,
+            generations: 60,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn converges_on_sphere() {
+        let p = Sphere {
+            target: vec![0.31, 0.77, 0.5],
+        };
+        let mut ga = Ga::new(&p, small_cfg(), 42);
+        ga.run(u32::MAX);
+        let best = ga.best();
+        assert!(
+            best.fitness > 0.95,
+            "fitness {} at {:?}",
+            best.fitness,
+            best.phenotype
+        );
+        for (x, t) in best.phenotype.iter().zip(p.target.iter()) {
+            assert!((x - t).abs() < 0.05, "{x} vs {t}");
+        }
+    }
+
+    #[test]
+    fn escapes_local_optima_on_ripple() {
+        let p = Ripple {
+            target: vec![0.62, 0.41],
+        };
+        let mut ga = Ga::new(
+            &p,
+            GaConfig {
+                population: 80,
+                generations: 120,
+                ..GaConfig::default()
+            },
+            7,
+        );
+        ga.run(u32::MAX);
+        assert!(ga.best().fitness > 0.8, "fitness {}", ga.best().fitness);
+    }
+
+    #[test]
+    fn elitism_makes_best_fitness_monotone() {
+        let p = Sphere {
+            target: vec![0.5, 0.5],
+        };
+        let mut ga = Ga::new(&p, small_cfg(), 3);
+        let mut prev = ga.best().fitness;
+        for _ in 0..30 {
+            let s = ga.step();
+            assert!(
+                s.best_fitness >= prev - 1e-12,
+                "regressed {prev} -> {}",
+                s.best_fitness
+            );
+            prev = s.best_fitness;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = Sphere {
+            target: vec![0.2, 0.9],
+        };
+        let mut a = Ga::new(&p, small_cfg(), 11);
+        let mut b = Ga::new(&p, small_cfg(), 11);
+        a.run(25);
+        b.run(25);
+        assert_eq!(a.best().genome, b.best().genome);
+        assert_eq!(a.history().len(), b.history().len());
+        assert_eq!(a.history()[24], b.history()[24]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = Sphere {
+            target: vec![0.2, 0.9],
+        };
+        let mut a = Ga::new(&p, small_cfg(), 1);
+        let mut b = Ga::new(&p, small_cfg(), 2);
+        a.run(5);
+        b.run(5);
+        assert_ne!(a.best().genome, b.best().genome);
+    }
+
+    #[test]
+    fn run_respects_budget_and_finished() {
+        let p = Sphere { target: vec![0.5] };
+        let mut ga = Ga::new(&p, small_cfg(), 5);
+        assert_eq!(ga.run(10), 10);
+        assert_eq!(ga.generation(), 10);
+        assert!(!ga.finished());
+        assert_eq!(ga.run(u32::MAX), 50);
+        assert!(ga.finished());
+        assert_eq!(ga.run(10), 0);
+    }
+
+    #[test]
+    fn population_size_is_stable() {
+        let p = Sphere { target: vec![0.5] };
+        let mut ga = Ga::new(&p, small_cfg(), 5);
+        for _ in 0..5 {
+            ga.step();
+            assert_eq!(ga.population().len(), 40);
+        }
+    }
+
+    #[test]
+    fn history_records_every_generation() {
+        let p = Sphere { target: vec![0.5] };
+        let mut ga = Ga::new(&p, small_cfg(), 5);
+        ga.run(12);
+        let h = ga.history();
+        assert_eq!(h.len(), 12);
+        for (i, s) in h.iter().enumerate() {
+            assert_eq!(s.generation, i as u32 + 1);
+            assert!(s.best_fitness >= s.median_fitness);
+            assert!(s.pmut > 0.0);
+        }
+    }
+}

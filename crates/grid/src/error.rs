@@ -1,0 +1,108 @@
+//! Grid error taxonomy.
+//!
+//! The GridAMP daemon "distinguishes between anticipated transients, model
+//! processing failures, and its own failures" (§4.4). [`GridError::is_transient`]
+//! encodes the first class — errors the daemon retries silently.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Errors surfaced by the grid command-line-style interfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// GRAM or GridFTP endpoint is down (scheduled outage or injected
+    /// fault) — the canonical anticipated transient.
+    ServiceUnreachable {
+        site: String,
+        service: &'static str,
+        at: SimTime,
+    },
+    /// Proxy certificate expired or not yet valid.
+    CredentialExpired { subject: String, at: SimTime },
+    /// Proxy not authorized for the site (community account not enabled).
+    NotAuthorized { site: String, subject: String },
+    /// No such site registered.
+    NoSuchSite(String),
+    /// No such job handle.
+    NoSuchJob(String),
+    /// No such remote file.
+    NoSuchFile { site: String, path: String },
+    /// The requested executable is not installed on the site.
+    NoSuchApplication { site: String, executable: String },
+    /// Job specification is invalid (more nodes than the machine has, ...).
+    BadJobSpec(String),
+    /// Site scratch filesystem is over quota (the paper's "small disk
+    /// space available on Lonestar" concern).
+    DiskQuotaExceeded { site: String, need: u64, free: u64 },
+    /// Dependency on a job that does not exist or already failed.
+    BadDependency(String),
+    /// Operation is inconsistent with the job's current state.
+    InvalidState { job: String, state: String },
+}
+
+impl GridError {
+    /// True for the anticipated-transient class: retried automatically,
+    /// administrators notified, users never bothered (§4.4).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            GridError::ServiceUnreachable { .. } | GridError::CredentialExpired { .. }
+        )
+    }
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::ServiceUnreachable { site, service, at } => {
+                write!(f, "{service} on {site} unreachable at {at}")
+            }
+            GridError::CredentialExpired { subject, at } => {
+                write!(f, "credential {subject} expired at {at}")
+            }
+            GridError::NotAuthorized { site, subject } => {
+                write!(f, "{subject} not authorized on {site}")
+            }
+            GridError::NoSuchSite(s) => write!(f, "no such site: {s}"),
+            GridError::NoSuchJob(j) => write!(f, "no such job: {j}"),
+            GridError::NoSuchFile { site, path } => {
+                write!(f, "no such file on {site}: {path}")
+            }
+            GridError::NoSuchApplication { site, executable } => {
+                write!(f, "executable {executable} not installed on {site}")
+            }
+            GridError::BadJobSpec(m) => write!(f, "bad job spec: {m}"),
+            GridError::DiskQuotaExceeded { site, need, free } => {
+                write!(f, "disk quota on {site}: need {need} bytes, {free} free")
+            }
+            GridError::BadDependency(m) => write!(f, "bad dependency: {m}"),
+            GridError::InvalidState { job, state } => {
+                write!(f, "job {job} in state {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(GridError::ServiceUnreachable {
+            site: "kraken".into(),
+            service: "GRAM",
+            at: SimTime(5),
+        }
+        .is_transient());
+        assert!(GridError::CredentialExpired {
+            subject: "amp".into(),
+            at: SimTime(5)
+        }
+        .is_transient());
+        assert!(!GridError::NoSuchSite("x".into()).is_transient());
+        assert!(!GridError::BadJobSpec("x".into()).is_transient());
+    }
+}

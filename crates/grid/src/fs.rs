@@ -1,0 +1,212 @@
+//! Remote site scratch filesystem.
+//!
+//! Each simulated resource has a scratch tree where the pre-job script
+//! builds the model runtime directory, GridFTP stages files in/out, and
+//! the cleanup stage removes the execution environment (§4.3). A byte
+//! quota models the "small disk space available on Lonestar" (§2).
+
+use crate::error::GridError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An in-memory file tree keyed by absolute-ish string paths
+/// (`scratch/sim42/run1/input.txt`). Directories are implicit.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SiteFs {
+    site: String,
+    files: BTreeMap<String, Vec<u8>>,
+    quota_bytes: u64,
+}
+
+impl SiteFs {
+    pub fn new(site: &str, quota_bytes: u64) -> Self {
+        SiteFs {
+            site: site.to_string(),
+            files: BTreeMap::new(),
+            quota_bytes,
+        }
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.files.values().map(|v| v.len() as u64).sum()
+    }
+
+    pub fn free_bytes(&self) -> u64 {
+        self.quota_bytes.saturating_sub(self.used_bytes())
+    }
+
+    /// Write (or overwrite) a file, enforcing the quota.
+    pub fn write(&mut self, path: &str, data: Vec<u8>) -> Result<(), GridError> {
+        let existing = self.files.get(path).map(|v| v.len() as u64).unwrap_or(0);
+        let needed = data.len() as u64;
+        if self.used_bytes() - existing + needed > self.quota_bytes {
+            return Err(GridError::DiskQuotaExceeded {
+                site: self.site.clone(),
+                need: needed,
+                free: self.free_bytes() + existing,
+            });
+        }
+        self.files.insert(normalize(path), data);
+        Ok(())
+    }
+
+    pub fn read(&self, path: &str) -> Result<&[u8], GridError> {
+        self.files
+            .get(&normalize(path))
+            .map(|v| v.as_slice())
+            .ok_or_else(|| GridError::NoSuchFile {
+                site: self.site.clone(),
+                path: path.to_string(),
+            })
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(&normalize(path))
+    }
+
+    pub fn remove(&mut self, path: &str) -> Result<(), GridError> {
+        self.files
+            .remove(&normalize(path))
+            .map(|_| ())
+            .ok_or_else(|| GridError::NoSuchFile {
+                site: self.site.clone(),
+                path: path.to_string(),
+            })
+    }
+
+    /// Remove every file under a prefix (the cleanup stage's `rm -rf`).
+    /// Returns how many files were removed.
+    pub fn remove_tree(&mut self, prefix: &str) -> usize {
+        let prefix = dir_prefix(prefix);
+        let doomed: Vec<String> = self
+            .files
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for k in &doomed {
+            self.files.remove(k);
+        }
+        doomed.len()
+    }
+
+    /// Paths under a prefix (the post-job `tar` collecting outputs).
+    pub fn list_tree(&self, prefix: &str) -> Vec<String> {
+        let prefix = dir_prefix(prefix);
+        self.files
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Bundle a tree into a single file (the post-job stage "uses tar to
+    /// consolidate output and log files into a single file", §4.3).
+    /// Format: simple length-prefixed concatenation, JSON-encoded.
+    pub fn tar_tree(&mut self, prefix: &str, dest: &str) -> Result<usize, GridError> {
+        let paths = self.list_tree(prefix);
+        let mut entries: Vec<(String, Vec<u8>)> = Vec::with_capacity(paths.len());
+        for p in &paths {
+            entries.push((p.clone(), self.files[p].clone()));
+        }
+        let n = entries.len();
+        let data = serde_json::to_vec(&entries)
+            .map_err(|e| GridError::BadJobSpec(format!("tar encode: {e}")))?;
+        self.write(dest, data)?;
+        Ok(n)
+    }
+
+    /// Unpack a tar file produced by [`SiteFs::tar_tree`] into entries.
+    pub fn untar(data: &[u8]) -> Result<Vec<(String, Vec<u8>)>, GridError> {
+        serde_json::from_slice(data)
+            .map_err(|e| GridError::BadJobSpec(format!("tar decode: {e}")))
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+fn normalize(path: &str) -> String {
+    path.trim_matches('/').to_string()
+}
+
+fn dir_prefix(prefix: &str) -> String {
+    let p = prefix.trim_matches('/');
+    if p.is_empty() {
+        String::new()
+    } else {
+        format!("{p}/")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> SiteFs {
+        SiteFs::new("kraken", 1000)
+    }
+
+    #[test]
+    fn write_read_remove() {
+        let mut f = fs();
+        f.write("a/b.txt", b"hello".to_vec()).unwrap();
+        assert_eq!(f.read("a/b.txt").unwrap(), b"hello");
+        assert_eq!(f.read("/a/b.txt").unwrap(), b"hello");
+        assert!(f.exists("a/b.txt"));
+        f.remove("a/b.txt").unwrap();
+        assert!(!f.exists("a/b.txt"));
+        assert!(matches!(
+            f.read("a/b.txt"),
+            Err(GridError::NoSuchFile { .. })
+        ));
+    }
+
+    #[test]
+    fn quota_enforced_and_overwrite_reuses_space() {
+        let mut f = fs();
+        f.write("big", vec![0u8; 900]).unwrap();
+        assert!(matches!(
+            f.write("more", vec![0u8; 200]),
+            Err(GridError::DiskQuotaExceeded { .. })
+        ));
+        // overwriting the same file within quota is fine
+        f.write("big", vec![0u8; 950]).unwrap();
+        assert_eq!(f.used_bytes(), 950);
+        assert_eq!(f.free_bytes(), 50);
+    }
+
+    #[test]
+    fn tree_operations() {
+        let mut f = fs();
+        f.write("run1/in.txt", b"x".to_vec()).unwrap();
+        f.write("run1/out/a.log", b"y".to_vec()).unwrap();
+        f.write("run2/in.txt", b"z".to_vec()).unwrap();
+        assert_eq!(f.list_tree("run1").len(), 2);
+        assert_eq!(f.remove_tree("run1"), 2);
+        assert_eq!(f.file_count(), 1);
+        // prefix matching is path-component safe
+        f.write("run22/in.txt", b"w".to_vec()).unwrap();
+        assert_eq!(f.list_tree("run2").len(), 1);
+    }
+
+    #[test]
+    fn tar_roundtrip() {
+        let mut f = SiteFs::new("kraken", 10_000);
+        f.write("run/out.dat", b"result".to_vec()).unwrap();
+        f.write("run/model.log", b"log".to_vec()).unwrap();
+        let n = f.tar_tree("run", "results.tar").unwrap();
+        assert_eq!(n, 2);
+        let entries = SiteFs::untar(f.read("results.tar").unwrap()).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries
+            .iter()
+            .any(|(p, d)| p == "run/out.dat" && d == b"result"));
+    }
+
+    #[test]
+    fn untar_rejects_garbage() {
+        assert!(SiteFs::untar(b"definitely not json").is_err());
+    }
+}

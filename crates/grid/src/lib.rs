@@ -1,0 +1,828 @@
+//! # amp-grid — a discrete-event TeraGrid simulator
+//!
+//! The computational substrate of the AMP reproduction (Woitaszek et al.,
+//! GCE 2009). AMP targets TeraGrid resources through exactly three
+//! mechanisms, all part of the common CTSS stack (§4.3): GRAM job
+//! submission (fork + batch), GridFTP file staging, and community-credential
+//! proxies with GridShib SAML user attribution. This crate simulates that
+//! surface over a virtual clock:
+//!
+//! * [`time`] — simulated seconds; Table 1's numbers are simulated time;
+//! * [`systems`] — Frost/Kraken/Lonestar/Ranger profiles calibrated to
+//!   Table 1 (benchmark minutes, SU charge factors, walltime limits);
+//! * [`scheduler`] — per-site FCFS + EASY-backfill batch queue with
+//!   walltime kill, job chaining, and seeded synthetic background load;
+//! * [`fs`] / [`app`] — site scratch filesystems and installed executables;
+//! * [`gss`] — community credential → SAML-attributed proxies;
+//! * [`gram`] / GridFTP methods on [`Grid`] — the client calls the daemon
+//!   makes, with outage-window fault injection ([`fault`]) and full request
+//!   attribution ([`audit`]).
+//!
+//! ```
+//! use amp_grid::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mut grid = Grid::new();
+//! grid.add_site(amp_grid::systems::kraken());
+//! grid.install_app("kraken", "/bin/sleep", Arc::new(amp_grid::app::SleepApp));
+//! let cred = CommunityCredential::new("/CN=amp community");
+//! grid.authorize("kraken", &cred);
+//! let proxy = cred.issue_proxy("astro1", grid.now(), SimDuration::from_hours(12.0));
+//!
+//! let h = grid.gram_submit("kraken", &proxy, GramJobSpec {
+//!     service: GramService::Batch,
+//!     executable: "/bin/sleep".into(),
+//!     args: vec!["5".into()],
+//!     workdir: "scratch/demo".into(),
+//!     cores: 1,
+//!     walltime: SimDuration::from_minutes(10.0),
+//!     depends_on: vec![],
+//!     name: "demo".into(),
+//! }).unwrap();
+//! grid.advance(SimDuration::from_minutes(30.0));
+//! assert_eq!(grid.gram_status("kraken", &proxy, &h).unwrap(), GramState::Done);
+//! ```
+
+pub mod app;
+pub mod audit;
+pub mod error;
+pub mod fault;
+pub mod fs;
+pub mod gram;
+pub mod gss;
+pub mod scheduler;
+pub mod systems;
+pub mod time;
+
+pub use crate::app::{AppContext, AppRegistry, AppRun, Application};
+pub use crate::audit::{AuditLog, AuditRecord};
+pub use crate::error::GridError;
+pub use crate::fault::{FaultPlan, Service};
+pub use crate::fs::SiteFs;
+pub use crate::gram::{GramJobHandle, GramJobSpec, GramService, GramState, JobTimes};
+pub use crate::gss::{CommunityCredential, ProxyCertificate};
+pub use crate::scheduler::{BatchJob, JobOutcome, JobState, Scheduler};
+pub use crate::systems::SystemProfile;
+pub use crate::time::{SimDuration, SimTime};
+
+/// Common imports for consumers.
+pub mod prelude {
+    pub use crate::app::{AppContext, AppRun, Application};
+    pub use crate::error::GridError;
+    pub use crate::fault::Service;
+    pub use crate::gram::{GramJobHandle, GramJobSpec, GramService, GramState, JobTimes};
+    pub use crate::gss::{CommunityCredential, ProxyCertificate};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::Grid;
+}
+
+use crate::scheduler::{BackgroundLoad, JobRequest, Payload};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
+
+/// Simulated GridFTP throughput (bytes per simulated second) and per-call
+/// latency — only used for transfer accounting; calls complete inline.
+const FTP_BANDWIDTH_BPS: u64 = 50 * 1024 * 1024;
+const FTP_LATENCY_SECS: u64 = 2;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    JobFinish { site: String, job: u64 },
+    BgArrival { site: String },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One simulated resource provider site.
+pub struct Site {
+    pub profile: SystemProfile,
+    pub scheduler: Scheduler,
+    pub fs: SiteFs,
+    pub apps: AppRegistry,
+    background: Option<BackgroundState>,
+    /// Community credential subjects enabled on this site.
+    authorized: BTreeSet<String>,
+    /// Registered credentials for proxy verification, by subject.
+    trust: BTreeMap<String, CommunityCredential>,
+}
+
+struct BackgroundState {
+    generator: BackgroundLoad,
+    next_request: JobRequest,
+}
+
+/// Statistics for one GridFTP transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferStats {
+    pub bytes: u64,
+    /// Modeled transfer duration (latency + bytes/bandwidth). Transfers
+    /// complete inline — this is accounting, not a clock advance: staging
+    /// is minutes against multi-hour jobs.
+    pub duration: SimDuration,
+}
+
+/// The simulation: virtual clock, event queue, and all sites.
+pub struct Grid {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    sites: BTreeMap<String, Site>,
+    pub faults: FaultPlan,
+    audit: AuditLog,
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Grid {
+    pub fn new() -> Self {
+        Grid {
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            sites: BTreeMap::new(),
+            faults: FaultPlan::none(),
+            audit: AuditLog::default(),
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    pub fn site(&self, name: &str) -> Option<&Site> {
+        self.sites.get(name)
+    }
+
+    pub fn site_mut(&mut self, name: &str) -> Option<&mut Site> {
+        self.sites.get_mut(name)
+    }
+
+    pub fn site_names(&self) -> Vec<String> {
+        self.sites.keys().cloned().collect()
+    }
+
+    /// Register a quiet site (no competing load).
+    pub fn add_site(&mut self, profile: SystemProfile) {
+        let name = profile.name.clone();
+        let fs = SiteFs::new(&name, profile.scratch_quota_bytes);
+        let scheduler = Scheduler::new(profile.clone());
+        self.sites.insert(
+            name,
+            Site {
+                profile,
+                scheduler,
+                fs,
+                apps: AppRegistry::new(),
+                background: None,
+                authorized: BTreeSet::new(),
+                trust: BTreeMap::new(),
+            },
+        );
+    }
+
+    /// Register a site with synthetic background load (queue contention).
+    pub fn add_site_with_background(&mut self, profile: SystemProfile, seed: u64) {
+        let name = profile.name.clone();
+        self.add_site(profile);
+        let site = self.sites.get_mut(&name).expect("just added");
+        let mut generator = BackgroundLoad::new(&site.profile, seed);
+        let (delay, next_request) = generator.next_arrival();
+        site.background = Some(BackgroundState {
+            generator,
+            next_request,
+        });
+        let at = self.now + delay;
+        self.push_event(at, EventKind::BgArrival { site: name });
+    }
+
+    pub fn install_app(&mut self, site: &str, executable: &str, app: Arc<dyn Application>) {
+        if let Some(s) = self.sites.get_mut(site) {
+            s.apps.install(executable, app);
+        }
+    }
+
+    /// Enable a community credential on a site (the "community account has
+    /// been authorized" step, §4.3).
+    pub fn authorize(&mut self, site: &str, cred: &CommunityCredential) {
+        if let Some(s) = self.sites.get_mut(site) {
+            s.authorized.insert(cred.subject.clone());
+            s.trust.insert(cred.subject.clone(), cred.clone());
+        }
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Advance the clock by `dur`, processing all events in order.
+    pub fn advance(&mut self, dur: SimDuration) {
+        let target = self.now + dur;
+        self.advance_to(target);
+    }
+
+    /// Advance the clock to `target`, processing all events in order.
+    pub fn advance_to(&mut self, target: SimTime) {
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > target {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+        }
+        if target > self.now {
+            self.now = target;
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::JobFinish { site, job } => {
+                let now = self.now;
+                let mut new_events = Vec::new();
+                if let Some(s) = self.sites.get_mut(&site) {
+                    s.scheduler.finish_job(job, now, &mut s.fs);
+                    new_events = s.scheduler.schedule_pass(now, &mut s.fs, &s.apps);
+                }
+                for (at, id) in new_events {
+                    self.push_event(
+                        at,
+                        EventKind::JobFinish {
+                            site: site.clone(),
+                            job: id,
+                        },
+                    );
+                }
+            }
+            EventKind::BgArrival { site } => {
+                let now = self.now;
+                let mut new_events = Vec::new();
+                let mut next: Option<SimTime> = None;
+                if let Some(s) = self.sites.get_mut(&site) {
+                    if let Some(bg) = s.background.as_mut() {
+                        let req = bg.next_request.clone();
+                        let (delay, upcoming) = bg.generator.next_arrival();
+                        bg.next_request = upcoming;
+                        next = Some(now + delay);
+                        // Background load submits outside the GRAM surface.
+                        let _ = s.scheduler.submit(req, now, true);
+                        new_events = s.scheduler.schedule_pass(now, &mut s.fs, &s.apps);
+                    }
+                }
+                for (at, id) in new_events {
+                    self.push_event(
+                        at,
+                        EventKind::JobFinish {
+                            site: site.clone(),
+                            job: id,
+                        },
+                    );
+                }
+                if let Some(at) = next {
+                    self.push_event(at, EventKind::BgArrival { site });
+                }
+            }
+        }
+    }
+
+    /// Outage + credential + authorization gate shared by every client
+    /// call. Returns a reference to the site on success.
+    fn check_access(
+        &self,
+        site: &str,
+        service: Service,
+        proxy: &ProxyCertificate,
+    ) -> Result<&Site, GridError> {
+        let service_name = match service {
+            Service::Gram => "GRAM",
+            Service::GridFtp => "GridFTP",
+            Service::Both => "grid",
+        };
+        let s = self
+            .sites
+            .get(site)
+            .ok_or_else(|| GridError::NoSuchSite(site.to_string()))?;
+        if self.faults.is_down(site, service, self.now) {
+            return Err(GridError::ServiceUnreachable {
+                site: site.to_string(),
+                service: service_name,
+                at: self.now,
+            });
+        }
+        if !proxy.is_valid_at(self.now) {
+            return Err(GridError::CredentialExpired {
+                subject: proxy.subject.clone(),
+                at: self.now,
+            });
+        }
+        let trusted = s
+            .trust
+            .get(&proxy.issuer)
+            .map(|cred| cred.verify(proxy))
+            .unwrap_or(false);
+        if !trusted || !s.authorized.contains(&proxy.issuer) {
+            return Err(GridError::NotAuthorized {
+                site: site.to_string(),
+                subject: proxy.subject.clone(),
+            });
+        }
+        Ok(s)
+    }
+
+    fn record_audit(
+        &mut self,
+        site: &str,
+        service: &'static str,
+        proxy: &ProxyCertificate,
+        action: &str,
+        detail: String,
+    ) {
+        self.audit.record(AuditRecord {
+            time: self.now,
+            site: site.to_string(),
+            service: service.to_string(),
+            subject: proxy.issuer.clone(),
+            saml_user: proxy.saml_user.clone(),
+            action: action.to_string(),
+            detail,
+        });
+    }
+
+    /// Submit a GRAM job (`globusrun`-equivalent).
+    pub fn gram_submit(
+        &mut self,
+        site: &str,
+        proxy: &ProxyCertificate,
+        spec: GramJobSpec,
+    ) -> Result<GramJobHandle, GridError> {
+        self.check_access(site, Service::Gram, proxy)?;
+        // Resolve dependency handles to local scheduler ids.
+        let mut deps = Vec::with_capacity(spec.depends_on.len());
+        for h in &spec.depends_on {
+            let (dep_site, id) = h
+                .parse()
+                .ok_or_else(|| GridError::BadDependency(format!("unparseable handle {h}")))?;
+            if dep_site != site {
+                return Err(GridError::BadDependency(format!(
+                    "dependency {h} is on another site"
+                )));
+            }
+            deps.push(id);
+        }
+        let now = self.now;
+        let s = self.sites.get_mut(site).expect("checked");
+        if s.apps.get(&spec.executable).is_none() {
+            return Err(GridError::NoSuchApplication {
+                site: site.to_string(),
+                executable: spec.executable.clone(),
+            });
+        }
+        let cores = match spec.service {
+            GramService::Fork => 0,
+            GramService::Batch => spec.cores.max(1),
+        };
+        let req = JobRequest {
+            name: spec.name.clone(),
+            cores,
+            walltime: spec.walltime,
+            deps,
+            payload: Payload::App {
+                executable: spec.executable.clone(),
+                args: spec.args.clone(),
+                workdir: spec.workdir.clone(),
+            },
+        };
+        let id = s.scheduler.submit(req, now, false)?;
+        let new_events = s.scheduler.schedule_pass(now, &mut s.fs, &s.apps);
+        for (at, jid) in new_events {
+            self.push_event(
+                at,
+                EventKind::JobFinish {
+                    site: site.to_string(),
+                    job: jid,
+                },
+            );
+        }
+        let handle = GramJobHandle::new(site, spec.service, id);
+        self.record_audit(
+            site,
+            "GRAM",
+            proxy,
+            "submit",
+            format!("{} -> {}", spec.executable, handle),
+        );
+        Ok(handle)
+    }
+
+    /// Poll a job's GRAM status (`globus-job-status`-equivalent).
+    pub fn gram_status(
+        &self,
+        site: &str,
+        proxy: &ProxyCertificate,
+        handle: &GramJobHandle,
+    ) -> Result<GramState, GridError> {
+        let s = self.check_access(site, Service::Gram, proxy)?;
+        let (_, id) = handle
+            .parse()
+            .ok_or_else(|| GridError::NoSuchJob(handle.to_string()))?;
+        let job = s
+            .scheduler
+            .job(id)
+            .ok_or_else(|| GridError::NoSuchJob(handle.to_string()))?;
+        Ok(GramState::from_job_state(&job.state))
+    }
+
+    /// Cancel a job (`globus-job-cancel`).
+    pub fn gram_cancel(
+        &mut self,
+        site: &str,
+        proxy: &ProxyCertificate,
+        handle: &GramJobHandle,
+    ) -> Result<(), GridError> {
+        self.check_access(site, Service::Gram, proxy)?;
+        let (_, id) = handle
+            .parse()
+            .ok_or_else(|| GridError::NoSuchJob(handle.to_string()))?;
+        let s = self.sites.get_mut(site).expect("checked");
+        s.scheduler.cancel(id, "cancelled via GRAM")?;
+        let now = self.now;
+        let new_events = s.scheduler.schedule_pass(now, &mut s.fs, &s.apps);
+        for (at, jid) in new_events {
+            self.push_event(
+                at,
+                EventKind::JobFinish {
+                    site: site.to_string(),
+                    job: jid,
+                },
+            );
+        }
+        self.record_audit(site, "GRAM", proxy, "cancel", handle.to_string());
+        Ok(())
+    }
+
+    /// Submit/start/end record for the Gantt tool (§6) — introspection,
+    /// not a grid client call.
+    pub fn job_times(&self, site: &str, handle: &GramJobHandle) -> Option<JobTimes> {
+        let s = self.sites.get(site)?;
+        let (_, id) = handle.parse()?;
+        let job = s.scheduler.job(id)?;
+        let (started, ended) = match &job.state {
+            JobState::Waiting | JobState::Cancelled { .. } => (None, None),
+            JobState::Running { started_at, .. } => (Some(*started_at), None),
+            JobState::Done {
+                started_at,
+                ended_at,
+                ..
+            } => (Some(*started_at), Some(*ended_at)),
+        };
+        Some(JobTimes {
+            name: job.name.clone(),
+            cores: job.cores,
+            submitted_at: job.submitted_at,
+            started_at: started,
+            ended_at: ended,
+            state: GramState::from_job_state(&job.state),
+        })
+    }
+
+    /// Stage a file to a site (`globus-url-copy` put).
+    pub fn ftp_put(
+        &mut self,
+        site: &str,
+        proxy: &ProxyCertificate,
+        path: &str,
+        data: Vec<u8>,
+    ) -> Result<TransferStats, GridError> {
+        self.check_access(site, Service::GridFtp, proxy)?;
+        let bytes = data.len() as u64;
+        let s = self.sites.get_mut(site).expect("checked");
+        s.fs.write(path, data)?;
+        let stats = TransferStats {
+            bytes,
+            duration: SimDuration::from_secs(FTP_LATENCY_SECS + bytes / FTP_BANDWIDTH_BPS),
+        };
+        self.record_audit(site, "GridFTP", proxy, "put", format!("{path} ({bytes} B)"));
+        Ok(stats)
+    }
+
+    /// List remote files under a prefix (`uberftp ls`-equivalent) — used
+    /// for troubleshooting staged trees.
+    pub fn ftp_list(
+        &self,
+        site: &str,
+        proxy: &ProxyCertificate,
+        prefix: &str,
+    ) -> Result<Vec<String>, GridError> {
+        let s = self.check_access(site, Service::GridFtp, proxy)?;
+        Ok(s.fs.list_tree(prefix))
+    }
+
+    /// Fetch a file from a site (`globus-url-copy` get).
+    pub fn ftp_get(
+        &mut self,
+        site: &str,
+        proxy: &ProxyCertificate,
+        path: &str,
+    ) -> Result<(Vec<u8>, TransferStats), GridError> {
+        let s = self.check_access(site, Service::GridFtp, proxy)?;
+        let data = s.fs.read(path)?.to_vec();
+        let bytes = data.len() as u64;
+        let stats = TransferStats {
+            bytes,
+            duration: SimDuration::from_secs(FTP_LATENCY_SECS + bytes / FTP_BANDWIDTH_BPS),
+        };
+        self.record_audit(site, "GridFTP", proxy, "get", format!("{path} ({bytes} B)"));
+        Ok((data, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::SleepApp;
+    use crate::systems::{kraken, lonestar};
+
+    fn setup() -> (Grid, CommunityCredential, ProxyCertificate) {
+        let mut grid = Grid::new();
+        grid.add_site(kraken());
+        grid.install_app("kraken", "sleep", Arc::new(SleepApp));
+        let cred = CommunityCredential::new("/CN=amp community");
+        grid.authorize("kraken", &cred);
+        let proxy = cred.issue_proxy("astro1", grid.now(), SimDuration::from_hours(1000.0));
+        (grid, cred, proxy)
+    }
+
+    fn sleep_spec(name: &str, minutes: f64, service: GramService) -> GramJobSpec {
+        GramJobSpec {
+            service,
+            executable: "sleep".into(),
+            args: vec![minutes.to_string()],
+            workdir: format!("scratch/{name}"),
+            cores: 128,
+            walltime: SimDuration::from_minutes(minutes + 10.0),
+            depends_on: vec![],
+            name: name.into(),
+        }
+    }
+
+    #[test]
+    fn batch_job_lifecycle() {
+        let (mut grid, _cred, proxy) = setup();
+        let h = grid
+            .gram_submit("kraken", &proxy, sleep_spec("a", 30.0, GramService::Batch))
+            .unwrap();
+        assert_eq!(
+            grid.gram_status("kraken", &proxy, &h).unwrap(),
+            GramState::Active
+        );
+        grid.advance(SimDuration::from_minutes(15.0));
+        assert_eq!(
+            grid.gram_status("kraken", &proxy, &h).unwrap(),
+            GramState::Active
+        );
+        grid.advance(SimDuration::from_minutes(20.0));
+        assert_eq!(
+            grid.gram_status("kraken", &proxy, &h).unwrap(),
+            GramState::Done
+        );
+        let times = grid.job_times("kraken", &h).unwrap();
+        assert_eq!(times.run().unwrap().as_minutes(), 30.0);
+        assert_eq!(times.wait().unwrap(), SimDuration::ZERO);
+        assert!(grid.site("kraken").unwrap().fs.exists("scratch/a/done.txt"));
+    }
+
+    #[test]
+    fn fork_job_runs_despite_busy_queue() {
+        let (mut grid, _cred, proxy) = setup();
+        // saturate the machine
+        let mut big = sleep_spec("big", 60.0, GramService::Batch);
+        big.cores = kraken().cores;
+        grid.gram_submit("kraken", &proxy, big).unwrap();
+        let mut fork = sleep_spec("pre", 0.5, GramService::Fork);
+        fork.cores = 0;
+        let h = grid.gram_submit("kraken", &proxy, fork).unwrap();
+        grid.advance(SimDuration::from_minutes(2.0));
+        assert_eq!(
+            grid.gram_status("kraken", &proxy, &h).unwrap(),
+            GramState::Done
+        );
+    }
+
+    #[test]
+    fn gridftp_staging_roundtrip() {
+        let (mut grid, _cred, proxy) = setup();
+        let stats = grid
+            .ftp_put("kraken", &proxy, "scratch/in.txt", b"observables".to_vec())
+            .unwrap();
+        assert_eq!(stats.bytes, 11);
+        assert!(stats.duration.as_secs() >= 2);
+        let (data, _) = grid.ftp_get("kraken", &proxy, "scratch/in.txt").unwrap();
+        assert_eq!(data, b"observables");
+        assert!(matches!(
+            grid.ftp_get("kraken", &proxy, "missing"),
+            Err(GridError::NoSuchFile { .. })
+        ));
+        // directory listing
+        grid.ftp_put("kraken", &proxy, "scratch/out.txt", vec![1]).unwrap();
+        let listing = grid.ftp_list("kraken", &proxy, "scratch").unwrap();
+        assert_eq!(listing.len(), 2);
+        assert!(grid.ftp_list("kraken", &proxy, "empty").unwrap().is_empty());
+        // listing is permission-gated like any GridFTP call
+        let mallory = CommunityCredential::new("/CN=m");
+        let fake = mallory.issue_proxy("m", grid.now(), SimDuration::from_hours(1.0));
+        assert!(grid.ftp_list("kraken", &fake, "scratch").is_err());
+    }
+
+    #[test]
+    fn outage_blocks_then_recovers() {
+        let (mut grid, _cred, proxy) = setup();
+        grid.faults.add_outage(
+            "kraken",
+            Service::Gram,
+            SimTime(0),
+            SimTime(600),
+        );
+        let err = grid
+            .gram_submit("kraken", &proxy, sleep_spec("a", 5.0, GramService::Batch))
+            .unwrap_err();
+        assert!(err.is_transient());
+        // GridFTP unaffected by a GRAM-only outage
+        assert!(grid.ftp_put("kraken", &proxy, "x", vec![1]).is_ok());
+        grid.advance(SimDuration::from_secs(700));
+        assert!(grid
+            .gram_submit("kraken", &proxy, sleep_spec("a", 5.0, GramService::Batch))
+            .is_ok());
+    }
+
+    #[test]
+    fn expired_or_foreign_proxy_rejected() {
+        let (mut grid, cred, _) = setup();
+        let short = cred.issue_proxy("astro1", SimTime(0), SimDuration::from_secs(10));
+        grid.advance(SimDuration::from_secs(60));
+        assert!(matches!(
+            grid.gram_submit("kraken", &short, sleep_spec("a", 5.0, GramService::Batch)),
+            Err(GridError::CredentialExpired { .. })
+        ));
+        let mallory = CommunityCredential::new("/CN=mallory");
+        let fake = mallory.issue_proxy("astro1", grid.now(), SimDuration::from_hours(1.0));
+        assert!(matches!(
+            grid.gram_submit("kraken", &fake, sleep_spec("a", 5.0, GramService::Batch)),
+            Err(GridError::NotAuthorized { .. })
+        ));
+    }
+
+    #[test]
+    fn unauthorized_site_rejected() {
+        let (mut grid, cred, proxy) = setup();
+        grid.add_site(lonestar());
+        grid.install_app("lonestar", "sleep", Arc::new(SleepApp));
+        // community account not yet enabled on lonestar
+        assert!(matches!(
+            grid.gram_submit("lonestar", &proxy, sleep_spec("a", 5.0, GramService::Batch)),
+            Err(GridError::NotAuthorized { .. })
+        ));
+        grid.authorize("lonestar", &cred);
+        assert!(grid
+            .gram_submit("lonestar", &proxy, sleep_spec("a", 5.0, GramService::Batch))
+            .is_ok());
+    }
+
+    #[test]
+    fn audit_attributes_every_call() {
+        let (mut grid, cred, proxy) = setup();
+        let proxy2 = cred.issue_proxy("astro2", grid.now(), SimDuration::from_hours(10.0));
+        grid.gram_submit("kraken", &proxy, sleep_spec("a", 5.0, GramService::Batch))
+            .unwrap();
+        grid.ftp_put("kraken", &proxy2, "f", vec![0]).unwrap();
+        assert!(grid.audit().fully_attributed());
+        assert_eq!(grid.audit().by_user("astro1").count(), 1);
+        assert_eq!(grid.audit().by_user("astro2").count(), 1);
+    }
+
+    #[test]
+    fn dependencies_via_handles() {
+        let (mut grid, _cred, proxy) = setup();
+        let a = grid
+            .gram_submit("kraken", &proxy, sleep_spec("a", 10.0, GramService::Batch))
+            .unwrap();
+        let mut chained = sleep_spec("b", 10.0, GramService::Batch);
+        chained.depends_on = vec![a.clone()];
+        let b = grid.gram_submit("kraken", &proxy, chained).unwrap();
+        // b pends until a completes even though cores are free
+        assert_eq!(
+            grid.gram_status("kraken", &proxy, &b).unwrap(),
+            GramState::Pending
+        );
+        grid.advance(SimDuration::from_minutes(25.0));
+        assert_eq!(
+            grid.gram_status("kraken", &proxy, &b).unwrap(),
+            GramState::Done
+        );
+        let ta = grid.job_times("kraken", &a).unwrap();
+        let tb = grid.job_times("kraken", &b).unwrap();
+        assert!(tb.started_at.unwrap() >= ta.ended_at.unwrap());
+    }
+
+    #[test]
+    fn cross_site_dependency_rejected() {
+        let (mut grid, cred, proxy) = setup();
+        grid.add_site(lonestar());
+        grid.authorize("lonestar", &cred);
+        grid.install_app("lonestar", "sleep", Arc::new(SleepApp));
+        let a = grid
+            .gram_submit("kraken", &proxy, sleep_spec("a", 5.0, GramService::Batch))
+            .unwrap();
+        let mut b = sleep_spec("b", 5.0, GramService::Batch);
+        b.depends_on = vec![a];
+        assert!(matches!(
+            grid.gram_submit("lonestar", &proxy, b),
+            Err(GridError::BadDependency(_))
+        ));
+    }
+
+    #[test]
+    fn background_load_creates_queue_wait() {
+        let mut grid = Grid::new();
+        let mut profile = lonestar();
+        profile.background_utilization = 0.9;
+        grid.add_site_with_background(profile, 1234);
+        grid.install_app("lonestar", "sleep", Arc::new(SleepApp));
+        let cred = CommunityCredential::new("/CN=amp");
+        grid.authorize("lonestar", &cred);
+        let proxy = cred.issue_proxy("astro1", grid.now(), SimDuration::from_hours(10_000.0));
+        // let the machine fill up
+        grid.advance(SimDuration::from_hours(48.0));
+        let util = grid.site("lonestar").unwrap().scheduler.utilization();
+        assert!(util > 0.5, "utilization {util}");
+        let mut spec = sleep_spec("ga", 60.0, GramService::Batch);
+        spec.cores = 2048;
+        let h = grid.gram_submit("lonestar", &proxy, spec).unwrap();
+        grid.advance(SimDuration::from_hours(72.0));
+        let times = grid.job_times("lonestar", &h).unwrap();
+        assert_eq!(times.state, GramState::Done);
+        assert!(
+            times.wait().unwrap() > SimDuration::ZERO,
+            "expected queue wait on an oversubscribed machine"
+        );
+    }
+
+    #[test]
+    fn submit_unknown_executable_rejected() {
+        let (mut grid, _cred, proxy) = setup();
+        let mut spec = sleep_spec("a", 5.0, GramService::Batch);
+        spec.executable = "missing".into();
+        assert!(matches!(
+            grid.gram_submit("kraken", &proxy, spec),
+            Err(GridError::NoSuchApplication { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_via_gram() {
+        let (mut grid, _cred, proxy) = setup();
+        let h = grid
+            .gram_submit("kraken", &proxy, sleep_spec("a", 30.0, GramService::Batch))
+            .unwrap();
+        grid.advance(SimDuration::from_minutes(5.0));
+        grid.gram_cancel("kraken", &proxy, &h).unwrap();
+        assert!(matches!(
+            grid.gram_status("kraken", &proxy, &h).unwrap(),
+            GramState::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn clock_advances_even_with_no_events() {
+        let mut grid = Grid::new();
+        grid.advance(SimDuration::from_hours(5.0));
+        assert_eq!(grid.now().as_hours(), 5.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! The GridAMP daemon process.
+//!
+//! §4.4: the daemon "reads simulation information from the centralized
+//! database, performs the necessary grid client actions, and updates the
+//! database accordingly". Each tick it (1) polls the status of every grid
+//! job generically — "no special callbacks or processing are performed as
+//! part of the grid job status update procedure" — then (2) steps each
+//! simulation's workflow from its last-known job statuses, and (3) handles
+//! the failure taxonomy: silent retry for transients, HOLD + notification
+//! for model failures, and an externally monitored heartbeat for daemon
+//! failures.
+
+use std::collections::HashMap;
+
+use amp_core::models::{AmpUser, GridJobRecord, Notification, NotifyMode, Simulation};
+use amp_core::status::{JobStatus, SimStatus};
+use amp_grid::{CommunityCredential, GramJobHandle, GramState, Grid, SimDuration};
+use amp_simdb::orm::Manager;
+use amp_simdb::{Connection, Db, DbError, Op, Query, Value};
+
+use crate::clilog::{gram_status_cmdline, OpOutcome, OpsEntry, OpsLog};
+use crate::error::WorkflowError;
+use crate::workflow::{owner_username, step, DaemonConfig, StageCtx};
+
+/// Summary of one daemon tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickReport {
+    pub jobs_polled: usize,
+    pub job_transitions: usize,
+    pub sims_stepped: usize,
+    /// (simulation id, from, to) workflow transitions this tick.
+    pub transitions: Vec<(i64, SimStatus, SimStatus)>,
+    pub transient_errors: usize,
+    pub new_holds: usize,
+    /// Daemon-class failures (surfaced to the external monitor).
+    pub daemon_errors: Vec<String>,
+}
+
+/// The workflow daemon.
+pub struct GridAmp {
+    db: Db,
+    conn: Connection,
+    pub config: DaemonConfig,
+    cred: CommunityCredential,
+    /// Consecutive transient-failure count per simulation.
+    transient_streak: HashMap<i64, u32>,
+    /// Simulated time of the last completed tick (heartbeat).
+    pub last_heartbeat: Option<i64>,
+    /// §4.4: the command-line transparency log.
+    ops_log: OpsLog,
+}
+
+impl GridAmp {
+    /// Connect to the central database with the daemon role.
+    pub fn new(db: &Db, config: DaemonConfig) -> Result<Self, DbError> {
+        let conn = db.connect(amp_core::roles::ROLE_DAEMON)?;
+        Ok(GridAmp {
+            db: db.clone(),
+            conn,
+            config,
+            cred: CommunityCredential::new("/C=US/O=NCAR/CN=amp community"),
+            transient_streak: HashMap::new(),
+            last_heartbeat: None,
+            ops_log: OpsLog::new(),
+        })
+    }
+
+    /// The operations log: every grid call with its Globus-CLI-equivalent
+    /// command line, failures highlighted (§4.4).
+    pub fn ops_log(&self) -> &OpsLog {
+        &self.ops_log
+    }
+
+    /// The community credential (so tests/benches can authorize sites).
+    pub fn credential(&self) -> &CommunityCredential {
+        &self.cred
+    }
+
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    fn sims(&self) -> Manager<Simulation> {
+        Manager::new(self.conn.clone())
+    }
+
+    fn jobs(&self) -> Manager<GridJobRecord> {
+        Manager::new(self.conn.clone())
+    }
+
+    fn notifications(&self) -> Manager<Notification> {
+        Manager::new(self.conn.clone())
+    }
+
+    fn notify_user(&self, sim: &Simulation, subject: &str, body: &str, now: i64) {
+        let mut n = Notification::to_user(sim.owner_id, sim.id, subject, body, now);
+        let _ = self.notifications().create(&mut n);
+    }
+
+    fn notify_admins(&self, sim_id: Option<i64>, subject: &str, body: &str, now: i64) {
+        let mut n = Notification::to_admins(sim_id, subject, body, now);
+        let _ = self.notifications().create(&mut n);
+    }
+
+    /// One daemon cycle.
+    pub fn tick(&mut self, grid: &mut Grid) -> TickReport {
+        let mut report = TickReport::default();
+        self.poll_jobs(grid, &mut report);
+        self.step_simulations(grid, &mut report);
+        self.last_heartbeat = Some(grid.now().as_secs() as i64);
+        report
+    }
+
+    /// Phase 1: generic grid-job status update (identical for all jobs
+    /// "regardless of purpose or execution method", §4.4).
+    fn poll_jobs(&mut self, grid: &mut Grid, report: &mut TickReport) {
+        let pending = match self.jobs().filter(&Query::new().filter(
+            "status",
+            Op::In(vec![
+                Value::Text(JobStatus::Pending.as_str().into()),
+                Value::Text(JobStatus::Active.as_str().into()),
+            ]),
+            Value::Null,
+        )) {
+            Ok(v) => v,
+            Err(e) => {
+                report.daemon_errors.push(e.to_string());
+                return;
+            }
+        };
+        let now = grid.now();
+        for mut job in pending {
+            let Some(handle_str) = job.gram_handle.clone() else {
+                continue;
+            };
+            let handle = GramJobHandle(handle_str);
+            let username = self
+                .sims()
+                .get(job.simulation_id)
+                .ok()
+                .and_then(|s| owner_username(&self.conn, &s).ok())
+                .unwrap_or_else(|| "amp-gateway".to_string());
+            let proxy = self.cred.issue_proxy(
+                &username,
+                now,
+                SimDuration::from_hours(self.config.proxy_lifetime_hours),
+            );
+            report.jobs_polled += 1;
+            match grid.gram_status(&job.site, &proxy, &handle) {
+                Ok(state) => {
+                    let new_status = match &state {
+                        GramState::Pending => JobStatus::Pending,
+                        GramState::Active => JobStatus::Active,
+                        GramState::Done => JobStatus::Done,
+                        GramState::Failed(m) => {
+                            job.detail = m.clone();
+                            JobStatus::Failed
+                        }
+                    };
+                    if new_status != job.status {
+                        job.status = new_status;
+                        if let Some(times) = grid.job_times(&job.site, &handle) {
+                            job.started_at = times.started_at.map(|t| t.as_secs() as i64);
+                            job.ended_at = times.ended_at.map(|t| t.as_secs() as i64);
+                        }
+                        if self.jobs().save(&job).is_ok() {
+                            report.job_transitions += 1;
+                        }
+                    }
+                }
+                Err(e) if e.is_transient() => {
+                    report.transient_errors += 1;
+                    // Anticipated transient: administrators notified, the
+                    // user-visible display annotated, processing retried.
+                    self.ops_log.record(OpsEntry {
+                        at: now.as_secs() as i64,
+                        simulation_id: Some(job.simulation_id),
+                        command: gram_status_cmdline(&handle.0),
+                        outcome: OpOutcome::Transient(e.to_string()),
+                    });
+                    job.detail = format!("transient: {e}");
+                    let _ = self.jobs().save(&job);
+                }
+                Err(e) => {
+                    job.status = JobStatus::Failed;
+                    job.detail = e.to_string();
+                    let _ = self.jobs().save(&job);
+                    report.job_transitions += 1;
+                }
+            }
+        }
+    }
+
+    /// Phase 2: step every live simulation's workflow.
+    fn step_simulations(&mut self, grid: &mut Grid, report: &mut TickReport) {
+        let live = match self.sims().filter(&Query::new().filter(
+            "status",
+            Op::In(
+                SimStatus::happy_path()
+                    .iter()
+                    .filter(|s| !s.is_terminal())
+                    .map(|s| Value::Text(s.as_str().into()))
+                    .collect(),
+            ),
+            Value::Null,
+        )) {
+            Ok(v) => v,
+            Err(e) => {
+                report.daemon_errors.push(e.to_string());
+                return;
+            }
+        };
+
+        for mut sim in live {
+            let sim_id = sim.id.expect("saved sim");
+            report.sims_stepped += 1;
+            let username = match owner_username(&self.conn, &sim) {
+                Ok(u) => u,
+                Err(e) => {
+                    report.daemon_errors.push(e.to_string());
+                    continue;
+                }
+            };
+            let from = sim.status;
+            let outcome = {
+                let mut ctx = StageCtx {
+                    grid,
+                    conn: &self.conn,
+                    config: &self.config,
+                    cred: &self.cred,
+                    sim: &mut sim,
+                    owner_username: username,
+                    ops: &mut self.ops_log,
+                };
+                step(&mut ctx)
+            };
+            let now = grid.now().as_secs() as i64;
+            match outcome {
+                Ok(Some(next)) => {
+                    self.transient_streak.remove(&sim_id);
+                    sim.status_message.clear();
+                    if self.sims().save(&sim).is_err() {
+                        continue;
+                    }
+                    report.transitions.push((sim_id, from, next));
+                    self.send_transition_mail(&sim, from, next, now);
+                }
+                Ok(None) => {
+                    self.transient_streak.remove(&sim_id);
+                    let _ = self.sims().save(&sim);
+                }
+                Err(WorkflowError::Transient(msg)) => {
+                    report.transient_errors += 1;
+                    let streak = {
+                        let s = self.transient_streak.entry(sim_id).or_insert(0);
+                        *s += 1;
+                        *s
+                    };
+                    // Silent for users; a plain-text note on the status
+                    // display and an admin notification on first sight.
+                    sim.status_message = msg.clone();
+                    let _ = self.sims().save(&sim);
+                    if streak == 1 {
+                        self.notify_admins(
+                            Some(sim_id),
+                            "transient grid failure",
+                            &msg,
+                            now,
+                        );
+                    }
+                    if streak > self.config.max_transient_retries {
+                        self.hold(&mut sim, &format!("transient storm: {msg}"), now, report);
+                    }
+                }
+                Err(WorkflowError::ModelFailure(msg)) => {
+                    self.hold(&mut sim, &msg, now, report);
+                }
+                Err(WorkflowError::Daemon(msg)) => {
+                    report.daemon_errors.push(format!("sim {sim_id}: {msg}"));
+                }
+            }
+        }
+    }
+
+    /// Park a simulation in the hold state (§4.4 model-failure handling).
+    fn hold(&mut self, sim: &mut Simulation, msg: &str, now: i64, report: &mut TickReport) {
+        sim.held_from = Some(sim.status.as_str().to_string());
+        sim.status = SimStatus::Hold;
+        sim.status_message = msg.to_string();
+        if self.sims().save(sim).is_ok() {
+            report.new_holds += 1;
+            let sim_id = sim.id.expect("saved");
+            self.transient_streak.remove(&sim_id);
+            self.notify_user(
+                sim,
+                "simulation needs attention",
+                "Your simulation hit a processing problem; AMP staff are investigating.",
+                now,
+            );
+            self.notify_admins(Some(sim_id), "model failure (HOLD)", msg, now);
+        }
+    }
+
+    /// Administrator action: resume a held simulation from the state it
+    /// was in ("once the problem has been resolved, the workflow resumes
+    /// automatically", §4.4).
+    pub fn resume_from_hold(&mut self, sim_id: i64) -> Result<SimStatus, DbError> {
+        let mut sim = self.sims().get(sim_id)?;
+        if sim.status != SimStatus::Hold {
+            return Err(DbError::Schema(format!(
+                "simulation {sim_id} is not held (status {})",
+                sim.status
+            )));
+        }
+        let resume_to: SimStatus = sim
+            .held_from
+            .as_deref()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(SimStatus::Queued);
+        sim.status = resume_to;
+        sim.held_from = None;
+        sim.status_message = "resumed by administrator".to_string();
+        self.sims().save(&sim)?;
+        Ok(resume_to)
+    }
+
+    fn send_transition_mail(&self, sim: &Simulation, from: SimStatus, to: SimStatus, now: i64) {
+        let users = Manager::<AmpUser>::new(self.conn.clone());
+        let Ok(owner) = users.get(sim.owner_id) else {
+            return;
+        };
+        match owner.notify_mode {
+            NotifyMode::None => {}
+            NotifyMode::OnCompletion => {
+                if to == SimStatus::Done {
+                    self.notify_user(
+                        sim,
+                        "simulation complete",
+                        "Your AMP simulation has completed; results are on the website.",
+                        now,
+                    );
+                }
+            }
+            NotifyMode::EveryTransition => {
+                self.notify_user(
+                    sim,
+                    &format!("simulation {from} -> {to}"),
+                    &format!("Your AMP simulation moved from {from} to {to}."),
+                    now,
+                );
+            }
+        }
+    }
+
+    /// Convenience driver: tick, advance simulated time by the poll
+    /// interval, repeat — until every simulation is terminal (DONE or
+    /// HOLD) or `max_sim_hours` of simulated time elapse. Returns the
+    /// number of ticks executed.
+    pub fn run_until_settled(&mut self, grid: &mut Grid, max_sim_hours: f64) -> usize {
+        let deadline = grid.now() + SimDuration::from_hours(max_sim_hours);
+        let mut ticks = 0;
+        loop {
+            self.tick(grid);
+            ticks += 1;
+            let all_settled = self
+                .sims()
+                .all()
+                .map(|sims| {
+                    sims.iter().all(|s| {
+                        matches!(s.status, SimStatus::Done | SimStatus::Hold)
+                    })
+                })
+                .unwrap_or(true);
+            if all_settled || grid.now() >= deadline {
+                return ticks;
+            }
+            grid.advance(SimDuration::from_secs(self.config.poll_interval_secs));
+        }
+    }
+}
+
+/// The external daemon monitor (§4.4: "failures of the GridAMP daemon
+/// itself are monitored externally and immediately brought to the
+/// attention of the gateway administrators").
+pub struct DaemonMonitor {
+    /// Longest acceptable heartbeat silence, simulated seconds.
+    pub max_silence_secs: i64,
+}
+
+impl DaemonMonitor {
+    /// True if the daemon looks alive at `now`.
+    pub fn healthy(&self, daemon: &GridAmp, now: i64) -> bool {
+        match daemon.last_heartbeat {
+            Some(hb) => now - hb <= self.max_silence_secs,
+            None => false,
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The direct-model-run derived workflow (§2: "trivial to configure and
+//! execute: five floating-point parameters as input, 10–15 minutes on a
+//! single processor, a few kilobytes of output").
+//!
+//! Per the paper's design, this module contains *only* the job-definition
+//! and postprocessing code; everything else lives in the base workflow.
+
+use amp_core::marshal;
+use amp_core::SimPayload;
+use amp_core::status::{JobPurpose, JobStatus};
+use amp_stellar::ModelOutput;
+
+use crate::apps::{files, paths};
+use crate::error::WorkflowError;
+use crate::workflow::StageCtx;
+
+fn params_of(ctx: &StageCtx<'_>) -> Result<amp_stellar::StellarParams, WorkflowError> {
+    match ctx
+        .sim
+        .payload()
+        .map_err(|e| WorkflowError::ModelFailure(e.to_string()))?
+    {
+        SimPayload::Direct { params } => Ok(params),
+        _ => Err(WorkflowError::Daemon(
+            "direct workflow on non-direct simulation".into(),
+        )),
+    }
+}
+
+/// Stage the parameter file and submit the single-processor model job.
+pub fn submit_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    if !ctx.jobs_of(JobPurpose::Work)?.is_empty() {
+        return Ok(true); // already submitted (retried transition)
+    }
+    let params = params_of(ctx)?;
+    let workdir = format!("{}/direct", ctx.workdir());
+    ctx.stage_in(
+        &format!("{workdir}/{}", files::PARAMS_IN),
+        marshal::generate_params_file(&params),
+    )?;
+    ctx.submit_batch(
+        JobPurpose::Work,
+        -1,
+        0,
+        paths::ASTEC,
+        vec![],
+        1,
+        workdir,
+        vec![],
+    )?;
+    Ok(true)
+}
+
+/// Wait for the model job; failure is a model failure.
+pub fn check_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let Some(job) = ctx.jobs_of(JobPurpose::Work)?.into_iter().next() else {
+        // No job on record (e.g. an administrator deleted a failed one
+        // while the simulation was held): resubmit and keep waiting.
+        submit_work(ctx)?;
+        return Ok(false);
+    };
+    match job.status {
+        JobStatus::Done => {
+            ctx.sim.progress = 1.0;
+            Ok(true)
+        }
+        JobStatus::Failed => Err(WorkflowError::ModelFailure(job.detail)),
+        JobStatus::Active => {
+            ctx.sim.progress = 0.5;
+            Ok(false)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Pull the consolidated tar and extract the model output.
+pub fn postprocess(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let tar = ctx.stage_out(&format!("{}/{}", ctx.workdir(), files::RESULTS_TAR))?;
+    let entries = amp_grid::SiteFs::untar(&tar)
+        .map_err(|e| WorkflowError::ModelFailure(format!("corrupt results tar: {e}")))?;
+    let out_path = format!("{}/direct/{}", ctx.workdir(), files::MODEL_OUT);
+    let data = entries
+        .iter()
+        .find(|(p, _)| *p == out_path)
+        .map(|(_, d)| d)
+        .ok_or_else(|| {
+            // "the absence of a mandatory output file" is the paper's
+            // canonical model failure (§4.4)
+            WorkflowError::ModelFailure(format!("mandatory output {out_path} missing"))
+        })?;
+    let output: ModelOutput = serde_json::from_slice(data).map_err(|e| {
+        WorkflowError::ModelFailure(format!("result failed to parse: {e}"))
+    })?;
+    ctx.sim.result_json =
+        Some(serde_json::to_string(&output).expect("model output serializes"));
+    Ok(true)
+}

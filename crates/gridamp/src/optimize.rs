@@ -1,0 +1,334 @@
+//! The optimization-run derived workflow — Figure 1's ensemble.
+//!
+//! Four independent GA runs execute in parallel, each as a chain of
+//! walltime-limited jobs propagated by restart files; when all converge,
+//! the best candidate gets a solution-evaluation detail run (§2). "The
+//! most complex portion of the workflow is downloading and interpreting
+//! partial result files" (§5) — that is [`check_work`].
+
+use amp_core::marshal;
+use amp_core::models::Observation;
+use amp_core::SimPayload;
+use amp_core::status::{JobPurpose, JobStatus};
+use amp_core::OptimizationSpec;
+use amp_ga::Checkpoint;
+use amp_grid::{GramJobHandle, GridError, SiteFs};
+use amp_simdb::orm::Manager;
+use amp_stellar::ModelOutput;
+use serde::{Deserialize, Serialize};
+
+use crate::apps::{files, paths, GaRunResult};
+use crate::error::WorkflowError;
+use crate::workflow::StageCtx;
+
+/// The final payload stored on the simulation row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationResult {
+    /// Best-of-ensemble GA candidate.
+    pub best: GaRunResult,
+    /// Solution-evaluation detail run of that candidate.
+    pub detail: ModelOutput,
+    /// Every run's converged result (optimality confidence, §2).
+    pub runs: Vec<GaRunResult>,
+}
+
+fn spec_of(ctx: &StageCtx<'_>) -> Result<(OptimizationSpec, i64), WorkflowError> {
+    match ctx
+        .sim
+        .payload()
+        .map_err(|e| WorkflowError::ModelFailure(e.to_string()))?
+    {
+        SimPayload::Optimization {
+            spec,
+            observation_id,
+        } => Ok((spec, observation_id)),
+        _ => Err(WorkflowError::Daemon(
+            "optimization workflow on non-optimization simulation".into(),
+        )),
+    }
+}
+
+fn run_dir(ctx: &StageCtx<'_>, run: u32) -> String {
+    format!("{}/run{run}", ctx.workdir())
+}
+
+fn ga_args(spec: &OptimizationSpec, run: u32) -> Vec<String> {
+    vec![
+        spec.population.to_string(),
+        spec.generations.to_string(),
+        (spec.seed + run as u64).to_string(),
+    ]
+}
+
+/// Expected jobs per GA run when chaining (§6): total GA time over the
+/// per-job walltime budget, plus one for safety.
+fn chain_length(ctx: &StageCtx<'_>, spec: &OptimizationSpec) -> i64 {
+    let bench = ctx
+        .grid
+        .site(&ctx.sim.system)
+        .map(|s| s.profile.model_benchmark_minutes)
+        .unwrap_or(20.0);
+    let total_minutes = bench * (spec.generations as f64 + 1.0) * 1.1;
+    let budget = ctx.config.work_walltime_hours * 60.0 * 0.97;
+    (total_minutes / budget).ceil() as i64 + 1
+}
+
+/// Fetch a remote file, mapping "no such file" to `None` (an expected
+/// outcome while a run has not converged) and transients to retry.
+fn try_stage_out(ctx: &mut StageCtx<'_>, path: &str) -> Result<Option<Vec<u8>>, WorkflowError> {
+    let proxy = ctx.proxy();
+    match ctx.grid.ftp_get(&ctx.sim.system, &proxy, path) {
+        Ok((data, _)) => Ok(Some(data)),
+        Err(GridError::NoSuchFile { .. }) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Stage observations and launch the ensemble (one chain per GA run).
+pub fn submit_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    if !ctx.jobs_of(JobPurpose::Work)?.is_empty() {
+        return Ok(true);
+    }
+    let (spec, observation_id) = spec_of(ctx)?;
+    let observations = Manager::<Observation>::new(ctx.conn.clone());
+    let obs = observations
+        .get(observation_id)?
+        .observed()
+        .map_err(|e| WorkflowError::ModelFailure(e.to_string()))?;
+    let obs_text = marshal::generate_observation_file(&obs);
+
+    for r in 0..spec.ga_runs {
+        let dir = run_dir(ctx, r);
+        ctx.stage_in(&format!("{dir}/{}", files::OBS_IN), obs_text.clone())?;
+        if ctx.config.job_chaining {
+            // §6: submit the whole continuation chain up-front with
+            // scheduler dependencies so the queue waits overlap.
+            let k = chain_length(ctx, &spec);
+            let mut prev: Option<GramJobHandle> = None;
+            for c in 0..k {
+                let deps = prev.iter().cloned().collect();
+                let rec = ctx.submit_batch(
+                    JobPurpose::Work,
+                    r as i64,
+                    c,
+                    paths::MPIKAIA,
+                    ga_args(&spec, r),
+                    spec.cores_per_run,
+                    dir.clone(),
+                    deps,
+                )?;
+                prev = rec.gram_handle.clone().map(GramJobHandle);
+            }
+        } else {
+            ctx.submit_batch(
+                JobPurpose::Work,
+                r as i64,
+                0,
+                paths::MPIKAIA,
+                ga_args(&spec, r),
+                spec.cores_per_run,
+                dir.clone(),
+                vec![],
+            )?;
+        }
+    }
+    Ok(true)
+}
+
+/// Interpret partial results, submit continuations, and run the solution
+/// evaluation once every GA run has converged.
+pub fn check_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let (spec, _) = spec_of(ctx)?;
+    let work = ctx.jobs_of(JobPurpose::Work)?;
+    if work.is_empty() {
+        // Records wiped during an administrator hold-fix: resubmit.
+        submit_work(ctx)?;
+        return Ok(false);
+    }
+
+    let mut progress_sum = 0.0;
+    let mut all_converged = true;
+    for r in 0..spec.ga_runs {
+        let run_jobs: Vec<_> = work.iter().filter(|j| j.ga_run == r as i64).collect();
+        let Some(last) = run_jobs.last() else {
+            all_converged = false;
+            continue;
+        };
+        let chain_settled = run_jobs.iter().all(|j| {
+            j.status.is_terminal()
+        });
+
+        // Converged as soon as a final.json exists remotely.
+        let dir = run_dir(ctx, r);
+        let final_path = format!("{dir}/{}", files::FINAL);
+        if try_stage_out(ctx, &final_path)?.is_some() {
+            progress_sum += 1.0;
+            continue;
+        }
+        all_converged = false;
+
+        match last.status {
+            JobStatus::Unsubmitted | JobStatus::Pending | JobStatus::Active => {
+                // Partial progress from the last *finished* continuation.
+                progress_sum += run_progress(ctx, &dir, &spec)?;
+            }
+            JobStatus::Done => {
+                progress_sum += run_progress(ctx, &dir, &spec)?;
+                if chain_settled {
+                    // Chain exhausted without convergence: extend it.
+                    let next = last.continuation + 1;
+                    ctx.submit_batch(
+                        JobPurpose::Work,
+                        r as i64,
+                        next,
+                        paths::MPIKAIA,
+                        ga_args(&spec, r),
+                        spec.cores_per_run,
+                        dir.clone(),
+                        vec![],
+                    )?;
+                }
+            }
+            JobStatus::Failed => {
+                if last.detail.contains("walltime") {
+                    // Killed at the limit; the restart file survives —
+                    // submit the continuation.
+                    progress_sum += run_progress(ctx, &dir, &spec)?;
+                    if chain_settled {
+                        let next = last.continuation + 1;
+                        ctx.submit_batch(
+                            JobPurpose::Work,
+                            r as i64,
+                            next,
+                            paths::MPIKAIA,
+                            ga_args(&spec, r),
+                            spec.cores_per_run,
+                            dir.clone(),
+                            vec![],
+                        )?;
+                    }
+                } else {
+                    return Err(WorkflowError::ModelFailure(format!(
+                        "GA run {r} failed: {}",
+                        last.detail
+                    )));
+                }
+            }
+        }
+    }
+    ctx.sim.progress = (progress_sum / spec.ga_runs as f64).clamp(0.0, 0.99);
+
+    if !all_converged {
+        return Ok(false);
+    }
+
+    // Solution evaluation (§2: "the best solution is evaluated using the
+    // forward model to produce detailed output").
+    let solution = ctx.jobs_of(JobPurpose::SolutionEvaluation)?;
+    match solution.first().map(|j| j.status) {
+        None => {
+            let best = best_of_ensemble(ctx, &spec)?;
+            let dir = format!("{}/solution", ctx.workdir());
+            ctx.stage_in(
+                &format!("{dir}/{}", files::PARAMS_IN),
+                marshal::generate_params_file(&best.best_params),
+            )?;
+            ctx.submit_batch(
+                JobPurpose::SolutionEvaluation,
+                -1,
+                0,
+                paths::ASTEC,
+                vec![],
+                1,
+                dir,
+                vec![],
+            )?;
+            Ok(false)
+        }
+        Some(JobStatus::Done) => Ok(true),
+        Some(JobStatus::Failed) => Err(WorkflowError::ModelFailure(format!(
+            "solution evaluation failed: {}",
+            solution[0].detail
+        ))),
+        Some(_) => Ok(false),
+    }
+}
+
+/// Progress of one GA run from its last staged-out restart file.
+fn run_progress(
+    ctx: &mut StageCtx<'_>,
+    dir: &str,
+    _spec: &OptimizationSpec,
+) -> Result<f64, WorkflowError> {
+    let restart_path = format!("{dir}/{}", files::RESTART);
+    match try_stage_out(ctx, &restart_path)? {
+        None => Ok(0.0), // nothing staged out yet
+        Some(raw) => {
+            let text = String::from_utf8_lossy(&raw);
+            let cp = Checkpoint::from_text(&text).map_err(|e| {
+                WorkflowError::ModelFailure(format!("restart failed to parse: {e}"))
+            })?;
+            Ok(cp.progress())
+        }
+    }
+}
+
+/// Fetch every run's final result and pick the fittest.
+fn best_of_ensemble(
+    ctx: &mut StageCtx<'_>,
+    spec: &OptimizationSpec,
+) -> Result<GaRunResult, WorkflowError> {
+    let mut best: Option<GaRunResult> = None;
+    for r in 0..spec.ga_runs {
+        let path = format!("{}/{}", run_dir(ctx, r), files::FINAL);
+        let data = try_stage_out(ctx, &path)?.ok_or_else(|| {
+            WorkflowError::ModelFailure(format!("run {r} final result vanished"))
+        })?;
+        let result: GaRunResult = serde_json::from_slice(&data).map_err(|e| {
+            WorkflowError::ModelFailure(format!("run {r} result failed to parse: {e}"))
+        })?;
+        best = match best {
+            Some(b) if b.best_fitness >= result.best_fitness => Some(b),
+            _ => Some(result),
+        };
+    }
+    best.ok_or_else(|| WorkflowError::Daemon("no GA runs in ensemble".into()))
+}
+
+/// Extract the ensemble's results from the consolidated tar.
+pub fn postprocess(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let (spec, _) = spec_of(ctx)?;
+    let tar = ctx.stage_out(&format!("{}/{}", ctx.workdir(), files::RESULTS_TAR))?;
+    let entries = SiteFs::untar(&tar)
+        .map_err(|e| WorkflowError::ModelFailure(format!("corrupt results tar: {e}")))?;
+    let find = |path: &str| -> Option<&Vec<u8>> {
+        entries.iter().find(|(p, _)| p == path).map(|(_, d)| d)
+    };
+
+    let detail_path = format!("{}/solution/{}", ctx.workdir(), files::MODEL_OUT);
+    let detail: ModelOutput = serde_json::from_slice(
+        find(&detail_path).ok_or_else(|| {
+            WorkflowError::ModelFailure(format!("mandatory output {detail_path} missing"))
+        })?,
+    )
+    .map_err(|e| WorkflowError::ModelFailure(format!("solution output: {e}")))?;
+
+    let mut runs = Vec::with_capacity(spec.ga_runs as usize);
+    for r in 0..spec.ga_runs {
+        let path = format!("{}/{}", run_dir(ctx, r), files::FINAL);
+        let result: GaRunResult = serde_json::from_slice(find(&path).ok_or_else(|| {
+            WorkflowError::ModelFailure(format!("run {r} final missing from tar"))
+        })?)
+        .map_err(|e| WorkflowError::ModelFailure(format!("run {r} result: {e}")))?;
+        runs.push(result);
+    }
+    let best = runs
+        .iter()
+        .max_by(|a, b| a.best_fitness.total_cmp(&b.best_fitness))
+        .cloned()
+        .ok_or_else(|| WorkflowError::Daemon("empty ensemble".into()))?;
+
+    let result = OptimizationResult { best, detail, runs };
+    ctx.sim.result_json = Some(serde_json::to_string(&result).expect("result serializes"));
+    Ok(true)
+}

@@ -1,0 +1,643 @@
+//! The Listing-1 workflow engine.
+//!
+//! The paper's entire workflow manager is a table from state to a list of
+//! functions plus the next state: "If the job is in a particular state,
+//! all of the functions in the subsequent list are called. If all return
+//! True, then the job is set to the indicated next state." This module is
+//! that table, verbatim:
+//!
+//! ```text
+//! QUEUED  : ([check_queued_sim, submit_pre_job],                 PREJOB)
+//! PREJOB  : ([check_pre_job,    submit_workjob],                 RUNNING)
+//! RUNNING : ([check_workjob,    submit_post_job],                POSTJOB)
+//! POSTJOB : ([check_post_job,   postprocess, submit_cleanup],    CLEANUP)
+//! CLEANUP : ([check_cleanup,    close_simulation],               DONE)
+//! ```
+//!
+//! The base stages here implement all routine functionality (queuing,
+//! stage-in/out, fork scripts); only `submit_workjob` / `check_workjob` /
+//! `postprocess` dispatch to the model-specific derived workflows
+//! ([`crate::direct`], [`crate::optimize`]) — the paper's
+//! inheritance-with-small-derived-classes design.
+
+use amp_core::models::{AmpUser, GridJobRecord, Simulation};
+use amp_core::status::{JobPurpose, JobStatus, SimStatus};
+use amp_core::SimKind;
+use amp_grid::{
+    CommunityCredential, GramJobHandle, GramJobSpec, GramService, Grid, ProxyCertificate,
+    SimDuration,
+};
+use amp_simdb::orm::Manager;
+use amp_simdb::{Connection, Op, Query, Value};
+
+use crate::apps::paths;
+use crate::clilog::{ftp_cmdline, gram_submit_cmdline, OpOutcome, OpsEntry, OpsLog};
+use crate::error::WorkflowError;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Target system (AMP's production target was Kraken).
+    pub site: String,
+    /// Walltime requested for model (batch) jobs — "usually 6 or 24
+    /// hours" (§6).
+    pub work_walltime_hours: f64,
+    /// Walltime for fork scripts.
+    pub fork_walltime_minutes: f64,
+    /// Proxy certificate lifetime.
+    pub proxy_lifetime_hours: f64,
+    /// §6 extension: submit continuation jobs up-front with scheduler
+    /// dependencies instead of sequentially after each completion.
+    pub job_chaining: bool,
+    /// Consecutive transient failures on one simulation before escalating
+    /// to HOLD (the paper retries indefinitely; a cap keeps tests finite).
+    pub max_transient_retries: u32,
+    /// Daemon poll interval in simulated seconds.
+    pub poll_interval_secs: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            site: "kraken".into(),
+            work_walltime_hours: 24.0,
+            fork_walltime_minutes: 10.0,
+            proxy_lifetime_hours: 12.0,
+            job_chaining: false,
+            max_transient_retries: 1_000,
+            poll_interval_secs: 300,
+        }
+    }
+}
+
+/// Everything a workflow stage function can touch.
+pub struct StageCtx<'a> {
+    pub grid: &'a mut Grid,
+    pub conn: &'a Connection,
+    pub config: &'a DaemonConfig,
+    pub cred: &'a CommunityCredential,
+    pub sim: &'a mut Simulation,
+    /// Username the proxy's SAML attribute carries (the sim owner).
+    pub owner_username: String,
+    /// The command-line transparency log (§4.4).
+    pub ops: &'a mut OpsLog,
+}
+
+impl StageCtx<'_> {
+    pub fn now(&self) -> i64 {
+        self.grid.now().as_secs() as i64
+    }
+
+    /// Fresh short-lived proxy attributed to the simulation owner
+    /// (GridShib SAML, §3).
+    pub fn proxy(&self) -> ProxyCertificate {
+        self.cred.issue_proxy(
+            &self.owner_username,
+            self.grid.now(),
+            SimDuration::from_hours(self.config.proxy_lifetime_hours),
+        )
+    }
+
+    /// Remote scratch root for this simulation.
+    pub fn workdir(&self) -> String {
+        format!("amp/sim{}", self.sim.id.expect("saved sim"))
+    }
+
+    pub fn jobs(&self) -> Manager<GridJobRecord> {
+        Manager::new(self.conn.clone())
+    }
+
+    pub fn sims(&self) -> Manager<Simulation> {
+        Manager::new(self.conn.clone())
+    }
+
+    /// All job records of one purpose for this simulation.
+    pub fn jobs_of(&self, purpose: JobPurpose) -> Result<Vec<GridJobRecord>, WorkflowError> {
+        Ok(self.jobs().filter(
+            &Query::new()
+                .eq("simulation_id", self.sim.id.expect("saved"))
+                .eq("purpose", purpose.as_str())
+                .order_by("ga_run")
+                .order_by("continuation"),
+        )?)
+    }
+
+    /// Submit a fork script job (idempotent: returns the existing record
+    /// if one was already submitted for this purpose).
+    pub fn submit_fork(
+        &mut self,
+        purpose: JobPurpose,
+        executable: &str,
+        args: Vec<String>,
+    ) -> Result<GridJobRecord, WorkflowError> {
+        if let Some(existing) = self.jobs_of(purpose)?.into_iter().next() {
+            if existing.gram_handle.is_some() {
+                return Ok(existing);
+            }
+        }
+        let workdir = self.workdir();
+        let spec = GramJobSpec {
+            service: GramService::Fork,
+            executable: executable.to_string(),
+            args,
+            workdir: workdir.clone(),
+            cores: 0,
+            walltime: SimDuration::from_minutes(self.config.fork_walltime_minutes),
+            depends_on: vec![],
+            name: format!("sim{}-{}", self.sim.id.expect("saved"), purpose.as_str()),
+        };
+        let proxy = self.proxy();
+        let handle = self.log_gram_submit(&proxy, spec)?;
+        let mut rec = GridJobRecord::new(
+            self.sim.id.expect("saved"),
+            -1,
+            purpose,
+            0,
+            &self.sim.system,
+            0,
+        );
+        rec.gram_handle = Some(handle.to_string());
+        rec.status = JobStatus::Pending;
+        rec.submitted_at = Some(self.now());
+        self.jobs().create(&mut rec)?;
+        Ok(rec)
+    }
+
+    /// Submit a batch model job and record it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_batch(
+        &mut self,
+        purpose: JobPurpose,
+        ga_run: i64,
+        continuation: i64,
+        executable: &str,
+        args: Vec<String>,
+        cores: u32,
+        workdir: String,
+        depends_on: Vec<GramJobHandle>,
+    ) -> Result<GridJobRecord, WorkflowError> {
+        let spec = GramJobSpec {
+            service: GramService::Batch,
+            executable: executable.to_string(),
+            args,
+            workdir,
+            cores,
+            walltime: SimDuration::from_hours(self.config.work_walltime_hours),
+            depends_on,
+            name: format!(
+                "sim{}-{}-r{}c{}",
+                self.sim.id.expect("saved"),
+                purpose.as_str(),
+                ga_run,
+                continuation
+            ),
+        };
+        let proxy = self.proxy();
+        let handle = self.log_gram_submit(&proxy, spec)?;
+        let mut rec = GridJobRecord::new(
+            self.sim.id.expect("saved"),
+            ga_run,
+            purpose,
+            continuation,
+            &self.sim.system,
+            cores as i64,
+        );
+        rec.gram_handle = Some(handle.to_string());
+        rec.status = JobStatus::Pending;
+        rec.submitted_at = Some(self.now());
+        self.jobs().create(&mut rec)?;
+        Ok(rec)
+    }
+
+    /// Submit via GRAM, recording the globusrun-equivalent command line
+    /// (§4.4's copy-paste troubleshooting log).
+    fn log_gram_submit(
+        &mut self,
+        proxy: &ProxyCertificate,
+        spec: GramJobSpec,
+    ) -> Result<GramJobHandle, WorkflowError> {
+        let command = gram_submit_cmdline(&self.sim.system, &spec);
+        let at = self.now();
+        let sim_id = self.sim.id;
+        match self.grid.gram_submit(&self.sim.system, proxy, spec) {
+            Ok(handle) => {
+                self.ops.record(OpsEntry {
+                    at,
+                    simulation_id: sim_id,
+                    command,
+                    outcome: OpOutcome::Ok,
+                });
+                Ok(handle)
+            }
+            Err(e) => {
+                let outcome = if e.is_transient() {
+                    OpOutcome::Transient(e.to_string())
+                } else {
+                    OpOutcome::Failed(e.to_string())
+                };
+                self.ops.record(OpsEntry {
+                    at,
+                    simulation_id: sim_id,
+                    command,
+                    outcome,
+                });
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Stage a text file to the remote system via GridFTP.
+    pub fn stage_in(&mut self, path: &str, content: String) -> Result<(), WorkflowError> {
+        let proxy = self.proxy();
+        let command = ftp_cmdline(&self.sim.system, true, "/var/amp/staging", path);
+        let at = self.now();
+        let sim_id = self.sim.id;
+        match self
+            .grid
+            .ftp_put(&self.sim.system, &proxy, path, content.into_bytes())
+        {
+            Ok(_) => {
+                self.ops.record(OpsEntry {
+                    at,
+                    simulation_id: sim_id,
+                    command,
+                    outcome: OpOutcome::Ok,
+                });
+                Ok(())
+            }
+            Err(e) => {
+                let outcome = if e.is_transient() {
+                    OpOutcome::Transient(e.to_string())
+                } else {
+                    OpOutcome::Failed(e.to_string())
+                };
+                self.ops.record(OpsEntry {
+                    at,
+                    simulation_id: sim_id,
+                    command,
+                    outcome,
+                });
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Fetch a remote file via GridFTP. (Fetch misses of optional files are
+    /// routine — see `optimize::try_stage_out` — so only transport-level
+    /// failures are highlighted in the ops log.)
+    pub fn stage_out(&mut self, path: &str) -> Result<Vec<u8>, WorkflowError> {
+        let proxy = self.proxy();
+        let command = ftp_cmdline(&self.sim.system, false, "/var/amp/staging", path);
+        let at = self.now();
+        let sim_id = self.sim.id;
+        match self.grid.ftp_get(&self.sim.system, &proxy, path) {
+            Ok((data, _)) => {
+                self.ops.record(OpsEntry {
+                    at,
+                    simulation_id: sim_id,
+                    command,
+                    outcome: OpOutcome::Ok,
+                });
+                Ok(data)
+            }
+            Err(e) => {
+                if e.is_transient() {
+                    self.ops.record(OpsEntry {
+                        at,
+                        simulation_id: sim_id,
+                        command,
+                        outcome: OpOutcome::Transient(e.to_string()),
+                    });
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Check a fork-job purpose: Ok(true) done, Ok(false) still going,
+    /// model failure on a failed script.
+    fn fork_done(&self, purpose: JobPurpose) -> Result<bool, WorkflowError> {
+        let Some(rec) = self.jobs_of(purpose)?.into_iter().next() else {
+            return Ok(false);
+        };
+        match rec.status {
+            JobStatus::Done => Ok(true),
+            JobStatus::Failed => Err(WorkflowError::ModelFailure(format!(
+                "{} script failed: {}",
+                purpose.as_str(),
+                rec.detail
+            ))),
+            _ => Ok(false),
+        }
+    }
+}
+
+/// A named stage function — names mirror Listing 1.
+pub struct StageDef {
+    pub name: &'static str,
+    pub run: fn(&mut StageCtx<'_>) -> Result<bool, WorkflowError>,
+}
+
+/// The workflow definition — Listing 1, verbatim.
+pub fn workflow_table() -> Vec<(SimStatus, Vec<StageDef>, SimStatus)> {
+    vec![
+        (
+            SimStatus::Queued,
+            vec![
+                StageDef {
+                    name: "check_queued_sim",
+                    run: check_queued_sim,
+                },
+                StageDef {
+                    name: "submit_pre_job",
+                    run: submit_pre_job,
+                },
+            ],
+            SimStatus::PreJob,
+        ),
+        (
+            SimStatus::PreJob,
+            vec![
+                StageDef {
+                    name: "check_pre_job",
+                    run: check_pre_job,
+                },
+                StageDef {
+                    name: "submit_workjob",
+                    run: submit_workjob,
+                },
+            ],
+            SimStatus::Running,
+        ),
+        (
+            SimStatus::Running,
+            vec![
+                StageDef {
+                    name: "check_workjob",
+                    run: check_workjob,
+                },
+                StageDef {
+                    name: "submit_post_job",
+                    run: submit_post_job,
+                },
+            ],
+            SimStatus::PostJob,
+        ),
+        (
+            SimStatus::PostJob,
+            vec![
+                StageDef {
+                    name: "check_post_job",
+                    run: check_post_job,
+                },
+                StageDef {
+                    name: "postprocess",
+                    run: postprocess,
+                },
+                StageDef {
+                    name: "submit_cleanup",
+                    run: submit_cleanup,
+                },
+            ],
+            SimStatus::Cleanup,
+        ),
+        (
+            SimStatus::Cleanup,
+            vec![
+                StageDef {
+                    name: "check_cleanup",
+                    run: check_cleanup,
+                },
+                StageDef {
+                    name: "close_simulation",
+                    run: close_simulation,
+                },
+            ],
+            SimStatus::Done,
+        ),
+    ]
+}
+
+/// Run one workflow step for a simulation: execute the stage list for its
+/// current state; if every function returns true, transition. Returns the
+/// new state on transition.
+pub fn step(ctx: &mut StageCtx<'_>) -> Result<Option<SimStatus>, WorkflowError> {
+    let table = workflow_table();
+    let Some((_, stages, next)) = table.into_iter().find(|(s, _, _)| *s == ctx.sim.status)
+    else {
+        return Ok(None); // DONE or HOLD: nothing to run
+    };
+    for stage in &stages {
+        if !(stage.run)(ctx)? {
+            return Ok(None);
+        }
+    }
+    ctx.sim.status = next;
+    Ok(Some(next))
+}
+
+// ---- base stages (the paper's workflow-manager base class) ----
+
+fn check_queued_sim(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    // Sanity: payload must decode; a corrupt request is a model failure.
+    ctx.sim
+        .payload()
+        .map_err(|e| WorkflowError::ModelFailure(e.to_string()))?;
+    Ok(ctx.sim.status == SimStatus::Queued)
+}
+
+fn submit_pre_job(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    ctx.submit_fork(JobPurpose::PreJob, paths::PREJOB, vec![])?;
+    Ok(true)
+}
+
+fn check_pre_job(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    ctx.fork_done(JobPurpose::PreJob)
+}
+
+fn submit_workjob(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let started = match ctx.sim.kind {
+        SimKind::Direct => crate::direct::submit_work(ctx)?,
+        SimKind::Optimization => crate::optimize::submit_work(ctx)?,
+    };
+    if started {
+        ctx.sim.started_at = Some(ctx.now());
+    }
+    Ok(started)
+}
+
+fn check_workjob(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    match ctx.sim.kind {
+        SimKind::Direct => crate::direct::check_work(ctx),
+        SimKind::Optimization => crate::optimize::check_work(ctx),
+    }
+}
+
+fn submit_post_job(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let root = ctx.workdir();
+    ctx.submit_fork(JobPurpose::PostJob, paths::POSTJOB, vec![root])?;
+    Ok(true)
+}
+
+fn check_post_job(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    ctx.fork_done(JobPurpose::PostJob)
+}
+
+fn postprocess(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let done = match ctx.sim.kind {
+        SimKind::Direct => crate::direct::postprocess(ctx)?,
+        SimKind::Optimization => crate::optimize::postprocess(ctx)?,
+    };
+    if done {
+        charge_service_units(ctx)?;
+        mark_star_has_results(ctx)?;
+    }
+    Ok(done)
+}
+
+fn submit_cleanup(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    ctx.submit_fork(JobPurpose::Cleanup, paths::CLEANUP, vec![])?;
+    Ok(true)
+}
+
+fn check_cleanup(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    if !ctx.fork_done(JobPurpose::Cleanup)? {
+        return Ok(false);
+    }
+    // "A final cleanup stage ensures that the execution environment has
+    // been removed" — verify-and-remove on the remote scratch.
+    let root = ctx.workdir();
+    let system = ctx.sim.system.clone();
+    if let Some(site) = ctx.grid.site_mut(&system) {
+        crate::apps::cleanup_tree(&mut site.fs, &root);
+    }
+    Ok(true)
+}
+
+fn close_simulation(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    ctx.sim.completed_at = Some(ctx.now());
+    ctx.sim.progress = 1.0;
+    ctx.sim.status_message.clear();
+    Ok(true)
+}
+
+// ---- shared accounting helpers ----
+
+/// Charge CPU-hours × SU factor for every completed computational job.
+fn charge_service_units(ctx: &mut StageCtx<'_>) -> Result<(), WorkflowError> {
+    use amp_core::models::Allocation;
+    let su_factor = ctx
+        .grid
+        .site(&ctx.sim.system)
+        .map(|s| s.profile.su_per_cpuh)
+        .unwrap_or(0.0);
+    let jobs = ctx.jobs().filter(
+        &Query::new()
+            .eq("simulation_id", ctx.sim.id.expect("saved"))
+            .filter(
+                "purpose",
+                Op::In(vec![
+                    Value::Text(JobPurpose::Work.as_str().into()),
+                    Value::Text(JobPurpose::SolutionEvaluation.as_str().into()),
+                ]),
+                Value::Null,
+            ),
+    )?;
+    let mut cpuh = 0.0;
+    for j in &jobs {
+        if let Some(run) = j.run_secs() {
+            cpuh += (run as f64 / 3600.0) * j.cores as f64;
+        }
+    }
+    let sus = cpuh * su_factor;
+    let allocs = Manager::<Allocation>::new(ctx.conn.clone());
+    let mut alloc = allocs.get(ctx.sim.allocation_id)?;
+    if alloc.charge(sus).is_err() {
+        // Over-spend is an administrative problem, not a reason to
+        // withhold the user's results.
+        ctx.sim.status_message = format!(
+            "allocation {} exhausted while charging {:.0} SUs",
+            alloc.account, sus
+        );
+        alloc.su_used = alloc.su_granted;
+    }
+    allocs.save(&alloc)?;
+    Ok(())
+}
+
+fn mark_star_has_results(ctx: &mut StageCtx<'_>) -> Result<(), WorkflowError> {
+    use amp_core::models::Star;
+    let stars = Manager::<Star>::new(ctx.conn.clone());
+    let mut star = stars.get(ctx.sim.star_id)?;
+    if !star.has_results {
+        star.has_results = true;
+        stars.save(&star)?;
+    }
+    Ok(())
+}
+
+/// Look up the owning user's username (for proxy SAML attribution).
+pub fn owner_username(conn: &Connection, sim: &Simulation) -> Result<String, WorkflowError> {
+    let users = Manager::<AmpUser>::new(conn.clone());
+    Ok(users.get(sim.owner_id)?.username)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_listing_1() {
+        let table = workflow_table();
+        let shape: Vec<(SimStatus, Vec<&'static str>, SimStatus)> = table
+            .iter()
+            .map(|(s, fns, n)| (*s, fns.iter().map(|f| f.name).collect(), *n))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (
+                    SimStatus::Queued,
+                    vec!["check_queued_sim", "submit_pre_job"],
+                    SimStatus::PreJob
+                ),
+                (
+                    SimStatus::PreJob,
+                    vec!["check_pre_job", "submit_workjob"],
+                    SimStatus::Running
+                ),
+                (
+                    SimStatus::Running,
+                    vec!["check_workjob", "submit_post_job"],
+                    SimStatus::PostJob
+                ),
+                (
+                    SimStatus::PostJob,
+                    vec!["check_post_job", "postprocess", "submit_cleanup"],
+                    SimStatus::Cleanup
+                ),
+                (
+                    SimStatus::Cleanup,
+                    vec!["check_cleanup", "close_simulation"],
+                    SimStatus::Done
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn table_is_linear_and_complete() {
+        let table = workflow_table();
+        // each state's next is the following row's state; last is DONE
+        for w in table.windows(2) {
+            assert_eq!(w[0].2, w[1].0);
+        }
+        assert_eq!(table.last().unwrap().2, SimStatus::Done);
+        // every non-terminal happy-path state is covered
+        for s in SimStatus::happy_path() {
+            if s != SimStatus::Done {
+                assert!(table.iter().any(|(st, _, _)| *st == s), "{s} missing");
+            }
+        }
+    }
+}

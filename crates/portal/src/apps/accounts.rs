@@ -1,0 +1,170 @@
+//! The account application: registration (with the astronomy CAPTCHA),
+//! login/logout, and profile (notification preferences).
+
+use amp_core::models::AmpUser;
+use amp_core::NotifyMode;
+use amp_simdb::orm::Manager;
+use amp_simdb::Query;
+
+use crate::auth::{hash_password, verify_password};
+use crate::http::{html_escape, Request, Response};
+use crate::portal::Portal;
+use crate::router::Params;
+
+fn users(p: &Portal) -> Manager<AmpUser> {
+    Manager::new(p.conn().clone())
+}
+
+pub fn register_form(p: &Portal, req: &Request, _: &Params) -> Response {
+    let nonce = p.next_register_nonce();
+    let ch = p.captcha.challenge(nonce);
+    let body = format!(
+        "<h2>Request an account</h2>\
+         <form method=\"post\" action=\"/accounts/register\">\
+         <label>Username <input name=\"username\"></label><br>\
+         <label>E-mail <input name=\"email\"></label><br>\
+         <label>Password <input type=\"password\" name=\"password\"></label><br>\
+         <fieldset><legend>Are you an astronomer?</legend>\
+         <p>{q} (<a href=\"{link}\">can't remember?</a>)</p>\
+         <input type=\"hidden\" name=\"captcha_id\" value=\"{id}\">\
+         <label>Answer <input name=\"captcha_answer\"></label></fieldset>\
+         <button>Request account</button></form>",
+        q = html_escape(&ch.question),
+        link = ch.answer_link,
+        id = ch.id,
+    );
+    p.page("Register", p.current_user(req).as_ref(), &body)
+}
+
+pub fn register_submit(p: &Portal, req: &Request, _: &Params) -> Response {
+    let form = req.form();
+    let username = form.get("username").map(|s| s.trim()).unwrap_or("");
+    let email = form.get("email").map(|s| s.trim()).unwrap_or("");
+    let password = form.get("password").map(|s| s.as_str()).unwrap_or("");
+    let captcha_id: usize = match form.get("captcha_id").and_then(|s| s.parse().ok()) {
+        Some(v) => v,
+        None => return Response::bad_request("missing captcha id"),
+    };
+    let answer = form.get("captcha_answer").map(|s| s.as_str()).unwrap_or("");
+
+    if username.len() < 3
+        || username.len() > 64
+        || !username.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Response::bad_request("username must be 3-64 alphanumeric characters");
+    }
+    if !email.contains('@') || email.len() > 190 {
+        return Response::bad_request("invalid e-mail address");
+    }
+    if password.len() < 8 {
+        return Response::bad_request("password must be at least 8 characters");
+    }
+    if !p.captcha.verify(captcha_id, answer) {
+        // §4.2: "only one real estate agent turned fashion supermodel has
+        // requested the ability to submit AMP jobs."
+        return Response::forbidden("captcha answer incorrect");
+    }
+    let mgr = users(p);
+    if mgr
+        .exists(&Query::new().eq("username", username))
+        .unwrap_or(false)
+    {
+        return Response::bad_request("username already taken");
+    }
+    let now = p.now();
+    let salt = format!("{username}:{now}");
+    let mut user = AmpUser::new(username, email, &hash_password(password, &salt), now);
+    user.provenance = format!("self-registered at t={now}; captcha question {captcha_id}");
+    match mgr.create(&mut user) {
+        Ok(_) => Response::redirect("/accounts/pending"),
+        Err(e) => Response::server_error(&e.to_string()),
+    }
+}
+
+pub fn pending(p: &Portal, req: &Request, _: &Params) -> Response {
+    p.page(
+        "Account pending",
+        p.current_user(req).as_ref(),
+        "<p>Thanks! Your account request is awaiting administrator approval.</p>",
+    )
+}
+
+pub fn login_form(p: &Portal, req: &Request, _: &Params) -> Response {
+    let body = "<h2>Log in</h2>\
+         <form method=\"post\" action=\"/accounts/login\">\
+         <label>Username <input name=\"username\"></label><br>\
+         <label>Password <input type=\"password\" name=\"password\"></label><br>\
+         <button>Log in</button></form>";
+    p.page("Log in", p.current_user(req).as_ref(), body)
+}
+
+pub fn login_submit(p: &Portal, _req: &Request, _: &Params) -> Response {
+    login_submit_inner(p, _req)
+}
+
+fn login_submit_inner(p: &Portal, req: &Request) -> Response {
+    let form = req.form();
+    let username = form.get("username").map(|s| s.trim()).unwrap_or("");
+    let password = form.get("password").map(|s| s.as_str()).unwrap_or("");
+    let mgr = users(p);
+    let Ok(Some(user)) = mgr.first(&Query::new().eq("username", username)) else {
+        return Response::forbidden("unknown user or wrong password");
+    };
+    if !verify_password(password, &user.password_hash) {
+        return Response::forbidden("unknown user or wrong password");
+    }
+    if !user.approved {
+        return Response::forbidden("account not yet approved");
+    }
+    let token = p.sessions.create(
+        user.id.expect("saved"),
+        &user.username,
+        user.is_admin,
+        p.now(),
+    );
+    Response::redirect("/").set_cookie("amp_session", &token)
+}
+
+pub fn logout(p: &Portal, req: &Request, _: &Params) -> Response {
+    if let Some(token) = req.cookies.get("amp_session") {
+        p.sessions.destroy(token);
+    }
+    Response::redirect("/").clear_cookie("amp_session")
+}
+
+pub fn profile_form(p: &Portal, req: &Request, _: &Params) -> Response {
+    let Some(user) = p.current_user(req) else {
+        return Response::redirect("/accounts/login");
+    };
+    let mode = user.notify_mode.as_str();
+    let body = format!(
+        "<h2>Profile: {}</h2>\
+         <form method=\"post\" action=\"/accounts/profile\">\
+         <p>Current notification mode: <b>{mode}</b></p>\
+         <select name=\"notify_mode\">\
+         <option value=\"none\">no e-mail</option>\
+         <option value=\"on_completion\">when my simulation completes</option>\
+         <option value=\"every_transition\">at each state transition</option>\
+         </select> <button>Save</button></form>",
+        html_escape(&user.username),
+    );
+    p.page("Profile", Some(&user), &body)
+}
+
+pub fn profile_submit(p: &Portal, req: &Request, _: &Params) -> Response {
+    let Some(mut user) = p.current_user(req) else {
+        return Response::redirect("/accounts/login");
+    };
+    let form = req.form();
+    let Some(mode) = form
+        .get("notify_mode")
+        .and_then(|m| m.parse::<NotifyMode>().ok())
+    else {
+        return Response::bad_request("unknown notification mode");
+    };
+    user.notify_mode = mode;
+    match users(p).save(&user) {
+        Ok(()) => Response::redirect("/accounts/profile"),
+        Err(e) => Response::server_error(&e.to_string()),
+    }
+}

@@ -1,0 +1,58 @@
+//! RSS feeds: "we are currently working on using RSS feeds to allow
+//! astronomers to subscribe to stars of interest" (§5/§6). Implemented:
+//! one RSS 2.0 feed per star, with an item per simulation update.
+
+use amp_core::models::{Simulation, Star};
+use amp_simdb::orm::Manager;
+use amp_simdb::Query;
+
+use crate::http::{html_escape, Request, Response};
+use crate::portal::Portal;
+use crate::router::Params;
+
+pub fn star_feed(p: &Portal, _req: &Request, params: &Params) -> Response {
+    // The route pattern is "/feeds/star/<id>.rss": the captured segment
+    // includes the extension.
+    let raw = params.get("id.rss").or_else(|| params.get("id"));
+    let Some(id) = raw
+        .and_then(|s| s.strip_suffix(".rss").or(Some(s)))
+        .and_then(|s| s.parse::<i64>().ok())
+    else {
+        return Response::not_found();
+    };
+    let Ok(star) = Manager::<Star>::new(p.conn().clone()).get(id) else {
+        return Response::not_found();
+    };
+    let sims = Manager::<Simulation>::new(p.conn().clone())
+        .filter(&Query::new().eq("star_id", id).order_by_desc("id").limit(20))
+        .unwrap_or_default();
+
+    let mut items = String::new();
+    for s in &sims {
+        let when = s.completed_at.unwrap_or(s.created_at);
+        items.push_str(&format!(
+            "<item>\
+             <title>{kind} simulation #{id}: {status}</title>\
+             <link>/simulation/{id}</link>\
+             <guid isPermaLink=\"false\">amp-sim-{id}-{status}</guid>\
+             <description>{kind} run for {star} is {status} ({progress:.0}% complete) at t={when}.</description>\
+             </item>",
+            kind = s.kind.as_str(),
+            id = s.id.unwrap(),
+            status = s.status,
+            star = html_escape(&star.identifier),
+            progress = s.progress * 100.0,
+        ));
+    }
+    let xml = format!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\
+         <rss version=\"2.0\"><channel>\
+         <title>AMP updates for {star}</title>\
+         <link>/star/{id}</link>\
+         <description>Simulation progress and results for {star} on the Asteroseismic Modeling Portal.</description>\
+         {items}\
+         </channel></rss>",
+        star = html_escape(&star.identifier),
+    );
+    Response::xml(xml)
+}

@@ -1,0 +1,132 @@
+//! The portal's Django-style applications.
+//!
+//! §4.2: "we wrote separate Django applications to implement independent
+//! portions of the website functionality. One application allows users to
+//! browse and search star catalogs, one allows users to view completed
+//! simulation results, and another facilitates simulation submission."
+//! Plus the account app (auth + CAPTCHA), the admin interface (§4.1) and
+//! the RSS feeds (§6 future work, implemented here).
+
+pub mod accounts;
+pub mod admin;
+pub mod catalog;
+pub mod feeds;
+pub mod results;
+pub mod submit;
+
+use crate::router::Router;
+use crate::templates::Template;
+
+/// The home page, rendered through the Django-style template engine
+/// (most views build HTML directly; this demonstrates the template path
+/// with live data, as AMP's Django templates did).
+const HOME_TEMPLATE: &str = "\
+<p>Derive the properties of Sun-like stars from observations of their \
+pulsation frequencies.</p>\
+<ul><li><a href=\"/stars\">Browse the star catalog</a> ({{ stars }} stars, \
+{{ with_results }} with results)</li>\
+<li><a href=\"/stars/search\">Search for a target</a></li>\
+<li><a href=\"/simulations\">View simulations</a> ({{ done }} completed)</li></ul>\
+{% if recent %}<h3>Recently completed</h3><ul>\
+{% for s in recent %}<li><a href=\"/simulation/{{ s.id }}\">#{{ s.id }} {{ s.kind }} of {{ s.star }}</a></li>{% endfor %}\
+</ul>{% endif %}";
+
+/// Wire the full URL map. Admin routes exist only on admin-enabled
+/// deploys — on the public portal they are not merely forbidden, they are
+/// absent.
+pub fn build_router(admin_enabled: bool) -> Router {
+    let mut r = Router::new();
+
+    // home
+    r.get("/", |p, req, _| {
+        use amp_core::models::{Simulation, Star};
+        use amp_simdb::orm::Manager;
+        use amp_simdb::Query;
+        let user = p.current_user(req);
+        let stars = Manager::<Star>::new(p.conn().clone());
+        let sims = Manager::<Simulation>::new(p.conn().clone());
+        let done_q = Query::new().eq("status", amp_core::SimStatus::Done.as_str());
+        let recent: Vec<serde_json::Value> = sims
+            .filter(&done_q.clone().order_by_desc("id").limit(5))
+            .unwrap_or_default()
+            .iter()
+            .map(|s| {
+                let star = stars
+                    .get(s.star_id)
+                    .map(|st| st.identifier)
+                    .unwrap_or_default();
+                serde_json::json!({
+                    "id": s.id.unwrap_or(0),
+                    "kind": s.kind.as_str(),
+                    "star": star,
+                })
+            })
+            .collect();
+        let ctx = serde_json::json!({
+            "stars": stars.count(&Query::new()).unwrap_or(0),
+            "with_results": stars
+                .count(&Query::new().eq("has_results", true))
+                .unwrap_or(0),
+            "done": sims.count(&done_q).unwrap_or(0),
+            "recent": recent,
+        });
+        let body = Template::parse(HOME_TEMPLATE)
+            .expect("home template parses")
+            .render(&ctx);
+        p.page("Home", user.as_ref(), &body)
+    });
+
+    // accounts app
+    r.get("/accounts/register", accounts::register_form);
+    r.post("/accounts/register", accounts::register_submit);
+    r.get("/accounts/pending", accounts::pending);
+    r.get("/accounts/login", accounts::login_form);
+    r.post("/accounts/login", accounts::login_submit);
+    r.get("/accounts/logout", accounts::logout);
+    r.get("/accounts/profile", accounts::profile_form);
+    r.post("/accounts/profile", accounts::profile_submit);
+
+    // catalog app
+    r.get("/stars", catalog::browse);
+    r.get("/stars/search", catalog::search);
+    r.get("/api/suggest", catalog::suggest);
+    r.get("/star/<ident>", catalog::star_detail);
+    r.post("/star/<ident>/observations", catalog::upload_observation);
+
+    // results app
+    r.get("/simulations", results::list);
+    r.get("/simulation/<id>", results::detail);
+    r.get("/simulation/<id>/plots.json", results::plots);
+
+    // submission app
+    r.get("/submit/direct/<star_id>", submit::direct_form);
+    r.post("/submit/direct/<star_id>", submit::direct_submit);
+    r.get("/submit/optimization/<star_id>", submit::optimization_form);
+    r.post("/submit/optimization/<star_id>", submit::optimization_submit);
+
+    // feeds (§6) — the captured segment carries the ".rss" extension
+    r.get("/feeds/star/<id>", feeds::star_feed);
+
+    if admin_enabled {
+        r.get("/admin", admin::dashboard);
+        r.get("/admin/table/<name>", admin::table_list);
+        r.post("/admin/table/<name>/<id>/set", admin::set_field);
+        r.post("/admin/users/<id>/approve", admin::approve_user);
+        r.post("/admin/authorize", admin::authorize);
+        r.post("/admin/simulations/<id>/resume", admin::resume_hold);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admin_routes_absent_on_public_deploys() {
+        let public = build_router(false);
+        let internal = build_router(true);
+        assert!(internal.len() > public.len());
+        assert_eq!(internal.len() - public.len(), 6);
+    }
+}

@@ -1,0 +1,256 @@
+//! The submission application: direct model runs and optimization runs.
+//!
+//! All user input is validated into typed values here; the simulation row
+//! is the only thing that crosses to the daemon (§3's marshaling story).
+//! Submission requires an approved account plus an authorization to use
+//! the chosen machine/allocation (§4.1).
+
+use amp_core::models::{Allocation, Observation, Simulation, Star, SystemAuthorization};
+use amp_core::OptimizationSpec;
+use amp_simdb::orm::Manager;
+use amp_simdb::Query;
+use amp_stellar::{Domain, StellarParams};
+
+use crate::http::{html_escape, Request, Response};
+use crate::portal::Portal;
+use crate::router::Params;
+
+fn allocations(p: &Portal) -> Vec<Allocation> {
+    Manager::<Allocation>::new(p.conn().clone())
+        .filter(&Query::new().eq("active", true))
+        .unwrap_or_default()
+}
+
+fn allocation_options(p: &Portal) -> String {
+    allocations(p)
+        .iter()
+        .map(|a| {
+            format!(
+                "<option value=\"{}\">{} on {} ({:.0} SUs left)</option>",
+                a.id.unwrap(),
+                html_escape(&a.account),
+                html_escape(&a.system),
+                a.su_remaining(),
+            )
+        })
+        .collect()
+}
+
+fn require_submitter(p: &Portal, req: &Request) -> Result<amp_core::models::AmpUser, Response> {
+    match p.current_user(req) {
+        None => Err(Response::redirect("/accounts/login")),
+        Some(u) if !u.approved => Err(Response::forbidden("account not approved")),
+        Some(u) => Ok(u),
+    }
+}
+
+fn load_star(p: &Portal, params: &Params) -> Result<Star, Response> {
+    let id = params.id("star_id").ok_or_else(Response::not_found)?;
+    Manager::<Star>::new(p.conn().clone())
+        .get(id)
+        .map_err(|_| Response::not_found())
+}
+
+/// Authorization + allocation resolution shared by both submit paths.
+fn resolve_allocation(
+    p: &Portal,
+    user: &amp_core::models::AmpUser,
+    form: &std::collections::BTreeMap<String, String>,
+) -> Result<Allocation, Response> {
+    let alloc_id: i64 = form
+        .get("allocation")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Response::bad_request("choose an allocation"))?;
+    let alloc = Manager::<Allocation>::new(p.conn().clone())
+        .get(alloc_id)
+        .map_err(|_| Response::bad_request("no such allocation"))?;
+    if !alloc.active {
+        return Err(Response::bad_request("allocation is inactive"));
+    }
+    let auth_mgr = Manager::<SystemAuthorization>::new(p.conn().clone());
+    let authorized =
+        SystemAuthorization::is_authorized(&auth_mgr, user.id.unwrap(), alloc_id)
+            .unwrap_or(false);
+    if !authorized {
+        return Err(Response::forbidden(
+            "you are not authorized to submit to this machine with this allocation",
+        ));
+    }
+    Ok(alloc)
+}
+
+pub fn direct_form(p: &Portal, req: &Request, params: &Params) -> Response {
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let d = Domain::default();
+    let body = format!(
+        "<h2>Direct model run — {}</h2>\
+         <form method=\"post\">\
+         <label>Mass [{}–{} M☉] <input name=\"mass\" value=\"1.0\"></label><br>\
+         <label>Metallicity Z [{}–{}] <input name=\"metallicity\" value=\"0.018\"></label><br>\
+         <label>Helium Y [{}–{}] <input name=\"helium\" value=\"0.27\"></label><br>\
+         <label>Mixing length α [{}–{}] <input name=\"alpha\" value=\"1.9\"></label><br>\
+         <label>Age [{}–{} Gyr] <input name=\"age\" value=\"4.6\"></label><br>\
+         <label>Allocation <select name=\"allocation\">{}</select></label><br>\
+         <button>Run model</button></form>",
+        html_escape(&star.identifier),
+        d.mass.lo,
+        d.mass.hi,
+        d.metallicity.lo,
+        d.metallicity.hi,
+        d.helium.lo,
+        d.helium.hi,
+        d.alpha.lo,
+        d.alpha.hi,
+        d.age.lo,
+        d.age.hi,
+        allocation_options(p),
+    );
+    p.page("Direct run", p.current_user(req).as_ref(), &body)
+}
+
+pub fn direct_submit(p: &Portal, req: &Request, params: &Params) -> Response {
+    let user = match require_submitter(p, req) {
+        Ok(u) => u,
+        Err(r) => return r,
+    };
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let form = req.form();
+    let float = |name: &str| -> Result<f64, Response> {
+        form.get(name)
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| Response::bad_request(&format!("{name} must be a number")))
+    };
+    let params5 = match (|| -> Result<StellarParams, Response> {
+        Ok(StellarParams {
+            mass: float("mass")?,
+            metallicity: float("metallicity")?,
+            helium: float("helium")?,
+            alpha: float("alpha")?,
+            age: float("age")?,
+        })
+    })() {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    if Domain::default().check(&params5).is_err() {
+        return Response::bad_request("parameters outside the supported domain");
+    }
+    let alloc = match resolve_allocation(p, &user, &form) {
+        Ok(a) => a,
+        Err(r) => return r,
+    };
+    let mut sim = Simulation::new_direct(
+        star.id.unwrap(),
+        user.id.unwrap(),
+        params5,
+        &alloc.system,
+        alloc.id.unwrap(),
+        p.now(),
+    );
+    match Manager::<Simulation>::new(p.conn().clone()).create(&mut sim) {
+        Ok(id) => Response::redirect(&format!("/simulation/{id}")),
+        Err(e) => Response::server_error(&e.to_string()),
+    }
+}
+
+pub fn optimization_form(p: &Portal, req: &Request, params: &Params) -> Response {
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let observations = Manager::<Observation>::new(p.conn().clone())
+        .filter(&Query::new().eq("star_id", star.id.unwrap()))
+        .unwrap_or_default();
+    let obs_options: String = observations
+        .iter()
+        .map(|o| {
+            format!(
+                "<option value=\"{}\">observation #{} (uploaded t={})</option>",
+                o.id.unwrap(),
+                o.id.unwrap(),
+                o.created_at
+            )
+        })
+        .collect();
+    let default = OptimizationSpec::default();
+    let body = format!(
+        "<h2>Optimization run — {}</h2>\
+         <p>Ensemble of independent genetic-algorithm runs (the Kepler \
+         configuration uses 4 runs × 126 models × 200 iterations on 128 \
+         processors each).</p>\
+         <form method=\"post\">\
+         <label>Observation set <select name=\"observation\">{obs_options}</select></label><br>\
+         <label>GA runs <input name=\"ga_runs\" value=\"{}\"></label><br>\
+         <label>Iterations <input name=\"generations\" value=\"{}\"></label><br>\
+         <label>Allocation <select name=\"allocation\">{}</select></label><br>\
+         <button>Submit optimization</button></form>",
+        html_escape(&star.identifier),
+        default.ga_runs,
+        default.generations,
+        allocation_options(p),
+    );
+    p.page("Optimization run", p.current_user(req).as_ref(), &body)
+}
+
+pub fn optimization_submit(p: &Portal, req: &Request, params: &Params) -> Response {
+    let user = match require_submitter(p, req) {
+        Ok(u) => u,
+        Err(r) => return r,
+    };
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let form = req.form();
+    let obs_id: i64 = match form.get("observation").and_then(|s| s.parse().ok()) {
+        Some(v) => v,
+        None => return Response::bad_request("choose an observation set"),
+    };
+    let obs = match Manager::<Observation>::new(p.conn().clone()).get(obs_id) {
+        Ok(o) if o.star_id == star.id.unwrap() => o,
+        Ok(_) => return Response::bad_request("observation belongs to another star"),
+        Err(_) => return Response::bad_request("no such observation"),
+    };
+    let ga_runs: u32 = form
+        .get("ga_runs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let generations: u32 = form
+        .get("generations")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    if !(1..=16).contains(&ga_runs) || !(1..=1000).contains(&generations) {
+        return Response::bad_request("ensemble parameters out of range");
+    }
+    let alloc = match resolve_allocation(p, &user, &form) {
+        Ok(a) => a,
+        Err(r) => return r,
+    };
+    let spec = OptimizationSpec {
+        ga_runs,
+        generations,
+        // user id + clock give each submission distinct GA seeds (§2)
+        seed: (user.id.unwrap() as u64) << 32 | (p.now() as u64 & 0xffff_ffff),
+        ..OptimizationSpec::default()
+    };
+    let mut sim = Simulation::new_optimization(
+        star.id.unwrap(),
+        user.id.unwrap(),
+        spec,
+        obs.id.unwrap(),
+        &alloc.system,
+        alloc.id.unwrap(),
+        p.now(),
+    );
+    match Manager::<Simulation>::new(p.conn().clone()).create(&mut sim) {
+        Ok(id) => Response::redirect(&format!("/simulation/{id}")),
+        Err(e) => Response::server_error(&e.to_string()),
+    }
+}

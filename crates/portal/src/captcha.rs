@@ -1,0 +1,142 @@
+//! The accessibility-friendly question/answer CAPTCHA.
+//!
+//! §4.2: "Due to our accessibility requirements, using a typical
+//! image-only CAPTCHA was problematic, so we decided to write our own.
+//! Our general purpose question/answer CAPTCHA presents a series of
+//! questions with optional links to answers. For AMP, users are asked to
+//! enter the HD catalog numbers of popular stars, such as 'What is the HD
+//! number for Alpha Centauri?'"
+
+use amp_stellar::famous_stars;
+
+/// One challenge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Challenge {
+    /// Index into the question bank (round-trips through the form).
+    pub id: usize,
+    pub question: String,
+    /// "For astronomers that can't remember, we present a link to the
+    /// page containing the answer."
+    pub answer_link: String,
+}
+
+/// A general-purpose question/answer CAPTCHA backed by a question bank.
+pub struct Captcha {
+    bank: Vec<(String, String, String)>, // (question, answer, link)
+}
+
+impl Default for Captcha {
+    fn default() -> Self {
+        Self::astronomy()
+    }
+}
+
+impl Captcha {
+    /// The AMP question bank: HD numbers of popular stars.
+    pub fn astronomy() -> Captcha {
+        let bank = famous_stars()
+            .into_iter()
+            .filter_map(|s| {
+                let name = s.name.clone()?;
+                let hd = s.hd_number?;
+                Some((
+                    format!("What is the HD number for {name}?"),
+                    hd.to_string(),
+                    format!("/star/HD+{hd}"),
+                ))
+            })
+            .collect();
+        Captcha { bank }
+    }
+
+    /// A custom bank (the "general purpose" part).
+    pub fn with_bank(bank: Vec<(String, String, String)>) -> Captcha {
+        Captcha { bank }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bank.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bank.is_empty()
+    }
+
+    /// Pick a challenge deterministically from a nonce (e.g. registration
+    /// attempt counter); rotation prevents answer hard-coding.
+    pub fn challenge(&self, nonce: u64) -> Challenge {
+        assert!(!self.bank.is_empty(), "empty captcha bank");
+        let id = (nonce as usize) % self.bank.len();
+        let (q, _, link) = &self.bank[id];
+        Challenge {
+            id,
+            question: q.clone(),
+            answer_link: link.clone(),
+        }
+    }
+
+    /// Check an answer for challenge `id`. Whitespace-insensitive; accepts
+    /// "HD 128620" as well as "128620".
+    pub fn verify(&self, id: usize, answer: &str) -> bool {
+        let Some((_, expected, _)) = self.bank.get(id) else {
+            return false;
+        };
+        let cleaned: String = answer
+            .trim()
+            .trim_start_matches("HD")
+            .trim_start_matches("hd")
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        cleaned == *expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_centauri_question_present() {
+        let c = Captcha::astronomy();
+        assert!(!c.is_empty());
+        let all: Vec<Challenge> = (0..c.len() as u64).map(|n| c.challenge(n)).collect();
+        let ac = all
+            .iter()
+            .find(|ch| ch.question.contains("Alpha Centauri"))
+            .expect("the paper's example question");
+        assert!(c.verify(ac.id, "128620"));
+        assert!(c.verify(ac.id, " HD 128620 "));
+        assert!(!c.verify(ac.id, "48915"), "that's Sirius");
+    }
+
+    #[test]
+    fn challenges_rotate_and_link_to_answers() {
+        let c = Captcha::astronomy();
+        let a = c.challenge(0);
+        let b = c.challenge(1);
+        assert_ne!(a.question, b.question);
+        assert!(a.answer_link.starts_with("/star/"));
+        // nonce wraps around the bank
+        assert_eq!(c.challenge(c.len() as u64), c.challenge(0));
+    }
+
+    #[test]
+    fn bogus_id_rejected() {
+        let c = Captcha::astronomy();
+        assert!(!c.verify(9999, "128620"));
+    }
+
+    #[test]
+    fn custom_bank() {
+        let c = Captcha::with_bank(vec![(
+            "2+2?".into(),
+            "4".into(),
+            "/math".into(),
+        )]);
+        let ch = c.challenge(42);
+        assert_eq!(ch.question, "2+2?");
+        assert!(c.verify(ch.id, "4"));
+        assert!(!c.verify(ch.id, "5"));
+    }
+}

@@ -1,0 +1,473 @@
+//! Minimal HTTP/1.1 message types and parsing.
+//!
+//! AMP's portal was Django behind Apache; with no web framework on the
+//! offline crate list the reproduction hand-rolls the HTTP layer. Only the
+//! subset a database-driven portal needs: GET/POST, headers, cookies,
+//! query strings, form bodies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Request method (the portal only serves GET and POST).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Post,
+}
+
+impl Method {
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: Method,
+    /// Path with the query string stripped.
+    pub path: String,
+    pub query: BTreeMap<String, String>,
+    pub headers: BTreeMap<String, String>,
+    pub cookies: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build a GET request programmatically (tests, internal calls).
+    pub fn get(path_and_query: &str) -> Request {
+        let (path, query) = split_query(path_and_query);
+        Request {
+            method: Method::Get,
+            path,
+            query,
+            headers: BTreeMap::new(),
+            cookies: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Build a form POST programmatically.
+    pub fn post(path_and_query: &str, form: &[(&str, &str)]) -> Request {
+        let (path, query) = split_query(path_and_query);
+        let body = form
+            .iter()
+            .map(|(k, v)| format!("{}={}", urlencode(k), urlencode(v)))
+            .collect::<Vec<_>>()
+            .join("&")
+            .into_bytes();
+        let mut headers = BTreeMap::new();
+        headers.insert(
+            "content-type".to_string(),
+            "application/x-www-form-urlencoded".to_string(),
+        );
+        Request {
+            method: Method::Post,
+            path,
+            query,
+            headers,
+            cookies: BTreeMap::new(),
+            body,
+        }
+    }
+
+    pub fn with_cookie(mut self, name: &str, value: &str) -> Request {
+        self.cookies.insert(name.to_string(), value.to_string());
+        self
+    }
+
+    /// Parse a raw HTTP/1.x request (start line + headers + body).
+    pub fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let header_end = find_header_end(raw).ok_or(HttpError::Incomplete)?;
+        let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| HttpError::BadEncoding)?;
+        let mut lines = head.split("\r\n");
+        let start = lines.next().ok_or(HttpError::BadStartLine)?;
+        let mut parts = start.split_whitespace();
+        let method = Method::parse(parts.next().ok_or(HttpError::BadStartLine)?)
+            .ok_or(HttpError::UnsupportedMethod)?;
+        let target = parts.next().ok_or(HttpError::BadStartLine)?;
+        let version = parts.next().ok_or(HttpError::BadStartLine)?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::BadStartLine);
+        }
+        let (path, query) = split_query(target);
+
+        let mut headers = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+            headers.insert(
+                name.trim().to_ascii_lowercase(),
+                value.trim().to_string(),
+            );
+        }
+        let cookies = headers
+            .get("cookie")
+            .map(|c| parse_cookies(c))
+            .unwrap_or_default();
+
+        let content_length: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let body_start = header_end + 4;
+        if raw.len() < body_start + content_length {
+            return Err(HttpError::Incomplete);
+        }
+        let body = raw[body_start..body_start + content_length].to_vec();
+
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            cookies,
+            body,
+        })
+    }
+
+    /// Decode an `application/x-www-form-urlencoded` body.
+    pub fn form(&self) -> BTreeMap<String, String> {
+        parse_urlencoded(&String::from_utf8_lossy(&self.body))
+    }
+
+    /// Query parameter accessor.
+    pub fn q(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(|s| s.as_str())
+    }
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    Incomplete,
+    BadEncoding,
+    BadStartLine,
+    BadHeader,
+    UnsupportedMethod,
+}
+
+fn find_header_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn split_query(target: &str) -> (String, BTreeMap<String, String>) {
+    match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_urlencoded(q)),
+        None => (target.to_string(), BTreeMap::new()),
+    }
+}
+
+fn parse_cookies(header: &str) -> BTreeMap<String, String> {
+    header
+        .split(';')
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect()
+}
+
+/// Decode `k=v&k2=v2` with percent-escapes and `+` as space.
+pub fn parse_urlencoded(s: &str) -> BTreeMap<String, String> {
+    s.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (urldecode(k), urldecode(v)),
+            None => (urldecode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decode (lossy on malformed escapes).
+pub fn urldecode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode for form bodies and URLs.
+pub fn urlencode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn html(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            headers: vec![(
+                "Content-Type".into(),
+                "text/html; charset=utf-8".into(),
+            )],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    pub fn json(value: &serde_json::Value) -> Response {
+        Response {
+            status: 200,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: serde_json::to_vec(value).expect("json serializes"),
+        }
+    }
+
+    pub fn xml(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            headers: vec![("Content-Type".into(), "application/xml".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    pub fn redirect(location: &str) -> Response {
+        Response {
+            status: 302,
+            headers: vec![("Location".into(), location.into())],
+            body: Vec::new(),
+        }
+    }
+
+    pub fn not_found() -> Response {
+        Response {
+            status: 404,
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: b"404 not found".to_vec(),
+        }
+    }
+
+    pub fn forbidden(msg: &str) -> Response {
+        Response {
+            status: 403,
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: msg.as_bytes().to_vec(),
+        }
+    }
+
+    pub fn bad_request(msg: &str) -> Response {
+        Response {
+            status: 400,
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: msg.as_bytes().to_vec(),
+        }
+    }
+
+    pub fn server_error(msg: &str) -> Response {
+        Response {
+            status: 500,
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: msg.as_bytes().to_vec(),
+        }
+    }
+
+    pub fn set_cookie(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((
+            "Set-Cookie".into(),
+            format!("{name}={value}; Path=/; HttpOnly"),
+        ));
+        self
+    }
+
+    pub fn clear_cookie(mut self, name: &str) -> Response {
+        self.headers
+            .push(("Set-Cookie".into(), format!("{name}=; Path=/; Max-Age=0")));
+        self
+    }
+
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Serialize to raw HTTP/1.1 bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            302 => "Found",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            _ => "Status",
+        };
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, reason).into_bytes();
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(b"Connection: close\r\n\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// HTML-escape (used by templates and handlers echoing user input).
+pub fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#x27;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_get_with_query_and_cookies() {
+        let raw = b"GET /star/search?q=HD+52265&page=2 HTTP/1.1\r\nHost: amp.ucar.edu\r\nCookie: sid=abc123; theme=dark\r\n\r\n";
+        let req = Request::parse(raw).unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/star/search");
+        assert_eq!(req.q("q"), Some("HD 52265"));
+        assert_eq!(req.q("page"), Some("2"));
+        assert_eq!(req.cookies["sid"], "abc123");
+        assert_eq!(req.cookies["theme"], "dark");
+    }
+
+    #[test]
+    fn parse_post_form() {
+        let body = "username=astro1&password=p%40ss+word";
+        let raw = format!(
+            "POST /accounts/login HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = Request::parse(raw.as_bytes()).unwrap();
+        let form = req.form();
+        assert_eq!(form["username"], "astro1");
+        assert_eq!(form["password"], "p@ss word");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Request::parse(b"HELLO"), Err(HttpError::Incomplete));
+        assert_eq!(
+            Request::parse(b"DELETE / HTTP/1.1\r\n\r\n"),
+            Err(HttpError::UnsupportedMethod)
+        );
+        assert_eq!(
+            Request::parse(b"GET /\r\n\r\n"),
+            Err(HttpError::BadStartLine)
+        );
+        // declared body longer than provided
+        assert_eq!(
+            Request::parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Incomplete)
+        );
+    }
+
+    impl PartialEq for Request {
+        fn eq(&self, other: &Self) -> bool {
+            self.method == other.method && self.path == other.path
+        }
+    }
+
+    #[test]
+    fn urlencode_roundtrip() {
+        for s in ["hello world", "a&b=c", "HD 52265", "100% sure?", "αβγ"] {
+            assert_eq!(urldecode(&urlencode(s)), s, "{s}");
+        }
+    }
+
+    #[test]
+    fn response_serialization() {
+        let r = Response::html("<p>hi</p>").set_cookie("sid", "x1");
+        let raw = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(raw.contains("Set-Cookie: sid=x1; Path=/; HttpOnly\r\n"));
+        assert!(raw.contains("Content-Length: 9\r\n"));
+        assert!(raw.ends_with("<p>hi</p>"));
+    }
+
+    #[test]
+    fn response_helpers() {
+        assert_eq!(Response::not_found().status, 404);
+        assert_eq!(Response::redirect("/x").status, 302);
+        assert_eq!(Response::forbidden("no").status, 403);
+        assert_eq!(Response::bad_request("bad").status, 400);
+        let j = Response::json(&serde_json::json!({"a": 1}));
+        assert_eq!(j.body_str(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn html_escaping() {
+        assert_eq!(
+            html_escape("<script>alert('x&y')</script>"),
+            "&lt;script&gt;alert(&#x27;x&amp;y&#x27;)&lt;/script&gt;"
+        );
+    }
+
+    #[test]
+    fn programmatic_builders() {
+        let g = Request::get("/a/b?x=1");
+        assert_eq!(g.path, "/a/b");
+        assert_eq!(g.q("x"), Some("1"));
+        let p = Request::post("/f", &[("k", "v v"), ("e", "a&b")]);
+        assert_eq!(p.form()["k"], "v v");
+        assert_eq!(p.form()["e"], "a&b");
+    }
+}

@@ -1,0 +1,145 @@
+//! The portal application object: configuration, shared services, and the
+//! URL map wiring the Django-style apps together.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use amp_core::models::AmpUser;
+use amp_core::roles::{ROLE_ADMIN, ROLE_WEB};
+use amp_simdb::orm::Manager;
+use amp_simdb::{Connection, Db, DbError};
+
+use crate::auth::{Session, SessionStore};
+use crate::captcha::Captcha;
+use crate::http::{html_escape, Request, Response};
+use crate::router::Router;
+use crate::simbad::Simbad;
+
+/// Portal configuration.
+#[derive(Debug, Clone)]
+pub struct PortalConfig {
+    /// §4.1: the admin interface is only reachable on non-public deploys
+    /// ("the administrative functionality is not even possible from any
+    /// publicly accessible web servers"). When false, /admin/* routes 404
+    /// and the portal never even holds an admin DB connection.
+    pub admin_enabled: bool,
+    /// Synthetic-SIMBAD size and seed.
+    pub simbad_stars: usize,
+    pub simbad_seed: u64,
+    /// Site title shown in the layout.
+    pub site_title: String,
+}
+
+impl Default for PortalConfig {
+    fn default() -> Self {
+        PortalConfig {
+            admin_enabled: false,
+            simbad_stars: 200,
+            simbad_seed: 2009,
+            site_title: "Asteroseismic Modeling Portal".into(),
+        }
+    }
+}
+
+/// The web gateway.
+pub struct Portal {
+    conn: Connection,
+    admin_conn: Option<Connection>,
+    pub sessions: SessionStore,
+    pub captcha: Captcha,
+    pub simbad: Simbad,
+    pub config: PortalConfig,
+    clock: AtomicI64,
+    register_nonce: AtomicU64,
+    router: Router,
+}
+
+impl Portal {
+    /// Connect to the central database. The portal always uses the `web`
+    /// role; the admin connection exists only on admin-enabled deploys.
+    pub fn new(db: &Db, config: PortalConfig) -> Result<Portal, DbError> {
+        let conn = db.connect(ROLE_WEB)?;
+        let admin_conn = if config.admin_enabled {
+            Some(db.connect(ROLE_ADMIN)?)
+        } else {
+            None
+        };
+        let mut portal = Portal {
+            conn,
+            admin_conn,
+            sessions: SessionStore::new(),
+            captcha: Captcha::astronomy(),
+            simbad: Simbad::new(config.simbad_stars, config.simbad_seed),
+            config,
+            clock: AtomicI64::new(0),
+            register_nonce: AtomicU64::new(0),
+            router: Router::new(),
+        };
+        portal.router = crate::apps::build_router(portal.config.admin_enabled);
+        Ok(portal)
+    }
+
+    /// The portal's clock is fed from the simulation (all of AMP runs on
+    /// simulated time in this reproduction).
+    pub fn set_now(&self, now: i64) {
+        self.clock.store(now, Ordering::SeqCst);
+    }
+
+    pub fn now(&self) -> i64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// The web-role connection (what every public view uses).
+    pub fn conn(&self) -> &Connection {
+        &self.conn
+    }
+
+    /// The admin connection — present only on admin-enabled deploys.
+    pub fn admin_conn(&self) -> Option<&Connection> {
+        self.admin_conn.as_ref()
+    }
+
+    pub(crate) fn next_register_nonce(&self) -> u64 {
+        self.register_nonce.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Handle one request end-to-end.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.router.dispatch(self, req)
+    }
+
+    /// Resolve the request's session cookie.
+    pub fn session(&self, req: &Request) -> Option<Session> {
+        let token = req.cookies.get("amp_session")?;
+        self.sessions.get(token, self.now())
+    }
+
+    /// Resolve the logged-in user (session + fresh DB row).
+    pub fn current_user(&self, req: &Request) -> Option<AmpUser> {
+        let session = self.session(req)?;
+        Manager::<AmpUser>::new(self.conn.clone())
+            .get(session.user_id)
+            .ok()
+    }
+
+    /// Render a page in the site layout.
+    pub fn page(&self, title: &str, user: Option<&AmpUser>, body: &str) -> Response {
+        let nav_user = match user {
+            Some(u) => format!(
+                "<a href=\"/accounts/profile\">{}</a> | <a href=\"/accounts/logout\">log out</a>",
+                html_escape(&u.username)
+            ),
+            None => "<a href=\"/accounts/login\">log in</a> | <a href=\"/accounts/register\">register</a>"
+                .to_string(),
+        };
+        let html = format!(
+            "<!doctype html>\n<html><head><title>{title} — {site}</title></head>\n<body>\n\
+             <header><h1><a href=\"/\">{site}</a></h1>\
+             <nav><a href=\"/stars\">stars</a> | <a href=\"/simulations\">simulations</a> | {nav_user}</nav></header>\n\
+             <main>\n{body}\n</main>\n\
+             <footer>AMP — simulations, computational jobs, allocations and supercomputers.</footer>\n</body></html>",
+            title = html_escape(title),
+            site = html_escape(&self.config.site_title),
+        );
+        Response::html(html)
+    }
+}

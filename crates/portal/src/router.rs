@@ -1,0 +1,185 @@
+//! URL routing: pattern → view function, Django-urls style.
+
+use crate::http::{Method, Request, Response};
+use crate::portal::Portal;
+use std::collections::BTreeMap;
+
+/// Captured path parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params(BTreeMap<String, String>);
+
+impl Params {
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(|s| s.as_str())
+    }
+
+    /// Parse a parameter as an integer id.
+    pub fn id(&self, name: &str) -> Option<i64> {
+        self.get(name)?.parse().ok()
+    }
+}
+
+/// A view function.
+pub type Handler = Box<dyn Fn(&Portal, &Request, &Params) -> Response + Send + Sync>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Segment {
+    Literal(String),
+    /// `<name>` — captures one path segment.
+    Param(String),
+    /// `<name...>` — captures the remainder of the path (greedy tail).
+    Tail(String),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Segment> {
+    pattern
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            if let Some(name) = s.strip_prefix('<').and_then(|s| s.strip_suffix('>')) {
+                if let Some(tail) = name.strip_suffix("...") {
+                    Segment::Tail(tail.to_string())
+                } else {
+                    Segment::Param(name.to_string())
+                }
+            } else {
+                Segment::Literal(s.to_string())
+            }
+        })
+        .collect()
+}
+
+/// The routing table.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<(Method, Vec<Segment>, Handler)>,
+}
+
+impl Router {
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Portal, &Request, &Params) -> Response + Send + Sync + 'static,
+    ) {
+        self.routes
+            .push((Method::Get, parse_pattern(pattern), Box::new(handler)));
+    }
+
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Portal, &Request, &Params) -> Response + Send + Sync + 'static,
+    ) {
+        self.routes
+            .push((Method::Post, parse_pattern(pattern), Box::new(handler)));
+    }
+
+    fn match_route(segments: &[Segment], path: &str) -> Option<Params> {
+        let parts: Vec<&str> = path
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut params = BTreeMap::new();
+        let mut i = 0;
+        for seg in segments {
+            match seg {
+                Segment::Literal(lit) => {
+                    if parts.get(i) != Some(&lit.as_str()) {
+                        return None;
+                    }
+                    i += 1;
+                }
+                Segment::Param(name) => {
+                    let part = parts.get(i)?;
+                    params.insert(name.clone(), crate::http::urldecode(part));
+                    i += 1;
+                }
+                Segment::Tail(name) => {
+                    if i >= parts.len() {
+                        return None;
+                    }
+                    params.insert(name.clone(), parts[i..].join("/"));
+                    i = parts.len();
+                }
+            }
+        }
+        if i == parts.len() {
+            Some(Params(params))
+        } else {
+            None
+        }
+    }
+
+    /// Dispatch a request.
+    pub fn dispatch(&self, portal: &Portal, req: &Request) -> Response {
+        for (method, segments, handler) in &self.routes {
+            if *method != req.method {
+                continue;
+            }
+            if let Some(params) = Self::match_route(segments, &req.path) {
+                return handler(portal, req, &params);
+            }
+        }
+        Response::not_found()
+    }
+
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_matching() {
+        let segs = parse_pattern("/star/<id>/plots");
+        assert!(Router::match_route(&segs, "/star/42/plots").is_some());
+        assert_eq!(
+            Router::match_route(&segs, "/star/42/plots").unwrap().get("id"),
+            Some("42")
+        );
+        assert!(Router::match_route(&segs, "/star/42").is_none());
+        assert!(Router::match_route(&segs, "/star/42/plots/extra").is_none());
+        assert!(Router::match_route(&segs, "/other/42/plots").is_none());
+    }
+
+    #[test]
+    fn root_pattern() {
+        let segs = parse_pattern("/");
+        assert!(Router::match_route(&segs, "/").is_some());
+        assert!(Router::match_route(&segs, "/x").is_none());
+    }
+
+    #[test]
+    fn tail_capture_and_urldecoding() {
+        let segs = parse_pattern("/star/<ident...>");
+        let p = Router::match_route(&segs, "/star/HD+52265").unwrap();
+        // tail keeps raw joining; single params decode
+        assert_eq!(p.get("ident"), Some("HD+52265"));
+
+        let segs = parse_pattern("/star/<ident>");
+        let p = Router::match_route(&segs, "/star/HD%2052265").unwrap();
+        assert_eq!(p.get("ident"), Some("HD 52265"));
+    }
+
+    #[test]
+    fn params_id_parse() {
+        let segs = parse_pattern("/sim/<id>");
+        let p = Router::match_route(&segs, "/sim/17").unwrap();
+        assert_eq!(p.id("id"), Some(17));
+        let p = Router::match_route(&segs, "/sim/abc").unwrap();
+        assert_eq!(p.id("id"), None);
+    }
+}

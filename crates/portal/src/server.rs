@@ -1,0 +1,107 @@
+//! The TCP front end: a small threaded HTTP server over the portal.
+//!
+//! Production AMP sat behind Apache; here a thread-per-connection loop is
+//! plenty. The portal logic itself is transport-independent
+//! ([`Portal::handle`]), which is also how the integration tests drive it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::http::{Request, Response};
+use crate::portal::Portal;
+
+/// A running server handle.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and serve on 127.0.0.1 (port 0 = ephemeral). The portal is
+    /// shared with the accept loop via `Arc`.
+    pub fn spawn(portal: Arc<Portal>, port: u16) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let portal = portal.clone();
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(&portal, stream);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Server {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(portal: &Portal, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut buf = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let response = loop {
+        match Request::parse(&buf) {
+            Ok(req) => break portal.handle(&req),
+            Err(crate::http::HttpError::Incomplete) => {
+                if buf.len() > 1 << 20 {
+                    break Response::bad_request("request too large");
+                }
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Ok(()); // client hung up mid-request
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(_) => break Response::bad_request("malformed request"),
+        }
+    };
+    stream.write_all(&response.to_bytes())
+}
+
+/// A tiny blocking HTTP client for tests and examples.
+pub fn fetch(addr: SocketAddr, raw_request: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(raw_request.as_bytes())?;
+    let mut out = String::new();
+    stream.read_to_string(&mut out)?;
+    Ok(out)
+}

@@ -1,0 +1,140 @@
+//! The simulated SIMBAD astronomical database.
+//!
+//! §4.2: "If no stars are in AMP's catalog, the search is passed to the
+//! SIMBAD astronomical database and the target, if found, is added to the
+//! local catalog." We cannot reach Strasbourg, so this is a deterministic
+//! synthetic sky with the same query surface, plus an availability toggle
+//! so tests can exercise the external-service-down path.
+
+use amp_stellar::{famous_stars, synthetic_sky, CatalogStar};
+use parking_lot::RwLock;
+
+/// Errors from the external catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimbadError {
+    /// Service unreachable (network blip — the portal degrades gracefully).
+    Unavailable,
+    /// Identifier not found in the external database.
+    NotFound(String),
+}
+
+/// The external catalog service.
+pub struct Simbad {
+    sky: Vec<CatalogStar>,
+    available: RwLock<bool>,
+    queries: RwLock<u64>,
+}
+
+impl Simbad {
+    /// Build the synthetic universe: the famous stars plus `n` synthetic
+    /// targets (deterministic per seed).
+    pub fn new(n: usize, seed: u64) -> Simbad {
+        let mut sky = famous_stars();
+        sky.extend(synthetic_sky(n, seed));
+        Simbad {
+            sky,
+            available: RwLock::new(true),
+            queries: RwLock::new(0),
+        }
+    }
+
+    /// Toggle availability (outage injection).
+    pub fn set_available(&self, up: bool) {
+        *self.available.write() = up;
+    }
+
+    /// Number of queries served (the portal should only fall through on
+    /// local misses — tested).
+    pub fn query_count(&self) -> u64 {
+        *self.queries.read()
+    }
+
+    /// Exact-identifier lookup across aliases (case-insensitive,
+    /// whitespace-tolerant).
+    pub fn resolve(&self, identifier: &str) -> Result<CatalogStar, SimbadError> {
+        *self.queries.write() += 1;
+        if !*self.available.read() {
+            return Err(SimbadError::Unavailable);
+        }
+        let needle = normalize(identifier);
+        self.sky
+            .iter()
+            .find(|s| s.aliases().iter().any(|a| normalize(a) == needle))
+            .cloned()
+            .ok_or_else(|| SimbadError::NotFound(identifier.to_string()))
+    }
+
+    /// Prefix search over aliases (used by tests and the admin tooling;
+    /// the public portal only resolves exact identifiers, as AMP did).
+    pub fn search_prefix(&self, prefix: &str, limit: usize) -> Vec<CatalogStar> {
+        let needle = normalize(prefix);
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        self.sky
+            .iter()
+            .filter(|s| s.aliases().iter().any(|a| normalize(a).starts_with(&needle)))
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+}
+
+fn normalize(s: &str) -> String {
+    s.chars()
+        .filter(|c| !c.is_whitespace())
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_famous_star_by_any_alias() {
+        let s = Simbad::new(10, 1);
+        for query in ["Alpha Centauri", "HD 128620", "hd128620", "  HD  128620 "] {
+            let star = s.resolve(query).unwrap();
+            assert_eq!(star.hd_number, Some(128620), "query {query:?}");
+        }
+        assert_eq!(s.query_count(), 4);
+    }
+
+    #[test]
+    fn resolves_synthetic_star() {
+        let s = Simbad::new(5, 2);
+        let target = synthetic_sky(5, 2)[3].clone();
+        let found = s.resolve(&target.identifier()).unwrap();
+        assert_eq!(found.identifier(), target.identifier());
+    }
+
+    #[test]
+    fn unknown_identifier() {
+        let s = Simbad::new(5, 2);
+        assert_eq!(
+            s.resolve("HD 999999999"),
+            Err(SimbadError::NotFound("HD 999999999".into()))
+        );
+    }
+
+    #[test]
+    fn outage_toggle() {
+        let s = Simbad::new(5, 2);
+        s.set_available(false);
+        assert_eq!(s.resolve("HD 128620"), Err(SimbadError::Unavailable));
+        s.set_available(true);
+        assert!(s.resolve("HD 128620").is_ok());
+    }
+
+    #[test]
+    fn prefix_search() {
+        let s = Simbad::new(0, 0);
+        let hits = s.search_prefix("HD 1", 50);
+        assert!(hits.iter().any(|h| h.hd_number == Some(128620)));
+        assert!(s.search_prefix("", 10).is_empty());
+        assert_eq!(s.search_prefix("Sirius", 10).len(), 1);
+        // limit respected
+        assert!(s.search_prefix("HD", 2).len() <= 2);
+    }
+}

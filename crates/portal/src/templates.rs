@@ -1,0 +1,402 @@
+//! A small Django-flavoured template engine.
+//!
+//! Supports exactly what the portal's pages need:
+//!
+//! * `{{ expr }}` — HTML-escaped interpolation (dotted paths into the
+//!   context, e.g. `{{ star.name }}`);
+//! * `{{ expr|safe }}` — unescaped interpolation;
+//! * `{% if expr %} ... {% else %} ... {% endif %}` — truthiness like
+//!   Django's (empty string / 0 / false / null / empty array are falsy);
+//! * `{% for x in expr %} ... {% endfor %}` — iterate arrays, binding `x`.
+//!
+//! The context is a `serde_json::Value` (maps compose well with the ORM
+//! rows the views build).
+
+use crate::http::html_escape;
+use serde_json::Value;
+
+/// Template render failures (syntax problems; missing values render "").
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateError {
+    UnclosedTag(String),
+    UnexpectedTag(String),
+    BadFor(String),
+}
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemplateError::UnclosedTag(t) => write!(f, "unclosed tag: {t}"),
+            TemplateError::UnexpectedTag(t) => write!(f, "unexpected tag: {t}"),
+            TemplateError::BadFor(t) => write!(f, "malformed for tag: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Text(String),
+    /// (expression, escape?)
+    Var(String, bool),
+    If {
+        cond: String,
+        then: Vec<Node>,
+        otherwise: Vec<Node>,
+    },
+    For {
+        binding: String,
+        list: String,
+        body: Vec<Node>,
+    },
+}
+
+/// A parsed template, reusable across renders.
+#[derive(Debug, Clone)]
+pub struct Template {
+    nodes: Vec<Node>,
+}
+
+impl Template {
+    pub fn parse(source: &str) -> Result<Template, TemplateError> {
+        let tokens = tokenize(source);
+        let mut pos = 0;
+        let nodes = parse_nodes(&tokens, &mut pos, None)?;
+        Ok(Template { nodes })
+    }
+
+    pub fn render(&self, ctx: &Value) -> String {
+        let mut out = String::new();
+        render_nodes(&self.nodes, std::slice::from_ref(ctx), &mut out);
+        out
+    }
+}
+
+/// Parse + render in one call.
+pub fn render(source: &str, ctx: &Value) -> Result<String, TemplateError> {
+    Ok(Template::parse(source)?.render(ctx))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Text(String),
+    Var(String),
+    Tag(String),
+}
+
+fn tokenize(src: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut rest = src;
+    loop {
+        let var = rest.find("{{");
+        let tag = rest.find("{%");
+        let (idx, is_var) = match (var, tag) {
+            (Some(v), Some(t)) if v < t => (v, true),
+            (Some(v), None) => (v, true),
+            (_, Some(t)) => (t, false),
+            (None, None) => {
+                if !rest.is_empty() {
+                    out.push(Token::Text(rest.to_string()));
+                }
+                return out;
+            }
+        };
+        if idx > 0 {
+            out.push(Token::Text(rest[..idx].to_string()));
+        }
+        let close = if is_var { "}}" } else { "%}" };
+        match rest[idx + 2..].find(close) {
+            Some(end) => {
+                let inner = rest[idx + 2..idx + 2 + end].trim().to_string();
+                out.push(if is_var {
+                    Token::Var(inner)
+                } else {
+                    Token::Tag(inner)
+                });
+                rest = &rest[idx + 2 + end + 2..];
+            }
+            None => {
+                // Unterminated marker: treat as literal text.
+                out.push(Token::Text(rest[idx..].to_string()));
+                return out;
+            }
+        }
+    }
+}
+
+fn parse_nodes(
+    tokens: &[Token],
+    pos: &mut usize,
+    until: Option<&[&str]>,
+) -> Result<Vec<Node>, TemplateError> {
+    let mut nodes = Vec::new();
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            Token::Text(t) => {
+                nodes.push(Node::Text(t.clone()));
+                *pos += 1;
+            }
+            Token::Var(expr) => {
+                let (expr, safe) = match expr.split_once('|') {
+                    Some((e, filter)) if filter.trim() == "safe" => (e.trim().to_string(), false),
+                    _ => (expr.clone(), true),
+                };
+                nodes.push(Node::Var(expr, safe));
+                *pos += 1;
+            }
+            Token::Tag(tag) => {
+                let word = tag.split_whitespace().next().unwrap_or("");
+                if let Some(stops) = until {
+                    if stops.contains(&word) {
+                        return Ok(nodes);
+                    }
+                }
+                *pos += 1;
+                match word {
+                    "if" => {
+                        let cond = tag["if".len()..].trim().to_string();
+                        let then = parse_nodes(tokens, pos, Some(&["else", "endif"]))?;
+                        let mut otherwise = Vec::new();
+                        match current_tag(tokens, *pos) {
+                            Some("else") => {
+                                *pos += 1;
+                                otherwise = parse_nodes(tokens, pos, Some(&["endif"]))?;
+                                expect_tag(tokens, pos, "endif", "if")?;
+                            }
+                            Some("endif") => {
+                                *pos += 1;
+                            }
+                            _ => return Err(TemplateError::UnclosedTag("if".into())),
+                        }
+                        nodes.push(Node::If {
+                            cond,
+                            then,
+                            otherwise,
+                        });
+                    }
+                    "for" => {
+                        // "for x in expr"
+                        let parts: Vec<&str> = tag.split_whitespace().collect();
+                        if parts.len() != 4 || parts[2] != "in" {
+                            return Err(TemplateError::BadFor(tag.clone()));
+                        }
+                        let body = parse_nodes(tokens, pos, Some(&["endfor"]))?;
+                        expect_tag(tokens, pos, "endfor", "for")?;
+                        nodes.push(Node::For {
+                            binding: parts[1].to_string(),
+                            list: parts[3].to_string(),
+                            body,
+                        });
+                    }
+                    other => return Err(TemplateError::UnexpectedTag(other.to_string())),
+                }
+            }
+        }
+    }
+    if until.is_some() {
+        Err(TemplateError::UnclosedTag("block".into()))
+    } else {
+        Ok(nodes)
+    }
+}
+
+fn current_tag(tokens: &[Token], pos: usize) -> Option<&str> {
+    match tokens.get(pos) {
+        Some(Token::Tag(t)) => t.split_whitespace().next(),
+        _ => None,
+    }
+}
+
+fn expect_tag(
+    tokens: &[Token],
+    pos: &mut usize,
+    expected: &str,
+    opener: &str,
+) -> Result<(), TemplateError> {
+    if current_tag(tokens, *pos) == Some(expected) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(TemplateError::UnclosedTag(opener.to_string()))
+    }
+}
+
+/// Resolve a dotted path against a scope stack (innermost first).
+fn lookup<'v>(scopes: &'v [Value], expr: &str) -> Option<&'v Value> {
+    let mut parts = expr.split('.');
+    let head = parts.next()?;
+    let parts: Vec<&str> = parts.collect();
+    for scope in scopes.iter().rev() {
+        if let Some(mut v) = scope.get(head) {
+            for p in &parts {
+                v = v.get(p)?;
+            }
+            return Some(v);
+        }
+    }
+    None
+}
+
+fn truthy(v: Option<&Value>) -> bool {
+    match v {
+        None | Some(Value::Null) => false,
+        Some(Value::Bool(b)) => *b,
+        Some(Value::Number(n)) => n.as_f64().map(|f| f != 0.0).unwrap_or(true),
+        Some(Value::String(s)) => !s.is_empty(),
+        Some(Value::Array(a)) => !a.is_empty(),
+        Some(Value::Object(_)) => true,
+    }
+}
+
+fn stringify(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Null => String::new(),
+        other => other.to_string(),
+    }
+}
+
+fn render_nodes(nodes: &[Node], scopes: &[Value], out: &mut String) {
+    for node in nodes {
+        match node {
+            Node::Text(t) => out.push_str(t),
+            Node::Var(expr, escape) => {
+                let text = lookup(scopes, expr).map(stringify).unwrap_or_default();
+                if *escape {
+                    out.push_str(&html_escape(&text));
+                } else {
+                    out.push_str(&text);
+                }
+            }
+            Node::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let branch = if truthy(lookup(scopes, cond)) {
+                    then
+                } else {
+                    otherwise
+                };
+                render_nodes(branch, scopes, out);
+            }
+            Node::For {
+                binding,
+                list,
+                body,
+            } => {
+                let items: Vec<Value> = match lookup(scopes, list) {
+                    Some(Value::Array(a)) => a.clone(),
+                    _ => Vec::new(),
+                };
+                for item in items {
+                    let mut inner = scopes.to_vec();
+                    inner.push(serde_json::json!({ binding.as_str(): item }));
+                    render_nodes(body, &inner, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn interpolation_escapes_by_default() {
+        let out = render(
+            "<h1>{{ title }}</h1>{{ raw|safe }}",
+            &json!({"title": "<b>Stars & Planets</b>", "raw": "<i>ok</i>"}),
+        )
+        .unwrap();
+        assert_eq!(out, "<h1>&lt;b&gt;Stars &amp; Planets&lt;/b&gt;</h1><i>ok</i>");
+    }
+
+    #[test]
+    fn dotted_paths() {
+        let out = render(
+            "{{ star.name }} ({{ star.pos.ra }})",
+            &json!({"star": {"name": "HD 1", "pos": {"ra": 1.5}}}),
+        )
+        .unwrap();
+        assert_eq!(out, "HD 1 (1.5)");
+    }
+
+    #[test]
+    fn missing_values_render_empty() {
+        assert_eq!(render("[{{ nope }}]", &json!({})).unwrap(), "[]");
+        assert_eq!(
+            render("[{{ a.b.c }}]", &json!({"a": {"b": 1}})).unwrap(),
+            "[]"
+        );
+    }
+
+    #[test]
+    fn if_else_truthiness() {
+        let t = "{% if items %}yes{% else %}no{% endif %}";
+        assert_eq!(render(t, &json!({"items": [1]})).unwrap(), "yes");
+        assert_eq!(render(t, &json!({"items": []})).unwrap(), "no");
+        assert_eq!(render(t, &json!({})).unwrap(), "no");
+        assert_eq!(render(t, &json!({"items": 0})).unwrap(), "no");
+        assert_eq!(render(t, &json!({"items": "x"})).unwrap(), "yes");
+        let bare = "{% if ok %}y{% endif %}";
+        assert_eq!(render(bare, &json!({"ok": true})).unwrap(), "y");
+        assert_eq!(render(bare, &json!({"ok": false})).unwrap(), "");
+    }
+
+    #[test]
+    fn for_loop_binds_and_nests() {
+        let t = "{% for s in stars %}{{ s.name }}:{% for f in s.freqs %}{{ f }},{% endfor %};{% endfor %}";
+        let out = render(
+            t,
+            &json!({"stars": [
+                {"name": "A", "freqs": [1, 2]},
+                {"name": "B", "freqs": []}
+            ]}),
+        )
+        .unwrap();
+        assert_eq!(out, "A:1,2,;B:;");
+    }
+
+    #[test]
+    fn loop_variable_shadows_outer() {
+        let t = "{% for x in xs %}{{ x }}{% endfor %}{{ x }}";
+        let out = render(t, &json!({"xs": [1, 2], "x": "outer"})).unwrap();
+        assert_eq!(out, "12outer");
+    }
+
+    #[test]
+    fn syntax_errors_reported() {
+        assert!(matches!(
+            render("{% if a %}x", &json!({})),
+            Err(TemplateError::UnclosedTag(_))
+        ));
+        assert!(matches!(
+            render("{% for a of b %}x{% endfor %}", &json!({})),
+            Err(TemplateError::BadFor(_))
+        ));
+        assert!(matches!(
+            render("{% bogus %}", &json!({})),
+            Err(TemplateError::UnexpectedTag(_))
+        ));
+        assert!(matches!(
+            render("{% endif %}", &json!({})),
+            Err(TemplateError::UnexpectedTag(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_marker_is_literal() {
+        assert_eq!(render("hello {{ name", &json!({})).unwrap(), "hello {{ name");
+    }
+
+    #[test]
+    fn template_reuse() {
+        let t = Template::parse("{{ n }}").unwrap();
+        assert_eq!(t.render(&json!({"n": 1})), "1");
+        assert_eq!(t.render(&json!({"n": 2})), "2");
+    }
+}

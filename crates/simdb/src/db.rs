@@ -1,0 +1,521 @@
+//! The database engine: tables, referential integrity, mutation log.
+//!
+//! `Database` is the single-threaded engine; the thread-safe, permission-
+//! checked connection layer lives in [`crate::Db`]/[`crate::Connection`].
+
+use crate::error::DbError;
+use crate::query::Query;
+use crate::schema::{OnDelete, TableSchema};
+use crate::table::{Row, Table};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A committed mutation, as recorded in the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogOp {
+    CreateTable { schema: TableSchema },
+    Insert { table: String, id: i64, row: Row },
+    Update { table: String, id: i64, row: Row },
+    Delete { table: String, id: i64 },
+}
+
+/// The in-memory relational engine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<LogOp, DbError> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(DbError::Schema(format!(
+                "table {} already exists",
+                schema.name
+            )));
+        }
+        // FK targets must exist (or be the table itself, for self-reference).
+        for c in &schema.columns {
+            if let Some(fk) = &c.foreign_key {
+                if fk.references != schema.name && !self.tables.contains_key(&fk.references) {
+                    return Err(DbError::Schema(format!(
+                        "table {}: FK column {} references missing table {}",
+                        schema.name, c.name, fk.references
+                    )));
+                }
+            }
+        }
+        let table = Table::new(schema.clone())?;
+        self.tables.insert(schema.name.clone(), table);
+        Ok(LogOp::CreateTable { schema })
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Build a full row from named values, applying defaults and Null for
+    /// omitted columns, and rejecting unknown column names.
+    pub fn build_row(
+        &self,
+        table: &str,
+        values: &[(&str, Value)],
+    ) -> Result<Row, DbError> {
+        let t = self.table(table)?;
+        for (name, _) in values {
+            if t.schema.column_index(name).is_none() {
+                return Err(DbError::NoSuchColumn {
+                    table: table.to_string(),
+                    column: name.to_string(),
+                });
+            }
+        }
+        let row: Row = t
+            .schema
+            .columns
+            .iter()
+            .map(|c| {
+                values
+                    .iter()
+                    .find(|(n, _)| *n == c.name)
+                    .map(|(_, v)| v.clone())
+                    .or_else(|| c.default.clone())
+                    .unwrap_or(Value::Null)
+            })
+            .collect();
+        Ok(row)
+    }
+
+    /// Check all FK columns of `row` reference existing rows.
+    fn check_foreign_keys(&self, table: &str, row: &Row) -> Result<(), DbError> {
+        let t = self.table(table)?;
+        for (col, val) in t.schema.columns.iter().zip(row.iter()) {
+            if let (Some(fk), Value::Int(id)) = (&col.foreign_key, val) {
+                let target = self.table(&fk.references)?;
+                if target.get(*id).is_none() {
+                    return Err(DbError::ForeignKeyViolation {
+                        table: table.to_string(),
+                        detail: format!(
+                            "{}.{} = {} has no match in {}",
+                            table, col.name, id, fk.references
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn insert_row(&mut self, table: &str, row: Row) -> Result<(i64, LogOp), DbError> {
+        self.check_foreign_keys(table, &row)?;
+        let id = self.table_mut(table)?.insert(row.clone())?;
+        Ok((
+            id,
+            LogOp::Insert {
+                table: table.to_string(),
+                id,
+                row,
+            },
+        ))
+    }
+
+    /// Insert from named values (defaults applied).
+    pub fn insert(
+        &mut self,
+        table: &str,
+        values: &[(&str, Value)],
+    ) -> Result<(i64, LogOp), DbError> {
+        let row = self.build_row(table, values)?;
+        self.insert_row(table, row)
+    }
+
+    /// Replace a whole row.
+    pub fn update_row(&mut self, table: &str, id: i64, row: Row) -> Result<LogOp, DbError> {
+        self.check_foreign_keys(table, &row)?;
+        self.table_mut(table)?.update(id, row.clone())?;
+        Ok(LogOp::Update {
+            table: table.to_string(),
+            id,
+            row,
+        })
+    }
+
+    /// Update selected columns of a row.
+    pub fn update(
+        &mut self,
+        table: &str,
+        id: i64,
+        values: &[(&str, Value)],
+    ) -> Result<LogOp, DbError> {
+        let t = self.table(table)?;
+        let mut row = t
+            .get(id)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchRow {
+                table: table.to_string(),
+                id,
+            })?;
+        for (name, v) in values {
+            let ci = t.schema.column_index(name).ok_or_else(|| {
+                DbError::NoSuchColumn {
+                    table: table.to_string(),
+                    column: name.to_string(),
+                }
+            })?;
+            row[ci] = v.clone();
+        }
+        self.update_row(table, id, row)
+    }
+
+    /// Tables + columns holding a FK to `target`.
+    fn referencing_columns(&self, target: &str) -> Vec<(String, usize, OnDelete)> {
+        let mut out = Vec::new();
+        for (name, t) in &self.tables {
+            for (ci, c) in t.schema.columns.iter().enumerate() {
+                if let Some(fk) = &c.foreign_key {
+                    if fk.references == target {
+                        out.push((name.clone(), ci, fk.on_delete));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Plan the full effect of deleting `(table, id)`: the ordered list of
+    /// cascade deletes (leaf-first) and SET NULL updates. Fails on
+    /// `Restrict` references without mutating anything.
+    fn plan_delete(
+        &self,
+        table: &str,
+        id: i64,
+        deletes: &mut Vec<(String, i64)>,
+        set_nulls: &mut Vec<(String, i64, usize)>,
+    ) -> Result<(), DbError> {
+        if deletes.iter().any(|(t, i)| t == table && *i == id) {
+            return Ok(()); // already planned (self-referential cycles)
+        }
+        deletes.push((table.to_string(), id));
+        for (ref_table, ci, on_delete) in self.referencing_columns(table) {
+            let t = self.table(&ref_table)?;
+            let refs: Vec<i64> = match t.find_indexed(ci, &Value::Int(id)) {
+                Some(hits) => hits,
+                None => t
+                    .iter()
+                    .filter(|(_, r)| r[ci] == Value::Int(id))
+                    .map(|(rid, _)| rid)
+                    .collect(),
+            };
+            for rid in refs {
+                match on_delete {
+                    OnDelete::Restrict => {
+                        return Err(DbError::ForeignKeyViolation {
+                            table: table.to_string(),
+                            detail: format!(
+                                "row {id} is referenced by {ref_table}[{rid}] (RESTRICT)"
+                            ),
+                        });
+                    }
+                    OnDelete::Cascade => {
+                        self.plan_delete(&ref_table, rid, deletes, set_nulls)?;
+                    }
+                    OnDelete::SetNull => {
+                        set_nulls.push((ref_table.clone(), rid, ci));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete a row, honouring FK `ON DELETE` semantics atomically: the
+    /// whole cascade is planned (and `Restrict` violations detected) before
+    /// any mutation happens.
+    pub fn delete(&mut self, table: &str, id: i64) -> Result<Vec<LogOp>, DbError> {
+        if self.table(table)?.get(id).is_none() {
+            return Err(DbError::NoSuchRow {
+                table: table.to_string(),
+                id,
+            });
+        }
+        let mut deletes = Vec::new();
+        let mut set_nulls = Vec::new();
+        self.plan_delete(table, id, &mut deletes, &mut set_nulls)?;
+
+        let mut ops = Vec::new();
+        // SET NULLs first so no dangling references appear mid-way; skip
+        // rows that are themselves being deleted.
+        for (t, rid, ci) in set_nulls {
+            if deletes.iter().any(|(dt, di)| *dt == t && *di == rid) {
+                continue;
+            }
+            let mut row = self.table(&t)?.get(rid).cloned().expect("planned row");
+            row[ci] = Value::Null;
+            self.table_mut(&t)?.update(rid, row.clone())?;
+            ops.push(LogOp::Update { table: t, id: rid, row });
+        }
+        // Delete leaf-first (reverse plan order).
+        for (t, rid) in deletes.into_iter().rev() {
+            self.table_mut(&t)?.delete(rid)?;
+            ops.push(LogOp::Delete { table: t, id: rid });
+        }
+        Ok(ops)
+    }
+
+    pub fn select(&self, table: &str, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
+        query.execute(self.table(table)?)
+    }
+
+    pub fn get(&self, table: &str, id: i64) -> Result<Row, DbError> {
+        self.table(table)?
+            .get(id)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchRow {
+                table: table.to_string(),
+                id,
+            })
+    }
+
+    pub fn count(&self, table: &str, query: &Query) -> Result<usize, DbError> {
+        Ok(self.select(table, query)?.len())
+    }
+
+    /// Apply a logged operation (WAL replay path).
+    pub fn apply_log_op(&mut self, op: &LogOp) -> Result<(), DbError> {
+        match op {
+            LogOp::CreateTable { schema } => {
+                self.create_table(schema.clone())?;
+            }
+            LogOp::Insert { table, id, row } => {
+                self.table_mut(table)?.insert_with_id(*id, row.clone())?;
+            }
+            LogOp::Update { table, id, row } => {
+                self.table_mut(table)?.update(*id, row.clone())?;
+            }
+            LogOp::Delete { table, id } => {
+                self.table_mut(table)?.delete(*id)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild every table's indexes (after snapshot deserialization).
+    pub fn rebuild_indexes(&mut self) -> Result<(), DbError> {
+        for t in self.tables.values_mut() {
+            t.rebuild_indexes()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "catalog",
+            vec![Column::new("name", ValueType::Text).not_null().unique()],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "star",
+            vec![
+                Column::new("name", ValueType::Text).not_null().unique(),
+                Column::new("catalog_id", ValueType::Int)
+                    .references("catalog", OnDelete::Cascade),
+            ],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "sim",
+            vec![
+                Column::new("star_id", ValueType::Int)
+                    .not_null()
+                    .references("star", OnDelete::Restrict),
+                Column::new("note_id", ValueType::Int)
+                    .references("catalog", OnDelete::SetNull),
+            ],
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_with_defaults_and_unknown_column() {
+        let mut db = db();
+        let (id, _) = db.insert("catalog", &[("name", "kepler".into())]).unwrap();
+        assert_eq!(id, 1);
+        assert!(matches!(
+            db.insert("catalog", &[("nope", Value::Int(1))]),
+            Err(DbError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn fk_existence_enforced() {
+        let mut db = db();
+        assert!(matches!(
+            db.insert(
+                "star",
+                &[("name", "HD1".into()), ("catalog_id", Value::Int(99))]
+            ),
+            Err(DbError::ForeignKeyViolation { .. })
+        ));
+        let (cid, _) = db.insert("catalog", &[("name", "kepler".into())]).unwrap();
+        assert!(db
+            .insert(
+                "star",
+                &[("name", "HD1".into()), ("catalog_id", Value::Int(cid))]
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn delete_cascades_and_sets_null() {
+        let mut db = db();
+        let (cid, _) = db.insert("catalog", &[("name", "kepler".into())]).unwrap();
+        let (sid, _) = db
+            .insert(
+                "star",
+                &[("name", "HD1".into()), ("catalog_id", Value::Int(cid))],
+            )
+            .unwrap();
+        // sim restricts star delete but not catalog delete
+        let (_mid, _) = db
+            .insert("sim", &[("star_id", Value::Int(sid)), ("note_id", Value::Int(cid))])
+            .unwrap();
+        // star is referenced with RESTRICT via sim -> cascade from catalog
+        // would delete star, which is restricted
+        let err = db.delete("catalog", cid);
+        assert!(matches!(err, Err(DbError::ForeignKeyViolation { .. })));
+        // nothing was mutated by the failed plan
+        assert_eq!(db.table("star").unwrap().len(), 1);
+        assert_eq!(db.table("sim").unwrap().len(), 1);
+
+        // remove the restricting row, then cascade works and nulls note_id
+        let (mid2, _) = db
+            .insert("sim", &[("star_id", Value::Int(sid)), ("note_id", Value::Int(cid))])
+            .unwrap();
+        db.delete("sim", mid2).unwrap();
+        let sims = db.select("sim", &Query::new()).unwrap();
+        db.delete("sim", sims[0].0).unwrap();
+        let ops = db.delete("catalog", cid).unwrap();
+        assert!(db.table("star").unwrap().is_empty());
+        assert!(db.table("catalog").unwrap().is_empty());
+        assert!(ops.iter().any(|o| matches!(o, LogOp::Delete { table, .. } if table == "star")));
+    }
+
+    #[test]
+    fn set_null_on_surviving_reference() {
+        let mut db = db();
+        let (c1, _) = db.insert("catalog", &[("name", "a".into())]).unwrap();
+        let (c2, _) = db.insert("catalog", &[("name", "b".into())]).unwrap();
+        let (sid, _) = db
+            .insert(
+                "star",
+                &[("name", "HD1".into()), ("catalog_id", Value::Int(c2))],
+            )
+            .unwrap();
+        db.insert("sim", &[("star_id", Value::Int(sid)), ("note_id", Value::Int(c1))])
+            .unwrap();
+        db.delete("catalog", c1).unwrap();
+        let sims = db.select("sim", &Query::new()).unwrap();
+        assert_eq!(sims.len(), 1);
+        assert!(sims[0].1[1].is_null());
+    }
+
+    #[test]
+    fn partial_update() {
+        let mut db = db();
+        let (cid, _) = db.insert("catalog", &[("name", "kepler".into())]).unwrap();
+        db.update("catalog", cid, &[("name", "kic".into())]).unwrap();
+        assert_eq!(db.get("catalog", cid).unwrap()[0], "kic".into());
+    }
+
+    #[test]
+    fn log_replay_reproduces_state() {
+        let mut db = db();
+        let mut ops = Vec::new();
+        let (cid, op) = db.insert("catalog", &[("name", "kepler".into())]).unwrap();
+        ops.push(op);
+        let (sid, op) = db
+            .insert(
+                "star",
+                &[("name", "HD1".into()), ("catalog_id", Value::Int(cid))],
+            )
+            .unwrap();
+        ops.push(op);
+        ops.push(db.update("star", sid, &[("name", "HD2".into())]).unwrap());
+        ops.extend(db.delete("catalog", cid).unwrap());
+
+        let mut replay = Database::new();
+        replay
+            .create_table(db.table("catalog").unwrap().schema.clone())
+            .unwrap();
+        replay
+            .create_table(db.table("star").unwrap().schema.clone())
+            .unwrap();
+        for op in &ops {
+            replay.apply_log_op(op).unwrap();
+        }
+        assert!(replay.table("star").unwrap().is_empty());
+        assert!(replay.table("catalog").unwrap().is_empty());
+        // id counters advanced identically
+        let (nid, _) = replay.insert("catalog", &[("name", "x".into())]).unwrap();
+        let (oid, _) = db.insert("catalog", &[("name", "x".into())]).unwrap();
+        assert_eq!(nid, oid);
+    }
+
+    #[test]
+    fn create_table_rejects_missing_fk_target_and_dup() {
+        let mut db = Database::new();
+        assert!(db
+            .create_table(TableSchema::new(
+                "a",
+                vec![Column::new("x", ValueType::Int).references("nope", OnDelete::Cascade)],
+            ))
+            .is_err());
+        db.create_table(TableSchema::new("a", vec![])).unwrap();
+        assert!(db.create_table(TableSchema::new("a", vec![])).is_err());
+    }
+
+    #[test]
+    fn self_referential_cascade_terminates() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "node",
+            vec![Column::new("parent_id", ValueType::Int)
+                .references("node", OnDelete::Cascade)],
+        ))
+        .unwrap();
+        let (a, _) = db.insert("node", &[]).unwrap();
+        let (b, _) = db.insert("node", &[("parent_id", Value::Int(a))]).unwrap();
+        let (_c, _) = db.insert("node", &[("parent_id", Value::Int(b))]).unwrap();
+        db.delete("node", a).unwrap();
+        assert!(db.table("node").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Database error taxonomy.
+
+use crate::value::{Value, ValueType};
+use std::fmt;
+
+/// Everything that can go wrong inside the database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Schema definition problem (duplicate column, reserved name, ...).
+    Schema(String),
+    /// No such table.
+    NoSuchTable(String),
+    /// No such column in the table.
+    NoSuchColumn { table: String, column: String },
+    /// No row with the given primary key.
+    NoSuchRow { table: String, id: i64 },
+    /// Value type does not match the declared column type.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: ValueType,
+        got: Value,
+    },
+    /// NULL stored into a NOT NULL column.
+    NotNullViolation { table: String, column: String },
+    /// Text exceeds the column's max_length.
+    LengthViolation {
+        table: String,
+        column: String,
+        max: usize,
+        got: usize,
+    },
+    /// Duplicate value in a UNIQUE column.
+    UniqueViolation {
+        table: String,
+        column: String,
+        value: Value,
+    },
+    /// FK references a missing row, or delete is restricted by references.
+    ForeignKeyViolation { table: String, detail: String },
+    /// The connection's role lacks the required table permission.
+    PermissionDenied {
+        role: String,
+        table: String,
+        action: &'static str,
+    },
+    /// Persistence (WAL/snapshot) failure.
+    Io(String),
+    /// WAL/snapshot contents could not be decoded.
+    Corrupt(String),
+    /// Transaction was rolled back by the caller or by a failed operation.
+    TxnAborted(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no such column: {table}.{column}")
+            }
+            DbError::NoSuchRow { table, id } => write!(f, "no row {table}[{id}]"),
+            DbError::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch on {table}.{column}: expected {expected}, got {got:?}"
+            ),
+            DbError::NotNullViolation { table, column } => {
+                write!(f, "NOT NULL violation on {table}.{column}")
+            }
+            DbError::LengthViolation {
+                table,
+                column,
+                max,
+                got,
+            } => write!(
+                f,
+                "length violation on {table}.{column}: {got} > max {max}"
+            ),
+            DbError::UniqueViolation {
+                table,
+                column,
+                value,
+            } => write!(f, "unique violation on {table}.{column} = {value}"),
+            DbError::ForeignKeyViolation { table, detail } => {
+                write!(f, "foreign key violation on {table}: {detail}")
+            }
+            DbError::PermissionDenied {
+                role,
+                table,
+                action,
+            } => write!(f, "permission denied: role {role} may not {action} on {table}"),
+            DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::Corrupt(m) => write!(f, "corrupt persistence data: {m}"),
+            DbError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,513 @@
+//! Query descriptions: filters, ordering, pagination.
+//!
+//! The equivalent of Django's queryset surface that AMP's views and the
+//! GridAMP daemon used (`filter`, `exclude`-style negation via `Ne`,
+//! `order_by`, slicing).
+
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use crate::table::{Row, Table};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Comparison operators available in filters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Case-sensitive substring match (Text columns).
+    Contains,
+    /// Case-insensitive substring match.
+    IContains,
+    /// Prefix match (Text columns).
+    StartsWith,
+    /// Membership in a value list.
+    In(Vec<Value>),
+    IsNull,
+    NotNull,
+}
+
+/// A single column predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Filter {
+    pub column: String,
+    pub op: Op,
+    pub value: Value,
+}
+
+impl Filter {
+    pub fn new(column: &str, op: Op, value: impl Into<Value>) -> Self {
+        Filter {
+            column: column.to_string(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    pub fn eq(column: &str, value: impl Into<Value>) -> Self {
+        Self::new(column, Op::Eq, value)
+    }
+
+    fn matches(&self, cell: &Value) -> bool {
+        match &self.op {
+            Op::IsNull => cell.is_null(),
+            Op::NotNull => !cell.is_null(),
+            Op::In(vals) => vals.iter().any(|v| v.key_eq(cell)),
+            op => {
+                if cell.is_null() {
+                    // SQL semantics: NULL matches no ordinary comparison.
+                    return false;
+                }
+                match op {
+                    Op::Eq => cell.key_eq(&self.value),
+                    Op::Ne => !cell.key_eq(&self.value),
+                    Op::Lt => cell.total_cmp(&self.value).is_lt(),
+                    Op::Le => cell.total_cmp(&self.value).is_le(),
+                    Op::Gt => cell.total_cmp(&self.value).is_gt(),
+                    Op::Ge => cell.total_cmp(&self.value).is_ge(),
+                    Op::Contains => match (cell, &self.value) {
+                        (Value::Text(c), Value::Text(n)) => c.contains(n.as_str()),
+                        _ => false,
+                    },
+                    Op::IContains => match (cell, &self.value) {
+                        (Value::Text(c), Value::Text(n)) => {
+                            c.to_lowercase().contains(&n.to_lowercase())
+                        }
+                        _ => false,
+                    },
+                    Op::StartsWith => match (cell, &self.value) {
+                        (Value::Text(c), Value::Text(n)) => c.starts_with(n.as_str()),
+                        _ => false,
+                    },
+                    Op::In(_) | Op::IsNull | Op::NotNull => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// Sort key: column name + direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderBy {
+    pub column: String,
+    pub descending: bool,
+}
+
+/// A complete query over one table. Filters are conjunctive (AND).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    pub filters: Vec<Filter>,
+    pub order_by: Vec<OrderBy>,
+    pub limit: Option<usize>,
+    pub offset: usize,
+}
+
+impl Query {
+    pub fn new() -> Self {
+        Query::default()
+    }
+
+    pub fn filter(mut self, column: &str, op: Op, value: impl Into<Value>) -> Self {
+        self.filters.push(Filter::new(column, op, value));
+        self
+    }
+
+    pub fn eq(self, column: &str, value: impl Into<Value>) -> Self {
+        self.filter(column, Op::Eq, value)
+    }
+
+    pub fn order_by(mut self, column: &str) -> Self {
+        self.order_by.push(OrderBy {
+            column: column.to_string(),
+            descending: false,
+        });
+        self
+    }
+
+    pub fn order_by_desc(mut self, column: &str) -> Self {
+        self.order_by.push(OrderBy {
+            column: column.to_string(),
+            descending: true,
+        });
+        self
+    }
+
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    pub fn offset(mut self, n: usize) -> Self {
+        self.offset = n;
+        self
+    }
+
+    /// Check every referenced column exists; returns resolved column indexes
+    /// for filters (parallel to `self.filters`).
+    fn resolve(&self, schema: &TableSchema) -> Result<Vec<usize>, DbError> {
+        let mut idx = Vec::with_capacity(self.filters.len());
+        for f in &self.filters {
+            idx.push(schema.column_index(&f.column).ok_or_else(|| {
+                DbError::NoSuchColumn {
+                    table: schema.name.clone(),
+                    column: f.column.clone(),
+                }
+            })?);
+        }
+        for o in &self.order_by {
+            if o.column != "id" && schema.column_index(&o.column).is_none() {
+                return Err(DbError::NoSuchColumn {
+                    table: schema.name.clone(),
+                    column: o.column.clone(),
+                });
+            }
+        }
+        Ok(idx)
+    }
+
+    /// Execute against a table, returning (id, row) pairs.
+    ///
+    /// Uses a unique or secondary index when the first resolvable `Eq`
+    /// filter is over an indexed column; otherwise scans in pk order.
+    pub fn execute(&self, table: &Table) -> Result<Vec<(i64, Row)>, DbError> {
+        let idx = self.resolve(&table.schema)?;
+
+        // Candidate selection: try to drive from an index.
+        let mut candidates: Option<Vec<i64>> = None;
+        for (f, &ci) in self.filters.iter().zip(idx.iter()) {
+            if let Op::Eq = f.op {
+                if let Some(id) = table.find_unique(ci, &f.value) {
+                    candidates = Some(vec![id]);
+                    break;
+                }
+                if table.schema.columns[ci].unique {
+                    // Unique index exists but has no entry: no matches.
+                    candidates = Some(Vec::new());
+                    break;
+                }
+                if let Some(hits) = table.find_indexed(ci, &f.value) {
+                    candidates = Some(hits);
+                    break;
+                }
+            }
+        }
+
+        let mut out: Vec<(i64, Row)> = match candidates {
+            Some(ids) => ids
+                .into_iter()
+                .filter_map(|id| table.get(id).map(|r| (id, r.clone())))
+                .collect(),
+            None => table.iter().map(|(id, r)| (id, r.clone())).collect(),
+        };
+
+        // Apply all filters (index pre-selection is a superset).
+        out.retain(|(_, row)| {
+            self.filters
+                .iter()
+                .zip(idx.iter())
+                .all(|(f, &ci)| f.matches(&row[ci]))
+        });
+
+        // Ordering. "id" orders by primary key.
+        if !self.order_by.is_empty() {
+            let schema = &table.schema;
+            let keys: Vec<(Option<usize>, bool)> = self
+                .order_by
+                .iter()
+                .map(|o| (schema.column_index(&o.column), o.descending))
+                .collect();
+            out.sort_by(|(aid, arow), (bid, brow)| {
+                for (ci, desc) in &keys {
+                    let ord = match ci {
+                        Some(ci) => arow[*ci].total_cmp(&brow[*ci]),
+                        None => aid.cmp(bid),
+                    };
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                aid.cmp(bid)
+            });
+        }
+
+        // Pagination.
+        let start = self.offset.min(out.len());
+        let end = match self.limit {
+            Some(l) => (start + l).min(out.len()),
+            None => out.len(),
+        };
+        Ok(out[start..end].to_vec())
+    }
+}
+
+/// Column aggregates over a query's result set (Django's `aggregate()`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Aggregate {
+    pub count: usize,
+    pub sum: f64,
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+}
+
+impl Aggregate {
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+impl Query {
+    /// Aggregate a numeric column (Int/Float/Timestamp) over the matching
+    /// rows. NULL cells are skipped (SQL semantics); non-numeric columns
+    /// produce a column error.
+    pub fn aggregate(&self, table: &Table, column: &str) -> Result<Aggregate, DbError> {
+        let ci = table
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: table.schema.name.clone(),
+                column: column.to_string(),
+            })?;
+        let rows = self.execute(table)?;
+        let mut agg = Aggregate::default();
+        for (_, row) in &rows {
+            let v = match &row[ci] {
+                Value::Null => continue,
+                Value::Int(i) => *i as f64,
+                Value::Float(f) => *f,
+                Value::Timestamp(t) => *t as f64,
+                other => {
+                    return Err(DbError::TypeMismatch {
+                        table: table.schema.name.clone(),
+                        column: column.to_string(),
+                        expected: crate::value::ValueType::Float,
+                        got: other.clone(),
+                    })
+                }
+            };
+            agg.count += 1;
+            agg.sum += v;
+            agg.min = Some(agg.min.map_or(v, |m| m.min(v)));
+            agg.max = Some(agg.max.map_or(v, |m| m.max(v)));
+        }
+        Ok(agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::ValueType;
+
+    fn table() -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "star",
+            vec![
+                Column::new("name", ValueType::Text).not_null().unique(),
+                Column::new("mass", ValueType::Float),
+                Column::new("kind", ValueType::Text).indexed(),
+            ],
+        ))
+        .unwrap();
+        for (n, m, k) in [
+            ("HD1", 1.0, "dwarf"),
+            ("HD2", 1.5, "giant"),
+            ("HD3", 0.8, "dwarf"),
+            ("HD4", 2.0, "giant"),
+        ] {
+            t.insert(vec![n.into(), Value::Float(m), k.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn eq_via_unique_index() {
+        let t = table();
+        let rows = Query::new().eq("name", "HD3").execute(&t).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[1], Value::Float(0.8));
+    }
+
+    #[test]
+    fn eq_via_unique_index_no_match() {
+        let t = table();
+        assert!(Query::new().eq("name", "HD99").execute(&t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eq_via_secondary_index_with_extra_filter() {
+        let t = table();
+        let rows = Query::new()
+            .eq("kind", "dwarf")
+            .filter("mass", Op::Gt, Value::Float(0.9))
+            .execute(&t)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[0], "HD1".into());
+    }
+
+    #[test]
+    fn range_scan_and_order_desc() {
+        let t = table();
+        let rows = Query::new()
+            .filter("mass", Op::Ge, Value::Float(1.0))
+            .order_by_desc("mass")
+            .execute(&t)
+            .unwrap();
+        let names: Vec<Value> = rows.into_iter().map(|(_, r)| r[0].clone()).collect();
+        assert_eq!(names, vec!["HD4".into(), "HD2".into(), "HD1".into()]);
+    }
+
+    #[test]
+    fn pagination() {
+        let t = table();
+        let rows = Query::new()
+            .order_by("mass")
+            .offset(1)
+            .limit(2)
+            .execute(&t)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1[0], "HD1".into());
+    }
+
+    #[test]
+    fn contains_and_startswith() {
+        let t = table();
+        assert_eq!(
+            Query::new()
+                .filter("name", Op::StartsWith, "HD")
+                .execute(&t)
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            Query::new()
+                .filter("kind", Op::Contains, "warf")
+                .execute(&t)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            Query::new()
+                .filter("kind", Op::IContains, "DWARF")
+                .execute(&t)
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn in_and_null_ops() {
+        let mut t = table();
+        t.insert(vec!["HD5".into(), Value::Null, "dwarf".into()])
+            .unwrap();
+        assert_eq!(
+            Query::new()
+                .filter("name", Op::In(vec!["HD1".into(), "HD5".into()]), Value::Null)
+                .execute(&t)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            Query::new()
+                .filter("mass", Op::IsNull, Value::Null)
+                .execute(&t)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            Query::new()
+                .filter("mass", Op::NotNull, Value::Null)
+                .execute(&t)
+                .unwrap()
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn null_never_matches_comparisons() {
+        let mut t = table();
+        t.insert(vec!["HD5".into(), Value::Null, "dwarf".into()])
+            .unwrap();
+        assert_eq!(
+            Query::new()
+                .filter("mass", Op::Lt, Value::Float(100.0))
+                .execute(&t)
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            Query::new()
+                .filter("mass", Op::Ne, Value::Float(1.0))
+                .execute(&t)
+                .unwrap()
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let t = table();
+        assert!(matches!(
+            Query::new().eq("nope", 1).execute(&t),
+            Err(DbError::NoSuchColumn { .. })
+        ));
+        assert!(matches!(
+            Query::new().order_by("nope").execute(&t),
+            Err(DbError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn order_by_id_explicit() {
+        let t = table();
+        let rows = Query::new().order_by_desc("id").execute(&t).unwrap();
+        assert_eq!(rows[0].0, 4);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut t = table();
+        t.insert(vec!["HD5".into(), Value::Null, "dwarf".into()])
+            .unwrap();
+        let a = Query::new().aggregate(&t, "mass").unwrap();
+        assert_eq!(a.count, 4, "NULL skipped");
+        assert!((a.sum - 5.3).abs() < 1e-9);
+        assert_eq!(a.min, Some(0.8));
+        assert_eq!(a.max, Some(2.0));
+        assert!((a.mean().unwrap() - 1.325).abs() < 1e-9);
+        // filtered aggregate
+        let a = Query::new()
+            .eq("kind", "giant")
+            .aggregate(&t, "mass")
+            .unwrap();
+        assert_eq!(a.count, 2);
+        assert!((a.sum - 3.5).abs() < 1e-9);
+        // empty set
+        let a = Query::new().eq("kind", "nova").aggregate(&t, "mass").unwrap();
+        assert_eq!(a.count, 0);
+        assert_eq!(a.mean(), None);
+        assert_eq!(a.min, None);
+        // text column rejected
+        assert!(Query::new().aggregate(&t, "name").is_err());
+        assert!(Query::new().aggregate(&t, "nope").is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! In-memory table storage: rows, primary keys, unique & secondary indexes.
+
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use crate::value::{Value, ValueKey};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// A stored row: cell values aligned with `TableSchema::columns` order.
+/// The primary key lives in the table's row map, not in the row itself.
+pub type Row = Vec<Value>;
+
+/// A single table: schema, row storage, and indexes.
+///
+/// Indexes are rebuilt on load; only schema + rows are serialized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    pub schema: TableSchema,
+    pub(crate) rows: BTreeMap<i64, Row>,
+    pub(crate) next_id: i64,
+    /// unique column index -> value -> row id
+    #[serde(skip)]
+    pub(crate) unique: HashMap<usize, HashMap<ValueKey, i64>>,
+    /// secondary column index -> value -> row ids
+    #[serde(skip)]
+    pub(crate) secondary: HashMap<usize, HashMap<ValueKey, Vec<i64>>>,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Result<Self, DbError> {
+        schema.validate()?;
+        let mut t = Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_id: 1,
+            unique: HashMap::new(),
+            secondary: HashMap::new(),
+        };
+        t.init_indexes();
+        Ok(t)
+    }
+
+    fn init_indexes(&mut self) {
+        self.unique.clear();
+        self.secondary.clear();
+        for (i, c) in self.schema.columns.iter().enumerate() {
+            if c.unique {
+                self.unique.insert(i, HashMap::new());
+            }
+            if c.indexed || c.foreign_key.is_some() {
+                self.secondary.insert(i, HashMap::new());
+            }
+        }
+    }
+
+    /// Rebuild all indexes from row storage (after deserialization).
+    pub fn rebuild_indexes(&mut self) -> Result<(), DbError> {
+        self.init_indexes();
+        let ids: Vec<i64> = self.rows.keys().copied().collect();
+        for id in ids {
+            let row = self.rows.get(&id).cloned().expect("row exists");
+            self.index_row(id, &row)?;
+        }
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn get(&self, id: i64) -> Option<&Row> {
+        self.rows.get(&id)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &Row)> {
+        self.rows.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// Validate per-column constraints and uniqueness for a candidate row,
+    /// excluding row `exclude` from uniqueness checks (for updates).
+    fn check_row(&self, row: &Row, exclude: Option<i64>) -> Result<(), DbError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(DbError::Schema(format!(
+                "table {}: row arity {} != schema arity {}",
+                self.schema.name,
+                row.len(),
+                self.schema.columns.len()
+            )));
+        }
+        for (i, (col, val)) in self.schema.columns.iter().zip(row.iter()).enumerate() {
+            col.check_value(&self.schema.name, val)?;
+            if col.unique && !val.is_null() {
+                if let Some(&other) = self
+                    .unique
+                    .get(&i)
+                    .and_then(|m| m.get(&ValueKey(val.clone())))
+                {
+                    if Some(other) != exclude {
+                        return Err(DbError::UniqueViolation {
+                            table: self.schema.name.clone(),
+                            column: col.name.clone(),
+                            value: val.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_row(&mut self, id: i64, row: &Row) -> Result<(), DbError> {
+        self.check_row(row, Some(id))?;
+        for (i, val) in row.iter().enumerate() {
+            if val.is_null() {
+                continue;
+            }
+            if let Some(m) = self.unique.get_mut(&i) {
+                m.insert(ValueKey(val.clone()), id);
+            }
+            if let Some(m) = self.secondary.get_mut(&i) {
+                m.entry(ValueKey(val.clone())).or_default().push(id);
+            }
+        }
+        Ok(())
+    }
+
+    fn unindex_row(&mut self, id: i64, row: &Row) {
+        for (i, val) in row.iter().enumerate() {
+            if val.is_null() {
+                continue;
+            }
+            if let Some(m) = self.unique.get_mut(&i) {
+                m.remove(&ValueKey(val.clone()));
+            }
+            if let Some(m) = self.secondary.get_mut(&i) {
+                if let Some(v) = m.get_mut(&ValueKey(val.clone())) {
+                    v.retain(|&x| x != id);
+                    if v.is_empty() {
+                        m.remove(&ValueKey(val.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert a row, assigning a fresh primary key. FK existence is checked
+    /// by the database layer before calling this.
+    pub fn insert(&mut self, row: Row) -> Result<i64, DbError> {
+        self.check_row(&row, None)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.rows.insert(id, row.clone());
+        // check_row passed with exclude=None so indexing cannot fail.
+        self.index_row(id, &row).expect("validated row indexes");
+        Ok(id)
+    }
+
+    /// Insert a row with an explicit id (WAL replay / snapshot restore).
+    pub fn insert_with_id(&mut self, id: i64, row: Row) -> Result<(), DbError> {
+        if self.rows.contains_key(&id) {
+            return Err(DbError::Schema(format!(
+                "table {}: duplicate explicit id {}",
+                self.schema.name, id
+            )));
+        }
+        self.check_row(&row, None)?;
+        self.rows.insert(id, row.clone());
+        self.index_row(id, &row).expect("validated row indexes");
+        if id >= self.next_id {
+            self.next_id = id + 1;
+        }
+        Ok(())
+    }
+
+    /// Replace an entire row.
+    pub fn update(&mut self, id: i64, row: Row) -> Result<(), DbError> {
+        let old = self
+            .rows
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchRow {
+                table: self.schema.name.clone(),
+                id,
+            })?;
+        self.check_row(&row, Some(id))?;
+        self.unindex_row(id, &old);
+        self.rows.insert(id, row.clone());
+        self.index_row(id, &row).expect("validated row indexes");
+        Ok(())
+    }
+
+    /// Delete a row, returning it. FK restrictions are handled by the
+    /// database layer.
+    pub fn delete(&mut self, id: i64) -> Result<Row, DbError> {
+        let row = self.rows.remove(&id).ok_or_else(|| DbError::NoSuchRow {
+            table: self.schema.name.clone(),
+            id,
+        })?;
+        self.unindex_row(id, &row);
+        Ok(row)
+    }
+
+    /// Fast lookup by unique column value.
+    pub fn find_unique(&self, col: usize, value: &Value) -> Option<i64> {
+        self.unique
+            .get(&col)
+            .and_then(|m| m.get(&ValueKey(value.clone())))
+            .copied()
+    }
+
+    /// Fast lookup by indexed column value; `None` means no index on col.
+    pub fn find_indexed(&self, col: usize, value: &Value) -> Option<Vec<i64>> {
+        self.secondary
+            .get(&col)
+            .map(|m| m.get(&ValueKey(value.clone())).cloned().unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+
+    fn table() -> Table {
+        Table::new(TableSchema::new(
+            "u",
+            vec![
+                Column::new("name", ValueType::Text).not_null().unique(),
+                Column::new("age", ValueType::Int).indexed(),
+            ],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut t = table();
+        let a = t.insert(vec!["a".into(), Value::Int(1)]).unwrap();
+        let b = t.insert(vec!["b".into(), Value::Int(2)]).unwrap();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unique_enforced_and_released_on_delete() {
+        let mut t = table();
+        let id = t.insert(vec!["a".into(), Value::Null]).unwrap();
+        assert!(matches!(
+            t.insert(vec!["a".into(), Value::Null]),
+            Err(DbError::UniqueViolation { .. })
+        ));
+        t.delete(id).unwrap();
+        assert!(t.insert(vec!["a".into(), Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn unique_allows_self_update() {
+        let mut t = table();
+        let id = t.insert(vec!["a".into(), Value::Int(1)]).unwrap();
+        t.update(id, vec!["a".into(), Value::Int(2)]).unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::Int(2));
+    }
+
+    #[test]
+    fn update_reindexes() {
+        let mut t = table();
+        let id = t.insert(vec!["a".into(), Value::Int(1)]).unwrap();
+        t.update(id, vec!["b".into(), Value::Int(1)]).unwrap();
+        // old name must be free again
+        assert!(t.insert(vec!["a".into(), Value::Int(9)]).is_ok());
+        let name_col = 0;
+        assert_eq!(t.find_unique(name_col, &"b".into()), Some(id));
+        assert_eq!(t.find_unique(name_col, &"zzz".into()), None);
+    }
+
+    #[test]
+    fn secondary_index_tracks_rows() {
+        let mut t = table();
+        let a = t.insert(vec!["a".into(), Value::Int(30)]).unwrap();
+        let b = t.insert(vec!["b".into(), Value::Int(30)]).unwrap();
+        let hits = t.find_indexed(1, &Value::Int(30)).unwrap();
+        assert_eq!(hits, vec![a, b]);
+        t.delete(a).unwrap();
+        assert_eq!(t.find_indexed(1, &Value::Int(30)).unwrap(), vec![b]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = table();
+        assert!(matches!(
+            t.insert(vec!["a".into()]),
+            Err(DbError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn rebuild_indexes_matches_fresh() {
+        let mut t = table();
+        t.insert(vec!["a".into(), Value::Int(1)]).unwrap();
+        t.insert(vec!["b".into(), Value::Int(1)]).unwrap();
+        let mut t2 = t.clone();
+        t2.unique.clear();
+        t2.secondary.clear();
+        t2.rebuild_indexes().unwrap();
+        assert_eq!(t2.find_unique(0, &"a".into()), t.find_unique(0, &"a".into()));
+        assert_eq!(
+            t2.find_indexed(1, &Value::Int(1)),
+            t.find_indexed(1, &Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn insert_with_id_advances_counter() {
+        let mut t = table();
+        t.insert_with_id(10, vec!["a".into(), Value::Null]).unwrap();
+        let next = t.insert(vec!["b".into(), Value::Null]).unwrap();
+        assert_eq!(next, 11);
+        assert!(t.insert_with_id(10, vec!["c".into(), Value::Null]).is_err());
+    }
+}

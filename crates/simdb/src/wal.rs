@@ -1,0 +1,333 @@
+//! Durability: JSON-lines write-ahead log and full snapshots.
+//!
+//! The central database is the only channel between AMP's portal and the
+//! GridAMP daemon, so losing it loses all workflow state. The `Wal` appends
+//! each committed mutation as one JSON line; `Snapshot` serializes the whole
+//! database. Recovery = load latest snapshot, then replay the WAL suffix.
+
+use crate::db::{Database, LogOp};
+use crate::error::DbError;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One WAL record: a monotonically increasing sequence number plus the op.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WalRecord {
+    pub seq: u64,
+    pub op: LogOp,
+}
+
+/// An append-only write-ahead log backed by a file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    inner: Mutex<WalInner>,
+}
+
+#[derive(Debug)]
+struct WalInner {
+    writer: BufWriter<File>,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Open (or create) a WAL file, continuing after any existing records.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, DbError> {
+        let path = path.as_ref().to_path_buf();
+        let next_seq = if path.exists() {
+            Self::read_records(&path)?
+                .last()
+                .map(|r| r.seq + 1)
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Wal {
+            path,
+            inner: Mutex::new(WalInner {
+                writer: BufWriter::new(file),
+                next_seq,
+            }),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append ops and flush. Returns the sequence number of the last record.
+    pub fn append(&self, ops: &[LogOp]) -> Result<u64, DbError> {
+        let mut inner = self.inner.lock().expect("wal lock");
+        let mut last = inner.next_seq;
+        for op in ops {
+            let rec = WalRecord {
+                seq: inner.next_seq,
+                op: op.clone(),
+            };
+            let line = serde_json::to_string(&rec)
+                .map_err(|e| DbError::Io(format!("wal encode: {e}")))?;
+            inner.writer.write_all(line.as_bytes())?;
+            inner.writer.write_all(b"\n")?;
+            last = inner.next_seq;
+            inner.next_seq += 1;
+        }
+        inner.writer.flush()?;
+        Ok(last)
+    }
+
+    /// Truncate the log file (after a covering snapshot). The sequence
+    /// counter keeps increasing, so records appended later still sort
+    /// strictly after the snapshot's covered sequence number.
+    pub fn truncate(&self) -> Result<(), DbError> {
+        let mut inner = self.inner.lock().expect("wal lock");
+        inner.writer = BufWriter::new(File::create(&self.path)?);
+        Ok(())
+    }
+
+    /// Read all records from a WAL file.
+    pub fn read_records(path: impl AsRef<Path>) -> Result<Vec<WalRecord>, DbError> {
+        let f = File::open(path.as_ref())?;
+        let mut out = Vec::new();
+        for (lineno, line) in BufReader::new(f).lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: WalRecord = serde_json::from_str(&line).map_err(|e| {
+                DbError::Corrupt(format!("wal line {}: {e}", lineno + 1))
+            })?;
+            out.push(rec);
+        }
+        // Sequence numbers must be strictly increasing.
+        for w in out.windows(2) {
+            if w[1].seq <= w[0].seq {
+                return Err(DbError::Corrupt(format!(
+                    "wal sequence regression: {} then {}",
+                    w[0].seq, w[1].seq
+                )));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Replay records with `seq > after` into a database.
+    pub fn replay_into(
+        db: &mut Database,
+        records: &[WalRecord],
+        after: Option<u64>,
+    ) -> Result<usize, DbError> {
+        let mut applied = 0;
+        for rec in records {
+            if let Some(a) = after {
+                if rec.seq <= a {
+                    continue;
+                }
+            }
+            db.apply_log_op(&rec.op)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+}
+
+/// Full database snapshots.
+pub struct Snapshot;
+
+/// A snapshot file: database state plus the WAL sequence number it covers.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SnapshotFile {
+    covered_seq: Option<u64>,
+    database: Database,
+}
+
+impl Snapshot {
+    /// Write the database (and the WAL seq it includes) to a file.
+    pub fn save(
+        db: &Database,
+        covered_seq: Option<u64>,
+        path: impl AsRef<Path>,
+    ) -> Result<(), DbError> {
+        let file = SnapshotFile {
+            covered_seq,
+            database: db.clone(),
+        };
+        let data = serde_json::to_vec(&file)
+            .map_err(|e| DbError::Io(format!("snapshot encode: {e}")))?;
+        // Write-then-rename for atomicity.
+        let tmp = path.as_ref().with_extension("tmp");
+        std::fs::write(&tmp, data)?;
+        std::fs::rename(&tmp, path.as_ref())?;
+        Ok(())
+    }
+
+    /// Load a snapshot; returns the database (indexes rebuilt) and the WAL
+    /// sequence number it covers.
+    pub fn load(path: impl AsRef<Path>) -> Result<(Database, Option<u64>), DbError> {
+        let data = std::fs::read(path.as_ref())?;
+        let file: SnapshotFile = serde_json::from_slice(&data)
+            .map_err(|e| DbError::Corrupt(format!("snapshot decode: {e}")))?;
+        let mut db = file.database;
+        db.rebuild_indexes()?;
+        Ok((db, file.covered_seq))
+    }
+}
+
+/// Recover a database from `snapshot` (if present) + `wal` (if present).
+pub fn recover(
+    snapshot: Option<&Path>,
+    wal: Option<&Path>,
+) -> Result<Database, DbError> {
+    let (mut db, covered) = match snapshot {
+        Some(p) if p.exists() => Snapshot::load(p)?,
+        _ => (Database::new(), None),
+    };
+    if let Some(w) = wal {
+        if w.exists() {
+            let records = Wal::read_records(w)?;
+            Wal::replay_into(&mut db, &records, covered)?;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::value::{Value, ValueType};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("simdb_wal_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn seed_ops(db: &mut Database) -> Vec<LogOp> {
+        let mut ops = Vec::new();
+        ops.push(
+            db.create_table(TableSchema::new(
+                "t",
+                vec![Column::new("v", ValueType::Int)],
+            ))
+            .unwrap(),
+        );
+        for i in 0..5 {
+            let (_, op) = db.insert("t", &[("v", Value::Int(i))]).unwrap();
+            ops.push(op);
+        }
+        ops
+    }
+
+    #[test]
+    fn wal_roundtrip() {
+        let dir = tmpdir("rt");
+        let wal_path = dir.join("db.wal");
+        let mut db = Database::new();
+        let ops = seed_ops(&mut db);
+        let wal = Wal::open(&wal_path).unwrap();
+        wal.append(&ops).unwrap();
+
+        let recovered = recover(None, Some(&wal_path)).unwrap();
+        assert_eq!(recovered.table("t").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn wal_reopen_continues_sequence() {
+        let dir = tmpdir("seq");
+        let wal_path = dir.join("db.wal");
+        let mut db = Database::new();
+        let ops = seed_ops(&mut db);
+        {
+            let wal = Wal::open(&wal_path).unwrap();
+            assert_eq!(wal.append(&ops).unwrap(), (ops.len() - 1) as u64);
+        }
+        let wal = Wal::open(&wal_path).unwrap();
+        let (_, op) = db.insert("t", &[("v", Value::Int(9))]).unwrap();
+        let seq = wal.append(std::slice::from_ref(&op)).unwrap();
+        assert_eq!(seq, ops.len() as u64);
+        let recs = Wal::read_records(&wal_path).unwrap();
+        assert_eq!(recs.len(), ops.len() + 1);
+    }
+
+    #[test]
+    fn snapshot_plus_wal_suffix() {
+        let dir = tmpdir("snap");
+        let wal_path = dir.join("db.wal");
+        let snap_path = dir.join("db.snap");
+        let wal = Wal::open(&wal_path).unwrap();
+
+        let mut db = Database::new();
+        let ops = seed_ops(&mut db);
+        let last = wal.append(&ops).unwrap();
+        Snapshot::save(&db, Some(last), &snap_path).unwrap();
+
+        // post-snapshot activity
+        let (_, op1) = db.insert("t", &[("v", Value::Int(100))]).unwrap();
+        let rows = db.select("t", &crate::query::Query::new()).unwrap();
+        let dels = db.delete("t", rows[0].0).unwrap();
+        let mut tail = vec![op1];
+        tail.extend(dels);
+        wal.append(&tail).unwrap();
+
+        let recovered = recover(Some(&snap_path), Some(&wal_path)).unwrap();
+        assert_eq!(recovered.table("t").unwrap().len(), 5);
+        let vals: Vec<i64> = recovered
+            .select("t", &crate::query::Query::new())
+            .unwrap()
+            .iter()
+            .map(|(_, r)| r[0].as_int().unwrap())
+            .collect();
+        assert!(vals.contains(&100));
+        assert!(!vals.contains(&0));
+    }
+
+    #[test]
+    fn corrupt_wal_detected() {
+        let dir = tmpdir("corrupt");
+        let wal_path = dir.join("db.wal");
+        std::fs::write(&wal_path, "not json\n").unwrap();
+        assert!(matches!(
+            Wal::read_records(&wal_path),
+            Err(DbError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn sequence_regression_detected() {
+        let dir = tmpdir("reg");
+        let wal_path = dir.join("db.wal");
+        let op = LogOp::Delete {
+            table: "t".into(),
+            id: 1,
+        };
+        let a = serde_json::to_string(&WalRecord { seq: 5, op: op.clone() }).unwrap();
+        let b = serde_json::to_string(&WalRecord { seq: 5, op }).unwrap();
+        std::fs::write(&wal_path, format!("{a}\n{b}\n")).unwrap();
+        assert!(matches!(
+            Wal::read_records(&wal_path),
+            Err(DbError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_restores_indexes() {
+        let dir = tmpdir("idx");
+        let snap_path = dir.join("db.snap");
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "t",
+            vec![Column::new("name", ValueType::Text).unique()],
+        ))
+        .unwrap();
+        db.insert("t", &[("name", "a".into())]).unwrap();
+        Snapshot::save(&db, None, &snap_path).unwrap();
+        let (mut loaded, _) = Snapshot::load(&snap_path).unwrap();
+        // unique index must be live after load
+        assert!(loaded.insert("t", &[("name", "a".into())]).is_err());
+        assert!(loaded.insert("t", &[("name", "b".into())]).is_ok());
+    }
+}

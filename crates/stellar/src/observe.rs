@@ -1,0 +1,229 @@
+//! Observations and the model-vs-observation fitness the GA optimizes.
+//!
+//! The real pipeline starts from Kepler pulsation-frequency measurements
+//! plus spectroscopic constraints and searches for model parameters that
+//! reproduce them (§2: "the real research product requires starting with
+//! observations and identifying the properties of a star"). `ObservedStar`
+//! carries those inputs; [`chi_squared`]/[`fitness`] score a candidate.
+
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::freqs::Mode;
+use crate::model::{evolve, ModelOutput};
+use crate::params::{Domain, StellarParams};
+use crate::ModelError;
+
+/// A measured oscillation frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservedMode {
+    pub l: u8,
+    pub n: u32,
+    pub frequency: f64,
+    /// 1σ measurement uncertainty \[µHz].
+    pub sigma: f64,
+}
+
+/// A scalar constraint with uncertainty (spectroscopic Teff, luminosity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    pub value: f64,
+    pub sigma: f64,
+}
+
+/// The observational inputs to one AMP optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservedStar {
+    /// Display identifier, e.g. "HD 52265" or "KIC 8006161".
+    pub identifier: String,
+    pub modes: Vec<ObservedMode>,
+    pub teff: Option<Constraint>,
+    pub luminosity: Option<Constraint>,
+}
+
+impl ObservedStar {
+    /// Number of fitted data points (for reduced χ²).
+    pub fn n_data(&self) -> usize {
+        self.modes.len()
+            + self.teff.is_some() as usize
+            + self.luminosity.is_some() as usize
+    }
+}
+
+/// χ² of a model against the observations. Frequencies are matched by
+/// (l, n); a model missing an observed mode incurs a large fixed penalty so
+/// the GA is pushed back toward the observable regime.
+pub fn chi_squared(obs: &ObservedStar, model: &ModelOutput) -> f64 {
+    const MISSING_MODE_PENALTY: f64 = 1e4;
+    let mut chi2 = 0.0;
+    for om in &obs.modes {
+        match model
+            .frequencies
+            .iter()
+            .find(|m: &&Mode| m.l == om.l && m.n == om.n)
+        {
+            Some(m) => {
+                let r = (m.frequency - om.frequency) / om.sigma.max(1e-6);
+                chi2 += r * r;
+            }
+            None => chi2 += MISSING_MODE_PENALTY,
+        }
+    }
+    if let Some(c) = obs.teff {
+        let r = (model.teff - c.value) / c.sigma.max(1e-6);
+        chi2 += r * r;
+    }
+    if let Some(c) = obs.luminosity {
+        let r = (model.luminosity - c.value) / c.sigma.max(1e-6);
+        chi2 += r * r;
+    }
+    chi2
+}
+
+/// GA fitness: strictly decreasing in χ², in (0, 1]. Model failures map to
+/// fitness 0 so invalid candidates are selected against rather than
+/// aborting the run (matching MPIKAIA's handling).
+pub fn fitness(obs: &ObservedStar, params: &StellarParams, domain: &Domain) -> f64 {
+    match evolve(params, domain) {
+        Ok(m) => {
+            let chi2 = chi_squared(obs, &m);
+            1.0 / (1.0 + chi2 / obs.n_data().max(1) as f64)
+        }
+        Err(_) => 0.0,
+    }
+}
+
+/// Synthesize observations of a "truth" star: run the forward model, keep a
+/// subset of modes, and perturb with Gaussian noise. This is the stand-in
+/// for real Kepler data (we have no proprietary light curves).
+pub fn synthesize(
+    identifier: &str,
+    truth: &StellarParams,
+    domain: &Domain,
+    noise_uhz: f64,
+    seed: u64,
+) -> Result<ObservedStar, ModelError> {
+    let model = evolve(truth, domain)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Keep modes in a +/-5 Δν window around nu_max: what Kepler detects.
+    let window = 5.0 * model.delta_nu;
+    let mut modes = Vec::new();
+    for m in &model.frequencies {
+        if (m.frequency - model.nu_max).abs() <= window {
+            let noise: f64 = gaussian(&mut rng) * noise_uhz;
+            modes.push(ObservedMode {
+                l: m.l,
+                n: m.n,
+                frequency: m.frequency + noise,
+                sigma: noise_uhz.max(1e-3),
+            });
+        }
+    }
+    Ok(ObservedStar {
+        identifier: identifier.to_string(),
+        modes,
+        teff: Some(Constraint {
+            value: model.teff + gaussian(&mut rng) * 50.0,
+            sigma: 70.0,
+        }),
+        luminosity: Some(Constraint {
+            value: model.luminosity * (1.0 + gaussian(&mut rng) * 0.03),
+            sigma: model.luminosity * 0.05,
+        }),
+    })
+}
+
+/// Box–Muller standard normal.
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ObservedStar, StellarParams, Domain) {
+        let domain = Domain::default();
+        let truth = StellarParams {
+            mass: 1.1,
+            metallicity: 0.02,
+            helium: 0.26,
+            alpha: 2.0,
+            age: 5.0,
+        };
+        let obs = synthesize("TEST-1", &truth, &domain, 0.1, 7).unwrap();
+        (obs, truth, domain)
+    }
+
+    #[test]
+    fn synthesized_star_has_data() {
+        let (obs, _, _) = setup();
+        assert!(obs.modes.len() >= 15, "only {} modes", obs.modes.len());
+        assert!(obs.teff.is_some());
+        assert_eq!(obs.n_data(), obs.modes.len() + 2);
+    }
+
+    #[test]
+    fn truth_has_near_maximal_fitness() {
+        let (obs, truth, domain) = setup();
+        let f_truth = fitness(&obs, &truth, &domain);
+        assert!(f_truth > 0.3, "truth fitness {f_truth}");
+        // a clearly wrong star scores much worse
+        let wrong = StellarParams {
+            mass: 1.6,
+            age: 11.0,
+            ..truth
+        };
+        let f_wrong = fitness(&obs, &wrong, &domain);
+        assert!(f_truth > 10.0 * f_wrong, "truth {f_truth} wrong {f_wrong}");
+    }
+
+    #[test]
+    fn fitness_of_invalid_params_is_zero() {
+        let (obs, mut truth, domain) = setup();
+        truth.mass = 10.0;
+        assert_eq!(fitness(&obs, &truth, &domain), 0.0);
+    }
+
+    #[test]
+    fn chi2_decreases_toward_truth() {
+        let (obs, truth, domain) = setup();
+        let near = StellarParams {
+            mass: truth.mass + 0.01,
+            ..truth
+        };
+        let far = StellarParams {
+            mass: truth.mass + 0.2,
+            ..truth
+        };
+        let m_near = evolve(&near, &domain).unwrap();
+        let m_far = evolve(&far, &domain).unwrap();
+        assert!(chi_squared(&obs, &m_near) < chi_squared(&obs, &m_far));
+    }
+
+    #[test]
+    fn synthesis_is_seed_deterministic() {
+        let (a, truth, domain) = setup();
+        let b = synthesize("TEST-1", &truth, &domain, 0.1, 7).unwrap();
+        assert_eq!(a, b);
+        let c = synthesize("TEST-1", &truth, &domain, 0.1, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn missing_modes_penalized() {
+        let (mut obs, truth, domain) = setup();
+        // fabricate an unobservable mode
+        obs.modes.push(ObservedMode {
+            l: 0,
+            n: 1,
+            frequency: 50.0,
+            sigma: 0.1,
+        });
+        let m = evolve(&truth, &domain).unwrap();
+        assert!(chi_squared(&obs, &m) >= 1e4);
+    }
+}

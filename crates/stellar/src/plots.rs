@@ -1,0 +1,204 @@
+//! ASCII rendering of the paper's two plots (§2): the Hertzsprung–Russell
+//! diagram ("showing the star's temperature and luminosity") and the
+//! Echelle diagram ("summarizing the star's oscillation frequencies").
+//!
+//! The portal embeds these in `<pre>` blocks so results pages stay fully
+//! functional without JavaScript (§4.2's accessibility stance); the JSON
+//! endpoints carry the same data for AJAX clients.
+
+use crate::freqs::EchellePoint;
+use crate::model::TrackPoint;
+
+/// A fixed-size character canvas.
+struct Canvas {
+    w: usize,
+    h: usize,
+    cells: Vec<u8>,
+}
+
+impl Canvas {
+    fn new(w: usize, h: usize) -> Canvas {
+        Canvas {
+            w,
+            h,
+            cells: vec![b' '; w * h],
+        }
+    }
+
+    fn set(&mut self, x: usize, y: usize, c: u8) {
+        if x < self.w && y < self.h {
+            self.cells[y * self.w + x] = c;
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::with_capacity((self.w + 1) * self.h);
+        for row in self.cells.chunks(self.w) {
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn scale(v: f64, lo: f64, hi: f64, n: usize) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    (((v - lo) / (hi - lo)) * (n as f64 - 1.0)).round().clamp(0.0, n as f64 - 1.0) as usize
+}
+
+/// Render an HR diagram of an evolution track. Astronomy convention:
+/// temperature increases to the LEFT; luminosity upward (log scale).
+/// The `*` marks the track's endpoint (the modeled star).
+pub fn render_hr_ascii(track: &[TrackPoint], width: usize, height: usize) -> String {
+    let width = width.clamp(20, 200);
+    let height = height.clamp(8, 100);
+    if track.is_empty() {
+        return "(empty track)\n".to_string();
+    }
+    let t_lo = track.iter().map(|p| p.teff).fold(f64::INFINITY, f64::min) - 50.0;
+    let t_hi = track.iter().map(|p| p.teff).fold(0.0, f64::max) + 50.0;
+    let l_lo = track
+        .iter()
+        .map(|p| p.luminosity.max(1e-3).log10())
+        .fold(f64::INFINITY, f64::min)
+        - 0.05;
+    let l_hi = track
+        .iter()
+        .map(|p| p.luminosity.max(1e-3).log10())
+        .fold(f64::NEG_INFINITY, f64::max)
+        + 0.05;
+
+    let mut c = Canvas::new(width, height);
+    for p in track {
+        // hot on the left: invert the temperature axis
+        let x = width - 1 - scale(p.teff, t_lo, t_hi, width);
+        let y = height - 1 - scale(p.luminosity.max(1e-3).log10(), l_lo, l_hi, height);
+        c.set(x, y, b'.');
+    }
+    if let Some(last) = track.last() {
+        let x = width - 1 - scale(last.teff, t_lo, t_hi, width);
+        let y = height - 1 - scale(last.luminosity.max(1e-3).log10(), l_lo, l_hi, height);
+        c.set(x, y, b'*');
+    }
+    format!(
+        "HR diagram (Teff {:.0}-{:.0} K <- hotter left | log L/Lsun {:.2}..{:.2})\n{}",
+        t_hi,
+        t_lo,
+        l_lo,
+        l_hi,
+        c.render()
+    )
+}
+
+/// Render an Echelle diagram: frequency modulo Δν (x) vs frequency (y,
+/// increasing upward). Modes are marked by degree: `o` (l=0), `+` (l=1),
+/// `x` (l=2), `#` (overlap).
+pub fn render_echelle_ascii(
+    points: &[EchellePoint],
+    delta_nu: f64,
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.clamp(20, 200);
+    let height = height.clamp(8, 100);
+    if points.is_empty() || delta_nu <= 0.0 {
+        return "(no modes)\n".to_string();
+    }
+    let f_lo = points.iter().map(|p| p.frequency).fold(f64::INFINITY, f64::min);
+    let f_hi = points.iter().map(|p| p.frequency).fold(0.0, f64::max);
+    let mut c = Canvas::new(width, height);
+    for p in points {
+        let x = scale(p.modulo, 0.0, delta_nu, width);
+        let y = height - 1 - scale(p.frequency, f_lo, f_hi, height);
+        let mark = match p.l {
+            0 => b'o',
+            1 => b'+',
+            2 => b'x',
+            _ => b'?',
+        };
+        let idx = y * c.w + x;
+        if c.cells[idx] != b' ' && c.cells[idx] != mark {
+            c.set(x, y, b'#');
+        } else {
+            c.set(x, y, mark);
+        }
+    }
+    format!(
+        "Echelle diagram (nu mod {delta_nu:.1} uHz -> | nu {f_lo:.0}-{f_hi:.0} uHz ^)  o:l=0 +:l=1 x:l=2\n{}",
+        c.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{evolution_track, evolve};
+    use crate::params::{Domain, StellarParams};
+
+    #[test]
+    fn hr_plot_structure() {
+        let d = Domain::default();
+        let track = evolution_track(&StellarParams::sun(), &d, 40).unwrap();
+        let art = render_hr_ascii(&track, 60, 20);
+        assert!(art.starts_with("HR diagram"));
+        assert_eq!(art.lines().count(), 21);
+        assert!(art.contains('*'), "endpoint marked");
+        assert!(art.matches('.').count() > 10, "track drawn");
+        // fixed canvas width
+        for line in art.lines().skip(1) {
+            assert_eq!(line.len(), 60);
+        }
+    }
+
+    #[test]
+    fn echelle_plot_shows_three_ridges() {
+        let d = Domain::default();
+        let m = evolve(&StellarParams::sun(), &d).unwrap();
+        let pts = crate::freqs::echelle(&m.frequencies, m.delta_nu);
+        let art = render_echelle_ascii(&pts, m.delta_nu, 60, 24);
+        assert!(art.contains('o'), "l=0 ridge");
+        assert!(art.contains('+'), "l=1 ridge");
+        assert!(art.contains('x') || art.contains('#'), "l=2 ridge");
+        // the asymptotic relation puts l=0 and l=1 ridges roughly half a
+        // delta_nu apart: their mean column positions must differ clearly
+        let col_mean = |mark: char| -> f64 {
+            let mut cols = Vec::new();
+            for line in art.lines().skip(1) {
+                for (i, ch) in line.chars().enumerate() {
+                    if ch == mark {
+                        cols.push(i as f64);
+                    }
+                }
+            }
+            cols.iter().sum::<f64>() / cols.len().max(1) as f64
+        };
+        let sep = (col_mean('o') - col_mean('+')).abs();
+        assert!(sep > 10.0, "ridge separation {sep} columns");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(render_hr_ascii(&[], 60, 20), "(empty track)\n");
+        assert_eq!(render_echelle_ascii(&[], 135.0, 60, 20), "(no modes)\n");
+        let one = [TrackPoint {
+            age_gyr: 1.0,
+            teff: 5772.0,
+            luminosity: 1.0,
+        }];
+        let art = render_hr_ascii(&one, 60, 20);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn dimensions_clamped() {
+        let one = [TrackPoint {
+            age_gyr: 1.0,
+            teff: 5772.0,
+            luminosity: 1.0,
+        }];
+        let art = render_hr_ascii(&one, 1, 1);
+        assert!(art.lines().count() >= 8, "height clamped up");
+    }
+}

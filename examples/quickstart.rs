@@ -1,0 +1,56 @@
+//! Quickstart: stand up a complete AMP deployment (central database,
+//! simulated NICS Kraken with the AMP software stack, GridAMP daemon),
+//! submit a direct model run of the Sun through the web role, and let the
+//! daemon drive it across the grid.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use amp::prelude::*;
+
+fn main() {
+    // 1. Deploy (Figure 2: database + remote system + daemon).
+    let mut dep = amp::gridamp::deploy(
+        amp::grid::systems::kraken(),
+        DaemonConfig::default(),
+        None,
+    )
+    .expect("deployment");
+    println!("deployed AMP against simulated kraken");
+
+    // 2. Seed an approved astronomer, a catalog star and an allocation.
+    let (user, star, alloc, _obs) = amp::gridamp::seed_fixtures(
+        &dep.db,
+        "kraken",
+        &StellarParams::sun(),
+        1,
+    )
+    .expect("fixtures");
+
+    // 3. The portal's role submits the simulation request — nothing more.
+    let web = dep.db.connect(amp::core::roles::ROLE_WEB).expect("web role");
+    let mut sim = Simulation::new_direct(star, user, StellarParams::sun(), "kraken", alloc, 0);
+    let sim_id = Manager::<Simulation>::new(web).create(&mut sim).expect("submit");
+    println!("submitted direct model run #{sim_id} (status QUEUED)");
+
+    // 4. The daemon notices it, stages input, runs pre-job -> model ->
+    //    post-job -> cleanup on the simulated machine (Listing 1).
+    let ticks = dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+    println!(
+        "daemon settled after {ticks} polls, {} of simulated time",
+        dep.grid.now()
+    );
+
+    // 5. Read the results back, exactly as the results page would.
+    let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).expect("admin");
+    let done = Manager::<Simulation>::new(admin).get(sim_id).expect("sim");
+    assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
+    let out: ModelOutput = serde_json::from_str(done.result_json.as_ref().unwrap()).unwrap();
+    println!("\nmodel output for the Sun:");
+    println!("  Teff     = {:.0} K", out.teff);
+    println!("  L        = {:.3} L_sun", out.luminosity);
+    println!("  R        = {:.3} R_sun", out.radius);
+    println!("  log g    = {:.3}", out.log_g);
+    println!("  delta_nu = {:.1} uHz", out.delta_nu);
+    println!("  nu_max   = {:.0} uHz", out.nu_max);
+    println!("  {} pulsation frequencies computed", out.frequencies.len());
+}

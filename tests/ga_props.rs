@@ -1,0 +1,98 @@
+//! Property tests for the GA engine: decimal encoding round-trips,
+//! checkpoint/resume is exactly equivalent to an uninterrupted run at any
+//! interruption point, elitism keeps best fitness monotone, and restart
+//! files survive text round-trips.
+
+use amp::ga::{Checkpoint, Ga, GaConfig, Problem, Sphere};
+use amp_ga::Genome;
+use proptest::prelude::*;
+
+fn cfg(population: usize, generations: u32) -> GaConfig {
+    GaConfig {
+        population,
+        generations,
+        ..GaConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn genome_roundtrip(values in proptest::collection::vec(0.0f64..1.0, 1..8),
+                        nd in 1usize..9) {
+        let g = Genome::encode(&values, nd);
+        prop_assert!(g.validate());
+        let decoded = g.decode();
+        let eps = 10f64.powi(-(nd as i32));
+        for (a, b) in values.iter().zip(decoded.iter()) {
+            prop_assert!((a - b).abs() < eps, "{a} vs {b} at nd={nd}");
+            prop_assert!((0.0..1.0).contains(b));
+        }
+        // re-encoding the decoded value is a fixed point
+        prop_assert_eq!(Genome::encode(&decoded, nd), g);
+    }
+
+    #[test]
+    fn resume_equivalence_at_any_cut(seed in 0u64..1000, cut in 1u32..29) {
+        let p = Sphere { target: vec![0.42, 0.77] };
+        let total = 30u32;
+        let mut full = Ga::new(&p, cfg(24, total), seed);
+        full.run(u32::MAX);
+
+        let mut part = Ga::new(&p, cfg(24, total), seed);
+        part.run(cut);
+        let text = Checkpoint::capture(&part).to_text();
+        let cp = Checkpoint::from_text(&text).unwrap();
+        let mut resumed = cp.resume(&p).unwrap();
+        resumed.run(u32::MAX);
+
+        prop_assert_eq!(resumed.generation(), full.generation());
+        prop_assert_eq!(&resumed.best().genome, &full.best().genome);
+        prop_assert_eq!(resumed.history().last(), full.history().last());
+    }
+
+    #[test]
+    fn elitism_monotone_for_any_seed(seed in 0u64..500) {
+        let p = Sphere { target: vec![0.3, 0.6, 0.9] };
+        let mut ga = Ga::new(&p, cfg(20, 25), seed);
+        let mut best = ga.best().fitness;
+        while !ga.finished() {
+            let s = ga.step();
+            prop_assert!(s.best_fitness >= best - 1e-12);
+            best = s.best_fitness;
+        }
+    }
+
+    #[test]
+    fn population_and_phenotypes_stay_valid(seed in 0u64..200, steps in 1u32..20) {
+        let p = Sphere { target: vec![0.5; 4] };
+        let mut ga = Ga::new(&p, cfg(18, 100), seed);
+        ga.run(steps);
+        prop_assert_eq!(ga.population().len(), 18);
+        for ind in ga.population() {
+            prop_assert!(ind.genome.validate());
+            prop_assert_eq!(ind.phenotype.len(), 4);
+            for x in &ind.phenotype {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+            prop_assert!((0.0..=1.0).contains(&ind.fitness));
+            // cached fitness is consistent with the problem
+            prop_assert!((ind.fitness - p.fitness(&ind.phenotype)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn checkpoint_progress_monotone(seed in 0u64..100) {
+        let p = Sphere { target: vec![0.1] };
+        let mut ga = Ga::new(&p, cfg(12, 20), seed);
+        let mut prev = Checkpoint::capture(&ga).progress();
+        while !ga.finished() {
+            ga.step();
+            let cur = Checkpoint::capture(&ga).progress();
+            prop_assert!(cur > prev);
+            prev = cur;
+        }
+        prop_assert_eq!(prev, 1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the batch scheduler: cores are never oversubscribed
+//! at any instant, every job reaches a terminal state, FCFS+backfill never
+//! delays the queue head, and dependencies are strictly respected — under
+//! randomized job sets.
+
+use amp::grid::app::SleepApp;
+use amp::grid::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct JobReq {
+    cores: u32,
+    minutes: u16,
+    dep_on_prev: bool,
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobReq>> {
+    proptest::collection::vec(
+        (1u32..600, 5u16..240, any::<bool>()).prop_map(|(cores, minutes, dep_on_prev)| JobReq {
+            cores,
+            minutes,
+            dep_on_prev,
+        }),
+        1..25,
+    )
+}
+
+fn run_jobs(jobs: &[JobReq], seed: u64) -> (Grid, Vec<GramJobHandle>) {
+    let mut profile = amp::grid::systems::lonestar();
+    profile.cores = 1000;
+    let site = profile.name.clone();
+    let mut grid = Grid::new();
+    if seed.is_multiple_of(2) {
+        grid.add_site(profile);
+    } else {
+        grid.add_site_with_background(profile, seed);
+    }
+    grid.install_app(&site, "sleep", Arc::new(SleepApp));
+    let cred = CommunityCredential::new("/CN=amp");
+    grid.authorize(&site, &cred);
+    let proxy = cred.issue_proxy("prop", grid.now(), SimDuration::from_hours(100_000.0));
+
+    let mut handles: Vec<GramJobHandle> = Vec::new();
+    for (i, j) in jobs.iter().enumerate() {
+        let depends_on = if j.dep_on_prev && !handles.is_empty() {
+            vec![handles.last().unwrap().clone()]
+        } else {
+            vec![]
+        };
+        let h = grid
+            .gram_submit(
+                &site,
+                &proxy,
+                GramJobSpec {
+                    service: GramService::Batch,
+                    executable: "sleep".into(),
+                    args: vec![j.minutes.to_string()],
+                    workdir: format!("w{i}"),
+                    cores: j.cores,
+                    walltime: SimDuration::from_minutes(j.minutes as f64 + 10.0),
+                    depends_on,
+                    name: format!("j{i}"),
+                },
+            )
+            .unwrap();
+        handles.push(h);
+    }
+    grid.advance(SimDuration::from_hours(24.0 * 60.0));
+    (grid, handles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_jobs_terminate_and_cores_never_oversubscribed(jobs in arb_jobs(), seed in 0u64..50) {
+        let (grid, handles) = run_jobs(&jobs, seed);
+        let site = grid.site("lonestar").unwrap();
+
+        // every submitted job reached a terminal state
+        let mut events: Vec<(i64, i64)> = Vec::new(); // (time, +cores/-cores)
+        for h in &handles {
+            let t = grid.job_times("lonestar", h).expect("record");
+            prop_assert!(t.state.is_terminal(), "{:?}", t.state);
+            if let (Some(s), Some(e)) = (t.started_at, t.ended_at) {
+                events.push((s.as_secs() as i64, t.cores as i64));
+                events.push((e.as_secs() as i64, -(t.cores as i64)));
+            }
+        }
+        // include background jobs in the occupancy audit
+        for j in site.scheduler.jobs() {
+            if j.background {
+                if let amp::grid::JobState::Done { started_at, ended_at, .. } = j.state {
+                    events.push((started_at.as_secs() as i64, j.cores as i64));
+                    events.push((ended_at.as_secs() as i64, -(j.cores as i64)));
+                }
+            }
+        }
+        // sweep: at every instant, occupancy <= machine cores
+        // (ends sort before starts at the same second: release-then-acquire)
+        events.sort_by_key(|(t, d)| (*t, *d));
+        let mut occupancy = 0i64;
+        for (_, d) in events {
+            occupancy += d;
+            prop_assert!(occupancy <= 1000, "oversubscribed: {occupancy}");
+            prop_assert!(occupancy >= 0);
+        }
+    }
+
+    #[test]
+    fn dependencies_strictly_ordered(jobs in arb_jobs(), seed in 0u64..20) {
+        let (grid, handles) = run_jobs(&jobs, seed);
+        for (i, j) in jobs.iter().enumerate() {
+            if j.dep_on_prev && i > 0 {
+                let cur = grid.job_times("lonestar", &handles[i]).unwrap();
+                let prev = grid.job_times("lonestar", &handles[i - 1]).unwrap();
+                if let (Some(cs), Some(pe)) = (cur.started_at, prev.ended_at) {
+                    prop_assert!(cs >= pe, "dependent started {cs} before dep ended {pe}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fcfs_head_never_starved(jobs in arb_jobs()) {
+        // quiet machine, no deps: FCFS order means a job never starts
+        // after a job submitted later *unless* it was backfilled around a
+        // blocked head without delaying it. The head property we check:
+        // the first job always starts immediately (t=0).
+        let independent: Vec<JobReq> = jobs
+            .into_iter()
+            .map(|mut j| { j.dep_on_prev = false; j })
+            .collect();
+        let (grid, handles) = run_jobs(&independent, 0);
+        let first = grid.job_times("lonestar", &handles[0]).unwrap();
+        prop_assert_eq!(first.wait().unwrap(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the hand-rolled HTTP layer: the parser is total
+//! (never panics on arbitrary bytes), encode/decode round-trips, and
+//! serialized responses contain consistent framing.
+
+use amp::portal::http::{parse_urlencoded, urldecode, urlencode, Request, Response};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_parser_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Request::parse(&bytes);
+    }
+
+    #[test]
+    fn urlencode_roundtrip(s in "\\PC{0,100}") {
+        prop_assert_eq!(urldecode(&urlencode(&s)), s);
+    }
+
+    #[test]
+    fn urldecode_is_total(s in "[ -~]{0,120}") {
+        let _ = urldecode(&s);
+        let _ = parse_urlencoded(&s);
+    }
+
+    #[test]
+    fn form_roundtrip(pairs in proptest::collection::vec(("[a-z_]{1,12}", "\\PC{0,40}"), 0..8)) {
+        // deduplicate keys (maps collapse duplicates)
+        let mut seen = std::collections::BTreeMap::new();
+        for (k, v) in &pairs {
+            seen.insert(k.clone(), v.clone());
+        }
+        let form: Vec<(&str, &str)> =
+            seen.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let req = Request::post("/x", &form);
+        let parsed = req.form();
+        prop_assert_eq!(parsed.len(), seen.len());
+        for (k, v) in &seen {
+            prop_assert_eq!(parsed.get(k.as_str()), Some(v));
+        }
+    }
+
+    #[test]
+    fn parsed_request_roundtrips_through_raw(path in "[a-z/]{1,30}", q in "[a-z0-9=&]{0,30}") {
+        let target = if q.is_empty() {
+            path.clone()
+        } else {
+            format!("{path}?{q}")
+        };
+        let raw = format!("GET {target} HTTP/1.1\r\nHost: amp\r\n\r\n");
+        let req = Request::parse(raw.as_bytes()).unwrap();
+        prop_assert_eq!(&req.path, &path);
+    }
+
+    #[test]
+    fn response_framing_consistent(status in prop_oneof![Just(200u16), Just(302), Just(400), Just(403), Just(404), Just(500)],
+                                   body in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut r = Response::html("");
+        r.status = status;
+        r.body = body.clone();
+        let raw = r.to_bytes();
+        let text = String::from_utf8_lossy(&raw);
+        let start = format!("HTTP/1.1 {status} ");
+        prop_assert!(text.starts_with(&start));
+        let cl_line = format!("Content-Length: {}\r\n", body.len());
+        prop_assert!(text.contains(&cl_line));
+        // body is exactly the declared suffix
+        prop_assert_eq!(&raw[raw.len() - body.len()..], &body[..]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the strict marshaling layer (S1): generate∘parse is
+//! the identity over arbitrary observation sets and parameter files, the
+//! identifier sanitizer never lets metacharacters through, and random
+//! garbage never parses.
+
+use amp::core::{
+    generate_observation_file, generate_params_file, parse_observation_file, parse_params_file,
+};
+use amp::stellar::{Constraint, ObservedMode, ObservedStar, StellarParams};
+use proptest::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = ObservedMode> {
+    (0u8..=3, 1u32..60, 100.0f64..9000.0, 0.001f64..5.0).prop_map(|(l, n, frequency, sigma)| {
+        ObservedMode {
+            l,
+            n,
+            frequency,
+            sigma,
+        }
+    })
+}
+
+fn arb_constraint() -> impl Strategy<Value = Option<Constraint>> {
+    proptest::option::of((1000.0f64..10000.0, 0.1f64..500.0).prop_map(|(value, sigma)| {
+        Constraint { value, sigma }
+    }))
+}
+
+fn arb_observed() -> impl Strategy<Value = ObservedStar> {
+    (
+        "[ -~]{1,40}", // printable ASCII identifiers, worst case
+        proptest::collection::vec(arb_mode(), 0..40),
+        arb_constraint(),
+        arb_constraint(),
+    )
+        .prop_map(|(identifier, modes, teff, luminosity)| ObservedStar {
+            identifier,
+            modes,
+            teff,
+            luminosity,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn observation_roundtrip_preserves_structure(obs in arb_observed()) {
+        let text = generate_observation_file(&obs);
+        let parsed = parse_observation_file(&text).unwrap();
+        prop_assert_eq!(parsed.modes.len(), obs.modes.len());
+        for (a, b) in parsed.modes.iter().zip(obs.modes.iter()) {
+            prop_assert_eq!(a.l, b.l);
+            prop_assert_eq!(a.n, b.n);
+            prop_assert!((a.frequency - b.frequency).abs() <= b.frequency.abs() * 1e-6 + 1e-6);
+            prop_assert!((a.sigma - b.sigma).abs() <= b.sigma.abs() * 1e-6 + 1e-9);
+        }
+        prop_assert_eq!(parsed.teff.is_some(), obs.teff.is_some());
+        prop_assert_eq!(parsed.luminosity.is_some(), obs.luminosity.is_some());
+    }
+
+    #[test]
+    fn generated_files_never_contain_metacharacters(obs in arb_observed()) {
+        let text = generate_observation_file(&obs);
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("STAR ") {
+                for c in rest.chars() {
+                    prop_assert!(
+                        c.is_ascii_alphanumeric() || " -+._".contains(c),
+                        "leaked {c:?} in {rest:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn params_roundtrip(mass in 0.1f64..5.0, z in 0.0001f64..0.2,
+                        y in 0.1f64..0.5, alpha in 0.5f64..4.0, age in 0.01f64..20.0) {
+        let p = StellarParams { mass, metallicity: z, helium: y, alpha, age };
+        let q = parse_params_file(&generate_params_file(&p)).unwrap();
+        prop_assert!((p.mass - q.mass).abs() <= p.mass * 1e-6);
+        prop_assert!((p.age - q.age).abs() <= p.age * 1e-6);
+        prop_assert!((p.metallicity - q.metallicity).abs() <= p.metallicity * 1e-6);
+    }
+
+    #[test]
+    fn garbage_never_parses_as_observation(text in "[ -~\\n]{0,400}") {
+        // anything that parses must have come through the rigid grammar:
+        // header present, NMODES consistent, END terminated
+        if let Ok(obs) = parse_observation_file(&text) {
+            prop_assert!(text.starts_with("# AMP asteroseismology input v1"));
+            prop_assert!(text.contains("END"));
+            let nmodes_line = format!("NMODES {}", obs.modes.len());
+            prop_assert!(text.contains(&nmodes_line));
+        }
+    }
+
+    #[test]
+    fn garbage_never_parses_as_params(text in "[ -~\\n]{0,200}") {
+        if parse_params_file(&text).is_ok() {
+            prop_assert!(text.starts_with("# AMP direct model input v1"));
+            prop_assert!(text.contains("MASS"));
+            prop_assert!(text.contains("END"));
+        }
+    }
+
+    #[test]
+    fn truncated_files_rejected(obs in arb_observed(), cut in 0.0f64..1.0) {
+        let text = generate_observation_file(&obs);
+        let cut_at = (text.len() as f64 * cut) as usize;
+        if cut_at < text.len().saturating_sub(1) {
+            let truncated = &text[..cut_at];
+            // a strict prefix (losing END or later) must not parse
+            prop_assert!(parse_observation_file(truncated).is_err());
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! C4 + full-stack integration: the complete user journey through the
+//! portal's request handler — registration with the astronomy CAPTCHA,
+//! administrator approval, star search with SIMBAD import, observation
+//! upload, optimization submission, daemon execution, results and feeds.
+
+use amp::portal::{Portal, PortalConfig, Request};
+use amp::prelude::*;
+use std::sync::Arc;
+
+struct Rig {
+    dep: amp::gridamp::Deployment,
+    portal: Arc<Portal>,
+}
+
+fn rig() -> Rig {
+    let dep = amp::gridamp::deploy(
+        amp::grid::systems::kraken(),
+        DaemonConfig {
+            work_walltime_hours: 6.0,
+            ..DaemonConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    let portal = Arc::new(
+        Portal::new(
+            &dep.db,
+            PortalConfig {
+                admin_enabled: true,
+                ..PortalConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    Rig { dep, portal }
+}
+
+fn captcha_answer(form_html: &str) -> (usize, String) {
+    let id: usize = form_html
+        .split("name=\"captcha_id\" value=\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    let star = amp::stellar::famous_stars()
+        .into_iter()
+        .find(|s| form_html.contains(s.name.as_deref().unwrap_or("?")))
+        .expect("captcha question names a famous star");
+    (id, star.hd_number.unwrap().to_string())
+}
+
+fn cookie_of(resp: &amp::portal::Response) -> String {
+    resp.headers
+        .iter()
+        .find(|(k, _)| k == "Set-Cookie")
+        .map(|(_, v)| {
+            v.split(';')
+                .next()
+                .unwrap()
+                .trim_start_matches("amp_session=")
+                .to_string()
+        })
+        .expect("session cookie")
+}
+
+#[test]
+fn full_user_journey() {
+    let mut r = rig();
+
+    // fixtures the portal itself can't create: allocation + admin account
+    let admin = r.dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let mut alloc = Allocation::new("kraken", "TG-AST090030", 500_000.0);
+    Manager::<Allocation>::new(admin.clone()).create(&mut alloc).unwrap();
+    let mut boss = AmpUser::new("boss", "b@x.edu", &amp::portal::hash_password("sup3rs3cret", "s"), 0);
+    boss.approved = true;
+    boss.is_admin = true;
+    Manager::<AmpUser>::new(admin.clone()).create(&mut boss).unwrap();
+
+    // 1. register with the CAPTCHA
+    let form = r.portal.handle(&Request::get("/accounts/register")).body_str();
+    let (cid, answer) = captcha_answer(&form);
+    let resp = r.portal.handle(&Request::post(
+        "/accounts/register",
+        &[
+            ("username", "astro1"),
+            ("email", "astro1@obs.edu"),
+            ("password", "pulsations"),
+            ("captcha_id", &cid.to_string()),
+            ("captcha_answer", &answer),
+        ],
+    ));
+    assert_eq!(resp.status, 302, "{}", resp.body_str());
+
+    // 2. admin approves + authorizes via the admin app
+    let boss_login = r.portal.handle(&Request::post(
+        "/accounts/login",
+        &[("username", "boss"), ("password", "sup3rs3cret")],
+    ));
+    let boss_cookie = cookie_of(&boss_login);
+    let astro = Manager::<AmpUser>::new(admin.clone())
+        .first(&Query::new().eq("username", "astro1"))
+        .unwrap()
+        .unwrap();
+    r.portal.handle(
+        &Request::post(&format!("/admin/users/{}/approve", astro.id.unwrap()), &[])
+            .with_cookie("amp_session", &boss_cookie),
+    );
+    r.portal.handle(
+        &Request::post(
+            "/admin/authorize",
+            &[
+                ("user_id", &astro.id.unwrap().to_string()),
+                ("allocation_id", &alloc.id.unwrap().to_string()),
+            ],
+        )
+        .with_cookie("amp_session", &boss_cookie),
+    );
+
+    // 3. astronomer logs in, finds a target (SIMBAD import), uploads data
+    let login = r.portal.handle(&Request::post(
+        "/accounts/login",
+        &[("username", "astro1"), ("password", "pulsations")],
+    ));
+    assert_eq!(login.status, 302, "{}", login.body_str());
+    let cookie = cookie_of(&login);
+
+    let page = r
+        .portal
+        .handle(&Request::get("/stars/search?q=HD+10700").with_cookie("amp_session", &cookie));
+    assert!(page.body_str().contains("added to the AMP catalog"));
+
+    let truth = StellarParams {
+        mass: 0.92,
+        metallicity: 0.016,
+        helium: 0.26,
+        alpha: 1.8,
+        age: 5.5,
+    };
+    let observed =
+        amp::stellar::synthesize("HD 10700", &truth, &Domain::default(), 0.12, 8).unwrap();
+    let mut modes = String::new();
+    for m in &observed.modes {
+        modes.push_str(&format!("{} {} {:.4} {:.4}\n", m.l, m.n, m.frequency, m.sigma));
+    }
+    let resp = r.portal.handle(
+        &Request::post(
+            "/star/HD+10700/observations",
+            &[("modes", modes.as_str()), ("teff", "5350"), ("teff_sigma", "80")],
+        )
+        .with_cookie("amp_session", &cookie),
+    );
+    assert_eq!(resp.status, 302, "{}", resp.body_str());
+
+    // 4. submit the optimization through the form
+    let star = Manager::<Star>::new(admin.clone())
+        .first(&Query::new().eq("identifier", "HD 10700"))
+        .unwrap()
+        .unwrap();
+    let obs = Manager::<Observation>::new(admin.clone())
+        .first(&Query::new().eq("star_id", star.id.unwrap()))
+        .unwrap()
+        .unwrap();
+    let resp = r.portal.handle(
+        &Request::post(
+            &format!("/submit/optimization/{}", star.id.unwrap()),
+            &[
+                ("observation", &obs.id.unwrap().to_string()),
+                ("ga_runs", "2"),
+                ("generations", "30"),
+                ("allocation", &alloc.id.unwrap().to_string()),
+            ],
+        )
+        .with_cookie("amp_session", &cookie),
+    );
+    assert_eq!(resp.status, 302, "{}", resp.body_str());
+    let sim_path = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k == "Location")
+        .unwrap()
+        .1
+        .clone();
+
+    // 5. the daemon runs it; the portal's status page follows along
+    let mut saw_running = false;
+    for _ in 0..3000 {
+        r.dep.daemon.tick(&mut r.dep.grid);
+        r.portal.set_now(r.dep.grid.now().as_secs() as i64);
+        let page = r
+            .portal
+            .handle(&Request::get(&sim_path).with_cookie("amp_session", &cookie))
+            .body_str();
+        if page.contains("<b>RUNNING</b>") {
+            saw_running = true;
+        }
+        if page.contains("<b>DONE</b>") {
+            break;
+        }
+        r.dep.grid.advance(SimDuration::from_secs(900));
+    }
+    assert!(saw_running, "never observed RUNNING on the status page");
+    let page = r
+        .portal
+        .handle(&Request::get(&sim_path).with_cookie("amp_session", &cookie))
+        .body_str();
+    assert!(page.contains("<b>DONE</b>"), "{page}");
+    assert!(page.contains("Optimal model"));
+
+    // 6. plot data + RSS + suggest now list the star with results
+    let plots = r
+        .portal
+        .handle(&Request::get(&format!("{sim_path}/plots.json")));
+    let v: serde_json::Value = serde_json::from_str(&plots.body_str()).unwrap();
+    assert!(v["hr_track"].as_array().unwrap().len() >= 10);
+    assert!(v["echelle"].as_array().unwrap().len() >= 30);
+
+    let rss = r
+        .portal
+        .handle(&Request::get(&format!("/feeds/star/{}.rss", star.id.unwrap())));
+    assert!(rss.body_str().contains("DONE"));
+
+    let suggest = r.portal.handle(&Request::get("/api/suggest?q=HD+107"));
+    let items: Vec<serde_json::Value> = serde_json::from_str(&suggest.body_str()).unwrap();
+    assert!(items.iter().any(|i| i["identifier"] == "HD 10700"
+        && i["has_results"] == true));
+}
+
+#[test]
+fn wrong_captcha_keeps_supermodels_out() {
+    let r = rig();
+    let form = r.portal.handle(&Request::get("/accounts/register")).body_str();
+    let (cid, _) = captcha_answer(&form);
+    let resp = r.portal.handle(&Request::post(
+        "/accounts/register",
+        &[
+            ("username", "fabulous"),
+            ("email", "runway@example.com"),
+            ("password", "modelmodel"),
+            ("captcha_id", &cid.to_string()),
+            ("captcha_answer", "gorgeous"),
+        ],
+    ));
+    assert_eq!(resp.status, 403);
+    let admin = r.dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    assert!(Manager::<AmpUser>::new(admin)
+        .first(&Query::new().eq("username", "fabulous"))
+        .unwrap()
+        .is_none());
+}
+
+#[test]
+fn unapproved_users_cannot_submit() {
+    let r = rig();
+    let admin = r.dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let mut u = AmpUser::new("newbie", "n@x.edu", &amp::portal::hash_password("password1", "s"), 0);
+    u.approved = true; // can log in
+    Manager::<AmpUser>::new(admin.clone()).create(&mut u).unwrap();
+    let mut star = Star::from_catalog(&amp::stellar::famous_stars()[0], "local");
+    Manager::<Star>::new(admin.clone()).create(&mut star).unwrap();
+    let mut alloc = Allocation::new("kraken", "TG-Q", 1000.0);
+    Manager::<Allocation>::new(admin.clone()).create(&mut alloc).unwrap();
+
+    let login = r.portal.handle(&Request::post(
+        "/accounts/login",
+        &[("username", "newbie"), ("password", "password1")],
+    ));
+    let cookie = cookie_of(&login);
+    // logged in but NOT machine-authorized -> 403
+    let resp = r.portal.handle(
+        &Request::post(
+            &format!("/submit/direct/{}", star.id.unwrap()),
+            &[
+                ("mass", "1.0"),
+                ("metallicity", "0.02"),
+                ("helium", "0.27"),
+                ("alpha", "1.9"),
+                ("age", "4.0"),
+                ("allocation", &alloc.id.unwrap().to_string()),
+            ],
+        )
+        .with_cookie("amp_session", &cookie),
+    );
+    assert_eq!(resp.status, 403);
+}

@@ -1,0 +1,157 @@
+//! Daemon-failure recovery: all workflow state lives in the central
+//! database (§5: "we have retained a single application-defined
+//! representation of all state"), so a crashed daemon can be replaced and
+//! the workflow continues. Also exercises the database's own durability
+//! (snapshot + WAL recovery).
+
+use amp::prelude::*;
+use amp_gridamp::DaemonMonitor;
+use std::path::PathBuf;
+
+fn truth() -> StellarParams {
+    StellarParams {
+        mass: 1.05,
+        metallicity: 0.02,
+        helium: 0.27,
+        alpha: 2.0,
+        age: 4.0,
+    }
+}
+
+#[test]
+fn replacement_daemon_resumes_midflight_simulation() {
+    let mut dep = amp::gridamp::deploy(
+        amp::grid::systems::kraken(),
+        DaemonConfig {
+            work_walltime_hours: 6.0,
+            ..DaemonConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    let (user, star, alloc, obs) =
+        amp::gridamp::seed_fixtures(&dep.db, "kraken", &truth(), 1).unwrap();
+    let web = dep.db.connect(amp::core::roles::ROLE_WEB).unwrap();
+    let spec = OptimizationSpec {
+        ga_runs: 2,
+        population: 20,
+        generations: 30,
+        cores_per_run: 128,
+        seed: 2,
+    };
+    let mut sim = Simulation::new_optimization(star, user, spec, obs, "kraken", alloc, 0);
+    let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
+
+    // run until mid-RUNNING, then "crash" the daemon
+    let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let sims = Manager::<Simulation>::new(admin.clone());
+    for _ in 0..500 {
+        dep.daemon.tick(&mut dep.grid);
+        if sims.get(sim_id).unwrap().status == SimStatus::Running {
+            break;
+        }
+        dep.grid.advance(SimDuration::from_secs(300));
+    }
+    assert_eq!(sims.get(sim_id).unwrap().status, SimStatus::Running);
+    let monitor = DaemonMonitor {
+        max_silence_secs: 3600,
+    };
+    assert!(monitor.healthy(&dep.daemon, dep.grid.now().as_secs() as i64));
+
+    // the crash: drop the daemon entirely; grid time passes unattended
+    drop(std::mem::replace(
+        &mut dep.daemon,
+        amp_gridamp::GridAmp::new(&dep.db, DaemonConfig {
+            work_walltime_hours: 6.0,
+            ..DaemonConfig::default()
+        })
+        .unwrap(),
+    ));
+    dep.grid.advance(SimDuration::from_hours(6.0));
+    // the external monitor notices the silence
+    assert!(!monitor.healthy(&dep.daemon, dep.grid.now().as_secs() as i64));
+
+    // the replacement daemon reads everything it needs from the DB and
+    // carries the simulation to completion
+    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    let done = sims.get(sim_id).unwrap();
+    assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
+    assert!(done.result_json.is_some());
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("amp_recovery_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn durable_database_survives_process_restart() {
+    let dir = tmpdir("durable");
+    let snap = dir.join("amp.snap");
+    let wal = dir.join("amp.wal");
+
+    let sim_id;
+    {
+        let db = Db::open(&snap, &wal).unwrap();
+        amp::core::setup::initialize(&db).unwrap();
+        let admin = db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+        let mut u = AmpUser::new("astro1", "a@x.edu", "h", 0);
+        u.approved = true;
+        Manager::<AmpUser>::new(admin.clone()).create(&mut u).unwrap();
+        let mut star = Star::from_catalog(&amp::stellar::famous_stars()[0], "local");
+        Manager::<Star>::new(admin.clone()).create(&mut star).unwrap();
+        let mut alloc = Allocation::new("kraken", "TG-R", 1000.0);
+        Manager::<Allocation>::new(admin.clone()).create(&mut alloc).unwrap();
+        db.snapshot().unwrap(); // snapshot covers the fixtures
+
+        // post-snapshot work lands only in the WAL
+        let mut sim = Simulation::new_direct(
+            star.id.unwrap(),
+            u.id.unwrap(),
+            StellarParams::sun(),
+            "kraken",
+            alloc.id.unwrap(),
+            500,
+        );
+        sim_id = Manager::<Simulation>::new(admin).create(&mut sim).unwrap();
+        // process "exits" here (db dropped)
+    }
+
+    // restart: snapshot + WAL suffix replay
+    let db = Db::open(&snap, &wal).unwrap();
+    amp::core::setup::initialize(&db).unwrap(); // idempotent
+    let admin = db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let sim = Manager::<Simulation>::new(admin.clone()).get(sim_id).unwrap();
+    assert_eq!(sim.status, SimStatus::Queued);
+    assert_eq!(sim.created_at, 500);
+    // fresh writes continue cleanly after recovery
+    let mut u2 = AmpUser::new("astro2", "b@x.edu", "h", 0);
+    Manager::<AmpUser>::new(admin.clone()).create(&mut u2).unwrap();
+    assert_eq!(Manager::<AmpUser>::new(admin).all().unwrap().len(), 2);
+}
+
+#[test]
+fn notification_outbox_preserved_across_daemon_restart() {
+    let mut dep = amp::gridamp::deploy(
+        amp::grid::systems::kraken(),
+        DaemonConfig::default(),
+        None,
+    )
+    .unwrap();
+    let (user, star, alloc, _obs) =
+        amp::gridamp::seed_fixtures(&dep.db, "kraken", &truth(), 3).unwrap();
+    let web = dep.db.connect(amp::core::roles::ROLE_WEB).unwrap();
+    let mut sim = Simulation::new_direct(star, user, StellarParams::sun(), "kraken", alloc, 0);
+    let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
+    dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+
+    // replace the daemon; the completion notification is still in the DB
+    dep.daemon = amp_gridamp::GridAmp::new(&dep.db, DaemonConfig::default()).unwrap();
+    let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let notes = Manager::<Notification>::new(admin)
+        .filter(&Query::new().eq("simulation_id", sim_id))
+        .unwrap();
+    assert!(notes.iter().any(|n| n.subject.contains("complete")));
+}

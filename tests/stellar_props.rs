@@ -1,0 +1,114 @@
+//! Property tests for the forward stellar model: the scaling relations the
+//! asteroseismology rests on hold across the entire parameter domain.
+
+use amp::stellar::{
+    cost_minutes, echelle, evolution_track, evolve, relative_cost, synthesize, Domain,
+    StellarParams,
+};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = StellarParams> {
+    let d = Domain::default();
+    (
+        d.mass.lo..d.mass.hi,
+        d.metallicity.lo..d.metallicity.hi,
+        d.helium.lo..d.helium.hi,
+        d.alpha.lo..d.alpha.hi,
+        d.age.lo..d.age.hi,
+    )
+        .prop_map(|(mass, metallicity, helium, alpha, age)| StellarParams {
+            mass,
+            metallicity,
+            helium,
+            alpha,
+            age,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn model_outputs_physical_when_modelable(p in arb_params()) {
+        let d = Domain::default();
+        if let Ok(m) = evolve(&p, &d) {
+            prop_assert!(m.teff >= 4000.0 && m.teff <= 8000.0);
+            prop_assert!(m.luminosity > 0.0);
+            prop_assert!(m.radius > 0.0);
+            prop_assert!((2.5..5.5).contains(&m.log_g), "log g {}", m.log_g);
+            // the large-separation scaling relation holds exactly
+            let expected = 135.1 * (p.mass / m.radius.powi(3)).sqrt();
+            prop_assert!((m.delta_nu - expected).abs() < 1e-9);
+            // frequencies sorted, positive, and centered near nu_max
+            prop_assert!(m.frequencies.windows(2).all(|w| w[0].frequency <= w[1].frequency));
+            prop_assert!(m.frequencies.iter().all(|f| f.frequency > 0.0));
+            let lo = m.frequencies.first().unwrap().frequency;
+            let hi = m.frequencies.last().unwrap().frequency;
+            prop_assert!(lo < m.nu_max && m.nu_max < hi,
+                "nu_max {} outside [{lo}, {hi}]", m.nu_max);
+        }
+    }
+
+    #[test]
+    fn determinism(p in arb_params()) {
+        let d = Domain::default();
+        let a = evolve(&p, &d);
+        let b = evolve(&p, &d);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn echelle_modulo_bounded(p in arb_params()) {
+        let d = Domain::default();
+        if let Ok(m) = evolve(&p, &d) {
+            for pt in echelle(&m.frequencies, m.delta_nu) {
+                prop_assert!(pt.modulo >= 0.0 && pt.modulo < m.delta_nu);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_bounded_and_benchmark_is_max_region(p in arb_params()) {
+        let c = relative_cost(&p);
+        prop_assert!((0.45..=1.05).contains(&c), "cost {c}");
+        // Table 1 calibration: cost scales linearly with the benchmark
+        prop_assert!((cost_minutes(&p, 23.6) - 23.6 * c).abs() < 1e-9);
+        // the benchmark star is never undercut by more than the mass term
+        prop_assert!(c <= relative_cost(&StellarParams::benchmark()) * 1.05);
+    }
+
+    #[test]
+    fn track_is_causal(p in arb_params()) {
+        let d = Domain::default();
+        let track = evolution_track(&p, &d, 25).unwrap();
+        prop_assert_eq!(track.len(), 25);
+        prop_assert!(track.windows(2).all(|w| w[1].age_gyr > w[0].age_gyr));
+        prop_assert!((track.last().unwrap().age_gyr - p.age).abs() < 1e-9);
+        // luminosity never decreases along the main sequence in this model
+        prop_assert!(track.windows(2).all(|w| w[1].luminosity >= w[0].luminosity - 1e-12));
+    }
+
+    #[test]
+    fn truth_beats_distant_candidates(seed in 0u64..200) {
+        let d = Domain::default();
+        // targets kept in the well-modelable interior
+        let truth = StellarParams {
+            mass: 0.9 + (seed % 7) as f64 * 0.05,
+            metallicity: 0.012 + (seed % 5) as f64 * 0.004,
+            helium: 0.25 + (seed % 3) as f64 * 0.02,
+            alpha: 1.6 + (seed % 4) as f64 * 0.2,
+            age: 2.5 + (seed % 6) as f64 * 0.8,
+        };
+        let obs = synthesize("P", &truth, &d, 0.1, seed).unwrap();
+        let f_truth = amp::stellar::fitness(&obs, &truth, &d);
+        prop_assert!(f_truth > 0.2, "truth fitness {f_truth}");
+        // a far-away candidate is clearly worse
+        let far = StellarParams {
+            mass: if truth.mass < 1.2 { truth.mass + 0.4 } else { truth.mass - 0.4 },
+            age: if truth.age < 6.0 { truth.age + 4.0 } else { truth.age - 2.0 },
+            ..truth
+        };
+        let f_far = amp::stellar::fitness(&obs, &far, &d);
+        prop_assert!(f_truth > 5.0 * f_far, "truth {f_truth} vs far {f_far}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the portal's template engine: rendering never
+//! panics, default interpolation always escapes, loops/ifs behave like
+//! their semantics, and parse errors are total (no crashes on any input).
+
+use amp::portal::templates::{render, Template};
+use proptest::prelude::*;
+use serde_json::json;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_is_total(src in "[ -~{}%\\n]{0,300}") {
+        // any printable input either parses or errors; never panics
+        let _ = Template::parse(&src);
+    }
+
+    #[test]
+    fn escaped_interpolation_never_leaks_html(s in "[ -~]{0,80}") {
+        let out = render("{{ v }}", &json!({ "v": s })).unwrap();
+        prop_assert!(!out.contains('<'));
+        prop_assert!(!out.contains('>'));
+        prop_assert!(!out.contains('"'));
+        // escaping is reversible in spirit: plain alphanumerics unchanged
+        if s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' ') {
+            prop_assert_eq!(out, s);
+        }
+    }
+
+    #[test]
+    fn safe_filter_passes_through(s in "[a-zA-Z0-9<>&\"']{0,60}") {
+        let out = render("{{ v|safe }}", &json!({ "v": s })).unwrap();
+        prop_assert_eq!(out, s);
+    }
+
+    #[test]
+    fn for_loop_renders_once_per_item(n in 0usize..30) {
+        let items: Vec<i64> = (0..n as i64).collect();
+        let out = render(
+            "{% for x in xs %}[{{ x }}]{% endfor %}",
+            &json!({ "xs": items }),
+        )
+        .unwrap();
+        prop_assert_eq!(out.matches('[').count(), n);
+        for i in 0..n {
+            let token = format!("[{i}]");
+            prop_assert!(out.contains(&token));
+        }
+    }
+
+    #[test]
+    fn if_matches_truthiness(b in any::<bool>(), n in -5i64..5) {
+        let out = render(
+            "{% if flag %}T{% else %}F{% endif %}{% if num %}N{% endif %}",
+            &json!({ "flag": b, "num": n }),
+        )
+        .unwrap();
+        prop_assert_eq!(out.contains('T'), b);
+        prop_assert_eq!(out.contains('F'), !b);
+        prop_assert_eq!(out.contains('N'), n != 0);
+    }
+
+    #[test]
+    fn rendering_is_deterministic(src in "[ -~]{0,100}", v in "[ -~]{0,40}") {
+        if let Ok(t) = Template::parse(&src) {
+            let ctx = json!({ "v": v });
+            prop_assert_eq!(t.render(&ctx), t.render(&ctx));
+        }
+    }
+
+    #[test]
+    fn nested_loops_multiply(rows in 0usize..8, cols in 0usize..8) {
+        let grid: Vec<Vec<i64>> = (0..rows)
+            .map(|_| (0..cols as i64).collect())
+            .collect();
+        // bind each row under an object so the inner loop can reach it
+        let wrapped: Vec<serde_json::Value> =
+            grid.iter().map(|r| json!({ "cells": r })).collect();
+        let out = render(
+            "{% for r in grid %}{% for c in r.cells %}#{% endfor %}{% endfor %}",
+            &json!({ "grid": wrapped }),
+        )
+        .unwrap();
+        prop_assert_eq!(out.matches('#').count(), rows * cols);
+    }
+}
