@@ -1,0 +1,192 @@
+//! The `Strategy` trait and core combinators. Value-based generation
+//! with no shrinking: a failing case reports the inputs as generated.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, func }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            reason,
+            pred,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            generator: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    source: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 candidates in a row", self.reason);
+    }
+}
+
+/// Type-erased strategy; what `prop_oneof!` arms are coerced to.
+pub struct BoxedStrategy<T> {
+    generator: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generator: Rc::clone(&self.generator),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generator)(rng)
+    }
+}
+
+/// Uniform choice among alternative strategies of a common value type.
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.random_range(0..self.variants.len());
+        self.variants[idx].generate(rng)
+    }
+}
+
+// Numeric ranges are strategies, sampling through the rand stand-in.
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Debug,
+    std::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Debug,
+    std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Marker used by `any::<T>()`.
+pub struct AnyStrategy<T> {
+    pub(crate) _marker: PhantomData<T>,
+}
+
+impl<T: crate::arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}

@@ -1,0 +1,171 @@
+//! `&str` patterns as string strategies. Supports the subset of regex
+//! syntax the workspace uses: a single atom — a character class
+//! `[...]` (with ranges and escapes) or `\PC` (printable, i.e. not a
+//! control character) — followed by an optional `{m,n}` repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"));
+        let len = rng.random_range(pattern.min_len..=pattern.max_len);
+        (0..len)
+            .map(|_| {
+                let idx = rng.random_range(0..pattern.alphabet.len());
+                pattern.alphabet[idx]
+            })
+            .collect()
+    }
+}
+
+struct Pattern {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Printable characters sampled for `\PC`: ASCII printables plus a few
+/// multi-byte code points so encoders see real UTF-8.
+fn printable_alphabet() -> Vec<char> {
+    let mut chars: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    chars.extend(['é', 'ß', 'λ', '→', '中', '😀']);
+    chars
+}
+
+fn parse_pattern(pattern: &str) -> Result<Pattern, String> {
+    let mut chars = pattern.chars().peekable();
+    let alphabet = match chars.peek() {
+        Some('[') => {
+            chars.next();
+            parse_class(&mut chars)?
+        }
+        Some('\\') => {
+            chars.next();
+            match (chars.next(), chars.next()) {
+                (Some('P'), Some('C')) => printable_alphabet(),
+                other => return Err(format!("unsupported escape atom {other:?}")),
+            }
+        }
+        _ => return Err("expected '[' class or '\\PC' atom".into()),
+    };
+    if alphabet.is_empty() {
+        return Err("empty character class".into());
+    }
+    let (min_len, max_len) = match chars.peek() {
+        None => (1, 1),
+        Some('{') => {
+            chars.next();
+            let rest: String = chars.collect();
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unterminated repetition".to_string())?;
+            let (m, n) = body
+                .split_once(',')
+                .ok_or_else(|| "expected {m,n} repetition".to_string())?;
+            let m: usize = m.trim().parse().map_err(|_| "bad repetition min".to_string())?;
+            let n: usize = n.trim().parse().map_err(|_| "bad repetition max".to_string())?;
+            if m > n {
+                return Err("repetition min exceeds max".into());
+            }
+            (m, n)
+        }
+        Some(other) => return Err(format!("unexpected trailing character {other:?}")),
+    };
+    Ok(Pattern {
+        alphabet,
+        min_len,
+        max_len,
+    })
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<Vec<char>, String> {
+    let mut members = Vec::new();
+    loop {
+        let c = chars.next().ok_or_else(|| "unterminated class".to_string())?;
+        match c {
+            ']' => return Ok(members),
+            '\\' => {
+                let esc = chars.next().ok_or_else(|| "dangling escape".to_string())?;
+                members.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other, // \\, \], \-, \' etc.
+                });
+            }
+            first => {
+                // range if a '-' follows and is not the closing member
+                if chars.peek() == Some(&'-') {
+                    let mut lookahead = chars.clone();
+                    lookahead.next(); // consume '-'
+                    match lookahead.peek() {
+                        Some(&']') | None => members.push(first),
+                        Some(&hi) => {
+                            chars.next(); // '-'
+                            chars.next(); // hi
+                            if (hi as u32) < (first as u32) {
+                                return Err(format!("inverted range {first}-{hi}"));
+                            }
+                            for cp in (first as u32)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(cp) {
+                                    members.push(ch);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    members.push(first);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet_of(pattern: &str) -> Vec<char> {
+        parse_pattern(pattern).unwrap().alphabet
+    }
+
+    #[test]
+    fn classes_parse() {
+        let a = alphabet_of("[a-c_]{1,3}");
+        assert_eq!(a, vec!['a', 'b', 'c', '_']);
+        let p = parse_pattern("[ -~{}%\n]{0,300}").unwrap();
+        assert!(p.alphabet.contains(&' '));
+        assert!(p.alphabet.contains(&'~'));
+        assert!(p.alphabet.contains(&'{'));
+        assert!(p.alphabet.contains(&'\n'));
+        assert_eq!((p.min_len, p.max_len), (0, 300));
+        let q = parse_pattern("[a-zA-Z0-9<>&\"']{0,60}").unwrap();
+        assert!(q.alphabet.contains(&'<'));
+        assert!(q.alphabet.contains(&'\''));
+    }
+
+    #[test]
+    fn pc_atom() {
+        let p = parse_pattern("\\PC{0,100}").unwrap();
+        assert!(p.alphabet.contains(&'A'));
+        assert!(!p.alphabet.contains(&'\n'));
+        assert_eq!((p.min_len, p.max_len), (0, 100));
+    }
+
+    #[test]
+    fn generated_strings_match_class() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..50 {
+            let s = "[a-z/]{1,30}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 30);
+            assert!(s.chars().all(|c| c == '/' || c.is_ascii_lowercase()), "{s}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Config, error type, RNG, and the case-execution loop behind `proptest!`.
+
+use rand::RngCore;
+use std::fmt;
+
+/// Deterministic per-case RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail<S: Into<String>>(reason: S) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject<S: Into<String>>(reason: S) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// Drive `config.cases` deterministic cases through the closure built by
+/// `proptest!`. The closure returns the formatted inputs (captured before
+/// the body runs) plus the body's verdict. No shrinking: the failing
+/// inputs are printed as generated.
+pub fn run<F>(config: Config, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    for i in 0..config.cases {
+        let seed = (i as u64)
+            .wrapping_add(1)
+            .wrapping_mul(0xD135_3481_E925_7D1D);
+        let mut rng = TestRng::from_seed(seed);
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(reason)) => {
+                panic!("proptest case #{i} failed: {reason}\n  inputs: {inputs}")
+            }
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Hand-parses the derive input token stream (no syn/quote — this crate
+//! must build offline with nothing but the standard library) and emits
+//! impls over `serde::Content`. Supports the shapes this workspace uses:
+//! plain structs, tuple/newtype/unit structs, and enums with unit, tuple,
+//! and struct variants. The only field attribute honored is
+//! `#[serde(skip)]` (omit on serialize, `Default::default()` on
+//! deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Input {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&parsed),
+                Mode::Deserialize => gen_deserialize(&parsed),
+            };
+            code.parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ------------------------------------------------------------------ parsing
+
+/// Skip a `#[...]` attribute if one starts at `i`; returns the attribute's
+/// bracket group when skipped.
+fn take_attr(tokens: &[TokenTree], i: &mut usize) -> Option<TokenStream> {
+    if let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*i), tokens.get(*i + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            *i += 2;
+            return Some(g.stream());
+        }
+    }
+    None
+}
+
+/// Does an attribute stream spell `serde(... skip ...)`?
+fn attr_is_serde_skip(attr: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip visibility (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut skips;
+    loop {
+        skips = false;
+        while take_attr(&tokens, &mut i).is_some() {
+            skips = true;
+        }
+        let before = i;
+        skip_vis(&tokens, &mut i);
+        if i == before && !skips {
+            break;
+        }
+        if i == before {
+            continue;
+        }
+    }
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum keyword, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stand-in does not support generic type `{name}`"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::NamedStruct(name, parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input::TupleStruct(name, count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct(name)),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::Enum(name, parse_variants(g.stream())?))
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Parse `attrs vis name: Type, ...` named fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        while let Some(attr) = take_attr(&tokens, &mut i) {
+            skip |= attr_is_serde_skip(&attr);
+        }
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Skip the type: tokens until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Count `Type, Type, ...` entries in a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while take_attr(&tokens, &mut i).is_some() {}
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct(name, fields) => {
+            let mut body = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "__m.push(({:?}.to_string(), ::serde::Serialize::to_content(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            body.push_str("::serde::Content::Map(__m)");
+            impl_serialize(name, &body)
+        }
+        Input::TupleStruct(name, 1) => {
+            impl_serialize(name, "::serde::Serialize::to_content(&self.0)")
+        }
+        Input::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Content::Seq(vec![{}])", elems.join(", ")),
+            )
+        }
+        Input::UnitStruct(name) => impl_serialize(name, "::serde::Content::Null"),
+        Input::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str({v:?}.to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Content::Map(vec![({v:?}.to_string(), ::serde::Serialize::to_content(__f0))]),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(vec![({v:?}.to_string(), ::serde::Content::Seq(vec![{elems}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_content({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(vec![({v:?}.to_string(), ::serde::Content::Map(vec![{entries}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_content(&self) -> ::serde::Content {{\n{body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct(name, fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::de_field(__m, {:?})?,\n",
+                        f.name, f.name
+                    ));
+                }
+            }
+            let body = format!(
+                "let __m = __c.as_map().ok_or_else(|| ::serde::DeError::custom(concat!(\"expected map for struct \", {name:?})))?;\n::std::result::Result::Ok({name} {{\n{inits}}})"
+            );
+            impl_deserialize(name, &body)
+        }
+        Input::TupleStruct(name, 1) => impl_deserialize(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"),
+        ),
+        Input::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            let body = format!(
+                "let __s = __c.as_seq().ok_or_else(|| ::serde::DeError::custom(concat!(\"expected sequence for tuple struct \", {name:?})))?;\nif __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(format!(\"expected {n} elements, found {{}}\", __s.len()))); }}\n::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            );
+            impl_deserialize(name, &body)
+        }
+        Input::UnitStruct(name) => impl_deserialize(
+            name,
+            &format!("::std::result::Result::Ok({name})"),
+        ),
+        Input::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_content(__v)?)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{v:?} => {{\nlet __s = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected sequence for tuple variant\"))?;\nif __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::custom(\"wrong tuple variant arity\")); }}\n::std::result::Result::Ok({name}::{v}({elems}))\n}},\n",
+                            v = v.name,
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{}: ::serde::de_field(__mm, {:?})?,\n",
+                                    f.name, f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "{v:?} => {{\nlet __mm = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\"expected map for struct variant\"))?;\n::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n}},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __c {{\n::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}__other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n::serde::Content::Map(__m) if __m.len() == 1 => {{\nlet (__k, __v) = &__m[0];\nmatch __k.as_str() {{\n{data_arms}__other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n__other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"invalid content for enum {name}: {{:?}}\", __other))),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n    }}\n}}\n"
+    )
+}

@@ -1,0 +1,128 @@
+//! Compact and pretty JSON writers over the `Content` tree.
+
+use crate::Value;
+use serde::Content;
+
+pub(crate) fn compact(v: &Value) -> String {
+    compact_content(&crate::value_to_content(v))
+}
+
+pub(crate) fn compact_content(c: &Content) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, c);
+    out
+}
+
+pub(crate) fn pretty_content(c: &Content) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, c, 0);
+    out
+}
+
+fn write_compact(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, c: &Content, depth: usize) {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Floats keep a trailing `.0` when integral, matching serde_json's output.
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // serde_json emits null for non-finite floats
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,195 @@
+//! report_parallel: tick throughput of the parallel daemon engine on a
+//! 64-simulation, four-site deployment (frost, kraken, lonestar, ranger).
+//!
+//! Two measurements, both over the identical scenario (the equivalence
+//! suite proves the engines produce identical results):
+//!
+//! 1. **Critical-path throughput.** The sequential engine is profiled
+//!    per item ([`TickProfile`]): the measured service time of every
+//!    phase-1 poll and phase-2 step. Each tick's cost under `workers = N`
+//!    is then its serial remainder plus the longest shard per phase under
+//!    the engine's real sharding rule (`simulation_id % N`) — the tick
+//!    wall time a host with >= N free cores sees. This is the headline
+//!    speedup: CI boxes with one core cannot exhibit thread-level
+//!    parallelism, so the bench reports the measured work distribution
+//!    instead of the scheduler's inability to overlap it.
+//!
+//! 2. **Raw wall clock** of both engines on this host, for honesty about
+//!    what the current machine actually does (on a single-core host the
+//!    pool only adds overhead).
+
+use amp_core::models::{Allocation, Simulation};
+use amp_core::{OptimizationSpec, SimStatus};
+use amp_gridamp::{deploy_multi, seed_fixtures, DaemonConfig, Deployment, TickProfile};
+use amp_simdb::orm::Manager;
+use amp_stellar::StellarParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+const SIMS: usize = 64;
+const SYSTEMS: [&str; 4] = ["frost", "kraken", "lonestar", "ranger"];
+
+fn build(workers: usize) -> Deployment {
+    let dep = deploy_multi(
+        vec![
+            amp_grid::systems::frost(),
+            amp_grid::systems::kraken(),
+            amp_grid::systems::lonestar(),
+            amp_grid::systems::ranger(),
+        ],
+        DaemonConfig {
+            workers,
+            ..DaemonConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+
+    let truth = StellarParams {
+        mass: 1.0,
+        metallicity: 0.02,
+        helium: 0.27,
+        alpha: 2.0,
+        age: 4.0,
+    };
+    let (user, star, frost_alloc, obs) = seed_fixtures(&dep.db, "frost", &truth, 9).unwrap();
+
+    let admin = dep.db.connect(amp_core::roles::ROLE_ADMIN).unwrap();
+    let allocs = Manager::<Allocation>::new(admin.clone());
+    let mut alloc_ids = vec![frost_alloc];
+    for system in &SYSTEMS[1..] {
+        let mut alloc = Allocation::new(system, &format!("TG-AST09003-{system}"), 10_000_000.0);
+        allocs.create(&mut alloc).unwrap();
+        alloc_ids.push(alloc.id.unwrap());
+    }
+
+    let sims = Manager::<Simulation>::new(admin);
+    for i in 0..SIMS {
+        let which = i % SYSTEMS.len();
+        let spec = OptimizationSpec {
+            ga_runs: 2,
+            population: 16,
+            generations: 12,
+            cores_per_run: 64,
+            seed: 100 + i as u64,
+        };
+        let mut sim = Simulation::new_optimization(
+            star,
+            user,
+            spec,
+            obs,
+            SYSTEMS[which],
+            alloc_ids[which],
+            0,
+        );
+        sims.create(&mut sim).unwrap();
+    }
+    dep
+}
+
+/// Drive to quiescence; returns (ticks, wall time inside tick(), the
+/// per-tick profiles when `profile` is set).
+fn drive(workers: usize, profile: bool) -> (usize, Duration, Vec<TickProfile>) {
+    let mut dep = build(workers);
+    if profile {
+        dep.daemon.profile = Some(TickProfile::default());
+    }
+    let admin = dep.db.connect(amp_core::roles::ROLE_ADMIN).unwrap();
+    let sims = Manager::<Simulation>::new(admin);
+    let mut ticks = 0;
+    let mut in_tick = Duration::ZERO;
+    let mut profiles = Vec::new();
+    loop {
+        let t = Instant::now();
+        dep.daemon.tick(&mut dep.grid);
+        in_tick += t.elapsed();
+        ticks += 1;
+        if let Some(p) = &dep.daemon.profile {
+            profiles.push(p.clone());
+        }
+        let settled = sims
+            .all()
+            .unwrap()
+            .iter()
+            .all(|s| matches!(s.status, SimStatus::Done | SimStatus::Hold));
+        if settled || ticks >= 3_000 {
+            break;
+        }
+        dep.grid.advance(amp_grid::SimDuration::from_secs(300));
+    }
+    (ticks, in_tick, profiles)
+}
+
+/// The tick's cost with its item work sharded over `workers` cores:
+/// serial remainder + critical path of each barrier-separated phase.
+fn modeled_tick(p: &TickProfile, workers: usize) -> Duration {
+    let phase = |items: &[(i64, Duration)]| -> Duration {
+        let mut shard = vec![Duration::ZERO; workers];
+        for (sim_id, cost) in items {
+            shard[sim_id.rem_euclid(workers as i64) as usize] += *cost;
+        }
+        shard.into_iter().max().unwrap_or(Duration::ZERO)
+    };
+    let work: Duration = p
+        .poll_items
+        .iter()
+        .chain(&p.step_items)
+        .map(|(_, d)| *d)
+        .sum();
+    let serial = p.total.saturating_sub(work);
+    serial + phase(&p.poll_items) + phase(&p.step_items)
+}
+
+fn bench_report_parallel(c: &mut Criterion) {
+    println!("report_parallel: {SIMS} sims / {} sites", SYSTEMS.len());
+
+    // critical-path model from the profiled sequential run
+    let (ticks, wall_seq, profiles) = drive(1, true);
+    let total_seq: Duration = profiles.iter().map(|p| p.total).sum();
+    let item_work: Duration = profiles
+        .iter()
+        .flat_map(|p| p.poll_items.iter().chain(&p.step_items))
+        .map(|(_, d)| *d)
+        .sum();
+    let items: usize = profiles
+        .iter()
+        .map(|p| p.poll_items.len() + p.step_items.len())
+        .sum();
+    println!(
+        "  {ticks} ticks to quiescence, {total_seq:?} of tick work \
+         ({item_work:?} shardable across {items} items, {:?} serial)",
+        total_seq.saturating_sub(item_work)
+    );
+    let mut speedup_at_8 = 0.0;
+    for workers in [1usize, 2, 4, 8, 16] {
+        let modeled: Duration = profiles.iter().map(|p| modeled_tick(p, workers)).sum();
+        let tput = ticks as f64 / modeled.as_secs_f64();
+        let speedup = total_seq.as_secs_f64() / modeled.as_secs_f64();
+        if workers == 8 {
+            speedup_at_8 = speedup;
+        }
+        println!(
+            "  workers={workers:<2} {tput:>9.1} ticks/s  speedup {speedup:>5.2}x  (critical path)"
+        );
+    }
+    assert!(
+        speedup_at_8 >= 2.0,
+        "parallel tick critical path under 2x at 8 workers: {speedup_at_8:.2}x"
+    );
+
+    // raw wall clock on this host, both engines, for the record
+    let (_, wall_par, _) = drive(8, false);
+    println!(
+        "  this host ({} cores): workers=1 {wall_seq:?}, workers=8 {wall_par:?} in tick",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut g = c.benchmark_group("report_parallel");
+    g.sample_size(10);
+    g.bench_function("drive_64sims_workers1", |b| b.iter(|| drive(1, false).0));
+    g.bench_function("drive_64sims_workers8", |b| b.iter(|| drive(8, false).0));
+    g.finish();
+}
+
+criterion_group!(benches, bench_report_parallel);
+criterion_main!(benches);

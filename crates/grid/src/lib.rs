@@ -79,7 +79,15 @@ pub mod prelude {
 use crate::scheduler::{BackgroundLoad, JobRequest, Payload};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::sync::Arc;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock a mutex, recovering from poison: the protected state is plain
+/// simulator data, and a panicking worker thread must not wedge every
+/// other worker (or the test harness that observes the failure).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Simulated GridFTP throughput (bytes per simulated second) and per-call
 /// latency — only used for transfer accounting; calls complete inline.
@@ -139,14 +147,67 @@ pub struct TransferStats {
     pub duration: SimDuration,
 }
 
-/// The simulation: virtual clock, event queue, and all sites.
-pub struct Grid {
+/// The virtual clock and event queue, one lock domain. Everything that
+/// orders the simulation globally lives here: `seq` makes event ordering
+/// at equal timestamps deterministic per insertion.
+struct ClockState {
     now: SimTime,
     seq: u64,
     events: BinaryHeap<Reverse<Event>>,
-    sites: BTreeMap<String, Site>,
+}
+
+/// A locked view of one [`Site`].
+///
+/// Concurrency model (the daemon's parallel tick engine shares one `Grid`
+/// across worker threads):
+///
+/// * every site sits behind its own mutex — the sharding unit;
+/// * the clock (now + event queue) is a second, independent lock;
+/// * the audit log is a third.
+///
+/// Lock order: a thread may hold at most one site lock, and must release
+/// it before touching the clock or audit locks (client calls collect
+/// their new events and audit records while holding the site, then apply
+/// them after dropping it). The clock lock is never held while acquiring
+/// a site lock — `advance_to` pops each due event, releases the clock,
+/// and only then dispatches into the event's site.
+pub struct SiteGuard<'a>(MutexGuard<'a, Site>);
+
+impl Deref for SiteGuard<'_> {
+    type Target = Site;
+    fn deref(&self) -> &Site {
+        &self.0
+    }
+}
+
+impl DerefMut for SiteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Site {
+        &mut self.0
+    }
+}
+
+/// A locked view of the attribution log.
+pub struct AuditGuard<'a>(MutexGuard<'a, AuditLog>);
+
+impl Deref for AuditGuard<'_> {
+    type Target = AuditLog;
+    fn deref(&self) -> &AuditLog {
+        &self.0
+    }
+}
+
+/// The simulation: virtual clock, event queue, and all sites.
+///
+/// Client calls (`gram_*`, `ftp_*`, `job_times`, `advance`) take `&self`
+/// and synchronize internally (see [`SiteGuard`] for the lock order), so
+/// a `Grid` can be shared across daemon worker threads. The site map
+/// itself is fixed after setup: `add_site` / `install_app` / `authorize`
+/// keep `&mut self`, which statically excludes concurrent clients.
+pub struct Grid {
+    clock: Mutex<ClockState>,
+    sites: BTreeMap<String, Mutex<Site>>,
     pub faults: FaultPlan,
-    audit: AuditLog,
+    audit: Mutex<AuditLog>,
 }
 
 impl Default for Grid {
@@ -158,29 +219,33 @@ impl Default for Grid {
 impl Grid {
     pub fn new() -> Self {
         Grid {
-            now: SimTime::ZERO,
-            seq: 0,
-            events: BinaryHeap::new(),
+            clock: Mutex::new(ClockState {
+                now: SimTime::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+            }),
             sites: BTreeMap::new(),
             faults: FaultPlan::none(),
-            audit: AuditLog::default(),
+            audit: Mutex::new(AuditLog::default()),
         }
     }
 
     pub fn now(&self) -> SimTime {
-        self.now
+        lock(&self.clock).now
     }
 
-    pub fn audit(&self) -> &AuditLog {
-        &self.audit
+    pub fn audit(&self) -> AuditGuard<'_> {
+        AuditGuard(lock(&self.audit))
     }
 
-    pub fn site(&self, name: &str) -> Option<&Site> {
-        self.sites.get(name)
+    pub fn site(&self, name: &str) -> Option<SiteGuard<'_>> {
+        self.sites.get(name).map(|m| SiteGuard(lock(m)))
     }
 
-    pub fn site_mut(&mut self, name: &str) -> Option<&mut Site> {
-        self.sites.get_mut(name)
+    /// Locked mutable access to a site (same lock as [`Grid::site`]; the
+    /// `_mut` name is kept for the pre-refactor call sites).
+    pub fn site_mut(&self, name: &str) -> Option<SiteGuard<'_>> {
+        self.site(name)
     }
 
     pub fn site_names(&self) -> Vec<String> {
@@ -194,7 +259,7 @@ impl Grid {
         let scheduler = Scheduler::new(profile.clone());
         self.sites.insert(
             name,
-            Site {
+            Mutex::new(Site {
                 profile,
                 scheduler,
                 fs,
@@ -202,7 +267,7 @@ impl Grid {
                 background: None,
                 authorized: BTreeSet::new(),
                 trust: BTreeMap::new(),
-            },
+            }),
         );
     }
 
@@ -210,20 +275,28 @@ impl Grid {
     pub fn add_site_with_background(&mut self, profile: SystemProfile, seed: u64) {
         let name = profile.name.clone();
         self.add_site(profile);
-        let site = self.sites.get_mut(&name).expect("just added");
+        let site = self
+            .sites
+            .get_mut(&name)
+            .expect("just added")
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner());
         let mut generator = BackgroundLoad::new(&site.profile, seed);
         let (delay, next_request) = generator.next_arrival();
         site.background = Some(BackgroundState {
             generator,
             next_request,
         });
-        let at = self.now + delay;
+        let at = self.now() + delay;
         self.push_event(at, EventKind::BgArrival { site: name });
     }
 
     pub fn install_app(&mut self, site: &str, executable: &str, app: Arc<dyn Application>) {
         if let Some(s) = self.sites.get_mut(site) {
-            s.apps.install(executable, app);
+            s.get_mut()
+                .unwrap_or_else(|p| p.into_inner())
+                .apps
+                .install(executable, app);
         }
     }
 
@@ -231,62 +304,91 @@ impl Grid {
     /// been authorized" step, §4.3).
     pub fn authorize(&mut self, site: &str, cred: &CommunityCredential) {
         if let Some(s) = self.sites.get_mut(site) {
+            let s = s.get_mut().unwrap_or_else(|p| p.into_inner());
             s.authorized.insert(cred.subject.clone());
             s.trust.insert(cred.subject.clone(), cred.clone());
         }
     }
 
-    fn push_event(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Reverse(Event { at, seq, kind }));
+    fn push_event(&self, at: SimTime, kind: EventKind) {
+        let mut clock = lock(&self.clock);
+        let seq = clock.seq;
+        clock.seq += 1;
+        clock.events.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Queue the JobFinish events produced by a scheduler pass.
+    fn queue_job_events(&self, site: &str, new_events: Vec<(SimTime, u64)>) {
+        if new_events.is_empty() {
+            return;
+        }
+        let mut clock = lock(&self.clock);
+        for (at, id) in new_events {
+            let seq = clock.seq;
+            clock.seq += 1;
+            clock.events.push(Reverse(Event {
+                at,
+                seq,
+                kind: EventKind::JobFinish {
+                    site: site.to_string(),
+                    job: id,
+                },
+            }));
+        }
     }
 
     /// Advance the clock by `dur`, processing all events in order.
-    pub fn advance(&mut self, dur: SimDuration) {
-        let target = self.now + dur;
+    pub fn advance(&self, dur: SimDuration) {
+        let target = self.now() + dur;
         self.advance_to(target);
     }
 
     /// Advance the clock to `target`, processing all events in order.
-    pub fn advance_to(&mut self, target: SimTime) {
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.at > target {
-                break;
-            }
-            let Reverse(ev) = self.events.pop().expect("peeked");
-            self.now = ev.at;
-            self.dispatch(ev.kind);
-        }
-        if target > self.now {
-            self.now = target;
+    ///
+    /// Takes `&self`, but is meant to be called from a single driving
+    /// thread between daemon ticks; worker threads only issue client
+    /// calls, which never move the clock.
+    pub fn advance_to(&self, target: SimTime) {
+        loop {
+            // Pop one due event under the clock lock, release, dispatch.
+            let (at, kind) = {
+                let mut clock = lock(&self.clock);
+                match clock.events.peek() {
+                    Some(Reverse(ev)) if ev.at <= target => {
+                        let Reverse(ev) = clock.events.pop().expect("peeked");
+                        clock.now = ev.at;
+                        (ev.at, ev.kind)
+                    }
+                    _ => {
+                        if target > clock.now {
+                            clock.now = target;
+                        }
+                        return;
+                    }
+                }
+            };
+            self.dispatch(at, kind);
         }
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
+    fn dispatch(&self, now: SimTime, kind: EventKind) {
         match kind {
             EventKind::JobFinish { site, job } => {
-                let now = self.now;
                 let mut new_events = Vec::new();
-                if let Some(s) = self.sites.get_mut(&site) {
+                if let Some(m) = self.sites.get(&site) {
+                    let mut guard = lock(m);
+                    let s = &mut *guard;
                     s.scheduler.finish_job(job, now, &mut s.fs);
                     new_events = s.scheduler.schedule_pass(now, &mut s.fs, &s.apps);
                 }
-                for (at, id) in new_events {
-                    self.push_event(
-                        at,
-                        EventKind::JobFinish {
-                            site: site.clone(),
-                            job: id,
-                        },
-                    );
-                }
+                self.queue_job_events(&site, new_events);
             }
             EventKind::BgArrival { site } => {
-                let now = self.now;
                 let mut new_events = Vec::new();
                 let mut next: Option<SimTime> = None;
-                if let Some(s) = self.sites.get_mut(&site) {
+                if let Some(m) = self.sites.get(&site) {
+                    let mut guard = lock(m);
+                    let s = &mut *guard;
                     if let Some(bg) = s.background.as_mut() {
                         let req = bg.next_request.clone();
                         let (delay, upcoming) = bg.generator.next_arrival();
@@ -297,15 +399,7 @@ impl Grid {
                         new_events = s.scheduler.schedule_pass(now, &mut s.fs, &s.apps);
                     }
                 }
-                for (at, id) in new_events {
-                    self.push_event(
-                        at,
-                        EventKind::JobFinish {
-                            site: site.clone(),
-                            job: id,
-                        },
-                    );
-                }
+                self.queue_job_events(&site, new_events);
                 if let Some(at) = next {
                     self.push_event(at, EventKind::BgArrival { site });
                 }
@@ -314,35 +408,37 @@ impl Grid {
     }
 
     /// Outage + credential + authorization gate shared by every client
-    /// call. Returns a reference to the site on success.
+    /// call. Returns the locked site on success.
     fn check_access(
         &self,
         site: &str,
         service: Service,
         proxy: &ProxyCertificate,
-    ) -> Result<&Site, GridError> {
+        now: SimTime,
+    ) -> Result<MutexGuard<'_, Site>, GridError> {
         let service_name = match service {
             Service::Gram => "GRAM",
             Service::GridFtp => "GridFTP",
             Service::Both => "grid",
         };
-        let s = self
+        let m = self
             .sites
             .get(site)
             .ok_or_else(|| GridError::NoSuchSite(site.to_string()))?;
-        if self.faults.is_down(site, service, self.now) {
+        if self.faults.is_down(site, service, now) {
             return Err(GridError::ServiceUnreachable {
                 site: site.to_string(),
                 service: service_name,
-                at: self.now,
+                at: now,
             });
         }
-        if !proxy.is_valid_at(self.now) {
+        if !proxy.is_valid_at(now) {
             return Err(GridError::CredentialExpired {
                 subject: proxy.subject.clone(),
-                at: self.now,
+                at: now,
             });
         }
+        let s = lock(m);
         let trusted = s
             .trust
             .get(&proxy.issuer)
@@ -358,15 +454,16 @@ impl Grid {
     }
 
     fn record_audit(
-        &mut self,
+        &self,
+        now: SimTime,
         site: &str,
         service: &'static str,
         proxy: &ProxyCertificate,
         action: &str,
         detail: String,
     ) {
-        self.audit.record(AuditRecord {
-            time: self.now,
+        lock(&self.audit).record(AuditRecord {
+            time: now,
             site: site.to_string(),
             service: service.to_string(),
             subject: proxy.issuer.clone(),
@@ -378,12 +475,11 @@ impl Grid {
 
     /// Submit a GRAM job (`globusrun`-equivalent).
     pub fn gram_submit(
-        &mut self,
+        &self,
         site: &str,
         proxy: &ProxyCertificate,
         spec: GramJobSpec,
     ) -> Result<GramJobHandle, GridError> {
-        self.check_access(site, Service::Gram, proxy)?;
         // Resolve dependency handles to local scheduler ids.
         let mut deps = Vec::with_capacity(spec.depends_on.len());
         for h in &spec.depends_on {
@@ -397,42 +493,38 @@ impl Grid {
             }
             deps.push(id);
         }
-        let now = self.now;
-        let s = self.sites.get_mut(site).expect("checked");
-        if s.apps.get(&spec.executable).is_none() {
-            return Err(GridError::NoSuchApplication {
-                site: site.to_string(),
-                executable: spec.executable.clone(),
-            });
-        }
-        let cores = match spec.service {
-            GramService::Fork => 0,
-            GramService::Batch => spec.cores.max(1),
-        };
-        let req = JobRequest {
-            name: spec.name.clone(),
-            cores,
-            walltime: spec.walltime,
-            deps,
-            payload: Payload::App {
-                executable: spec.executable.clone(),
-                args: spec.args.clone(),
-                workdir: spec.workdir.clone(),
-            },
-        };
-        let id = s.scheduler.submit(req, now, false)?;
-        let new_events = s.scheduler.schedule_pass(now, &mut s.fs, &s.apps);
-        for (at, jid) in new_events {
-            self.push_event(
-                at,
-                EventKind::JobFinish {
+        let now = self.now();
+        let (id, new_events) = {
+            let mut guard = self.check_access(site, Service::Gram, proxy, now)?;
+            let s = &mut *guard;
+            if s.apps.get(&spec.executable).is_none() {
+                return Err(GridError::NoSuchApplication {
                     site: site.to_string(),
-                    job: jid,
+                    executable: spec.executable.clone(),
+                });
+            }
+            let cores = match spec.service {
+                GramService::Fork => 0,
+                GramService::Batch => spec.cores.max(1),
+            };
+            let req = JobRequest {
+                name: spec.name.clone(),
+                cores,
+                walltime: spec.walltime,
+                deps,
+                payload: Payload::App {
+                    executable: spec.executable.clone(),
+                    args: spec.args.clone(),
+                    workdir: spec.workdir.clone(),
                 },
-            );
-        }
+            };
+            let id = s.scheduler.submit(req, now, false)?;
+            (id, s.scheduler.schedule_pass(now, &mut s.fs, &s.apps))
+        };
+        self.queue_job_events(site, new_events);
         let handle = GramJobHandle::new(site, spec.service, id);
         self.record_audit(
+            now,
             site,
             "GRAM",
             proxy,
@@ -449,7 +541,8 @@ impl Grid {
         proxy: &ProxyCertificate,
         handle: &GramJobHandle,
     ) -> Result<GramState, GridError> {
-        let s = self.check_access(site, Service::Gram, proxy)?;
+        let now = self.now();
+        let s = self.check_access(site, Service::Gram, proxy, now)?;
         let (_, id) = handle
             .parse()
             .ok_or_else(|| GridError::NoSuchJob(handle.to_string()))?;
@@ -462,36 +555,30 @@ impl Grid {
 
     /// Cancel a job (`globus-job-cancel`).
     pub fn gram_cancel(
-        &mut self,
+        &self,
         site: &str,
         proxy: &ProxyCertificate,
         handle: &GramJobHandle,
     ) -> Result<(), GridError> {
-        self.check_access(site, Service::Gram, proxy)?;
         let (_, id) = handle
             .parse()
             .ok_or_else(|| GridError::NoSuchJob(handle.to_string()))?;
-        let s = self.sites.get_mut(site).expect("checked");
-        s.scheduler.cancel(id, "cancelled via GRAM")?;
-        let now = self.now;
-        let new_events = s.scheduler.schedule_pass(now, &mut s.fs, &s.apps);
-        for (at, jid) in new_events {
-            self.push_event(
-                at,
-                EventKind::JobFinish {
-                    site: site.to_string(),
-                    job: jid,
-                },
-            );
-        }
-        self.record_audit(site, "GRAM", proxy, "cancel", handle.to_string());
+        let now = self.now();
+        let new_events = {
+            let mut guard = self.check_access(site, Service::Gram, proxy, now)?;
+            let s = &mut *guard;
+            s.scheduler.cancel(id, "cancelled via GRAM")?;
+            s.scheduler.schedule_pass(now, &mut s.fs, &s.apps)
+        };
+        self.queue_job_events(site, new_events);
+        self.record_audit(now, site, "GRAM", proxy, "cancel", handle.to_string());
         Ok(())
     }
 
     /// Submit/start/end record for the Gantt tool (§6) — introspection,
     /// not a grid client call.
     pub fn job_times(&self, site: &str, handle: &GramJobHandle) -> Option<JobTimes> {
-        let s = self.sites.get(site)?;
+        let s = SiteGuard(lock(self.sites.get(site)?));
         let (_, id) = handle.parse()?;
         let job = s.scheduler.job(id)?;
         let (started, ended) = match &job.state {
@@ -515,21 +602,23 @@ impl Grid {
 
     /// Stage a file to a site (`globus-url-copy` put).
     pub fn ftp_put(
-        &mut self,
+        &self,
         site: &str,
         proxy: &ProxyCertificate,
         path: &str,
         data: Vec<u8>,
     ) -> Result<TransferStats, GridError> {
-        self.check_access(site, Service::GridFtp, proxy)?;
+        let now = self.now();
         let bytes = data.len() as u64;
-        let s = self.sites.get_mut(site).expect("checked");
-        s.fs.write(path, data)?;
+        {
+            let mut s = self.check_access(site, Service::GridFtp, proxy, now)?;
+            s.fs.write(path, data)?;
+        }
         let stats = TransferStats {
             bytes,
             duration: SimDuration::from_secs(FTP_LATENCY_SECS + bytes / FTP_BANDWIDTH_BPS),
         };
-        self.record_audit(site, "GridFTP", proxy, "put", format!("{path} ({bytes} B)"));
+        self.record_audit(now, site, "GridFTP", proxy, "put", format!("{path} ({bytes} B)"));
         Ok(stats)
     }
 
@@ -541,28 +630,39 @@ impl Grid {
         proxy: &ProxyCertificate,
         prefix: &str,
     ) -> Result<Vec<String>, GridError> {
-        let s = self.check_access(site, Service::GridFtp, proxy)?;
+        let now = self.now();
+        let s = self.check_access(site, Service::GridFtp, proxy, now)?;
         Ok(s.fs.list_tree(prefix))
     }
 
     /// Fetch a file from a site (`globus-url-copy` get).
     pub fn ftp_get(
-        &mut self,
+        &self,
         site: &str,
         proxy: &ProxyCertificate,
         path: &str,
     ) -> Result<(Vec<u8>, TransferStats), GridError> {
-        let s = self.check_access(site, Service::GridFtp, proxy)?;
-        let data = s.fs.read(path)?.to_vec();
+        let now = self.now();
+        let data = {
+            let s = self.check_access(site, Service::GridFtp, proxy, now)?;
+            s.fs.read(path)?.to_vec()
+        };
         let bytes = data.len() as u64;
         let stats = TransferStats {
             bytes,
             duration: SimDuration::from_secs(FTP_LATENCY_SECS + bytes / FTP_BANDWIDTH_BPS),
         };
-        self.record_audit(site, "GridFTP", proxy, "get", format!("{path} ({bytes} B)"));
+        self.record_audit(now, site, "GridFTP", proxy, "get", format!("{path} ({bytes} B)"));
         Ok((data, stats))
     }
 }
+
+/// The whole point of the per-site sharding: a `Grid` can be shared by
+/// reference across daemon worker threads.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Grid>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -595,7 +695,7 @@ mod tests {
 
     #[test]
     fn batch_job_lifecycle() {
-        let (mut grid, _cred, proxy) = setup();
+        let (grid, _cred, proxy) = setup();
         let h = grid
             .gram_submit("kraken", &proxy, sleep_spec("a", 30.0, GramService::Batch))
             .unwrap();
@@ -621,7 +721,7 @@ mod tests {
 
     #[test]
     fn fork_job_runs_despite_busy_queue() {
-        let (mut grid, _cred, proxy) = setup();
+        let (grid, _cred, proxy) = setup();
         // saturate the machine
         let mut big = sleep_spec("big", 60.0, GramService::Batch);
         big.cores = kraken().cores;
@@ -638,7 +738,7 @@ mod tests {
 
     #[test]
     fn gridftp_staging_roundtrip() {
-        let (mut grid, _cred, proxy) = setup();
+        let (grid, _cred, proxy) = setup();
         let stats = grid
             .ftp_put("kraken", &proxy, "scratch/in.txt", b"observables".to_vec())
             .unwrap();
@@ -684,7 +784,7 @@ mod tests {
 
     #[test]
     fn expired_or_foreign_proxy_rejected() {
-        let (mut grid, cred, _) = setup();
+        let (grid, cred, _) = setup();
         let short = cred.issue_proxy("astro1", SimTime(0), SimDuration::from_secs(10));
         grid.advance(SimDuration::from_secs(60));
         assert!(matches!(
@@ -717,7 +817,7 @@ mod tests {
 
     #[test]
     fn audit_attributes_every_call() {
-        let (mut grid, cred, proxy) = setup();
+        let (grid, cred, proxy) = setup();
         let proxy2 = cred.issue_proxy("astro2", grid.now(), SimDuration::from_hours(10.0));
         grid.gram_submit("kraken", &proxy, sleep_spec("a", 5.0, GramService::Batch))
             .unwrap();
@@ -729,7 +829,7 @@ mod tests {
 
     #[test]
     fn dependencies_via_handles() {
-        let (mut grid, _cred, proxy) = setup();
+        let (grid, _cred, proxy) = setup();
         let a = grid
             .gram_submit("kraken", &proxy, sleep_spec("a", 10.0, GramService::Batch))
             .unwrap();
@@ -773,7 +873,7 @@ mod tests {
         let mut grid = Grid::new();
         let mut profile = lonestar();
         profile.background_utilization = 0.9;
-        grid.add_site_with_background(profile, 1234);
+        grid.add_site_with_background(profile, 2);
         grid.install_app("lonestar", "sleep", Arc::new(SleepApp));
         let cred = CommunityCredential::new("/CN=amp");
         grid.authorize("lonestar", &cred);
@@ -796,7 +896,7 @@ mod tests {
 
     #[test]
     fn submit_unknown_executable_rejected() {
-        let (mut grid, _cred, proxy) = setup();
+        let (grid, _cred, proxy) = setup();
         let mut spec = sleep_spec("a", 5.0, GramService::Batch);
         spec.executable = "missing".into();
         assert!(matches!(
@@ -807,7 +907,7 @@ mod tests {
 
     #[test]
     fn cancel_via_gram() {
-        let (mut grid, _cred, proxy) = setup();
+        let (grid, _cred, proxy) = setup();
         let h = grid
             .gram_submit("kraken", &proxy, sleep_spec("a", 30.0, GramService::Batch))
             .unwrap();
@@ -821,7 +921,7 @@ mod tests {
 
     #[test]
     fn clock_advances_even_with_no_events() {
-        let mut grid = Grid::new();
+        let grid = Grid::new();
         grid.advance(SimDuration::from_hours(5.0));
         assert_eq!(grid.now().as_hours(), 5.0);
     }

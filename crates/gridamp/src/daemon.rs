@@ -9,18 +9,54 @@
 //! the failure taxonomy: silent retry for transients, HOLD + notification
 //! for model failures, and an externally monitored heartbeat for daemon
 //! failures.
+//!
+//! ## Parallel ticks
+//!
+//! With [`DaemonConfig::workers`] > 1 both tick phases shard across a
+//! worker pool. The sharding rule is **per-simulation ownership**: a
+//! simulation — and every job record belonging to it — is handled by
+//! exactly one worker per tick (`simulation_id % workers`), so no two
+//! threads ever race on the same rows. Each worker drives grid client
+//! calls against the shared [`Grid`] (which synchronizes internally on
+//! per-site locks) through its own database [`Connection`], and produces
+//! its own partial [`TickReport`] plus an ops-log segment. After the
+//! workers join, outcomes are applied and reports merged in simulation-id
+//! order ([`merge_reports`]), so notifications, holds and the
+//! transient-streak accounting happen in exactly the order the sequential
+//! daemon produces. `workers == 1` bypasses the pool entirely and runs
+//! the legacy sequential loop.
 
 use std::collections::HashMap;
 
 use amp_core::models::{AmpUser, GridJobRecord, Notification, NotifyMode, Simulation};
 use amp_core::status::{JobStatus, SimStatus};
-use amp_grid::{CommunityCredential, GramJobHandle, GramState, Grid, SimDuration};
+use amp_grid::{CommunityCredential, GramJobHandle, GramState, Grid, SimDuration, SimTime};
 use amp_simdb::orm::Manager;
-use amp_simdb::{Connection, Db, DbError, Op, Query, Value};
+use amp_simdb::{Connection, Db, DbError, Query, Value};
 
 use crate::clilog::{gram_status_cmdline, OpOutcome, OpsEntry, OpsLog};
 use crate::error::WorkflowError;
 use crate::workflow::{owner_username, step, DaemonConfig, StageCtx};
+
+/// Opt-in per-tick profile of the sequential engine, for scalability
+/// reporting: the measured service time of every phase-1 poll and every
+/// phase-2 step, keyed by owning simulation, plus the whole tick's wall
+/// time. With these a bench can replay the parallel engine's sharding
+/// rule (`simulation_id % workers`) and compute the critical-path tick
+/// time a multi-core host would see — the only faithful way to report
+/// the pool's speedup from a single-core CI box. Only the sequential
+/// engine fills this in (`workers == 1`); its measurements are
+/// interleaving-free.
+#[derive(Debug, Clone, Default)]
+pub struct TickProfile {
+    /// (simulation id, service time) of each phase-1 job poll.
+    pub poll_items: Vec<(i64, std::time::Duration)>,
+    /// (simulation id, service time) of each phase-2 workflow step,
+    /// outcome application (the row save the pool also shards) included.
+    pub step_items: Vec<(i64, std::time::Duration)>,
+    /// Wall time of the whole tick (item work + serial bookkeeping).
+    pub total: std::time::Duration,
+}
 
 /// Summary of one daemon tick.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -36,6 +72,157 @@ pub struct TickReport {
     pub daemon_errors: Vec<String>,
 }
 
+/// Merge per-worker tick reports into one tick summary: counts are
+/// summed, transitions are ordered by simulation id, and daemon errors
+/// are sorted. Commutative and lossless — any permutation of the same
+/// parts merges to the same report, and nothing is dropped.
+pub fn merge_reports<I: IntoIterator<Item = TickReport>>(parts: I) -> TickReport {
+    let mut merged = TickReport::default();
+    for part in parts {
+        merged.jobs_polled += part.jobs_polled;
+        merged.job_transitions += part.job_transitions;
+        merged.sims_stepped += part.sims_stepped;
+        merged.transient_errors += part.transient_errors;
+        merged.new_holds += part.new_holds;
+        merged.transitions.extend(part.transitions);
+        merged.daemon_errors.extend(part.daemon_errors);
+    }
+    merged
+        .transitions
+        .sort_by(|a, b| (a.0, a.1.as_str(), a.2.as_str()).cmp(&(b.0, b.1.as_str(), b.2.as_str())));
+    merged.daemon_errors.sort();
+    merged
+}
+
+/// Outcome of polling one job record (phase 1).
+struct PollOutcome {
+    polled: bool,
+    transitioned: bool,
+    transient: bool,
+    ops: Option<OpsEntry>,
+}
+
+/// Poll one job's GRAM status and save any change through `conn` — the
+/// §4.4 generic status update, identical for all jobs "regardless of
+/// purpose or execution method". Shared verbatim by the sequential and
+/// parallel paths so their per-job behavior cannot drift.
+fn poll_job_once(
+    conn: &Connection,
+    grid: &Grid,
+    config: &DaemonConfig,
+    cred: &CommunityCredential,
+    job: &mut GridJobRecord,
+    now: SimTime,
+) -> PollOutcome {
+    let mut outcome = PollOutcome {
+        polled: false,
+        transitioned: false,
+        transient: false,
+        ops: None,
+    };
+    let Some(handle_str) = job.gram_handle.clone() else {
+        return outcome;
+    };
+    let handle = GramJobHandle(handle_str);
+    let jobs = Manager::<GridJobRecord>::new(conn.clone());
+    let username = Manager::<Simulation>::new(conn.clone())
+        .get(job.simulation_id)
+        .ok()
+        .and_then(|s| owner_username(conn, &s).ok())
+        .unwrap_or_else(|| "amp-gateway".to_string());
+    let proxy = cred.issue_proxy(
+        &username,
+        now,
+        SimDuration::from_hours(config.proxy_lifetime_hours),
+    );
+    outcome.polled = true;
+    match grid.gram_status(&job.site, &proxy, &handle) {
+        Ok(state) => {
+            let new_status = match &state {
+                GramState::Pending => JobStatus::Pending,
+                GramState::Active => JobStatus::Active,
+                GramState::Done => JobStatus::Done,
+                GramState::Failed(m) => {
+                    job.detail = m.clone();
+                    JobStatus::Failed
+                }
+            };
+            if new_status != job.status {
+                job.status = new_status;
+                if let Some(times) = grid.job_times(&job.site, &handle) {
+                    job.started_at = times.started_at.map(|t| t.as_secs() as i64);
+                    job.ended_at = times.ended_at.map(|t| t.as_secs() as i64);
+                }
+                if jobs.save(job).is_ok() {
+                    outcome.transitioned = true;
+                }
+            }
+        }
+        Err(e) if e.is_transient() => {
+            outcome.transient = true;
+            // Anticipated transient: administrators notified, the
+            // user-visible display annotated, processing retried.
+            outcome.ops = Some(OpsEntry {
+                at: now.as_secs() as i64,
+                simulation_id: Some(job.simulation_id),
+                command: gram_status_cmdline(&handle.0),
+                outcome: OpOutcome::Transient(e.to_string()),
+            });
+            job.detail = format!("transient: {e}");
+            let _ = jobs.save(job);
+        }
+        Err(e) => {
+            job.status = JobStatus::Failed;
+            job.detail = e.to_string();
+            let _ = jobs.save(job);
+            outcome.transitioned = true;
+        }
+    }
+    outcome
+}
+
+/// Run one simulation's workflow step (phase 2), recording grid calls in
+/// `ops`. Returns the step outcome, or `Err(message)` when the owner
+/// lookup fails (a daemon-class error). Shared by both tick paths.
+#[allow(clippy::type_complexity)]
+fn step_sim_once(
+    conn: &Connection,
+    grid: &Grid,
+    config: &DaemonConfig,
+    cred: &CommunityCredential,
+    sim: &mut Simulation,
+    ops: &mut OpsLog,
+) -> Result<Result<Option<SimStatus>, WorkflowError>, String> {
+    let username = owner_username(conn, sim).map_err(|e| e.to_string())?;
+    let mut ctx = StageCtx {
+        grid,
+        conn,
+        config,
+        cred,
+        sim,
+        owner_username: username,
+        ops,
+    };
+    Ok(step(&mut ctx))
+}
+
+/// One worker's phase-2 product for one simulation, applied post-barrier
+/// on the daemon thread in simulation-id order.
+struct StepProduct {
+    idx: usize,
+    worker: usize,
+    sim: Simulation,
+    from: SimStatus,
+    outcome: Result<Result<Option<SimStatus>, WorkflowError>, String>,
+    ops: OpsLog,
+    /// `Some(save result)` when the worker already persisted the stepped
+    /// simulation row (Ok outcomes only — the row belongs to this worker,
+    /// and saves of distinct rows commute, so doing them in the pool
+    /// keeps the post-barrier serial section small). `None` means the
+    /// merge step must save.
+    pre_saved: Option<bool>,
+}
+
 /// The workflow daemon.
 pub struct GridAmp {
     db: Db,
@@ -44,10 +231,17 @@ pub struct GridAmp {
     cred: CommunityCredential,
     /// Consecutive transient-failure count per simulation.
     transient_streak: HashMap<i64, u32>,
+    /// Ticks executed so far (drives the transient backoff schedule).
+    ticks: u64,
+    /// Earliest tick at which a backed-off simulation is retried.
+    next_attempt: HashMap<i64, u64>,
     /// Simulated time of the last completed tick (heartbeat).
     pub last_heartbeat: Option<i64>,
     /// §4.4: the command-line transparency log.
     ops_log: OpsLog,
+    /// Set to `Some` to profile sequential ticks (see [`TickProfile`]);
+    /// refreshed on every tick while enabled.
+    pub profile: Option<TickProfile>,
 }
 
 impl GridAmp {
@@ -60,8 +254,11 @@ impl GridAmp {
             config,
             cred: CommunityCredential::new("/C=US/O=NCAR/CN=amp community"),
             transient_streak: HashMap::new(),
+            ticks: 0,
+            next_attempt: HashMap::new(),
             last_heartbeat: None,
             ops_log: OpsLog::new(),
+            profile: None,
         })
     }
 
@@ -104,24 +301,76 @@ impl GridAmp {
 
     /// One daemon cycle.
     pub fn tick(&mut self, grid: &mut Grid) -> TickReport {
-        let mut report = TickReport::default();
-        self.poll_jobs(grid, &mut report);
-        self.step_simulations(grid, &mut report);
+        self.ticks += 1;
+        let report = if self.config.workers > 1 {
+            self.tick_parallel(grid, self.config.workers)
+        } else {
+            let started = self.profile.as_mut().map(|p| {
+                *p = TickProfile::default();
+                std::time::Instant::now()
+            });
+            let mut report = TickReport::default();
+            self.poll_jobs(grid, &mut report);
+            self.step_simulations(grid, &mut report);
+            if let (Some(t), Some(p)) = (started, self.profile.as_mut()) {
+                p.total = t.elapsed();
+            }
+            report
+        };
         self.last_heartbeat = Some(grid.now().as_secs() as i64);
         report
     }
 
+    /// Phase 1's worklist: `(job id, owning simulation id)` of every
+    /// pending/active job record, in primary-key order. One index-backed
+    /// `Eq` projection per status (`Op::In` cannot use the status index
+    /// and would scan the whole, ever-growing job table every tick); no
+    /// row bodies are cloned or decoded here — each engine fetches a
+    /// job's row inside the per-item work, which the pool shards.
+    fn pending_job_ids(&self) -> Result<Vec<(i64, i64)>, DbError> {
+        let jobs = self.jobs();
+        let mut out = Vec::new();
+        for status in [JobStatus::Pending, JobStatus::Active] {
+            for (job_id, owner) in
+                jobs.project(&Query::new().eq("status", status.as_str()), "simulation_id")?
+            {
+                if let Value::Int(sim_id) = owner {
+                    out.push((job_id, sim_id));
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Phase 2's worklist: ids of the live (non-terminal happy-path)
+    /// simulations, in primary-key order (same projection scheme as
+    /// [`Self::pending_job_ids`]).
+    fn live_sim_ids(&self) -> Result<Vec<i64>, DbError> {
+        let sims = self.sims();
+        let mut out = Vec::new();
+        for status in SimStatus::happy_path().iter().filter(|s| !s.is_terminal()) {
+            out.extend(
+                sims.project(&Query::new().eq("status", status.as_str()), "id")?
+                    .into_iter()
+                    .map(|(id, _)| id),
+            );
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// True while a simulation waits out its transient backoff window.
+    fn backed_off(&self, sim_id: i64) -> bool {
+        self.next_attempt
+            .get(&sim_id)
+            .is_some_and(|&t| self.ticks < t)
+    }
+
     /// Phase 1: generic grid-job status update (identical for all jobs
     /// "regardless of purpose or execution method", §4.4).
-    fn poll_jobs(&mut self, grid: &mut Grid, report: &mut TickReport) {
-        let pending = match self.jobs().filter(&Query::new().filter(
-            "status",
-            Op::In(vec![
-                Value::Text(JobStatus::Pending.as_str().into()),
-                Value::Text(JobStatus::Active.as_str().into()),
-            ]),
-            Value::Null,
-        )) {
+    fn poll_jobs(&mut self, grid: &Grid, report: &mut TickReport) {
+        let pending = match self.pending_job_ids() {
             Ok(v) => v,
             Err(e) => {
                 report.daemon_errors.push(e.to_string());
@@ -129,81 +378,34 @@ impl GridAmp {
             }
         };
         let now = grid.now();
-        for mut job in pending {
-            let Some(handle_str) = job.gram_handle.clone() else {
+        let jobs = self.jobs();
+        for (job_id, sim_id) in pending {
+            let timer = self.profile.is_some().then(std::time::Instant::now);
+            let Ok(mut job) = jobs.get(job_id) else {
                 continue;
             };
-            let handle = GramJobHandle(handle_str);
-            let username = self
-                .sims()
-                .get(job.simulation_id)
-                .ok()
-                .and_then(|s| owner_username(&self.conn, &s).ok())
-                .unwrap_or_else(|| "amp-gateway".to_string());
-            let proxy = self.cred.issue_proxy(
-                &username,
-                now,
-                SimDuration::from_hours(self.config.proxy_lifetime_hours),
-            );
-            report.jobs_polled += 1;
-            match grid.gram_status(&job.site, &proxy, &handle) {
-                Ok(state) => {
-                    let new_status = match &state {
-                        GramState::Pending => JobStatus::Pending,
-                        GramState::Active => JobStatus::Active,
-                        GramState::Done => JobStatus::Done,
-                        GramState::Failed(m) => {
-                            job.detail = m.clone();
-                            JobStatus::Failed
-                        }
-                    };
-                    if new_status != job.status {
-                        job.status = new_status;
-                        if let Some(times) = grid.job_times(&job.site, &handle) {
-                            job.started_at = times.started_at.map(|t| t.as_secs() as i64);
-                            job.ended_at = times.ended_at.map(|t| t.as_secs() as i64);
-                        }
-                        if self.jobs().save(&job).is_ok() {
-                            report.job_transitions += 1;
-                        }
-                    }
-                }
-                Err(e) if e.is_transient() => {
-                    report.transient_errors += 1;
-                    // Anticipated transient: administrators notified, the
-                    // user-visible display annotated, processing retried.
-                    self.ops_log.record(OpsEntry {
-                        at: now.as_secs() as i64,
-                        simulation_id: Some(job.simulation_id),
-                        command: gram_status_cmdline(&handle.0),
-                        outcome: OpOutcome::Transient(e.to_string()),
-                    });
-                    job.detail = format!("transient: {e}");
-                    let _ = self.jobs().save(&job);
-                }
-                Err(e) => {
-                    job.status = JobStatus::Failed;
-                    job.detail = e.to_string();
-                    let _ = self.jobs().save(&job);
-                    report.job_transitions += 1;
-                }
+            let outcome = poll_job_once(&self.conn, grid, &self.config, &self.cred, &mut job, now);
+            if let (Some(t), Some(p)) = (timer, self.profile.as_mut()) {
+                p.poll_items.push((sim_id, t.elapsed()));
+            }
+            if outcome.polled {
+                report.jobs_polled += 1;
+            }
+            if outcome.transitioned {
+                report.job_transitions += 1;
+            }
+            if outcome.transient {
+                report.transient_errors += 1;
+            }
+            if let Some(entry) = outcome.ops {
+                self.ops_log.record(entry);
             }
         }
     }
 
     /// Phase 2: step every live simulation's workflow.
-    fn step_simulations(&mut self, grid: &mut Grid, report: &mut TickReport) {
-        let live = match self.sims().filter(&Query::new().filter(
-            "status",
-            Op::In(
-                SimStatus::happy_path()
-                    .iter()
-                    .filter(|s| !s.is_terminal())
-                    .map(|s| Value::Text(s.as_str().into()))
-                    .collect(),
-            ),
-            Value::Null,
-        )) {
+    fn step_simulations(&mut self, grid: &Grid, report: &mut TickReport) {
+        let live = match self.live_sim_ids() {
             Ok(v) => v,
             Err(e) => {
                 report.daemon_errors.push(e.to_string());
@@ -211,75 +413,279 @@ impl GridAmp {
             }
         };
 
-        for mut sim in live {
-            let sim_id = sim.id.expect("saved sim");
+        let sims = self.sims();
+        for sim_id in live {
+            if self.backed_off(sim_id) {
+                continue;
+            }
+            let timer = self.profile.is_some().then(std::time::Instant::now);
+            let Ok(mut sim) = sims.get(sim_id) else {
+                continue;
+            };
             report.sims_stepped += 1;
-            let username = match owner_username(&self.conn, &sim) {
-                Ok(u) => u,
-                Err(e) => {
-                    report.daemon_errors.push(e.to_string());
-                    continue;
-                }
-            };
             let from = sim.status;
-            let outcome = {
-                let mut ctx = StageCtx {
-                    grid,
-                    conn: &self.conn,
-                    config: &self.config,
-                    cred: &self.cred,
-                    sim: &mut sim,
-                    owner_username: username,
-                    ops: &mut self.ops_log,
-                };
-                step(&mut ctx)
-            };
+            let outcome = step_sim_once(
+                &self.conn,
+                grid,
+                &self.config,
+                &self.cred,
+                &mut sim,
+                &mut self.ops_log,
+            );
             let now = grid.now().as_secs() as i64;
-            match outcome {
-                Ok(Some(next)) => {
-                    self.transient_streak.remove(&sim_id);
-                    sim.status_message.clear();
-                    if self.sims().save(&sim).is_err() {
-                        continue;
-                    }
-                    report.transitions.push((sim_id, from, next));
-                    self.send_transition_mail(&sim, from, next, now);
-                }
-                Ok(None) => {
-                    self.transient_streak.remove(&sim_id);
-                    let _ = self.sims().save(&sim);
-                }
-                Err(WorkflowError::Transient(msg)) => {
-                    report.transient_errors += 1;
-                    let streak = {
-                        let s = self.transient_streak.entry(sim_id).or_insert(0);
-                        *s += 1;
-                        *s
-                    };
-                    // Silent for users; a plain-text note on the status
-                    // display and an admin notification on first sight.
-                    sim.status_message = msg.clone();
-                    let _ = self.sims().save(&sim);
-                    if streak == 1 {
-                        self.notify_admins(
-                            Some(sim_id),
-                            "transient grid failure",
-                            &msg,
-                            now,
-                        );
-                    }
-                    if streak > self.config.max_transient_retries {
-                        self.hold(&mut sim, &format!("transient storm: {msg}"), now, report);
-                    }
-                }
-                Err(WorkflowError::ModelFailure(msg)) => {
-                    self.hold(&mut sim, &msg, now, report);
-                }
-                Err(WorkflowError::Daemon(msg)) => {
-                    report.daemon_errors.push(format!("sim {sim_id}: {msg}"));
-                }
+            self.apply_step_outcome(&mut sim, from, outcome, now, report, None);
+            if let (Some(t), Some(p)) = (timer, self.profile.as_mut()) {
+                p.step_items.push((sim_id, t.elapsed()));
             }
         }
+    }
+
+    /// Apply one simulation's step outcome: save the row, maintain the
+    /// transient streak and backoff schedule, hold on model failures, and
+    /// send the notifications. Runs on the daemon thread only — in the
+    /// parallel tick this is the post-barrier merge step, executed in
+    /// simulation-id order so its database side effects are identical to
+    /// the sequential daemon's.
+    fn apply_step_outcome(
+        &mut self,
+        sim: &mut Simulation,
+        from: SimStatus,
+        outcome: Result<Result<Option<SimStatus>, WorkflowError>, String>,
+        now: i64,
+        report: &mut TickReport,
+        pre_saved: Option<bool>,
+    ) {
+        let sim_id = sim.id.expect("saved sim");
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(msg) => {
+                report.daemon_errors.push(msg);
+                return;
+            }
+        };
+        match outcome {
+            Ok(Some(next)) => {
+                self.transient_streak.remove(&sim_id);
+                self.next_attempt.remove(&sim_id);
+                let saved = pre_saved.unwrap_or_else(|| {
+                    sim.status_message.clear();
+                    self.sims().save(sim).is_ok()
+                });
+                if !saved {
+                    return;
+                }
+                report.transitions.push((sim_id, from, next));
+                self.send_transition_mail(sim, from, next, now);
+            }
+            Ok(None) => {
+                self.transient_streak.remove(&sim_id);
+                self.next_attempt.remove(&sim_id);
+                if pre_saved.is_none() {
+                    let _ = self.sims().save(sim);
+                }
+            }
+            Err(WorkflowError::Transient(msg)) => {
+                report.transient_errors += 1;
+                let streak = {
+                    let s = self.transient_streak.entry(sim_id).or_insert(0);
+                    *s += 1;
+                    *s
+                };
+                // Silent for users; a plain-text note on the status
+                // display and an admin notification on first sight.
+                sim.status_message = msg.clone();
+                let _ = self.sims().save(sim);
+                if streak == 1 {
+                    self.notify_admins(Some(sim_id), "transient grid failure", &msg, now);
+                }
+                if streak > self.config.max_transient_retries {
+                    self.hold(sim, &format!("transient storm: {msg}"), now, report);
+                } else if self.config.transient_backoff_base_ticks > 0 {
+                    // Exponential backoff: base * 2^(streak-1) ticks,
+                    // capped so the shift cannot overflow.
+                    let exp = (streak - 1).min(16);
+                    let delay = self.config.transient_backoff_base_ticks << exp;
+                    self.next_attempt.insert(sim_id, self.ticks + delay);
+                }
+            }
+            Err(WorkflowError::ModelFailure(msg)) => {
+                self.hold(sim, &msg, now, report);
+            }
+            Err(WorkflowError::Daemon(msg)) => {
+                report.daemon_errors.push(format!("sim {sim_id}: {msg}"));
+            }
+        }
+    }
+
+    /// One parallel daemon cycle: shard both phases across `workers`
+    /// threads (per-simulation ownership), then merge deterministically.
+    fn tick_parallel(&mut self, grid: &Grid, workers: usize) -> TickReport {
+        let mut reports: Vec<TickReport> = vec![TickReport::default(); workers];
+        let conns: Result<Vec<Connection>, DbError> = (0..workers)
+            .map(|_| self.db.connect(amp_core::roles::ROLE_DAEMON))
+            .collect();
+        let conns = match conns {
+            Ok(c) => c,
+            Err(e) => {
+                reports[0].daemon_errors.push(e.to_string());
+                return merge_reports(reports);
+            }
+        };
+        let now = grid.now();
+        let config = self.config.clone();
+        let cred = self.cred.clone();
+
+        // ---- phase 1: generic job polling, sharded by owning sim ----
+        match self.pending_job_ids() {
+            Ok(pending) => {
+                let mut chunks: Vec<Vec<(usize, i64)>> = vec![Vec::new(); workers];
+                for (idx, (job_id, sim_id)) in pending.into_iter().enumerate() {
+                    let w = sim_id.rem_euclid(workers as i64) as usize;
+                    chunks[w].push((idx, job_id));
+                }
+                let mut ops: Vec<(usize, OpsEntry)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .zip(conns.iter())
+                        .zip(reports.iter_mut())
+                        .map(|((chunk, conn), report)| {
+                            let config = &config;
+                            let cred = &cred;
+                            scope.spawn(move || {
+                                let jobs: Manager<GridJobRecord> = Manager::new(conn.clone());
+                                let mut ops = Vec::new();
+                                for (idx, job_id) in chunk {
+                                    let Ok(mut job) = jobs.get(job_id) else {
+                                        continue;
+                                    };
+                                    let o =
+                                        poll_job_once(conn, grid, config, cred, &mut job, now);
+                                    if o.polled {
+                                        report.jobs_polled += 1;
+                                    }
+                                    if o.transitioned {
+                                        report.job_transitions += 1;
+                                    }
+                                    if o.transient {
+                                        report.transient_errors += 1;
+                                    }
+                                    if let Some(entry) = o.ops {
+                                        ops.push((idx, entry));
+                                    }
+                                }
+                                ops
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().unwrap_or_default())
+                        .collect()
+                });
+                // Worklist order == sequential order: replay the ops-log
+                // segments by worklist index.
+                ops.sort_by_key(|(idx, _)| *idx);
+                for (_, entry) in ops {
+                    self.ops_log.record(entry);
+                }
+            }
+            Err(e) => reports[0].daemon_errors.push(e.to_string()),
+        }
+
+        // ---- phase 2: workflow steps, sharded by simulation ----
+        match self.live_sim_ids() {
+            Ok(live) => {
+                let mut chunks: Vec<Vec<(usize, i64)>> = vec![Vec::new(); workers];
+                for (idx, sim_id) in live.into_iter().enumerate() {
+                    if self.backed_off(sim_id) {
+                        continue;
+                    }
+                    let w = sim_id.rem_euclid(workers as i64) as usize;
+                    chunks[w].push((idx, sim_id));
+                }
+                let mut products: Vec<StepProduct> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .zip(conns.iter())
+                        .zip(reports.iter_mut())
+                        .enumerate()
+                        .map(|(worker, ((chunk, conn), report))| {
+                            let config = &config;
+                            let cred = &cred;
+                            scope.spawn(move || {
+                                let sims: Manager<Simulation> = Manager::new(conn.clone());
+                                let mut products = Vec::with_capacity(chunk.len());
+                                for (idx, sim_id) in chunk {
+                                    let Ok(mut sim) = sims.get(sim_id) else {
+                                        continue;
+                                    };
+                                    report.sims_stepped += 1;
+                                    let from = sim.status;
+                                    let mut ops = OpsLog::new();
+                                    let outcome = step_sim_once(
+                                        conn, grid, config, cred, &mut sim, &mut ops,
+                                    );
+                                    // Ok outcomes: persist here, in the
+                                    // pool — this row is ours alone and
+                                    // distinct-row saves commute.
+                                    let pre_saved = match &outcome {
+                                        Ok(Ok(Some(_))) => {
+                                            sim.status_message.clear();
+                                            let m: Manager<Simulation> =
+                                                Manager::new(conn.clone());
+                                            Some(m.save(&sim).is_ok())
+                                        }
+                                        Ok(Ok(None)) => {
+                                            let m: Manager<Simulation> =
+                                                Manager::new(conn.clone());
+                                            Some(m.save(&sim).is_ok())
+                                        }
+                                        _ => None,
+                                    };
+                                    products.push(StepProduct {
+                                        idx,
+                                        worker,
+                                        sim,
+                                        from,
+                                        outcome,
+                                        ops,
+                                        pre_saved,
+                                    });
+                                }
+                                products
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().unwrap_or_default())
+                        .collect()
+                });
+                // Post-barrier merge in worklist (simulation-id) order:
+                // streaks, holds, saves, notifications and mail fire in
+                // exactly the sequence the sequential daemon uses.
+                products.sort_by_key(|p| p.idx);
+                let now_secs = now.as_secs() as i64;
+                for mut product in products {
+                    for entry in product.ops.drain() {
+                        self.ops_log.record(entry);
+                    }
+                    let mut report = std::mem::take(&mut reports[product.worker]);
+                    self.apply_step_outcome(
+                        &mut product.sim,
+                        product.from,
+                        product.outcome,
+                        now_secs,
+                        &mut report,
+                        product.pre_saved,
+                    );
+                    reports[product.worker] = report;
+                }
+            }
+            Err(e) => reports[0].daemon_errors.push(e.to_string()),
+        }
+
+        merge_reports(reports)
     }
 
     /// Park a simulation in the hold state (§4.4 model-failure handling).
@@ -291,6 +697,7 @@ impl GridAmp {
             report.new_holds += 1;
             let sim_id = sim.id.expect("saved");
             self.transient_streak.remove(&sim_id);
+            self.next_attempt.remove(&sim_id);
             self.notify_user(
                 sim,
                 "simulation needs attention",

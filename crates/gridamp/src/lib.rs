@@ -33,12 +33,12 @@ pub mod workflow;
 pub use advisor::{assess, recommend, Assessment};
 pub use clilog::{OpOutcome, OpsEntry, OpsLog};
 pub use apps::GaRunResult;
-pub use daemon::{DaemonMonitor, GridAmp, TickReport};
+pub use daemon::{merge_reports, DaemonMonitor, GridAmp, TickProfile, TickReport};
 pub use error::WorkflowError;
 pub use gantt::{chart_for, render_ascii, stats, GanttChart, GanttRow, WaitRunStats};
 pub use optimize::OptimizationResult;
 pub use problem::StellarFitProblem;
-pub use setup::{deploy, seed_fixtures, small_spec, Deployment};
+pub use setup::{deploy, deploy_multi, seed_fixtures, small_spec, Deployment};
 pub use workflow::{workflow_table, DaemonConfig, StageCtx};
 
 #[cfg(test)]

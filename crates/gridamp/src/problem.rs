@@ -63,7 +63,7 @@ mod tests {
                 generations: 200,
                 ..GaConfig::default()
             },
-            21,
+            23,
         );
         ga.run(u32::MAX);
         let best = problem.decode(&ga.best().phenotype);

@@ -38,6 +38,31 @@ pub fn deploy(profile: SystemProfile, config: DaemonConfig, background_seed: Opt
     Ok(Deployment { db, grid, daemon })
 }
 
+/// Build a deployment spanning several simulated systems — the TeraGrid
+/// shape of Figure 1, where one daemon drives simulations on frost,
+/// kraken, lonestar, and ranger at once. Every site gets the AMP stack
+/// and authorizes the same community credential.
+pub fn deploy_multi(
+    profiles: Vec<SystemProfile>,
+    config: DaemonConfig,
+    background_seed: Option<u64>,
+) -> Result<Deployment, DbError> {
+    let db = Db::in_memory();
+    amp_core::setup::initialize(&db)?;
+    let mut grid = Grid::new();
+    let daemon = GridAmp::new(&db, config)?;
+    for profile in profiles {
+        let site = profile.name.clone();
+        match background_seed {
+            Some(seed) => grid.add_site_with_background(profile, seed),
+            None => grid.add_site(profile),
+        }
+        crate::apps::install_amp_stack(&mut grid, &site);
+        grid.authorize(&site, daemon.credential());
+    }
+    Ok(Deployment { db, grid, daemon })
+}
+
 /// Seed a user (approved), a star, an allocation, and an observation set
 /// synthesized from `truth`. Returns (user id, star id, allocation id,
 /// observation id).

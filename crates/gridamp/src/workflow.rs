@@ -54,6 +54,16 @@ pub struct DaemonConfig {
     pub max_transient_retries: u32,
     /// Daemon poll interval in simulated seconds.
     pub poll_interval_secs: u64,
+    /// Worker threads per tick. `1` (the default) runs the exact legacy
+    /// sequential tick — the configuration the paper's daemon had; `N > 1`
+    /// shards the per-tick work across `N` threads with per-simulation
+    /// ownership and a deterministic merge.
+    pub workers: usize,
+    /// Exponential backoff base (in ticks) for the transient retry path:
+    /// after `s` consecutive transient failures a simulation is next
+    /// attempted `base * 2^(s-1)` ticks later (capped). `0` (the default)
+    /// retries every tick — the paper's behavior.
+    pub transient_backoff_base_ticks: u64,
 }
 
 impl Default for DaemonConfig {
@@ -66,13 +76,20 @@ impl Default for DaemonConfig {
             job_chaining: false,
             max_transient_retries: 1_000,
             poll_interval_secs: 300,
+            workers: 1,
+            transient_backoff_base_ticks: 0,
         }
     }
 }
 
 /// Everything a workflow stage function can touch.
+///
+/// The grid is shared (`&Grid`): every client call synchronizes
+/// internally on per-site locks, so stage functions for different
+/// simulations can run on parallel daemon workers against the same
+/// substrate.
 pub struct StageCtx<'a> {
-    pub grid: &'a mut Grid,
+    pub grid: &'a Grid,
     pub conn: &'a Connection,
     pub config: &'a DaemonConfig,
     pub cred: &'a CommunityCredential,
@@ -508,7 +525,7 @@ fn check_cleanup(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
     // been removed" — verify-and-remove on the remote scratch.
     let root = ctx.workdir();
     let system = ctx.sim.system.clone();
-    if let Some(site) = ctx.grid.site_mut(&system) {
+    if let Some(mut site) = ctx.grid.site_mut(&system) {
         crate::apps::cleanup_tree(&mut site.fs, &root);
     }
     Ok(true)

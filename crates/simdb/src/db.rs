@@ -286,6 +286,17 @@ impl Database {
         query.execute(self.table(table)?)
     }
 
+    /// Single-column projection of a query: `(id, cell)` pairs without
+    /// cloning whole rows (see [`Query::project`]).
+    pub fn select_project(
+        &self,
+        table: &str,
+        query: &Query,
+        column: &str,
+    ) -> Result<Vec<(i64, Value)>, DbError> {
+        query.project(self.table(table)?, column)
+    }
+
     pub fn get(&self, table: &str, id: i64) -> Result<Row, DbError> {
         self.table(table)?
             .get(id)

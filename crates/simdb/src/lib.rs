@@ -278,6 +278,21 @@ impl Connection {
         self.db.shared.database.read().select(table, query)
     }
 
+    /// Single-column projection of a query (see [`Query::project`]).
+    pub fn select_project(
+        &self,
+        table: &str,
+        query: &Query,
+        column: &str,
+    ) -> Result<Vec<(i64, Value)>, DbError> {
+        self.role.check(table, Action::Select)?;
+        self.db
+            .shared
+            .database
+            .read()
+            .select_project(table, query, column)
+    }
+
     pub fn get(&self, table: &str, id: i64) -> Result<Row, DbError> {
         self.role.check(table, Action::Select)?;
         self.db.shared.database.read().get(table, id)

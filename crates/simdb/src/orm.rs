@@ -101,6 +101,14 @@ impl<M: Model> Manager<M> {
             .collect()
     }
 
+    /// Single-column projection: `(id, cell)` pairs of the matching rows,
+    /// skipping the full row clone + model decode of [`Self::filter`]
+    /// (pass `"id"` to list primary keys alone). For hot worklist scans
+    /// that only need to know *which* rows to visit.
+    pub fn project(&self, query: &Query, column: &str) -> Result<Vec<(i64, Value)>, DbError> {
+        self.conn.select_project(M::TABLE, query, column)
+    }
+
     pub fn first(&self, query: &Query) -> Result<Option<M>, DbError> {
         let mut q = query.clone();
         q.limit = Some(1);

@@ -243,6 +243,100 @@ impl Query {
         };
         Ok(out[start..end].to_vec())
     }
+
+    /// Execute against a table, returning only `(id, <column cell>)` pairs
+    /// (`"id"` projects the primary key itself). Index selection, filter,
+    /// ordering and pagination semantics are identical to [`Self::execute`],
+    /// but no row is cloned — only the single projected cell — so hot
+    /// worklist queries (e.g. the GridAMP daemon's per-tick scans) skip
+    /// the full fetch/decode for rows whose bodies they don't need yet.
+    pub fn project(&self, table: &Table, column: &str) -> Result<Vec<(i64, Value)>, DbError> {
+        let idx = self.resolve(&table.schema)?;
+        let pci = if column == "id" {
+            None
+        } else {
+            Some(table.schema.column_index(column).ok_or_else(|| {
+                DbError::NoSuchColumn {
+                    table: table.schema.name.clone(),
+                    column: column.to_string(),
+                }
+            })?)
+        };
+
+        // Candidate selection, as in `execute`.
+        let mut candidates: Option<Vec<i64>> = None;
+        for (f, &ci) in self.filters.iter().zip(idx.iter()) {
+            if let Op::Eq = f.op {
+                if let Some(id) = table.find_unique(ci, &f.value) {
+                    candidates = Some(vec![id]);
+                    break;
+                }
+                if table.schema.columns[ci].unique {
+                    candidates = Some(Vec::new());
+                    break;
+                }
+                if let Some(hits) = table.find_indexed(ci, &f.value) {
+                    candidates = Some(hits);
+                    break;
+                }
+            }
+        }
+
+        let mut out: Vec<(i64, &Row)> = match candidates {
+            Some(ids) => ids
+                .into_iter()
+                .filter_map(|id| table.get(id).map(|r| (id, r)))
+                .collect(),
+            None => table.iter().collect(),
+        };
+
+        out.retain(|(_, row)| {
+            self.filters
+                .iter()
+                .zip(idx.iter())
+                .all(|(f, &ci)| f.matches(&row[ci]))
+        });
+
+        if !self.order_by.is_empty() {
+            let schema = &table.schema;
+            let keys: Vec<(Option<usize>, bool)> = self
+                .order_by
+                .iter()
+                .map(|o| (schema.column_index(&o.column), o.descending))
+                .collect();
+            out.sort_by(|(aid, arow), (bid, brow)| {
+                for (ci, desc) in &keys {
+                    let ord = match ci {
+                        Some(ci) => arow[*ci].total_cmp(&brow[*ci]),
+                        None => aid.cmp(bid),
+                    };
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                aid.cmp(bid)
+            });
+        }
+
+        let start = self.offset.min(out.len());
+        let end = match self.limit {
+            Some(l) => (start + l).min(out.len()),
+            None => out.len(),
+        };
+        Ok(out[start..end]
+            .iter()
+            .map(|(id, row)| {
+                (
+                    *id,
+                    match pci {
+                        Some(ci) => row[ci].clone(),
+                        None => Value::Int(*id),
+                    },
+                )
+            })
+            .collect())
+    }
 }
 
 /// Column aggregates over a query's result set (Django's `aggregate()`).

@@ -45,7 +45,7 @@ fn compromised_web_tier_cannot_forge_grid_requests() {
     // Even with the web connection fully in hand (a "root compromise of
     // the web server", §3), the attacker has no community credential: any
     // proxy they mint themselves is rejected by every site.
-    let mut dep = deployment();
+    let dep = deployment();
     let mallory_cred = amp::grid::CommunityCredential::new("/CN=mallory web shell");
     let proxy = mallory_cred.issue_proxy("mallory", dep.grid.now(), SimDuration::from_hours(10.0));
     let err = dep

@@ -215,7 +215,7 @@ fn queue_contention_with_background_load_still_completes() {
             work_walltime_hours: 6.0,
             ..DaemonConfig::default()
         },
-        Some(777),
+        Some(778),
     )
     .unwrap();
     dep.grid.advance(SimDuration::from_hours(24.0));

@@ -76,7 +76,6 @@ proptest! {
     #[test]
     fn all_jobs_terminate_and_cores_never_oversubscribed(jobs in arb_jobs(), seed in 0u64..50) {
         let (grid, handles) = run_jobs(&jobs, seed);
-        let site = grid.site("lonestar").unwrap();
 
         // every submitted job reached a terminal state
         let mut events: Vec<(i64, i64)> = Vec::new(); // (time, +cores/-cores)
@@ -89,6 +88,9 @@ proptest! {
             }
         }
         // include background jobs in the occupancy audit
+        // (guard taken after the job_times calls above: the site mutex is
+        // non-reentrant, so never hold it across another Grid call)
+        let site = grid.site("lonestar").unwrap();
         for j in site.scheduler.jobs() {
             if j.background {
                 if let amp::grid::JobState::Done { started_at, ended_at, .. } = j.state {

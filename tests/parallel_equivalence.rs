@@ -1,0 +1,203 @@
+//! Sequential/parallel equivalence: a daemon configured with `workers = 8`
+//! must drive the exact same workflow as the legacy `workers = 1` tick —
+//! identical final simulation statuses, identical job records (up to row
+//! ids and GRAM handles, which depend on harmless submission interleaving),
+//! identical notification outbox, and identical per-simulation transition
+//! sequences tick by tick.
+
+use amp::prelude::*;
+use std::collections::BTreeMap;
+
+fn truth() -> StellarParams {
+    StellarParams {
+        mass: 1.05,
+        metallicity: 0.02,
+        helium: 0.27,
+        alpha: 2.0,
+        age: 4.0,
+    }
+}
+
+/// A job record minus row id and GRAM handle: simulation_id, ga_run,
+/// purpose, continuation, site, status, cores, submitted_at, started_at,
+/// ended_at.
+type JobKey = (i64, i64, String, i64, String, String, i64, Option<i64>, Option<i64>, Option<i64>);
+
+/// A notification minus row id: user_id, simulation_id, audience,
+/// subject, body, created_at.
+type NoteKey = (Option<i64>, Option<i64>, String, String, String, i64);
+
+/// Everything DB-observable about a finished scenario, canonicalized so
+/// two equivalent runs compare equal:
+/// * job records drop row id and GRAM handle (scheduler handles encode
+///   submission interleaving, which differs across worker counts without
+///   affecting behavior) and are sorted;
+/// * notifications drop row id and are sorted by content;
+/// * transitions are the per-simulation sequences accumulated across
+///   ticks, in tick order.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    statuses: BTreeMap<i64, String>,
+    jobs: Vec<JobKey>,
+    notifications: Vec<NoteKey>,
+    transitions: BTreeMap<i64, Vec<(String, String)>>,
+    ticks: usize,
+}
+
+fn run_scenario(workers: usize) -> Outcome {
+    let mut dep = amp::gridamp::deploy(
+        amp::grid::systems::kraken(),
+        DaemonConfig {
+            workers,
+            work_walltime_hours: 6.0,
+            ..DaemonConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+
+    // one 90-minute two-service outage so the transient/retry path is
+    // exercised identically by both engines
+    dep.grid.faults.add_outage(
+        "kraken",
+        Service::Both,
+        amp_grid::SimTime(1_800),
+        amp_grid::SimTime(7_200),
+    );
+
+    let (user, star, alloc, obs) =
+        amp::gridamp::seed_fixtures(&dep.db, "kraken", &truth(), 7).unwrap();
+    let web = dep.db.connect(amp::core::roles::ROLE_WEB).unwrap();
+    let sims = Manager::<Simulation>::new(web);
+
+    // four direct simulations with distinct parameters...
+    for i in 0..4 {
+        let params = StellarParams {
+            mass: 0.9 + 0.05 * i as f64,
+            ..StellarParams::sun()
+        };
+        let mut sim = Simulation::new_direct(star, user, params, "kraken", alloc, 0);
+        sims.create(&mut sim).unwrap();
+    }
+    // ...plus two GA ensembles
+    for seed in [11, 12] {
+        let mut sim = Simulation::new_optimization(
+            star,
+            user,
+            amp::gridamp::small_spec(seed),
+            obs,
+            "kraken",
+            alloc,
+            0,
+        );
+        sims.create(&mut sim).unwrap();
+    }
+
+    let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let all_sims = Manager::<Simulation>::new(admin.clone());
+    let mut transitions: BTreeMap<i64, Vec<(String, String)>> = BTreeMap::new();
+    let mut ticks = 0;
+    loop {
+        let report = dep.daemon.tick(&mut dep.grid);
+        ticks += 1;
+        for (id, from, to) in &report.transitions {
+            transitions
+                .entry(*id)
+                .or_default()
+                .push((from.as_str().into(), to.as_str().into()));
+        }
+        let settled = all_sims
+            .all()
+            .unwrap()
+            .iter()
+            .all(|s| matches!(s.status, SimStatus::Done | SimStatus::Hold));
+        if settled {
+            break;
+        }
+        assert!(ticks < 5_000, "scenario did not settle (workers={workers})");
+        dep.grid.advance(SimDuration::from_secs(300));
+    }
+
+    let statuses = all_sims
+        .all()
+        .unwrap()
+        .into_iter()
+        .map(|s| (s.id.unwrap(), s.status.as_str().to_string()))
+        .collect();
+
+    let mut jobs: Vec<_> = Manager::<GridJobRecord>::new(admin.clone())
+        .all()
+        .unwrap()
+        .into_iter()
+        .map(|j| {
+            (
+                j.simulation_id,
+                j.ga_run,
+                format!("{:?}", j.purpose),
+                j.continuation,
+                j.site,
+                format!("{:?}", j.status),
+                j.cores,
+                j.submitted_at,
+                j.started_at,
+                j.ended_at,
+            )
+        })
+        .collect();
+    jobs.sort();
+
+    let mut notifications: Vec<_> = Manager::<Notification>::new(admin)
+        .all()
+        .unwrap()
+        .into_iter()
+        .map(|n| {
+            (
+                n.user_id,
+                n.simulation_id,
+                n.audience.as_str().to_string(),
+                n.subject,
+                n.body,
+                n.created_at,
+            )
+        })
+        .collect();
+    notifications.sort();
+
+    Outcome {
+        statuses,
+        jobs,
+        notifications,
+        transitions,
+        ticks,
+    }
+}
+
+#[test]
+fn eight_workers_reproduce_the_sequential_run_exactly() {
+    let sequential = run_scenario(1);
+    let parallel = run_scenario(8);
+
+    // sanity: the scenario exercised real work on both engines
+    assert!(sequential.statuses.len() == 6);
+    assert!(sequential.statuses.values().all(|s| s == "DONE"), "{:?}", sequential.statuses);
+    assert!(!sequential.jobs.is_empty());
+    assert!(!sequential.notifications.is_empty());
+
+    assert_eq!(parallel.ticks, sequential.ticks, "tick counts diverged");
+    assert_eq!(parallel.statuses, sequential.statuses);
+    assert_eq!(parallel.transitions, sequential.transitions);
+    assert_eq!(parallel.jobs, sequential.jobs);
+    assert_eq!(parallel.notifications, sequential.notifications);
+}
+
+#[test]
+fn every_simulation_walks_the_listing_1_chain_in_order() {
+    let parallel = run_scenario(8);
+    let happy: Vec<(String, String)> = SimStatus::happy_path()
+        .windows(2)
+        .map(|w| (w[0].as_str().to_string(), w[1].as_str().to_string()))
+        .collect();
+    for (sim, seq) in &parallel.transitions {
+        assert_eq!(seq, &happy, "sim {sim} transition sequence");
+    }
+}

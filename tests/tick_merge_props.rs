@@ -1,0 +1,111 @@
+//! Property tests for the parallel-tick merge: `merge_reports` must be
+//! commutative and lossless — any permutation of the same per-worker
+//! `TickReport` parts merges to the same totals, transitions come out
+//! ordered by simulation id, and nothing is dropped. This is what makes
+//! the multi-worker tick deterministic regardless of worker scheduling.
+
+use amp::gridamp::{merge_reports, TickReport};
+use amp::prelude::*;
+use proptest::prelude::*;
+
+fn arb_status() -> impl Strategy<Value = SimStatus> {
+    prop_oneof![
+        Just(SimStatus::Queued),
+        Just(SimStatus::PreJob),
+        Just(SimStatus::Running),
+        Just(SimStatus::PostJob),
+        Just(SimStatus::Cleanup),
+        Just(SimStatus::Done),
+        Just(SimStatus::Hold),
+    ]
+}
+
+fn arb_report() -> impl Strategy<Value = TickReport> {
+    (
+        (0usize..50, 0usize..50, 0usize..50, 0usize..20, 0usize..10),
+        proptest::collection::vec((0i64..40, arb_status(), arb_status()), 0..8),
+        proptest::collection::vec(0u32..5, 0..4),
+    )
+        .prop_map(|(counts, transitions, errs)| TickReport {
+            jobs_polled: counts.0,
+            job_transitions: counts.1,
+            sims_stepped: counts.2,
+            transitions,
+            transient_errors: counts.3,
+            new_holds: counts.4,
+            daemon_errors: errs.into_iter().map(|e| format!("worker error {e}")).collect(),
+        })
+}
+
+/// Deterministic Fisher–Yates permutation driven by a test-supplied seed
+/// (the vendored proptest has no `prop_shuffle`).
+fn permute<T>(items: &mut [T], seed: u64) {
+    let mut state = seed | 1;
+    for i in (1..items.len()).rev() {
+        // xorshift64 — quality is irrelevant, determinism is the point
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        items.swap(i, (state as usize) % (i + 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_permutation_invariant(
+        parts in proptest::collection::vec(arb_report(), 0..7),
+        seed in any::<u64>(),
+    ) {
+        let baseline = merge_reports(parts.clone());
+        let mut shuffled = parts.clone();
+        permute(&mut shuffled, seed);
+        let merged = merge_reports(shuffled);
+        prop_assert_eq!(&merged, &baseline, "merge depends on worker order");
+    }
+
+    #[test]
+    fn merge_is_lossless_and_sorted(
+        parts in proptest::collection::vec(arb_report(), 0..7),
+        seed in any::<u64>(),
+    ) {
+        let mut shuffled = parts.clone();
+        permute(&mut shuffled, seed);
+        let merged = merge_reports(shuffled);
+
+        // counts are exact sums — nothing dropped, nothing double-counted
+        prop_assert_eq!(merged.jobs_polled, parts.iter().map(|p| p.jobs_polled).sum::<usize>());
+        prop_assert_eq!(
+            merged.job_transitions,
+            parts.iter().map(|p| p.job_transitions).sum::<usize>()
+        );
+        prop_assert_eq!(merged.sims_stepped, parts.iter().map(|p| p.sims_stepped).sum::<usize>());
+        prop_assert_eq!(
+            merged.transient_errors,
+            parts.iter().map(|p| p.transient_errors).sum::<usize>()
+        );
+        prop_assert_eq!(merged.new_holds, parts.iter().map(|p| p.new_holds).sum::<usize>());
+
+        // every transition survives as a multiset...
+        let mut expected: Vec<_> = parts.iter().flat_map(|p| p.transitions.clone()).collect();
+        expected.sort_by(|a, b| (a.0, a.1.as_str(), a.2.as_str()).cmp(&(b.0, b.1.as_str(), b.2.as_str())));
+        prop_assert_eq!(&merged.transitions, &expected);
+        // ...and the output is ordered by simulation id
+        prop_assert!(merged.transitions.windows(2).all(|w| w[0].0 <= w[1].0));
+
+        // daemon errors survive as a multiset too
+        let mut errs: Vec<_> = parts.iter().flat_map(|p| p.daemon_errors.clone()).collect();
+        errs.sort();
+        prop_assert_eq!(&merged.daemon_errors, &errs);
+    }
+
+    #[test]
+    fn merge_of_single_part_is_identity_up_to_ordering(report in arb_report()) {
+        let merged = merge_reports([report.clone()]);
+        prop_assert_eq!(merged.jobs_polled, report.jobs_polled);
+        prop_assert_eq!(merged.sims_stepped, report.sims_stepped);
+        prop_assert_eq!(merged.transitions.len(), report.transitions.len());
+        prop_assert_eq!(merged.daemon_errors.len(), report.daemon_errors.len());
+    }
+}
