@@ -67,8 +67,14 @@ fn parse_pattern(pattern: &str) -> Result<Pattern, String> {
             let (m, n) = body
                 .split_once(',')
                 .ok_or_else(|| "expected {m,n} repetition".to_string())?;
-            let m: usize = m.trim().parse().map_err(|_| "bad repetition min".to_string())?;
-            let n: usize = n.trim().parse().map_err(|_| "bad repetition max".to_string())?;
+            let m: usize = m
+                .trim()
+                .parse()
+                .map_err(|_| "bad repetition min".to_string())?;
+            let n: usize = n
+                .trim()
+                .parse()
+                .map_err(|_| "bad repetition max".to_string())?;
             if m > n {
                 return Err("repetition min exceeds max".into());
             }
@@ -83,12 +89,12 @@ fn parse_pattern(pattern: &str) -> Result<Pattern, String> {
     })
 }
 
-fn parse_class(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-) -> Result<Vec<char>, String> {
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, String> {
     let mut members = Vec::new();
     loop {
-        let c = chars.next().ok_or_else(|| "unterminated class".to_string())?;
+        let c = chars
+            .next()
+            .ok_or_else(|| "unterminated class".to_string())?;
         match c {
             ']' => return Ok(members),
             '\\' => {

@@ -127,8 +127,7 @@ mod tests {
     fn roughly_uniform_unit_samples() {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         let n = 10_000;
-        let mean: f64 =
-            (0..n).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 }

@@ -126,8 +126,7 @@ pub trait Deserialize: Sized {
 /// Look up a struct field in a serialized map (used by derived impls).
 pub fn de_field<T: Deserialize>(m: &[(String, Content)], key: &str) -> Result<T, DeError> {
     match m.iter().find(|(k, _)| k == key) {
-        Some((_, v)) => T::from_content(v)
-            .map_err(|e| DeError(format!("field `{key}`: {e}"))),
+        Some((_, v)) => T::from_content(v).map_err(|e| DeError(format!("field `{key}`: {e}"))),
         None => Err(DeError(format!("missing field `{key}`"))),
     }
 }
@@ -447,10 +446,7 @@ mod tests {
             String::from_content(&"hi".to_string().to_content()).unwrap(),
             "hi"
         );
-        assert_eq!(
-            Option::<u8>::from_content(&Content::Null).unwrap(),
-            None
-        );
+        assert_eq!(Option::<u8>::from_content(&Content::Null).unwrap(), None);
         assert_eq!(
             Vec::<u8>::from_content(&vec![1u8, 2].to_content()).unwrap(),
             vec![1, 2]
@@ -474,8 +470,7 @@ mod tests {
 
         let mut m = BTreeMap::new();
         m.insert("k".to_string(), 3i64);
-        let back: BTreeMap<String, i64> =
-            Deserialize::from_content(&m.to_content()).unwrap();
+        let back: BTreeMap<String, i64> = Deserialize::from_content(&m.to_content()).unwrap();
         assert_eq!(back, m);
     }
 }

@@ -179,7 +179,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         // Skip the type: tokens until a comma at angle-bracket depth 0.
         let mut angle = 0i32;
@@ -385,10 +389,9 @@ fn gen_deserialize(input: &Input) -> String {
             );
             impl_deserialize(name, &body)
         }
-        Input::UnitStruct(name) => impl_deserialize(
-            name,
-            &format!("::std::result::Result::Ok({name})"),
-        ),
+        Input::UnitStruct(name) => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
         Input::Enum(name, variants) => {
             let mut unit_arms = String::new();
             let mut data_arms = String::new();

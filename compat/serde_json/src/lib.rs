@@ -154,11 +154,7 @@ impl Map {
 impl PartialEq for Map {
     fn eq(&self, other: &Self) -> bool {
         // map semantics: order-insensitive
-        self.len() == other.len()
-            && self
-                .entries
-                .iter()
-                .all(|(k, v)| other.get(k) == Some(v))
+        self.len() == other.len() && self.entries.iter().all(|(k, v)| other.get(k) == Some(v))
     }
 }
 
@@ -431,8 +427,7 @@ mod tests {
 
     #[test]
     fn typed_roundtrip() {
-        let entries: Vec<(String, Vec<u8>)> =
-            vec![("a".into(), vec![1, 2]), ("b".into(), vec![])];
+        let entries: Vec<(String, Vec<u8>)> = vec![("a".into(), vec![1, 2]), ("b".into(), vec![])];
         let bytes = to_vec(&entries).unwrap();
         let back: Vec<(String, Vec<u8>)> = from_slice(&bytes).unwrap();
         assert_eq!(back, entries);

@@ -236,9 +236,7 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         if is_float {
-            let v: f64 = text
-                .parse()
-                .map_err(|_| self.err("unparseable float"))?;
+            let v: f64 = text.parse().map_err(|_| self.err("unparseable float"))?;
             Ok(Content::F64(v))
         } else if negative {
             match text.parse::<i64>() {

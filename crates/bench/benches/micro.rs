@@ -66,8 +66,11 @@ fn bench_simdb(c: &mut Criterion) {
         let mut i = 0i64;
         b.iter(|| {
             i += 1;
-            conn.insert("t", &[("name", format!("row{i}").into()), ("v", Value::Float(1.0))])
-                .unwrap()
+            conn.insert(
+                "t",
+                &[("name", format!("row{i}").into()), ("v", Value::Float(1.0))],
+            )
+            .unwrap()
         })
     });
     g.bench_function("indexed_query_10k_rows", |b| {
@@ -76,7 +79,10 @@ fn bench_simdb(c: &mut Criterion) {
         for i in 0..10_000 {
             conn.insert(
                 "t",
-                &[("name", format!("row{}", i % 100).into()), ("v", Value::Float(i as f64))],
+                &[
+                    ("name", format!("row{}", i % 100).into()),
+                    ("v", Value::Float(i as f64)),
+                ],
             )
             .unwrap();
         }

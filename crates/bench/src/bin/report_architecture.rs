@@ -51,7 +51,10 @@ fn main() {
     );
 
     println!("\ndaemon tier (GridAMP):");
-    let daemon_conn = dep.db.connect(amp_core::roles::ROLE_DAEMON).expect("daemon");
+    let daemon_conn = dep
+        .db
+        .connect(amp_core::roles::ROLE_DAEMON)
+        .expect("daemon");
     check(
         "daemon role drives workflow state",
         daemon_conn
@@ -74,7 +77,10 @@ fn main() {
         load_sim(&dep, 1).status == SimStatus::Done,
     );
     let audit = dep.grid.audit();
-    check("every grid request carries a SAML user", audit.fully_attributed());
+    check(
+        "every grid request carries a SAML user",
+        audit.fully_attributed(),
+    );
     check(
         "requests attributable to the submitting astronomer",
         audit.by_user("astro1").count() >= 4,
@@ -104,7 +110,12 @@ fn main() {
         let fmt = |role: &amp_simdb::Role| {
             ["S", "I", "U", "D"]
                 .iter()
-                .zip([Action::Select, Action::Insert, Action::Update, Action::Delete])
+                .zip([
+                    Action::Select,
+                    Action::Insert,
+                    Action::Update,
+                    Action::Delete,
+                ])
                 .map(|(c, a)| if role.check(t, a).is_ok() { *c } else { "-" })
                 .collect::<String>()
         };

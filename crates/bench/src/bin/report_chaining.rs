@@ -28,8 +28,7 @@ fn main() {
         let mut rows = Vec::new();
         for &chaining in &[false, true] {
             let study = queue::run_study(profile.clone(), 2, spec.clone(), chaining, 4242, 1.05);
-            let total_wait_h =
-                study.stats.mean_wait_secs * study.stats.jobs as f64 / 3600.0;
+            let total_wait_h = study.stats.mean_wait_secs * study.stats.jobs as f64 / 3600.0;
             println!(
                 "{:<10} {:>12} {:>16.1} {:>16.1} {:>14.1}",
                 name,

@@ -13,9 +13,33 @@ fn main() {
     let mut ratios = Vec::new();
     for (label, truth, seed) in [
         ("mid-domain target", target_star(), 5u64),
-        ("young 1.2 Msun", StellarParams { mass: 1.2, age: 2.0, ..target_star() }, 21),
-        ("old subgiant", StellarParams { mass: 0.9, age: 8.0, ..target_star() }, 99),
-        ("metal-poor dwarf", StellarParams { metallicity: 0.008, age: 5.5, ..target_star() }, 12),
+        (
+            "young 1.2 Msun",
+            StellarParams {
+                mass: 1.2,
+                age: 2.0,
+                ..target_star()
+            },
+            21,
+        ),
+        (
+            "old subgiant",
+            StellarParams {
+                mass: 0.9,
+                age: 8.0,
+                ..target_star()
+            },
+            99,
+        ),
+        (
+            "metal-poor dwarf",
+            StellarParams {
+                metallicity: 0.008,
+                age: 5.5,
+                ..target_star()
+            },
+            12,
+        ),
     ] {
         let series = convergence::series(&truth, bench, 126, 200, seed);
         let ratio = convergence::ratio(&series);

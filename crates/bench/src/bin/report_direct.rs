@@ -20,7 +20,14 @@ fn main() {
         seed_fixtures(&dep.db, "lonestar", &target_star(), 8).expect("fixtures");
 
     let cases = [
-        ("young dwarf", StellarParams { mass: 0.9, age: 2.0, ..target_star() }),
+        (
+            "young dwarf",
+            StellarParams {
+                mass: 0.9,
+                age: 2.0,
+                ..target_star()
+            },
+        ),
         ("solar analogue", StellarParams::sun()),
         ("Kepler-like target", target_star()),
         ("evolved benchmark", StellarParams::benchmark()),
@@ -33,8 +40,14 @@ fn main() {
     for (label, params) in cases {
         let sim_id = submit(
             &dep,
-            Simulation::new_direct(star, user, params, "lonestar", alloc,
-                dep.grid.now().as_secs() as i64),
+            Simulation::new_direct(
+                star,
+                user,
+                params,
+                "lonestar",
+                alloc,
+                dep.grid.now().as_secs() as i64,
+            ),
         );
         dep.daemon.run_until_settled(&mut dep.grid, 24.0);
         let sim = load_sim(&dep, sim_id);

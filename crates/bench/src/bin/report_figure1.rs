@@ -41,7 +41,13 @@ fn main() {
             .collect();
         let boxes: String = chain
             .iter()
-            .map(|j| format!("[Job c{} {:>3}m]", j.continuation, j.run_secs().unwrap_or(0) / 60))
+            .map(|j| {
+                format!(
+                    "[Job c{} {:>3}m]",
+                    j.continuation,
+                    j.run_secs().unwrap_or(0) / 60
+                )
+            })
             .collect::<Vec<_>>()
             .join(" -> ");
         println!("  GA Run {} : {}", r + 1, boxes);
@@ -53,11 +59,7 @@ fn main() {
     println!(
         "         \\-> Solution Evaluation ({} job, {} min)",
         solution.len(),
-        solution
-            .first()
-            .and_then(|j| j.run_secs())
-            .unwrap_or(0)
-            / 60
+        solution.first().and_then(|j| j.run_secs()).unwrap_or(0) / 60
     );
     let forks: Vec<_> = jobs
         .iter()

@@ -21,7 +21,14 @@ fn main() {
     let mut summaries = Vec::new();
     for profile in amp_grid::systems::table1_systems() {
         let name = profile.name.clone();
-        let study = queue::run_study(profile.clone(), 2, spec.clone(), false, 1234, profile.background_utilization + 0.35);
+        let study = queue::run_study(
+            profile.clone(),
+            2,
+            spec.clone(),
+            false,
+            1234,
+            profile.background_utilization + 0.35,
+        );
         println!(
             "--- {} (offered background load {:.0}% of capacity) ---",
             name,

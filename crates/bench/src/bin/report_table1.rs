@@ -24,9 +24,15 @@ fn main() {
         "== Table 1 reproduction ({} GA runs x {} stars x {} iterations) ==\n",
         spec.ga_runs, spec.population, spec.generations
     );
-    println!("{}", table1::render(&table1::paper_rows(), "--- paper (GCE 2009) ---"));
+    println!(
+        "{}",
+        table1::render(&table1::paper_rows(), "--- paper (GCE 2009) ---")
+    );
     let measured = table1::measured_rows(spec);
-    println!("{}", table1::render(&measured, "--- measured (simulated TeraGrid) ---"));
+    println!(
+        "{}",
+        table1::render(&measured, "--- measured (simulated TeraGrid) ---")
+    );
 
     // Shape checks the paper's narrative draws from the table.
     let frost = &measured[0];
@@ -63,8 +69,11 @@ fn main() {
         &amp_grid::systems::table1_systems(),
         &OptimizationSpec::default(),
     );
-    println!("
-production recommendation: {}  [paper: kraken]", best.system);
+    println!(
+        "
+production recommendation: {}  [paper: kraken]",
+        best.system
+    );
     for a in &ranked {
         println!(
             "  {:<10} score {:>7.1} | predicted {:>6.1} h | concerns: {}",

@@ -37,13 +37,17 @@ pub fn quiet_deployment(profile: SystemProfile, walltime_hours: f64) -> Deployme
 pub fn submit(dep: &Deployment, sim: Simulation) -> i64 {
     let web = dep.db.connect(ROLE_WEB).expect("web role");
     let mut sim = sim;
-    Manager::<Simulation>::new(web).create(&mut sim).expect("submit")
+    Manager::<Simulation>::new(web)
+        .create(&mut sim)
+        .expect("submit")
 }
 
 /// Load a simulation with the admin role.
 pub fn load_sim(dep: &Deployment, id: i64) -> Simulation {
     let admin = dep.db.connect(ROLE_ADMIN).expect("admin role");
-    Manager::<Simulation>::new(admin).get(id).expect("simulation")
+    Manager::<Simulation>::new(admin)
+        .get(id)
+        .expect("simulation")
 }
 
 /// All grid-job records of a simulation.
@@ -153,8 +157,7 @@ pub mod table1 {
             "optimization did not finish: {}",
             sim.status_message
         );
-        let opt_hours =
-            (sim.completed_at.unwrap() - sim.started_at.unwrap()) as f64 / 3600.0;
+        let opt_hours = (sim.completed_at.unwrap() - sim.started_at.unwrap()) as f64 / 3600.0;
         let cpuh: f64 = load_jobs(&dep, sim_id)
             .iter()
             .filter(|j| {
@@ -334,10 +337,8 @@ pub mod queue {
             .iter()
             .map(|&id| chart_for(&admin, id).expect("chart"))
             .collect();
-        let rows: Vec<amp_gridamp::GanttRow> = charts
-            .iter()
-            .flat_map(|c| c.rows.iter().cloned())
-            .collect();
+        let rows: Vec<amp_gridamp::GanttRow> =
+            charts.iter().flat_map(|c| c.rows.iter().cloned()).collect();
         QueueStudy {
             system: site,
             charts,
@@ -381,8 +382,10 @@ mod tests {
         );
         // first iteration is among the most expensive
         let first = s[0].1;
-        let later_mean: f64 =
-            s[150..].iter().map(|(_, c)| c).sum::<f64>() / 51.0;
-        assert!(later_mean < first, "no convergence: {later_mean} vs {first}");
+        let later_mean: f64 = s[150..].iter().map(|(_, c)| c).sum::<f64>() / 51.0;
+        assert!(
+            later_mean < first,
+            "no convergence: {later_mean} vs {first}"
+        );
     }
 }

@@ -24,8 +24,8 @@ pub use marshal::{
 };
 pub use models::simulation::{OptimizationSpec, SimPayload};
 pub use models::{
-    Allocation, AmpUser, GridJobRecord, Notification, NotifyMode, Observation, SimKind,
-    Simulation, Star, SystemAuthorization,
+    Allocation, AmpUser, GridJobRecord, Notification, NotifyMode, Observation, SimKind, Simulation,
+    Star, SystemAuthorization,
 };
 pub use status::{JobPurpose, JobStatus, SimStatus};
 
@@ -125,14 +125,7 @@ mod tests {
 
         // daemon records a grid job
         let jobs = Manager::<GridJobRecord>::new(daemon.clone());
-        let mut j = GridJobRecord::new(
-            picked.id.unwrap(),
-            -1,
-            JobPurpose::PreJob,
-            0,
-            "kraken",
-            0,
-        );
+        let mut j = GridJobRecord::new(picked.id.unwrap(), -1, JobPurpose::PreJob, 0, "kraken", 0);
         jobs.create(&mut j).unwrap();
 
         // the portal can read job progress but not write it

@@ -251,9 +251,8 @@ pub fn parse_params_file(text: &str) -> Result<StellarParams, MarshalError> {
     if !ended {
         return Err(MarshalError::Semantic("missing END".into()));
     }
-    let get = |i: usize| {
-        vals[i].ok_or_else(|| MarshalError::Semantic(format!("missing {}", TAGS[i])))
-    };
+    let get =
+        |i: usize| vals[i].ok_or_else(|| MarshalError::Semantic(format!("missing {}", TAGS[i])));
     Ok(StellarParams {
         mass: get(0)?,
         metallicity: get(1)?,
@@ -363,10 +362,7 @@ mod tests {
         assert!(parse_params_file(&good.replace("AGE 9", "AGE nine")).is_err());
         let missing = good.replace("ALPHA 1.900000e0\n", "");
         assert!(parse_params_file(&missing).is_err());
-        let dup = good.replace(
-            "Z 1.800000e-2\n",
-            "Z 1.800000e-2\nZ 1.800000e-2\n",
-        );
+        let dup = good.replace("Z 1.800000e-2\n", "Z 1.800000e-2\nZ 1.800000e-2\n");
         assert!(parse_params_file(&dup).is_err());
         assert!(parse_params_file(&good.replace("AGE 9.500000e0", "AGE inf")).is_err());
     }

@@ -66,14 +66,20 @@ impl Model for Allocation {
         TableSchema::new(
             Self::TABLE,
             vec![
-                Column::new("system", ValueType::Text).not_null().max_length(32),
+                Column::new("system", ValueType::Text)
+                    .not_null()
+                    .max_length(32),
                 Column::new("account", ValueType::Text)
                     .not_null()
                     .unique()
                     .max_length(32),
                 Column::new("su_granted", ValueType::Float).not_null(),
-                Column::new("su_used", ValueType::Float).not_null().default(0.0),
-                Column::new("active", ValueType::Bool).not_null().default(true),
+                Column::new("su_used", ValueType::Float)
+                    .not_null()
+                    .default(0.0),
+                Column::new("active", ValueType::Bool)
+                    .not_null()
+                    .default(true),
             ],
         )
     }
@@ -156,7 +162,9 @@ impl Model for SystemAuthorization {
                     .not_null()
                     .references("allocation", OnDelete::Cascade)
                     .indexed(),
-                Column::new("granted_at", ValueType::Int).not_null().default(0),
+                Column::new("granted_at", ValueType::Int)
+                    .not_null()
+                    .default(0),
             ],
         )
     }
@@ -199,7 +207,10 @@ mod tests {
         assert!((a.su_remaining() - 48_514.0).abs() < 1e-9);
         // a second run does not fit
         assert!(a.charge(51_486.0).is_err());
-        assert!((a.su_used - 51_486.0).abs() < 1e-9, "failed charge must not apply");
+        assert!(
+            (a.su_used - 51_486.0).abs() < 1e-9,
+            "failed charge must not apply"
+        );
         assert!(a.charge(-1.0).is_err());
     }
 

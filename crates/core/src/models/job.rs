@@ -91,15 +91,21 @@ impl Model for GridJobRecord {
                     .indexed(),
                 Column::new("ga_run", ValueType::Int).not_null().default(-1),
                 Column::new("purpose", ValueType::Text).not_null(),
-                Column::new("continuation", ValueType::Int).not_null().default(0),
+                Column::new("continuation", ValueType::Int)
+                    .not_null()
+                    .default(0),
                 Column::new("gram_handle", ValueType::Text).max_length(200),
-                Column::new("site", ValueType::Text).not_null().max_length(32),
+                Column::new("site", ValueType::Text)
+                    .not_null()
+                    .max_length(32),
                 Column::new("status", ValueType::Text).not_null().indexed(),
                 Column::new("cores", ValueType::Int).not_null().default(1),
                 Column::new("submitted_at", ValueType::Timestamp),
                 Column::new("started_at", ValueType::Timestamp),
                 Column::new("ended_at", ValueType::Timestamp),
-                Column::new("detail", ValueType::Text).not_null().default(""),
+                Column::new("detail", ValueType::Text)
+                    .not_null()
+                    .default(""),
             ],
         )
     }

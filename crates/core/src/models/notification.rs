@@ -89,7 +89,13 @@ pub struct Notification {
 }
 
 impl Notification {
-    pub fn to_user(user_id: i64, simulation_id: Option<i64>, subject: &str, body: &str, at: i64) -> Self {
+    pub fn to_user(
+        user_id: i64,
+        simulation_id: Option<i64>,
+        subject: &str,
+        body: &str,
+        at: i64,
+    ) -> Self {
         Notification {
             id: None,
             user_id: Some(user_id),
@@ -130,10 +136,14 @@ impl Model for Notification {
                     .references("simulation", OnDelete::SetNull)
                     .indexed(),
                 Column::new("audience", ValueType::Text).not_null(),
-                Column::new("subject", ValueType::Text).not_null().max_length(200),
+                Column::new("subject", ValueType::Text)
+                    .not_null()
+                    .max_length(200),
                 Column::new("body", ValueType::Text).not_null(),
                 Column::new("created_at", ValueType::Int).not_null(),
-                Column::new("sent", ValueType::Bool).not_null().default(false),
+                Column::new("sent", ValueType::Bool)
+                    .not_null()
+                    .default(false),
             ],
         )
     }

@@ -78,8 +78,13 @@ impl OptimizationSpec {
 /// The typed payload stored in `params_json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SimPayload {
-    Direct { params: StellarParams },
-    Optimization { spec: OptimizationSpec, observation_id: i64 },
+    Direct {
+        params: StellarParams,
+    },
+    Optimization {
+        spec: OptimizationSpec,
+        observation_id: i64,
+    },
 }
 
 /// One simulation row.
@@ -196,15 +201,21 @@ impl Model for Simulation {
                 Column::new("kind", ValueType::Text).not_null(),
                 Column::new("payload_json", ValueType::Text).not_null(),
                 Column::new("status", ValueType::Text).not_null().indexed(),
-                Column::new("status_message", ValueType::Text).not_null().default(""),
-                Column::new("system", ValueType::Text).not_null().max_length(32),
+                Column::new("status_message", ValueType::Text)
+                    .not_null()
+                    .default(""),
+                Column::new("system", ValueType::Text)
+                    .not_null()
+                    .max_length(32),
                 Column::new("allocation_id", ValueType::Int)
                     .not_null()
                     .references("allocation", OnDelete::Restrict),
                 Column::new("created_at", ValueType::Int).not_null(),
                 Column::new("started_at", ValueType::Timestamp),
                 Column::new("completed_at", ValueType::Timestamp),
-                Column::new("progress", ValueType::Float).not_null().default(0.0),
+                Column::new("progress", ValueType::Float)
+                    .not_null()
+                    .default(0.0),
                 Column::new("result_json", ValueType::Text),
                 Column::new("held_from", ValueType::Text).max_length(16),
             ],
@@ -216,7 +227,9 @@ impl Model for Simulation {
             id: Some(id),
             star_id: get_int::<Self>(row, "star_id")?,
             owner_id: get_int::<Self>(row, "owner_id")?,
-            kind: get_text::<Self>(row, "kind")?.parse().map_err(DbError::Schema)?,
+            kind: get_text::<Self>(row, "kind")?
+                .parse()
+                .map_err(DbError::Schema)?,
             payload_json: get_text::<Self>(row, "payload_json")?,
             status: get_text::<Self>(row, "status")?
                 .parse()
@@ -290,15 +303,8 @@ mod tests {
             SimPayload::Direct { params } => assert_eq!(params, StellarParams::benchmark()),
             _ => panic!(),
         }
-        let sim = Simulation::new_optimization(
-            1,
-            1,
-            OptimizationSpec::default(),
-            9,
-            "kraken",
-            1,
-            0,
-        );
+        let sim =
+            Simulation::new_optimization(1, 1, OptimizationSpec::default(), 9, "kraken", 1, 0);
         match sim.payload().unwrap() {
             SimPayload::Optimization {
                 spec,

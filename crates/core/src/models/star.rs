@@ -65,9 +65,15 @@ impl Model for Star {
                 Column::new("ra", ValueType::Float).not_null(),
                 Column::new("dec", ValueType::Float).not_null(),
                 Column::new("vmag", ValueType::Float).not_null(),
-                Column::new("in_kepler_field", ValueType::Bool).not_null().default(false),
-                Column::new("source", ValueType::Text).not_null().default("local"),
-                Column::new("has_results", ValueType::Bool).not_null().default(false),
+                Column::new("in_kepler_field", ValueType::Bool)
+                    .not_null()
+                    .default(false),
+                Column::new("source", ValueType::Text)
+                    .not_null()
+                    .default("local"),
+                Column::new("has_results", ValueType::Bool)
+                    .not_null()
+                    .default(false),
             ],
         )
     }

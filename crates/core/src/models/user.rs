@@ -59,15 +59,27 @@ impl Model for AmpUser {
                     .not_null()
                     .unique()
                     .max_length(64),
-                Column::new("email", ValueType::Text).not_null().max_length(190),
-                Column::new("password_hash", ValueType::Text).not_null().max_length(190),
-                Column::new("approved", ValueType::Bool).not_null().default(false),
-                Column::new("is_admin", ValueType::Bool).not_null().default(false),
-                Column::new("provenance", ValueType::Text).not_null().default(""),
+                Column::new("email", ValueType::Text)
+                    .not_null()
+                    .max_length(190),
+                Column::new("password_hash", ValueType::Text)
+                    .not_null()
+                    .max_length(190),
+                Column::new("approved", ValueType::Bool)
+                    .not_null()
+                    .default(false),
+                Column::new("is_admin", ValueType::Bool)
+                    .not_null()
+                    .default(false),
+                Column::new("provenance", ValueType::Text)
+                    .not_null()
+                    .default(""),
                 Column::new("notify_mode", ValueType::Text)
                     .not_null()
                     .default(NotifyMode::OnCompletion.as_str()),
-                Column::new("created_at", ValueType::Int).not_null().default(0),
+                Column::new("created_at", ValueType::Int)
+                    .not_null()
+                    .default(0),
             ],
         )
     }
@@ -121,7 +133,10 @@ mod tests {
         db.define_role(Role::superuser("admin"));
         db.define_role(Role::new("web").grant(AmpUser::TABLE, PermSet::ALL));
         let admin = db.connect("admin").unwrap();
-        Registry::new().register::<AmpUser>().migrate(&admin).unwrap();
+        Registry::new()
+            .register::<AmpUser>()
+            .migrate(&admin)
+            .unwrap();
         db
     }
 
@@ -141,8 +156,11 @@ mod tests {
     fn username_unique() {
         let db = setup();
         let m = Manager::<AmpUser>::new(db.connect("web").unwrap());
-        m.create(&mut AmpUser::new("astro1", "a@x.edu", "h", 0)).unwrap();
-        assert!(m.create(&mut AmpUser::new("astro1", "b@x.edu", "h", 0)).is_err());
+        m.create(&mut AmpUser::new("astro1", "a@x.edu", "h", 0))
+            .unwrap();
+        assert!(m
+            .create(&mut AmpUser::new("astro1", "b@x.edu", "h", 0))
+            .is_err());
     }
 
     #[test]
@@ -153,9 +171,7 @@ mod tests {
         m.create(&mut u).unwrap();
         u.approved = true;
         m.save(&u).unwrap();
-        let pending = m
-            .filter(&Query::new().eq("approved", false))
-            .unwrap();
+        let pending = m.filter(&Query::new().eq("approved", false)).unwrap();
         assert!(pending.is_empty());
     }
 

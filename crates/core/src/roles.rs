@@ -10,8 +10,7 @@
 //! do everything.
 
 use crate::models::{
-    Allocation, AmpUser, GridJobRecord, Notification, Observation, Simulation,
-    SystemAuthorization,
+    Allocation, AmpUser, GridJobRecord, Notification, Observation, Simulation, SystemAuthorization,
 };
 use amp_simdb::orm::Model as _;
 use amp_simdb::{PermSet, Role};

@@ -17,9 +17,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::encoding::Genome;
-use crate::operators::{
-    adapt_pmut, crossover, fitness_ranks, mutate, select_ranked, MutationMode,
-};
+use crate::operators::{adapt_pmut, crossover, fitness_ranks, mutate, select_ranked, MutationMode};
 use crate::problem::Problem;
 
 /// Engine configuration. Defaults reproduce the paper's Kepler setup.
@@ -98,8 +96,7 @@ impl<'p, P: Problem> Ga<'p, P> {
         let n = problem.n_genes();
         let population: Vec<Individual> = (0..config.population)
             .map(|_| {
-                let phenotype: Vec<f64> =
-                    (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+                let phenotype: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
                 Individual {
                     genome: Genome::encode(&phenotype, config.nd),
                     phenotype,

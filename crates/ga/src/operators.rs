@@ -39,12 +39,7 @@ pub fn fitness_ranks(fitness: &[f64]) -> Vec<usize> {
 
 /// One-point crossover on the digit strings, applied with probability
 /// `pcross`; otherwise parents are copied through.
-pub fn crossover(
-    rng: &mut ChaCha8Rng,
-    a: &Genome,
-    b: &Genome,
-    pcross: f64,
-) -> (Genome, Genome) {
+pub fn crossover(rng: &mut ChaCha8Rng, a: &Genome, b: &Genome, pcross: f64) -> (Genome, Genome) {
     debug_assert_eq!(a.digits.len(), b.digits.len());
     if rng.random_range(0.0..1.0) >= pcross || a.digits.len() < 2 {
         return (a.clone(), b.clone());

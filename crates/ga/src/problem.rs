@@ -70,15 +70,15 @@ mod tests {
 
     #[test]
     fn ripple_has_local_structure_but_global_at_target() {
-        let p = Ripple {
-            target: vec![0.5],
-        };
+        let p = Ripple { target: vec![0.5] };
         let at = p.fitness(&[0.5]);
         for x in [0.1, 0.35, 0.62, 0.9] {
             assert!(at > p.fitness(&[x]));
         }
         // a local ripple: fitness is non-monotone on the way out
-        let samples: Vec<f64> = (1..=20).map(|i| p.fitness(&[0.5 + i as f64 * 0.01])).collect();
+        let samples: Vec<f64> = (1..=20)
+            .map(|i| p.fitness(&[0.5 + i as f64 * 0.01]))
+            .collect();
         let monotone_down = samples.windows(2).all(|w| w[1] <= w[0]);
         assert!(!monotone_down, "expected ripples, got monotone decay");
         assert!((p.fitness(&[0.5]) - 1.0).abs() < 1e-12);

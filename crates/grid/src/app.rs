@@ -122,11 +122,7 @@ pub struct SleepApp;
 
 impl Application for SleepApp {
     fn run(&self, ctx: &AppContext<'_>) -> AppRun {
-        let minutes: f64 = ctx
-            .args
-            .first()
-            .and_then(|a| a.parse().ok())
-            .unwrap_or(1.0);
+        let minutes: f64 = ctx.args.first().and_then(|a| a.parse().ok()).unwrap_or(1.0);
         let mode = ctx.args.get(1).map(|s| s.as_str()).unwrap_or("ok");
         let cost = if mode == "overrun" {
             minutes
@@ -194,7 +190,8 @@ mod tests {
     #[test]
     fn context_reads_inputs() {
         let mut fs = SiteFs::new("kraken", 1 << 20);
-        fs.write("scratch/job1/input.txt", b"data".to_vec()).unwrap();
+        fs.write("scratch/job1/input.txt", b"data".to_vec())
+            .unwrap();
         let profile = kraken();
         let c = ctx(&fs, &profile, vec![]);
         assert_eq!(c.read_input("input.txt").unwrap(), b"data");

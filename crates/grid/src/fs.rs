@@ -118,8 +118,7 @@ impl SiteFs {
 
     /// Unpack a tar file produced by [`SiteFs::tar_tree`] into entries.
     pub fn untar(data: &[u8]) -> Result<Vec<(String, Vec<u8>)>, GridError> {
-        serde_json::from_slice(data)
-            .map_err(|e| GridError::BadJobSpec(format!("tar decode: {e}")))
+        serde_json::from_slice(data).map_err(|e| GridError::BadJobSpec(format!("tar decode: {e}")))
     }
 
     pub fn file_count(&self) -> usize {

@@ -92,9 +92,7 @@ impl GramState {
             JobState::Done { outcome, .. } => match outcome {
                 JobOutcome::Success => GramState::Done,
                 JobOutcome::AppFailure(m) => GramState::Failed(m.clone()),
-                JobOutcome::WalltimeExceeded => {
-                    GramState::Failed("walltime exceeded".to_string())
-                }
+                JobOutcome::WalltimeExceeded => GramState::Failed("walltime exceeded".to_string()),
             },
             JobState::Cancelled { reason } => GramState::Failed(format!("cancelled: {reason}")),
         }

@@ -618,7 +618,14 @@ impl Grid {
             bytes,
             duration: SimDuration::from_secs(FTP_LATENCY_SECS + bytes / FTP_BANDWIDTH_BPS),
         };
-        self.record_audit(now, site, "GridFTP", proxy, "put", format!("{path} ({bytes} B)"));
+        self.record_audit(
+            now,
+            site,
+            "GridFTP",
+            proxy,
+            "put",
+            format!("{path} ({bytes} B)"),
+        );
         Ok(stats)
     }
 
@@ -652,7 +659,14 @@ impl Grid {
             bytes,
             duration: SimDuration::from_secs(FTP_LATENCY_SECS + bytes / FTP_BANDWIDTH_BPS),
         };
-        self.record_audit(now, site, "GridFTP", proxy, "get", format!("{path} ({bytes} B)"));
+        self.record_audit(
+            now,
+            site,
+            "GridFTP",
+            proxy,
+            "get",
+            format!("{path} ({bytes} B)"),
+        );
         Ok((data, stats))
     }
 }
@@ -751,7 +765,8 @@ mod tests {
             Err(GridError::NoSuchFile { .. })
         ));
         // directory listing
-        grid.ftp_put("kraken", &proxy, "scratch/out.txt", vec![1]).unwrap();
+        grid.ftp_put("kraken", &proxy, "scratch/out.txt", vec![1])
+            .unwrap();
         let listing = grid.ftp_list("kraken", &proxy, "scratch").unwrap();
         assert_eq!(listing.len(), 2);
         assert!(grid.ftp_list("kraken", &proxy, "empty").unwrap().is_empty());
@@ -764,12 +779,8 @@ mod tests {
     #[test]
     fn outage_blocks_then_recovers() {
         let (mut grid, _cred, proxy) = setup();
-        grid.faults.add_outage(
-            "kraken",
-            Service::Gram,
-            SimTime(0),
-            SimTime(600),
-        );
+        grid.faults
+            .add_outage("kraken", Service::Gram, SimTime(0), SimTime(600));
         let err = grid
             .gram_submit("kraken", &proxy, sleep_spec("a", 5.0, GramService::Batch))
             .unwrap_err();

@@ -317,13 +317,7 @@ impl Scheduler {
 
     /// Start a job now: execute its payload against the filesystem snapshot
     /// and compute its end time. Returns the finish time.
-    fn start_job(
-        &mut self,
-        id: u64,
-        now: SimTime,
-        fs: &SiteFs,
-        apps: &AppRegistry,
-    ) -> SimTime {
+    fn start_job(&mut self, id: u64, now: SimTime, fs: &SiteFs, apps: &AppRegistry) -> SimTime {
         let job = self.jobs.get_mut(&id).expect("job exists");
         debug_assert!(matches!(job.state, JobState::Waiting));
         let (duration, pending) = match &job.payload {
@@ -586,8 +580,12 @@ mod tests {
     #[test]
     fn fcfs_execution_and_outputs() {
         let (mut s, mut fs, apps) = setup(4);
-        let a = s.submit(sleep_req("a", 4, 10.0, vec![]), SimTime(0), false).unwrap();
-        let b = s.submit(sleep_req("b", 4, 10.0, vec![]), SimTime(0), false).unwrap();
+        let a = s
+            .submit(sleep_req("a", 4, 10.0, vec![]), SimTime(0), false)
+            .unwrap();
+        let b = s
+            .submit(sleep_req("b", 4, 10.0, vec![]), SimTime(0), false)
+            .unwrap();
         let end = drain(&mut s, &mut fs, &apps, SimTime(0));
         // b waits for a: total 20 min + margin
         assert_eq!(end.as_minutes(), 20.0);
@@ -605,8 +603,10 @@ mod tests {
     #[test]
     fn parallel_when_cores_fit() {
         let (mut s, mut fs, apps) = setup(8);
-        s.submit(sleep_req("a", 4, 10.0, vec![]), SimTime(0), false).unwrap();
-        s.submit(sleep_req("b", 4, 10.0, vec![]), SimTime(0), false).unwrap();
+        s.submit(sleep_req("a", 4, 10.0, vec![]), SimTime(0), false)
+            .unwrap();
+        s.submit(sleep_req("b", 4, 10.0, vec![]), SimTime(0), false)
+            .unwrap();
         let end = drain(&mut s, &mut fs, &apps, SimTime(0));
         assert_eq!(end.as_minutes(), 10.0);
     }
@@ -616,9 +616,14 @@ mod tests {
         let (mut s, mut fs, apps) = setup(8);
         // long job takes 6 cores; head needs 8 (blocked); small 2-core job
         // can backfill into the 2 spare cores if it fits before the shadow.
-        s.submit(sleep_req("long", 6, 60.0, vec![]), SimTime(0), false).unwrap();
-        let head = s.submit(sleep_req("head", 8, 10.0, vec![]), SimTime(0), false).unwrap();
-        let bf = s.submit(sleep_req("bf", 2, 20.0, vec![]), SimTime(0), false).unwrap();
+        s.submit(sleep_req("long", 6, 60.0, vec![]), SimTime(0), false)
+            .unwrap();
+        let head = s
+            .submit(sleep_req("head", 8, 10.0, vec![]), SimTime(0), false)
+            .unwrap();
+        let bf = s
+            .submit(sleep_req("bf", 2, 20.0, vec![]), SimTime(0), false)
+            .unwrap();
         drain(&mut s, &mut fs, &apps, SimTime(0));
         let bf_job = s.job(bf).unwrap();
         let head_job = s.job(head).unwrap();
@@ -635,11 +640,16 @@ mod tests {
     #[test]
     fn backfill_never_delays_head() {
         let (mut s, mut fs, apps) = setup(8);
-        s.submit(sleep_req("long", 6, 30.0, vec![]), SimTime(0), false).unwrap();
-        let head = s.submit(sleep_req("head", 8, 10.0, vec![]), SimTime(0), false).unwrap();
+        s.submit(sleep_req("long", 6, 30.0, vec![]), SimTime(0), false)
+            .unwrap();
+        let head = s
+            .submit(sleep_req("head", 8, 10.0, vec![]), SimTime(0), false)
+            .unwrap();
         // this wants 4 cores for 60 min: would delay head past its shadow
         // (30 min) and needs more than the 2 spare cores -> must not backfill
-        let greedy = s.submit(sleep_req("greedy", 4, 60.0, vec![]), SimTime(0), false).unwrap();
+        let greedy = s
+            .submit(sleep_req("greedy", 4, 60.0, vec![]), SimTime(0), false)
+            .unwrap();
         drain(&mut s, &mut fs, &apps, SimTime(0));
         let (JobState::Done { started_at: hs, .. }, JobState::Done { started_at: gs, .. }) =
             (&s.job(head).unwrap().state, &s.job(greedy).unwrap().state)
@@ -653,15 +663,21 @@ mod tests {
     #[test]
     fn dependencies_gate_and_cascade_on_failure() {
         let (mut s, mut fs, apps) = setup(8);
-        let a = s.submit(sleep_req("a", 2, 10.0, vec![]), SimTime(0), false).unwrap();
-        let b = s.submit(sleep_req("b", 2, 10.0, vec![a]), SimTime(0), false).unwrap();
+        let a = s
+            .submit(sleep_req("a", 2, 10.0, vec![]), SimTime(0), false)
+            .unwrap();
+        let b = s
+            .submit(sleep_req("b", 2, 10.0, vec![a]), SimTime(0), false)
+            .unwrap();
         // c depends on a failing job
         let mut fail_req = sleep_req("f", 2, 5.0, vec![]);
         if let Payload::App { args, .. } = &mut fail_req.payload {
             args.push("fail".into());
         }
         let f = s.submit(fail_req, SimTime(0), false).unwrap();
-        let c = s.submit(sleep_req("c", 2, 5.0, vec![f]), SimTime(0), false).unwrap();
+        let c = s
+            .submit(sleep_req("c", 2, 5.0, vec![f]), SimTime(0), false)
+            .unwrap();
         let end = drain(&mut s, &mut fs, &apps, SimTime(0));
         // b ran strictly after a
         let (JobState::Done { ended_at: ae, .. }, JobState::Done { started_at: bs, .. }) =
@@ -671,7 +687,10 @@ mod tests {
         };
         assert!(bs >= ae);
         // c cancelled because f failed
-        assert!(matches!(s.job(c).unwrap().state, JobState::Cancelled { .. }));
+        assert!(matches!(
+            s.job(c).unwrap().state,
+            JobState::Cancelled { .. }
+        ));
         assert!(matches!(
             s.job(f).unwrap().state,
             JobState::Done {
@@ -692,7 +711,9 @@ mod tests {
         let mut p = tiny_profile(8);
         p.supports_job_chaining = false;
         let mut s2 = Scheduler::new(p);
-        let a = s2.submit(sleep_req("a", 2, 5.0, vec![]), SimTime(0), false).unwrap();
+        let a = s2
+            .submit(sleep_req("a", 2, 5.0, vec![]), SimTime(0), false)
+            .unwrap();
         assert!(matches!(
             s2.submit(sleep_req("b", 2, 5.0, vec![a]), SimTime(0), false),
             Err(GridError::BadDependency(_))
@@ -739,14 +760,24 @@ mod tests {
     #[test]
     fn cancel_waiting_and_running() {
         let (mut s, mut fs, apps) = setup(4);
-        let a = s.submit(sleep_req("a", 4, 30.0, vec![]), SimTime(0), false).unwrap();
-        let b = s.submit(sleep_req("b", 4, 30.0, vec![]), SimTime(0), false).unwrap();
+        let a = s
+            .submit(sleep_req("a", 4, 30.0, vec![]), SimTime(0), false)
+            .unwrap();
+        let b = s
+            .submit(sleep_req("b", 4, 30.0, vec![]), SimTime(0), false)
+            .unwrap();
         s.schedule_pass(SimTime(0), &mut fs, &apps);
         // a running, b waiting
         s.cancel(b, "user request").unwrap();
-        assert!(matches!(s.job(b).unwrap().state, JobState::Cancelled { .. }));
+        assert!(matches!(
+            s.job(b).unwrap().state,
+            JobState::Cancelled { .. }
+        ));
         s.cancel(a, "admin").unwrap();
-        assert!(matches!(s.job(a).unwrap().state, JobState::Cancelled { .. }));
+        assert!(matches!(
+            s.job(a).unwrap().state,
+            JobState::Cancelled { .. }
+        ));
         assert_eq!(s.free_cores(), 4);
         // double cancel is an error
         assert!(s.cancel(a, "again").is_err());
@@ -773,16 +804,28 @@ mod tests {
     #[test]
     fn cancelled_dependency_cancels_children() {
         let (mut s, mut fs, apps) = setup(8);
-        let a = s.submit(sleep_req("a", 8, 60.0, vec![]), SimTime(0), false).unwrap();
-        let b = s.submit(sleep_req("b", 2, 5.0, vec![a]), SimTime(0), false).unwrap();
-        let c = s.submit(sleep_req("c", 2, 5.0, vec![b]), SimTime(0), false).unwrap();
+        let a = s
+            .submit(sleep_req("a", 8, 60.0, vec![]), SimTime(0), false)
+            .unwrap();
+        let b = s
+            .submit(sleep_req("b", 2, 5.0, vec![a]), SimTime(0), false)
+            .unwrap();
+        let c = s
+            .submit(sleep_req("c", 2, 5.0, vec![b]), SimTime(0), false)
+            .unwrap();
         s.schedule_pass(SimTime(0), &mut fs, &apps);
         s.cancel(a, "admin kill").unwrap();
         // the next pass propagates the cancellation down the chain
         s.schedule_pass(SimTime(10), &mut fs, &apps);
-        assert!(matches!(s.job(b).unwrap().state, JobState::Cancelled { .. }));
+        assert!(matches!(
+            s.job(b).unwrap().state,
+            JobState::Cancelled { .. }
+        ));
         s.schedule_pass(SimTime(20), &mut fs, &apps);
-        assert!(matches!(s.job(c).unwrap().state, JobState::Cancelled { .. }));
+        assert!(matches!(
+            s.job(c).unwrap().state,
+            JobState::Cancelled { .. }
+        ));
         assert_eq!(s.free_cores(), 8);
     }
 
@@ -806,15 +849,13 @@ mod tests {
     fn zero_core_job_never_blocks_on_capacity() {
         let (mut s, mut fs, apps) = setup(4);
         // saturate
-        s.submit(sleep_req("big", 4, 60.0, vec![]), SimTime(0), false).unwrap();
+        s.submit(sleep_req("big", 4, 60.0, vec![]), SimTime(0), false)
+            .unwrap();
         let mut fork = sleep_req("fork", 0, 1.0, vec![]);
         fork.cores = 0;
         let f = s.submit(fork, SimTime(0), false).unwrap();
         s.schedule_pass(SimTime(0), &mut fs, &apps);
-        assert!(matches!(
-            s.job(f).unwrap().state,
-            JobState::Running { .. }
-        ));
+        assert!(matches!(s.job(f).unwrap().state, JobState::Running { .. }));
     }
 
     #[test]

@@ -52,8 +52,7 @@ pub fn predict_opt_hours(profile: &SystemProfile, spec: &OptimizationSpec) -> f6
 /// Assess one system for the given workload.
 pub fn assess(profile: &SystemProfile, spec: &OptimizationSpec) -> Assessment {
     let predicted_opt_hours = predict_opt_hours(profile, spec);
-    let predicted_sus =
-        predicted_opt_hours * spec.total_cores() as f64 * profile.su_per_cpuh;
+    let predicted_sus = predicted_opt_hours * spec.total_cores() as f64 * profile.su_per_cpuh;
     // Production needs room for hundreds of concurrent simulation trees
     // plus staging copies; the paper judged Lonestar's scratch "small".
     const PRODUCTION_DISK_BAR: u64 = 1 << 40; // 1 TiB
@@ -133,16 +132,15 @@ mod tests {
     #[test]
     fn lonestar_flagged_for_oversubscription_and_fastest_raw_time() {
         let a = assess(&lonestar(), &OptimizationSpec::default());
-        assert!(a
-            .concerns
-            .iter()
-            .any(|c| c.contains("oversubscription")));
+        assert!(a.concerns.iter().any(|c| c.contains("oversubscription")));
         // TACC "demonstrated better performance" on raw time
         let times: Vec<f64> = table1_systems()
             .iter()
             .map(|p| assess(p, &OptimizationSpec::default()).predicted_opt_hours)
             .collect();
-        assert!(a.predicted_opt_hours <= times.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-9);
+        assert!(
+            a.predicted_opt_hours <= times.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-9
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl Application for AstecApp {
                 let json = serde_json::to_vec(&output).expect("model output serializes");
                 AppRun::success(cost)
                     .with_output(files::MODEL_OUT, json)
-                    .with_output("model.log", format!("converged; cost {cost:.2} min").into_bytes())
+                    .with_output(
+                        "model.log",
+                        format!("converged; cost {cost:.2} min").into_bytes(),
+                    )
             }
             Err(e) => AppRun::failed(cost * 0.3, &format!("model failure: {e}")),
         }
@@ -104,7 +107,11 @@ impl Application for AstecApp {
 pub struct MpikaiaApp;
 
 impl MpikaiaApp {
-    fn iteration_cost(problem: &StellarFitProblem, ga: &Ga<'_, StellarFitProblem>, bench: f64) -> f64 {
+    fn iteration_cost(
+        problem: &StellarFitProblem,
+        ga: &Ga<'_, StellarFitProblem>,
+        bench: f64,
+    ) -> f64 {
         let params: Vec<StellarParams> = ga
             .population()
             .iter()
@@ -219,7 +226,11 @@ impl Application for PostJobScript {
     fn run(&self, ctx: &AppContext<'_>) -> AppRun {
         // The tar is produced at completion by listing the tree as the
         // script would; contents are gathered from the fs snapshot.
-        let root = ctx.args.first().cloned().unwrap_or_else(|| ctx.workdir.clone());
+        let root = ctx
+            .args
+            .first()
+            .cloned()
+            .unwrap_or_else(|| ctx.workdir.clone());
         let paths = ctx.fs.list_tree(&root);
         if paths.is_empty() {
             return AppRun::failed(0.02, &format!("nothing to tar under {root}"));
@@ -309,7 +320,11 @@ mod tests {
         let run = AstecApp.run(&ctx(&fs, &profile, vec![], 60.0));
         assert!(run.failure.is_none());
         // Table 1: benchmark star on Lonestar = 15.1 simulated minutes
-        assert!((run.cost_minutes - 15.1).abs() < 0.01, "{}", run.cost_minutes);
+        assert!(
+            (run.cost_minutes - 15.1).abs() < 0.01,
+            "{}",
+            run.cost_minutes
+        );
         let out: amp_stellar::ModelOutput =
             serde_json::from_slice(&run.outputs[files::MODEL_OUT]).unwrap();
         assert!(out.frequencies.len() > 30);
@@ -321,7 +336,8 @@ mod tests {
         let profile = kraken();
         let run = AstecApp.run(&ctx(&fs, &profile, vec![], 60.0));
         assert!(run.failure.unwrap().contains("missing"));
-        fs.write("amp/sim1/input.params", b"garbage".to_vec()).unwrap();
+        fs.write("amp/sim1/input.params", b"garbage".to_vec())
+            .unwrap();
         let run = AstecApp.run(&ctx(&fs, &profile, vec![], 60.0));
         assert!(run.failure.unwrap().contains("bad input"));
     }
@@ -419,7 +435,8 @@ mod tests {
         let mut fs = SiteFs::new("kraken", 1 << 20);
         let profile = kraken();
         stage_observations(&mut fs);
-        fs.write("amp/sim1/restart.json", b"{broken".to_vec()).unwrap();
+        fs.write("amp/sim1/restart.json", b"{broken".to_vec())
+            .unwrap();
         let args: Vec<String> = vec!["20".into(), "25".into(), "3".into()];
         let run = MpikaiaApp.run(&ctx(&fs, &profile, args, 240.0));
         assert!(run.failure.unwrap().contains("bad restart"));
@@ -429,7 +446,8 @@ mod tests {
     fn postjob_tars_and_cleanup_marks() {
         let mut fs = SiteFs::new("kraken", 1 << 20);
         let profile = kraken();
-        fs.write("amp/sim1/run0/final.json", b"{}".to_vec()).unwrap();
+        fs.write("amp/sim1/run0/final.json", b"{}".to_vec())
+            .unwrap();
         fs.write("amp/sim1/ENVIRONMENT", b"v1".to_vec()).unwrap();
         let run = PostJobScript.run(&ctx(&fs, &profile, vec!["amp/sim1".into()], 5.0));
         assert!(run.failure.is_none());

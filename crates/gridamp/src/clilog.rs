@@ -195,10 +195,13 @@ mod tests {
             gram_status_cmdline("gram://kraken/jobmanager-pbs/42"),
             "globus-job-status gram://kraken/jobmanager-pbs/42"
         );
-        assert!(
-            ftp_cmdline("kraken", true, "/tmp/obs.in", "amp/sim3/run0/observations.in")
-                .contains("gsiftp://kraken/amp/sim3/run0/observations.in")
-        );
+        assert!(ftp_cmdline(
+            "kraken",
+            true,
+            "/tmp/obs.in",
+            "amp/sim3/run0/observations.in"
+        )
+        .contains("gsiftp://kraken/amp/sim3/run0/observations.in"));
     }
 
     #[test]

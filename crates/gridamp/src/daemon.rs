@@ -32,7 +32,7 @@ use amp_core::models::{AmpUser, GridJobRecord, Notification, NotifyMode, Simulat
 use amp_core::status::{JobStatus, SimStatus};
 use amp_grid::{CommunityCredential, GramJobHandle, GramState, Grid, SimDuration, SimTime};
 use amp_simdb::orm::Manager;
-use amp_simdb::{Connection, Db, DbError, Query, Value};
+use amp_simdb::{Connection, Db, DbError, Op, Query, Value};
 
 use crate::clilog::{gram_status_cmdline, OpOutcome, OpsEntry, OpsLog};
 use crate::error::WorkflowError;
@@ -322,42 +322,42 @@ impl GridAmp {
     }
 
     /// Phase 1's worklist: `(job id, owning simulation id)` of every
-    /// pending/active job record, in primary-key order. One index-backed
-    /// `Eq` projection per status (`Op::In` cannot use the status index
-    /// and would scan the whole, ever-growing job table every tick); no
-    /// row bodies are cloned or decoded here — each engine fetches a
-    /// job's row inside the per-item work, which the pool shards.
+    /// pending/active job record, in primary-key order. A single
+    /// `Op::In` projection: the planner unions the status-index postings
+    /// for both values, so the ever-growing job table is never scanned
+    /// and the result comes back already id-ordered. No row bodies are
+    /// cloned or decoded here — each engine fetches a job's row inside
+    /// the per-item work, which the pool shards.
     fn pending_job_ids(&self) -> Result<Vec<(i64, i64)>, DbError> {
-        let jobs = self.jobs();
-        let mut out = Vec::new();
-        for status in [JobStatus::Pending, JobStatus::Active] {
-            for (job_id, owner) in
-                jobs.project(&Query::new().eq("status", status.as_str()), "simulation_id")?
-            {
-                if let Value::Int(sim_id) = owner {
-                    out.push((job_id, sim_id));
-                }
-            }
-        }
-        out.sort_unstable();
-        Ok(out)
+        let statuses = vec![
+            Value::from(JobStatus::Pending.as_str()),
+            Value::from(JobStatus::Active.as_str()),
+        ];
+        Ok(self
+            .jobs()
+            .project(
+                &Query::new().filter("status", Op::In(statuses), Value::Null),
+                "simulation_id",
+            )?
+            .into_iter()
+            .filter_map(|(job_id, owner)| match owner {
+                Value::Int(sim_id) => Some((job_id, sim_id)),
+                _ => None,
+            })
+            .collect())
     }
 
     /// Phase 2's worklist: ids of the live (non-terminal happy-path)
-    /// simulations, in primary-key order (same projection scheme as
-    /// [`Self::pending_job_ids`]).
+    /// simulations, in primary-key order (same single-`In` projection
+    /// scheme as [`Self::pending_job_ids`]).
     fn live_sim_ids(&self) -> Result<Vec<i64>, DbError> {
-        let sims = self.sims();
-        let mut out = Vec::new();
-        for status in SimStatus::happy_path().iter().filter(|s| !s.is_terminal()) {
-            out.extend(
-                sims.project(&Query::new().eq("status", status.as_str()), "id")?
-                    .into_iter()
-                    .map(|(id, _)| id),
-            );
-        }
-        out.sort_unstable();
-        Ok(out)
+        let statuses: Vec<Value> = SimStatus::happy_path()
+            .iter()
+            .filter(|s| !s.is_terminal())
+            .map(|s| Value::from(s.as_str()))
+            .collect();
+        self.sims()
+            .ids(&Query::new().filter("status", Op::In(statuses), Value::Null))
     }
 
     /// True while a simulation waits out its transient backoff window.
@@ -558,8 +558,7 @@ impl GridAmp {
                                     let Ok(mut job) = jobs.get(job_id) else {
                                         continue;
                                     };
-                                    let o =
-                                        poll_job_once(conn, grid, config, cred, &mut job, now);
+                                    let o = poll_job_once(conn, grid, config, cred, &mut job, now);
                                     if o.polled {
                                         report.jobs_polled += 1;
                                     }
@@ -622,22 +621,19 @@ impl GridAmp {
                                     report.sims_stepped += 1;
                                     let from = sim.status;
                                     let mut ops = OpsLog::new();
-                                    let outcome = step_sim_once(
-                                        conn, grid, config, cred, &mut sim, &mut ops,
-                                    );
+                                    let outcome =
+                                        step_sim_once(conn, grid, config, cred, &mut sim, &mut ops);
                                     // Ok outcomes: persist here, in the
                                     // pool — this row is ours alone and
                                     // distinct-row saves commute.
                                     let pre_saved = match &outcome {
                                         Ok(Ok(Some(_))) => {
                                             sim.status_message.clear();
-                                            let m: Manager<Simulation> =
-                                                Manager::new(conn.clone());
+                                            let m: Manager<Simulation> = Manager::new(conn.clone());
                                             Some(m.save(&sim).is_ok())
                                         }
                                         Ok(Ok(None)) => {
-                                            let m: Manager<Simulation> =
-                                                Manager::new(conn.clone());
+                                            let m: Manager<Simulation> = Manager::new(conn.clone());
                                             Some(m.save(&sim).is_ok())
                                         }
                                         _ => None,
@@ -773,9 +769,8 @@ impl GridAmp {
                 .sims()
                 .all()
                 .map(|sims| {
-                    sims.iter().all(|s| {
-                        matches!(s.status, SimStatus::Done | SimStatus::Hold)
-                    })
+                    sims.iter()
+                        .all(|s| matches!(s.status, SimStatus::Done | SimStatus::Hold))
                 })
                 .unwrap_or(true);
             if all_settled || grid.now() >= deadline {

@@ -6,8 +6,8 @@
 //! and postprocessing code; everything else lives in the base workflow.
 
 use amp_core::marshal;
-use amp_core::SimPayload;
 use amp_core::status::{JobPurpose, JobStatus};
+use amp_core::SimPayload;
 use amp_stellar::ModelOutput;
 
 use crate::apps::{files, paths};
@@ -88,10 +88,8 @@ pub fn postprocess(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
             // canonical model failure (§4.4)
             WorkflowError::ModelFailure(format!("mandatory output {out_path} missing"))
         })?;
-    let output: ModelOutput = serde_json::from_slice(data).map_err(|e| {
-        WorkflowError::ModelFailure(format!("result failed to parse: {e}"))
-    })?;
-    ctx.sim.result_json =
-        Some(serde_json::to_string(&output).expect("model output serializes"));
+    let output: ModelOutput = serde_json::from_slice(data)
+        .map_err(|e| WorkflowError::ModelFailure(format!("result failed to parse: {e}")))?;
+    ctx.sim.result_json = Some(serde_json::to_string(&output).expect("model output serializes"));
     Ok(true)
 }

@@ -122,12 +122,7 @@ pub fn stats(rows: &[GanttRow]) -> WaitRunStats {
 /// Render an ASCII Gantt chart (`.` = queued wait, `#` = execution).
 pub fn render_ascii(chart: &GanttChart, width: usize) -> String {
     let width = width.max(20);
-    let t0 = chart
-        .rows
-        .iter()
-        .map(|r| r.submitted_at)
-        .min()
-        .unwrap_or(0);
+    let t0 = chart.rows.iter().map(|r| r.submitted_at).min().unwrap_or(0);
     let t1 = chart
         .rows
         .iter()
@@ -136,9 +131,8 @@ pub fn render_ascii(chart: &GanttChart, width: usize) -> String {
         .unwrap_or(t0 + 1)
         .max(t0 + 1);
     let span = (t1 - t0) as f64;
-    let scale = |t: i64| -> usize {
-        (((t - t0) as f64 / span) * (width as f64 - 1.0)).round() as usize
-    };
+    let scale =
+        |t: i64| -> usize { (((t - t0) as f64 / span) * (width as f64 - 1.0)).round() as usize };
     let mut out = String::new();
     out.push_str(&format!(
         "simulation {} on {} ({} jobs)\n",

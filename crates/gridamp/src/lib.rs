@@ -31,8 +31,8 @@ pub mod setup;
 pub mod workflow;
 
 pub use advisor::{assess, recommend, Assessment};
-pub use clilog::{OpOutcome, OpsEntry, OpsLog};
 pub use apps::GaRunResult;
+pub use clilog::{OpOutcome, OpsEntry, OpsLog};
 pub use daemon::{merge_reports, DaemonMonitor, GridAmp, TickProfile, TickReport};
 pub use error::WorkflowError;
 pub use gantt::{chart_for, render_ascii, stats, GanttChart, GanttRow, WaitRunStats};
@@ -137,15 +137,8 @@ mod end_to_end {
 
         let web = dep.db.connect(amp_core::roles::ROLE_WEB).unwrap();
         let sims = Manager::<Simulation>::new(web);
-        let mut sim = Simulation::new_optimization(
-            star,
-            user,
-            small_spec(5),
-            obs,
-            "kraken",
-            alloc,
-            0,
-        );
+        let mut sim =
+            Simulation::new_optimization(star, user, small_spec(5), obs, "kraken", alloc, 0);
         let sim_id = sims.create(&mut sim).unwrap();
 
         dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 14.0);
@@ -170,14 +163,22 @@ mod end_to_end {
         // plus the solution evaluation.
         let jobs = Manager::<amp_core::models::GridJobRecord>::new(admin);
         let work = jobs
-            .filter(&Query::new().eq("simulation_id", sim_id).eq("purpose", "WORK"))
+            .filter(
+                &Query::new()
+                    .eq("simulation_id", sim_id)
+                    .eq("purpose", "WORK"),
+            )
             .unwrap();
         for r in 0..2 {
             let chain: Vec<_> = work.iter().filter(|j| j.ga_run == r).collect();
             assert!(chain.len() >= 2, "run {r} had {} jobs", chain.len());
         }
         let solution = jobs
-            .filter(&Query::new().eq("simulation_id", sim_id).eq("purpose", "SOLUTION"))
+            .filter(
+                &Query::new()
+                    .eq("simulation_id", sim_id)
+                    .eq("purpose", "SOLUTION"),
+            )
             .unwrap();
         assert_eq!(solution.len(), 1);
     }
@@ -195,7 +196,9 @@ mod end_to_end {
         dep.daemon.run_until_settled(&mut dep.grid, 48.0);
 
         let admin = dep.db.connect(amp_core::roles::ROLE_ADMIN).unwrap();
-        let sim = Manager::<Simulation>::new(admin.clone()).get(sim_id).unwrap();
+        let sim = Manager::<Simulation>::new(admin.clone())
+            .get(sim_id)
+            .unwrap();
         assert_eq!(sim.status, SimStatus::Done, "msg: {}", sim.status_message);
 
         // admins were notified of the transient; the user only got the

@@ -8,9 +8,9 @@
 
 use amp_core::marshal;
 use amp_core::models::Observation;
-use amp_core::SimPayload;
 use amp_core::status::{JobPurpose, JobStatus};
 use amp_core::OptimizationSpec;
+use amp_core::SimPayload;
 use amp_ga::Checkpoint;
 use amp_grid::{GramJobHandle, GridError, SiteFs};
 use amp_simdb::orm::Manager;
@@ -154,9 +154,7 @@ pub fn check_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
             all_converged = false;
             continue;
         };
-        let chain_settled = run_jobs.iter().all(|j| {
-            j.status.is_terminal()
-        });
+        let chain_settled = run_jobs.iter().all(|j| j.status.is_terminal());
 
         // Converged as soon as a final.json exists remotely.
         let dir = run_dir(ctx, r);
@@ -281,9 +279,8 @@ fn best_of_ensemble(
     let mut best: Option<GaRunResult> = None;
     for r in 0..spec.ga_runs {
         let path = format!("{}/{}", run_dir(ctx, r), files::FINAL);
-        let data = try_stage_out(ctx, &path)?.ok_or_else(|| {
-            WorkflowError::ModelFailure(format!("run {r} final result vanished"))
-        })?;
+        let data = try_stage_out(ctx, &path)?
+            .ok_or_else(|| WorkflowError::ModelFailure(format!("run {r} final result vanished")))?;
         let result: GaRunResult = serde_json::from_slice(&data).map_err(|e| {
             WorkflowError::ModelFailure(format!("run {r} result failed to parse: {e}"))
         })?;
@@ -306,11 +303,9 @@ pub fn postprocess(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
     };
 
     let detail_path = format!("{}/solution/{}", ctx.workdir(), files::MODEL_OUT);
-    let detail: ModelOutput = serde_json::from_slice(
-        find(&detail_path).ok_or_else(|| {
-            WorkflowError::ModelFailure(format!("mandatory output {detail_path} missing"))
-        })?,
-    )
+    let detail: ModelOutput = serde_json::from_slice(find(&detail_path).ok_or_else(|| {
+        WorkflowError::ModelFailure(format!("mandatory output {detail_path} missing"))
+    })?)
     .map_err(|e| WorkflowError::ModelFailure(format!("solution output: {e}")))?;
 
     let mut runs = Vec::with_capacity(spec.ga_runs as usize);

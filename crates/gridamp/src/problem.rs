@@ -83,14 +83,7 @@ mod tests {
     #[test]
     fn fitness_is_pure_and_bounded() {
         let domain = Domain::default();
-        let observed = synthesize(
-            "T",
-            &StellarParams::benchmark(),
-            &domain,
-            0.1,
-            2,
-        )
-        .unwrap();
+        let observed = synthesize("T", &StellarParams::benchmark(), &domain, 0.1, 2).unwrap();
         let p = StellarFitProblem::new(observed);
         let x = [0.5; 5];
         let a = p.fitness(&x);

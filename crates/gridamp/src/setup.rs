@@ -23,7 +23,11 @@ pub struct Deployment {
 /// site, install the AMP software stack, and authorize the community
 /// credential (the §4.3 "deployed as soon as the community account has
 /// been authorized" property — nothing else is needed).
-pub fn deploy(profile: SystemProfile, config: DaemonConfig, background_seed: Option<u64>) -> Result<Deployment, DbError> {
+pub fn deploy(
+    profile: SystemProfile,
+    config: DaemonConfig,
+    background_seed: Option<u64>,
+) -> Result<Deployment, DbError> {
     let db = Db::in_memory();
     amp_core::setup::initialize(&db)?;
     let mut grid = Grid::new();

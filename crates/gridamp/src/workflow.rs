@@ -440,8 +440,7 @@ pub fn workflow_table() -> Vec<(SimStatus, Vec<StageDef>, SimStatus)> {
 /// new state on transition.
 pub fn step(ctx: &mut StageCtx<'_>) -> Result<Option<SimStatus>, WorkflowError> {
     let table = workflow_table();
-    let Some((_, stages, next)) = table.into_iter().find(|(s, _, _)| *s == ctx.sim.status)
-    else {
+    let Some((_, stages, next)) = table.into_iter().find(|(s, _, _)| *s == ctx.sim.status) else {
         return Ok(None); // DONE or HOLD: nothing to run
     };
     for stage in &stages {

@@ -49,7 +49,9 @@ pub fn register_submit(p: &Portal, req: &Request, _: &Params) -> Response {
 
     if username.len() < 3
         || username.len() > 64
-        || !username.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || !username
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
     {
         return Response::bad_request("username must be 3-64 alphanumeric characters");
     }

@@ -100,7 +100,11 @@ pub fn table_list(p: &Portal, req: &Request, params: &Params) -> Response {
         body.push_str("</tr>");
     }
     body.push_str("</table>");
-    p.page(&format!("Admin: {name}"), p.current_user(req).as_ref(), &body)
+    p.page(
+        &format!("Admin: {name}"),
+        p.current_user(req).as_ref(),
+        &body,
+    )
 }
 
 /// Generic single-field edit (the change form).
@@ -152,7 +156,8 @@ pub fn authorize(p: &Portal, req: &Request, _: &Params) -> Response {
     let form = req.form();
     let (Some(user_id), Some(alloc_id)) = (
         form.get("user_id").and_then(|s| s.parse::<i64>().ok()),
-        form.get("allocation_id").and_then(|s| s.parse::<i64>().ok()),
+        form.get("allocation_id")
+            .and_then(|s| s.parse::<i64>().ok()),
     ) else {
         return Response::bad_request("need user_id and allocation_id");
     };

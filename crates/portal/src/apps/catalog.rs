@@ -27,6 +27,9 @@ pub fn browse(p: &Portal, req: &Request, _: &Params) -> Response {
     let page: usize = req.q("page").and_then(|s| s.parse().ok()).unwrap_or(1);
     let mgr = stars(p);
     let total = mgr.count(&Query::new()).unwrap_or(0);
+    // `identifier` is unique + NOT NULL, so this pagination is an
+    // index-ordered scan: the engine streams the ordered index and stops
+    // after offset + PAGE_SIZE rows instead of sorting the whole catalog.
     let rows = mgr
         .filter(
             &Query::new()
@@ -75,7 +78,11 @@ fn local_search(p: &Portal, q: &str) -> Vec<Star> {
         .unwrap_or_default();
     if out.is_empty() {
         out = mgr
-            .filter(&Query::new().filter("name", Op::IContains, q).limit(PAGE_SIZE))
+            .filter(
+                &Query::new()
+                    .filter("name", Op::IContains, q)
+                    .limit(PAGE_SIZE),
+            )
             .unwrap_or_default();
     }
     out
@@ -143,7 +150,11 @@ pub fn suggest(p: &Portal, req: &Request, _: &Params) -> Response {
         )
         .unwrap_or_default();
     let by_name: Vec<Star> = mgr
-        .filter(&Query::new().filter("name", Op::IContains, q.as_str()).limit(50))
+        .filter(
+            &Query::new()
+                .filter("name", Op::IContains, q.as_str())
+                .limit(50),
+        )
         .unwrap_or_default()
         .into_iter()
         .filter(|n| !hits.iter().any(|h| h.id == n.id))
@@ -207,10 +218,7 @@ pub fn star_detail(p: &Portal, req: &Request, params: &Params) -> Response {
         if star.in_kepler_field { "yes" } else { "no" },
         html_escape(&star.source),
     );
-    body.push_str(&format!(
-        "<h3>Observations ({})</h3>",
-        observations.len()
-    ));
+    body.push_str(&format!("<h3>Observations ({})</h3>", observations.len()));
     body.push_str(&format!(
         "<form method=\"post\" action=\"/star/{}/observations\">\
          <p>Upload pulsation frequencies (one per line: <code>l n frequency sigma</code>, µHz):</p>\
@@ -248,7 +256,11 @@ pub fn star_detail(p: &Portal, req: &Request, params: &Params) -> Response {
         ra = star.ra,
         dec = star.dec,
     ));
-    p.page(&star.identifier.clone(), p.current_user(req).as_ref(), &body)
+    p.page(
+        &star.identifier.clone(),
+        p.current_user(req).as_ref(),
+        &body,
+    )
 }
 
 /// Parse the observation-upload form into a typed observation set. This

@@ -45,6 +45,9 @@ pub fn build_router(admin_enabled: bool) -> Router {
         let user = p.current_user(req);
         let stars = Manager::<Star>::new(p.conn().clone());
         let sims = Manager::<Simulation>::new(p.conn().clone());
+        // status is indexed: the "done" count below is an index probe that
+        // never clones a row, and the recent-5 list is a top-k over the
+        // probe's candidates rather than a full-table sort.
         let done_q = Query::new().eq("status", amp_core::SimStatus::Done.as_str());
         let recent: Vec<serde_json::Value> = sims
             .filter(&done_q.clone().order_by_desc("id").limit(5))
@@ -102,7 +105,10 @@ pub fn build_router(admin_enabled: bool) -> Router {
     r.get("/submit/direct/<star_id>", submit::direct_form);
     r.post("/submit/direct/<star_id>", submit::direct_submit);
     r.get("/submit/optimization/<star_id>", submit::optimization_form);
-    r.post("/submit/optimization/<star_id>", submit::optimization_submit);
+    r.post(
+        "/submit/optimization/<star_id>",
+        submit::optimization_submit,
+    );
 
     // feeds (§6) — the captured segment carries the ".rss" extension
     r.get("/feeds/star/<id>", feeds::star_feed);

@@ -6,7 +6,9 @@ use amp_core::status::SimStatus;
 use amp_core::SimKind;
 use amp_simdb::orm::Manager;
 use amp_simdb::Query;
-use amp_stellar::{echelle, evolution_track, render_echelle_ascii, render_hr_ascii, Domain, ModelOutput};
+use amp_stellar::{
+    echelle, evolution_track, render_echelle_ascii, render_hr_ascii, Domain, ModelOutput,
+};
 
 use crate::http::{html_escape, Request, Response};
 use crate::portal::Portal;
@@ -21,7 +23,11 @@ pub fn list(p: &Portal, req: &Request, _: &Params) -> Response {
     let mgr = sims(p);
     let rows = match &user {
         Some(u) => mgr
-            .filter(&Query::new().eq("owner_id", u.id.unwrap()).order_by_desc("id"))
+            .filter(
+                &Query::new()
+                    .eq("owner_id", u.id.unwrap())
+                    .order_by_desc("id"),
+            )
             .unwrap_or_default(),
         None => mgr
             .filter(
@@ -50,7 +56,9 @@ pub fn list(p: &Portal, req: &Request, _: &Params) -> Response {
     }
     body.push_str("</table>");
     if user.is_none() {
-        body.push_str("<p>Showing recently completed public results. Log in to see your own runs.</p>");
+        body.push_str(
+            "<p>Showing recently completed public results. Log in to see your own runs.</p>",
+        );
     }
     p.page("Simulations", user.as_ref(), &body)
 }

@@ -69,8 +69,7 @@ fn resolve_allocation(
     }
     let auth_mgr = Manager::<SystemAuthorization>::new(p.conn().clone());
     let authorized =
-        SystemAuthorization::is_authorized(&auth_mgr, user.id.unwrap(), alloc_id)
-            .unwrap_or(false);
+        SystemAuthorization::is_authorized(&auth_mgr, user.id.unwrap(), alloc_id).unwrap_or(false);
     if !authorized {
         return Err(Response::forbidden(
             "you are not authorized to submit to this machine with this allocation",

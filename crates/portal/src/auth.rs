@@ -224,7 +224,9 @@ mod tests {
             "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
         );
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
         // multi-block with length near padding boundary
@@ -241,7 +243,10 @@ mod tests {
         assert!(verify_password("correct horse", &stored));
         assert!(!verify_password("wrong horse", &stored));
         assert!(!verify_password("correct horse", "garbage"));
-        assert!(!verify_password("correct horse", "pbkdf-lite$notanum$salt$00"));
+        assert!(!verify_password(
+            "correct horse",
+            "pbkdf-lite$notanum$salt$00"
+        ));
     }
 
     #[test]

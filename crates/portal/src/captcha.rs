@@ -129,11 +129,7 @@ mod tests {
 
     #[test]
     fn custom_bank() {
-        let c = Captcha::with_bank(vec![(
-            "2+2?".into(),
-            "4".into(),
-            "/math".into(),
-        )]);
+        let c = Captcha::with_bank(vec![("2+2?".into(), "4".into(), "/math".into())]);
         let ch = c.challenge(42);
         assert_eq!(ch.question, "2+2?");
         assert!(c.verify(ch.id, "4"));

@@ -111,10 +111,7 @@ impl Request {
                 continue;
             }
             let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
-            headers.insert(
-                name.trim().to_ascii_lowercase(),
-                value.trim().to_string(),
-            );
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
         }
         let cookies = headers
             .get("cookie")
@@ -252,10 +249,7 @@ impl Response {
     pub fn html(body: impl Into<String>) -> Response {
         Response {
             status: 200,
-            headers: vec![(
-                "Content-Type".into(),
-                "text/html; charset=utf-8".into(),
-            )],
+            headers: vec![("Content-Type".into(), "text/html; charset=utf-8".into())],
             body: body.into().into_bytes(),
         }
     }

@@ -85,7 +85,15 @@ mod portal_tests {
             .headers
             .iter()
             .find(|(k, _)| k == "Set-Cookie")
-            .map(|(_, v)| v.split(';').next().unwrap().split('=').nth(1).unwrap().to_string())
+            .map(|(_, v)| {
+                v.split(';')
+                    .next()
+                    .unwrap()
+                    .split('=')
+                    .nth(1)
+                    .unwrap()
+                    .to_string()
+            })
             .expect("session cookie");
         (id, cookie)
     }
@@ -132,7 +140,12 @@ mod portal_tests {
         let form = portal.handle(&Request::get("/accounts/register"));
         let body = form.body_str();
         let id_pos = body.find("name=\"captcha_id\" value=\"").unwrap();
-        let id: usize = body[id_pos + 25..].split('"').next().unwrap().parse().unwrap();
+        let id: usize = body[id_pos + 25..]
+            .split('"')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
 
         // wrong answer blocked
         let resp = portal.handle(&Request::post(
@@ -186,10 +199,10 @@ mod portal_tests {
     fn registration_validation() {
         let (_db, portal) = setup(false);
         for (u, e, pw) in [
-            ("ab", "a@b.c", "longenough"),     // username too short
-            ("user!", "a@b.c", "longenough"),  // bad chars
+            ("ab", "a@b.c", "longenough"),      // username too short
+            ("user!", "a@b.c", "longenough"),   // bad chars
             ("gooduser", "nope", "longenough"), // bad email
-            ("gooduser", "a@b.c", "short"),    // short password
+            ("gooduser", "a@b.c", "short"),     // short password
         ] {
             let resp = portal.handle(&Request::post(
                 "/accounts/register",
@@ -209,7 +222,8 @@ mod portal_tests {
     fn login_logout_session_lifecycle() {
         let (db, portal) = setup(false);
         let (_uid, cookie) = make_user(&db, &portal, "astro1", false);
-        let resp = portal.handle(&Request::get("/accounts/profile").with_cookie("amp_session", &cookie));
+        let resp =
+            portal.handle(&Request::get("/accounts/profile").with_cookie("amp_session", &cookie));
         assert_eq!(resp.status, 200);
         assert!(resp.body_str().contains("astro1"));
 
@@ -222,7 +236,8 @@ mod portal_tests {
 
         // logout invalidates
         portal.handle(&Request::get("/accounts/logout").with_cookie("amp_session", &cookie));
-        let resp = portal.handle(&Request::get("/accounts/profile").with_cookie("amp_session", &cookie));
+        let resp =
+            portal.handle(&Request::get("/accounts/profile").with_cookie("amp_session", &cookie));
         assert_eq!(resp.status, 302);
     }
 
@@ -350,8 +365,7 @@ mod portal_tests {
         ];
         // anonymous redirected
         assert_eq!(portal.handle(&Request::post(&path, &good)).status, 302);
-        let resp =
-            portal.handle(&Request::post(&path, &good).with_cookie("amp_session", &cookie));
+        let resp = portal.handle(&Request::post(&path, &good).with_cookie("amp_session", &cookie));
         assert_eq!(resp.status, 302, "{}", resp.body_str());
 
         // out-of-domain rejected
@@ -535,7 +549,10 @@ mod portal_tests {
         let (_db, portal) = setup(false);
         assert_eq!(portal.handle(&Request::get("/nope")).status, 404);
         assert_eq!(portal.handle(&Request::get("/star/999999")).status, 404);
-        assert_eq!(portal.handle(&Request::get("/simulation/12345")).status, 404);
+        assert_eq!(
+            portal.handle(&Request::get("/simulation/12345")).status,
+            404
+        );
     }
 
     #[test]

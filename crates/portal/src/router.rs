@@ -147,7 +147,9 @@ mod tests {
         let segs = parse_pattern("/star/<id>/plots");
         assert!(Router::match_route(&segs, "/star/42/plots").is_some());
         assert_eq!(
-            Router::match_route(&segs, "/star/42/plots").unwrap().get("id"),
+            Router::match_route(&segs, "/star/42/plots")
+                .unwrap()
+                .get("id"),
             Some("42")
         );
         assert!(Router::match_route(&segs, "/star/42").is_none());

@@ -73,7 +73,11 @@ impl Simbad {
         }
         self.sky
             .iter()
-            .filter(|s| s.aliases().iter().any(|a| normalize(a).starts_with(&needle)))
+            .filter(|s| {
+                s.aliases()
+                    .iter()
+                    .any(|a| normalize(a).starts_with(&needle))
+            })
             .take(limit)
             .cloned()
             .collect()

@@ -312,7 +312,10 @@ mod tests {
             &json!({"title": "<b>Stars & Planets</b>", "raw": "<i>ok</i>"}),
         )
         .unwrap();
-        assert_eq!(out, "<h1>&lt;b&gt;Stars &amp; Planets&lt;/b&gt;</h1><i>ok</i>");
+        assert_eq!(
+            out,
+            "<h1>&lt;b&gt;Stars &amp; Planets&lt;/b&gt;</h1><i>ok</i>"
+        );
     }
 
     #[test]
@@ -390,7 +393,10 @@ mod tests {
 
     #[test]
     fn unterminated_marker_is_literal() {
-        assert_eq!(render("hello {{ name", &json!({})).unwrap(), "hello {{ name");
+        assert_eq!(
+            render("hello {{ name", &json!({})).unwrap(),
+            "hello {{ name"
+        );
     }
 
     #[test]

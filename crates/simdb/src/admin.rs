@@ -54,7 +54,9 @@ pub fn parse_value(ty: ValueType, raw: &str) -> Result<Value, DbError> {
             .map(Value::Int)
             .map_err(|e| err(&e.to_string())),
         ValueType::Float => {
-            let v: f64 = raw.parse().map_err(|e: std::num::ParseFloatError| err(&e.to_string()))?;
+            let v: f64 = raw
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| err(&e.to_string()))?;
             if v.is_nan() {
                 return Err(err("NaN is not storable"));
             }
@@ -143,7 +145,10 @@ mod tests {
             ))
             .unwrap();
         admin
-            .insert("star", &[("name", "HD1".into()), ("mass", Value::Float(1.1))])
+            .insert(
+                "star",
+                &[("name", "HD1".into()), ("mass", Value::Float(1.1))],
+            )
             .unwrap();
         db
     }

@@ -76,11 +76,7 @@ impl Database {
 
     /// Build a full row from named values, applying defaults and Null for
     /// omitted columns, and rejecting unknown column names.
-    pub fn build_row(
-        &self,
-        table: &str,
-        values: &[(&str, Value)],
-    ) -> Result<Row, DbError> {
+    pub fn build_row(&self, table: &str, values: &[(&str, Value)]) -> Result<Row, DbError> {
         let t = self.table(table)?;
         for (name, _) in values {
             if t.schema.column_index(name).is_none() {
@@ -168,20 +164,18 @@ impl Database {
         values: &[(&str, Value)],
     ) -> Result<LogOp, DbError> {
         let t = self.table(table)?;
-        let mut row = t
-            .get(id)
-            .cloned()
-            .ok_or_else(|| DbError::NoSuchRow {
-                table: table.to_string(),
-                id,
-            })?;
+        let mut row = t.get(id).cloned().ok_or_else(|| DbError::NoSuchRow {
+            table: table.to_string(),
+            id,
+        })?;
         for (name, v) in values {
-            let ci = t.schema.column_index(name).ok_or_else(|| {
-                DbError::NoSuchColumn {
+            let ci = t
+                .schema
+                .column_index(name)
+                .ok_or_else(|| DbError::NoSuchColumn {
                     table: table.to_string(),
                     column: name.to_string(),
-                }
-            })?;
+                })?;
             row[ci] = v.clone();
         }
         self.update_row(table, id, row)
@@ -219,7 +213,7 @@ impl Database {
         for (ref_table, ci, on_delete) in self.referencing_columns(table) {
             let t = self.table(&ref_table)?;
             let refs: Vec<i64> = match t.find_indexed(ci, &Value::Int(id)) {
-                Some(hits) => hits,
+                Some(hits) => hits.to_vec(),
                 None => t
                     .iter()
                     .filter(|(_, r)| r[ci] == Value::Int(id))
@@ -272,7 +266,11 @@ impl Database {
             let mut row = self.table(&t)?.get(rid).cloned().expect("planned row");
             row[ci] = Value::Null;
             self.table_mut(&t)?.update(rid, row.clone())?;
-            ops.push(LogOp::Update { table: t, id: rid, row });
+            ops.push(LogOp::Update {
+                table: t,
+                id: rid,
+                row,
+            });
         }
         // Delete leaf-first (reverse plan order).
         for (t, rid) in deletes.into_iter().rev() {
@@ -307,8 +305,9 @@ impl Database {
             })
     }
 
+    /// Planner-driven count: never materializes or clones a row.
     pub fn count(&self, table: &str, query: &Query) -> Result<usize, DbError> {
-        Ok(self.select(table, query)?.len())
+        query.count(self.table(table)?)
     }
 
     /// Apply a logged operation (WAL replay path).
@@ -356,8 +355,7 @@ mod tests {
             "star",
             vec![
                 Column::new("name", ValueType::Text).not_null().unique(),
-                Column::new("catalog_id", ValueType::Int)
-                    .references("catalog", OnDelete::Cascade),
+                Column::new("catalog_id", ValueType::Int).references("catalog", OnDelete::Cascade),
             ],
         ))
         .unwrap();
@@ -367,8 +365,7 @@ mod tests {
                 Column::new("star_id", ValueType::Int)
                     .not_null()
                     .references("star", OnDelete::Restrict),
-                Column::new("note_id", ValueType::Int)
-                    .references("catalog", OnDelete::SetNull),
+                Column::new("note_id", ValueType::Int).references("catalog", OnDelete::SetNull),
             ],
         ))
         .unwrap();
@@ -417,7 +414,10 @@ mod tests {
             .unwrap();
         // sim restricts star delete but not catalog delete
         let (_mid, _) = db
-            .insert("sim", &[("star_id", Value::Int(sid)), ("note_id", Value::Int(cid))])
+            .insert(
+                "sim",
+                &[("star_id", Value::Int(sid)), ("note_id", Value::Int(cid))],
+            )
             .unwrap();
         // star is referenced with RESTRICT via sim -> cascade from catalog
         // would delete star, which is restricted
@@ -429,7 +429,10 @@ mod tests {
 
         // remove the restricting row, then cascade works and nulls note_id
         let (mid2, _) = db
-            .insert("sim", &[("star_id", Value::Int(sid)), ("note_id", Value::Int(cid))])
+            .insert(
+                "sim",
+                &[("star_id", Value::Int(sid)), ("note_id", Value::Int(cid))],
+            )
             .unwrap();
         db.delete("sim", mid2).unwrap();
         let sims = db.select("sim", &Query::new()).unwrap();
@@ -437,7 +440,9 @@ mod tests {
         let ops = db.delete("catalog", cid).unwrap();
         assert!(db.table("star").unwrap().is_empty());
         assert!(db.table("catalog").unwrap().is_empty());
-        assert!(ops.iter().any(|o| matches!(o, LogOp::Delete { table, .. } if table == "star")));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, LogOp::Delete { table, .. } if table == "star")));
     }
 
     #[test]
@@ -451,8 +456,11 @@ mod tests {
                 &[("name", "HD1".into()), ("catalog_id", Value::Int(c2))],
             )
             .unwrap();
-        db.insert("sim", &[("star_id", Value::Int(sid)), ("note_id", Value::Int(c1))])
-            .unwrap();
+        db.insert(
+            "sim",
+            &[("star_id", Value::Int(sid)), ("note_id", Value::Int(c1))],
+        )
+        .unwrap();
         db.delete("catalog", c1).unwrap();
         let sims = db.select("sim", &Query::new()).unwrap();
         assert_eq!(sims.len(), 1);
@@ -463,7 +471,8 @@ mod tests {
     fn partial_update() {
         let mut db = db();
         let (cid, _) = db.insert("catalog", &[("name", "kepler".into())]).unwrap();
-        db.update("catalog", cid, &[("name", "kic".into())]).unwrap();
+        db.update("catalog", cid, &[("name", "kic".into())])
+            .unwrap();
         assert_eq!(db.get("catalog", cid).unwrap()[0], "kic".into());
     }
 
@@ -519,8 +528,7 @@ mod tests {
         let mut db = Database::new();
         db.create_table(TableSchema::new(
             "node",
-            vec![Column::new("parent_id", ValueType::Int)
-                .references("node", OnDelete::Cascade)],
+            vec![Column::new("parent_id", ValueType::Int).references("node", OnDelete::Cascade)],
         ))
         .unwrap();
         let (a, _) = db.insert("node", &[]).unwrap();

@@ -78,10 +78,7 @@ impl fmt::Display for DbError {
                 column,
                 max,
                 got,
-            } => write!(
-                f,
-                "length violation on {table}.{column}: {got} > max {max}"
-            ),
+            } => write!(f, "length violation on {table}.{column}: {got} > max {max}"),
             DbError::UniqueViolation {
                 table,
                 column,
@@ -94,7 +91,10 @@ impl fmt::Display for DbError {
                 role,
                 table,
                 action,
-            } => write!(f, "permission denied: role {role} may not {action} on {table}"),
+            } => write!(
+                f,
+                "permission denied: role {role} may not {action} on {table}"
+            ),
             DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::Corrupt(m) => write!(f, "corrupt persistence data: {m}"),
             DbError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),

@@ -53,7 +53,7 @@ pub mod wal;
 pub use crate::db::{Database, LogOp};
 pub use crate::error::DbError;
 pub use crate::perm::{Action, PermSet, Role};
-pub use crate::query::{Filter, Op, OrderBy, Query};
+pub use crate::query::{Filter, Op, OrderBy, Plan, Query};
 pub use crate::schema::{Column, ForeignKey, OnDelete, TableSchema};
 pub use crate::table::Row;
 pub use crate::value::{Value, ValueType};
@@ -131,9 +131,10 @@ impl Db {
     /// Open a connection acting as `role`.
     pub fn connect(&self, role: &str) -> Result<Connection, DbError> {
         let roles = self.shared.roles.read();
-        let role = roles.get(role).cloned().ok_or_else(|| {
-            DbError::Schema(format!("role {role} is not defined"))
-        })?;
+        let role = roles
+            .get(role)
+            .cloned()
+            .ok_or_else(|| DbError::Schema(format!("role {role} is not defined")))?;
         Ok(Connection {
             db: self.clone(),
             role,
@@ -157,9 +158,10 @@ impl Db {
             .ok_or_else(|| DbError::Io("no WAL configured".into()))?;
         // Exclusive lock: no writer can append between snapshot and truncate.
         let guard = self.shared.database.write();
-        let covered = wal::Wal::read_records(wal.path())?
-            .last()
-            .map(|r| r.seq);
+        // The WAL tracks its own tail, so checkpointing never re-reads the
+        // log. Sequence numbers assigned but not yet flushed belong to ops
+        // already applied to the engine, so the snapshot covers them too.
+        let covered = wal.last_seq();
         wal::Snapshot::save(&guard, covered, &path)?;
         wal.truncate()
     }
@@ -174,13 +176,8 @@ impl Db {
         let guard = self.shared.database.read();
         // The covered seq is "everything so far"; since we hold the read
         // lock no writer can interleave, and appended ops always follow.
-        let covered = self
-            .shared
-            .wal
-            .as_ref()
-            .map(|w| wal::Wal::read_records(w.path()).map(|r| r.last().map(|x| x.seq)))
-            .transpose()?
-            .flatten();
+        // `last_seq` is tracked in memory — no WAL re-read.
+        let covered = self.shared.wal.as_ref().and_then(|w| w.last_seq());
         wal::Snapshot::save(&guard, covered, &path)
     }
 
@@ -248,12 +245,7 @@ impl Connection {
         Ok(id)
     }
 
-    pub fn update(
-        &self,
-        table: &str,
-        id: i64,
-        values: &[(&str, Value)],
-    ) -> Result<(), DbError> {
+    pub fn update(&self, table: &str, id: i64, values: &[(&str, Value)]) -> Result<(), DbError> {
         self.role.check(table, Action::Update)?;
         let op = self.db.shared.database.write().update(table, id, values)?;
         self.db.append_wal(&[op])
@@ -446,9 +438,7 @@ mod tests {
     fn ddl_requires_superuser() {
         let db = setup();
         let web = db.connect("web").unwrap();
-        assert!(web
-            .create_table(TableSchema::new("x", vec![]))
-            .is_err());
+        assert!(web.create_table(TableSchema::new("x", vec![])).is_err());
     }
 
     #[test]
@@ -555,7 +545,8 @@ mod tests {
         assert_eq!(c.count("t", &Query::new()).unwrap(), 51);
         // post-compaction record replayed on top of the snapshot
         assert_eq!(
-            c.count("t", &Query::new().eq("v", Value::Int(999))).unwrap(),
+            c.count("t", &Query::new().eq("v", Value::Int(999)))
+                .unwrap(),
             1
         );
         // compaction without persistence configured is an error

@@ -47,10 +47,8 @@ pub fn row_value<'r, M: Model>(row: &'r Row, column: &str) -> Result<&'r Value, 
             table: M::TABLE.to_string(),
             column: column.to_string(),
         })?;
-    row.get(idx).ok_or_else(|| DbError::Schema(format!(
-        "row for {} shorter than schema",
-        M::TABLE
-    )))
+    row.get(idx)
+        .ok_or_else(|| DbError::Schema(format!("row for {} shorter than schema", M::TABLE)))
 }
 
 /// Typed access to one model's table over a role-scoped connection —
@@ -82,9 +80,9 @@ impl<M: Model> Manager<M> {
 
     /// Persist changes to an already-created instance.
     pub fn save(&self, m: &M) -> Result<(), DbError> {
-        let id = m.id().ok_or_else(|| {
-            DbError::Schema(format!("cannot save unsaved {} instance", M::TABLE))
-        })?;
+        let id = m
+            .id()
+            .ok_or_else(|| DbError::Schema(format!("cannot save unsaved {} instance", M::TABLE)))?;
         self.conn.update(M::TABLE, id, &m.to_values())
     }
 
@@ -107,6 +105,17 @@ impl<M: Model> Manager<M> {
     /// that only need to know *which* rows to visit.
     pub fn project(&self, query: &Query, column: &str) -> Result<Vec<(i64, Value)>, DbError> {
         self.conn.select_project(M::TABLE, query, column)
+    }
+
+    /// Primary keys of the matching rows, in query order. The cheapest
+    /// way to build a worklist: no row clones, no model decode, and the
+    /// planner can satisfy indexable filters without touching row data.
+    pub fn ids(&self, query: &Query) -> Result<Vec<i64>, DbError> {
+        Ok(self
+            .project(query, "id")?
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect())
     }
 
     pub fn first(&self, query: &Query) -> Result<Option<M>, DbError> {
@@ -313,7 +322,10 @@ mod tests {
         let q = Query::new().filter("mass", crate::Op::Gt, Value::Float(1.0));
         assert_eq!(m.count(&q).unwrap(), 2);
         assert!(m.exists(&q).unwrap());
-        let first = m.first(&Query::new().order_by_desc("mass")).unwrap().unwrap();
+        let first = m
+            .first(&Query::new().order_by_desc("mass"))
+            .unwrap()
+            .unwrap();
         assert_eq!(first.name, "C");
         assert_eq!(m.all().unwrap().len(), 3);
     }

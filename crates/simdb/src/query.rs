@@ -9,6 +9,8 @@ use crate::schema::TableSchema;
 use crate::table::{Row, Table};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::ops::Bound;
 
 /// Comparison operators available in filters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,12 +153,14 @@ impl Query {
     fn resolve(&self, schema: &TableSchema) -> Result<Vec<usize>, DbError> {
         let mut idx = Vec::with_capacity(self.filters.len());
         for f in &self.filters {
-            idx.push(schema.column_index(&f.column).ok_or_else(|| {
-                DbError::NoSuchColumn {
-                    table: schema.name.clone(),
-                    column: f.column.clone(),
-                }
-            })?);
+            idx.push(
+                schema
+                    .column_index(&f.column)
+                    .ok_or_else(|| DbError::NoSuchColumn {
+                        table: schema.name.clone(),
+                        column: f.column.clone(),
+                    })?,
+            );
         }
         for o in &self.order_by {
             if o.column != "id" && schema.column_index(&o.column).is_none() {
@@ -171,171 +175,572 @@ impl Query {
 
     /// Execute against a table, returning (id, row) pairs.
     ///
-    /// Uses a unique or secondary index when the first resolvable `Eq`
-    /// filter is over an indexed column; otherwise scans in pk order.
+    /// Access path selection is cost-based (see [`Self::explain`]): unique
+    /// probes beat secondary probes beat range scans beat full scans, and
+    /// every index-drivable filter's candidate set is intersected before
+    /// any row is touched. Rows are filtered *borrowed*; only the final
+    /// page is cloned. Results without `order_by` come back in primary-key
+    /// order.
     pub fn execute(&self, table: &Table) -> Result<Vec<(i64, Row)>, DbError> {
-        let idx = self.resolve(&table.schema)?;
-
-        // Candidate selection: try to drive from an index.
-        let mut candidates: Option<Vec<i64>> = None;
-        for (f, &ci) in self.filters.iter().zip(idx.iter()) {
-            if let Op::Eq = f.op {
-                if let Some(id) = table.find_unique(ci, &f.value) {
-                    candidates = Some(vec![id]);
-                    break;
-                }
-                if table.schema.columns[ci].unique {
-                    // Unique index exists but has no entry: no matches.
-                    candidates = Some(Vec::new());
-                    break;
-                }
-                if let Some(hits) = table.find_indexed(ci, &f.value) {
-                    candidates = Some(hits);
-                    break;
-                }
-            }
-        }
-
-        let mut out: Vec<(i64, Row)> = match candidates {
-            Some(ids) => ids
-                .into_iter()
-                .filter_map(|id| table.get(id).map(|r| (id, r.clone())))
-                .collect(),
-            None => table.iter().map(|(id, r)| (id, r.clone())).collect(),
-        };
-
-        // Apply all filters (index pre-selection is a superset).
-        out.retain(|(_, row)| {
-            self.filters
-                .iter()
-                .zip(idx.iter())
-                .all(|(f, &ci)| f.matches(&row[ci]))
-        });
-
-        // Ordering. "id" orders by primary key.
-        if !self.order_by.is_empty() {
-            let schema = &table.schema;
-            let keys: Vec<(Option<usize>, bool)> = self
-                .order_by
-                .iter()
-                .map(|o| (schema.column_index(&o.column), o.descending))
-                .collect();
-            out.sort_by(|(aid, arow), (bid, brow)| {
-                for (ci, desc) in &keys {
-                    let ord = match ci {
-                        Some(ci) => arow[*ci].total_cmp(&brow[*ci]),
-                        None => aid.cmp(bid),
-                    };
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if !ord.is_eq() {
-                        return ord;
-                    }
-                }
-                aid.cmp(bid)
-            });
-        }
-
-        // Pagination.
-        let start = self.offset.min(out.len());
-        let end = match self.limit {
-            Some(l) => (start + l).min(out.len()),
-            None => out.len(),
-        };
-        Ok(out[start..end].to_vec())
+        Ok(self
+            .run(table)?
+            .into_iter()
+            .map(|(id, row)| (id, row.clone()))
+            .collect())
     }
 
     /// Execute against a table, returning only `(id, <column cell>)` pairs
-    /// (`"id"` projects the primary key itself). Index selection, filter,
-    /// ordering and pagination semantics are identical to [`Self::execute`],
-    /// but no row is cloned — only the single projected cell — so hot
-    /// worklist queries (e.g. the GridAMP daemon's per-tick scans) skip
-    /// the full fetch/decode for rows whose bodies they don't need yet.
+    /// (`"id"` projects the primary key itself). Planning, filter, ordering
+    /// and pagination semantics are identical to [`Self::execute`], but no
+    /// row is cloned — only the single projected cell — so hot worklist
+    /// queries (e.g. the GridAMP daemon's per-tick scans) skip the full
+    /// fetch/decode for rows whose bodies they don't need yet.
     pub fn project(&self, table: &Table, column: &str) -> Result<Vec<(i64, Value)>, DbError> {
-        let idx = self.resolve(&table.schema)?;
         let pci = if column == "id" {
             None
         } else {
-            Some(table.schema.column_index(column).ok_or_else(|| {
-                DbError::NoSuchColumn {
-                    table: table.schema.name.clone(),
-                    column: column.to_string(),
-                }
-            })?)
+            Some(
+                table
+                    .schema
+                    .column_index(column)
+                    .ok_or_else(|| DbError::NoSuchColumn {
+                        table: table.schema.name.clone(),
+                        column: column.to_string(),
+                    })?,
+            )
         };
-
-        // Candidate selection, as in `execute`.
-        let mut candidates: Option<Vec<i64>> = None;
-        for (f, &ci) in self.filters.iter().zip(idx.iter()) {
-            if let Op::Eq = f.op {
-                if let Some(id) = table.find_unique(ci, &f.value) {
-                    candidates = Some(vec![id]);
-                    break;
-                }
-                if table.schema.columns[ci].unique {
-                    candidates = Some(Vec::new());
-                    break;
-                }
-                if let Some(hits) = table.find_indexed(ci, &f.value) {
-                    candidates = Some(hits);
-                    break;
-                }
-            }
-        }
-
-        let mut out: Vec<(i64, &Row)> = match candidates {
-            Some(ids) => ids
-                .into_iter()
-                .filter_map(|id| table.get(id).map(|r| (id, r)))
-                .collect(),
-            None => table.iter().collect(),
-        };
-
-        out.retain(|(_, row)| {
-            self.filters
-                .iter()
-                .zip(idx.iter())
-                .all(|(f, &ci)| f.matches(&row[ci]))
-        });
-
-        if !self.order_by.is_empty() {
-            let schema = &table.schema;
-            let keys: Vec<(Option<usize>, bool)> = self
-                .order_by
-                .iter()
-                .map(|o| (schema.column_index(&o.column), o.descending))
-                .collect();
-            out.sort_by(|(aid, arow), (bid, brow)| {
-                for (ci, desc) in &keys {
-                    let ord = match ci {
-                        Some(ci) => arow[*ci].total_cmp(&brow[*ci]),
-                        None => aid.cmp(bid),
-                    };
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if !ord.is_eq() {
-                        return ord;
-                    }
-                }
-                aid.cmp(bid)
-            });
-        }
-
-        let start = self.offset.min(out.len());
-        let end = match self.limit {
-            Some(l) => (start + l).min(out.len()),
-            None => out.len(),
-        };
-        Ok(out[start..end]
-            .iter()
+        Ok(self
+            .run(table)?
+            .into_iter()
             .map(|(id, row)| {
                 (
-                    *id,
+                    id,
                     match pci {
                         Some(ci) => row[ci].clone(),
-                        None => Value::Int(*id),
+                        None => Value::Int(id),
                     },
                 )
             })
             .collect())
+    }
+
+    /// Number of rows the query matches (honouring `offset`/`limit`
+    /// arithmetic) without materializing, ordering, or cloning anything.
+    pub fn count(&self, table: &Table) -> Result<usize, DbError> {
+        let idx = self.resolve(&table.schema)?;
+        let planned = self.plan_access(table, &idx);
+        let matches = |row: &Row| {
+            self.filters
+                .iter()
+                .zip(idx.iter())
+                .all(|(f, &ci)| f.matches(&row[ci]))
+        };
+        let matched = match &planned.candidates {
+            Some(ids) => ids
+                .iter()
+                .filter_map(|&id| table.get(id))
+                .filter(|r| matches(r))
+                .count(),
+            None => table.iter().filter(|(_, r)| matches(r)).count(),
+        };
+        let after_offset = matched.saturating_sub(self.offset);
+        Ok(match self.limit {
+            Some(l) => after_offset.min(l),
+            None => after_offset,
+        })
+    }
+
+    /// The access path the planner would choose for this query — an
+    /// `EXPLAIN`. Consults the table's live index cardinalities, so the
+    /// answer can change as data changes.
+    pub fn explain(&self, table: &Table) -> Result<Plan, DbError> {
+        let idx = self.resolve(&table.schema)?;
+        Ok(self.plan_access(table, &idx).plan)
+    }
+
+    /// Sort keys resolved against a schema; `None` column index = primary key.
+    fn order_keys(&self, schema: &TableSchema) -> Vec<(Option<usize>, bool)> {
+        self.order_by
+            .iter()
+            .map(|o| (schema.column_index(&o.column), o.descending))
+            .collect()
+    }
+
+    /// Plan + filter + order + paginate, returning borrowed rows.
+    fn run<'t>(&self, table: &'t Table) -> Result<Vec<(i64, &'t Row)>, DbError> {
+        let idx = self.resolve(&table.schema)?;
+        let planned = self.plan_access(table, &idx);
+        let matches = |row: &Row| {
+            self.filters
+                .iter()
+                .zip(idx.iter())
+                .all(|(f, &ci)| f.matches(&row[ci]))
+        };
+
+        // Rows the caller can actually receive; `Some(0)` short-circuits.
+        let wanted = self.limit.map(|l| self.offset + l);
+        if wanted == Some(0) {
+            return Ok(Vec::new());
+        }
+
+        if !self.order_by.is_empty() {
+            // Index-ordered scan: stream groups in key order, stopping as
+            // soon as the page is full instead of sorting the world.
+            if let (None, Some(ci)) = (&planned.candidates, planned.index_order) {
+                return Ok(self.index_ordered_scan(table, ci, wanted, &matches));
+            }
+
+            let keys = self.order_keys(&table.schema);
+            let cmp = |a: &(i64, &Row), b: &(i64, &Row)| cmp_rows(&keys, a, b);
+            let mut out = match &planned.candidates {
+                Some(ids) => collect_filtered(
+                    ids.iter().filter_map(|&id| table.get(id).map(|r| (id, r))),
+                    &matches,
+                ),
+                None => collect_filtered(table.iter(), &matches),
+            };
+            if let Some(k) = wanted {
+                top_k(&mut out, k, cmp);
+            } else {
+                out.sort_by(cmp);
+            }
+            return Ok(paginate(out, self.offset, self.limit));
+        }
+
+        // No ordering requested: candidates are sorted ascending and table
+        // iteration is pk-ordered, so output is deterministically pk-ordered
+        // and collection can stop at offset+limit rows.
+        let mut out = Vec::new();
+        match &planned.candidates {
+            Some(ids) => {
+                for &id in ids {
+                    if let Some(r) = table.get(id) {
+                        if matches(r) {
+                            out.push((id, r));
+                            if Some(out.len()) == wanted {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for (id, r) in table.iter() {
+                    if matches(r) {
+                        out.push((id, r));
+                        if Some(out.len()) == wanted {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(paginate(out, self.offset, self.limit))
+    }
+
+    /// Walk the ordered index over `ci` group by group (reversed for
+    /// descending), filtering each group and breaking ties with the
+    /// remaining sort keys. Only legal when `ci` is `NOT NULL` (null cells
+    /// are unindexed) — the planner enforces that.
+    fn index_ordered_scan<'t>(
+        &self,
+        table: &'t Table,
+        ci: usize,
+        wanted: Option<usize>,
+        matches: &dyn Fn(&Row) -> bool,
+    ) -> Vec<(i64, &'t Row)> {
+        let index = table.ordered_index(ci).expect("planner checked index");
+        let keys = self.order_keys(&table.schema);
+        let descending = self.order_by[0].descending;
+        let mut out: Vec<(i64, &Row)> = Vec::new();
+        let groups: Box<dyn Iterator<Item = &Vec<i64>>> = if descending {
+            Box::new(index.values().rev())
+        } else {
+            Box::new(index.values())
+        };
+        for ids in groups {
+            let start = out.len();
+            for &id in ids {
+                if let Some(r) = table.get(id) {
+                    if matches(r) {
+                        out.push((id, r));
+                    }
+                }
+            }
+            // Within a group the leading key ties, so the full comparator
+            // reduces to the remaining keys + id; group ids are already
+            // ascending, which is the single-key tie-break order.
+            if self.order_by.len() > 1 {
+                out[start..].sort_by(|a, b| cmp_rows(&keys, a, b));
+            }
+            if let Some(k) = wanted {
+                if out.len() >= k {
+                    break;
+                }
+            }
+        }
+        paginate(out, self.offset, self.limit)
+    }
+
+    /// The cost-based access-path planner.
+    ///
+    /// Cost lattice (cheapest first): a unique `Eq` probe is O(1) and
+    /// yields ≤ 1 row, so it always wins. Otherwise every probe-drivable
+    /// filter (`Eq`/`In` over unique or secondary indexes, cost = posting
+    /// size) contributes a sorted candidate set; range-drivable filters
+    /// (`Lt`/`Le`/`Gt`/`Ge` over ordered indexes, cost = matching-key
+    /// volume) are materialized only when no probe set is already tiny.
+    /// All collected sets are intersected, so each extra indexed filter
+    /// only shrinks the rows that get touched. A filter proven empty at
+    /// the index (unique miss, all-`In`-probes miss, inverted range)
+    /// short-circuits to [`Plan::Empty`] without touching a row.
+    fn plan_access(&self, table: &Table, idx: &[usize]) -> Planned {
+        // 1. Unique Eq probe: unbeatable when available.
+        for (f, &ci) in self.filters.iter().zip(idx.iter()) {
+            if f.op == Op::Eq && table.schema.columns[ci].unique {
+                return match table.find_unique(ci, &f.value) {
+                    Some(id) => Planned {
+                        plan: Plan::UniqueProbe {
+                            column: f.column.clone(),
+                        },
+                        candidates: Some(vec![id]),
+                        index_order: None,
+                    },
+                    None => Planned::empty(),
+                };
+            }
+        }
+
+        // 2. Probe sets: Eq / In over indexed columns.
+        let mut sets: Vec<(String, Vec<i64>)> = Vec::new();
+        for (f, &ci) in self.filters.iter().zip(idx.iter()) {
+            match &f.op {
+                Op::Eq => {
+                    if let Some(hits) = table.find_indexed(ci, &f.value) {
+                        let mut ids = hits.to_vec();
+                        ids.sort_unstable();
+                        sets.push((f.column.clone(), ids));
+                    }
+                }
+                // An `In` list containing NULL matches null cells, which no
+                // index covers — such filters are not index-drivable.
+                Op::In(vals) if !vals.iter().any(|v| v.is_null()) => {
+                    if table.schema.columns[ci].unique {
+                        // Satellite of the unique-miss shortcut: each member
+                        // is an O(1) probe; all missing ⇒ provably empty.
+                        let mut ids: Vec<i64> = vals
+                            .iter()
+                            .filter_map(|v| table.find_unique(ci, v))
+                            .collect();
+                        ids.sort_unstable();
+                        ids.dedup();
+                        sets.push((f.column.clone(), ids));
+                    } else if table.has_ordered_index(ci) {
+                        let mut ids: Vec<i64> = Vec::new();
+                        for v in vals {
+                            if let Some(hits) = table.find_indexed(ci, v) {
+                                ids.extend_from_slice(hits);
+                            }
+                        }
+                        ids.sort_unstable();
+                        ids.dedup();
+                        sets.push((f.column.clone(), ids));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if sets.iter().any(|(_, s)| s.is_empty()) {
+            return Planned::empty();
+        }
+
+        // 3. Range sets, unless a probe set is already selective enough
+        // that walking a range would cost more than it saves.
+        let min_probe = sets.iter().map(|(_, s)| s.len()).min();
+        let mut range_cols: Vec<String> = Vec::new();
+        if min_probe.is_none_or(|m| m > 256) {
+            for (col, ci, lower, upper) in self.range_bounds(table, idx) {
+                match bounds_feasible(&lower, &upper) {
+                    Feasibility::Empty => return Planned::empty(),
+                    Feasibility::Scan => {
+                        if let Some(ids) =
+                            table.range_indexed(ci, borrow_bound(&lower), borrow_bound(&upper))
+                        {
+                            let mut ids = ids;
+                            ids.sort_unstable();
+                            range_cols.push(col.clone());
+                            sets.push((col, ids));
+                        }
+                    }
+                }
+            }
+        }
+        if sets.iter().any(|(_, s)| s.is_empty()) {
+            return Planned::empty();
+        }
+
+        if !sets.is_empty() {
+            // Intersect smallest-first so the working set only shrinks.
+            sets.sort_by_key(|(_, s)| s.len());
+            let columns: Vec<String> = sets.iter().map(|(c, _)| c.clone()).collect();
+            let mut iter = sets.into_iter();
+            let mut acc = iter.next().expect("nonempty").1;
+            for (_, s) in iter {
+                acc = intersect_sorted(&acc, &s);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            let only_ranges = columns.len() == range_cols.len();
+            return Planned {
+                plan: if only_ranges {
+                    Plan::RangeScan { columns }
+                } else {
+                    Plan::IndexProbe { columns }
+                },
+                candidates: Some(acc),
+                index_order: None,
+            };
+        }
+
+        // 4. Full scan; in index order if that serves the leading sort key.
+        let index_order = self.order_by.first().and_then(|o| {
+            let ci = table.schema.column_index(&o.column)?;
+            (table.has_ordered_index(ci) && table.schema.columns[ci].not_null).then_some(ci)
+        });
+        Planned {
+            plan: match index_order {
+                Some(_) => Plan::IndexOrderedScan {
+                    column: self.order_by[0].column.clone(),
+                },
+                None => Plan::FullScan,
+            },
+            candidates: None,
+            index_order,
+        }
+    }
+
+    /// Fold `Lt/Le/Gt/Ge` filters over ordered-indexed columns into one
+    /// (lower, upper) bound pair per column, tightest bounds winning.
+    fn range_bounds(
+        &self,
+        table: &Table,
+        idx: &[usize],
+    ) -> Vec<(String, usize, Bound<Value>, Bound<Value>)> {
+        let mut out: Vec<(String, usize, Bound<Value>, Bound<Value>)> = Vec::new();
+        for (f, &ci) in self.filters.iter().zip(idx.iter()) {
+            let is_range = matches!(f.op, Op::Lt | Op::Le | Op::Gt | Op::Ge);
+            if !is_range || !table.has_ordered_index(ci) {
+                continue;
+            }
+            let entry = match out.iter_mut().find(|(_, c, _, _)| *c == ci) {
+                Some(e) => e,
+                None => {
+                    out.push((f.column.clone(), ci, Bound::Unbounded, Bound::Unbounded));
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            match f.op {
+                Op::Lt => {
+                    entry.3 = tighten_upper(entry.3.clone(), Bound::Excluded(f.value.clone()))
+                }
+                Op::Le => {
+                    entry.3 = tighten_upper(entry.3.clone(), Bound::Included(f.value.clone()))
+                }
+                Op::Gt => {
+                    entry.2 = tighten_lower(entry.2.clone(), Bound::Excluded(f.value.clone()))
+                }
+                Op::Ge => {
+                    entry.2 = tighten_lower(entry.2.clone(), Bound::Included(f.value.clone()))
+                }
+                _ => unreachable!(),
+            }
+        }
+        out
+    }
+}
+
+/// A planner decision: the human-readable plan plus the machinery to run it.
+struct Planned {
+    plan: Plan,
+    /// Sorted ascending candidate ids; `None` = scan every row.
+    candidates: Option<Vec<i64>>,
+    /// Drive a full scan through this column's ordered index.
+    index_order: Option<usize>,
+}
+
+impl Planned {
+    fn empty() -> Self {
+        Planned {
+            plan: Plan::Empty,
+            candidates: Some(Vec::new()),
+            index_order: None,
+        }
+    }
+}
+
+/// The access path chosen by the query planner (`EXPLAIN` output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Plan {
+    /// Proven empty from the indexes alone; no row is touched.
+    Empty,
+    /// Single unique-index probe (≤ 1 candidate).
+    UniqueProbe { column: String },
+    /// Index probe sets (Eq/In over unique or secondary indexes, possibly
+    /// combined with range sets), intersected.
+    IndexProbe { columns: Vec<String> },
+    /// Ordered-index range scan(s) only.
+    RangeScan { columns: Vec<String> },
+    /// Full scan streamed in ordered-index order to serve `ORDER BY`.
+    IndexOrderedScan { column: String },
+    /// Filter every row in primary-key order.
+    FullScan,
+}
+
+fn cmp_rows(keys: &[(Option<usize>, bool)], a: &(i64, &Row), b: &(i64, &Row)) -> Ordering {
+    let (aid, arow) = a;
+    let (bid, brow) = b;
+    for (ci, desc) in keys {
+        let ord = match ci {
+            Some(ci) => arow[*ci].total_cmp(&brow[*ci]),
+            None => aid.cmp(bid),
+        };
+        let ord = if *desc { ord.reverse() } else { ord };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    aid.cmp(bid)
+}
+
+fn collect_filtered<'t>(
+    iter: impl Iterator<Item = (i64, &'t Row)>,
+    matches: &dyn Fn(&Row) -> bool,
+) -> Vec<(i64, &'t Row)> {
+    iter.filter(|(_, r)| matches(r)).collect()
+}
+
+/// Keep the `k` smallest elements under `cmp` using a bounded buffer:
+/// amortized O(n log k) time, O(k) extra space — the `ORDER BY … LIMIT`
+/// top-k path.
+fn top_k<T>(items: &mut Vec<T>, k: usize, mut cmp: impl FnMut(&T, &T) -> Ordering) {
+    if items.len() <= k {
+        items.sort_by(&mut cmp);
+        return;
+    }
+    let cap = (2 * k).max(64);
+    let mut buf: Vec<T> = Vec::with_capacity(cap.min(items.len()));
+    for item in items.drain(..) {
+        buf.push(item);
+        if buf.len() >= cap {
+            buf.sort_by(&mut cmp);
+            buf.truncate(k);
+        }
+    }
+    buf.sort_by(&mut cmp);
+    buf.truncate(k);
+    *items = buf;
+}
+
+fn paginate<T>(mut items: Vec<T>, offset: usize, limit: Option<usize>) -> Vec<T> {
+    let start = offset.min(items.len());
+    let end = match limit {
+        Some(l) => (start + l).min(items.len()),
+        None => items.len(),
+    };
+    items.truncate(end);
+    items.drain(..start);
+    items
+}
+
+fn intersect_sorted(a: &[i64], b: &[i64]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn tighten_lower(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match x.total_cmp(y) {
+                Ordering::Less => b,
+                Ordering::Greater => a,
+                // Equal values: Excluded is the tighter lower bound.
+                Ordering::Equal => {
+                    if matches!(a, Bound::Excluded(_)) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn tighten_upper(a: Bound<Value>, b: Bound<Value>) -> Bound<Value> {
+    match (&a, &b) {
+        (Bound::Unbounded, _) => b,
+        (_, Bound::Unbounded) => a,
+        (Bound::Included(x) | Bound::Excluded(x), Bound::Included(y) | Bound::Excluded(y)) => {
+            match x.total_cmp(y) {
+                Ordering::Less => a,
+                Ordering::Greater => b,
+                Ordering::Equal => {
+                    if matches!(a, Bound::Excluded(_)) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum Feasibility {
+    Empty,
+    Scan,
+}
+
+/// Detect contradictory bounds (`> 5 AND < 3`) before handing them to
+/// `BTreeMap::range`, which panics on inverted ranges.
+fn bounds_feasible(lower: &Bound<Value>, upper: &Bound<Value>) -> Feasibility {
+    let (lv, l_excl) = match lower {
+        Bound::Unbounded => return Feasibility::Scan,
+        Bound::Included(v) => (v, false),
+        Bound::Excluded(v) => (v, true),
+    };
+    let (uv, u_excl) = match upper {
+        Bound::Unbounded => return Feasibility::Scan,
+        Bound::Included(v) => (v, false),
+        Bound::Excluded(v) => (v, true),
+    };
+    match lv.total_cmp(uv) {
+        Ordering::Greater => Feasibility::Empty,
+        Ordering::Equal if l_excl || u_excl => Feasibility::Empty,
+        _ => Feasibility::Scan,
+    }
+}
+
+fn borrow_bound(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+        Bound::Unbounded => Bound::Unbounded,
     }
 }
 
@@ -370,7 +775,7 @@ impl Query {
                 table: table.schema.name.clone(),
                 column: column.to_string(),
             })?;
-        let rows = self.execute(table)?;
+        let rows = self.run(table)?;
         let mut agg = Aggregate::default();
         for (_, row) in &rows {
             let v = match &row[ci] {
@@ -434,7 +839,11 @@ mod tests {
     #[test]
     fn eq_via_unique_index_no_match() {
         let t = table();
-        assert!(Query::new().eq("name", "HD99").execute(&t).unwrap().is_empty());
+        assert!(Query::new()
+            .eq("name", "HD99")
+            .execute(&t)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -510,7 +919,11 @@ mod tests {
             .unwrap();
         assert_eq!(
             Query::new()
-                .filter("name", Op::In(vec!["HD1".into(), "HD5".into()]), Value::Null)
+                .filter(
+                    "name",
+                    Op::In(vec!["HD1".into(), "HD5".into()]),
+                    Value::Null
+                )
                 .execute(&t)
                 .unwrap()
                 .len(),
@@ -577,6 +990,215 @@ mod tests {
         assert_eq!(rows[0].0, 4);
     }
 
+    fn indexed_table(n: i64) -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "obs",
+            vec![
+                Column::new("tag", ValueType::Text).not_null().unique(),
+                Column::new("site", ValueType::Text).indexed().not_null(),
+                Column::new("v", ValueType::Int).indexed(),
+                Column::new("plain", ValueType::Int),
+            ],
+        ))
+        .unwrap();
+        for i in 0..n {
+            t.insert(vec![
+                format!("t{i}").into(),
+                format!("s{}", i % 4).into(),
+                Value::Int(i),
+                Value::Int(i % 10),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn explain_picks_unique_probe() {
+        let t = indexed_table(20);
+        let plan = Query::new()
+            .eq("site", "s1")
+            .eq("tag", "t5")
+            .explain(&t)
+            .unwrap();
+        assert_eq!(
+            plan,
+            Plan::UniqueProbe {
+                column: "tag".into()
+            }
+        );
+        // unique miss is proven empty without touching rows
+        let plan = Query::new().eq("tag", "zzz").explain(&t).unwrap();
+        assert_eq!(plan, Plan::Empty);
+    }
+
+    #[test]
+    fn explain_intersects_secondary_probes() {
+        let t = indexed_table(40);
+        let q = Query::new().eq("site", "s1").eq("v", 5);
+        match q.explain(&t).unwrap() {
+            Plan::IndexProbe { columns } => {
+                assert!(columns.contains(&"site".to_string()));
+                assert!(columns.contains(&"v".to_string()));
+            }
+            p => panic!("expected IndexProbe, got {p:?}"),
+        }
+        let rows = q.execute(&t).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[2], Value::Int(5));
+    }
+
+    #[test]
+    fn explain_range_scan_and_combined_bounds() {
+        let t = indexed_table(100);
+        let q =
+            Query::new()
+                .filter("v", Op::Ge, Value::Int(10))
+                .filter("v", Op::Lt, Value::Int(20));
+        assert_eq!(
+            q.explain(&t).unwrap(),
+            Plan::RangeScan {
+                columns: vec!["v".into()]
+            }
+        );
+        let rows = q.execute(&t).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|(_, r)| {
+            let v = r[2].as_int().unwrap();
+            (10..20).contains(&v)
+        }));
+        // ids come back in pk order without an explicit order_by
+        let ids: Vec<i64> = rows.iter().map(|(id, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn inverted_range_is_proven_empty() {
+        let t = indexed_table(30);
+        let q =
+            Query::new()
+                .filter("v", Op::Gt, Value::Int(20))
+                .filter("v", Op::Lt, Value::Int(10));
+        assert_eq!(q.explain(&t).unwrap(), Plan::Empty);
+        assert!(q.execute(&t).unwrap().is_empty());
+        assert_eq!(q.count(&t).unwrap(), 0);
+    }
+
+    #[test]
+    fn in_over_unique_probes_and_miss_shortcut() {
+        let t = indexed_table(20);
+        let q = Query::new().filter(
+            "tag",
+            Op::In(vec!["t3".into(), "t7".into(), "zzz".into()]),
+            Value::Null,
+        );
+        match q.explain(&t).unwrap() {
+            Plan::IndexProbe { columns } => assert_eq!(columns, vec!["tag".to_string()]),
+            p => panic!("expected IndexProbe, got {p:?}"),
+        }
+        assert_eq!(q.execute(&t).unwrap().len(), 2);
+        // all members miss the unique index ⇒ provably empty
+        let q = Query::new().filter("tag", Op::In(vec!["x".into(), "y".into()]), Value::Null);
+        assert_eq!(q.explain(&t).unwrap(), Plan::Empty);
+        assert!(q.execute(&t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn in_with_null_member_falls_back_to_scan() {
+        let t = indexed_table(10);
+        // NULL in the list would match unindexed null cells; the planner
+        // must not drive this from the index.
+        let q = Query::new().filter("v", Op::In(vec![Value::Int(3), Value::Null]), Value::Null);
+        assert_eq!(q.explain(&t).unwrap(), Plan::FullScan);
+        assert_eq!(q.execute(&t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn in_over_secondary_unions_postings() {
+        let t = indexed_table(40);
+        let q = Query::new().filter("site", Op::In(vec!["s0".into(), "s2".into()]), Value::Null);
+        match q.explain(&t).unwrap() {
+            Plan::IndexProbe { columns } => assert_eq!(columns, vec!["site".to_string()]),
+            p => panic!("expected IndexProbe, got {p:?}"),
+        }
+        assert_eq!(q.execute(&t).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn index_ordered_scan_serves_order_by_limit() {
+        let t = indexed_table(50);
+        let q = Query::new().order_by("site").limit(5);
+        assert_eq!(
+            q.explain(&t).unwrap(),
+            Plan::IndexOrderedScan {
+                column: "site".into()
+            }
+        );
+        let rows = q.execute(&t).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|(_, r)| r[1] == "s0".into()));
+        // descending + tie-break by id ascending within equal keys
+        let rows = Query::new()
+            .order_by_desc("site")
+            .limit(3)
+            .execute(&t)
+            .unwrap();
+        assert!(rows.iter().all(|(_, r)| r[1] == "s3".into()));
+        let ids: Vec<i64> = rows.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![4, 8, 12]);
+        // nullable indexed column must NOT be index-order-driven
+        let plan = Query::new().order_by("v").explain(&t).unwrap();
+        assert_eq!(plan, Plan::FullScan);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let t = indexed_table(200);
+        let full = Query::new()
+            .order_by_desc("plain")
+            .order_by("v")
+            .execute(&t)
+            .unwrap();
+        for (offset, limit) in [(0, 7), (5, 10), (190, 50), (0, 0)] {
+            let paged = Query::new()
+                .order_by_desc("plain")
+                .order_by("v")
+                .offset(offset)
+                .limit(limit)
+                .execute(&t)
+                .unwrap();
+            let end = (offset + limit).min(full.len());
+            let start = offset.min(full.len());
+            assert_eq!(
+                paged,
+                full[start..end].to_vec(),
+                "offset={offset} limit={limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_matches_execute_len() {
+        let t = indexed_table(60);
+        let queries = [
+            Query::new(),
+            Query::new().eq("site", "s2"),
+            Query::new().filter("v", Op::Ge, Value::Int(30)),
+            Query::new().eq("site", "s1").offset(3).limit(4),
+            Query::new().eq("tag", "t9"),
+            Query::new().offset(100),
+        ];
+        for q in queries {
+            assert_eq!(
+                q.count(&t).unwrap(),
+                q.execute(&t).unwrap().len(),
+                "query {q:?}"
+            );
+        }
+    }
+
     #[test]
     fn aggregates() {
         let mut t = table();
@@ -596,7 +1218,10 @@ mod tests {
         assert_eq!(a.count, 2);
         assert!((a.sum - 3.5).abs() < 1e-9);
         // empty set
-        let a = Query::new().eq("kind", "nova").aggregate(&t, "mass").unwrap();
+        let a = Query::new()
+            .eq("kind", "nova")
+            .aggregate(&t, "mass")
+            .unwrap();
         assert_eq!(a.count, 0);
         assert_eq!(a.mean(), None);
         assert_eq!(a.min, None);

@@ -199,10 +199,11 @@ mod tests {
         TableSchema::new(
             "star",
             vec![
-                Column::new("name", ValueType::Text).not_null().max_length(8),
+                Column::new("name", ValueType::Text)
+                    .not_null()
+                    .max_length(8),
                 Column::new("mass", ValueType::Float),
-                Column::new("catalog_id", ValueType::Int)
-                    .references("catalog", OnDelete::Cascade),
+                Column::new("catalog_id", ValueType::Int).references("catalog", OnDelete::Cascade),
             ],
         )
     }
@@ -269,10 +270,7 @@ mod tests {
 
     #[test]
     fn bad_default_rejected() {
-        let bad = TableSchema::new(
-            "t",
-            vec![Column::new("a", ValueType::Int).default("text")],
-        );
+        let bad = TableSchema::new("t", vec![Column::new("a", ValueType::Int).default("text")]);
         assert!(bad.validate().is_err());
     }
 }

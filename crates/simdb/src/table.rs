@@ -5,6 +5,7 @@ use crate::schema::TableSchema;
 use crate::value::{Value, ValueKey};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 
 /// A stored row: cell values aligned with `TableSchema::columns` order.
 /// The primary key lives in the table's row map, not in the row itself.
@@ -24,6 +25,12 @@ pub struct Table {
     /// secondary column index -> value -> row ids
     #[serde(skip)]
     pub(crate) secondary: HashMap<usize, HashMap<ValueKey, Vec<i64>>>,
+    /// Ordered companion index (every unique, indexed, or FK column):
+    /// column index -> value -> sorted row ids. Serves range scans
+    /// (`Lt`/`Le`/`Gt`/`Ge`) and index-ordered iteration; the hash maps
+    /// above stay the fast path for point probes.
+    #[serde(skip)]
+    pub(crate) ordered: HashMap<usize, BTreeMap<ValueKey, Vec<i64>>>,
 }
 
 impl Table {
@@ -35,6 +42,7 @@ impl Table {
             next_id: 1,
             unique: HashMap::new(),
             secondary: HashMap::new(),
+            ordered: HashMap::new(),
         };
         t.init_indexes();
         Ok(t)
@@ -43,12 +51,16 @@ impl Table {
     fn init_indexes(&mut self) {
         self.unique.clear();
         self.secondary.clear();
+        self.ordered.clear();
         for (i, c) in self.schema.columns.iter().enumerate() {
             if c.unique {
                 self.unique.insert(i, HashMap::new());
             }
             if c.indexed || c.foreign_key.is_some() {
                 self.secondary.insert(i, HashMap::new());
+            }
+            if c.unique || c.indexed || c.foreign_key.is_some() {
+                self.ordered.insert(i, BTreeMap::new());
             }
         }
     }
@@ -124,6 +136,14 @@ impl Table {
             if let Some(m) = self.secondary.get_mut(&i) {
                 m.entry(ValueKey(val.clone())).or_default().push(id);
             }
+            if let Some(m) = self.ordered.get_mut(&i) {
+                let ids = m.entry(ValueKey(val.clone())).or_default();
+                // Keep each posting list sorted so index-driven results are
+                // deterministic (ascending id) without a per-query sort.
+                if let Err(pos) = ids.binary_search(&id) {
+                    ids.insert(pos, id);
+                }
+            }
         }
         Ok(())
     }
@@ -139,6 +159,16 @@ impl Table {
             if let Some(m) = self.secondary.get_mut(&i) {
                 if let Some(v) = m.get_mut(&ValueKey(val.clone())) {
                     v.retain(|&x| x != id);
+                    if v.is_empty() {
+                        m.remove(&ValueKey(val.clone()));
+                    }
+                }
+            }
+            if let Some(m) = self.ordered.get_mut(&i) {
+                if let Some(v) = m.get_mut(&ValueKey(val.clone())) {
+                    if let Ok(pos) = v.binary_search(&id) {
+                        v.remove(pos);
+                    }
                     if v.is_empty() {
                         m.remove(&ValueKey(val.clone()));
                     }
@@ -213,10 +243,49 @@ impl Table {
     }
 
     /// Fast lookup by indexed column value; `None` means no index on col.
-    pub fn find_indexed(&self, col: usize, value: &Value) -> Option<Vec<i64>> {
-        self.secondary
-            .get(&col)
-            .map(|m| m.get(&ValueKey(value.clone())).cloned().unwrap_or_default())
+    /// Returns a borrowed posting list — callers iterate or copy as needed,
+    /// so a planner probe allocates nothing.
+    pub fn find_indexed(&self, col: usize, value: &Value) -> Option<&[i64]> {
+        self.secondary.get(&col).map(|m| {
+            m.get(&ValueKey(value.clone()))
+                .map(|v| v.as_slice())
+                .unwrap_or(&[])
+        })
+    }
+
+    /// True if `col` has an ordered companion index (unique, indexed, or FK).
+    pub fn has_ordered_index(&self, col: usize) -> bool {
+        self.ordered.contains_key(&col)
+    }
+
+    /// Row ids whose `col` value falls within the bounds, ascending by
+    /// `(value, id)`. `None` means `col` has no ordered index. NULL cells
+    /// are never indexed, matching SQL comparison semantics.
+    pub fn range_indexed(
+        &self,
+        col: usize,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+    ) -> Option<Vec<i64>> {
+        fn own(b: Bound<&Value>) -> Bound<ValueKey> {
+            match b {
+                Bound::Included(v) => Bound::Included(ValueKey(v.clone())),
+                Bound::Excluded(v) => Bound::Excluded(ValueKey(v.clone())),
+                Bound::Unbounded => Bound::Unbounded,
+            }
+        }
+        let m = self.ordered.get(&col)?;
+        let mut out = Vec::new();
+        for ids in m.range((own(lower), own(upper))).map(|(_, ids)| ids) {
+            out.extend_from_slice(ids);
+        }
+        Some(out)
+    }
+
+    /// The ordered index over `col` for index-ordered scans (value-sorted
+    /// groups of ascending row ids), if one exists.
+    pub(crate) fn ordered_index(&self, col: usize) -> Option<&BTreeMap<ValueKey, Vec<i64>>> {
+        self.ordered.get(&col)
     }
 }
 
@@ -284,9 +353,9 @@ mod tests {
         let a = t.insert(vec!["a".into(), Value::Int(30)]).unwrap();
         let b = t.insert(vec!["b".into(), Value::Int(30)]).unwrap();
         let hits = t.find_indexed(1, &Value::Int(30)).unwrap();
-        assert_eq!(hits, vec![a, b]);
+        assert_eq!(hits, [a, b]);
         t.delete(a).unwrap();
-        assert_eq!(t.find_indexed(1, &Value::Int(30)).unwrap(), vec![b]);
+        assert_eq!(t.find_indexed(1, &Value::Int(30)).unwrap(), [b]);
     }
 
     #[test]
@@ -307,11 +376,63 @@ mod tests {
         t2.unique.clear();
         t2.secondary.clear();
         t2.rebuild_indexes().unwrap();
-        assert_eq!(t2.find_unique(0, &"a".into()), t.find_unique(0, &"a".into()));
+        assert_eq!(
+            t2.find_unique(0, &"a".into()),
+            t.find_unique(0, &"a".into())
+        );
         assert_eq!(
             t2.find_indexed(1, &Value::Int(1)),
             t.find_indexed(1, &Value::Int(1))
         );
+    }
+
+    #[test]
+    fn ordered_index_serves_ranges() {
+        let mut t = table();
+        let mut ids = Vec::new();
+        for age in [30, 10, 20, 30, 40] {
+            ids.push(
+                t.insert(vec![format!("u{}", ids.len()).into(), Value::Int(age)])
+                    .unwrap(),
+            );
+        }
+        // [10, 30) in (value, id) order
+        assert_eq!(
+            t.range_indexed(
+                1,
+                Bound::Included(&Value::Int(10)),
+                Bound::Excluded(&Value::Int(30))
+            )
+            .unwrap(),
+            vec![ids[1], ids[2]]
+        );
+        // duplicate key lists ascending ids
+        assert_eq!(
+            t.range_indexed(
+                1,
+                Bound::Included(&Value::Int(30)),
+                Bound::Included(&Value::Int(30))
+            )
+            .unwrap(),
+            vec![ids[0], ids[3]]
+        );
+        t.delete(ids[0]).unwrap();
+        assert_eq!(
+            t.range_indexed(1, Bound::Included(&Value::Int(30)), Bound::Unbounded)
+                .unwrap(),
+            vec![ids[3], ids[4]]
+        );
+        // no ordered index on a plain column
+        let plain = Table::new(TableSchema::new(
+            "p",
+            vec![Column::new("v", ValueType::Int)],
+        ))
+        .unwrap();
+        assert!(plain
+            .range_indexed(0, Bound::Unbounded, Bound::Unbounded)
+            .is_none());
+        assert!(!plain.has_ordered_index(0));
+        assert!(t.has_ordered_index(1));
     }
 
     #[test]

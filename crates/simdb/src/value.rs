@@ -209,9 +209,23 @@ impl<T: Into<Value>> From<Option<T>> for Value {
 
 /// Hash key wrapper so `Value` can key unique/secondary indexes.
 ///
-/// Floats are hashed by bit pattern, consistent with `key_eq`.
+/// Floats are hashed by bit pattern, consistent with `key_eq`. The `Ord`
+/// impl delegates to [`Value::total_cmp`], so the same wrapper also keys
+/// the ordered (`BTreeMap`) companion indexes used for range scans.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValueKey(pub Value);
+
+impl PartialOrd for ValueKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ValueKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
 
 impl std::hash::Hash for ValueKey {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
@@ -256,10 +270,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_null_first() {
-        let mut vals = [Value::Int(5),
-            Value::Null,
-            Value::Int(-1),
-            Value::Int(3)];
+        let mut vals = [Value::Int(5), Value::Null, Value::Int(-1), Value::Int(3)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(-1));

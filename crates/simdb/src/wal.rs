@@ -7,10 +7,132 @@
 
 use crate::db::{Database, LogOp};
 use crate::error::DbError;
+use crate::value::Value;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+/// Byte-exact fast encoder for the hot `LogOp` variants. The generic
+/// serde path builds an intermediate content tree per record, which
+/// dominates append cost; this writes the identical JSON straight into
+/// the output buffer. `CreateTable` (cold: DDL only) falls back to serde.
+/// `encoder_matches_serde` pins byte equality against `serde_json`.
+fn encode_op(buf: &mut Vec<u8>, op: &LogOp) -> Result<(), DbError> {
+    fn encode_str(buf: &mut Vec<u8>, s: &str) {
+        buf.push(b'"');
+        let bytes = s.as_bytes();
+        let mut run = 0; // start of the current passthrough run
+        for (i, &b) in bytes.iter().enumerate() {
+            if b >= 0x20 && b != b'"' && b != b'\\' {
+                continue; // plain byte (incl. UTF-8 continuation): copied in bulk
+            }
+            buf.extend_from_slice(&bytes[run..i]);
+            run = i + 1;
+            match b {
+                b'"' => buf.extend_from_slice(b"\\\""),
+                b'\\' => buf.extend_from_slice(b"\\\\"),
+                b'\n' => buf.extend_from_slice(b"\\n"),
+                b'\t' => buf.extend_from_slice(b"\\t"),
+                b'\r' => buf.extend_from_slice(b"\\r"),
+                0x8 => buf.extend_from_slice(b"\\b"),
+                0xc => buf.extend_from_slice(b"\\f"),
+                c => buf.extend_from_slice(format!("\\u{:04x}", c as u32).as_bytes()),
+            }
+        }
+        buf.extend_from_slice(&bytes[run..]);
+        buf.push(b'"');
+    }
+    fn encode_i64(buf: &mut Vec<u8>, v: i64) {
+        let mut digits = [0u8; 20];
+        let mut i = digits.len();
+        let neg = v < 0;
+        let mut v = (v as i128).unsigned_abs();
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        if neg {
+            buf.push(b'-');
+        }
+        buf.extend_from_slice(&digits[i..]);
+    }
+    fn encode_f64(buf: &mut Vec<u8>, v: f64) {
+        if !v.is_finite() {
+            buf.extend_from_slice(b"null");
+            return;
+        }
+        let s = format!("{v}");
+        buf.extend_from_slice(s.as_bytes());
+        if !s.contains('.') && !s.contains('e') {
+            buf.extend_from_slice(b".0");
+        }
+    }
+    fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+        match v {
+            Value::Null => buf.extend_from_slice(b"\"Null\""),
+            Value::Bool(true) => buf.extend_from_slice(b"{\"Bool\":true}"),
+            Value::Bool(false) => buf.extend_from_slice(b"{\"Bool\":false}"),
+            Value::Int(i) => {
+                buf.extend_from_slice(b"{\"Int\":");
+                encode_i64(buf, *i);
+                buf.push(b'}');
+            }
+            Value::Float(f) => {
+                buf.extend_from_slice(b"{\"Float\":");
+                encode_f64(buf, *f);
+                buf.push(b'}');
+            }
+            Value::Timestamp(t) => {
+                buf.extend_from_slice(b"{\"Timestamp\":");
+                encode_i64(buf, *t);
+                buf.push(b'}');
+            }
+            Value::Text(s) => {
+                buf.extend_from_slice(b"{\"Text\":");
+                encode_str(buf, s);
+                buf.push(b'}');
+            }
+        }
+    }
+    fn encode_header(buf: &mut Vec<u8>, variant: &str, table: &str, id: i64) {
+        buf.push(b'{');
+        encode_str(buf, variant);
+        buf.extend_from_slice(b":{\"table\":");
+        encode_str(buf, table);
+        buf.extend_from_slice(b",\"id\":");
+        encode_i64(buf, id);
+    }
+    fn encode_row_op(buf: &mut Vec<u8>, variant: &str, table: &str, id: i64, row: &[Value]) {
+        encode_header(buf, variant, table, id);
+        buf.extend_from_slice(b",\"row\":[");
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                buf.push(b',');
+            }
+            encode_value(buf, v);
+        }
+        buf.extend_from_slice(b"]}}");
+    }
+    match op {
+        LogOp::Insert { table, id, row } => encode_row_op(buf, "Insert", table, *id, row),
+        LogOp::Update { table, id, row } => encode_row_op(buf, "Update", table, *id, row),
+        LogOp::Delete { table, id } => {
+            encode_header(buf, "Delete", table, *id);
+            buf.extend_from_slice(b"}}");
+        }
+        LogOp::CreateTable { .. } => {
+            let body =
+                serde_json::to_string(op).map_err(|e| DbError::Io(format!("wal encode: {e}")))?;
+            buf.extend_from_slice(body.as_bytes());
+        }
+    }
+    Ok(())
+}
 
 /// One WAL record: a monotonically increasing sequence number plus the op.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -19,37 +141,78 @@ pub struct WalRecord {
     pub op: LogOp,
 }
 
-/// An append-only write-ahead log backed by a file.
+/// An append-only write-ahead log backed by a file, with group commit.
+///
+/// A commit has three phases: (1) serialize the ops to JSON — the expensive
+/// part — entirely outside any lock; (2) take the cheap `queue` lock just
+/// long enough to claim sequence numbers and splice the pre-encoded lines
+/// into the shared in-memory buffer; (3) make the batch durable under the
+/// `file` lock. Phase 3 is the group commit: the first committer through
+/// the file lock drains *everything* buffered so far — including lines from
+/// committers that arrived while the previous flush was in flight — with a
+/// single write + flush, and later committers find their records already
+/// durable and return without touching the file.
 #[derive(Debug)]
 pub struct Wal {
     path: PathBuf,
-    inner: Mutex<WalInner>,
+    queue: Mutex<WalQueue>,
+    file: Mutex<WalFile>,
 }
 
 #[derive(Debug)]
-struct WalInner {
-    writer: BufWriter<File>,
+struct WalQueue {
     next_seq: u64,
+    /// Encoded-but-unflushed records, in sequence order.
+    buf: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct WalFile {
+    writer: BufWriter<File>,
+    /// Highest sequence number known durable in the file.
+    flushed_seq: Option<u64>,
+    /// A failed flush may have lost buffered records; the log is unusable.
+    failed: Option<String>,
 }
 
 impl Wal {
     /// Open (or create) a WAL file, continuing after any existing records.
+    /// Streams the file to find the tail record — only the last line is
+    /// actually parsed, so reopening a long log costs one pass of IO, not
+    /// a full JSON decode of every record.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, DbError> {
         let path = path.as_ref().to_path_buf();
         let next_seq = if path.exists() {
-            Self::read_records(&path)?
-                .last()
-                .map(|r| r.seq + 1)
-                .unwrap_or(0)
+            let f = File::open(&path)?;
+            let mut last_line: Option<(usize, String)> = None;
+            for (lineno, line) in BufReader::new(f).lines().enumerate() {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    last_line = Some((lineno, line));
+                }
+            }
+            match last_line {
+                Some((lineno, line)) => {
+                    let rec: WalRecord = serde_json::from_str(&line)
+                        .map_err(|e| DbError::Corrupt(format!("wal line {}: {e}", lineno + 1)))?;
+                    rec.seq + 1
+                }
+                None => 0,
+            }
         } else {
             0
         };
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Wal {
             path,
-            inner: Mutex::new(WalInner {
-                writer: BufWriter::new(file),
+            queue: Mutex::new(WalQueue {
                 next_seq,
+                buf: Vec::new(),
+            }),
+            file: Mutex::new(WalFile {
+                writer: BufWriter::new(file),
+                flushed_seq: next_seq.checked_sub(1),
+                failed: None,
             }),
         })
     }
@@ -58,32 +221,99 @@ impl Wal {
         &self.path
     }
 
-    /// Append ops and flush. Returns the sequence number of the last record.
+    /// Highest sequence number assigned so far, or `None` if no record was
+    /// ever appended. Tracked in memory so snapshot/checkpoint never has to
+    /// re-read the log to learn where it ends.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.queue
+            .lock()
+            .expect("wal queue lock")
+            .next_seq
+            .checked_sub(1)
+    }
+
+    /// Append ops and make them durable (group commit). Returns the
+    /// sequence number of the last record.
     pub fn append(&self, ops: &[LogOp]) -> Result<u64, DbError> {
-        let mut inner = self.inner.lock().expect("wal lock");
-        let mut last = inner.next_seq;
+        // Phase 1: serialize outside any lock (fast path, no serde tree).
+        let mut encoded = Vec::with_capacity(ops.len());
         for op in ops {
-            let rec = WalRecord {
-                seq: inner.next_seq,
-                op: op.clone(),
-            };
-            let line = serde_json::to_string(&rec)
-                .map_err(|e| DbError::Io(format!("wal encode: {e}")))?;
-            inner.writer.write_all(line.as_bytes())?;
-            inner.writer.write_all(b"\n")?;
-            last = inner.next_seq;
-            inner.next_seq += 1;
+            let mut body = Vec::with_capacity(160);
+            encode_op(&mut body, op)?;
+            encoded.push(body);
         }
-        inner.writer.flush()?;
+
+        // Phase 2: claim sequence numbers and buffer the finished lines.
+        let last = {
+            let mut q = self.queue.lock().expect("wal queue lock");
+            if encoded.is_empty() {
+                return Ok(q.next_seq);
+            }
+            for body in &encoded {
+                // `WalRecord` serializes as {"seq":N,"op":{...}} in field
+                // order; emit the identical bytes by splicing the
+                // pre-encoded op body around the freshly claimed seq.
+                let seq = q.next_seq;
+                q.buf.extend_from_slice(b"{\"seq\":");
+                q.buf.extend_from_slice(seq.to_string().as_bytes());
+                q.buf.extend_from_slice(b",\"op\":");
+                q.buf.extend_from_slice(body);
+                q.buf.extend_from_slice(b"}\n");
+                q.next_seq += 1;
+            }
+            q.next_seq - 1
+        };
+
+        // Phase 3: group-committed durability.
+        self.sync_to(last)?;
         Ok(last)
+    }
+
+    /// Ensure every record with `seq <= target` is durable. The committer
+    /// that wins the file lock flushes the whole shared buffer on behalf of
+    /// everyone queued behind it.
+    fn sync_to(&self, target: u64) -> Result<(), DbError> {
+        let mut file = self.file.lock().expect("wal file lock");
+        if let Some(e) = &file.failed {
+            return Err(DbError::Io(format!("wal unusable after failed flush: {e}")));
+        }
+        if file.flushed_seq.is_some_and(|s| s >= target) {
+            return Ok(()); // a concurrent leader already flushed our batch
+        }
+        let (chunk, upto) = {
+            let mut q = self.queue.lock().expect("wal queue lock");
+            (std::mem::take(&mut q.buf), q.next_seq - 1)
+        };
+        let res = file
+            .writer
+            .write_all(&chunk)
+            .and_then(|_| file.writer.flush());
+        match res {
+            Ok(()) => {
+                file.flushed_seq = Some(upto);
+                Ok(())
+            }
+            Err(e) => {
+                file.failed = Some(e.to_string());
+                Err(e.into())
+            }
+        }
     }
 
     /// Truncate the log file (after a covering snapshot). The sequence
     /// counter keeps increasing, so records appended later still sort
-    /// strictly after the snapshot's covered sequence number.
+    /// strictly after the snapshot's covered sequence number. Any
+    /// buffered-but-unflushed lines are discarded — the covering snapshot
+    /// already contains their effects.
     pub fn truncate(&self) -> Result<(), DbError> {
-        let mut inner = self.inner.lock().expect("wal lock");
-        inner.writer = BufWriter::new(File::create(&self.path)?);
+        let mut file = self.file.lock().expect("wal file lock");
+        {
+            let mut q = self.queue.lock().expect("wal queue lock");
+            q.buf.clear();
+            file.flushed_seq = q.next_seq.checked_sub(1);
+        }
+        file.writer = BufWriter::new(File::create(&self.path)?);
+        file.failed = None;
         Ok(())
     }
 
@@ -96,9 +326,8 @@ impl Wal {
             if line.trim().is_empty() {
                 continue;
             }
-            let rec: WalRecord = serde_json::from_str(&line).map_err(|e| {
-                DbError::Corrupt(format!("wal line {}: {e}", lineno + 1))
-            })?;
+            let rec: WalRecord = serde_json::from_str(&line)
+                .map_err(|e| DbError::Corrupt(format!("wal line {}: {e}", lineno + 1)))?;
             out.push(rec);
         }
         // Sequence numbers must be strictly increasing.
@@ -154,8 +383,8 @@ impl Snapshot {
             covered_seq,
             database: db.clone(),
         };
-        let data = serde_json::to_vec(&file)
-            .map_err(|e| DbError::Io(format!("snapshot encode: {e}")))?;
+        let data =
+            serde_json::to_vec(&file).map_err(|e| DbError::Io(format!("snapshot encode: {e}")))?;
         // Write-then-rename for atomicity.
         let tmp = path.as_ref().with_extension("tmp");
         std::fs::write(&tmp, data)?;
@@ -176,10 +405,7 @@ impl Snapshot {
 }
 
 /// Recover a database from `snapshot` (if present) + `wal` (if present).
-pub fn recover(
-    snapshot: Option<&Path>,
-    wal: Option<&Path>,
-) -> Result<Database, DbError> {
+pub fn recover(snapshot: Option<&Path>, wal: Option<&Path>) -> Result<Database, DbError> {
     let (mut db, covered) = match snapshot {
         Some(p) if p.exists() => Snapshot::load(p)?,
         _ => (Database::new(), None),
@@ -220,6 +446,60 @@ mod tests {
             ops.push(op);
         }
         ops
+    }
+
+    #[test]
+    fn encoder_matches_serde() {
+        let ops = vec![
+            LogOp::Insert {
+                table: "obs".into(),
+                id: i64::MAX,
+                row: vec![
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::Bool(false),
+                    Value::Int(0),
+                    Value::Int(i64::MIN),
+                    Value::Float(1.5),
+                    Value::Float(-0.0),
+                    Value::Float(3.0),
+                    Value::Float(0.1),
+                    Value::Float(1e300),
+                    Value::Float(f64::NAN),
+                    Value::Float(f64::INFINITY),
+                    Value::Timestamp(-123456789),
+                    Value::Text(String::new()),
+                    Value::Text("plain".into()),
+                    Value::Text("quo\"te back\\slash\nnew\tline\r\u{8}\u{c}\u{1}".into()),
+                    Value::Text("unicode: ∑ßé日本語🌀".into()),
+                ],
+            },
+            LogOp::Update {
+                table: "a\"b".into(),
+                id: -7,
+                row: vec![],
+            },
+            LogOp::Delete {
+                table: "t".into(),
+                id: 42,
+            },
+            LogOp::CreateTable {
+                schema: TableSchema::new(
+                    "x",
+                    vec![Column::new("a", ValueType::Int).not_null().indexed()],
+                ),
+            },
+        ];
+        for op in &ops {
+            let mut fast = Vec::new();
+            encode_op(&mut fast, op).unwrap();
+            let via_serde = serde_json::to_string(op).unwrap();
+            assert_eq!(
+                String::from_utf8(fast).unwrap(),
+                via_serde,
+                "encoder diverged for {op:?}"
+            );
+        }
     }
 
     #[test]
@@ -304,7 +584,11 @@ mod tests {
             table: "t".into(),
             id: 1,
         };
-        let a = serde_json::to_string(&WalRecord { seq: 5, op: op.clone() }).unwrap();
+        let a = serde_json::to_string(&WalRecord {
+            seq: 5,
+            op: op.clone(),
+        })
+        .unwrap();
         let b = serde_json::to_string(&WalRecord { seq: 5, op }).unwrap();
         std::fs::write(&wal_path, format!("{a}\n{b}\n")).unwrap();
         assert!(matches!(

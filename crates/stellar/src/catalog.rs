@@ -112,15 +112,9 @@ pub fn synthetic_sky(n: usize, seed: u64) -> Vec<CatalogStar> {
         let in_kepler = rng.random_range(0.0..1.0) < 0.4;
         // Kepler's field sits around RA 291, Dec +44.5.
         let (ra, dec) = if in_kepler {
-            (
-                rng.random_range(280.0..302.0),
-                rng.random_range(36.5..52.5),
-            )
+            (rng.random_range(280.0..302.0), rng.random_range(36.5..52.5))
         } else {
-            (
-                rng.random_range(0.0..360.0),
-                rng.random_range(-90.0..90.0),
-            )
+            (rng.random_range(0.0..360.0), rng.random_range(-90.0..90.0))
         };
         out.push(CatalogStar {
             name: None,

@@ -116,9 +116,15 @@ mod tests {
     #[test]
     fn iteration_time_is_population_max() {
         let b = StellarParams::sun();
-        let pop = [StellarParams { age: 1.0, ..b },
+        let pop = [
+            StellarParams { age: 1.0, ..b },
             b,
-            StellarParams { age: 8.9, mass: 1.3, ..b }];
+            StellarParams {
+                age: 8.9,
+                mass: 1.3,
+                ..b
+            },
+        ];
         let it = iteration_minutes(pop.iter(), 10.0);
         let slowest = cost_minutes(&pop[2], 10.0);
         assert!((it - slowest).abs() < 1e-12);

@@ -67,9 +67,8 @@ fn radius(p: &StellarParams) -> f64 {
 fn luminosity(p: &StellarParams) -> f64 {
     let t_ms = 10.0 * p.mass.powf(-2.8);
     let x = (p.age / t_ms).min(1.6);
-    let zams = p.mass.powf(4.3)
-        * (p.metallicity / 0.018).powf(-0.12)
-        * (1.0 + 1.8 * (p.helium - 0.27));
+    let zams =
+        p.mass.powf(4.3) * (p.metallicity / 0.018).powf(-0.12) * (1.0 + 1.8 * (p.helium - 0.27));
     zams * (1.0 + 0.9 * x.powf(1.4))
 }
 

@@ -45,9 +45,7 @@ pub struct ObservedStar {
 impl ObservedStar {
     /// Number of fitted data points (for reduced χ²).
     pub fn n_data(&self) -> usize {
-        self.modes.len()
-            + self.teff.is_some() as usize
-            + self.luminosity.is_some() as usize
+        self.modes.len() + self.teff.is_some() as usize + self.luminosity.is_some() as usize
     }
 }
 

@@ -45,7 +45,9 @@ fn scale(v: f64, lo: f64, hi: f64, n: usize) -> usize {
     if hi <= lo {
         return 0;
     }
-    (((v - lo) / (hi - lo)) * (n as f64 - 1.0)).round().clamp(0.0, n as f64 - 1.0) as usize
+    (((v - lo) / (hi - lo)) * (n as f64 - 1.0))
+        .round()
+        .clamp(0.0, n as f64 - 1.0) as usize
 }
 
 /// Render an HR diagram of an evolution track. Astronomy convention:
@@ -106,7 +108,10 @@ pub fn render_echelle_ascii(
     if points.is_empty() || delta_nu <= 0.0 {
         return "(no modes)\n".to_string();
     }
-    let f_lo = points.iter().map(|p| p.frequency).fold(f64::INFINITY, f64::min);
+    let f_lo = points
+        .iter()
+        .map(|p| p.frequency)
+        .fold(f64::INFINITY, f64::min);
     let f_hi = points.iter().map(|p| p.frequency).fold(0.0, f64::max);
     let mut c = Canvas::new(width, height);
     for p in points {

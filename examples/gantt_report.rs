@@ -52,7 +52,10 @@ fn main() {
         );
         ids.push(sims.create(&mut sim).unwrap());
     }
-    println!("submitted {} optimization runs on busy lonestar...", ids.len());
+    println!(
+        "submitted {} optimization runs on busy lonestar...",
+        ids.len()
+    );
     dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 60.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
@@ -67,7 +70,10 @@ fn main() {
     println!("  jobs:        {}", stats.jobs);
     println!("  mean wait:   {:.1} min", stats.mean_wait_secs / 60.0);
     println!("  median wait: {:.1} min", stats.median_wait_secs / 60.0);
-    println!("  max wait:    {:.1} min", stats.max_wait_secs as f64 / 60.0);
+    println!(
+        "  max wait:    {:.1} min",
+        stats.max_wait_secs as f64 / 60.0
+    );
     println!("  mean run:    {:.1} min", stats.mean_run_secs / 60.0);
     println!("  wait/run:    {:.2}", stats.wait_to_run_ratio);
     println!(

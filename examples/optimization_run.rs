@@ -84,7 +84,10 @@ fn main() {
     let b = &result.best.best_params;
     println!("\nbest-of-ensemble vs truth:");
     println!("  mass  {:.3}  (truth {:.3})", b.mass, truth.mass);
-    println!("  Z     {:.4} (truth {:.4})", b.metallicity, truth.metallicity);
+    println!(
+        "  Z     {:.4} (truth {:.4})",
+        b.metallicity, truth.metallicity
+    );
     println!("  Y     {:.3}  (truth {:.3})", b.helium, truth.helium);
     println!("  alpha {:.3}  (truth {:.3})", b.alpha, truth.alpha);
     println!("  age   {:.2}   (truth {:.2})", b.age, truth.age);
@@ -107,8 +110,6 @@ fn main() {
     }
     println!(
         "  + 1 solution evaluation, {} fork stages",
-        jobs.iter()
-            .filter(|j| j.cores == 0)
-            .count()
+        jobs.iter().filter(|j| j.cores == 0).count()
     );
 }

@@ -28,8 +28,7 @@ fn run(workers: usize) -> (usize, BTreeMap<i64, String>) {
     .expect("deployment");
 
     let (user, star, frost_alloc, _obs) =
-        amp::gridamp::seed_fixtures(&dep.db, "frost", &StellarParams::sun(), 1)
-            .expect("fixtures");
+        amp::gridamp::seed_fixtures(&dep.db, "frost", &StellarParams::sun(), 1).expect("fixtures");
 
     // seed_fixtures grants frost; the other systems get their own award
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).expect("admin");
@@ -42,7 +41,10 @@ fn run(workers: usize) -> (usize, BTreeMap<i64, String>) {
         alloc_by_system.insert(system, alloc.id.unwrap());
     }
 
-    let web = dep.db.connect(amp::core::roles::ROLE_WEB).expect("web role");
+    let web = dep
+        .db
+        .connect(amp::core::roles::ROLE_WEB)
+        .expect("web role");
     let sims = Manager::<Simulation>::new(web);
     for i in 0..16 {
         let system = SYSTEMS[i % SYSTEMS.len()];
@@ -50,7 +52,8 @@ fn run(workers: usize) -> (usize, BTreeMap<i64, String>) {
             mass: 0.9 + 0.0125 * i as f64,
             ..StellarParams::sun()
         };
-        let mut sim = Simulation::new_direct(star, user, params, system, alloc_by_system[system], 0);
+        let mut sim =
+            Simulation::new_direct(star, user, params, system, alloc_by_system[system], 0);
         sims.create(&mut sim).expect("submit");
     }
 
@@ -73,5 +76,8 @@ fn main() {
     assert_eq!(seq, par, "parallel run diverged from sequential");
     assert_eq!(seq_ticks, par_ticks, "tick counts diverged");
     let done = par.values().filter(|s| *s == "DONE").count();
-    println!("identical outcomes, {done}/16 simulations DONE on {} sites", SYSTEMS.len());
+    println!(
+        "identical outcomes, {done}/16 simulations DONE on {} sites",
+        SYSTEMS.len()
+    );
 }

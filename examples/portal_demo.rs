@@ -40,7 +40,9 @@ fn main() {
     // allocation + admin account via the admin role
     let adminc = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let mut alloc = Allocation::new("kraken", "TG-AST090030", 1_000_000.0);
-    Manager::<Allocation>::new(adminc.clone()).create(&mut alloc).unwrap();
+    Manager::<Allocation>::new(adminc.clone())
+        .create(&mut alloc)
+        .unwrap();
     let mut boss = AmpUser::new(
         "boss",
         "boss@ucar.edu",
@@ -49,7 +51,9 @@ fn main() {
     );
     boss.approved = true;
     boss.is_admin = true;
-    Manager::<AmpUser>::new(adminc.clone()).create(&mut boss).unwrap();
+    Manager::<AmpUser>::new(adminc.clone())
+        .create(&mut boss)
+        .unwrap();
 
     // --- the astronomer registers over HTTP ---
     let form = http_get(&server, "/accounts/register", "");
@@ -92,7 +96,12 @@ fn main() {
         .unwrap()
         .id
         .unwrap();
-    http_post(&server, &format!("/admin/users/{astro_id}/approve"), "", &boss_cookie);
+    http_post(
+        &server,
+        &format!("/admin/users/{astro_id}/approve"),
+        "",
+        &boss_cookie,
+    );
     http_post(
         &server,
         "/admin/authorize",
@@ -115,10 +124,14 @@ fn main() {
         alpha: 1.8,
         age: 5.8,
     };
-    let observed = amp::stellar::synthesize("HD 10700", &truth, &Domain::default(), 0.12, 4).unwrap();
+    let observed =
+        amp::stellar::synthesize("HD 10700", &truth, &Domain::default(), 0.12, 4).unwrap();
     let mut modes_field = String::new();
     for m in &observed.modes {
-        modes_field.push_str(&format!("{} {} {:.4} {:.4}\n", m.l, m.n, m.frequency, m.sigma));
+        modes_field.push_str(&format!(
+            "{} {} {:.4} {:.4}\n",
+            m.l, m.n, m.frequency, m.sigma
+        ));
     }
     let body = format!(
         "modes={}&teff={:.0}&teff_sigma=70&lum=&lum_sigma=",

@@ -9,27 +9,23 @@ use amp::prelude::*;
 
 fn main() {
     // 1. Deploy (Figure 2: database + remote system + daemon).
-    let mut dep = amp::gridamp::deploy(
-        amp::grid::systems::kraken(),
-        DaemonConfig::default(),
-        None,
-    )
-    .expect("deployment");
+    let mut dep = amp::gridamp::deploy(amp::grid::systems::kraken(), DaemonConfig::default(), None)
+        .expect("deployment");
     println!("deployed AMP against simulated kraken");
 
     // 2. Seed an approved astronomer, a catalog star and an allocation.
-    let (user, star, alloc, _obs) = amp::gridamp::seed_fixtures(
-        &dep.db,
-        "kraken",
-        &StellarParams::sun(),
-        1,
-    )
-    .expect("fixtures");
+    let (user, star, alloc, _obs) =
+        amp::gridamp::seed_fixtures(&dep.db, "kraken", &StellarParams::sun(), 1).expect("fixtures");
 
     // 3. The portal's role submits the simulation request — nothing more.
-    let web = dep.db.connect(amp::core::roles::ROLE_WEB).expect("web role");
+    let web = dep
+        .db
+        .connect(amp::core::roles::ROLE_WEB)
+        .expect("web role");
     let mut sim = Simulation::new_direct(star, user, StellarParams::sun(), "kraken", alloc, 0);
-    let sim_id = Manager::<Simulation>::new(web).create(&mut sim).expect("submit");
+    let sim_id = Manager::<Simulation>::new(web)
+        .create(&mut sim)
+        .expect("submit");
     println!("submitted direct model run #{sim_id} (status QUEUED)");
 
     // 4. The daemon notices it, stages input, runs pre-job -> model ->

@@ -6,12 +6,7 @@ use amp::portal::{Portal, PortalConfig, Request};
 use amp::prelude::*;
 
 fn deployment() -> amp::gridamp::Deployment {
-    amp::gridamp::deploy(
-        amp::grid::systems::kraken(),
-        DaemonConfig::default(),
-        None,
-    )
-    .unwrap()
+    amp::gridamp::deploy(amp::grid::systems::kraken(), DaemonConfig::default(), None).unwrap()
 }
 
 #[test]
@@ -161,11 +156,8 @@ fn audit_trail_disambiguates_community_users() {
     // both users appear, under the same community subject
     assert!(audit.by_user("astro1").count() >= 3);
     assert!(audit.by_user("astro2").count() >= 3);
-    let subjects: std::collections::BTreeSet<&str> = audit
-        .records()
-        .iter()
-        .map(|r| r.subject.as_str())
-        .collect();
+    let subjects: std::collections::BTreeSet<&str> =
+        audit.records().iter().map(|r| r.subject.as_str()).collect();
     assert_eq!(subjects.len(), 1, "one community credential for all users");
 }
 
@@ -173,7 +165,13 @@ fn audit_trail_disambiguates_community_users() {
 fn portal_pages_never_mention_grid_jargon() {
     let dep = deployment();
     let portal = Portal::new(&dep.db, PortalConfig::default()).unwrap();
-    for path in ["/", "/stars", "/simulations", "/accounts/login", "/accounts/register"] {
+    for path in [
+        "/",
+        "/stars",
+        "/simulations",
+        "/accounts/login",
+        "/accounts/register",
+    ] {
         let body = portal.handle(&Request::get(path)).body_str().to_lowercase();
         for word in ["certificate", "globus", "gridftp", "proxy", "gram"] {
             assert!(!body.contains(word), "{path} mentions {word}");

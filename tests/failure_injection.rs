@@ -56,7 +56,9 @@ fn random_outage_storm_is_survived_silently() {
     dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
-    let done = Manager::<Simulation>::new(admin.clone()).get(sim_id).unwrap();
+    let done = Manager::<Simulation>::new(admin.clone())
+        .get(sim_id)
+        .unwrap();
     assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
 
     // the user never heard about the outages; only completion mail
@@ -105,7 +107,9 @@ fn corrupt_restart_file_is_a_model_failure_then_recovers() {
     dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
-    let held = Manager::<Simulation>::new(admin.clone()).get(sim_id).unwrap();
+    let held = Manager::<Simulation>::new(admin.clone())
+        .get(sim_id)
+        .unwrap();
     assert_eq!(held.status, SimStatus::Hold, "{}", held.status_message);
 
     // administrator repairs: wipe the run directory + failed job records,
@@ -118,7 +122,11 @@ fn corrupt_restart_file_is_a_model_failure_then_recovers() {
     // restage observations for the fresh chain
     let jobs = Manager::<GridJobRecord>::new(admin.clone());
     for j in jobs
-        .filter(&Query::new().eq("simulation_id", sim_id).eq("purpose", "WORK"))
+        .filter(
+            &Query::new()
+                .eq("simulation_id", sim_id)
+                .eq("purpose", "WORK"),
+        )
         .unwrap()
     {
         jobs.delete(j.id.unwrap()).unwrap();
@@ -151,11 +159,17 @@ fn walltime_kill_recovers_via_restart_file() {
 
     dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
-    let done = Manager::<Simulation>::new(admin.clone()).get(sim_id).unwrap();
+    let done = Manager::<Simulation>::new(admin.clone())
+        .get(sim_id)
+        .unwrap();
     assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
     // many short continuations were needed
     let work = Manager::<GridJobRecord>::new(admin)
-        .filter(&Query::new().eq("simulation_id", sim_id).eq("purpose", "WORK"))
+        .filter(
+            &Query::new()
+                .eq("simulation_id", sim_id)
+                .eq("purpose", "WORK"),
+        )
         .unwrap();
     assert!(work.len() >= 4, "{} jobs", work.len());
 }
@@ -229,21 +243,30 @@ fn queue_contention_with_background_load_still_completes() {
         cores_per_run: 128,
         seed: 6,
     };
-    let mut sim = Simulation::new_optimization(star, user, spec, obs, "lonestar", alloc,
-        dep.grid.now().as_secs() as i64);
+    let mut sim = Simulation::new_optimization(
+        star,
+        user,
+        spec,
+        obs,
+        "lonestar",
+        alloc,
+        dep.grid.now().as_secs() as i64,
+    );
     let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
     dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 60.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
-    let done = Manager::<Simulation>::new(admin.clone()).get(sim_id).unwrap();
+    let done = Manager::<Simulation>::new(admin.clone())
+        .get(sim_id)
+        .unwrap();
     assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
     // at least one job actually waited in the queue
     let waited = Manager::<GridJobRecord>::new(admin)
-        .filter(&Query::new().eq("simulation_id", sim_id).filter(
-            "purpose",
-            Op::Eq,
-            "WORK",
-        ))
+        .filter(
+            &Query::new()
+                .eq("simulation_id", sim_id)
+                .filter("purpose", Op::Eq, "WORK"),
+        )
         .unwrap()
         .iter()
         .filter_map(|j| j.wait_secs())

@@ -21,9 +21,9 @@ fn arb_mode() -> impl Strategy<Value = ObservedMode> {
 }
 
 fn arb_constraint() -> impl Strategy<Value = Option<Constraint>> {
-    proptest::option::of((1000.0f64..10000.0, 0.1f64..500.0).prop_map(|(value, sigma)| {
-        Constraint { value, sigma }
-    }))
+    proptest::option::of(
+        (1000.0f64..10000.0, 0.1f64..500.0).prop_map(|(value, sigma)| Constraint { value, sigma }),
+    )
 }
 
 fn arb_observed() -> impl Strategy<Value = ObservedStar> {

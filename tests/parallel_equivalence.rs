@@ -21,7 +21,18 @@ fn truth() -> StellarParams {
 /// A job record minus row id and GRAM handle: simulation_id, ga_run,
 /// purpose, continuation, site, status, cores, submitted_at, started_at,
 /// ended_at.
-type JobKey = (i64, i64, String, i64, String, String, i64, Option<i64>, Option<i64>, Option<i64>);
+type JobKey = (
+    i64,
+    i64,
+    String,
+    i64,
+    String,
+    String,
+    i64,
+    Option<i64>,
+    Option<i64>,
+    Option<i64>,
+);
 
 /// A notification minus row id: user_id, simulation_id, audience,
 /// subject, body, created_at.
@@ -179,7 +190,11 @@ fn eight_workers_reproduce_the_sequential_run_exactly() {
 
     // sanity: the scenario exercised real work on both engines
     assert!(sequential.statuses.len() == 6);
-    assert!(sequential.statuses.values().all(|s| s == "DONE"), "{:?}", sequential.statuses);
+    assert!(
+        sequential.statuses.values().all(|s| s == "DONE"),
+        "{:?}",
+        sequential.statuses
+    );
     assert!(!sequential.jobs.is_empty());
     assert!(!sequential.notifications.is_empty());
 

@@ -82,14 +82,8 @@ fn run_stress(workers: usize) -> StressOutcome {
             mass: 0.8 + 0.005 * i as f64,
             ..StellarParams::sun()
         };
-        let mut sim = Simulation::new_direct(
-            star,
-            user,
-            params,
-            system,
-            alloc_by_system[system],
-            0,
-        );
+        let mut sim =
+            Simulation::new_direct(star, user, params, system, alloc_by_system[system], 0);
         sims.create(&mut sim).unwrap();
     }
 
@@ -118,7 +112,10 @@ fn run_stress(workers: usize) -> StressOutcome {
             break;
         }
         // the no-deadlock bound: quiescence or bust
-        assert!(ticks < 3_000, "stress run did not settle (workers={workers})");
+        assert!(
+            ticks < 3_000,
+            "stress run did not settle (workers={workers})"
+        );
         dep.grid.advance(SimDuration::from_secs(300));
     }
 
@@ -193,7 +190,12 @@ fn sixty_four_sims_four_sites_with_faults_settle_correctly_in_parallel() {
     // unique across every job record the daemon wrote
     let mut seen = HashSet::new();
     for j in &out.jobs {
-        let key = (j.simulation_id, format!("{:?}", j.purpose), j.ga_run, j.continuation);
+        let key = (
+            j.simulation_id,
+            format!("{:?}", j.purpose),
+            j.ga_run,
+            j.continuation,
+        );
         assert!(seen.insert(key.clone()), "duplicate submission {key:?}");
     }
 }
@@ -252,5 +254,9 @@ fn transient_backoff_schedules_retries_exponentially() {
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let held = Manager::<Simulation>::new(admin).get(sim_id).unwrap();
     assert_eq!(held.status, SimStatus::Hold);
-    assert!(held.status_message.contains("transient storm"), "{}", held.status_message);
+    assert!(
+        held.status_message.contains("transient storm"),
+        "{}",
+        held.status_message
+    );
 }

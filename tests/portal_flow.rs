@@ -73,14 +73,26 @@ fn full_user_journey() {
     // fixtures the portal itself can't create: allocation + admin account
     let admin = r.dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let mut alloc = Allocation::new("kraken", "TG-AST090030", 500_000.0);
-    Manager::<Allocation>::new(admin.clone()).create(&mut alloc).unwrap();
-    let mut boss = AmpUser::new("boss", "b@x.edu", &amp::portal::hash_password("sup3rs3cret", "s"), 0);
+    Manager::<Allocation>::new(admin.clone())
+        .create(&mut alloc)
+        .unwrap();
+    let mut boss = AmpUser::new(
+        "boss",
+        "b@x.edu",
+        &amp::portal::hash_password("sup3rs3cret", "s"),
+        0,
+    );
     boss.approved = true;
     boss.is_admin = true;
-    Manager::<AmpUser>::new(admin.clone()).create(&mut boss).unwrap();
+    Manager::<AmpUser>::new(admin.clone())
+        .create(&mut boss)
+        .unwrap();
 
     // 1. register with the CAPTCHA
-    let form = r.portal.handle(&Request::get("/accounts/register")).body_str();
+    let form = r
+        .portal
+        .handle(&Request::get("/accounts/register"))
+        .body_str();
     let (cid, answer) = captcha_answer(&form);
     let resp = r.portal.handle(&Request::post(
         "/accounts/register",
@@ -143,12 +155,19 @@ fn full_user_journey() {
         amp::stellar::synthesize("HD 10700", &truth, &Domain::default(), 0.12, 8).unwrap();
     let mut modes = String::new();
     for m in &observed.modes {
-        modes.push_str(&format!("{} {} {:.4} {:.4}\n", m.l, m.n, m.frequency, m.sigma));
+        modes.push_str(&format!(
+            "{} {} {:.4} {:.4}\n",
+            m.l, m.n, m.frequency, m.sigma
+        ));
     }
     let resp = r.portal.handle(
         &Request::post(
             "/star/HD+10700/observations",
-            &[("modes", modes.as_str()), ("teff", "5350"), ("teff_sigma", "80")],
+            &[
+                ("modes", modes.as_str()),
+                ("teff", "5350"),
+                ("teff_sigma", "80"),
+            ],
         )
         .with_cookie("amp_session", &cookie),
     );
@@ -217,21 +236,26 @@ fn full_user_journey() {
     assert!(v["hr_track"].as_array().unwrap().len() >= 10);
     assert!(v["echelle"].as_array().unwrap().len() >= 30);
 
-    let rss = r
-        .portal
-        .handle(&Request::get(&format!("/feeds/star/{}.rss", star.id.unwrap())));
+    let rss = r.portal.handle(&Request::get(&format!(
+        "/feeds/star/{}.rss",
+        star.id.unwrap()
+    )));
     assert!(rss.body_str().contains("DONE"));
 
     let suggest = r.portal.handle(&Request::get("/api/suggest?q=HD+107"));
     let items: Vec<serde_json::Value> = serde_json::from_str(&suggest.body_str()).unwrap();
-    assert!(items.iter().any(|i| i["identifier"] == "HD 10700"
-        && i["has_results"] == true));
+    assert!(items
+        .iter()
+        .any(|i| i["identifier"] == "HD 10700" && i["has_results"] == true));
 }
 
 #[test]
 fn wrong_captcha_keeps_supermodels_out() {
     let r = rig();
-    let form = r.portal.handle(&Request::get("/accounts/register")).body_str();
+    let form = r
+        .portal
+        .handle(&Request::get("/accounts/register"))
+        .body_str();
     let (cid, _) = captcha_answer(&form);
     let resp = r.portal.handle(&Request::post(
         "/accounts/register",
@@ -255,13 +279,24 @@ fn wrong_captcha_keeps_supermodels_out() {
 fn unapproved_users_cannot_submit() {
     let r = rig();
     let admin = r.dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
-    let mut u = AmpUser::new("newbie", "n@x.edu", &amp::portal::hash_password("password1", "s"), 0);
+    let mut u = AmpUser::new(
+        "newbie",
+        "n@x.edu",
+        &amp::portal::hash_password("password1", "s"),
+        0,
+    );
     u.approved = true; // can log in
-    Manager::<AmpUser>::new(admin.clone()).create(&mut u).unwrap();
+    Manager::<AmpUser>::new(admin.clone())
+        .create(&mut u)
+        .unwrap();
     let mut star = Star::from_catalog(&amp::stellar::famous_stars()[0], "local");
-    Manager::<Star>::new(admin.clone()).create(&mut star).unwrap();
+    Manager::<Star>::new(admin.clone())
+        .create(&mut star)
+        .unwrap();
     let mut alloc = Allocation::new("kraken", "TG-Q", 1000.0);
-    Manager::<Allocation>::new(admin.clone()).create(&mut alloc).unwrap();
+    Manager::<Allocation>::new(admin.clone())
+        .create(&mut alloc)
+        .unwrap();
 
     let login = r.portal.handle(&Request::post(
         "/accounts/login",

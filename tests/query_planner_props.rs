@@ -1,0 +1,499 @@
+//! Equivalence oracle for the simdb query planner, plus WAL group-commit
+//! crash-replay properties.
+//!
+//! The planner (`crates/simdb/src/query.rs`) picks among unique probes,
+//! secondary-index probes, ordered-index range scans, index-ordered
+//! scans, and full scans. Whatever plan it picks, the observable results
+//! must be byte-identical — ids, row contents, ordering, pagination — to
+//! a deliberately naive reference executor that scans everything, filters
+//! with its own reimplementation of the predicate semantics, sorts with a
+//! full comparator, and slices. Random schemas-worth of data and random
+//! queries drive both sides.
+//!
+//! The WAL properties check the group-commit protocol: a log produced by
+//! batched appends (single- or multi-threaded) must have contiguous
+//! sequence numbers, and *every line prefix* of it must replay into a
+//! consistent database — a crash can truncate the tail but never tear or
+//! reorder committed records.
+
+use amp::simdb::db::LogOp;
+use amp::simdb::wal::Wal;
+use amp::simdb::{Column, Database, Op, OrderBy, Plan, Query, Row, TableSchema, Value, ValueType};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------------
+// Fixture: one table exercising every index shape the planner knows about.
+// ---------------------------------------------------------------------------
+
+const TABLE: &str = "m";
+// row layout: u (Int unique not-null -> unique probe), s (Text indexed
+// not-null -> secondary probe + index-ordered scan), k (Int indexed
+// nullable -> secondary probe with NULL holes), p (Int plain nullable ->
+// never index-drivable)
+const COLS: [&str; 4] = ["u", "s", "k", "p"];
+const COL_S: usize = 1;
+
+fn fixture() -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        TABLE,
+        vec![
+            Column::new("u", ValueType::Int).not_null().unique(),
+            Column::new("s", ValueType::Text).indexed().not_null(),
+            Column::new("k", ValueType::Int).indexed(),
+            Column::new("p", ValueType::Int),
+        ],
+    ))
+    .unwrap();
+    db
+}
+
+/// One random row. `u` gets a collision-free value derived from `i`.
+fn insert_row(db: &mut Database, i: usize, s: u8, k: Option<i8>, p: Option<i8>) {
+    db.insert(
+        TABLE,
+        &[
+            ("u", Value::Int(i as i64 * 3 + 1)),
+            ("s", format!("s{}", s % 5).into()),
+            ("k", k.map_or(Value::Null, |v| Value::Int(v as i64))),
+            ("p", p.map_or(Value::Null, |v| Value::Int(v as i64))),
+        ],
+    )
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Random queries
+// ---------------------------------------------------------------------------
+
+/// A comparison value that sometimes hits, sometimes misses, sometimes is
+/// NULL or the wrong flavour entirely.
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-160i64..160).prop_map(Value::Int),
+        (0u8..7).prop_map(|s| format!("s{s}").into()),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Lt),
+        Just(Op::Le),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::IsNull),
+        Just(Op::NotNull),
+        proptest::collection::vec(arb_value(), 0..4).prop_map(Op::In),
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = (usize, Op, Value)> {
+    (0usize..COLS.len(), arb_op(), arb_value())
+}
+
+fn arb_order() -> impl Strategy<Value = Vec<OrderBy>> {
+    proptest::collection::vec(
+        (0usize..=COLS.len(), any::<bool>()).prop_map(|(ci, descending)| OrderBy {
+            // index == len means "order by primary key"
+            column: if ci == COLS.len() {
+                "id".into()
+            } else {
+                COLS[ci].into()
+            },
+            descending,
+        }),
+        0..3,
+    )
+}
+
+#[derive(Debug, Clone)]
+struct QSpec {
+    filters: Vec<(usize, Op, Value)>,
+    order: Vec<OrderBy>,
+    offset: usize,
+    limit: Option<usize>,
+}
+
+fn arb_query() -> impl Strategy<Value = QSpec> {
+    (
+        proptest::collection::vec(arb_filter(), 0..4),
+        arb_order(),
+        0usize..25,
+        proptest::option::of(0usize..25),
+    )
+        .prop_map(|(filters, order, offset, limit)| QSpec {
+            filters,
+            order,
+            offset,
+            limit,
+        })
+}
+
+fn build_query(spec: &QSpec) -> Query {
+    let mut q = Query::new();
+    for (ci, op, v) in &spec.filters {
+        q = q.filter(COLS[*ci], op.clone(), v.clone());
+    }
+    for o in &spec.order {
+        q = if o.descending {
+            q.order_by_desc(&o.column)
+        } else {
+            q.order_by(&o.column)
+        };
+    }
+    q = q.offset(spec.offset);
+    if let Some(l) = spec.limit {
+        q = q.limit(l);
+    }
+    q
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference executor — scan everything, own predicate semantics.
+// ---------------------------------------------------------------------------
+
+fn ref_matches(op: &Op, rhs: &Value, cell: &Value) -> bool {
+    match op {
+        Op::IsNull => cell.is_null(),
+        Op::NotNull => !cell.is_null(),
+        Op::In(vals) => vals.iter().any(|v| v.key_eq(cell)),
+        _ if cell.is_null() => false,
+        Op::Eq => cell.key_eq(rhs),
+        Op::Ne => !cell.key_eq(rhs),
+        Op::Lt => cell.total_cmp(rhs).is_lt(),
+        Op::Le => cell.total_cmp(rhs).is_le(),
+        Op::Gt => cell.total_cmp(rhs).is_gt(),
+        Op::Ge => cell.total_cmp(rhs).is_ge(),
+        _ => unreachable!("reference oracle never generates text ops"),
+    }
+}
+
+fn ref_execute(db: &Database, spec: &QSpec) -> Vec<(i64, Row)> {
+    let mut rows: Vec<(i64, Row)> = db
+        .select(TABLE, &Query::new())
+        .unwrap()
+        .into_iter()
+        .filter(|(_, row)| {
+            spec.filters
+                .iter()
+                .all(|(ci, op, rhs)| ref_matches(op, rhs, &row[*ci]))
+        })
+        .collect();
+    let cmp = |a: &(i64, Row), b: &(i64, Row)| -> Ordering {
+        for o in &spec.order {
+            let ord = if o.column == "id" {
+                a.0.cmp(&b.0)
+            } else {
+                let ci = COLS.iter().position(|c| *c == o.column).unwrap();
+                a.1[ci].total_cmp(&b.1[ci])
+            };
+            let ord = if o.descending { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        a.0.cmp(&b.0)
+    };
+    rows.sort_by(cmp);
+    let start = spec.offset.min(rows.len());
+    let end = spec
+        .limit
+        .map_or(rows.len(), |l| (start + l).min(rows.len()));
+    rows[start..end].to_vec()
+}
+
+// ---------------------------------------------------------------------------
+// WAL helpers
+// ---------------------------------------------------------------------------
+
+fn wal_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("amp_qp_wal_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Apply a batch of mutations to the live db, returning the LogOps the
+/// engine emitted for them. `uniq` survives across batches so re-inserts
+/// after deletes never collide on the unique column.
+fn mutate(db: &mut Database, seeds: &[(u8, i8)], uniq: &mut i64) -> Vec<LogOp> {
+    let mut ops = Vec::new();
+    for (kind, v) in seeds {
+        match kind % 3 {
+            0 => {
+                *uniq += 1;
+                let (_, op) = db
+                    .insert(
+                        TABLE,
+                        &[
+                            ("u", Value::Int(*uniq * 3 + 1_000_000)),
+                            ("s", format!("s{}", v.rem_euclid(5)).into()),
+                            ("k", Value::Int(*v as i64)),
+                            ("p", Value::Null),
+                        ],
+                    )
+                    .unwrap();
+                ops.push(op);
+            }
+            1 => {
+                let ids: Vec<i64> = db
+                    .select(TABLE, &Query::new())
+                    .unwrap()
+                    .into_iter()
+                    .map(|(id, _)| id)
+                    .collect();
+                if let Some(&id) = ids.get(*v as usize % ids.len().max(1)) {
+                    ops.push(
+                        db.update(TABLE, id, &[("p", Value::Int(*v as i64))])
+                            .unwrap(),
+                    );
+                }
+            }
+            _ => {
+                let ids: Vec<i64> = db
+                    .select(TABLE, &Query::new())
+                    .unwrap()
+                    .into_iter()
+                    .map(|(id, _)| id)
+                    .collect();
+                if let Some(&id) = ids.get(*v as usize % ids.len().max(1)) {
+                    ops.extend(db.delete(TABLE, id).unwrap());
+                }
+            }
+        }
+    }
+    ops
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Whatever plan the planner picks, execute/count/project agree with
+    /// the naive reference — ids, row contents, order, and pagination.
+    #[test]
+    fn planner_matches_reference_executor(
+        rows in proptest::collection::vec((0u8..7, proptest::option::of(any::<i8>()), proptest::option::of(any::<i8>())), 0..60),
+        specs in proptest::collection::vec(arb_query(), 1..8),
+    ) {
+        let mut db = fixture();
+        for (i, (s, k, p)) in rows.iter().enumerate() {
+            insert_row(&mut db, i, *s, *k, *p);
+        }
+        for spec in &specs {
+            let q = build_query(spec);
+            let expected = ref_execute(&db, spec);
+            let got = db.select(TABLE, &q).unwrap();
+            let plan = q.explain(db.table(TABLE).unwrap()).unwrap();
+            prop_assert_eq!(&got, &expected, "plan {:?} diverged for {:?}", plan, spec);
+            prop_assert_eq!(
+                db.count(TABLE, &q).unwrap(),
+                expected.len(),
+                "count under plan {:?} diverged for {:?}", plan, spec
+            );
+            let proj = db.select_project(TABLE, &q, "s").unwrap();
+            let expected_proj: Vec<(i64, Value)> = expected
+                .iter()
+                .map(|(id, row)| (*id, row[COL_S].clone()))
+                .collect();
+            prop_assert_eq!(proj, expected_proj, "projection under plan {:?} diverged", plan);
+        }
+    }
+
+    /// Index-backed plans actually get chosen where expected, and an
+    /// unordered query's ids always come back in primary-key order
+    /// regardless of which access path produced them.
+    #[test]
+    fn plans_are_index_backed_and_pk_ordered(
+        rows in proptest::collection::vec((0u8..7, proptest::option::of(any::<i8>()), proptest::option::of(any::<i8>())), 1..60),
+        pivot in -140i64..140,
+    ) {
+        let mut db = fixture();
+        for (i, (s, k, p)) in rows.iter().enumerate() {
+            insert_row(&mut db, i, *s, *k, *p);
+        }
+        let t = db.table(TABLE).unwrap();
+        prop_assert_eq!(
+            Query::new().eq("u", 1).explain(t).unwrap(),
+            Plan::UniqueProbe { column: "u".into() }
+        );
+        // when the probed/ranged key set is provably empty the planner is
+        // allowed (encouraged) to answer Plan::Empty instead
+        let s_hits = rows.iter().filter(|(s, _, _)| s % 5 == 1).count();
+        prop_assert_eq!(
+            Query::new().eq("s", "s1").explain(t).unwrap(),
+            if s_hits > 0 {
+                Plan::IndexProbe { columns: vec!["s".into()] }
+            } else {
+                Plan::Empty
+            }
+        );
+        let range = Query::new().filter("k", Op::Ge, Value::Int(pivot));
+        let k_hits = rows
+            .iter()
+            .filter(|(_, k, _)| k.is_some_and(|k| k as i64 >= pivot))
+            .count();
+        prop_assert_eq!(
+            range.explain(t).unwrap(),
+            if k_hits > 0 {
+                Plan::RangeScan { columns: vec!["k".into()] }
+            } else {
+                Plan::Empty
+            }
+        );
+        for q in [Query::new().eq("s", "s2"), range] {
+            let ids: Vec<i64> = db.select(TABLE, &q).unwrap().into_iter().map(|(id, _)| id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(ids, sorted);
+        }
+    }
+
+    /// Group-committed WAL: batched appends produce contiguous seqs, and
+    /// every line prefix of the log replays into a consistent database —
+    /// the full prefix being exactly the live state.
+    #[test]
+    fn every_wal_prefix_replays_consistently(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<i8>()), 1..9),
+            1..10,
+        ),
+        case in 0u32..1_000_000,
+    ) {
+        let dir = wal_dir(&format!("prefix_{case}"));
+        let wal = Wal::open(dir.join("db.wal")).unwrap();
+        let mut db = fixture();
+        let mut uniq = 0i64;
+        for batch in &batches {
+            let ops = mutate(&mut db, batch, &mut uniq);
+            if !ops.is_empty() {
+                wal.append(&ops).unwrap();
+            }
+        }
+        let raw = std::fs::read_to_string(wal.path()).unwrap();
+        let lines: Vec<&str> = raw.lines().filter(|l| !l.trim().is_empty()).collect();
+        for cut in 0..=lines.len() {
+            let prefix = lines[..cut].join("\n");
+            let pfile = dir.join(format!("prefix_{cut}.wal"));
+            std::fs::write(&pfile, &prefix).unwrap();
+            let records = Wal::read_records(&pfile).unwrap();
+            // contiguous seqs from 0: nothing torn, nothing reordered
+            for (i, rec) in records.iter().enumerate() {
+                prop_assert_eq!(rec.seq, i as u64);
+            }
+            let mut replayed = fixture();
+            Wal::replay_into(&mut replayed, &records, None).unwrap();
+            if cut == lines.len() {
+                prop_assert_eq!(
+                    db.select(TABLE, &Query::new()).unwrap(),
+                    replayed.select(TABLE, &Query::new()).unwrap()
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Concurrent committers racing through the group-commit path: all
+/// records land, seqs are contiguous, each batch's ops stay contiguous
+/// and in order, and replaying the log reproduces every insert.
+#[test]
+fn concurrent_group_commit_preserves_batches() {
+    let dir = wal_dir("concurrent");
+    let wal = std::sync::Arc::new(Wal::open(dir.join("db.wal")).unwrap());
+    const THREADS: usize = 8;
+    const BATCHES: usize = 20;
+    const BATCH: usize = 8;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let wal = wal.clone();
+        handles.push(std::thread::spawn(move || {
+            for b in 0..BATCHES {
+                let ops: Vec<LogOp> = (0..BATCH)
+                    .map(|i| LogOp::Insert {
+                        table: TABLE.into(),
+                        id: (t * BATCHES * BATCH + b * BATCH + i) as i64 + 1,
+                        row: vec![
+                            Value::Int((t * BATCHES * BATCH + b * BATCH + i) as i64),
+                            format!("s{}", i % 5).into(),
+                            Value::Null,
+                            Value::Null,
+                        ],
+                    })
+                    .collect();
+                wal.append(&ops).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let records = Wal::read_records(wal.path()).unwrap();
+    assert_eq!(records.len(), THREADS * BATCHES * BATCH);
+    for (i, rec) in records.iter().enumerate() {
+        assert_eq!(rec.seq, i as u64, "seq gap at record {i}");
+    }
+    // ops of one batch must be adjacent and in submission order: batches
+    // are identified by consecutive row ids within one thread's range
+    let mut i = 0;
+    while i < records.len() {
+        let LogOp::Insert { id, .. } = &records[i].op else {
+            panic!("unexpected op");
+        };
+        let start = *id;
+        assert_eq!(
+            (start - 1) % BATCH as i64,
+            0,
+            "batch does not start on a batch boundary at record {i}"
+        );
+        for j in 1..BATCH {
+            let LogOp::Insert { id, .. } = &records[i + j].op else {
+                panic!("unexpected op");
+            };
+            assert_eq!(*id, start + j as i64, "batch torn at record {}", i + j);
+        }
+        i += BATCH;
+    }
+    assert_eq!(wal.last_seq(), Some((THREADS * BATCHES * BATCH) as u64 - 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Re-opening a WAL written by group commit resumes the sequence exactly
+/// where it left off (streaming-tail `next_seq` recovery).
+#[test]
+fn reopened_wal_resumes_sequence() {
+    let dir = wal_dir("reopen");
+    let path = dir.join("db.wal");
+    let mut db = fixture();
+    let mut uniq = 0i64;
+    {
+        let wal = Wal::open(&path).unwrap();
+        let ops = mutate(&mut db, &[(0, 1), (0, 2), (0, 3)], &mut uniq);
+        wal.append(&ops).unwrap();
+        assert_eq!(wal.last_seq(), Some(2));
+    }
+    {
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.last_seq(), Some(2));
+        let ops = mutate(&mut db, &[(0, 4)], &mut uniq);
+        wal.append(&ops).unwrap();
+        assert_eq!(wal.last_seq(), Some(3));
+    }
+    let records = Wal::read_records(&path).unwrap();
+    assert_eq!(records.len(), 4);
+    let mut replayed = fixture();
+    Wal::replay_into(&mut replayed, &records, None).unwrap();
+    assert_eq!(
+        db.select(TABLE, &Query::new()).unwrap(),
+        replayed.select(TABLE, &Query::new()).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

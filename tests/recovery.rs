@@ -61,10 +61,13 @@ fn replacement_daemon_resumes_midflight_simulation() {
     // the crash: drop the daemon entirely; grid time passes unattended
     drop(std::mem::replace(
         &mut dep.daemon,
-        amp_gridamp::GridAmp::new(&dep.db, DaemonConfig {
-            work_walltime_hours: 6.0,
-            ..DaemonConfig::default()
-        })
+        amp_gridamp::GridAmp::new(
+            &dep.db,
+            DaemonConfig {
+                work_walltime_hours: 6.0,
+                ..DaemonConfig::default()
+            },
+        )
         .unwrap(),
     ));
     dep.grid.advance(SimDuration::from_hours(6.0));
@@ -99,11 +102,17 @@ fn durable_database_survives_process_restart() {
         let admin = db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
         let mut u = AmpUser::new("astro1", "a@x.edu", "h", 0);
         u.approved = true;
-        Manager::<AmpUser>::new(admin.clone()).create(&mut u).unwrap();
+        Manager::<AmpUser>::new(admin.clone())
+            .create(&mut u)
+            .unwrap();
         let mut star = Star::from_catalog(&amp::stellar::famous_stars()[0], "local");
-        Manager::<Star>::new(admin.clone()).create(&mut star).unwrap();
+        Manager::<Star>::new(admin.clone())
+            .create(&mut star)
+            .unwrap();
         let mut alloc = Allocation::new("kraken", "TG-R", 1000.0);
-        Manager::<Allocation>::new(admin.clone()).create(&mut alloc).unwrap();
+        Manager::<Allocation>::new(admin.clone())
+            .create(&mut alloc)
+            .unwrap();
         db.snapshot().unwrap(); // snapshot covers the fixtures
 
         // post-snapshot work lands only in the WAL
@@ -123,23 +132,23 @@ fn durable_database_survives_process_restart() {
     let db = Db::open(&snap, &wal).unwrap();
     amp::core::setup::initialize(&db).unwrap(); // idempotent
     let admin = db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
-    let sim = Manager::<Simulation>::new(admin.clone()).get(sim_id).unwrap();
+    let sim = Manager::<Simulation>::new(admin.clone())
+        .get(sim_id)
+        .unwrap();
     assert_eq!(sim.status, SimStatus::Queued);
     assert_eq!(sim.created_at, 500);
     // fresh writes continue cleanly after recovery
     let mut u2 = AmpUser::new("astro2", "b@x.edu", "h", 0);
-    Manager::<AmpUser>::new(admin.clone()).create(&mut u2).unwrap();
+    Manager::<AmpUser>::new(admin.clone())
+        .create(&mut u2)
+        .unwrap();
     assert_eq!(Manager::<AmpUser>::new(admin).all().unwrap().len(), 2);
 }
 
 #[test]
 fn notification_outbox_preserved_across_daemon_restart() {
-    let mut dep = amp::gridamp::deploy(
-        amp::grid::systems::kraken(),
-        DaemonConfig::default(),
-        None,
-    )
-    .unwrap();
+    let mut dep =
+        amp::gridamp::deploy(amp::grid::systems::kraken(), DaemonConfig::default(), None).unwrap();
     let (user, star, alloc, _obs) =
         amp::gridamp::seed_fixtures(&dep.db, "kraken", &truth(), 3).unwrap();
     let web = dep.db.connect(amp::core::roles::ROLE_WEB).unwrap();

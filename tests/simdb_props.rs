@@ -3,9 +3,7 @@
 //! exactly, and query pagination tiles the full result set.
 
 use amp::simdb::db::LogOp;
-use amp::simdb::{
-    Column, Database, DbError, OnDelete, Op, Query, TableSchema, Value, ValueType,
-};
+use amp::simdb::{Column, Database, DbError, OnDelete, Op, Query, TableSchema, Value, ValueType};
 use proptest::prelude::*;
 
 /// A random mutation against the two-table (parent/child) fixture.
@@ -21,10 +19,8 @@ enum Action {
 fn arb_action() -> impl Strategy<Value = Action> {
     prop_oneof![
         (0u16..50).prop_map(|name| Action::InsertParent { name }),
-        (any::<u8>(), any::<i8>()).prop_map(|(parent_ref, v)| Action::InsertChild {
-            parent_ref,
-            v
-        }),
+        (any::<u8>(), any::<i8>())
+            .prop_map(|(parent_ref, v)| Action::InsertChild { parent_ref, v }),
         any::<u8>().prop_map(|pick| Action::DeleteParent { pick }),
         any::<u8>().prop_map(|pick| Action::DeleteChild { pick }),
         (any::<u8>(), any::<i8>()).prop_map(|(pick, v)| Action::UpdateChild { pick, v }),
@@ -109,7 +105,9 @@ fn apply(db: &mut Database, action: &Action, log: &mut Vec<LogOp>) {
 
 fn invariants_hold(db: &Database) -> Result<(), String> {
     // unique names among parents
-    let parents = db.select("parent", &Query::new()).map_err(|e| e.to_string())?;
+    let parents = db
+        .select("parent", &Query::new())
+        .map_err(|e| e.to_string())?;
     let mut names: Vec<String> = parents
         .iter()
         .map(|(_, r)| r[0].as_text().unwrap().to_string())
@@ -121,7 +119,9 @@ fn invariants_hold(db: &Database) -> Result<(), String> {
         return Err("duplicate parent names".into());
     }
     // referential integrity: every child's parent exists
-    let children = db.select("child", &Query::new()).map_err(|e| e.to_string())?;
+    let children = db
+        .select("child", &Query::new())
+        .map_err(|e| e.to_string())?;
     for (cid, row) in &children {
         let pid = row[0].as_int().unwrap();
         if !parents.iter().any(|(id, _)| id == &pid) {

@@ -33,7 +33,10 @@ fn arb_report() -> impl Strategy<Value = TickReport> {
             transitions,
             transient_errors: counts.3,
             new_holds: counts.4,
-            daemon_errors: errs.into_iter().map(|e| format!("worker error {e}")).collect(),
+            daemon_errors: errs
+                .into_iter()
+                .map(|e| format!("worker error {e}"))
+                .collect(),
         })
 }
 

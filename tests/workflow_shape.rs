@@ -50,7 +50,9 @@ fn figure1_shape_holds() {
     dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
-    let sim = Manager::<Simulation>::new(admin.clone()).get(sim_id).unwrap();
+    let sim = Manager::<Simulation>::new(admin.clone())
+        .get(sim_id)
+        .unwrap();
     assert_eq!(sim.status, SimStatus::Done, "{}", sim.status_message);
 
     let jobs = Manager::<GridJobRecord>::new(admin)
@@ -131,7 +133,12 @@ fn listing1_state_sequence_exact() {
                 .map(|(_, from, to)| (*from, *to)),
         );
         let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
-        if Manager::<Simulation>::new(admin).get(sim_id).unwrap().status == SimStatus::Done {
+        if Manager::<Simulation>::new(admin)
+            .get(sim_id)
+            .unwrap()
+            .status
+            == SimStatus::Done
+        {
             break;
         }
         dep.grid.advance(SimDuration::from_secs(300));
@@ -167,7 +174,11 @@ fn chaining_submits_dependent_jobs_upfront() {
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let jobs = Manager::<GridJobRecord>::new(admin.clone())
-        .filter(&Query::new().eq("simulation_id", sim_id).eq("purpose", "WORK"))
+        .filter(
+            &Query::new()
+                .eq("simulation_id", sim_id)
+                .eq("purpose", "WORK"),
+        )
         .unwrap();
     for r in 0..2 {
         let n = jobs.iter().filter(|j| j.ga_run == r).count();
