@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the serving layer: one catalog request
+//! measured through the full TCP path, across {keep-alive, close} ×
+//! {cached, cold} — the same matrix `report_http_load` drives at scale.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use amp_core::models::Star;
+use amp_core::{roles, setup};
+use amp_portal::server::read_framed_response;
+use amp_portal::{Portal, PortalConfig, Request, Server, ServerConfig};
+use amp_simdb::orm::Manager;
+use amp_simdb::Db;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn portal(cache_enabled: bool) -> Arc<Portal> {
+    let db = Db::in_memory();
+    setup::initialize(&db).expect("schema");
+    let admin = db.connect(roles::ROLE_ADMIN).expect("admin");
+    let stars = Manager::<Star>::new(admin);
+    for i in 0..40 {
+        let mut s = Star {
+            id: None,
+            identifier: format!("HD {i}"),
+            name: None,
+            hd_number: Some(i),
+            kic_number: None,
+            ra: i as f64,
+            dec: 0.0,
+            vmag: 6.0,
+            in_kepler_field: false,
+            source: "local".into(),
+            has_results: false,
+        };
+        stars.create(&mut s).expect("star");
+    }
+    Arc::new(
+        Portal::new(
+            &db,
+            PortalConfig {
+                cache_enabled,
+                ..PortalConfig::default()
+            },
+        )
+        .expect("portal"),
+    )
+}
+
+fn spawn(cache_enabled: bool, keep_alive: bool) -> Server {
+    Server::spawn_with(
+        portal(cache_enabled),
+        0,
+        ServerConfig {
+            workers: 2,
+            keep_alive,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn")
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http/serving");
+    g.sample_size(20);
+
+    for (label, cached) in [("cached", true), ("cold", false)] {
+        // keep-alive: one persistent connection, request per iteration
+        let server = spawn(cached, true);
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut buf = Vec::new();
+        let raw = "GET /stars HTTP/1.1\r\nHost: b\r\n\r\n";
+        g.bench_function(format!("keepalive_{label}"), |b| {
+            b.iter(|| {
+                stream.write_all(raw.as_bytes()).expect("write");
+                read_framed_response(&mut stream, &mut buf).expect("response")
+            })
+        });
+        drop(stream);
+        server.stop();
+
+        // close: connection setup + single request per iteration
+        let server = spawn(cached, false);
+        let addr = server.addr();
+        let raw_close = "GET /stars HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n";
+        g.bench_function(format!("close_{label}"), |b| {
+            b.iter(|| {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.write_all(raw_close.as_bytes()).expect("write");
+                let mut buf = Vec::new();
+                read_framed_response(&mut stream, &mut buf).expect("response")
+            })
+        });
+        server.stop();
+    }
+
+    // transport-free reference point: the handler itself
+    let p = portal(true);
+    let req = Request::get("/stars");
+    g.bench_function("handle_cached_no_tcp", |b| b.iter(|| p.handle(&req)));
+    g.finish();
+}
+
+criterion_group!(serving, bench_serving);
+criterion_main!(serving);

@@ -1,0 +1,286 @@
+//! Closed-loop load generator for the portal serving layer.
+//!
+//! Measures requests/second and latency percentiles for the catalog page
+//! across the serving-layer design space:
+//!
+//! * `seed_thread_per_conn` — a faithful inline replica of the seed
+//!   server (thread per connection, nonblocking accept polled every 5 ms,
+//!   whole-buffer re-parse, `Connection: close`, no response cache);
+//! * the worker-pool server in {keep-alive, close} × {cached, cold}.
+//!
+//! Closed loop: each client thread issues its next request only after
+//! fully reading the previous response, so req/s reflects end-to-end
+//! service time, not queueing artifacts.
+//!
+//! Usage:
+//!   cargo run --release -p amp-bench --bin report_http_load [-- --smoke]
+//!
+//! `--smoke` shrinks the run (2 workers, 50 requests total per scenario)
+//! so CI can execute the full binary path in seconds.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use amp_core::models::Star;
+use amp_core::{roles, setup};
+use amp_portal::server::read_framed_response;
+use amp_portal::{Portal, PortalConfig, Request, Response, Server, ServerConfig};
+use amp_simdb::orm::Manager;
+use amp_simdb::Db;
+
+const PATH: &str = "/stars";
+
+fn portal(cache_enabled: bool) -> Arc<Portal> {
+    let db = Db::in_memory();
+    setup::initialize(&db).expect("schema");
+    let admin = db.connect(roles::ROLE_ADMIN).expect("admin");
+    let stars = Manager::<Star>::new(admin);
+    for i in 0..40 {
+        let mut s = Star {
+            id: None,
+            identifier: format!("HD {i}"),
+            name: Some(format!("Bench {i}")),
+            hd_number: Some(i),
+            kic_number: None,
+            ra: i as f64,
+            dec: -(i as f64),
+            vmag: 5.0,
+            in_kepler_field: false,
+            source: "local".into(),
+            has_results: false,
+        };
+        stars.create(&mut s).expect("star");
+    }
+    Arc::new(
+        Portal::new(
+            &db,
+            PortalConfig {
+                cache_enabled,
+                ..PortalConfig::default()
+            },
+        )
+        .expect("portal"),
+    )
+}
+
+/// The seed serving layer, replicated inline as the baseline: one thread
+/// per connection, 5 ms accept poll, re-parse of the whole buffer on
+/// every chunk, one request per connection.
+struct SeedServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SeedServer {
+    fn spawn(portal: Arc<Portal>) -> SeedServer {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let portal = portal.clone();
+                        std::thread::spawn(move || {
+                            let _ = seed_handle_connection(&portal, stream);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        SeedServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn seed_handle_connection(portal: &Portal, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut buf = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let response = loop {
+        match Request::parse(&buf) {
+            Ok(req) => break portal.handle(&req),
+            Err(amp_portal::http::HttpError::Incomplete) => {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Ok(());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(_) => break Response::bad_request("malformed request"),
+        }
+    };
+    stream.write_all(&response.to_bytes())
+}
+
+#[derive(Clone, Copy)]
+enum ClientMode {
+    /// Fresh connection per request, `Connection: close`.
+    Close,
+    /// One persistent connection per thread, sequential requests.
+    KeepAlive,
+}
+
+struct Measurement {
+    elapsed: Duration,
+    latencies_us: Vec<u64>,
+}
+
+impl Measurement {
+    fn requests(&self) -> usize {
+        self.latencies_us.len()
+    }
+
+    fn req_per_sec(&self) -> f64 {
+        self.requests() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        let mut v = self.latencies_us.clone();
+        v.sort_unstable();
+        let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+        v[idx]
+    }
+}
+
+/// Run `threads` closed-loop clients, `per_thread` requests each.
+fn drive(addr: SocketAddr, mode: ClientMode, threads: usize, per_thread: usize) -> Measurement {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_thread);
+                match mode {
+                    ClientMode::Close => {
+                        let raw =
+                            format!("GET {PATH} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n");
+                        for _ in 0..per_thread {
+                            let t = Instant::now();
+                            let mut stream = TcpStream::connect(addr).expect("connect");
+                            stream.write_all(raw.as_bytes()).expect("write");
+                            let mut buf = Vec::new();
+                            let resp =
+                                read_framed_response(&mut stream, &mut buf).expect("response");
+                            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+                            lat.push(t.elapsed().as_micros() as u64);
+                        }
+                    }
+                    ClientMode::KeepAlive => {
+                        let raw = format!("GET {PATH} HTTP/1.1\r\nHost: b\r\n\r\n");
+                        let mut stream = TcpStream::connect(addr).expect("connect");
+                        let mut buf = Vec::new();
+                        for _ in 0..per_thread {
+                            let t = Instant::now();
+                            stream.write_all(raw.as_bytes()).expect("write");
+                            let resp =
+                                read_framed_response(&mut stream, &mut buf).expect("response");
+                            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+                            lat.push(t.elapsed().as_micros() as u64);
+                        }
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::new();
+    for h in handles {
+        latencies_us.extend(h.join().expect("client thread"));
+    }
+    Measurement {
+        elapsed: start.elapsed(),
+        latencies_us,
+    }
+}
+
+fn report(name: &str, m: &Measurement) {
+    println!(
+        "{name:<28} {:>9.0} req/s   p50 {:>6} us   p99 {:>6} us   ({} requests in {:.2?})",
+        m.req_per_sec(),
+        m.percentile(0.50),
+        m.percentile(0.99),
+        m.requests(),
+        m.elapsed,
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (workers, threads, per_thread) = if smoke { (2, 2, 25) } else { (4, 8, 250) };
+    println!(
+        "== portal serving-layer load ({} clients x {} requests, {} workers{}) ==\n",
+        threads,
+        per_thread,
+        workers,
+        if smoke { ", smoke" } else { "" }
+    );
+
+    // Baseline: the seed thread-per-connection server (no cache — the
+    // seed had none), close-per-request clients (its only mode).
+    let seed_portal = portal(false);
+    let seed = SeedServer::spawn(seed_portal);
+    let base = drive(seed.addr, ClientMode::Close, threads, per_thread);
+    report("seed_thread_per_conn", &base);
+    seed.stop();
+
+    let pool_config = |keep_alive: bool| ServerConfig {
+        workers,
+        keep_alive,
+        ..ServerConfig::default()
+    };
+    let mut keepalive_cached_rps = 0.0;
+    let scenarios: [(&str, bool, ClientMode); 4] = [
+        ("pool_close_cold", false, ClientMode::Close),
+        ("pool_close_cached", true, ClientMode::Close),
+        ("pool_keepalive_cold", false, ClientMode::KeepAlive),
+        ("pool_keepalive_cached", true, ClientMode::KeepAlive),
+    ];
+    for (name, cached, mode) in scenarios {
+        let p = portal(cached);
+        let server = Server::spawn_with(
+            p.clone(),
+            0,
+            pool_config(matches!(mode, ClientMode::KeepAlive)),
+        )
+        .expect("spawn");
+        let m = drive(server.addr(), mode, threads, per_thread);
+        report(name, &m);
+        if name == "pool_keepalive_cached" {
+            keepalive_cached_rps = m.req_per_sec();
+            println!(
+                "{:<28} cache: {} hits / {} misses",
+                "", // aligned continuation
+                p.cache().hits(),
+                p.cache().misses()
+            );
+        }
+        server.stop();
+    }
+
+    let speedup = keepalive_cached_rps / base.req_per_sec();
+    println!("\nkeep-alive cached catalog vs seed: {speedup:.1}x  [acceptance: >= 3x]");
+    assert!(
+        speedup >= 3.0 || smoke,
+        "serving-layer speedup {speedup:.1}x below the 3x acceptance bar"
+    );
+}

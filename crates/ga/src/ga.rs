@@ -63,6 +63,11 @@ pub struct Individual {
     pub genome: Genome,
     pub phenotype: Vec<f64>,
     pub fitness: f64,
+    /// Whether `phenotype`/`fitness` are valid for `genome`. Runtime-only:
+    /// checkpoint files store genomes authoritatively, so restored
+    /// individuals re-earn this flag by decode comparison in `from_parts`.
+    #[serde(skip)]
+    pub evaluated: bool,
 }
 
 /// Per-generation statistics (the "partial result" content AMP's daemon
@@ -101,6 +106,7 @@ impl<'p, P: Problem> Ga<'p, P> {
                     genome: Genome::encode(&phenotype, config.nd),
                     phenotype,
                     fitness: 0.0,
+                    evaluated: false,
                 }
             })
             .collect();
@@ -137,8 +143,15 @@ impl<'p, P: Problem> Ga<'p, P> {
             pmut,
             history,
         };
-        // Fitness values ride in the restart file but are recomputed on
-        // load: the file format stores genomes authoritatively.
+        // The restart file stores genomes authoritatively; phenotype and
+        // fitness ride along. An individual keeps its cached evaluation
+        // only if the stored phenotype still matches its genome (fitness
+        // is a pure function of the phenotype), otherwise it is
+        // re-evaluated — so a tampered or truncated file self-heals while
+        // a clean resume does zero fitness calls.
+        for ind in &mut ga.population {
+            ind.evaluated = !ind.phenotype.is_empty() && ind.phenotype == ind.genome.decode();
+        }
         ga.evaluate_all();
         ga
     }
@@ -151,11 +164,20 @@ impl<'p, P: Problem> Ga<'p, P> {
         ChaCha8Rng::seed_from_u64(mixed)
     }
 
+    /// Evaluate every individual that doesn't already carry a valid
+    /// cached fitness. Elites cloned across generations (and individuals
+    /// restored from a checkpoint whose phenotype matches their genome)
+    /// are skipped — fitness is a pure function of the phenotype, so
+    /// re-evaluating them was pure waste.
     fn evaluate_all(&mut self) {
         let problem = self.problem;
         self.population.par_iter_mut().for_each(|ind| {
+            if ind.evaluated {
+                return;
+            }
             ind.phenotype = ind.genome.decode();
             ind.fitness = problem.fitness(&ind.phenotype);
+            ind.evaluated = true;
         });
     }
 
@@ -248,12 +270,14 @@ impl<'p, P: Problem> Ga<'p, P> {
                 genome: ca,
                 phenotype: Vec::new(),
                 fitness: 0.0,
+                evaluated: false,
             });
             if next.len() + elite.len() < self.population.len() {
                 next.push(Individual {
                     genome: cb,
                     phenotype: Vec::new(),
                     fitness: 0.0,
+                    evaluated: false,
                 });
             }
         }
@@ -290,7 +314,40 @@ impl<'p, P: Problem> Ga<'p, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::Checkpoint;
     use crate::problem::{Ripple, Sphere};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A Sphere that counts fitness evaluations (thread-safe: evaluate_all
+    /// runs under par_iter_mut).
+    struct CountingSphere {
+        inner: Sphere,
+        evals: AtomicUsize,
+    }
+
+    impl CountingSphere {
+        fn new(target: Vec<f64>) -> CountingSphere {
+            CountingSphere {
+                inner: Sphere { target },
+                evals: AtomicUsize::new(0),
+            }
+        }
+
+        fn evals(&self) -> usize {
+            self.evals.load(Ordering::SeqCst)
+        }
+    }
+
+    impl Problem for CountingSphere {
+        fn n_genes(&self) -> usize {
+            self.inner.n_genes()
+        }
+
+        fn fitness(&self, x: &[f64]) -> f64 {
+            self.evals.fetch_add(1, Ordering::SeqCst);
+            self.inner.fitness(x)
+        }
+    }
 
     fn small_cfg() -> GaConfig {
         GaConfig {
@@ -401,6 +458,63 @@ mod tests {
             ga.step();
             assert_eq!(ga.population().len(), 40);
         }
+    }
+
+    #[test]
+    fn elites_are_not_reevaluated() {
+        let p = CountingSphere::new(vec![0.5, 0.5]);
+        let cfg = GaConfig {
+            population: 40,
+            generations: 60,
+            elitism: 3,
+            ..GaConfig::default()
+        };
+        let mut ga = Ga::new(&p, cfg.clone(), 9);
+        assert_eq!(p.evals(), cfg.population);
+        let steps = 10;
+        for _ in 0..steps {
+            ga.step();
+        }
+        // Each generation evaluates only the fresh offspring; the cloned
+        // elites keep their cached fitness.
+        assert_eq!(
+            p.evals(),
+            cfg.population + steps * (cfg.population - cfg.elitism)
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_reuses_cached_fitness() {
+        let p = CountingSphere::new(vec![0.3, 0.8]);
+        let mut ga = Ga::new(&p, small_cfg(), 17);
+        ga.run(7);
+        let text = Checkpoint::capture(&ga).to_text();
+
+        let q = CountingSphere::new(vec![0.3, 0.8]);
+        let restored = Checkpoint::from_text(&text).unwrap().resume(&q).unwrap();
+        // Every restored phenotype matches its genome, so resume performs
+        // zero fitness evaluations.
+        assert_eq!(q.evals(), 0);
+        assert_eq!(restored.best().genome, ga.best().genome);
+        assert_eq!(restored.best().fitness, ga.best().fitness);
+    }
+
+    #[test]
+    fn tampered_checkpoint_phenotypes_are_reevaluated() {
+        let p = CountingSphere::new(vec![0.4]);
+        let mut ga = Ga::new(&p, small_cfg(), 23);
+        ga.run(3);
+        let mut cp = Checkpoint::capture(&ga);
+        // Corrupt one cached phenotype: resume must spot the mismatch
+        // against the genome and recompute that individual (only).
+        cp.population[0].phenotype = vec![99.0];
+        let q = CountingSphere::new(vec![0.4]);
+        let restored = cp.resume(&q).unwrap();
+        assert_eq!(q.evals(), 1);
+        assert_eq!(
+            restored.population()[0].phenotype,
+            restored.population()[0].genome.decode()
+        );
     }
 
     #[test]

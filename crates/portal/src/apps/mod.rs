@@ -15,12 +15,12 @@ pub mod results;
 pub mod submit;
 
 use crate::router::Router;
-use crate::templates::Template;
 
 /// The home page, rendered through the Django-style template engine
 /// (most views build HTML directly; this demonstrates the template path
-/// with live data, as AMP's Django templates did).
-const HOME_TEMPLATE: &str = "\
+/// with live data, as AMP's Django templates did). Compiled once into the
+/// portal-wide [`crate::portal::registry`].
+pub(crate) const HOME_TEMPLATE: &str = "\
 <p>Derive the properties of Sun-like stars from observations of their \
 pulsation frequencies.</p>\
 <ul><li><a href=\"/stars\">Browse the star catalog</a> ({{ stars }} stars, \
@@ -73,9 +73,7 @@ pub fn build_router(admin_enabled: bool) -> Router {
             "done": sims.count(&done_q).unwrap_or(0),
             "recent": recent,
         });
-        let body = Template::parse(HOME_TEMPLATE)
-            .expect("home template parses")
-            .render(&ctx);
+        let body = crate::portal::registry().render("home", &ctx);
         p.page("Home", user.as_ref(), &body)
     });
 

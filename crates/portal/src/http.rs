@@ -92,50 +92,14 @@ impl Request {
     /// Parse a raw HTTP/1.x request (start line + headers + body).
     pub fn parse(raw: &[u8]) -> Result<Request, HttpError> {
         let header_end = find_header_end(raw).ok_or(HttpError::Incomplete)?;
-        let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| HttpError::BadEncoding)?;
-        let mut lines = head.split("\r\n");
-        let start = lines.next().ok_or(HttpError::BadStartLine)?;
-        let mut parts = start.split_whitespace();
-        let method = Method::parse(parts.next().ok_or(HttpError::BadStartLine)?)
-            .ok_or(HttpError::UnsupportedMethod)?;
-        let target = parts.next().ok_or(HttpError::BadStartLine)?;
-        let version = parts.next().ok_or(HttpError::BadStartLine)?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::BadStartLine);
-        }
-        let (path, query) = split_query(target);
-
-        let mut headers = BTreeMap::new();
-        for line in lines {
-            if line.is_empty() {
-                continue;
-            }
-            let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
-            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
-        }
-        let cookies = headers
-            .get("cookie")
-            .map(|c| parse_cookies(c))
-            .unwrap_or_default();
-
-        let content_length: usize = headers
-            .get("content-length")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
+        let head = parse_head(&raw[..header_end])?;
         let body_start = header_end + 4;
-        if raw.len() < body_start + content_length {
+        if raw.len() < body_start + head.content_length {
             return Err(HttpError::Incomplete);
         }
-        let body = raw[body_start..body_start + content_length].to_vec();
-
-        Ok(Request {
-            method,
-            path,
-            query,
-            headers,
-            cookies,
-            body,
-        })
+        let mut request = head.request;
+        request.body = raw[body_start..body_start + head.content_length].to_vec();
+        Ok(request)
     }
 
     /// Decode an `application/x-www-form-urlencoded` body.
@@ -161,6 +125,132 @@ pub enum HttpError {
 
 fn find_header_end(raw: &[u8]) -> Option<usize> {
     raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A fully parsed request head (everything before the body).
+struct Head {
+    request: Request,
+    content_length: usize,
+    keep_alive: bool,
+}
+
+/// Parse start line + headers (the bytes before `\r\n\r\n`).
+fn parse_head(raw: &[u8]) -> Result<Head, HttpError> {
+    let head = std::str::from_utf8(raw).map_err(|_| HttpError::BadEncoding)?;
+    let mut lines = head.split("\r\n");
+    let start = lines.next().ok_or(HttpError::BadStartLine)?;
+    let mut parts = start.split_whitespace();
+    let method = Method::parse(parts.next().ok_or(HttpError::BadStartLine)?)
+        .ok_or(HttpError::UnsupportedMethod)?;
+    let target = parts.next().ok_or(HttpError::BadStartLine)?;
+    let version = parts.next().ok_or(HttpError::BadStartLine)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadStartLine);
+    }
+    let (path, query) = split_query(target);
+
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    let cookies = headers
+        .get("cookie")
+        .map(|c| parse_cookies(c))
+        .unwrap_or_default();
+    let content_length: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    // HTTP/1.1 defaults to persistent connections; 1.0 to close. An
+    // explicit Connection header overrides either way.
+    let keep_alive = match headers.get("connection").map(|v| v.to_ascii_lowercase()) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => version != "HTTP/1.0",
+    };
+
+    Ok(Head {
+        request: Request {
+            method,
+            path,
+            query,
+            headers,
+            cookies,
+            body: Vec::new(),
+        },
+        content_length,
+        keep_alive,
+    })
+}
+
+/// Incremental HTTP/1.x request parser for persistent connections.
+///
+/// Feed raw bytes with [`extend`](RequestParser::extend) as they arrive and
+/// drain complete requests with [`next_request`](RequestParser::next_request).
+/// Unlike [`Request::parse`] over a growing buffer, this never rescans: the
+/// `\r\n\r\n` search resumes from a saved offset, the head is parsed exactly
+/// once, and after that only the body-completeness check runs per chunk.
+/// Bytes following a complete request stay buffered, so pipelined requests
+/// parse back-to-back without another read.
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Resume offset for the header-terminator search.
+    scanned: usize,
+    /// Parsed head of the in-flight request, once found.
+    head: Option<Head>,
+}
+
+impl RequestParser {
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (guards oversized requests).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to extract the next complete request. Returns the request plus
+    /// its keep-alive decision, `Ok(None)` when more bytes are needed.
+    pub fn next_request(&mut self) -> Result<Option<(Request, bool)>, HttpError> {
+        if self.head.is_none() {
+            // Resume the terminator scan three bytes back, in case a chunk
+            // boundary split the "\r\n\r\n".
+            let from = self.scanned.saturating_sub(3);
+            match self.buf[from..].windows(4).position(|w| w == b"\r\n\r\n") {
+                Some(rel) => {
+                    let header_end = from + rel;
+                    self.head = Some(parse_head(&self.buf[..header_end])?);
+                    self.scanned = header_end + 4;
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    return Ok(None);
+                }
+            }
+        }
+        let head = self.head.as_ref().expect("head parsed above");
+        let total = self.scanned + head.content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let head = self.head.take().expect("head parsed above");
+        let mut request = head.request;
+        request.body = self.buf[self.scanned..total].to_vec();
+        self.buf.drain(..total);
+        self.scanned = 0;
+        Ok(Some((request, head.keep_alive)))
+    }
 }
 
 fn split_query(target: &str) -> (String, BTreeMap<String, String>) {
@@ -328,8 +418,18 @@ impl Response {
         String::from_utf8_lossy(&self.body).into_owned()
     }
 
-    /// Serialize to raw HTTP/1.1 bytes.
+    /// Serialize to raw HTTP/1.1 bytes, closing the connection afterwards.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        self.write_into(&mut out, false);
+        out
+    }
+
+    /// Serialize into a reusable buffer. `keep_alive` selects the
+    /// `Connection:` header; the body is always Content-Length framed, so a
+    /// keep-alive client knows exactly where the response ends.
+    pub fn write_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        use std::io::Write;
         let reason = match self.status {
             200 => "OK",
             302 => "Found",
@@ -337,16 +437,20 @@ impl Response {
             403 => "Forbidden",
             404 => "Not Found",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Status",
         };
-        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, reason).into_bytes();
+        let _ = write!(out, "HTTP/1.1 {} {}\r\n", self.status, reason);
         for (k, v) in &self.headers {
-            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+            let _ = write!(out, "{k}: {v}\r\n");
         }
-        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
-        out.extend_from_slice(b"Connection: close\r\n\r\n");
+        let _ = write!(out, "Content-Length: {}\r\n", self.body.len());
+        out.extend_from_slice(if keep_alive {
+            b"Connection: keep-alive\r\n\r\n".as_slice()
+        } else {
+            b"Connection: close\r\n\r\n".as_slice()
+        });
         out.extend_from_slice(&self.body);
-        out
     }
 }
 
@@ -425,6 +529,64 @@ mod tests {
         for s in ["hello world", "a&b=c", "HD 52265", "100% sure?", "αβγ"] {
             assert_eq!(urldecode(&urlencode(s)), s, "{s}");
         }
+    }
+
+    #[test]
+    fn incremental_parser_handles_split_chunks() {
+        let raw = b"POST /accounts/login HTTP/1.1\r\nContent-Length: 7\r\n\r\nusr=abcGET /next HTTP/1.1\r\n\r\n";
+        // feed one byte at a time: the parser must find both pipelined
+        // requests without ever rescanning from offset 0
+        let mut parser = RequestParser::new();
+        let mut got = Vec::new();
+        for b in raw.iter() {
+            parser.extend(std::slice::from_ref(b));
+            while let Some((req, ka)) = parser.next_request().unwrap() {
+                got.push((req, ka));
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0.method, Method::Post);
+        assert_eq!(got[0].0.body, b"usr=abc");
+        assert!(got[0].1, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(got[1].0.path, "/next");
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        let ka = |raw: &[u8]| {
+            let mut p = RequestParser::new();
+            p.extend(raw);
+            p.next_request().unwrap().unwrap().1
+        };
+        assert!(ka(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.0\r\n\r\n"));
+        assert!(ka(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+    }
+
+    #[test]
+    fn incremental_parser_rejects_garbage() {
+        let mut p = RequestParser::new();
+        p.extend(b"DELETE / HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request(), Err(HttpError::UnsupportedMethod));
+        let mut p = RequestParser::new();
+        p.extend(b"GET /\r\n\r\n");
+        assert_eq!(p.next_request(), Err(HttpError::BadStartLine));
+    }
+
+    #[test]
+    fn response_keep_alive_framing() {
+        let r = Response::html("<p>hi</p>");
+        let mut out = Vec::new();
+        r.write_into(&mut out, true);
+        let raw = String::from_utf8(out).unwrap();
+        assert!(raw.contains("Connection: keep-alive\r\n"));
+        assert!(raw.contains("Content-Length: 9\r\n"));
+        // to_bytes() remains the closing form
+        assert!(String::from_utf8(r.to_bytes())
+            .unwrap()
+            .contains("Connection: close\r\n"));
     }
 
     #[test]

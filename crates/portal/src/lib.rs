@@ -20,6 +20,7 @@
 
 pub mod apps;
 pub mod auth;
+pub mod cache;
 pub mod captcha;
 pub mod http;
 pub mod portal;
@@ -29,13 +30,14 @@ pub mod simbad;
 pub mod templates;
 
 pub use auth::{hash_password, sha256, verify_password, SessionStore};
+pub use cache::ResponseCache;
 pub use captcha::Captcha;
-pub use http::{Method, Request, Response};
+pub use http::{Method, Request, RequestParser, Response};
 pub use portal::{Portal, PortalConfig};
 pub use router::{Params, Router};
-pub use server::Server;
+pub use server::{Server, ServerConfig};
 pub use simbad::{Simbad, SimbadError};
-pub use templates::{render, Template};
+pub use templates::{render, Template, TemplateRegistry};
 
 #[cfg(test)]
 mod portal_tests {

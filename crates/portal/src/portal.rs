@@ -9,10 +9,37 @@ use amp_simdb::orm::Manager;
 use amp_simdb::{Connection, Db, DbError};
 
 use crate::auth::{Session, SessionStore};
+use crate::cache::ResponseCache;
 use crate::captcha::Captcha;
 use crate::http::{html_escape, Request, Response};
 use crate::router::Router;
 use crate::simbad::Simbad;
+use crate::templates::TemplateRegistry;
+
+/// The site layout, compiled once into the shared [`registry`]. `body`
+/// and `nav_user` are pre-rendered HTML (`|safe`); `title` and `site`
+/// are escaped by the engine exactly as the old `format!` path did.
+const LAYOUT_TEMPLATE: &str = "<!doctype html>\n\
+     <html><head><title>{{ title }} — {{ site }}</title></head>\n\
+     <body>\n\
+     <header><h1><a href=\"/\">{{ site }}</a></h1>\
+     <nav><a href=\"/stars\">stars</a> | <a href=\"/simulations\">simulations</a> | {{ nav_user|safe }}</nav></header>\n\
+     <main>\n{{ body|safe }}\n</main>\n\
+     <footer>AMP — simulations, computational jobs, allocations and supercomputers.</footer>\n</body></html>";
+
+/// The portal's precompiled templates, parsed once per process. Views
+/// render through here instead of re-parsing template source per request.
+pub(crate) fn registry() -> &'static TemplateRegistry {
+    static REGISTRY: std::sync::OnceLock<TemplateRegistry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut reg = TemplateRegistry::new();
+        reg.register("layout", LAYOUT_TEMPLATE)
+            .expect("layout template parses");
+        reg.register("home", crate::apps::HOME_TEMPLATE)
+            .expect("home template parses");
+        reg
+    })
+}
 
 /// Portal configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +54,12 @@ pub struct PortalConfig {
     pub simbad_seed: u64,
     /// Site title shown in the layout.
     pub site_title: String,
+    /// Serve anonymous read-only pages from the versioned response cache
+    /// (see [`crate::cache`]). Disable to force every request through a
+    /// fresh render — the cache property test diffs the two.
+    pub cache_enabled: bool,
+    /// Maximum cached entries before wholesale eviction.
+    pub cache_capacity: usize,
 }
 
 impl Default for PortalConfig {
@@ -36,6 +69,8 @@ impl Default for PortalConfig {
             simbad_stars: 200,
             simbad_seed: 2009,
             site_title: "Asteroseismic Modeling Portal".into(),
+            cache_enabled: true,
+            cache_capacity: 4096,
         }
     }
 }
@@ -51,6 +86,7 @@ pub struct Portal {
     clock: AtomicI64,
     register_nonce: AtomicU64,
     router: Router,
+    cache: ResponseCache,
 }
 
 impl Portal {
@@ -63,6 +99,7 @@ impl Portal {
         } else {
             None
         };
+        let cache = ResponseCache::new(config.cache_capacity);
         let mut portal = Portal {
             conn,
             admin_conn,
@@ -73,6 +110,7 @@ impl Portal {
             clock: AtomicI64::new(0),
             register_nonce: AtomicU64::new(0),
             router: Router::new(),
+            cache,
         };
         portal.router = crate::apps::build_router(portal.config.admin_enabled);
         Ok(portal)
@@ -102,9 +140,29 @@ impl Portal {
         self.register_nonce.fetch_add(1, Ordering::SeqCst)
     }
 
-    /// Handle one request end-to-end.
+    /// Handle one request end-to-end, serving anonymous read-only pages
+    /// from the versioned response cache when possible.
     pub fn handle(&self, req: &Request) -> Response {
+        if self.config.cache_enabled {
+            if let Some(deps) = ResponseCache::cacheable(req) {
+                let key = ResponseCache::key(req);
+                // Stamp before rendering: a write racing the render can
+                // only make the stored entry look stale, never fresh.
+                let stamp = self.conn.table_versions(deps);
+                if let Some(resp) = self.cache.get(&key, &stamp) {
+                    return resp;
+                }
+                let resp = self.router.dispatch(self, req);
+                self.cache.put(key, stamp, &resp);
+                return resp;
+            }
+        }
         self.router.dispatch(self, req)
+    }
+
+    /// The response cache (hit/miss counters for tests and benches).
+    pub fn cache(&self) -> &ResponseCache {
+        &self.cache
     }
 
     /// Resolve the request's session cookie.
@@ -131,15 +189,12 @@ impl Portal {
             None => "<a href=\"/accounts/login\">log in</a> | <a href=\"/accounts/register\">register</a>"
                 .to_string(),
         };
-        let html = format!(
-            "<!doctype html>\n<html><head><title>{title} — {site}</title></head>\n<body>\n\
-             <header><h1><a href=\"/\">{site}</a></h1>\
-             <nav><a href=\"/stars\">stars</a> | <a href=\"/simulations\">simulations</a> | {nav_user}</nav></header>\n\
-             <main>\n{body}\n</main>\n\
-             <footer>AMP — simulations, computational jobs, allocations and supercomputers.</footer>\n</body></html>",
-            title = html_escape(title),
-            site = html_escape(&self.config.site_title),
-        );
-        Response::html(html)
+        let ctx = serde_json::json!({
+            "title": title,
+            "site": self.config.site_title,
+            "nav_user": nav_user,
+            "body": body,
+        });
+        Response::html(registry().render("layout", &ctx))
     }
 }

@@ -1,54 +1,199 @@
-//! The TCP front end: a small threaded HTTP server over the portal.
+//! The TCP front end: a worker-pool HTTP/1.1 server over the portal.
 //!
-//! Production AMP sat behind Apache; here a thread-per-connection loop is
-//! plenty. The portal logic itself is transport-independent
+//! Production AMP sat behind Apache; the seed reproduction used a
+//! thread-per-connection loop that closed after one request and polled
+//! `accept` on a 5 ms sleep. This version serves sustained concurrent
+//! load instead:
+//!
+//! * a fixed pool of [`ServerConfig::workers`] threads drains a bounded
+//!   connection queue (the accept thread blocks when it fills — natural
+//!   backpressure instead of unbounded thread spawn);
+//! * `accept` blocks in the kernel; shutdown wakes it with a self-connect
+//!   instead of a poll loop;
+//! * connections are persistent: HTTP/1.1 keep-alive with Content-Length
+//!   framing, sequential pipelined requests, and an idle timeout;
+//! * request bytes are parsed incrementally ([`RequestParser`]) — no
+//!   re-scan of the buffer on every 4 KiB chunk.
+//!
+//! The portal logic itself stays transport-independent
 //! ([`Portal::handle`]), which is also how the integration tests drive it.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::http::{Request, Response};
+use crate::http::{RequestParser, Response};
 use crate::portal::Portal;
+
+/// Serving-layer tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Accepted-but-unserviced connections held before `accept` blocks.
+    pub queue_depth: usize,
+    /// Honour HTTP keep-alive (off forces `Connection: close` after the
+    /// first response, the seed behaviour — useful for benchmarks).
+    pub keep_alive: bool,
+    /// How long a persistent connection may sit idle between requests.
+    pub idle_timeout: Duration,
+    /// Reject requests whose buffered bytes exceed this.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 128,
+            keep_alive: true,
+            idle_timeout: Duration::from_secs(5),
+            max_request_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Bounded MPMC queue of accepted connections (std Mutex + Condvar — the
+/// vendored parking_lot has no Condvar).
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Block until there is room (backpressure), then enqueue. Returns
+    /// false once the queue is closed.
+    fn push(&self, stream: TcpStream) -> bool {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.len() >= self.cap && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(stream);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Block until a connection arrives; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(stream) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
 
 /// A running server handle.
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    queue: Arc<ConnQueue>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind and serve on 127.0.0.1 (port 0 = ephemeral). The portal is
-    /// shared with the accept loop via `Arc`.
+    /// Bind and serve on 127.0.0.1 (port 0 = ephemeral) with default
+    /// configuration. The portal is shared with the workers via `Arc`.
     pub fn spawn(portal: Arc<Portal>, port: u16) -> std::io::Result<Server> {
+        Server::spawn_with(portal, port, ServerConfig::default())
+    }
+
+    /// Bind and serve with explicit serving-layer configuration.
+    pub fn spawn_with(
+        portal: Arc<Portal>,
+        port: u16,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = shutdown.clone();
-        let handle = std::thread::spawn(move || {
-            while !flag.load(Ordering::SeqCst) {
+        let queue = Arc::new(ConnQueue::new(config.queue_depth));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let portal = portal.clone();
+                let queue = queue.clone();
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        let _ = serve_connection(&portal, stream, &config);
+                    }
+                })
+            })
+            .collect();
+
+        let accept_handle = {
+            let flag = shutdown.clone();
+            let queue = queue.clone();
+            std::thread::spawn(move || loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let portal = portal.clone();
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(&portal, stream);
-                        });
+                        // The shutdown wake-up is itself a connection;
+                        // check the flag before queueing anything.
+                        if flag.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if !queue.push(stream) {
+                            break;
+                        }
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    Err(_) => {
+                        if flag.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Transient accept failure (e.g. EMFILE); keep going.
                     }
-                    Err(_) => break,
                 }
-            }
-        });
+            })
+        };
+
         Ok(Server {
             addr,
             shutdown,
-            handle: Some(handle),
+            queue,
+            accept_handle: Some(accept_handle),
+            workers,
         })
     }
 
@@ -56,10 +201,20 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting and join the accept loop.
+    /// Stop accepting, drain the queue, and join every thread.
     pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.handle.take() {
+        self.queue.close();
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -67,41 +222,132 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.shutdown_and_join();
     }
 }
 
-fn handle_connection(portal: &Portal, mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
-    let mut buf = Vec::with_capacity(4096);
+/// Serve one connection to completion: a keep-alive loop parsing requests
+/// incrementally and answering each with Content-Length framing.
+fn serve_connection(
+    portal: &Portal,
+    mut stream: TcpStream,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(config.idle_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut parser = RequestParser::new();
     let mut chunk = [0u8; 4096];
-    let response = loop {
-        match Request::parse(&buf) {
-            Ok(req) => break portal.handle(&req),
-            Err(crate::http::HttpError::Incomplete) => {
-                if buf.len() > 1 << 20 {
-                    break Response::bad_request("request too large");
+    let mut out = Vec::with_capacity(4096);
+    loop {
+        // Drain every complete request already buffered (pipelining)
+        // before going back to the socket.
+        loop {
+            match parser.next_request() {
+                Ok(Some((request, client_keep_alive))) => {
+                    let keep_alive = config.keep_alive && client_keep_alive;
+                    let response = portal.handle(&request);
+                    out.clear();
+                    response.write_into(&mut out, keep_alive);
+                    stream.write_all(&out)?;
+                    if !keep_alive {
+                        return Ok(());
+                    }
                 }
-                let n = stream.read(&mut chunk)?;
-                if n == 0 {
-                    return Ok(()); // client hung up mid-request
+                Ok(None) => break,
+                Err(_) => {
+                    let response = Response::bad_request("malformed request");
+                    out.clear();
+                    response.write_into(&mut out, false);
+                    stream.write_all(&out)?;
+                    return Ok(());
                 }
-                buf.extend_from_slice(&chunk[..n]);
             }
-            Err(_) => break Response::bad_request("malformed request"),
         }
-    };
-    stream.write_all(&response.to_bytes())
+        if parser.buffered() > config.max_request_bytes {
+            let response = Response::bad_request("request too large");
+            out.clear();
+            response.write_into(&mut out, false);
+            stream.write_all(&out)?;
+            return Ok(());
+        }
+        // Idle timeout and EOF both end the connection here.
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(());
+        }
+        parser.extend(&chunk[..n]);
+    }
 }
 
-/// A tiny blocking HTTP client for tests and examples.
+/// Read one Content-Length-framed response from `stream`, consuming from
+/// (and refilling) `buf`, which may already hold pipelined bytes. Public
+/// so load-generating clients (benches) can drive a keep-alive
+/// connection request-by-request.
+pub fn read_framed_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<String> {
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before response headers",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let total = header_end + 4 + content_length;
+    while buf.len() < total {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let raw = String::from_utf8_lossy(&buf[..total]).into_owned();
+    buf.drain(..total);
+    Ok(raw)
+}
+
+/// A tiny blocking HTTP client for tests and examples: one request, one
+/// response, framed by Content-Length (a keep-alive server no longer
+/// closes the connection to delimit the body).
 pub fn fetch(addr: SocketAddr, raw_request: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.write_all(raw_request.as_bytes())?;
-    let mut out = String::new();
-    stream.read_to_string(&mut out)?;
+    let mut buf = Vec::new();
+    read_framed_response(&mut stream, &mut buf)
+}
+
+/// Send several requests over ONE connection (written back-to-back, i.e.
+/// pipelined) and read the same number of framed responses — the
+/// keep-alive client the multi-request tests and benches use.
+pub fn fetch_pipelined(addr: SocketAddr, raw_requests: &[&str]) -> std::io::Result<Vec<String>> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut wire = Vec::new();
+    for r in raw_requests {
+        wire.extend_from_slice(r.as_bytes());
+    }
+    stream.write_all(&wire)?;
+    let mut buf = Vec::new();
+    let mut out = Vec::with_capacity(raw_requests.len());
+    for _ in raw_requests {
+        out.push(read_framed_response(&mut stream, &mut buf)?);
+    }
     Ok(out)
 }

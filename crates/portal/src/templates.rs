@@ -68,7 +68,70 @@ impl Template {
 
     pub fn render(&self, ctx: &Value) -> String {
         let mut out = String::new();
-        render_nodes(&self.nodes, std::slice::from_ref(ctx), &mut out);
+        self.render_into(ctx, &mut out);
+        out
+    }
+
+    /// Render appending to an existing buffer (callers size-hint it).
+    pub fn render_into(&self, ctx: &Value, out: &mut String) {
+        render_nodes(&self.nodes, std::slice::from_ref(ctx), out);
+    }
+}
+
+/// A set of precompiled templates, parsed once and rendered many times.
+///
+/// Each entry remembers the largest output it has produced so far and
+/// pre-sizes the next render's buffer accordingly — page renders stop
+/// paying repeated `String` growth reallocations once warm. Registries are
+/// built at startup (or first use, behind a `OnceLock`) so the per-request
+/// path never touches the parser.
+#[derive(Debug, Default)]
+pub struct TemplateRegistry {
+    templates: std::collections::BTreeMap<&'static str, RegisteredTemplate>,
+}
+
+#[derive(Debug)]
+struct RegisteredTemplate {
+    template: Template,
+    size_hint: std::sync::atomic::AtomicUsize,
+}
+
+impl TemplateRegistry {
+    pub fn new() -> TemplateRegistry {
+        TemplateRegistry::default()
+    }
+
+    /// Compile and register a template under `name`.
+    pub fn register(&mut self, name: &'static str, source: &str) -> Result<(), TemplateError> {
+        let template = Template::parse(source)?;
+        self.templates.insert(
+            name,
+            RegisteredTemplate {
+                template,
+                size_hint: std::sync::atomic::AtomicUsize::new(source.len()),
+            },
+        );
+        Ok(())
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Template> {
+        self.templates.get(name).map(|r| &r.template)
+    }
+
+    /// Render a registered template with a size-hinted output buffer.
+    ///
+    /// # Panics
+    /// Panics on an unregistered name — registry contents are static
+    /// program data, so a miss is a programming error, not input.
+    pub fn render(&self, name: &str, ctx: &Value) -> String {
+        use std::sync::atomic::Ordering;
+        let reg = self
+            .templates
+            .get(name)
+            .unwrap_or_else(|| panic!("template {name:?} is not registered"));
+        let mut out = String::with_capacity(reg.size_hint.load(Ordering::Relaxed));
+        reg.template.render_into(ctx, &mut out);
+        reg.size_hint.fetch_max(out.len(), Ordering::Relaxed);
         out
     }
 }
@@ -404,5 +467,32 @@ mod tests {
         let t = Template::parse("{{ n }}").unwrap();
         assert_eq!(t.render(&json!({"n": 1})), "1");
         assert_eq!(t.render(&json!({"n": 2})), "2");
+    }
+
+    #[test]
+    fn registry_renders_and_learns_size_hint() {
+        let mut reg = TemplateRegistry::new();
+        reg.register("greet", "hello {{ who }}!").unwrap();
+        assert_eq!(
+            reg.render("greet", &json!({"who": "world"})),
+            "hello world!"
+        );
+        // a large render raises the hint; the next render pre-sizes to it
+        let big = "x".repeat(4096);
+        assert_eq!(
+            reg.render("greet", &json!({"who": big})).len(),
+            4096 + "hello !".len()
+        );
+        let hinted = reg.render("greet", &json!({"who": "tiny"}));
+        assert_eq!(hinted, "hello tiny!");
+        assert!(reg.get("greet").is_some());
+        assert!(reg.get("nope").is_none());
+        assert!(reg.register("bad", "{% if x %}").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn registry_panics_on_unknown_name() {
+        TemplateRegistry::new().render("missing", &json!({}));
     }
 }

@@ -24,6 +24,13 @@ pub enum LogOp {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// Monotone per-table modification counters, bumped on every committed
+    /// insert/update/delete (and at table creation) under the same exclusive
+    /// access as the data change itself. Consumers that stamp derived state
+    /// (e.g. the portal's response cache) compare these to detect precisely
+    /// which tables changed. Runtime-only: rebuilt from zero on load.
+    #[serde(skip)]
+    versions: BTreeMap<String, u64>,
 }
 
 impl Database {
@@ -51,7 +58,19 @@ impl Database {
         }
         let table = Table::new(schema.clone())?;
         self.tables.insert(schema.name.clone(), table);
+        self.bump_version(&schema.name);
         Ok(LogOp::CreateTable { schema })
+    }
+
+    /// Current modification counter for `table` (0 for untouched/unknown
+    /// tables). Strictly increases with every committed mutation of the
+    /// table, atomically with the data change.
+    pub fn table_version(&self, table: &str) -> u64 {
+        self.versions.get(table).copied().unwrap_or(0)
+    }
+
+    fn bump_version(&mut self, table: &str) {
+        *self.versions.entry(table.to_string()).or_insert(0) += 1;
     }
 
     pub fn table(&self, name: &str) -> Result<&Table, DbError> {
@@ -125,6 +144,7 @@ impl Database {
     pub fn insert_row(&mut self, table: &str, row: Row) -> Result<(i64, LogOp), DbError> {
         self.check_foreign_keys(table, &row)?;
         let id = self.table_mut(table)?.insert(row.clone())?;
+        self.bump_version(table);
         Ok((
             id,
             LogOp::Insert {
@@ -149,6 +169,7 @@ impl Database {
     pub fn update_row(&mut self, table: &str, id: i64, row: Row) -> Result<LogOp, DbError> {
         self.check_foreign_keys(table, &row)?;
         self.table_mut(table)?.update(id, row.clone())?;
+        self.bump_version(table);
         Ok(LogOp::Update {
             table: table.to_string(),
             id,
@@ -277,6 +298,14 @@ impl Database {
             self.table_mut(&t)?.delete(rid)?;
             ops.push(LogOp::Delete { table: t, id: rid });
         }
+        for op in &ops {
+            match op {
+                LogOp::Update { table, .. } | LogOp::Delete { table, .. } => {
+                    self.bump_version(table)
+                }
+                _ => {}
+            }
+        }
         Ok(ops)
     }
 
@@ -318,12 +347,15 @@ impl Database {
             }
             LogOp::Insert { table, id, row } => {
                 self.table_mut(table)?.insert_with_id(*id, row.clone())?;
+                self.bump_version(table);
             }
             LogOp::Update { table, id, row } => {
                 self.table_mut(table)?.update(*id, row.clone())?;
+                self.bump_version(table);
             }
             LogOp::Delete { table, id } => {
                 self.table_mut(table)?.delete(*id)?;
+                self.bump_version(table);
             }
         }
         Ok(())

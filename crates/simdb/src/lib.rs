@@ -188,6 +188,20 @@ impl Db {
         f(&self.shared.database.read())
     }
 
+    /// Current modification counter for `table` (see
+    /// [`Database::table_version`]). Monotone; bumped atomically with every
+    /// committed mutation of the table.
+    pub fn table_version(&self, table: &str) -> u64 {
+        self.shared.database.read().table_version(table)
+    }
+
+    /// Read several tables' modification counters under a single lock
+    /// acquisition (one consistent point in time for the whole stamp).
+    pub fn table_versions(&self, tables: &[&str]) -> Vec<u64> {
+        let guard = self.shared.database.read();
+        tables.iter().map(|t| guard.table_version(t)).collect()
+    }
+
     fn append_wal(&self, ops: &[LogOp]) -> Result<(), DbError> {
         if let Some(w) = &self.shared.wal {
             w.append(ops)?;
@@ -293,6 +307,17 @@ impl Connection {
     pub fn count(&self, table: &str, query: &Query) -> Result<usize, DbError> {
         self.role.check(table, Action::Select)?;
         self.db.shared.database.read().count(table, query)
+    }
+
+    /// Modification counter for `table` — cache-invalidation metadata, not
+    /// row data, so no table grant is required.
+    pub fn table_version(&self, table: &str) -> u64 {
+        self.db.table_version(table)
+    }
+
+    /// Several tables' counters read under one lock acquisition.
+    pub fn table_versions(&self, tables: &[&str]) -> Vec<u64> {
+        self.db.table_versions(tables)
     }
 
     /// Run several mutations atomically: either every operation commits (and
@@ -551,6 +576,47 @@ mod tests {
         );
         // compaction without persistence configured is an error
         assert!(Db::in_memory().compact().is_err());
+    }
+
+    #[test]
+    fn table_versions_track_mutations_precisely() {
+        let db = setup();
+        let admin = db.connect("admin").unwrap();
+        let web = db.connect("web").unwrap();
+        // table creation counts as version 1
+        assert_eq!(db.table_version("star"), 1);
+        assert_eq!(db.table_version("nope"), 0);
+
+        let v0 = web.table_version("star");
+        let id = admin.insert("star", &[("name", "HD1".into())]).unwrap();
+        assert_eq!(web.table_version("star"), v0 + 1);
+        admin.update("star", id, &[("name", "HD2".into())]).unwrap();
+        assert_eq!(web.table_version("star"), v0 + 2);
+        // an unrelated table is untouched
+        assert_eq!(web.table_version("request"), 1);
+        admin.delete("star", id).unwrap();
+        assert_eq!(web.table_version("star"), v0 + 3);
+
+        // failed mutations don't bump
+        let v = db.table_version("star");
+        assert!(admin.insert("star", &[("nope", Value::Int(1))]).is_err());
+        assert_eq!(db.table_version("star"), v);
+
+        // rolled-back transactions don't bump either
+        let v = db.table_version("star");
+        let _ = admin.transaction(|tx| {
+            tx.insert("star", &[("name", "HD3".into())])?;
+            Err::<(), _>(DbError::Io("abort".into()))
+        });
+        assert_eq!(db.table_version("star"), v);
+        admin
+            .transaction(|tx| tx.insert("star", &[("name", "HD3".into())]))
+            .unwrap();
+        assert_eq!(db.table_version("star"), v + 1);
+
+        // multi-table stamp under one lock
+        let stamp = web.table_versions(&["star", "request"]);
+        assert_eq!(stamp, vec![db.table_version("star"), 1]);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Serving-layer integration: concurrent keep-alive load over the
+//! worker-pool TCP server, and the cache-transparency property — a portal
+//! serving from the versioned response cache is byte-identical to one
+//! rendering every request fresh, under arbitrary write/read
+//! interleavings.
+
+use std::sync::Arc;
+
+use amp::core::{roles, setup};
+use amp::portal::server::{fetch, fetch_pipelined};
+use amp::portal::{hash_password, Portal, PortalConfig, Request, Server, ServerConfig};
+use amp::prelude::*;
+use amp::simdb::Db;
+use proptest::prelude::*;
+
+fn fresh_db() -> Db {
+    let db = Db::in_memory();
+    setup::initialize(&db).unwrap();
+    db
+}
+
+fn star(ident: &str) -> Star {
+    Star {
+        id: None,
+        identifier: ident.to_string(),
+        name: None,
+        hd_number: None,
+        kic_number: None,
+        ra: 1.0,
+        dec: 2.0,
+        vmag: 5.0,
+        in_kepler_field: false,
+        source: "local".into(),
+        has_results: false,
+    }
+}
+
+/// Log a pre-approved user in through the portal and return the session
+/// cookie value.
+fn login(portal: &Portal, db: &Db, username: &str, password: &str) -> String {
+    let admin = db.connect(roles::ROLE_ADMIN).unwrap();
+    let mut u = AmpUser::new(
+        username,
+        &format!("{username}@x.edu"),
+        &hash_password(password, "s"),
+        0,
+    );
+    u.approved = true;
+    Manager::<AmpUser>::new(admin).create(&mut u).unwrap();
+    let resp = portal.handle(&Request::post(
+        "/accounts/login",
+        &[("username", username), ("password", password)],
+    ));
+    assert_eq!(resp.status, 302, "{}", resp.body_str());
+    resp.headers
+        .iter()
+        .find(|(k, _)| k == "Set-Cookie")
+        .map(|(_, v)| {
+            v.split(';')
+                .next()
+                .unwrap()
+                .trim_start_matches("amp_session=")
+                .to_string()
+        })
+        .expect("session cookie")
+}
+
+/// N client threads, each pushing M pipelined keep-alive requests over a
+/// single connection. Every response must be a well-formed HTTP/1.1 200,
+/// and every response must match the requester's session — the anonymous
+/// threads never see the logged-in user's page (i.e. the cache never
+/// leaks a session-rendered response) and vice versa.
+#[test]
+fn concurrent_keep_alive_load_is_well_formed_and_session_consistent() {
+    let db = fresh_db();
+    let admin = db.connect(roles::ROLE_ADMIN).unwrap();
+    let stars = Manager::<Star>::new(admin);
+    for i in 0..12 {
+        stars.create(&mut star(&format!("HD {i}"))).unwrap();
+    }
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+    let cookie = login(&portal, &db, "alice", "pulsations");
+
+    let server = Server::spawn_with(
+        portal.clone(),
+        0,
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    const THREADS: usize = 8;
+    const REQUESTS: usize = 25;
+    let paths = ["/", "/stars", "/stars?page=2"];
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cookie = cookie.clone();
+            std::thread::spawn(move || {
+                // the last thread is alice; the rest are anonymous
+                let logged_in = t == THREADS - 1;
+                let requests: Vec<String> = (0..REQUESTS)
+                    .map(|i| {
+                        let path = paths[(t + i) % paths.len()];
+                        if logged_in {
+                            format!(
+                                "GET {path} HTTP/1.1\r\nHost: t\r\nCookie: amp_session={cookie}\r\n\r\n"
+                            )
+                        } else {
+                            format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n")
+                        }
+                    })
+                    .collect();
+                let refs: Vec<&str> = requests.iter().map(|s| s.as_str()).collect();
+                let responses = fetch_pipelined(addr, &refs).expect("pipelined fetch");
+                assert_eq!(responses.len(), REQUESTS);
+                for r in &responses {
+                    assert!(r.starts_with("HTTP/1.1 200"), "{}", &r[..60.min(r.len())]);
+                    if logged_in {
+                        assert!(r.contains("alice"), "logged-in response lost its session");
+                        assert!(!r.contains(">log in<"));
+                    } else {
+                        assert!(r.contains(">log in<"), "anonymous response has a session");
+                        assert!(!r.contains("alice"));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The anonymous traffic repeated 3 paths 7×25 times: the versioned
+    // cache must have served the overwhelming majority of them.
+    assert!(
+        portal.cache().hits() > 100,
+        "only {} cache hits",
+        portal.cache().hits()
+    );
+    server.stop();
+}
+
+/// `Connection: close` clients (the seed behaviour) still work, and the
+/// single-request `fetch` helper frames by Content-Length.
+#[test]
+fn close_and_keep_alive_clients_interoperate() {
+    let db = fresh_db();
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+    let server = Server::spawn(portal, 0).unwrap();
+    let addr = server.addr();
+
+    let closed = fetch(
+        addr,
+        "GET /stars HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    assert!(closed.starts_with("HTTP/1.1 200"));
+    assert!(closed.to_ascii_lowercase().contains("connection: close"));
+
+    let kept = fetch(addr, "GET /stars HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    assert!(kept.starts_with("HTTP/1.1 200"));
+    assert!(kept.to_ascii_lowercase().contains("connection: keep-alive"));
+
+    // HTTP/1.0 defaults to close
+    let old = fetch(addr, "GET /stars HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+    assert!(old.to_ascii_lowercase().contains("connection: close"));
+    server.stop();
+}
+
+/// A random step against the shared database / the two portals.
+#[derive(Debug, Clone)]
+enum Step {
+    InsertStar(u16),
+    RenameStar { pick: u8, name: u16 },
+    ToggleResults { pick: u8 },
+    Read { route: u8 },
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u16..400).prop_map(Step::InsertStar),
+        (any::<u8>(), 0u16..400).prop_map(|(pick, name)| Step::RenameStar { pick, name }),
+        any::<u8>().prop_map(|pick| Step::ToggleResults { pick }),
+        // reads dominate, as they would in production traffic
+        (any::<u8>(), any::<u8>()).prop_map(|(route, _)| Step::Read { route }),
+        (any::<u8>(), any::<u8>()).prop_map(|(route, _)| Step::Read { route }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cache transparency: a cache-enabled portal and a cache-disabled
+    /// portal over the SAME database return byte-identical responses
+    /// (status, headers, body) at every read, no matter how writes and
+    /// reads interleave.
+    #[test]
+    fn cached_responses_are_byte_identical_to_fresh_renders(
+        steps in proptest::collection::vec(arb_step(), 1..60)
+    ) {
+        let db = fresh_db();
+        let admin = db.connect(roles::ROLE_ADMIN).unwrap();
+        let stars = Manager::<Star>::new(admin);
+        stars.create(&mut star("HD 0")).unwrap();
+
+        let cached = Portal::new(&db, PortalConfig::default()).unwrap();
+        let fresh = Portal::new(
+            &db,
+            PortalConfig { cache_enabled: false, ..PortalConfig::default() },
+        )
+        .unwrap();
+        prop_assert!(cached.config.cache_enabled);
+
+        let mut known: Vec<String> = vec!["HD 0".into()];
+        for step in &steps {
+            match step {
+                Step::InsertStar(n) => {
+                    let ident = format!("HD {n}");
+                    if !known.contains(&ident) {
+                        stars.create(&mut star(&ident)).unwrap();
+                        known.push(ident);
+                    }
+                }
+                Step::RenameStar { pick, name } => {
+                    let ident = &known[*pick as usize % known.len()];
+                    if let Some(mut s) =
+                        stars.first(&Query::new().eq("identifier", ident.as_str())).unwrap()
+                    {
+                        s.name = Some(format!("Name {name}"));
+                        stars.save(&s).unwrap();
+                    }
+                }
+                Step::ToggleResults { pick } => {
+                    let ident = &known[*pick as usize % known.len()];
+                    if let Some(mut s) =
+                        stars.first(&Query::new().eq("identifier", ident.as_str())).unwrap()
+                    {
+                        s.has_results = !s.has_results;
+                        stars.save(&s).unwrap();
+                    }
+                }
+                Step::Read { route } => {
+                    let detail = format!(
+                        "/star/{}",
+                        known[*route as usize % known.len()].replace(' ', "%20")
+                    );
+                    let path = match route % 4 {
+                        0 => "/",
+                        1 => "/stars",
+                        2 => "/stars?page=2",
+                        _ => detail.as_str(),
+                    };
+                    let req = Request::get(path);
+                    let a = cached.handle(&req);
+                    let b = fresh.handle(&req);
+                    prop_assert_eq!(a.status, b.status, "status diverged on {}", path);
+                    prop_assert_eq!(&a.headers, &b.headers, "headers diverged on {}", path);
+                    prop_assert_eq!(&a.body, &b.body, "body diverged on {}", path);
+                }
+            }
+        }
+        // fresh portal never populated a cache
+        prop_assert!(fresh.cache().is_empty());
+    }
+}
