@@ -1,0 +1,144 @@
+//! End-to-end observability report: drives a small workload through every
+//! tier (portal over TCP, durable simdb, the gridamp daemon with an
+//! injected transient fault, a GA optimization), then prints the full
+//! Prometheus scrape and the flight-recorder dump — the operator's view
+//! of the stack after a realistic session.
+//!
+//! Usage:
+//!   cargo run --release -p amp-bench --bin report_metrics [-- --smoke]
+//!
+//! `--smoke` shrinks the workload (fewer requests, smaller GA) so CI can
+//! execute the full binary path in seconds. The binary exits nonzero if
+//! any expected metric family is missing from the scrape, so CI catches
+//! an instrumentation regression, not just a compile error.
+
+use std::sync::Arc;
+
+use amp_core::models::Simulation;
+use amp_core::{roles, setup, OptimizationSpec, SimStatus};
+use amp_grid::{Service, SimTime};
+use amp_portal::server::fetch;
+use amp_portal::{Portal, PortalConfig, Server, ServerConfig};
+use amp_simdb::orm::Manager;
+use amp_simdb::Db;
+use amp_stellar::StellarParams;
+
+fn truth() -> StellarParams {
+    StellarParams {
+        mass: 1.05,
+        metallicity: 0.02,
+        helium: 0.27,
+        alpha: 2.0,
+        age: 4.0,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let requests = if smoke { 20 } else { 200 };
+    let (population, generations) = if smoke { (10, 5) } else { (20, 30) };
+
+    // --- simdb tier, durable: WAL fsyncs / commit batches / lock holds ---
+    let dir = std::env::temp_dir().join(format!("amp_report_metrics_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    {
+        let db = Db::open(dir.join("amp.snap"), dir.join("amp.wal")).expect("durable db");
+        setup::initialize(&db).expect("schema");
+        let admin = db.connect(roles::ROLE_ADMIN).expect("admin");
+        let stars = Manager::<amp_core::models::Star>::new(admin);
+        for s in amp_stellar::famous_stars().iter().take(5) {
+            let mut star = amp_core::models::Star::from_catalog(s, "local");
+            stars.create(&mut star).expect("star");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- daemon + GA tier: optimization on simulated Kraken, with a
+    //     one-hour GRAM outage to exercise the transient-retry path ---
+    let mut dep = amp_gridamp::deploy(
+        amp_grid::systems::kraken(),
+        amp_gridamp::DaemonConfig::default(),
+        None,
+    )
+    .expect("deploy");
+    dep.grid
+        .faults
+        .add_outage("kraken", Service::Gram, SimTime(600), SimTime(4200));
+    let (user, star, alloc, obs_id) =
+        amp_gridamp::seed_fixtures(&dep.db, "kraken", &truth(), 1).expect("fixtures");
+    let web = dep.db.connect(roles::ROLE_WEB).expect("web");
+    let spec = OptimizationSpec {
+        ga_runs: 1,
+        population,
+        generations,
+        cores_per_run: 128,
+        seed: 11,
+    };
+    let mut sim = Simulation::new_optimization(star, user, spec, obs_id, "kraken", alloc, 0);
+    let sim_id = Manager::<Simulation>::new(web)
+        .create(&mut sim)
+        .expect("sim");
+    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    let admin = dep.db.connect(roles::ROLE_ADMIN).expect("admin");
+    let done = Manager::<Simulation>::new(admin)
+        .get(sim_id)
+        .expect("sim row");
+    assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
+
+    // --- portal tier: real TCP requests through the worker-pool server ---
+    let portal = Arc::new(Portal::new(&dep.db, PortalConfig::default()).expect("portal"));
+    let server = Server::spawn_with(portal, 0, ServerConfig::default()).expect("server");
+    let addr = server.addr();
+    for i in 0..requests {
+        let path = if i % 3 == 0 { "/" } else { "/stars" };
+        let resp = fetch(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n"),
+        )
+        .expect("fetch");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{path}");
+    }
+    let scrape = fetch(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n",
+    )
+    .expect("scrape");
+    server.stop();
+
+    println!("== Prometheus scrape (GET /metrics) ==");
+    let body = scrape
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    println!("{body}");
+    println!("== flight recorder ==");
+    print!("{}", amp_obs::flight().render());
+
+    let expected = [
+        "portal_requests_total",
+        "portal_request_seconds",
+        "portal_conn_queue_wait_seconds",
+        "simdb_plan_total",
+        "simdb_wal_fsync_total",
+        "simdb_write_lock_hold_seconds",
+        "daemon_transitions_total",
+        "daemon_gram_poll_seconds",
+        "daemon_transient_retries_total",
+        "ga_evals_total",
+    ];
+    let missing: Vec<&str> = expected
+        .iter()
+        .copied()
+        .filter(|f| !body.contains(f))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("FAIL: scrape is missing metric families: {missing:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "OK: all {} expected metric families present; {} flight events recorded",
+        expected.len(),
+        amp_obs::flight().recorded()
+    );
+}

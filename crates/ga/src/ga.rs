@@ -20,6 +20,21 @@ use crate::encoding::Genome;
 use crate::operators::{adapt_pmut, crossover, fitness_ranks, mutate, select_ranked, MutationMode};
 use crate::problem::Problem;
 
+/// Fitness-evaluation accounting: fresh evaluations vs individuals whose
+/// cached fitness (elites, checkpoint restores) let us skip the model run.
+struct GaMetrics {
+    evals: amp_obs::Counter,
+    cached_skips: amp_obs::Counter,
+}
+
+fn obs_metrics() -> &'static GaMetrics {
+    static METRICS: std::sync::OnceLock<GaMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| GaMetrics {
+        evals: amp_obs::counter("ga_evals_total"),
+        cached_skips: amp_obs::counter("ga_cached_skips_total"),
+    })
+}
+
 /// Engine configuration. Defaults reproduce the paper's Kepler setup.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaConfig {
@@ -171,13 +186,16 @@ impl<'p, P: Problem> Ga<'p, P> {
     /// re-evaluating them was pure waste.
     fn evaluate_all(&mut self) {
         let problem = self.problem;
+        let m = obs_metrics();
         self.population.par_iter_mut().for_each(|ind| {
             if ind.evaluated {
+                m.cached_skips.inc();
                 return;
             }
             ind.phenotype = ind.genome.decode();
             ind.fitness = problem.fitness(&ind.phenotype);
             ind.evaluated = true;
+            m.evals.inc();
         });
     }
 

@@ -38,6 +38,29 @@ use crate::clilog::{gram_status_cmdline, OpOutcome, OpsEntry, OpsLog};
 use crate::error::WorkflowError;
 use crate::workflow::{owner_username, step, DaemonConfig, StageCtx};
 
+/// Daemon-wide metric handles (global registry, resolved once). The
+/// per-state transition and per-site poll series are labelled, so those
+/// go through the registry at the call site; everything with a fixed name
+/// lives here.
+struct DaemonMetrics {
+    job_transitions: amp_obs::Counter,
+    transient_retries: amp_obs::Counter,
+    backoffs: amp_obs::Counter,
+    holds: amp_obs::Counter,
+    errors: amp_obs::Counter,
+}
+
+fn obs_metrics() -> &'static DaemonMetrics {
+    static METRICS: std::sync::OnceLock<DaemonMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| DaemonMetrics {
+        job_transitions: amp_obs::counter("daemon_job_transitions_total"),
+        transient_retries: amp_obs::counter("daemon_transient_retries_total"),
+        backoffs: amp_obs::counter("daemon_backoffs_total"),
+        holds: amp_obs::counter("daemon_holds_total"),
+        errors: amp_obs::counter("daemon_errors_total"),
+    })
+}
+
 /// Opt-in per-tick profile of the sequential engine, for scalability
 /// reporting: the measured service time of every phase-1 poll and every
 /// phase-2 step, keyed by owning simulation, plus the whole tick's wall
@@ -136,7 +159,15 @@ fn poll_job_once(
         SimDuration::from_hours(config.proxy_lifetime_hours),
     );
     outcome.polled = true;
-    match grid.gram_status(&job.site, &proxy, &handle) {
+    let poll_timer = std::time::Instant::now();
+    let status = grid.gram_status(&job.site, &proxy, &handle);
+    amp_obs::registry()
+        .histogram(
+            &amp_obs::labeled("daemon_gram_poll_seconds", &[("site", &job.site)]),
+            amp_obs::Unit::Seconds,
+        )
+        .observe_duration(poll_timer.elapsed());
+    match status {
         Ok(state) => {
             let new_status = match &state {
                 GramState::Pending => JobStatus::Pending,
@@ -155,11 +186,21 @@ fn poll_job_once(
                 }
                 if jobs.save(job).is_ok() {
                     outcome.transitioned = true;
+                    obs_metrics().job_transitions.inc();
                 }
             }
         }
         Err(e) if e.is_transient() => {
             outcome.transient = true;
+            amp_obs::flight().record(
+                "grid_fault",
+                format!(
+                    "t={} site {} sim {}: {e}",
+                    now.as_secs(),
+                    job.site,
+                    job.simulation_id
+                ),
+            );
             // Anticipated transient: administrators notified, the
             // user-visible display annotated, processing retried.
             outcome.ops = Some(OpsEntry {
@@ -318,6 +359,13 @@ impl GridAmp {
             report
         };
         self.last_heartbeat = Some(grid.now().as_secs() as i64);
+        // Daemon-class errors are the flight recorder's reason to exist:
+        // count them and leave a breadcrumb trail for the failure dump.
+        let now = grid.now().as_secs();
+        for msg in &report.daemon_errors {
+            obs_metrics().errors.inc();
+            amp_obs::flight().record("daemon_error", format!("t={now}: {msg}"));
+        }
         report
     }
 
@@ -475,6 +523,19 @@ impl GridAmp {
                     return;
                 }
                 report.transitions.push((sim_id, from, next));
+                amp_obs::counter(&amp_obs::labeled(
+                    "daemon_transitions_total",
+                    &[("from", from.as_str()), ("to", next.as_str())],
+                ))
+                .inc();
+                amp_obs::flight().record(
+                    "transition",
+                    format!(
+                        "t={now} sim {sim_id}: {} -> {}",
+                        from.as_str(),
+                        next.as_str()
+                    ),
+                );
                 self.send_transition_mail(sim, from, next, now);
             }
             Ok(None) => {
@@ -491,6 +552,11 @@ impl GridAmp {
                     *s += 1;
                     *s
                 };
+                obs_metrics().transient_retries.inc();
+                amp_obs::flight().record(
+                    "transient",
+                    format!("t={now} sim {sim_id} streak {streak}: {msg}"),
+                );
                 // Silent for users; a plain-text note on the status
                 // display and an admin notification on first sight.
                 sim.status_message = msg.clone();
@@ -506,6 +572,11 @@ impl GridAmp {
                     let exp = (streak - 1).min(16);
                     let delay = self.config.transient_backoff_base_ticks << exp;
                     self.next_attempt.insert(sim_id, self.ticks + delay);
+                    obs_metrics().backoffs.inc();
+                    amp_obs::flight().record(
+                        "backoff",
+                        format!("t={now} sim {sim_id}: retry in {delay} ticks"),
+                    );
                 }
             }
             Err(WorkflowError::ModelFailure(msg)) => {
@@ -692,6 +763,8 @@ impl GridAmp {
         if self.sims().save(sim).is_ok() {
             report.new_holds += 1;
             let sim_id = sim.id.expect("saved");
+            obs_metrics().holds.inc();
+            amp_obs::flight().record("hold", format!("t={now} sim {sim_id}: {msg}"));
             self.transient_streak.remove(&sim_id);
             self.next_attempt.remove(&sim_id);
             self.notify_user(

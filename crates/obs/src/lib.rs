@@ -1,0 +1,127 @@
+//! Observability substrate for the AMP stack.
+//!
+//! The paper's operational story (§4.4) is that AMP works because its
+//! operators can *see* what the daemon and the grid are doing — the
+//! Globus-CLI transparency log existed purely for troubleshooting. This
+//! crate is the reproduction's equivalent, shaped like a modern serving
+//! stack's instrumentation layer:
+//!
+//! * a [`Registry`] of lock-free metrics — [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s with p50/p99 extraction — where the hot
+//!   path is a single relaxed atomic op on a cached handle (registration
+//!   takes a lock once; observation never does);
+//! * a bounded ring-buffer [`FlightRecorder`] of structured events (the
+//!   last N daemon state transitions, grid faults, retries) that can be
+//!   dumped when something goes wrong;
+//! * Prometheus text exposition ([`Registry::render_prometheus`]) so the
+//!   portal can serve `GET /metrics`.
+//!
+//! The crate sits at the very bottom of the workspace graph (std only, no
+//! dependencies) so every tier — simdb, the gridamp daemon, the GA, the
+//! portal — can report into one process-wide registry ([`registry()`],
+//! [`flight()`]).
+
+mod metrics;
+mod recorder;
+
+pub use metrics::{
+    count_buckets, latency_buckets, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Unit,
+};
+pub use recorder::{FlightEvent, FlightRecorder};
+
+use std::sync::OnceLock;
+
+/// Default capacity of the global flight recorder.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-wide metrics registry. Instantiated lazily; a process that
+/// never records a metric never allocates one.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// The process-wide flight recorder (capacity [`FLIGHT_CAPACITY`]).
+pub fn flight() -> &'static FlightRecorder {
+    FLIGHT.get_or_init(|| FlightRecorder::new(FLIGHT_CAPACITY))
+}
+
+/// Register (or look up) a counter in the global registry.
+pub fn counter(name: &str) -> Counter {
+    registry().counter(name)
+}
+
+/// Register (or look up) a gauge in the global registry.
+pub fn gauge(name: &str) -> Gauge {
+    registry().gauge(name)
+}
+
+/// Register (or look up) a latency histogram (nanosecond observations,
+/// rendered as seconds) in the global registry.
+pub fn histogram(name: &str) -> Histogram {
+    registry().histogram(name, Unit::Seconds)
+}
+
+/// Render every global metric in Prometheus text exposition format.
+pub fn render_prometheus() -> String {
+    registry().render_prometheus()
+}
+
+/// Build a `name{k="v",...}` metric key. Label values are escaped per the
+/// Prometheus text format (`\\`, `\"`, `\n`).
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_builds_prometheus_keys() {
+        assert_eq!(labeled("m", &[]), "m{}");
+        assert_eq!(
+            labeled(
+                "portal_requests_total",
+                &[("route", "/stars"), ("status", "200")]
+            ),
+            "portal_requests_total{route=\"/stars\",status=\"200\"}"
+        );
+        assert_eq!(
+            labeled("m", &[("k", "a\"b\\c\nd")]),
+            "m{k=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn global_registry_and_flight_are_singletons() {
+        let c = counter("obs_test_global_total");
+        c.inc();
+        let again = counter("obs_test_global_total");
+        assert!(again.get() >= 1);
+        flight().record("test", "global flight recorder works");
+        assert!(flight().events().iter().any(|e| e.category == "test"));
+    }
+}

@@ -1,0 +1,161 @@
+//! The flight recorder: a bounded ring buffer of structured events.
+//!
+//! Metrics tell you *how much*; the flight recorder tells you *what just
+//! happened*. Producers append cheap structured events (a daemon state
+//! transition, a grid fault, a retry) and the buffer keeps only the most
+//! recent N, so a long-running healthy process pays a fixed memory cost
+//! and a crash dump always shows the moments leading up to the failure —
+//! the same troubleshooting role the paper's Globus-CLI transparency log
+//! played (§4.4).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct FlightEvent {
+    /// Monotone sequence number (never reset; survives ring eviction, so
+    /// gaps reveal how much history was dropped).
+    pub seq: u64,
+    /// Coarse event class, e.g. `"transition"`, `"transient"`, `"hold"`.
+    pub category: &'static str,
+    /// Human-readable payload, formatted by the producer.
+    pub detail: String,
+}
+
+/// Bounded ring buffer of [`FlightEvent`]s. Recording takes a short
+/// mutex (append + possible pop); the buffer never grows past `capacity`.
+pub struct FlightRecorder {
+    capacity: usize,
+    next_seq: AtomicU64,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            next_seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn record(&self, category: &'static str, detail: impl Into<String>) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let event = FlightEvent {
+            seq,
+            category,
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock().expect("flight recorder lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.ring
+            .lock()
+            .expect("flight recorder lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight recorder lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.ring.lock().expect("flight recorder lock").clear();
+    }
+
+    /// Render the buffer as a human-readable dump (one event per line,
+    /// oldest first) — what gets printed on failure.
+    pub fn render(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 * events.len() + 64);
+        out.push_str(&format!(
+            "flight recorder: {} of {} events retained (capacity {})\n",
+            events.len(),
+            self.recorded(),
+            self.capacity
+        ));
+        for e in &events {
+            out.push_str(&format!(
+                "  [{:>6}] {:<12} {}\n",
+                e.seq, e.category, e.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_last_n_in_order() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10 {
+            rec.record("tick", format!("event {i}"));
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(rec.recorded(), 10);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(events[3].detail, "event 9");
+    }
+
+    #[test]
+    fn render_mentions_retention() {
+        let rec = FlightRecorder::new(2);
+        rec.record("a", "first");
+        rec.record("b", "second");
+        rec.record("c", "third");
+        let dump = rec.render();
+        assert!(
+            dump.contains("2 of 3 events retained (capacity 2)"),
+            "{dump}"
+        );
+        assert!(!dump.contains("first"), "{dump}");
+        assert!(dump.contains("second") && dump.contains("third"), "{dump}");
+    }
+
+    #[test]
+    fn concurrent_recording_is_bounded() {
+        let rec = FlightRecorder::new(16);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        rec.record("load", format!("t{t} i{i}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.recorded(), 400);
+        assert_eq!(rec.len(), 16);
+    }
+}

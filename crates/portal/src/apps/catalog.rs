@@ -13,7 +13,7 @@ use amp_simdb::orm::Manager;
 use amp_simdb::{Op, Query};
 use amp_stellar::{Constraint, ObservedMode, ObservedStar};
 
-use crate::http::{html_escape, urlencode, Request, Response};
+use crate::http::{html_escape, urlencode, urlencode_path, Request, Response};
 use crate::portal::Portal;
 use crate::router::Params;
 
@@ -42,7 +42,7 @@ pub fn browse(p: &Portal, req: &Request, _: &Params) -> Response {
     for s in &rows {
         list.push_str(&format!(
             "<li><a href=\"/star/{}\">{}</a>{}{}</li>",
-            urlencode(&s.identifier),
+            urlencode_path(&s.identifier),
             html_escape(&s.identifier),
             s.name
                 .as_deref()
@@ -125,7 +125,7 @@ pub fn search(p: &Portal, req: &Request, _: &Params) -> Response {
         for s in &hits {
             body.push_str(&format!(
                 "<li><a href=\"/star/{}\">{}</a></li>",
-                urlencode(&s.identifier),
+                urlencode_path(&s.identifier),
                 html_escape(&s.identifier)
             ));
         }
@@ -226,7 +226,7 @@ pub fn star_detail(p: &Portal, req: &Request, params: &Params) -> Response {
          <label>T<sub>eff</sub> <input name=\"teff\"> ± <input name=\"teff_sigma\"></label><br>\
          <label>L/L<sub>☉</sub> <input name=\"lum\"> ± <input name=\"lum_sigma\"></label><br>\
          <button>Upload observation set</button></form>",
-        urlencode(&star.identifier)
+        urlencode_path(&star.identifier)
     ));
     body.push_str("<h3>Simulations</h3><ul>");
     for s in &sims {
@@ -353,7 +353,7 @@ pub fn upload_observation(p: &Portal, req: &Request, params: &Params) -> Respons
         p.now(),
     );
     match Manager::<Observation>::new(p.conn().clone()).create(&mut rec) {
-        Ok(_) => Response::redirect(&format!("/star/{}", urlencode(&star.identifier))),
+        Ok(_) => Response::redirect(&format!("/star/{}", urlencode_path(&star.identifier))),
         Err(e) => Response::server_error(&e.to_string()),
     }
 }

@@ -37,6 +37,21 @@ pulsation frequencies.</p>\
 pub fn build_router(admin_enabled: bool) -> Router {
     let mut r = Router::new();
 
+    // observability: Prometheus text exposition of the process-wide
+    // metrics registry (portal + simdb + daemon + GA series). Never
+    // cached — scrapes must see live values.
+    r.get("/metrics", |_, _, _| {
+        use crate::http::Response;
+        Response {
+            status: 200,
+            headers: vec![(
+                "Content-Type".into(),
+                "text/plain; version=0.0.4; charset=utf-8".into(),
+            )],
+            body: amp_obs::render_prometheus().into_bytes(),
+        }
+    });
+
     // home
     r.get("/", |p, req, _| {
         use amp_core::models::{Simulation, Star};

@@ -120,8 +120,20 @@ pub enum HttpError {
     BadEncoding,
     BadStartLine,
     BadHeader,
+    /// Malformed, duplicated, or absurdly large `Content-Length`. Fatal
+    /// for the connection: with an untrusted length the body/next-request
+    /// boundary is unknowable, so the server must 400 and close rather
+    /// than risk reparsing body bytes as a pipelined request (request
+    /// smuggling / desync).
+    BadContentLength,
     UnsupportedMethod,
 }
+
+/// Upper bound on a declared `Content-Length`. Anything larger is
+/// rejected at parse time ([`HttpError::BadContentLength`]) — the portal
+/// serves forms and API calls, not uploads, and an attacker-controlled
+/// length otherwise feeds unchecked arithmetic in the framing layer.
+pub const MAX_CONTENT_LENGTH: usize = 1 << 30;
 
 fn find_header_end(raw: &[u8]) -> Option<usize> {
     raw.windows(4).position(|w| w == b"\r\n\r\n")
@@ -155,16 +167,40 @@ fn parse_head(raw: &[u8]) -> Result<Head, HttpError> {
             continue;
         }
         let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
-        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        let name = name.trim().to_ascii_lowercase();
+        // Duplicate Content-Length headers are a classic smuggling vector
+        // (two frontends picking different values); reject outright.
+        if headers
+            .insert(name.clone(), value.trim().to_string())
+            .is_some()
+            && name == "content-length"
+        {
+            return Err(HttpError::BadContentLength);
+        }
     }
     let cookies = headers
         .get("cookie")
         .map(|c| parse_cookies(c))
         .unwrap_or_default();
-    let content_length: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    // A Content-Length that doesn't parse (or overflows) must NOT default
+    // to 0: the unread body bytes would be reparsed as the next pipelined
+    // request. Reject so the server answers 400 and closes.
+    let content_length: usize = match headers.get("content-length") {
+        Some(v) => {
+            // RFC 7230: Content-Length is 1*DIGIT. `u64::parse` alone is
+            // too lenient (it accepts a leading `+`), and lenient length
+            // parsing is exactly how frontends disagree about framing.
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::BadContentLength);
+            }
+            let n = v.parse::<u64>().map_err(|_| HttpError::BadContentLength)?;
+            if n > MAX_CONTENT_LENGTH as u64 {
+                return Err(HttpError::BadContentLength);
+            }
+            n as usize
+        }
+        None => 0,
+    };
     // HTTP/1.1 defaults to persistent connections; 1.0 to close. An
     // explicit Connection header overrides either way.
     let keep_alive = match headers.get("connection").map(|v| v.to_ascii_lowercase()) {
@@ -268,25 +304,40 @@ fn parse_cookies(header: &str) -> BTreeMap<String, String> {
         .collect()
 }
 
-/// Decode `k=v&k2=v2` with percent-escapes and `+` as space.
+/// Decode `k=v&k2=v2` with percent-escapes and `+` as space (the
+/// `application/x-www-form-urlencoded` rules — query strings and form
+/// bodies only, never paths).
 pub fn parse_urlencoded(s: &str) -> BTreeMap<String, String> {
     s.split('&')
         .filter(|p| !p.is_empty())
         .map(|pair| match pair.split_once('=') {
-            Some((k, v)) => (urldecode(k), urldecode(v)),
-            None => (urldecode(pair), String::new()),
+            Some((k, v)) => (urldecode_query(k), urldecode_query(v)),
+            None => (urldecode_query(pair), String::new()),
         })
         .collect()
 }
 
-/// Percent-decode (lossy on malformed escapes).
+/// Percent-decode a path segment (lossy on malformed escapes). `+` stays
+/// a literal plus: the space-as-`+` convention belongs to form/query
+/// encoding only, and star identifiers like `/star/HD+52265` carry
+/// meaningful pluses.
 pub fn urldecode(s: &str) -> String {
+    percent_decode(s, false)
+}
+
+/// Percent-decode query-string / form data: like [`urldecode`] but with
+/// `+` decoded as space.
+pub fn urldecode_query(s: &str) -> String {
+    percent_decode(s, true)
+}
+
+fn percent_decode(s: &str, plus_as_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'+' => {
+            b'+' if plus_as_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -312,7 +363,8 @@ pub fn urldecode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Percent-encode for form bodies and URLs.
+/// Percent-encode for form bodies and query strings (space becomes `+`;
+/// invert with [`urldecode_query`]).
 pub fn urlencode(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
@@ -321,6 +373,21 @@ pub fn urlencode(s: &str) -> String {
                 out.push(b as char)
             }
             b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Percent-encode a path segment (space becomes `%20`, `+` becomes `%2B`;
+/// invert with [`urldecode`]).
+pub fn urlencode_path(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
             _ => out.push_str(&format!("%{b:02X}")),
         }
     }
@@ -527,8 +594,53 @@ mod tests {
     #[test]
     fn urlencode_roundtrip() {
         for s in ["hello world", "a&b=c", "HD 52265", "100% sure?", "αβγ"] {
-            assert_eq!(urldecode(&urlencode(s)), s, "{s}");
+            assert_eq!(urldecode_query(&urlencode(s)), s, "query: {s}");
+            assert_eq!(urldecode(&urlencode_path(s)), s, "path: {s}");
         }
+    }
+
+    #[test]
+    fn path_decode_keeps_literal_plus() {
+        // Path segments are not form-encoded: '+' must survive.
+        assert_eq!(urldecode("HD+52265"), "HD+52265");
+        assert_eq!(urldecode("HD%2052265"), "HD 52265");
+        assert_eq!(urldecode("HD%2B52265"), "HD+52265");
+        // Query strings keep the form rules.
+        assert_eq!(urldecode_query("HD+52265"), "HD 52265");
+    }
+
+    #[test]
+    fn rejects_malformed_content_length() {
+        for cl in [
+            "oops",
+            "-1",
+            "+5",
+            "1e3",
+            "18446744073709551616",
+            "4294967296",
+            "",
+        ] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {cl}\r\n\r\n");
+            assert_eq!(
+                Request::parse(raw.as_bytes()),
+                Err(HttpError::BadContentLength),
+                "Content-Length: {cl}"
+            );
+        }
+        // Duplicate Content-Length is rejected even when values agree.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        assert_eq!(Request::parse(raw), Err(HttpError::BadContentLength));
+    }
+
+    #[test]
+    fn malformed_content_length_never_desyncs_pipelined_stream() {
+        // Pre-fix, "Content-Length: oops" decayed to 0 and the body bytes
+        // were reparsed as the next pipelined request — here an injected
+        // GET /admin. The parser must fail the connection instead.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: oops\r\n\r\nGET /admin HTTP/1.1\r\n\r\n";
+        let mut p = RequestParser::new();
+        p.extend(raw);
+        assert_eq!(p.next_request(), Err(HttpError::BadContentLength));
     }
 
     #[test]

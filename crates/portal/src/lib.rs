@@ -308,7 +308,7 @@ mod portal_tests {
         let (db, portal) = setup(false);
         let (_uid, cookie) = make_user(&db, &portal, "astro1", false);
         let (star_id, ident) = seed_star(&db);
-        let path = format!("/star/{}/observations", crate::http::urlencode(&ident));
+        let path = format!("/star/{}/observations", crate::http::urlencode_path(&ident));
 
         // anonymous -> login redirect
         let resp = portal.handle(&Request::post(&path, &[("modes", "0 20 2000.0 0.1")]));

@@ -141,8 +141,32 @@ impl Portal {
     }
 
     /// Handle one request end-to-end, serving anonymous read-only pages
-    /// from the versioned response cache when possible.
+    /// from the versioned response cache when possible. Every request is
+    /// recorded in the global metrics registry (per-route count, status,
+    /// latency; cache hit/miss).
     pub fn handle(&self, req: &Request) -> Response {
+        let start = std::time::Instant::now();
+        let response = self.handle_uninstrumented(req);
+        let route = self.router.label(req).unwrap_or("unmatched");
+        let registry = amp_obs::registry();
+        registry
+            .counter(&amp_obs::labeled(
+                "portal_requests_total",
+                &[("route", route), ("status", &response.status.to_string())],
+            ))
+            .inc();
+        registry
+            .histogram(
+                &amp_obs::labeled("portal_request_seconds", &[("route", route)]),
+                amp_obs::Unit::Seconds,
+            )
+            .observe_duration(start.elapsed());
+        response
+    }
+
+    fn handle_uninstrumented(&self, req: &Request) -> Response {
+        static CACHE_HITS: std::sync::OnceLock<amp_obs::Counter> = std::sync::OnceLock::new();
+        static CACHE_MISSES: std::sync::OnceLock<amp_obs::Counter> = std::sync::OnceLock::new();
         if self.config.cache_enabled {
             if let Some(deps) = ResponseCache::cacheable(req) {
                 let key = ResponseCache::key(req);
@@ -150,8 +174,14 @@ impl Portal {
                 // only make the stored entry look stale, never fresh.
                 let stamp = self.conn.table_versions(deps);
                 if let Some(resp) = self.cache.get(&key, &stamp) {
+                    CACHE_HITS
+                        .get_or_init(|| amp_obs::counter("portal_cache_hits_total"))
+                        .inc();
                     return resp;
                 }
+                CACHE_MISSES
+                    .get_or_init(|| amp_obs::counter("portal_cache_misses_total"))
+                    .inc();
                 let resp = self.router.dispatch(self, req);
                 self.cache.put(key, stamp, &resp);
                 return resp;

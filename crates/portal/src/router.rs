@@ -50,10 +50,19 @@ fn parse_pattern(pattern: &str) -> Vec<Segment> {
         .collect()
 }
 
+/// One registered route: method + compiled pattern + the pattern source
+/// (the bounded-cardinality label metrics report under) + view.
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    pattern: String,
+    handler: Handler,
+}
+
 /// The routing table.
 #[derive(Default)]
 pub struct Router {
-    routes: Vec<(Method, Vec<Segment>, Handler)>,
+    routes: Vec<Route>,
 }
 
 impl Router {
@@ -66,8 +75,12 @@ impl Router {
         pattern: &str,
         handler: impl Fn(&Portal, &Request, &Params) -> Response + Send + Sync + 'static,
     ) {
-        self.routes
-            .push((Method::Get, parse_pattern(pattern), Box::new(handler)));
+        self.routes.push(Route {
+            method: Method::Get,
+            segments: parse_pattern(pattern),
+            pattern: pattern.to_string(),
+            handler: Box::new(handler),
+        });
     }
 
     pub fn post(
@@ -75,8 +88,12 @@ impl Router {
         pattern: &str,
         handler: impl Fn(&Portal, &Request, &Params) -> Response + Send + Sync + 'static,
     ) {
-        self.routes
-            .push((Method::Post, parse_pattern(pattern), Box::new(handler)));
+        self.routes.push(Route {
+            method: Method::Post,
+            segments: parse_pattern(pattern),
+            pattern: pattern.to_string(),
+            handler: Box::new(handler),
+        });
     }
 
     fn match_route(segments: &[Segment], path: &str) -> Option<Params> {
@@ -118,15 +135,25 @@ impl Router {
 
     /// Dispatch a request.
     pub fn dispatch(&self, portal: &Portal, req: &Request) -> Response {
-        for (method, segments, handler) in &self.routes {
-            if *method != req.method {
+        for route in &self.routes {
+            if route.method != req.method {
                 continue;
             }
-            if let Some(params) = Self::match_route(segments, &req.path) {
-                return handler(portal, req, &params);
+            if let Some(params) = Self::match_route(&route.segments, &req.path) {
+                return (route.handler)(portal, req, &params);
             }
         }
         Response::not_found()
+    }
+
+    /// The pattern string of the route that would serve `req` — the
+    /// bounded-cardinality label per-route metrics use (raw paths would
+    /// mint one metric series per star identifier).
+    pub fn label(&self, req: &Request) -> Option<&str> {
+        self.routes
+            .iter()
+            .find(|r| r.method == req.method && Self::match_route(&r.segments, &req.path).is_some())
+            .map(|r| r.pattern.as_str())
     }
 
     pub fn len(&self) -> usize {
@@ -168,10 +195,25 @@ mod tests {
     fn tail_capture_and_urldecoding() {
         let segs = parse_pattern("/star/<ident...>");
         let p = Router::match_route(&segs, "/star/HD+52265").unwrap();
-        // tail keeps raw joining; single params decode
+        // tail keeps raw joining; single params percent-decode
         assert_eq!(p.get("ident"), Some("HD+52265"));
 
         let segs = parse_pattern("/star/<ident>");
+        let p = Router::match_route(&segs, "/star/HD%2052265").unwrap();
+        assert_eq!(p.get("ident"), Some("HD 52265"));
+    }
+
+    #[test]
+    fn single_segment_param_keeps_literal_plus() {
+        // Regression: '+' in a path segment is NOT a space ('+'-as-space
+        // is a form/query convention). /star/HD+52265 must reach the view
+        // as the literal identifier "HD+52265".
+        let segs = parse_pattern("/star/<ident>");
+        let p = Router::match_route(&segs, "/star/HD+52265").unwrap();
+        assert_eq!(p.get("ident"), Some("HD+52265"));
+        // %2B also decodes to a literal plus, %20 to a space.
+        let p = Router::match_route(&segs, "/star/HD%2B52265").unwrap();
+        assert_eq!(p.get("ident"), Some("HD+52265"));
         let p = Router::match_route(&segs, "/star/HD%2052265").unwrap();
         assert_eq!(p.get("ident"), Some("HD 52265"));
     }

@@ -19,15 +19,52 @@
 //! ([`Portal::handle`]), which is also how the integration tests drive it.
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use amp_obs::{Counter, Gauge, Histogram};
 
 use crate::http::{RequestParser, Response};
 use crate::portal::Portal;
+
+/// Serving-layer metric handles, resolved once per process (the hot path
+/// is then a single relaxed atomic op per observation).
+struct ServerMetrics {
+    queue_depth: Gauge,
+    queue_wait: Histogram,
+    closed_idle: Counter,
+    closed_eof: Counter,
+    closed_client: Counter,
+    closed_bad_request: Counter,
+    closed_too_large: Counter,
+    closed_error: Counter,
+}
+
+fn metrics() -> &'static ServerMetrics {
+    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let closed = |reason: &str| {
+            amp_obs::counter(&amp_obs::labeled(
+                "portal_connections_closed_total",
+                &[("reason", reason)],
+            ))
+        };
+        ServerMetrics {
+            queue_depth: amp_obs::gauge("portal_conn_queue_depth"),
+            queue_wait: amp_obs::histogram("portal_conn_queue_wait_seconds"),
+            closed_idle: closed("idle_timeout"),
+            closed_eof: closed("eof"),
+            closed_client: closed("client_close"),
+            closed_bad_request: closed("bad_request"),
+            closed_too_large: closed("too_large"),
+            closed_error: closed("error"),
+        }
+    })
+}
 
 /// Serving-layer tuning knobs.
 #[derive(Debug, Clone)]
@@ -67,7 +104,9 @@ struct ConnQueue {
 }
 
 struct QueueState {
-    items: VecDeque<TcpStream>,
+    /// Accepted connections, each stamped with its enqueue time so the
+    /// dequeueing worker can record the queue wait.
+    items: VecDeque<(TcpStream, Instant)>,
     closed: bool,
 }
 
@@ -94,7 +133,8 @@ impl ConnQueue {
         if state.closed {
             return false;
         }
-        state.items.push_back(stream);
+        state.items.push_back((stream, Instant::now()));
+        metrics().queue_depth.set(state.items.len() as i64);
         drop(state);
         self.not_empty.notify_one();
         true
@@ -104,8 +144,11 @@ impl ConnQueue {
     fn pop(&self) -> Option<TcpStream> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            if let Some(stream) = state.items.pop_front() {
+            if let Some((stream, enqueued)) = state.items.pop_front() {
+                let m = metrics();
+                m.queue_depth.set(state.items.len() as i64);
                 drop(state);
+                m.queue_wait.observe_duration(enqueued.elapsed());
                 self.not_full.notify_one();
                 return Some(stream);
             }
@@ -157,7 +200,11 @@ impl Server {
                 let config = config.clone();
                 std::thread::spawn(move || {
                     while let Some(stream) = queue.pop() {
-                        let _ = serve_connection(&portal, stream, &config);
+                        // Every Ok path records its own close reason; an
+                        // Err is a genuine I/O failure mid-connection.
+                        if serve_connection(&portal, stream, &config).is_err() {
+                            metrics().closed_error.inc();
+                        }
                     }
                 })
             })
@@ -250,15 +297,21 @@ fn serve_connection(
                     response.write_into(&mut out, keep_alive);
                     stream.write_all(&out)?;
                     if !keep_alive {
+                        metrics().closed_client.inc();
                         return Ok(());
                     }
                 }
                 Ok(None) => break,
                 Err(_) => {
+                    // Any parse failure (including a malformed or
+                    // duplicated Content-Length) poisons the framing:
+                    // answer 400 and close rather than guess where the
+                    // next request starts.
                     let response = Response::bad_request("malformed request");
                     out.clear();
                     response.write_into(&mut out, false);
                     stream.write_all(&out)?;
+                    metrics().closed_bad_request.inc();
                     return Ok(());
                 }
             }
@@ -268,11 +321,22 @@ fn serve_connection(
             out.clear();
             response.write_into(&mut out, false);
             stream.write_all(&out)?;
+            metrics().closed_too_large.inc();
             return Ok(());
         }
-        // Idle timeout and EOF both end the connection here.
-        let n = stream.read(&mut chunk)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            // SO_RCVTIMEO expiry surfaces as WouldBlock on Linux (and
+            // TimedOut on some platforms): an idle keep-alive connection
+            // reaching its timeout is a *graceful* close, not an error.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                metrics().closed_idle.inc();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
+            metrics().closed_eof.inc();
             return Ok(());
         }
         parser.extend(&chunk[..n]);

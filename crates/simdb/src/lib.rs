@@ -42,6 +42,7 @@
 pub mod admin;
 pub mod db;
 pub mod error;
+pub(crate) mod obs;
 pub mod orm;
 pub mod perm;
 pub mod query;
@@ -247,27 +248,43 @@ impl Connection {
 
     pub fn insert(&self, table: &str, values: &[(&str, Value)]) -> Result<i64, DbError> {
         self.role.check(table, Action::Insert)?;
-        let (id, op) = self.db.shared.database.write().insert(table, values)?;
+        let (id, op) = {
+            let mut guard = self.db.shared.database.write();
+            let _hold = obs::HoldTimer::start();
+            guard.insert(table, values)?
+        };
         self.db.append_wal(&[op])?;
         Ok(id)
     }
 
     pub fn insert_row(&self, table: &str, row: Row) -> Result<i64, DbError> {
         self.role.check(table, Action::Insert)?;
-        let (id, op) = self.db.shared.database.write().insert_row(table, row)?;
+        let (id, op) = {
+            let mut guard = self.db.shared.database.write();
+            let _hold = obs::HoldTimer::start();
+            guard.insert_row(table, row)?
+        };
         self.db.append_wal(&[op])?;
         Ok(id)
     }
 
     pub fn update(&self, table: &str, id: i64, values: &[(&str, Value)]) -> Result<(), DbError> {
         self.role.check(table, Action::Update)?;
-        let op = self.db.shared.database.write().update(table, id, values)?;
+        let op = {
+            let mut guard = self.db.shared.database.write();
+            let _hold = obs::HoldTimer::start();
+            guard.update(table, id, values)?
+        };
         self.db.append_wal(&[op])
     }
 
     pub fn update_row(&self, table: &str, id: i64, row: Row) -> Result<(), DbError> {
         self.role.check(table, Action::Update)?;
-        let op = self.db.shared.database.write().update_row(table, id, row)?;
+        let op = {
+            let mut guard = self.db.shared.database.write();
+            let _hold = obs::HoldTimer::start();
+            guard.update_row(table, id, row)?
+        };
         self.db.append_wal(&[op])
     }
 
@@ -275,7 +292,11 @@ impl Connection {
     /// definer rights, as in SQL — only the named table needs the grant.
     pub fn delete(&self, table: &str, id: i64) -> Result<(), DbError> {
         self.role.check(table, Action::Delete)?;
-        let ops = self.db.shared.database.write().delete(table, id)?;
+        let ops = {
+            let mut guard = self.db.shared.database.write();
+            let _hold = obs::HoldTimer::start();
+            guard.delete(table, id)?
+        };
         self.db.append_wal(&ops)
     }
 
@@ -328,6 +349,7 @@ impl Connection {
         f: impl FnOnce(&mut Txn<'_>) -> Result<T, DbError>,
     ) -> Result<T, DbError> {
         let mut guard = self.db.shared.database.write();
+        let _hold = obs::HoldTimer::start();
         let backup = guard.clone();
         let mut txn = Txn {
             db: &mut guard,

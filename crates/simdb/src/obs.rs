@@ -1,0 +1,45 @@
+//! simdb's handles into the process-wide metrics registry (`amp-obs`).
+//!
+//! Resolved once per process through `OnceLock`s; every observation after
+//! that is a relaxed atomic op, so the storage engine's hot paths carry
+//! no registry lookups.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use amp_obs::{Counter, Histogram, Unit};
+
+pub(crate) struct SimdbMetrics {
+    /// How long mutators hold the engine's exclusive write lock.
+    pub write_lock_hold: Histogram,
+    /// WAL flushes actually issued (group commit: one per leader drain).
+    pub wal_fsyncs: Counter,
+    /// Records made durable per group-commit drain.
+    pub wal_batch: Histogram,
+}
+
+pub(crate) fn metrics() -> &'static SimdbMetrics {
+    static METRICS: OnceLock<SimdbMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SimdbMetrics {
+        write_lock_hold: amp_obs::histogram("simdb_write_lock_hold_seconds"),
+        wal_fsyncs: amp_obs::counter("simdb_wal_fsync_total"),
+        wal_batch: amp_obs::registry().histogram("simdb_wal_commit_batch_records", Unit::Count),
+    })
+}
+
+/// Measures a write-lock hold: start it immediately *after* acquiring the
+/// guard and declare it after the guard binding, so drop order (reverse
+/// declaration) observes the elapsed time just before the lock releases.
+pub(crate) struct HoldTimer(Instant);
+
+impl HoldTimer {
+    pub fn start() -> HoldTimer {
+        HoldTimer(Instant::now())
+    }
+}
+
+impl Drop for HoldTimer {
+    fn drop(&mut self) {
+        metrics().write_lock_hold.observe_duration(self.0.elapsed());
+    }
+}

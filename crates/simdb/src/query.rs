@@ -229,6 +229,7 @@ impl Query {
     pub fn count(&self, table: &Table) -> Result<usize, DbError> {
         let idx = self.resolve(&table.schema)?;
         let planned = self.plan_access(table, &idx);
+        record_plan(&planned.plan);
         let matches = |row: &Row| {
             self.filters
                 .iter()
@@ -270,6 +271,7 @@ impl Query {
     fn run<'t>(&self, table: &'t Table) -> Result<Vec<(i64, &'t Row)>, DbError> {
         let idx = self.resolve(&table.schema)?;
         let planned = self.plan_access(table, &idx);
+        record_plan(&planned.plan);
         let matches = |row: &Row| {
             self.filters
                 .iter()
@@ -577,6 +579,33 @@ impl Planned {
             index_order: None,
         }
     }
+}
+
+/// Count executed plans by kind in the global metrics registry (handles
+/// resolved once; each execution is a single relaxed atomic increment).
+fn record_plan(plan: &Plan) {
+    static COUNTERS: std::sync::OnceLock<[amp_obs::Counter; 6]> = std::sync::OnceLock::new();
+    let counters = COUNTERS.get_or_init(|| {
+        let c =
+            |kind: &str| amp_obs::counter(&amp_obs::labeled("simdb_plan_total", &[("kind", kind)]));
+        [
+            c("empty"),
+            c("unique_probe"),
+            c("index_probe"),
+            c("range_scan"),
+            c("index_ordered_scan"),
+            c("full_scan"),
+        ]
+    });
+    let idx = match plan {
+        Plan::Empty => 0,
+        Plan::UniqueProbe { .. } => 1,
+        Plan::IndexProbe { .. } => 2,
+        Plan::RangeScan { .. } => 3,
+        Plan::IndexOrderedScan { .. } => 4,
+        Plan::FullScan => 5,
+    };
+    counters[idx].inc();
 }
 
 /// The access path chosen by the query planner (`EXPLAIN` output).

@@ -164,6 +164,8 @@ struct WalQueue {
     next_seq: u64,
     /// Encoded-but-unflushed records, in sequence order.
     buf: Vec<u8>,
+    /// Records currently in `buf` (group-commit batch-size metric).
+    pending: usize,
 }
 
 #[derive(Debug)]
@@ -208,6 +210,7 @@ impl Wal {
             queue: Mutex::new(WalQueue {
                 next_seq,
                 buf: Vec::new(),
+                pending: 0,
             }),
             file: Mutex::new(WalFile {
                 writer: BufWriter::new(file),
@@ -260,6 +263,7 @@ impl Wal {
                 q.buf.extend_from_slice(body);
                 q.buf.extend_from_slice(b"}\n");
                 q.next_seq += 1;
+                q.pending += 1;
             }
             q.next_seq - 1
         };
@@ -280,9 +284,13 @@ impl Wal {
         if file.flushed_seq.is_some_and(|s| s >= target) {
             return Ok(()); // a concurrent leader already flushed our batch
         }
-        let (chunk, upto) = {
+        let (chunk, upto, batch) = {
             let mut q = self.queue.lock().expect("wal queue lock");
-            (std::mem::take(&mut q.buf), q.next_seq - 1)
+            (
+                std::mem::take(&mut q.buf),
+                q.next_seq - 1,
+                std::mem::take(&mut q.pending),
+            )
         };
         let res = file
             .writer
@@ -291,6 +299,11 @@ impl Wal {
         match res {
             Ok(()) => {
                 file.flushed_seq = Some(upto);
+                let m = crate::obs::metrics();
+                m.wal_fsyncs.inc();
+                if batch > 0 {
+                    m.wal_batch.observe(batch as u64);
+                }
                 Ok(())
             }
             Err(e) => {
@@ -310,6 +323,7 @@ impl Wal {
         {
             let mut q = self.queue.lock().expect("wal queue lock");
             q.buf.clear();
+            q.pending = 0;
             file.flushed_seq = q.next_seq.checked_sub(1);
         }
         file.writer = BufWriter::new(File::create(&self.path)?);

@@ -138,7 +138,7 @@ fn main() {
         urlencode(&modes_field),
         observed.teff.unwrap().value
     );
-    let resp = http_post(&server, "/star/HD+10700/observations", &body, &cookie);
+    let resp = http_post(&server, "/star/HD%2010700/observations", &body, &cookie);
     assert!(resp.starts_with("HTTP/1.1 302"), "{resp}");
     println!("uploaded {} pulsation frequencies", observed.modes.len());
 

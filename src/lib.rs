@@ -15,6 +15,7 @@
 //! | [`core`] | shared AMP data models, marshaling, role matrix |
 //! | [`gridamp`] | the workflow daemon (Listing 1, failure taxonomy, Gantt tool) |
 //! | [`portal`] | the web gateway (HTTP, auth + CAPTCHA, catalog, admin, RSS) |
+//! | [`obs`] | lock-free metrics registry, Prometheus rendering, flight recorder |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@ pub use amp_core as core;
 pub use amp_ga as ga;
 pub use amp_grid as grid;
 pub use amp_gridamp as gridamp;
+pub use amp_obs as obs;
 pub use amp_portal as portal;
 pub use amp_simdb as simdb;
 pub use amp_stellar as stellar;

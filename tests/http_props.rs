@@ -1,8 +1,18 @@
 //! Property tests for the hand-rolled HTTP layer: the parser is total
 //! (never panics on arbitrary bytes), encode/decode round-trips, and
 //! serialized responses contain consistent framing.
+//!
+//! The malformed-request pass fuzzes the framing layer specifically:
+//! bad / duplicate / huge `Content-Length` values, truncated percent
+//! escapes, and request heads split across arbitrary chunk boundaries.
+//! The invariant is that a byte stream either yields valid requests or
+//! a fatal parse error — never a desynchronized stream where body bytes
+//! are reinterpreted as a pipelined request (request smuggling).
 
-use amp::portal::http::{parse_urlencoded, urldecode, urlencode, Request, Response};
+use amp::portal::http::{
+    parse_urlencoded, urldecode, urldecode_query, urlencode, urlencode_path, HttpError, Request,
+    RequestParser, Response,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -13,15 +23,40 @@ proptest! {
         let _ = Request::parse(&bytes);
     }
 
+    /// `urlencode` produces form/query encoding (space -> `+`), so it
+    /// pairs with `urldecode_query`; `urlencode_path` produces path
+    /// encoding (space -> `%20`, literal `+` escaped), pairing with the
+    /// plain path decoder `urldecode`.
     #[test]
     fn urlencode_roundtrip(s in "\\PC{0,100}") {
-        prop_assert_eq!(urldecode(&urlencode(&s)), s);
+        prop_assert_eq!(urldecode_query(&urlencode(&s)), s.clone());
+        prop_assert_eq!(urldecode(&urlencode_path(&s)), s);
+    }
+
+    /// Path decoding must not apply the form rule: a literal `+` in a
+    /// path segment is just a plus sign.
+    #[test]
+    fn path_decode_preserves_literal_plus(a in "[a-zA-Z0-9]{0,10}", b in "[a-zA-Z0-9]{0,10}") {
+        let s = format!("{a}+{b}");
+        prop_assert_eq!(urldecode(&s), s.clone());
+        prop_assert_eq!(urldecode_query(&s), format!("{a} {b}"));
     }
 
     #[test]
     fn urldecode_is_total(s in "[ -~]{0,120}") {
         let _ = urldecode(&s);
+        let _ = urldecode_query(&s);
         let _ = parse_urlencoded(&s);
+    }
+
+    /// Truncated or malformed percent escapes never panic and never eat
+    /// trailing bytes: output is always valid UTF-8 derived from input.
+    #[test]
+    fn truncated_percent_escapes_are_total(prefix in "[a-z]{0,8}", hex in "[0-9a-fA-F]{0,1}") {
+        let s = format!("{prefix}%{hex}");
+        let _ = urldecode(&s);
+        let _ = urldecode_query(&s);
+        let _ = parse_urlencoded(&format!("k={s}"));
     }
 
     #[test]
@@ -51,6 +86,105 @@ proptest! {
         let raw = format!("GET {target} HTTP/1.1\r\nHost: amp\r\n\r\n");
         let req = Request::parse(raw.as_bytes()).unwrap();
         prop_assert_eq!(&req.path, &path);
+    }
+
+    /// A request with an unparseable Content-Length followed by a
+    /// pipelined request must produce a fatal error, and the smuggled
+    /// follow-up must never surface as a parsed request.
+    #[test]
+    fn malformed_content_length_never_desyncs(
+        cl in prop_oneof![
+            Just("oops".to_string()),
+            Just("-1".to_string()),
+            Just("1e3".to_string()),
+            Just("18446744073709551616".to_string()),
+            Just("4294967296".to_string()),
+            Just("+5".to_string()),
+            Just("5 5".to_string()),
+            "[a-z]{1,8}",
+        ],
+        body in "[a-z]{0,16}",
+    ) {
+        let raw = format!(
+            "POST /submit HTTP/1.1\r\nHost: amp\r\nContent-Length: {cl}\r\n\r\n\
+             {body}GET /admin HTTP/1.1\r\nHost: amp\r\n\r\n"
+        );
+        let mut parser = RequestParser::new();
+        parser.extend(raw.as_bytes());
+        loop {
+            match parser.next_request() {
+                Err(e) => {
+                    prop_assert_eq!(e, HttpError::BadContentLength);
+                    break;
+                }
+                Ok(Some((req, _))) => {
+                    // Never the smuggled request.
+                    prop_assert_ne!(&req.path, "/admin");
+                }
+                Ok(None) => {
+                    prop_assert!(false, "malformed Content-Length was silently accepted");
+                }
+            }
+        }
+    }
+
+    /// Duplicate Content-Length headers (the classic two-frontends
+    /// smuggling vector) are always fatal, whatever the values.
+    #[test]
+    fn duplicate_content_length_is_fatal(a in 0u32..100, b in 0u32..100) {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nHost: amp\r\nContent-Length: {a}\r\nContent-Length: {b}\r\n\r\n"
+        );
+        let mut parser = RequestParser::new();
+        parser.extend(raw.as_bytes());
+        prop_assert_eq!(parser.next_request().err(), Some(HttpError::BadContentLength));
+    }
+
+    /// Feeding a valid pipelined stream in arbitrary chunk sizes yields
+    /// exactly the same request sequence as one whole-buffer feed —
+    /// chunk boundaries inside heads, bodies, or the `\r\n\r\n`
+    /// terminator never change what is parsed.
+    #[test]
+    fn chunked_feed_matches_whole_buffer(
+        body in "[a-z]{0,24}",
+        path in "[a-z]{1,12}",
+        cuts in proptest::collection::vec(1usize..200, 0..6),
+    ) {
+        let raw = format!(
+            "POST /{path} HTTP/1.1\r\nHost: amp\r\nContent-Length: {}\r\n\r\n{body}\
+             GET /{path}/second HTTP/1.1\r\nHost: amp\r\n\r\n",
+            body.len()
+        );
+        let bytes = raw.as_bytes();
+
+        let drain = |parser: &mut RequestParser| {
+            let mut out = Vec::new();
+            while let Ok(Some((req, keep))) = parser.next_request() {
+                out.push((req.method, req.path, req.body, keep));
+            }
+            out
+        };
+
+        let mut whole = RequestParser::new();
+        whole.extend(bytes);
+        let expected = drain(&mut whole);
+        prop_assert_eq!(expected.len(), 2);
+
+        let mut chunked = RequestParser::new();
+        let mut got = Vec::new();
+        let mut at = 0;
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| c % bytes.len().max(1)).collect();
+        offsets.sort_unstable();
+        offsets.push(bytes.len());
+        for end in offsets {
+            if end <= at {
+                continue;
+            }
+            chunked.extend(&bytes[at..end]);
+            at = end;
+            got.extend(drain(&mut chunked));
+        }
+        prop_assert_eq!(got, expected);
     }
 
     #[test]

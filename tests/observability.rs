@@ -1,0 +1,250 @@
+//! Observability integration: the process-wide metrics registry is fed by
+//! all three tiers (portal, simdb, gridamp daemon + GA), the portal's
+//! `GET /metrics` route exposes them in Prometheus text format, the
+//! flight recorder retains the last-N structured events across a daemon
+//! failure, and the keep-alive server closes idle connections cleanly
+//! (idle timeout is bookkept as `idle_timeout`, never as an I/O error).
+//!
+//! Metrics are cumulative per process, so every assertion here is a
+//! "present / increased by" check, never an exact global count.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amp::grid::{Service, SimTime};
+use amp::obs;
+use amp::portal::Request;
+use amp::prelude::*;
+use amp::simdb::Db;
+
+fn truth() -> StellarParams {
+    StellarParams {
+        mass: 1.05,
+        metallicity: 0.02,
+        helium: 0.27,
+        alpha: 2.0,
+        age: 4.0,
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("amp_obs_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Drive a small end-to-end workload through every tier, then assert the
+/// portal's `/metrics` route renders series from each of them.
+#[test]
+fn metrics_endpoint_covers_all_three_tiers() {
+    // --- simdb tier (durable): WAL fsyncs, commit batches, lock holds ---
+    let dir = tmpdir("metrics");
+    {
+        let db = Db::open(dir.join("amp.snap"), dir.join("amp.wal")).unwrap();
+        amp::core::setup::initialize(&db).unwrap();
+        let admin = db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+        let stars = Manager::<Star>::new(admin);
+        for s in amp::stellar::famous_stars().iter().take(3) {
+            let mut star = Star::from_catalog(s, "local");
+            stars.create(&mut star).unwrap();
+        }
+    }
+
+    // --- daemon + GA tier: a tiny optimization run on simulated Kraken ---
+    let mut dep =
+        amp::gridamp::deploy(amp::grid::systems::kraken(), DaemonConfig::default(), None).unwrap();
+    let (user, star, alloc, obs_id) =
+        amp::gridamp::seed_fixtures(&dep.db, "kraken", &truth(), 1).unwrap();
+    let web = dep.db.connect(amp::core::roles::ROLE_WEB).unwrap();
+    let spec = OptimizationSpec {
+        ga_runs: 1,
+        population: 10,
+        generations: 5,
+        cores_per_run: 128,
+        seed: 7,
+    };
+    let mut sim = Simulation::new_optimization(star, user, spec, obs_id, "kraken", alloc, 0);
+    let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
+    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let done = Manager::<Simulation>::new(admin).get(sim_id).unwrap();
+    assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
+
+    // --- portal tier: a few routed requests, then scrape /metrics ---
+    let portal = Portal::new(&dep.db, PortalConfig::default()).unwrap();
+    assert_eq!(portal.handle(&Request::get("/stars")).status, 200);
+    assert_eq!(portal.handle(&Request::get("/stars")).status, 200);
+    let scrape = portal.handle(&Request::get("/metrics"));
+    assert_eq!(scrape.status, 200);
+    let ct = scrape
+        .headers
+        .iter()
+        .find(|(k, _)| k == "Content-Type")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_default();
+    assert!(ct.starts_with("text/plain"), "Content-Type: {ct}");
+
+    let body = scrape.body_str();
+    for family in [
+        // portal
+        "portal_requests_total",
+        "portal_request_seconds",
+        "portal_cache_misses_total",
+        // simdb
+        "simdb_plan_total",
+        "simdb_wal_fsync_total",
+        "simdb_wal_commit_batch_records",
+        "simdb_write_lock_hold_seconds",
+        // daemon + GA
+        "daemon_transitions_total",
+        "daemon_gram_poll_seconds",
+        "ga_evals_total",
+    ] {
+        assert!(body.contains(family), "/metrics missing {family}:\n{body}");
+    }
+    // Spot-check the exposition shape: TYPE lines and histogram suffixes.
+    assert!(body.contains("# TYPE portal_requests_total counter"));
+    assert!(body.contains("# TYPE daemon_gram_poll_seconds histogram"));
+    assert!(body.contains("daemon_gram_poll_seconds_bucket"));
+    assert!(body.contains("site=\"kraken\""));
+    // The route label is the pattern, not a raw path (bounded cardinality).
+    assert!(body.contains("route=\"/stars\""));
+    // The scrape itself must not be cached: two scrapes may differ.
+    let again = portal.handle(&Request::get("/metrics"));
+    assert_eq!(again.status, 200);
+}
+
+/// A transient storm past the retry cap escalates to HOLD; the flight
+/// recorder retains the recent transient / hold event sequence and its
+/// dump names what went wrong.
+#[test]
+fn flight_recorder_dumps_recent_events_on_daemon_failure() {
+    let mut dep = amp::gridamp::deploy(
+        amp::grid::systems::kraken(),
+        DaemonConfig {
+            max_transient_retries: 3,
+            ..DaemonConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    // Permanent outage of both GRAM and GridFTP: every poll is transient.
+    dep.grid
+        .faults
+        .add_outage("kraken", Service::Both, SimTime(0), SimTime(u64::MAX / 2));
+    let (user, star, alloc, _obs) =
+        amp::gridamp::seed_fixtures(&dep.db, "kraken", &truth(), 9).unwrap();
+    let web = dep.db.connect(amp::core::roles::ROLE_WEB).unwrap();
+    let mut sim = Simulation::new_direct(star, user, truth(), "kraken", alloc, 0);
+    let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
+
+    dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+
+    let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let held = Manager::<Simulation>::new(admin).get(sim_id).unwrap();
+    assert_eq!(held.status, SimStatus::Hold, "{}", held.status_message);
+
+    // The ring buffer holds the story: transient retries, then the hold.
+    let events = obs::flight().events();
+    assert!(!events.is_empty());
+    assert!(events.len() <= obs::FLIGHT_CAPACITY);
+    let sim_tag = format!("sim {sim_id}");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.category == "transient" && e.detail.contains(&sim_tag)),
+        "no transient events for {sim_tag}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.category == "hold" && e.detail.contains(&sim_tag)),
+        "no hold event for {sim_tag}"
+    );
+    // Sequence numbers are monotone, so the dump reads in order: the
+    // hold comes after at least one of its transients.
+    let first_transient = events
+        .iter()
+        .find(|e| e.category == "transient" && e.detail.contains(&sim_tag))
+        .unwrap()
+        .seq;
+    let hold = events
+        .iter()
+        .find(|e| e.category == "hold" && e.detail.contains(&sim_tag))
+        .unwrap()
+        .seq;
+    assert!(hold > first_transient);
+
+    let dump = obs::flight().render();
+    assert!(dump.contains("flight recorder:"), "{dump}");
+    assert!(dump.contains("transient storm"), "{dump}");
+    // And the metrics side agrees an escalation happened.
+    assert!(obs::counter("daemon_holds_total").get() >= 1);
+    assert!(obs::counter("daemon_transient_retries_total").get() >= 3);
+}
+
+/// Regression for the idle-timeout bugfix: a keep-alive connection that
+/// goes quiet is closed *cleanly* — the reader's `WouldBlock`/`TimedOut`
+/// is mapped to an `idle_timeout` close, not surfaced as an I/O error.
+#[test]
+fn idle_keep_alive_connection_closes_cleanly_on_timeout() {
+    let idle = obs::counter(&obs::labeled(
+        "portal_connections_closed_total",
+        &[("reason", "idle_timeout")],
+    ));
+    let errs = obs::counter(&obs::labeled(
+        "portal_connections_closed_total",
+        &[("reason", "error")],
+    ));
+    let idle_before = idle.get();
+    let errs_before = errs.get();
+
+    let db = Db::in_memory();
+    amp::core::setup::initialize(&db).unwrap();
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+    let server = amp::portal::Server::spawn_with(
+        portal,
+        0,
+        amp::portal::ServerConfig {
+            workers: 1,
+            idle_timeout: Duration::from_millis(150),
+            ..amp::portal::ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"GET /stars HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    // One framed response arrives, then we go quiet and the server must
+    // close the socket (EOF) rather than erroring or hanging.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // clean close
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("expected clean close, got read error {e}"),
+        }
+    }
+    assert!(buf.starts_with(b"HTTP/1.1 200"));
+    server.stop();
+
+    assert!(
+        idle.get() > idle_before,
+        "idle close was not recorded as idle_timeout"
+    );
+    assert_eq!(
+        errs.get(),
+        errs_before,
+        "idle close was miscounted as a connection error"
+    );
+}

@@ -162,7 +162,7 @@ fn full_user_journey() {
     }
     let resp = r.portal.handle(
         &Request::post(
-            "/star/HD+10700/observations",
+            "/star/HD%2010700/observations",
             &[
                 ("modes", modes.as_str()),
                 ("teff", "5350"),
