@@ -121,7 +121,8 @@ fn main() {
         "portal_conn_queue_wait_seconds",
         "simdb_plan_total",
         "simdb_wal_fsync_total",
-        "simdb_write_lock_hold_seconds",
+        "simdb_table_lock_wait_seconds",
+        "simdb_table_lock_hold_seconds",
         "daemon_transitions_total",
         "daemon_gram_poll_seconds",
         "daemon_transient_retries_total",

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use amp_core::models::{AmpUser, GridJobRecord, Notification, NotifyMode, Simulation};
 use amp_core::status::{JobStatus, SimStatus};
 use amp_grid::{CommunityCredential, GramJobHandle, GramState, Grid, SimDuration, SimTime};
-use amp_simdb::orm::Manager;
+use amp_simdb::orm::{Manager, Model};
 use amp_simdb::{Connection, Db, DbError, Op, Query, Value};
 
 use crate::clilog::{gram_status_cmdline, OpOutcome, OpsEntry, OpsLog};
@@ -376,14 +376,22 @@ impl GridAmp {
     /// and the result comes back already id-ordered. No row bodies are
     /// cloned or decoded here — each engine fetches a job's row inside
     /// the per-item work, which the pool shards.
+    ///
+    /// The worklist is built through a read view pinning both the job and
+    /// simulation tables: the `(job, owning sim)` pairs are one coherent
+    /// snapshot — a multi-table transaction (e.g. cancel: sim + its jobs)
+    /// is either entirely visible to this tick or not at all.
     fn pending_job_ids(&self) -> Result<Vec<(i64, i64)>, DbError> {
         let statuses = vec![
             Value::from(JobStatus::Pending.as_str()),
             Value::from(JobStatus::Active.as_str()),
         ];
-        Ok(self
-            .jobs()
-            .project(
+        let view = self
+            .conn
+            .read_view(&[GridJobRecord::TABLE, Simulation::TABLE])?;
+        Ok(view
+            .select_project(
+                GridJobRecord::TABLE,
                 &Query::new().filter("status", Op::In(statuses), Value::Null),
                 "simulation_id",
             )?
@@ -397,15 +405,18 @@ impl GridAmp {
 
     /// Phase 2's worklist: ids of the live (non-terminal happy-path)
     /// simulations, in primary-key order (same single-`In` projection
-    /// scheme as [`Self::pending_job_ids`]).
+    /// scheme and same coherent job+simulation read view as
+    /// [`Self::pending_job_ids`]).
     fn live_sim_ids(&self) -> Result<Vec<i64>, DbError> {
         let statuses: Vec<Value> = SimStatus::happy_path()
             .iter()
             .filter(|s| !s.is_terminal())
             .map(|s| Value::from(s.as_str()))
             .collect();
-        self.sims()
-            .ids(&Query::new().filter("status", Op::In(statuses), Value::Null))
+        let view = self
+            .conn
+            .read_view(&[GridJobRecord::TABLE, Simulation::TABLE])?;
+        view.ids::<Simulation>(&Query::new().filter("status", Op::In(statuses), Value::Null))
     }
 
     /// True while a simulation waits out its transient backoff window.

@@ -3,15 +3,21 @@
 //! The portal's hottest pages — the home page, the `/stars` catalog, and
 //! `/star/<ident>` detail pages — are pure functions of a handful of
 //! database tables. Each cache entry is stamped with the modification
-//! counters ([`Connection::table_versions`](amp_simdb::Connection::table_versions))
-//! of exactly the tables the page reads; any committed write to one of
-//! those tables changes its counter and invalidates dependent entries on
-//! the next lookup, so a cache hit is always byte-identical to a fresh
-//! render (property-tested in `tests/portal_serving.rs`).
+//! counters of exactly the tables the page reads, taken through a
+//! coherent multi-table read view
+//! ([`Connection::read_view`](amp_simdb::Connection::read_view)); any
+//! committed write to one of those tables changes its counter and
+//! invalidates dependent entries on the next lookup, so a cache hit is
+//! always byte-identical to a fresh render (property-tested in
+//! `tests/portal_serving.rs`).
 //!
 //! Stamps are read *before* rendering: a write racing the render can only
 //! make the stored entry look stale (harmless over-invalidation), never
-//! let a stale body match a fresh stamp.
+//! let a stale body match a fresh stamp. The read view makes the stamp
+//! itself untearable — under the sharded engine there is no global lock
+//! to make two separate `table_version` reads mutually consistent, so the
+//! view's ordered shared-lock acquisition is what keeps a multi-table
+//! transaction from splitting a stamp down the middle.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -15,18 +15,18 @@ use crate::Connection;
 
 /// Names of all tables, sorted.
 pub fn table_names(conn: &Connection) -> Vec<String> {
-    conn_db(conn, |db| db.table_names().map(str::to_string).collect())
+    conn.db_handle().table_names()
 }
 
 /// The stored schema of a table.
 pub fn table_schema(conn: &Connection, table: &str) -> Result<TableSchema, DbError> {
-    conn_db(conn, |db| db.table(table).map(|t| t.schema.clone()))
+    conn.db_handle().table_schema(table)
 }
 
 /// Row count without requiring SELECT (admin dashboards show counts even
 /// for tables the viewing role cannot read in full).
 pub fn table_len(conn: &Connection, table: &str) -> Result<usize, DbError> {
-    conn_db(conn, |db| db.table(table).map(|t| t.len()))
+    conn.db_handle().table_len(table)
 }
 
 /// A page of rows for the generic change-list screen.
@@ -115,12 +115,9 @@ pub fn dump_table(conn: &Connection, table: &str) -> Result<String, DbError> {
     Ok(out)
 }
 
-// Admin introspection reads schema metadata, not row data; it rides the raw
-// read access but never returns row contents without a SELECT check
+// Admin introspection reads schema metadata (catalog-level, no row locks),
+// not row data; it never returns row contents without a SELECT check
 // (browse/dump go through conn.select above).
-fn conn_db<T>(conn: &Connection, f: impl FnOnce(&crate::Database) -> T) -> T {
-    conn.db_handle().with_database(f)
-}
 
 #[cfg(test)]
 mod tests {

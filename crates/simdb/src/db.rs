@@ -1,7 +1,13 @@
 //! The database engine: tables, referential integrity, mutation log.
 //!
-//! `Database` is the single-threaded engine; the thread-safe, permission-
-//! checked connection layer lives in [`crate::Db`]/[`crate::Connection`].
+//! `Database` is the single-threaded engine used for WAL replay, snapshot
+//! (de)serialization, and the property-test oracles. The live, concurrent
+//! engine is the per-table sharded catalog in [`crate::shard`]; both run
+//! the *same* mutation logic, which lives in [`ops`] and is generic over a
+//! [`TableSet`] — "some tables I may read and write, plus the schema-level
+//! reverse-FK edges". `Database` implements `TableSet` over all its
+//! tables; a sharded write set implements it over exactly the tables its
+//! ordered lock acquisition covered.
 
 use crate::error::DbError;
 use crate::query::Query;
@@ -10,6 +16,25 @@ use crate::table::{Row, Table};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Table access required by the shared mutation engine in [`ops`].
+///
+/// `table_ref`/`table_mut` resolve tables the current operation is allowed
+/// to touch; `referencing_columns` answers the schema-level question "who
+/// holds a foreign key into `target`?" (needed to plan delete cascades),
+/// which must cover *every* table in the database, not just the locked
+/// set — FK edges are immutable after DDL, so implementations can serve it
+/// from a catalog snapshot without holding row locks.
+pub(crate) trait TableSet {
+    fn table_ref(&self, name: &str) -> Result<&Table, DbError>;
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError>;
+    /// `(referencing table, column index, on_delete)` of every FK column
+    /// in the database whose target is `target`.
+    fn referencing_columns(&self, target: &str) -> Vec<(String, usize, OnDelete)>;
+    /// Bump the table's modification counter — must happen under the same
+    /// exclusive access as the data change itself.
+    fn bump_version(&mut self, table: &str);
+}
 
 /// A committed mutation, as recorded in the write-ahead log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,63 +121,11 @@ impl Database {
     /// Build a full row from named values, applying defaults and Null for
     /// omitted columns, and rejecting unknown column names.
     pub fn build_row(&self, table: &str, values: &[(&str, Value)]) -> Result<Row, DbError> {
-        let t = self.table(table)?;
-        for (name, _) in values {
-            if t.schema.column_index(name).is_none() {
-                return Err(DbError::NoSuchColumn {
-                    table: table.to_string(),
-                    column: name.to_string(),
-                });
-            }
-        }
-        let row: Row = t
-            .schema
-            .columns
-            .iter()
-            .map(|c| {
-                values
-                    .iter()
-                    .find(|(n, _)| *n == c.name)
-                    .map(|(_, v)| v.clone())
-                    .or_else(|| c.default.clone())
-                    .unwrap_or(Value::Null)
-            })
-            .collect();
-        Ok(row)
-    }
-
-    /// Check all FK columns of `row` reference existing rows.
-    fn check_foreign_keys(&self, table: &str, row: &Row) -> Result<(), DbError> {
-        let t = self.table(table)?;
-        for (col, val) in t.schema.columns.iter().zip(row.iter()) {
-            if let (Some(fk), Value::Int(id)) = (&col.foreign_key, val) {
-                let target = self.table(&fk.references)?;
-                if target.get(*id).is_none() {
-                    return Err(DbError::ForeignKeyViolation {
-                        table: table.to_string(),
-                        detail: format!(
-                            "{}.{} = {} has no match in {}",
-                            table, col.name, id, fk.references
-                        ),
-                    });
-                }
-            }
-        }
-        Ok(())
+        ops::build_row(self, table, values)
     }
 
     pub fn insert_row(&mut self, table: &str, row: Row) -> Result<(i64, LogOp), DbError> {
-        self.check_foreign_keys(table, &row)?;
-        let id = self.table_mut(table)?.insert(row.clone())?;
-        self.bump_version(table);
-        Ok((
-            id,
-            LogOp::Insert {
-                table: table.to_string(),
-                id,
-                row,
-            },
-        ))
+        ops::insert_row(self, table, row)
     }
 
     /// Insert from named values (defaults applied).
@@ -161,20 +134,12 @@ impl Database {
         table: &str,
         values: &[(&str, Value)],
     ) -> Result<(i64, LogOp), DbError> {
-        let row = self.build_row(table, values)?;
-        self.insert_row(table, row)
+        ops::insert(self, table, values)
     }
 
     /// Replace a whole row.
     pub fn update_row(&mut self, table: &str, id: i64, row: Row) -> Result<LogOp, DbError> {
-        self.check_foreign_keys(table, &row)?;
-        self.table_mut(table)?.update(id, row.clone())?;
-        self.bump_version(table);
-        Ok(LogOp::Update {
-            table: table.to_string(),
-            id,
-            row,
-        })
+        ops::update_row(self, table, id, row)
     }
 
     /// Update selected columns of a row.
@@ -184,129 +149,29 @@ impl Database {
         id: i64,
         values: &[(&str, Value)],
     ) -> Result<LogOp, DbError> {
-        let t = self.table(table)?;
-        let mut row = t.get(id).cloned().ok_or_else(|| DbError::NoSuchRow {
-            table: table.to_string(),
-            id,
-        })?;
-        for (name, v) in values {
-            let ci = t
-                .schema
-                .column_index(name)
-                .ok_or_else(|| DbError::NoSuchColumn {
-                    table: table.to_string(),
-                    column: name.to_string(),
-                })?;
-            row[ci] = v.clone();
-        }
-        self.update_row(table, id, row)
-    }
-
-    /// Tables + columns holding a FK to `target`.
-    fn referencing_columns(&self, target: &str) -> Vec<(String, usize, OnDelete)> {
-        let mut out = Vec::new();
-        for (name, t) in &self.tables {
-            for (ci, c) in t.schema.columns.iter().enumerate() {
-                if let Some(fk) = &c.foreign_key {
-                    if fk.references == target {
-                        out.push((name.clone(), ci, fk.on_delete));
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    /// Plan the full effect of deleting `(table, id)`: the ordered list of
-    /// cascade deletes (leaf-first) and SET NULL updates. Fails on
-    /// `Restrict` references without mutating anything.
-    fn plan_delete(
-        &self,
-        table: &str,
-        id: i64,
-        deletes: &mut Vec<(String, i64)>,
-        set_nulls: &mut Vec<(String, i64, usize)>,
-    ) -> Result<(), DbError> {
-        if deletes.iter().any(|(t, i)| t == table && *i == id) {
-            return Ok(()); // already planned (self-referential cycles)
-        }
-        deletes.push((table.to_string(), id));
-        for (ref_table, ci, on_delete) in self.referencing_columns(table) {
-            let t = self.table(&ref_table)?;
-            let refs: Vec<i64> = match t.find_indexed(ci, &Value::Int(id)) {
-                Some(hits) => hits.to_vec(),
-                None => t
-                    .iter()
-                    .filter(|(_, r)| r[ci] == Value::Int(id))
-                    .map(|(rid, _)| rid)
-                    .collect(),
-            };
-            for rid in refs {
-                match on_delete {
-                    OnDelete::Restrict => {
-                        return Err(DbError::ForeignKeyViolation {
-                            table: table.to_string(),
-                            detail: format!(
-                                "row {id} is referenced by {ref_table}[{rid}] (RESTRICT)"
-                            ),
-                        });
-                    }
-                    OnDelete::Cascade => {
-                        self.plan_delete(&ref_table, rid, deletes, set_nulls)?;
-                    }
-                    OnDelete::SetNull => {
-                        set_nulls.push((ref_table.clone(), rid, ci));
-                    }
-                }
-            }
-        }
-        Ok(())
+        ops::update(self, table, id, values)
     }
 
     /// Delete a row, honouring FK `ON DELETE` semantics atomically: the
     /// whole cascade is planned (and `Restrict` violations detected) before
     /// any mutation happens.
     pub fn delete(&mut self, table: &str, id: i64) -> Result<Vec<LogOp>, DbError> {
-        if self.table(table)?.get(id).is_none() {
-            return Err(DbError::NoSuchRow {
-                table: table.to_string(),
-                id,
-            });
-        }
-        let mut deletes = Vec::new();
-        let mut set_nulls = Vec::new();
-        self.plan_delete(table, id, &mut deletes, &mut set_nulls)?;
+        ops::delete(self, table, id)
+    }
 
-        let mut ops = Vec::new();
-        // SET NULLs first so no dangling references appear mid-way; skip
-        // rows that are themselves being deleted.
-        for (t, rid, ci) in set_nulls {
-            if deletes.iter().any(|(dt, di)| *dt == t && *di == rid) {
-                continue;
-            }
-            let mut row = self.table(&t)?.get(rid).cloned().expect("planned row");
-            row[ci] = Value::Null;
-            self.table_mut(&t)?.update(rid, row.clone())?;
-            ops.push(LogOp::Update {
-                table: t,
-                id: rid,
-                row,
-            });
+    /// Decompose into table storage plus the per-table version counters
+    /// (building the sharded runtime catalog after recovery).
+    pub(crate) fn into_parts(self) -> (BTreeMap<String, Table>, BTreeMap<String, u64>) {
+        (self.tables, self.versions)
+    }
+
+    /// Reassemble from table storage (serializing a sharded read view as a
+    /// snapshot; versions are runtime-only and not persisted).
+    pub(crate) fn from_tables(tables: BTreeMap<String, Table>) -> Database {
+        Database {
+            tables,
+            versions: BTreeMap::new(),
         }
-        // Delete leaf-first (reverse plan order).
-        for (t, rid) in deletes.into_iter().rev() {
-            self.table_mut(&t)?.delete(rid)?;
-            ops.push(LogOp::Delete { table: t, id: rid });
-        }
-        for op in &ops {
-            match op {
-                LogOp::Update { table, .. } | LogOp::Delete { table, .. } => {
-                    self.bump_version(table)
-                }
-                _ => {}
-            }
-        }
-        Ok(ops)
     }
 
     pub fn select(&self, table: &str, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
@@ -367,6 +232,248 @@ impl Database {
             t.rebuild_indexes()?;
         }
         Ok(())
+    }
+}
+
+impl TableSet for Database {
+    fn table_ref(&self, name: &str) -> Result<&Table, DbError> {
+        self.table(name)
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        Database::table_mut(self, name)
+    }
+
+    fn referencing_columns(&self, target: &str) -> Vec<(String, usize, OnDelete)> {
+        let mut out = Vec::new();
+        for (name, t) in &self.tables {
+            for (ci, c) in t.schema.columns.iter().enumerate() {
+                if let Some(fk) = &c.foreign_key {
+                    if fk.references == target {
+                        out.push((name.clone(), ci, fk.on_delete));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn bump_version(&mut self, table: &str) {
+        Database::bump_version(self, table)
+    }
+}
+
+/// The shared mutation engine: referential integrity, row construction and
+/// the cascade planner, generic over [`TableSet`]. The single-threaded
+/// [`Database`] and the sharded engine's ordered write sets both route
+/// every mutation through these functions, so the two cannot drift.
+pub(crate) mod ops {
+    use super::*;
+
+    /// Build a full row from named values, applying defaults and Null for
+    /// omitted columns, and rejecting unknown column names.
+    pub fn build_row<TS: TableSet>(
+        ts: &TS,
+        table: &str,
+        values: &[(&str, Value)],
+    ) -> Result<Row, DbError> {
+        let t = ts.table_ref(table)?;
+        for (name, _) in values {
+            if t.schema.column_index(name).is_none() {
+                return Err(DbError::NoSuchColumn {
+                    table: table.to_string(),
+                    column: name.to_string(),
+                });
+            }
+        }
+        let row: Row = t
+            .schema
+            .columns
+            .iter()
+            .map(|c| {
+                values
+                    .iter()
+                    .find(|(n, _)| *n == c.name)
+                    .map(|(_, v)| v.clone())
+                    .or_else(|| c.default.clone())
+                    .unwrap_or(Value::Null)
+            })
+            .collect();
+        Ok(row)
+    }
+
+    /// Check all FK columns of `row` reference existing rows.
+    fn check_foreign_keys<TS: TableSet>(ts: &TS, table: &str, row: &Row) -> Result<(), DbError> {
+        let t = ts.table_ref(table)?;
+        for (col, val) in t.schema.columns.iter().zip(row.iter()) {
+            if let (Some(fk), Value::Int(id)) = (&col.foreign_key, val) {
+                let target = ts.table_ref(&fk.references)?;
+                if target.get(*id).is_none() {
+                    return Err(DbError::ForeignKeyViolation {
+                        table: table.to_string(),
+                        detail: format!(
+                            "{}.{} = {} has no match in {}",
+                            table, col.name, id, fk.references
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn insert_row<TS: TableSet>(
+        ts: &mut TS,
+        table: &str,
+        row: Row,
+    ) -> Result<(i64, LogOp), DbError> {
+        check_foreign_keys(ts, table, &row)?;
+        let id = ts.table_mut(table)?.insert(row.clone())?;
+        ts.bump_version(table);
+        Ok((
+            id,
+            LogOp::Insert {
+                table: table.to_string(),
+                id,
+                row,
+            },
+        ))
+    }
+
+    pub fn insert<TS: TableSet>(
+        ts: &mut TS,
+        table: &str,
+        values: &[(&str, Value)],
+    ) -> Result<(i64, LogOp), DbError> {
+        let row = build_row(ts, table, values)?;
+        insert_row(ts, table, row)
+    }
+
+    pub fn update_row<TS: TableSet>(
+        ts: &mut TS,
+        table: &str,
+        id: i64,
+        row: Row,
+    ) -> Result<LogOp, DbError> {
+        check_foreign_keys(ts, table, &row)?;
+        ts.table_mut(table)?.update(id, row.clone())?;
+        ts.bump_version(table);
+        Ok(LogOp::Update {
+            table: table.to_string(),
+            id,
+            row,
+        })
+    }
+
+    pub fn update<TS: TableSet>(
+        ts: &mut TS,
+        table: &str,
+        id: i64,
+        values: &[(&str, Value)],
+    ) -> Result<LogOp, DbError> {
+        let t = ts.table_ref(table)?;
+        let mut row = t.get(id).cloned().ok_or_else(|| DbError::NoSuchRow {
+            table: table.to_string(),
+            id,
+        })?;
+        for (name, v) in values {
+            let ci = t
+                .schema
+                .column_index(name)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: table.to_string(),
+                    column: name.to_string(),
+                })?;
+            row[ci] = v.clone();
+        }
+        update_row(ts, table, id, row)
+    }
+
+    /// Plan the full effect of deleting `(table, id)`: the ordered list of
+    /// cascade deletes (leaf-first) and SET NULL updates. Fails on
+    /// `Restrict` references without mutating anything.
+    fn plan_delete<TS: TableSet>(
+        ts: &TS,
+        table: &str,
+        id: i64,
+        deletes: &mut Vec<(String, i64)>,
+        set_nulls: &mut Vec<(String, i64, usize)>,
+    ) -> Result<(), DbError> {
+        if deletes.iter().any(|(t, i)| t == table && *i == id) {
+            return Ok(()); // already planned (self-referential cycles)
+        }
+        deletes.push((table.to_string(), id));
+        for (ref_table, ci, on_delete) in ts.referencing_columns(table) {
+            let t = ts.table_ref(&ref_table)?;
+            let refs: Vec<i64> = match t.find_indexed(ci, &Value::Int(id)) {
+                Some(hits) => hits.to_vec(),
+                None => t
+                    .iter()
+                    .filter(|(_, r)| r[ci] == Value::Int(id))
+                    .map(|(rid, _)| rid)
+                    .collect(),
+            };
+            for rid in refs {
+                match on_delete {
+                    OnDelete::Restrict => {
+                        return Err(DbError::ForeignKeyViolation {
+                            table: table.to_string(),
+                            detail: format!(
+                                "row {id} is referenced by {ref_table}[{rid}] (RESTRICT)"
+                            ),
+                        });
+                    }
+                    OnDelete::Cascade => {
+                        plan_delete(ts, &ref_table, rid, deletes, set_nulls)?;
+                    }
+                    OnDelete::SetNull => {
+                        set_nulls.push((ref_table.clone(), rid, ci));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn delete<TS: TableSet>(ts: &mut TS, table: &str, id: i64) -> Result<Vec<LogOp>, DbError> {
+        if ts.table_ref(table)?.get(id).is_none() {
+            return Err(DbError::NoSuchRow {
+                table: table.to_string(),
+                id,
+            });
+        }
+        let mut deletes = Vec::new();
+        let mut set_nulls = Vec::new();
+        plan_delete(ts, table, id, &mut deletes, &mut set_nulls)?;
+
+        let mut log = Vec::new();
+        // SET NULLs first so no dangling references appear mid-way; skip
+        // rows that are themselves being deleted.
+        for (t, rid, ci) in set_nulls {
+            if deletes.iter().any(|(dt, di)| *dt == t && *di == rid) {
+                continue;
+            }
+            let mut row = ts.table_ref(&t)?.get(rid).cloned().expect("planned row");
+            row[ci] = Value::Null;
+            ts.table_mut(&t)?.update(rid, row.clone())?;
+            log.push(LogOp::Update {
+                table: t,
+                id: rid,
+                row,
+            });
+        }
+        // Delete leaf-first (reverse plan order).
+        for (t, rid) in deletes.into_iter().rev() {
+            ts.table_mut(&t)?.delete(rid)?;
+            log.push(LogOp::Delete { table: t, id: rid });
+        }
+        for op in &log {
+            match op {
+                LogOp::Update { table, .. } | LogOp::Delete { table, .. } => ts.bump_version(table),
+                _ => {}
+            }
+        }
+        Ok(log)
     }
 }
 

@@ -11,12 +11,32 @@
 //!
 //! * [`value`] / [`schema`] — typed cells, columns, constraints, FKs;
 //! * [`table`] — row storage with unique and secondary indexes;
+//! * [`db`] — the single-threaded engine + the shared mutation logic;
+//! * [`shard`] — per-table locks, lock-set planning, the live engine;
 //! * [`query`] — Django-queryset-flavoured filters/ordering/slicing;
-//! * [`db`] — the engine: referential integrity, mutation log;
 //! * [`perm`] — role-based table grants (`web`, `daemon`, `admin`);
 //! * [`wal`] — durability: JSON-lines WAL + snapshots + recovery;
 //! * [`orm`] — model trait, managers, migrations (the Django ORM analogue);
 //! * [`admin`] — schema/row introspection for the admin interface.
+//!
+//! # Concurrency model
+//!
+//! The engine is sharded per table: every table has its own
+//! reader/writer lock, so the portal's worker threads reading `star`
+//! never wait on the daemon writing `grid_job`. Operations compute the
+//! set of tables they may touch (the target plus FK targets for
+//! existence checks, or the reverse-FK closure for deletes) from the
+//! catalog and acquire those locks in canonical sorted order, which makes
+//! deadlock structurally impossible (see [`shard`] for the proof sketch).
+//!
+//! Multi-table consistency is explicit:
+//!
+//! * [`Connection::read_view`] pins a coherent snapshot of several tables
+//!   behind shared locks — page renders, daemon worklists, and cache
+//!   version stamps read multi-table state without tearing;
+//! * [`Connection::transaction`] declares its table set up front, takes
+//!   the write locks in one ordered pass, and applies-or-rolls-back under
+//!   them, so transactions on disjoint tables commit fully in parallel.
 //!
 //! Entry point: build a [`Db`], define roles, [`Db::connect`] per component.
 //!
@@ -47,6 +67,7 @@ pub mod orm;
 pub mod perm;
 pub mod query;
 pub mod schema;
+pub(crate) mod shard;
 pub mod table;
 pub mod value;
 pub mod wal;
@@ -69,18 +90,25 @@ pub mod prelude {
     pub use crate::schema::{Column, OnDelete, TableSchema};
     pub use crate::table::Row;
     pub use crate::value::{Value, ValueType};
-    pub use crate::{Connection, Db};
+    pub use crate::{Connection, Db, ReadView};
 }
 
+use crate::db::TableSet;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Shared state behind a [`Db`] handle.
 struct DbShared {
-    database: RwLock<Database>,
-    roles: RwLock<HashMap<String, Role>>,
+    /// The table directory. Its `RwLock` is the *catalog lock* — the top
+    /// of the locking hierarchy: read to resolve table names and plan lock
+    /// sets, write only for DDL. Row data lives behind each table's own
+    /// shard lock, so holding the catalog read lock blocks nobody's DML.
+    catalog: RwLock<shard::Catalog>,
+    /// Roles are resolved once per [`Db::connect`] and shared by `Arc` —
+    /// connections never re-enter this lock on the per-operation path.
+    roles: RwLock<HashMap<String, Arc<Role>>>,
     wal: Option<wal::Wal>,
     snapshot_path: Option<PathBuf>,
 }
@@ -96,7 +124,7 @@ impl Db {
     pub fn in_memory() -> Self {
         Db {
             shared: Arc::new(DbShared {
-                database: RwLock::new(Database::new()),
+                catalog: RwLock::new(shard::Catalog::new()),
                 roles: RwLock::new(HashMap::new()),
                 wal: None,
                 snapshot_path: None,
@@ -112,11 +140,15 @@ impl Db {
     ) -> Result<Self, DbError> {
         let snapshot = snapshot.into();
         let wal_path = wal_path.into();
+        // Recovery replays into the single-threaded engine, then the table
+        // storage is moved (not copied) into the sharded runtime catalog.
         let database = wal::recover(Some(&snapshot), Some(&wal_path))?;
+        let (tables, versions) = database.into_parts();
+        let catalog = shard::Catalog::from_parts(tables, &versions);
         let wal = wal::Wal::open(&wal_path)?;
         Ok(Db {
             shared: Arc::new(DbShared {
-                database: RwLock::new(database),
+                catalog: RwLock::new(catalog),
                 roles: RwLock::new(HashMap::new()),
                 wal: Some(wal),
                 snapshot_path: Some(snapshot),
@@ -126,10 +158,15 @@ impl Db {
 
     /// Register (or replace) a role.
     pub fn define_role(&self, role: Role) {
-        self.shared.roles.write().insert(role.name.clone(), role);
+        self.shared
+            .roles
+            .write()
+            .insert(role.name.clone(), Arc::new(role));
     }
 
-    /// Open a connection acting as `role`.
+    /// Open a connection acting as `role`. The role is resolved once, here;
+    /// the connection (and its clones) share it via `Arc` instead of
+    /// re-reading the roles table per operation.
     pub fn connect(&self, role: &str) -> Result<Connection, DbError> {
         let roles = self.shared.roles.read();
         let role = roles
@@ -146,6 +183,12 @@ impl Db {
     /// then truncate the WAL. Recovery afterwards reads the snapshot plus
     /// whatever has been appended since — keeping restart time bounded on
     /// long-lived gateways.
+    ///
+    /// Runs entirely under *shared* locks (catalog read + every table
+    /// read): writers queue for the duration — the snapshot/truncate pair
+    /// must be atomic against appends — but readers are never blocked,
+    /// where the seed engine stalled the whole gateway behind an exclusive
+    /// lock held across file I/O.
     pub fn compact(&self) -> Result<(), DbError> {
         let path = self
             .shared
@@ -157,57 +200,138 @@ impl Db {
             .wal
             .as_ref()
             .ok_or_else(|| DbError::Io("no WAL configured".into()))?;
-        // Exclusive lock: no writer can append between snapshot and truncate.
-        let guard = self.shared.database.write();
-        // The WAL tracks its own tail, so checkpointing never re-reads the
-        // log. Sequence numbers assigned but not yet flushed belong to ops
-        // already applied to the engine, so the snapshot covers them too.
+        // Catalog read lock held throughout: DDL cannot add a table (whose
+        // CreateTable record the snapshot would miss) between the cut and
+        // the truncate. Table read guards held throughout: no writer can
+        // claim a WAL sequence past `covered` before the truncate discards
+        // it. Sequence claims happen under table/catalog write locks, so
+        // with every shard read-held, `last_seq` is exactly the applied set.
+        let catalog = self.shared.catalog.read();
+        let guards: Vec<(String, shard::ReadGuard)> = catalog
+            .all_shards()
+            .map(|(n, s)| (n.to_string(), s.read()))
+            .collect();
         let covered = wal.last_seq();
-        wal::Snapshot::save(&guard, covered, &path)?;
+        let tables: BTreeMap<String, table::Table> = guards
+            .iter()
+            .map(|(n, g)| (n.clone(), g.table.clone()))
+            .collect();
+        wal::Snapshot::save_tables(tables, covered, &path)?;
         wal.truncate()
     }
 
     /// Write a snapshot covering the current WAL position.
+    ///
+    /// The engine is locked (shared) only long enough to fix the covered
+    /// sequence number and clone table storage in memory; serialization
+    /// and file I/O happen after every lock is released, so neither
+    /// readers nor writers wait on the disk.
     pub fn snapshot(&self) -> Result<(), DbError> {
         let path = self
             .shared
             .snapshot_path
             .clone()
             .ok_or_else(|| DbError::Io("no snapshot path configured".into()))?;
-        let guard = self.shared.database.read();
-        // The covered seq is "everything so far"; since we hold the read
-        // lock no writer can interleave, and appended ops always follow.
-        // `last_seq` is tracked in memory — no WAL re-read.
-        let covered = self.shared.wal.as_ref().and_then(|w| w.last_seq());
-        wal::Snapshot::save(&guard, covered, &path)
+        let (tables, covered) = {
+            let catalog = self.shared.catalog.read();
+            let guards: Vec<(String, shard::ReadGuard)> = catalog
+                .all_shards()
+                .map(|(n, s)| (n.to_string(), s.read()))
+                .collect();
+            // With every shard read-held, all claimed sequence numbers
+            // belong to ops whose effects are visible — the clone is a
+            // consistent cut at exactly `covered`.
+            let covered = self.shared.wal.as_ref().and_then(|w| w.last_seq());
+            let tables: BTreeMap<String, table::Table> = guards
+                .iter()
+                .map(|(n, g)| (n.clone(), g.table.clone()))
+                .collect();
+            (tables, covered)
+        };
+        wal::Snapshot::save_tables(tables, covered, &path)
     }
 
-    /// Run a closure with shared read access to the raw engine
-    /// (introspection; bypasses permissions — used by the admin interface
-    /// and tests).
-    pub fn with_database<T>(&self, f: impl FnOnce(&Database) -> T) -> T {
-        f(&self.shared.database.read())
-    }
-
-    /// Current modification counter for `table` (see
-    /// [`Database::table_version`]). Monotone; bumped atomically with every
-    /// committed mutation of the table.
+    /// Current modification counter for `table`. Monotone; bumped
+    /// atomically with every committed mutation of the table. Unknown
+    /// tables report 0.
     pub fn table_version(&self, table: &str) -> u64 {
-        self.shared.database.read().table_version(table)
+        let shard = {
+            let catalog = self.shared.catalog.read();
+            match catalog.shard(table) {
+                Ok(s) => Arc::clone(s),
+                Err(_) => return 0,
+            }
+        };
+        let guard = shard.read();
+        guard.version
     }
 
-    /// Read several tables' modification counters under a single lock
-    /// acquisition (one consistent point in time for the whole stamp).
+    /// Read several tables' modification counters at one consistent point:
+    /// shared locks on all of them (canonical order), then read the
+    /// stamps. Unknown tables report 0, as in [`Self::table_version`].
     pub fn table_versions(&self, tables: &[&str]) -> Vec<u64> {
-        let guard = self.shared.database.read();
-        tables.iter().map(|t| guard.table_version(t)).collect()
+        let shards: BTreeMap<&str, Arc<shard::Shard>> = {
+            let catalog = self.shared.catalog.read();
+            tables
+                .iter()
+                .filter_map(|t| catalog.shard(t).ok().map(|s| (*t, Arc::clone(s))))
+                .collect()
+        };
+        // BTreeMap iteration = canonical order; duplicates already merged.
+        let guards: BTreeMap<&str, shard::ReadGuard> = shards
+            .iter()
+            .map(|(name, shard)| (*name, shard.read()))
+            .collect();
+        tables
+            .iter()
+            .map(|t| guards.get(t).map(|g| g.version).unwrap_or(0))
+            .collect()
     }
 
-    fn append_wal(&self, ops: &[LogOp]) -> Result<(), DbError> {
-        if let Some(w) = &self.shared.wal {
-            w.append(ops)?;
+    /// Names of all tables, sorted (catalog metadata; no row locks).
+    pub fn table_names(&self) -> Vec<String> {
+        self.shared
+            .catalog
+            .read()
+            .table_names()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// The stored schema of a table (catalog metadata; no row locks).
+    pub fn table_schema(&self, table: &str) -> Result<TableSchema, DbError> {
+        let schema = self.shared.catalog.read().schema(table)?;
+        Ok((*schema).clone())
+    }
+
+    /// Row count of a table (takes the table's shared lock briefly).
+    pub fn table_len(&self, table: &str) -> Result<usize, DbError> {
+        let shard = {
+            let catalog = self.shared.catalog.read();
+            Arc::clone(catalog.shard(table)?)
+        };
+        let n = shard.read().table.len();
+        Ok(n)
+    }
+
+    /// Claim WAL sequence numbers for `ops` and buffer them. Must be
+    /// called while the table (or catalog, for DDL) write guards covering
+    /// the ops are still held, so WAL order matches apply order.
+    fn enqueue_wal(&self, ops: &[LogOp]) -> Result<Option<u64>, DbError> {
+        match &self.shared.wal {
+            Some(w) => w.enqueue(ops),
+            None => Ok(None),
         }
-        Ok(())
+    }
+
+    /// Make everything up to `last` durable (group commit). Called after
+    /// guards are released for single ops — the flush batches with
+    /// commits from *other* tables' writers.
+    fn sync_wal(&self, last: Option<u64>) -> Result<(), DbError> {
+        match (&self.shared.wal, last) {
+            (Some(w), Some(last)) => w.sync_to(last),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -216,7 +340,7 @@ impl Db {
 #[derive(Clone)]
 pub struct Connection {
     db: Db,
-    role: Role,
+    role: Arc<Role>,
 }
 
 impl Connection {
@@ -229,7 +353,10 @@ impl Connection {
     }
 
     /// DDL: create a table (superuser only, mirroring AMP where only the
-    /// migration/admin path may alter schema).
+    /// migration/admin path may alter schema). Runs under the catalog
+    /// *write* lock — the only operation that does — and claims its WAL
+    /// sequence there, so the `CreateTable` record always precedes the
+    /// first insert into the new table.
     pub fn create_table(&self, schema: TableSchema) -> Result<(), DbError> {
         if !self.role.superuser {
             return Err(DbError::PermissionDenied {
@@ -238,71 +365,110 @@ impl Connection {
                 action: "CREATE TABLE",
             });
         }
-        let op = self.db.shared.database.write().create_table(schema)?;
-        self.db.append_wal(&[op])
+        let last = {
+            let mut catalog = self.db.shared.catalog.write();
+            let op = catalog.create_table(schema)?;
+            self.db.enqueue_wal(&[op])?
+        };
+        self.db.sync_wal(last)
     }
 
     pub fn has_table(&self, name: &str) -> bool {
-        self.db.shared.database.read().has_table(name)
+        self.db.shared.catalog.read().has_table(name)
+    }
+
+    /// Compute the shard set for a plan under the catalog read lock, then
+    /// release it before blocking on any table lock.
+    fn plan(
+        &self,
+        build: impl FnOnce(&shard::Catalog) -> Result<shard::LockPlan, DbError>,
+    ) -> Result<shard::LockPlan, DbError> {
+        let catalog = self.db.shared.catalog.read();
+        build(&catalog)
+    }
+
+    /// One single-statement write: acquire the plan's locks in order,
+    /// apply, claim WAL sequence numbers *under the guards* (so WAL order
+    /// matches apply order), release, then group-commit the flush.
+    fn run_write<T>(
+        &self,
+        plan: shard::LockPlan,
+        apply: impl FnOnce(&mut shard::LockedTables) -> Result<(T, Vec<LogOp>), DbError>,
+    ) -> Result<T, DbError> {
+        let mut locked = plan.acquire();
+        let (out, ops) = apply(&mut locked)?;
+        let last = self.db.enqueue_wal(&ops)?;
+        drop(locked);
+        self.db.sync_wal(last)?;
+        Ok(out)
+    }
+
+    /// One single-table read under the table's shared lock.
+    fn run_read<T>(
+        &self,
+        table: &str,
+        read: impl FnOnce(&shard::ShardState) -> Result<T, DbError>,
+    ) -> Result<T, DbError> {
+        let shard = {
+            let catalog = self.db.shared.catalog.read();
+            Arc::clone(catalog.shard(table)?)
+        };
+        let guard = shard.read();
+        read(&guard)
     }
 
     pub fn insert(&self, table: &str, values: &[(&str, Value)]) -> Result<i64, DbError> {
         self.role.check(table, Action::Insert)?;
-        let (id, op) = {
-            let mut guard = self.db.shared.database.write();
-            let _hold = obs::HoldTimer::start();
-            guard.insert(table, values)?
-        };
-        self.db.append_wal(&[op])?;
-        Ok(id)
+        let plan = self.plan(|c| c.write_plan(table))?;
+        self.run_write(plan, |set| {
+            let (id, op) = db::ops::insert(set, table, values)?;
+            Ok((id, vec![op]))
+        })
     }
 
     pub fn insert_row(&self, table: &str, row: Row) -> Result<i64, DbError> {
         self.role.check(table, Action::Insert)?;
-        let (id, op) = {
-            let mut guard = self.db.shared.database.write();
-            let _hold = obs::HoldTimer::start();
-            guard.insert_row(table, row)?
-        };
-        self.db.append_wal(&[op])?;
-        Ok(id)
+        let plan = self.plan(|c| c.write_plan(table))?;
+        self.run_write(plan, |set| {
+            let (id, op) = db::ops::insert_row(set, table, row)?;
+            Ok((id, vec![op]))
+        })
     }
 
     pub fn update(&self, table: &str, id: i64, values: &[(&str, Value)]) -> Result<(), DbError> {
         self.role.check(table, Action::Update)?;
-        let op = {
-            let mut guard = self.db.shared.database.write();
-            let _hold = obs::HoldTimer::start();
-            guard.update(table, id, values)?
-        };
-        self.db.append_wal(&[op])
+        let plan = self.plan(|c| c.write_plan(table))?;
+        self.run_write(plan, |set| {
+            let op = db::ops::update(set, table, id, values)?;
+            Ok(((), vec![op]))
+        })
     }
 
     pub fn update_row(&self, table: &str, id: i64, row: Row) -> Result<(), DbError> {
         self.role.check(table, Action::Update)?;
-        let op = {
-            let mut guard = self.db.shared.database.write();
-            let _hold = obs::HoldTimer::start();
-            guard.update_row(table, id, row)?
-        };
-        self.db.append_wal(&[op])
+        let plan = self.plan(|c| c.write_plan(table))?;
+        self.run_write(plan, |set| {
+            let op = db::ops::update_row(set, table, id, row)?;
+            Ok(((), vec![op]))
+        })
     }
 
     /// Delete a row. Referential actions (cascades, SET NULL) execute with
     /// definer rights, as in SQL — only the named table needs the grant.
+    /// The lock plan covers the table's whole reverse-FK closure, since
+    /// that is exactly the set of tables the cascade may mutate.
     pub fn delete(&self, table: &str, id: i64) -> Result<(), DbError> {
         self.role.check(table, Action::Delete)?;
-        let ops = {
-            let mut guard = self.db.shared.database.write();
-            let _hold = obs::HoldTimer::start();
-            guard.delete(table, id)?
-        };
-        self.db.append_wal(&ops)
+        let plan = self.plan(|c| c.delete_plan(table))?;
+        self.run_write(plan, |set| {
+            let ops = db::ops::delete(set, table, id)?;
+            Ok(((), ops))
+        })
     }
 
     pub fn select(&self, table: &str, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
         self.role.check(table, Action::Select)?;
-        self.db.shared.database.read().select(table, query)
+        self.run_read(table, |s| shard::select(s, query))
     }
 
     /// Single-column projection of a query (see [`Query::project`]).
@@ -313,21 +479,17 @@ impl Connection {
         column: &str,
     ) -> Result<Vec<(i64, Value)>, DbError> {
         self.role.check(table, Action::Select)?;
-        self.db
-            .shared
-            .database
-            .read()
-            .select_project(table, query, column)
+        self.run_read(table, |s| shard::select_project(s, query, column))
     }
 
     pub fn get(&self, table: &str, id: i64) -> Result<Row, DbError> {
         self.role.check(table, Action::Select)?;
-        self.db.shared.database.read().get(table, id)
+        self.run_read(table, |s| shard::get(s, table, id))
     }
 
     pub fn count(&self, table: &str, query: &Query) -> Result<usize, DbError> {
         self.role.check(table, Action::Select)?;
-        self.db.shared.database.read().count(table, query)
+        self.run_read(table, |s| shard::count(s, query))
     }
 
     /// Modification counter for `table` — cache-invalidation metadata, not
@@ -336,49 +498,129 @@ impl Connection {
         self.db.table_version(table)
     }
 
-    /// Several tables' counters read under one lock acquisition.
+    /// Several tables' counters read at one consistent point.
     pub fn table_versions(&self, tables: &[&str]) -> Vec<u64> {
         self.db.table_versions(tables)
     }
 
-    /// Run several mutations atomically: either every operation commits (and
-    /// is WAL-logged as one batch) or none do. The write lock is held for
-    /// the whole transaction, so readers see no intermediate state.
+    /// Pin a coherent snapshot of several tables: shared locks acquired in
+    /// canonical order and held until the view is dropped. Every read (and
+    /// [`ReadView::versions`] stamp) through the view observes the same
+    /// instant — no writer can interleave between two tables of the view.
+    ///
+    /// Don't mutate a viewed table from the same thread while the view is
+    /// alive: writers queue behind the view's shared locks.
+    pub fn read_view(&self, tables: &[&str]) -> Result<ReadView, DbError> {
+        let catalog = self.db.shared.catalog.read();
+        let guards = shard::ViewGuards::acquire(&catalog, tables)?;
+        drop(catalog);
+        Ok(ReadView {
+            guards,
+            role: Arc::clone(&self.role),
+        })
+    }
+
+    /// Run several mutations atomically over a declared table set: either
+    /// every operation commits (WAL-logged as one batch) or none do.
+    ///
+    /// `tables` declares what the transaction may touch; the engine
+    /// expands it to the full write closure (FK cascades included) and
+    /// acquires all locks in one canonical-order pass — transactions over
+    /// disjoint tables run fully in parallel, and mutating an undeclared
+    /// table inside `f` fails with a descriptive error instead of
+    /// deadlocking. Readers of the involved tables see no intermediate
+    /// state; on error, the write set is restored from a per-table backup.
     pub fn transaction<T>(
         &self,
+        tables: &[&str],
         f: impl FnOnce(&mut Txn<'_>) -> Result<T, DbError>,
     ) -> Result<T, DbError> {
-        let mut guard = self.db.shared.database.write();
-        let _hold = obs::HoldTimer::start();
-        let backup = guard.clone();
+        let plan = self.plan(|c| c.txn_plan(tables))?;
+        let mut locked = plan.acquire();
+        let backup = locked.backup();
         let mut txn = Txn {
-            db: &mut guard,
+            set: &mut locked,
             role: &self.role,
             ops: Vec::new(),
         };
         match f(&mut txn) {
             Ok(v) => {
                 let ops = txn.ops;
-                match self.db.append_wal(&ops) {
+                // Enqueue *and* flush while the write guards are held: if
+                // durability fails, the memory state rolls back too.
+                let res = self
+                    .db
+                    .enqueue_wal(&ops)
+                    .and_then(|last| self.db.sync_wal(last));
+                match res {
                     Ok(()) => Ok(v),
                     Err(e) => {
-                        *guard = backup;
+                        locked.restore(backup);
                         Err(e)
                     }
                 }
             }
             Err(e) => {
-                *guard = backup;
+                locked.restore(backup);
                 Err(e)
             }
         }
     }
 }
 
-/// In-flight transaction handle. Mutations apply immediately to the engine
-/// (under the exclusive lock) and are rolled back wholesale on error.
+/// A coherent multi-table snapshot (see [`Connection::read_view`]). Reads
+/// are permission-checked per table against the connection's role; version
+/// stamps are cache metadata and need no grant.
+pub struct ReadView {
+    guards: shard::ViewGuards,
+    role: Arc<Role>,
+}
+
+impl ReadView {
+    pub fn select(&self, table: &str, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
+        self.role.check(table, Action::Select)?;
+        shard::select(self.guards.state(table)?, query)
+    }
+
+    /// Single-column projection of a query (see [`Query::project`]).
+    pub fn select_project(
+        &self,
+        table: &str,
+        query: &Query,
+        column: &str,
+    ) -> Result<Vec<(i64, Value)>, DbError> {
+        self.role.check(table, Action::Select)?;
+        shard::select_project(self.guards.state(table)?, query, column)
+    }
+
+    pub fn get(&self, table: &str, id: i64) -> Result<Row, DbError> {
+        self.role.check(table, Action::Select)?;
+        shard::get(self.guards.state(table)?, table, id)
+    }
+
+    pub fn count(&self, table: &str, query: &Query) -> Result<usize, DbError> {
+        self.role.check(table, Action::Select)?;
+        shard::count(self.guards.state(table)?, query)
+    }
+
+    /// Version stamps of the viewed tables, in the order they were passed
+    /// to [`Connection::read_view`]. Taken from the pinned snapshot, so
+    /// the stamp is exactly as old as every row read through the view —
+    /// the invariant the portal's response cache relies on.
+    pub fn versions(&self) -> Vec<u64> {
+        self.guards.versions()
+    }
+
+    /// The viewed table names, in requested order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.guards.tables()
+    }
+}
+
+/// In-flight transaction handle. Mutations apply immediately to the locked
+/// write set and are rolled back wholesale on error.
 pub struct Txn<'a> {
-    db: &'a mut Database,
+    set: &'a mut shard::LockedTables,
     role: &'a Role,
     ops: Vec<LogOp>,
 }
@@ -386,14 +628,14 @@ pub struct Txn<'a> {
 impl Txn<'_> {
     pub fn insert(&mut self, table: &str, values: &[(&str, Value)]) -> Result<i64, DbError> {
         self.role.check(table, Action::Insert)?;
-        let (id, op) = self.db.insert(table, values)?;
+        let (id, op) = db::ops::insert(self.set, table, values)?;
         self.ops.push(op);
         Ok(id)
     }
 
     pub fn insert_row(&mut self, table: &str, row: Row) -> Result<i64, DbError> {
         self.role.check(table, Action::Insert)?;
-        let (id, op) = self.db.insert_row(table, row)?;
+        let (id, op) = db::ops::insert_row(self.set, table, row)?;
         self.ops.push(op);
         Ok(id)
     }
@@ -405,33 +647,40 @@ impl Txn<'_> {
         values: &[(&str, Value)],
     ) -> Result<(), DbError> {
         self.role.check(table, Action::Update)?;
-        let op = self.db.update(table, id, values)?;
+        let op = db::ops::update(self.set, table, id, values)?;
         self.ops.push(op);
         Ok(())
     }
 
     pub fn update_row(&mut self, table: &str, id: i64, row: Row) -> Result<(), DbError> {
         self.role.check(table, Action::Update)?;
-        let op = self.db.update_row(table, id, row)?;
+        let op = db::ops::update_row(self.set, table, id, row)?;
         self.ops.push(op);
         Ok(())
     }
 
     pub fn delete(&mut self, table: &str, id: i64) -> Result<(), DbError> {
         self.role.check(table, Action::Delete)?;
-        let ops = self.db.delete(table, id)?;
+        let ops = db::ops::delete(self.set, table, id)?;
         self.ops.extend(ops);
         Ok(())
     }
 
     pub fn select(&self, table: &str, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
         self.role.check(table, Action::Select)?;
-        self.db.select(table, query)
+        query.execute(self.set.table_ref(table)?)
     }
 
     pub fn get(&self, table: &str, id: i64) -> Result<Row, DbError> {
         self.role.check(table, Action::Select)?;
-        self.db.get(table, id)
+        self.set
+            .table_ref(table)?
+            .get(id)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchRow {
+                table: table.to_string(),
+                id,
+            })
     }
 }
 
@@ -493,7 +742,7 @@ mod tests {
         let db = setup();
         let admin = db.connect("admin").unwrap();
         let out = admin
-            .transaction(|tx| {
+            .transaction(&["star"], |tx| {
                 tx.insert("star", &[("name", "A".into())])?;
                 tx.insert("star", &[("name", "B".into())])?;
                 Ok(42)
@@ -508,7 +757,7 @@ mod tests {
         let db = setup();
         let admin = db.connect("admin").unwrap();
         admin.insert("star", &[("name", "A".into())]).unwrap();
-        let res: Result<(), DbError> = admin.transaction(|tx| {
+        let res: Result<(), DbError> = admin.transaction(&["star"], |tx| {
             tx.insert("star", &[("name", "B".into())])?;
             tx.insert("star", &[("name", "A".into())])?; // unique violation
             Ok(())
@@ -521,13 +770,28 @@ mod tests {
     fn transaction_respects_permissions() {
         let db = setup();
         let web = db.connect("web").unwrap();
-        let res: Result<(), DbError> = web.transaction(|tx| {
+        let res: Result<(), DbError> = web.transaction(&["request", "star"], |tx| {
             tx.insert("request", &[("body", "x".into())])?;
             tx.insert("star", &[("name", "HD".into())])?; // denied
             Ok(())
         });
         assert!(matches!(res, Err(DbError::PermissionDenied { .. })));
         assert_eq!(web.count("request", &Query::new()).unwrap(), 0);
+    }
+
+    #[test]
+    fn transaction_rejects_undeclared_table() {
+        let db = setup();
+        let admin = db.connect("admin").unwrap();
+        // Writing a table outside the declared set fails cleanly (instead
+        // of deadlocking or silently escalating the lock set)...
+        let res: Result<(), DbError> = admin.transaction(&["star"], |tx| {
+            tx.insert("request", &[("body", "x".into())])?;
+            Ok(())
+        });
+        assert!(res.is_err());
+        // ...and the partial work is rolled back.
+        assert_eq!(admin.count("request", &Query::new()).unwrap(), 0);
     }
 
     #[test]
@@ -626,19 +890,49 @@ mod tests {
 
         // rolled-back transactions don't bump either
         let v = db.table_version("star");
-        let _ = admin.transaction(|tx| {
+        let _ = admin.transaction(&["star"], |tx| {
             tx.insert("star", &[("name", "HD3".into())])?;
             Err::<(), _>(DbError::Io("abort".into()))
         });
         assert_eq!(db.table_version("star"), v);
         admin
-            .transaction(|tx| tx.insert("star", &[("name", "HD3".into())]))
+            .transaction(&["star"], |tx| tx.insert("star", &[("name", "HD3".into())]))
             .unwrap();
         assert_eq!(db.table_version("star"), v + 1);
 
-        // multi-table stamp under one lock
+        // multi-table stamp at one consistent point
         let stamp = web.table_versions(&["star", "request"]);
         assert_eq!(stamp, vec![db.table_version("star"), 1]);
+    }
+
+    #[test]
+    fn read_view_is_coherent_and_role_checked() {
+        let db = setup();
+        let admin = db.connect("admin").unwrap();
+        admin.insert("star", &[("name", "HD1".into())]).unwrap();
+        let web = db.connect("web").unwrap();
+        let view = web.read_view(&["star", "request"]).unwrap();
+        assert_eq!(view.count("star", &Query::new()).unwrap(), 1);
+        assert_eq!(view.count("request", &Query::new()).unwrap(), 0);
+        assert_eq!(
+            view.versions(),
+            vec![db.table_version("star"), db.table_version("request")]
+        );
+        assert_eq!(view.tables().collect::<Vec<_>>(), vec!["star", "request"]);
+        // a table outside the view is an error, not a fresh lock
+        assert!(view.count("nope", &Query::new()).is_err());
+        drop(view);
+
+        // roles apply through views too
+        db.define_role(Role::new("blind"));
+        let blind = db.connect("blind").unwrap();
+        let view = blind.read_view(&["star"]).unwrap();
+        assert!(view.select("star", &Query::new()).is_err());
+        assert_eq!(view.versions().len(), 1); // stamps need no grant
+
+        // duplicate table names are tolerated (single guard, both stamps)
+        let view = web.read_view(&["star", "star"]).unwrap();
+        assert_eq!(view.versions().len(), 2);
     }
 
     #[test]

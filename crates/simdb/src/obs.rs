@@ -1,17 +1,15 @@
 //! simdb's handles into the process-wide metrics registry (`amp-obs`).
 //!
-//! Resolved once per process through `OnceLock`s; every observation after
-//! that is a relaxed atomic op, so the storage engine's hot paths carry
-//! no registry lookups.
+//! Engine-wide handles are resolved once per process through `OnceLock`s;
+//! per-table handles are resolved once per shard at table creation and
+//! cached inside the shard, so the storage engine's hot paths carry no
+//! registry lookups — every observation is a relaxed atomic op.
 
 use std::sync::OnceLock;
-use std::time::Instant;
 
 use amp_obs::{Counter, Histogram, Unit};
 
 pub(crate) struct SimdbMetrics {
-    /// How long mutators hold the engine's exclusive write lock.
-    pub write_lock_hold: Histogram,
     /// WAL flushes actually issued (group commit: one per leader drain).
     pub wal_fsyncs: Counter,
     /// Records made durable per group-commit drain.
@@ -21,25 +19,35 @@ pub(crate) struct SimdbMetrics {
 pub(crate) fn metrics() -> &'static SimdbMetrics {
     static METRICS: OnceLock<SimdbMetrics> = OnceLock::new();
     METRICS.get_or_init(|| SimdbMetrics {
-        write_lock_hold: amp_obs::histogram("simdb_write_lock_hold_seconds"),
         wal_fsyncs: amp_obs::counter("simdb_wal_fsync_total"),
         wal_batch: amp_obs::registry().histogram("simdb_wal_commit_batch_records", Unit::Count),
     })
 }
 
-/// Measures a write-lock hold: start it immediately *after* acquiring the
-/// guard and declare it after the guard binding, so drop order (reverse
-/// declaration) observes the elapsed time just before the lock releases.
-pub(crate) struct HoldTimer(Instant);
-
-impl HoldTimer {
-    pub fn start() -> HoldTimer {
-        HoldTimer(Instant::now())
-    }
+/// Per-table lock observability. The sharded engine replaced the seed's
+/// whole-engine `simdb_write_lock_hold_seconds` histogram: with one lock
+/// per table, "who is contended" is a per-table question, so each shard
+/// carries `{table}`-labeled wait and hold histograms.
+pub(crate) struct ShardMetrics {
+    /// Time spent waiting to acquire the table's lock (read or write).
+    pub lock_wait: Histogram,
+    /// Time the table's *exclusive* lock was held — the window during
+    /// which readers of this table (and only this table) were blocked.
+    pub lock_hold: Histogram,
 }
 
-impl Drop for HoldTimer {
-    fn drop(&mut self) {
-        metrics().write_lock_hold.observe_duration(self.0.elapsed());
+impl ShardMetrics {
+    pub fn for_table(table: &str) -> ShardMetrics {
+        let registry = amp_obs::registry();
+        ShardMetrics {
+            lock_wait: registry.histogram(
+                &amp_obs::labeled("simdb_table_lock_wait_seconds", &[("table", table)]),
+                Unit::Seconds,
+            ),
+            lock_hold: registry.histogram(
+                &amp_obs::labeled("simdb_table_lock_hold_seconds", &[("table", table)]),
+                Unit::Seconds,
+            ),
+        }
     }
 }

@@ -11,7 +11,7 @@ use crate::query::Query;
 use crate::schema::TableSchema;
 use crate::table::Row;
 use crate::value::Value;
-use crate::Connection;
+use crate::{Connection, ReadView};
 use std::marker::PhantomData;
 
 /// A struct that maps to a table. Implementations live beside the business
@@ -140,6 +140,43 @@ impl<M: Model> Manager<M> {
 
     pub fn delete(&self, id: i64) -> Result<(), DbError> {
         self.conn.delete(M::TABLE, id)
+    }
+}
+
+/// Typed reads against a pinned multi-table snapshot
+/// ([`Connection::read_view`]) — the model-level face of the coherent
+/// read-view API. Where a [`Manager`] takes each table's lock per call, a
+/// view's reads all observe the same instant, so a page render (or daemon
+/// worklist) that decodes several related models can never see table A
+/// after a transaction and table B before it.
+impl ReadView {
+    /// All matching instances of `M`, decoded from the pinned snapshot.
+    pub fn filter<M: Model>(&self, query: &Query) -> Result<Vec<M>, DbError> {
+        self.select(M::TABLE, query)?
+            .into_iter()
+            .map(|(id, row)| M::from_row(id, &row))
+            .collect()
+    }
+
+    /// One instance by primary key.
+    pub fn get_model<M: Model>(&self, id: i64) -> Result<M, DbError> {
+        let row = self.get(M::TABLE, id)?;
+        M::from_row(id, &row)
+    }
+
+    /// Primary keys of the matching rows (no row clones, no decode) — the
+    /// worklist-builder companion to [`Manager::ids`].
+    pub fn ids<M: Model>(&self, query: &Query) -> Result<Vec<i64>, DbError> {
+        Ok(self
+            .select_project(M::TABLE, query, "id")?
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect())
+    }
+
+    /// Count of matching rows of `M`.
+    pub fn count_of<M: Model>(&self, query: &Query) -> Result<usize, DbError> {
+        self.count(M::TABLE, query)
     }
 }
 

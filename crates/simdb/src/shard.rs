@@ -1,0 +1,737 @@
+//! Per-table sharded concurrency: one lock per table instead of one lock
+//! per engine.
+//!
+//! The seed engine serialized every portal worker and daemon thread on a
+//! single `RwLock<Database>` — a writer to *any* table blocked readers of
+//! *every* table. This module shards that lock: the [`Catalog`] maps each
+//! table name to an [`Arc<Shard>`] whose lock guards exactly that table's
+//! rows and modification counter, plus the schema-level metadata (FK
+//! edges) needed to plan multi-table operations without holding row locks.
+//!
+//! # Locking hierarchy and deadlock freedom
+//!
+//! Locks are always taken in this order, and released before anything
+//! earlier in the order is re-acquired:
+//!
+//! 1. the **catalog** lock (`RwLock` in `lib.rs`) — read to resolve names
+//!    to shards and compute lock sets, write only for DDL;
+//! 2. **table shard locks**, acquired in canonical (sorted-by-name) order
+//!    with the required mode per table ([`LockPlan::acquire`]);
+//! 3. the **WAL** queue/file mutexes (sequence claim happens while table
+//!    locks are held; the durability flush happens after release for
+//!    single ops, under the guards for transactions so they can roll back).
+//!
+//! Because every operation acquires its entire shard set in one ascending
+//! pass, every wait-for edge points from a lock to a strictly later lock
+//! in the canonical order — the wait-for graph is acyclic, so deadlock is
+//! structurally impossible regardless of which tables writers touch.
+//!
+//! # Lock sets
+//!
+//! The set of shards an operation must hold is computed from immutable
+//! schema facts (FK edges change only at DDL, under the catalog write
+//! lock):
+//!
+//! * read / `read_view`: read locks on the named tables;
+//! * insert / update on `T`: write `T`, read `T`'s FK target tables
+//!   (existence checks);
+//! * delete on `T`: write locks on the reverse-FK closure of `T` — every
+//!   table a cascade or SET NULL could touch;
+//! * transaction over declared tables `D`: write locks on the union of the
+//!   members' delete closures, read locks on their FK targets.
+
+use crate::db::TableSet;
+use crate::error::DbError;
+use crate::obs::ShardMetrics;
+use crate::query::Query;
+use crate::schema::{OnDelete, TableSchema};
+use crate::table::{Row, Table};
+use crate::value::Value;
+use std::cell::UnsafeCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What a shard's lock protects: the table's rows/indexes and its
+/// modification counter, which must change atomically with the data.
+pub(crate) struct ShardState {
+    pub table: Table,
+    /// Monotone per-table modification counter (see `Db::table_version`).
+    pub version: u64,
+}
+
+/// Reader/writer bookkeeping for a shard's lock.
+#[derive(Default)]
+struct LockCore {
+    readers: usize,
+    writer: bool,
+    /// Writers queued; readers yield to them (writer preference) so a
+    /// stream of page renders cannot starve the daemon's status writes.
+    waiting_writers: usize,
+}
+
+/// One table's shard: a writer-preferring reader/writer lock with *owned*
+/// guards (guards keep the shard alive via `Arc`, so a consistent
+/// [`crate::ReadView`] can hand them across call frames), plus the
+/// per-table lock metrics.
+///
+/// Hand-rolled over `Mutex`+`Condvar` because the vendored `parking_lot`
+/// stand-in has no owned-guard (`arc_lock`) API. The fast uncontended
+/// path is one mutex lock/unlock per acquire and release.
+pub(crate) struct Shard {
+    core: Mutex<LockCore>,
+    cond: Condvar,
+    state: UnsafeCell<ShardState>,
+    metrics: ShardMetrics,
+}
+
+// SAFETY: `state` is only ever reached through `ReadGuard`/`WriteGuard`,
+// whose construction goes through the reader/writer protocol on `core`:
+// shared references exist only while `readers > 0 && !writer`, exclusive
+// references only while `writer && readers == 0`.
+unsafe impl Send for Shard {}
+unsafe impl Sync for Shard {}
+
+impl Shard {
+    pub fn new(name: &str, table: Table, version: u64) -> Arc<Shard> {
+        Arc::new(Shard {
+            core: Mutex::new(LockCore::default()),
+            cond: Condvar::new(),
+            state: UnsafeCell::new(ShardState { table, version }),
+            metrics: ShardMetrics::for_table(name),
+        })
+    }
+
+    fn lock_core(&self) -> std::sync::MutexGuard<'_, LockCore> {
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire a shared (read) guard, yielding to queued writers.
+    pub fn read(self: &Arc<Self>) -> ReadGuard {
+        let wait_start = Instant::now();
+        let mut core = self.lock_core();
+        while core.writer || core.waiting_writers > 0 {
+            core = self.cond.wait(core).unwrap_or_else(|e| e.into_inner());
+        }
+        core.readers += 1;
+        drop(core);
+        self.metrics
+            .lock_wait
+            .observe_duration(wait_start.elapsed());
+        ReadGuard {
+            shard: Arc::clone(self),
+        }
+    }
+
+    /// Acquire the exclusive (write) guard.
+    pub fn write(self: &Arc<Self>) -> WriteGuard {
+        let wait_start = Instant::now();
+        let mut core = self.lock_core();
+        core.waiting_writers += 1;
+        while core.writer || core.readers > 0 {
+            core = self.cond.wait(core).unwrap_or_else(|e| e.into_inner());
+        }
+        core.waiting_writers -= 1;
+        core.writer = true;
+        drop(core);
+        self.metrics
+            .lock_wait
+            .observe_duration(wait_start.elapsed());
+        WriteGuard {
+            shard: Arc::clone(self),
+            acquired: Instant::now(),
+        }
+    }
+}
+
+/// Owned shared guard over one shard's state.
+pub(crate) struct ReadGuard {
+    shard: Arc<Shard>,
+}
+
+impl std::ops::Deref for ReadGuard {
+    type Target = ShardState;
+    fn deref(&self) -> &ShardState {
+        // SAFETY: the read protocol guarantees no writer is active while
+        // this guard lives.
+        unsafe { &*self.shard.state.get() }
+    }
+}
+
+impl Drop for ReadGuard {
+    fn drop(&mut self) {
+        let mut core = self.shard.lock_core();
+        core.readers -= 1;
+        let wake = core.readers == 0;
+        drop(core);
+        if wake {
+            self.shard.cond.notify_all();
+        }
+    }
+}
+
+/// Owned exclusive guard over one shard's state. Records the hold
+/// duration into the shard's `simdb_table_lock_hold_seconds{table}`
+/// histogram on drop.
+pub(crate) struct WriteGuard {
+    shard: Arc<Shard>,
+    acquired: Instant,
+}
+
+impl std::ops::Deref for WriteGuard {
+    type Target = ShardState;
+    fn deref(&self) -> &ShardState {
+        // SAFETY: exclusive while this guard lives.
+        unsafe { &*self.shard.state.get() }
+    }
+}
+
+impl std::ops::DerefMut for WriteGuard {
+    fn deref_mut(&mut self) -> &mut ShardState {
+        // SAFETY: exclusive while this guard lives.
+        unsafe { &mut *self.shard.state.get() }
+    }
+}
+
+impl Drop for WriteGuard {
+    fn drop(&mut self) {
+        self.shard
+            .metrics
+            .lock_hold
+            .observe_duration(self.acquired.elapsed());
+        let mut core = self.shard.lock_core();
+        core.writer = false;
+        drop(core);
+        self.shard.cond.notify_all();
+    }
+}
+
+/// `target table -> [(referencing table, column index, on_delete)]` for
+/// every FK column in the database. Shared by `Arc` snapshot with
+/// in-flight operations; rebuilt (as a fresh `Arc`) on DDL.
+pub(crate) type ReverseFk = HashMap<String, Vec<(String, usize, OnDelete)>>;
+
+/// The engine's table directory: shards plus the schema-level metadata
+/// (immutable outside the catalog write lock) that lock-set planning and
+/// cascade planning need without touching row locks.
+pub(crate) struct Catalog {
+    tables: BTreeMap<String, Arc<Shard>>,
+    /// Declarative schema per table — DDL-immutable, so introspection
+    /// (admin screens, ORM drift checks) never takes a shard lock.
+    schemas: BTreeMap<String, Arc<TableSchema>>,
+    /// Direct FK target tables per table (deduped, self excluded).
+    fk_targets: HashMap<String, Vec<String>>,
+    referencing: Arc<ReverseFk>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog {
+            tables: BTreeMap::new(),
+            schemas: BTreeMap::new(),
+            fk_targets: HashMap::new(),
+            referencing: Arc::new(HashMap::new()),
+        }
+    }
+
+    /// Build the runtime catalog from recovered storage (snapshot + WAL
+    /// replay), carrying over the version counters the replay produced.
+    pub fn from_parts(
+        tables: BTreeMap<String, Table>,
+        versions: &BTreeMap<String, u64>,
+    ) -> Catalog {
+        let mut catalog = Catalog::new();
+        for (name, table) in tables {
+            let version = versions.get(&name).copied().unwrap_or(0);
+            catalog
+                .schemas
+                .insert(name.clone(), Arc::new(table.schema.clone()));
+            catalog
+                .tables
+                .insert(name.clone(), Shard::new(&name, table, version));
+        }
+        catalog.rebuild_edges();
+        catalog
+    }
+
+    /// DDL: create a table (the sharded analogue of
+    /// `Database::create_table`; caller holds the catalog write lock).
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<crate::db::LogOp, DbError> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(DbError::Schema(format!(
+                "table {} already exists",
+                schema.name
+            )));
+        }
+        // FK targets must exist (or be the table itself, for self-reference).
+        for c in &schema.columns {
+            if let Some(fk) = &c.foreign_key {
+                if fk.references != schema.name && !self.tables.contains_key(&fk.references) {
+                    return Err(DbError::Schema(format!(
+                        "table {}: FK column {} references missing table {}",
+                        schema.name, c.name, fk.references
+                    )));
+                }
+            }
+        }
+        let table = Table::new(schema.clone())?;
+        self.schemas
+            .insert(schema.name.clone(), Arc::new(schema.clone()));
+        // Table creation counts as version 1, as in the seed engine.
+        self.tables
+            .insert(schema.name.clone(), Shard::new(&schema.name, table, 1));
+        self.rebuild_edges();
+        Ok(crate::db::LogOp::CreateTable { schema })
+    }
+
+    fn rebuild_edges(&mut self) {
+        let mut fk_targets: HashMap<String, Vec<String>> = HashMap::new();
+        let mut referencing: ReverseFk = HashMap::new();
+        for (name, schema) in &self.schemas {
+            for (ci, c) in schema.columns.iter().enumerate() {
+                if let Some(fk) = &c.foreign_key {
+                    referencing.entry(fk.references.clone()).or_default().push((
+                        name.clone(),
+                        ci,
+                        fk.on_delete,
+                    ));
+                    if fk.references != *name {
+                        let targets = fk_targets.entry(name.clone()).or_default();
+                        if !targets.contains(&fk.references) {
+                            targets.push(fk.references.clone());
+                        }
+                    }
+                }
+            }
+        }
+        self.fk_targets = fk_targets;
+        self.referencing = Arc::new(referencing);
+    }
+
+    pub fn shard(&self, name: &str) -> Result<&Arc<Shard>, DbError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    pub fn schema(&self, name: &str) -> Result<Arc<TableSchema>, DbError> {
+        self.schemas
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Every shard in canonical order (snapshot / compaction read views).
+    pub fn all_shards(&self) -> impl Iterator<Item = (&str, &Arc<Shard>)> {
+        self.tables.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// The reverse-FK closure of `table`: every table a delete on `table`
+    /// could mutate through cascades or SET NULLs (including itself).
+    fn delete_closure(&self, table: &str) -> BTreeSet<String> {
+        let mut set: BTreeSet<String> = BTreeSet::new();
+        let mut queue = vec![table.to_string()];
+        while let Some(t) = queue.pop() {
+            if !set.insert(t.clone()) {
+                continue;
+            }
+            if let Some(refs) = self.referencing.get(&t) {
+                for (ref_table, _, _) in refs {
+                    if !set.contains(ref_table) {
+                        queue.push(ref_table.clone());
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Lock plan for an insert or update on `table`: exclusive on the
+    /// table, shared on its FK targets (row-existence checks).
+    pub fn write_plan(&self, table: &str) -> Result<LockPlan, DbError> {
+        let mut entries = BTreeMap::new();
+        entries.insert(table.to_string(), (Arc::clone(self.shard(table)?), true));
+        for target in self.fk_targets.get(table).into_iter().flatten() {
+            if target != table {
+                entries
+                    .entry(target.clone())
+                    .or_insert((Arc::clone(self.shard(target)?), false));
+            }
+        }
+        Ok(self.plan_from(entries))
+    }
+
+    /// Lock plan for a delete on `table`: exclusive on the whole reverse-FK
+    /// closure (cascades and SET NULLs mutate those tables).
+    pub fn delete_plan(&self, table: &str) -> Result<LockPlan, DbError> {
+        // Resolve the root first so unknown tables error as NoSuchTable.
+        self.shard(table)?;
+        let mut entries = BTreeMap::new();
+        for t in self.delete_closure(table) {
+            entries.insert(t.clone(), (Arc::clone(self.shard(&t)?), true));
+        }
+        Ok(self.plan_from(entries))
+    }
+
+    /// Lock plan for a transaction over the declared `tables`: exclusive
+    /// on the union of their delete closures (any member may be inserted
+    /// into, updated, or deleted from), shared on the FK targets of that
+    /// write set.
+    pub fn txn_plan(&self, tables: &[&str]) -> Result<LockPlan, DbError> {
+        let mut writes: BTreeSet<String> = BTreeSet::new();
+        for t in tables {
+            self.shard(t)?;
+            writes.append(&mut self.delete_closure(t));
+        }
+        let mut entries = BTreeMap::new();
+        for w in &writes {
+            entries.insert(w.clone(), (Arc::clone(self.shard(w)?), true));
+        }
+        for w in &writes {
+            for target in self.fk_targets.get(w).into_iter().flatten() {
+                if !writes.contains(target) {
+                    entries
+                        .entry(target.clone())
+                        .or_insert((Arc::clone(self.shard(target)?), false));
+                }
+            }
+        }
+        Ok(self.plan_from(entries))
+    }
+
+    fn plan_from(&self, entries: BTreeMap<String, (Arc<Shard>, bool)>) -> LockPlan {
+        LockPlan {
+            entries,
+            referencing: Arc::clone(&self.referencing),
+        }
+    }
+}
+
+/// A computed, not-yet-acquired lock set: `table -> (shard, exclusive?)`,
+/// canonically ordered by the `BTreeMap`. Built under the catalog read
+/// lock; acquired after it is released.
+pub(crate) struct LockPlan {
+    entries: BTreeMap<String, (Arc<Shard>, bool)>,
+    referencing: Arc<ReverseFk>,
+}
+
+impl LockPlan {
+    /// Acquire every lock in canonical order (see module docs for why this
+    /// cannot deadlock) and return the locked table set.
+    pub fn acquire(self) -> LockedTables {
+        let mut writes = BTreeMap::new();
+        let mut reads = BTreeMap::new();
+        for (name, (shard, exclusive)) in self.entries {
+            if exclusive {
+                writes.insert(name, shard.write());
+            } else {
+                reads.insert(name, shard.read());
+            }
+        }
+        LockedTables {
+            writes,
+            reads,
+            referencing: self.referencing,
+        }
+    }
+}
+
+/// An acquired lock set: the tables one operation may touch, write guards
+/// for its mutation targets and read guards for FK-existence checks.
+/// Implements [`TableSet`], so the shared mutation engine in
+/// [`crate::db::ops`] runs against it unchanged.
+pub(crate) struct LockedTables {
+    pub writes: BTreeMap<String, WriteGuard>,
+    pub reads: BTreeMap<String, ReadGuard>,
+    referencing: Arc<ReverseFk>,
+}
+
+impl TableSet for LockedTables {
+    fn table_ref(&self, name: &str) -> Result<&Table, DbError> {
+        if let Some(g) = self.writes.get(name) {
+            return Ok(&g.table);
+        }
+        if let Some(g) = self.reads.get(name) {
+            return Ok(&g.table);
+        }
+        Err(DbError::Schema(format!(
+            "table {name} is not covered by this operation's lock set \
+             (declare it in the transaction's table list)"
+        )))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        match self.writes.get_mut(name) {
+            Some(g) => Ok(&mut g.table),
+            None => Err(DbError::Schema(format!(
+                "table {name} is not write-locked by this operation \
+                 (declare it in the transaction's table list)"
+            ))),
+        }
+    }
+
+    fn referencing_columns(&self, target: &str) -> Vec<(String, usize, OnDelete)> {
+        self.referencing.get(target).cloned().unwrap_or_default()
+    }
+
+    fn bump_version(&mut self, table: &str) {
+        if let Some(g) = self.writes.get_mut(table) {
+            g.version += 1;
+        } else {
+            debug_assert!(false, "bump_version on unlocked table {table}");
+        }
+    }
+}
+
+impl LockedTables {
+    /// Per-table `(rows, version)` backup of the write set — the
+    /// transaction rollback journal. Strictly cheaper than the seed's
+    /// whole-`Database` clone: only the tables the transaction may write.
+    pub fn backup(&self) -> BTreeMap<String, (Table, u64)> {
+        self.writes
+            .iter()
+            .map(|(n, g)| (n.clone(), (g.table.clone(), g.version)))
+            .collect()
+    }
+
+    /// Restore the write set from a [`Self::backup`] (transaction abort).
+    pub fn restore(&mut self, backup: BTreeMap<String, (Table, u64)>) {
+        for (name, (table, version)) in backup {
+            if let Some(g) = self.writes.get_mut(&name) {
+                g.table = table;
+                g.version = version;
+            }
+        }
+    }
+}
+
+/// The guards behind a [`crate::ReadView`]: shared locks over a set of
+/// tables, acquired in canonical order, exposed in the caller's requested
+/// order (so version stamps line up with the caller's dependency list).
+pub(crate) struct ViewGuards {
+    /// Requested order; duplicates in the request map to one guard.
+    order: Vec<String>,
+    guards: BTreeMap<String, ReadGuard>,
+}
+
+impl ViewGuards {
+    /// Acquire shared locks on `tables` in canonical order. The caller
+    /// holds the catalog read lock while this runs — the catalog lock sits
+    /// *above* every table lock in the hierarchy and table-lock holders
+    /// never acquire the catalog, so blocking here cannot deadlock.
+    pub fn acquire(catalog: &Catalog, tables: &[&str]) -> Result<ViewGuards, DbError> {
+        let mut shards = BTreeMap::new();
+        for t in tables {
+            shards.insert((*t).to_string(), Arc::clone(catalog.shard(t)?));
+        }
+        let guards = shards
+            .into_iter()
+            .map(|(name, shard)| {
+                let g = shard.read();
+                (name, g)
+            })
+            .collect();
+        Ok(ViewGuards {
+            order: tables.iter().map(|t| (*t).to_string()).collect(),
+            guards,
+        })
+    }
+
+    pub fn state(&self, table: &str) -> Result<&ShardState, DbError> {
+        self.guards
+            .get(table)
+            .map(|g| &**g)
+            .ok_or_else(|| DbError::Schema(format!("table {table} is not part of this read view")))
+    }
+
+    /// Versions of the viewed tables, in the order they were requested.
+    pub fn versions(&self) -> Vec<u64> {
+        self.order
+            .iter()
+            .map(|t| self.guards.get(t).map(|g| g.version).unwrap_or(0))
+            .collect()
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(|s| s.as_str())
+    }
+}
+
+/// Read helpers shared by `Connection` single-table reads and `ReadView`:
+/// plain query execution against a pinned table.
+pub(crate) fn select(state: &ShardState, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
+    query.execute(&state.table)
+}
+
+pub(crate) fn select_project(
+    state: &ShardState,
+    query: &Query,
+    column: &str,
+) -> Result<Vec<(i64, Value)>, DbError> {
+    query.project(&state.table, column)
+}
+
+pub(crate) fn get(state: &ShardState, table: &str, id: i64) -> Result<Row, DbError> {
+    state
+        .table
+        .get(id)
+        .cloned()
+        .ok_or_else(|| DbError::NoSuchRow {
+            table: table.to_string(),
+            id,
+        })
+}
+
+pub(crate) fn count(state: &ShardState, query: &Query) -> Result<usize, DbError> {
+    query.count(&state.table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn shard() -> Arc<Shard> {
+        let table = Table::new(TableSchema::new(
+            "t",
+            vec![Column::new("v", ValueType::Int)],
+        ))
+        .unwrap();
+        Shard::new("t", table, 1)
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let s = shard();
+        let r1 = s.read();
+        let r2 = s.read();
+        assert_eq!(r1.version, 1);
+        assert_eq!(r2.version, 1);
+        drop((r1, r2));
+        let mut w = s.write();
+        w.version = 2;
+        drop(w);
+        assert_eq!(s.read().version, 2);
+    }
+
+    #[test]
+    fn writer_blocks_until_readers_drain() {
+        let s = shard();
+        let r = s.read();
+        let s2 = Arc::clone(&s);
+        let entered = Arc::new(AtomicUsize::new(0));
+        let entered2 = Arc::clone(&entered);
+        let h = std::thread::spawn(move || {
+            let mut w = s2.write();
+            entered2.store(1, Ordering::SeqCst);
+            w.version += 1;
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(entered.load(Ordering::SeqCst), 0, "writer ran under reader");
+        drop(r);
+        h.join().unwrap();
+        assert_eq!(s.read().version, 2);
+    }
+
+    #[test]
+    fn readers_yield_to_waiting_writers() {
+        // With a writer queued, a new reader must wait; once the writer
+        // finishes, readers proceed and see its effect.
+        let s = shard();
+        let r = s.read();
+        let s_w = Arc::clone(&s);
+        let w = std::thread::spawn(move || {
+            let mut g = s_w.write();
+            g.version = 99;
+        });
+        // Give the writer time to queue behind `r`.
+        std::thread::sleep(Duration::from_millis(30));
+        let s_r = Arc::clone(&s);
+        let late_reader = std::thread::spawn(move || s_r.read().version);
+        std::thread::sleep(Duration::from_millis(30));
+        drop(r);
+        w.join().unwrap();
+        assert_eq!(late_reader.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn stress_many_readers_and_writers() {
+        let s = shard();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let mut g = s.write();
+                    g.version += 1;
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let g = s.read();
+                    assert!(g.version >= 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.read().version, 1 + 4 * 500);
+    }
+
+    #[test]
+    fn delete_closure_follows_reverse_edges() {
+        let mut c = Catalog::new();
+        c.create_table(TableSchema::new("a", vec![])).unwrap();
+        c.create_table(TableSchema::new(
+            "b",
+            vec![Column::new("a_id", ValueType::Int).references("a", OnDelete::Cascade)],
+        ))
+        .unwrap();
+        c.create_table(TableSchema::new(
+            "c",
+            vec![Column::new("b_id", ValueType::Int).references("b", OnDelete::SetNull)],
+        ))
+        .unwrap();
+        c.create_table(TableSchema::new("lonely", vec![])).unwrap();
+        let closure = c.delete_closure("a");
+        assert!(closure.contains("a") && closure.contains("b") && closure.contains("c"));
+        assert!(!closure.contains("lonely"));
+        assert_eq!(c.delete_closure("c").len(), 1);
+    }
+
+    #[test]
+    fn txn_plan_locks_closure_and_fk_targets() {
+        let mut c = Catalog::new();
+        c.create_table(TableSchema::new("parent", vec![])).unwrap();
+        c.create_table(TableSchema::new(
+            "child",
+            vec![Column::new("p", ValueType::Int).references("parent", OnDelete::Cascade)],
+        ))
+        .unwrap();
+        let plan = c.txn_plan(&["child"]).unwrap();
+        let set = plan.acquire();
+        // child is written; parent is read-locked for FK checks.
+        assert!(set.writes.contains_key("child"));
+        assert!(set.reads.contains_key("parent"));
+        // Declaring parent pulls child into the write set (cascade reach).
+        let plan = c.txn_plan(&["parent"]).unwrap();
+        drop(set);
+        let set = plan.acquire();
+        assert!(set.writes.contains_key("parent") && set.writes.contains_key("child"));
+    }
+}

@@ -238,45 +238,58 @@ impl Wal {
     /// Append ops and make them durable (group commit). Returns the
     /// sequence number of the last record.
     pub fn append(&self, ops: &[LogOp]) -> Result<u64, DbError> {
-        // Phase 1: serialize outside any lock (fast path, no serde tree).
+        match self.enqueue(ops)? {
+            Some(last) => {
+                self.sync_to(last)?;
+                Ok(last)
+            }
+            None => Ok(self.queue.lock().expect("wal queue lock").next_seq),
+        }
+    }
+
+    /// Claim sequence numbers for `ops` and buffer the encoded records
+    /// (phases 1–2 of a commit; no durability yet). Returns the last
+    /// claimed sequence number, or `None` for an empty batch.
+    ///
+    /// The sharded engine calls this while still holding the table (or
+    /// catalog) write guards covering the ops, so sequence order always
+    /// matches apply order — replay cannot reorder ops on the same table.
+    /// The flush ([`Self::sync_to`]) happens after the guards are
+    /// released, where it group-commits with other tables' writers.
+    pub fn enqueue(&self, ops: &[LogOp]) -> Result<Option<u64>, DbError> {
+        // Phase 1: serialize before the queue lock (no serde tree).
         let mut encoded = Vec::with_capacity(ops.len());
         for op in ops {
             let mut body = Vec::with_capacity(160);
             encode_op(&mut body, op)?;
             encoded.push(body);
         }
+        if encoded.is_empty() {
+            return Ok(None);
+        }
 
         // Phase 2: claim sequence numbers and buffer the finished lines.
-        let last = {
-            let mut q = self.queue.lock().expect("wal queue lock");
-            if encoded.is_empty() {
-                return Ok(q.next_seq);
-            }
-            for body in &encoded {
-                // `WalRecord` serializes as {"seq":N,"op":{...}} in field
-                // order; emit the identical bytes by splicing the
-                // pre-encoded op body around the freshly claimed seq.
-                let seq = q.next_seq;
-                q.buf.extend_from_slice(b"{\"seq\":");
-                q.buf.extend_from_slice(seq.to_string().as_bytes());
-                q.buf.extend_from_slice(b",\"op\":");
-                q.buf.extend_from_slice(body);
-                q.buf.extend_from_slice(b"}\n");
-                q.next_seq += 1;
-                q.pending += 1;
-            }
-            q.next_seq - 1
-        };
-
-        // Phase 3: group-committed durability.
-        self.sync_to(last)?;
-        Ok(last)
+        let mut q = self.queue.lock().expect("wal queue lock");
+        for body in &encoded {
+            // `WalRecord` serializes as {"seq":N,"op":{...}} in field
+            // order; emit the identical bytes by splicing the
+            // pre-encoded op body around the freshly claimed seq.
+            let seq = q.next_seq;
+            q.buf.extend_from_slice(b"{\"seq\":");
+            q.buf.extend_from_slice(seq.to_string().as_bytes());
+            q.buf.extend_from_slice(b",\"op\":");
+            q.buf.extend_from_slice(body);
+            q.buf.extend_from_slice(b"}\n");
+            q.next_seq += 1;
+            q.pending += 1;
+        }
+        Ok(Some(q.next_seq - 1))
     }
 
-    /// Ensure every record with `seq <= target` is durable. The committer
-    /// that wins the file lock flushes the whole shared buffer on behalf of
-    /// everyone queued behind it.
-    fn sync_to(&self, target: u64) -> Result<(), DbError> {
+    /// Ensure every record with `seq <= target` is durable (phase 3: group
+    /// commit). The committer that wins the file lock flushes the whole
+    /// shared buffer on behalf of everyone queued behind it.
+    pub fn sync_to(&self, target: u64) -> Result<(), DbError> {
         let mut file = self.file.lock().expect("wal file lock");
         if let Some(e) = &file.failed {
             return Err(DbError::Io(format!("wal unusable after failed flush: {e}")));
@@ -393,9 +406,28 @@ impl Snapshot {
         covered_seq: Option<u64>,
         path: impl AsRef<Path>,
     ) -> Result<(), DbError> {
+        Self::save_owned(db.clone(), covered_seq, path)
+    }
+
+    /// Write table storage cloned out of a sharded read view. The clone is
+    /// taken under the view's shared locks; this function — serialization
+    /// and file I/O — runs with no engine locks held at all.
+    pub(crate) fn save_tables(
+        tables: std::collections::BTreeMap<String, crate::table::Table>,
+        covered_seq: Option<u64>,
+        path: impl AsRef<Path>,
+    ) -> Result<(), DbError> {
+        Self::save_owned(Database::from_tables(tables), covered_seq, path)
+    }
+
+    fn save_owned(
+        database: Database,
+        covered_seq: Option<u64>,
+        path: impl AsRef<Path>,
+    ) -> Result<(), DbError> {
         let file = SnapshotFile {
             covered_seq,
-            database: db.clone(),
+            database,
         };
         let data =
             serde_json::to_vec(&file).map_err(|e| DbError::Io(format!("snapshot encode: {e}")))?;

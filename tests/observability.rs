@@ -98,7 +98,11 @@ fn metrics_endpoint_covers_all_three_tiers() {
         "simdb_plan_total",
         "simdb_wal_fsync_total",
         "simdb_wal_commit_batch_records",
-        "simdb_write_lock_hold_seconds",
+        // per-table lock series (replaced the whole-engine hold timer);
+        // every migrated table registers its own labelled pair
+        "# TYPE simdb_table_lock_hold_seconds histogram",
+        "simdb_table_lock_hold_seconds_count{table=\"grid_job\"}",
+        "simdb_table_lock_wait_seconds_count{table=\"star\"}",
         // daemon + GA
         "daemon_transitions_total",
         "daemon_gram_poll_seconds",
