@@ -101,7 +101,7 @@ fn drive(workers: usize, profile: bool) -> (usize, Duration, Vec<TickProfile>) {
     let mut profiles = Vec::new();
     loop {
         let t = Instant::now();
-        dep.daemon.tick(&mut dep.grid);
+        dep.daemon.tick(&dep.grid);
         in_tick += t.elapsed();
         ticks += 1;
         if let Some(p) = &dep.daemon.profile {

@@ -71,7 +71,7 @@ fn main() {
         .expect("reset");
 
     println!("\ngrid tier (remote systems):");
-    dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+    dep.daemon.run_until_settled(&dep.grid, 48.0);
     check(
         "simulation completed through the full stack",
         load_sim(&dep, 1).status == SimStatus::Done,

@@ -49,7 +49,7 @@ fn main() {
                 dep.grid.now().as_secs() as i64,
             ),
         );
-        dep.daemon.run_until_settled(&mut dep.grid, 24.0);
+        dep.daemon.run_until_settled(&dep.grid, 24.0);
         let sim = load_sim(&dep, sim_id);
         assert_eq!(sim.status, SimStatus::Done, "{}", sim.status_message);
         let work = load_jobs(&dep, sim_id)

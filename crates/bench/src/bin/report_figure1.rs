@@ -27,7 +27,7 @@ fn main() {
         &dep,
         Simulation::new_optimization(star, user, spec.clone(), obs, "kraken", alloc, 0),
     );
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
     let sim = load_sim(&dep, sim_id);
     assert_eq!(sim.status, SimStatus::Done, "{}", sim.status_message);
 

@@ -79,7 +79,7 @@ fn main() {
     let sim_id = Manager::<Simulation>::new(web)
         .create(&mut sim)
         .expect("sim");
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
     let admin = dep.db.connect(roles::ROLE_ADMIN).expect("admin");
     let done = Manager::<Simulation>::new(admin)
         .get(sim_id)

@@ -118,7 +118,7 @@ pub mod table1 {
                 0,
             ),
         );
-        dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+        dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
         let jobs = load_jobs(&dep, sim_id);
         let work = jobs
             .iter()
@@ -149,7 +149,7 @@ pub mod table1 {
             &dep,
             Simulation::new_optimization(star, user, spec, obs, &profile.name, alloc, 0),
         );
-        dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 60.0);
+        dep.daemon.run_until_settled(&dep.grid, 24.0 * 60.0);
         let sim = load_sim(&dep, sim_id);
         assert_eq!(
             sim.status,
@@ -329,7 +329,7 @@ pub mod queue {
             ));
         }
         let t0 = dep.grid.now();
-        dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 90.0);
+        dep.daemon.run_until_settled(&dep.grid, 24.0 * 90.0);
         let makespan_hours = (dep.grid.now() - t0).as_hours();
 
         let admin = dep.db.connect(ROLE_ADMIN).expect("admin");

@@ -24,8 +24,8 @@ pub use marshal::{
 };
 pub use models::simulation::{OptimizationSpec, SimPayload};
 pub use models::{
-    Allocation, AmpUser, GridJobRecord, Notification, NotifyMode, Observation, SimKind, Simulation,
-    Star, SystemAuthorization,
+    Allocation, AmpUser, GridJobRecord, Lease, Notification, NotifyMode, Observation, SimKind,
+    Simulation, Star, SystemAuthorization,
 };
 pub use status::{JobPurpose, JobStatus, SimStatus};
 
@@ -45,6 +45,7 @@ pub mod setup {
             .register::<models::Allocation>()
             .register::<models::Simulation>()
             .register::<models::GridJobRecord>()
+            .register::<models::Lease>()
             .register::<models::SystemAuthorization>()
             .register::<models::Notification>()
     }
@@ -71,7 +72,7 @@ mod tests {
     fn initialize_creates_all_tables_idempotently() {
         let db = Db::in_memory();
         let created = setup::initialize(&db).unwrap();
-        assert_eq!(created.len(), 8);
+        assert_eq!(created.len(), 9);
         let again = setup::initialize(&db).unwrap();
         assert!(again.is_empty());
     }

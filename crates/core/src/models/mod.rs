@@ -9,6 +9,7 @@
 
 pub mod allocation;
 pub mod job;
+pub mod lease;
 pub mod notification;
 pub mod simulation;
 pub mod star;
@@ -16,6 +17,7 @@ pub mod user;
 
 pub use allocation::{Allocation, SystemAuthorization};
 pub use job::GridJobRecord;
+pub use lease::Lease;
 pub use notification::{Notification, NotifyMode};
 pub use simulation::{SimKind, Simulation};
 pub use star::{Observation, Star};

@@ -10,7 +10,8 @@
 //! do everything.
 
 use crate::models::{
-    Allocation, AmpUser, GridJobRecord, Notification, Observation, Simulation, SystemAuthorization,
+    Allocation, AmpUser, GridJobRecord, Lease, Notification, Observation, Simulation,
+    SystemAuthorization,
 };
 use amp_simdb::orm::Model as _;
 use amp_simdb::{PermSet, Role};
@@ -69,6 +70,8 @@ pub fn web_role() -> Role {
         .grant(SystemAuthorization::TABLE, PermSet::READ_ONLY)
         // enqueues nothing itself; reads its own notification history
         .grant(Notification::TABLE, PermSet::READ_ONLY)
+        // status pages may show which daemon owns a simulation
+        .grant(Lease::TABLE, PermSet::READ_ONLY)
 }
 
 /// The GridAMP daemon's grants.
@@ -115,6 +118,8 @@ pub fn daemon_role() -> Role {
                 delete: false,
             },
         )
+        // claim/renew/takeover/release of simulation ownership
+        .grant(Lease::TABLE, PermSet::ALL)
 }
 
 /// The administrator/migration role.
@@ -166,6 +171,24 @@ mod tests {
         assert!(d.check(GridJobRecord::TABLE, Action::Update).is_ok());
         assert!(d.check(Allocation::TABLE, Action::Update).is_ok());
         assert!(d.check(Notification::TABLE, Action::Insert).is_ok());
+    }
+
+    #[test]
+    fn lease_table_is_daemon_territory() {
+        let d = daemon_role();
+        for action in [
+            Action::Select,
+            Action::Insert,
+            Action::Update,
+            Action::Delete,
+        ] {
+            assert!(d.check(Lease::TABLE, action).is_ok());
+        }
+        let web = web_role();
+        assert!(web.check(Lease::TABLE, Action::Select).is_ok());
+        assert!(web.check(Lease::TABLE, Action::Insert).is_err());
+        assert!(web.check(Lease::TABLE, Action::Update).is_err());
+        assert!(web.check(Lease::TABLE, Action::Delete).is_err());
     }
 
     #[test]

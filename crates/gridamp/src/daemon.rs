@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 
-use amp_core::models::{AmpUser, GridJobRecord, Notification, NotifyMode, Simulation};
+use amp_core::models::{AmpUser, GridJobRecord, Lease, Notification, NotifyMode, Simulation};
 use amp_core::status::{JobStatus, SimStatus};
 use amp_grid::{CommunityCredential, GramJobHandle, GramState, Grid, SimDuration, SimTime};
 use amp_simdb::orm::{Manager, Model};
@@ -36,6 +36,7 @@ use amp_simdb::{Connection, Db, DbError, Op, Query, Value};
 
 use crate::clilog::{gram_status_cmdline, OpOutcome, OpsEntry, OpsLog};
 use crate::error::WorkflowError;
+use crate::lease::{self, ClaimOutcome};
 use crate::workflow::{owner_username, step, DaemonConfig, StageCtx};
 
 /// Daemon-wide metric handles (global registry, resolved once). The
@@ -48,6 +49,10 @@ struct DaemonMetrics {
     backoffs: amp_obs::Counter,
     holds: amp_obs::Counter,
     errors: amp_obs::Counter,
+    lease_claims: amp_obs::Counter,
+    lease_renewals: amp_obs::Counter,
+    lease_takeovers: amp_obs::Counter,
+    lease_losses: amp_obs::Counter,
 }
 
 fn obs_metrics() -> &'static DaemonMetrics {
@@ -58,6 +63,10 @@ fn obs_metrics() -> &'static DaemonMetrics {
         backoffs: amp_obs::counter("daemon_backoffs_total"),
         holds: amp_obs::counter("daemon_holds_total"),
         errors: amp_obs::counter("daemon_errors_total"),
+        lease_claims: amp_obs::counter("daemon_lease_claims_total"),
+        lease_renewals: amp_obs::counter("daemon_lease_renewals_total"),
+        lease_takeovers: amp_obs::counter("daemon_lease_takeovers_total"),
+        lease_losses: amp_obs::counter("daemon_lease_losses_total"),
     })
 }
 
@@ -233,6 +242,7 @@ fn step_sim_once(
     cred: &CommunityCredential,
     sim: &mut Simulation,
     ops: &mut OpsLog,
+    lease_epoch: Option<i64>,
 ) -> Result<Result<Option<SimStatus>, WorkflowError>, String> {
     let username = owner_username(conn, sim).map_err(|e| e.to_string())?;
     let mut ctx = StageCtx {
@@ -243,6 +253,7 @@ fn step_sim_once(
         sim,
         owner_username: username,
         ops,
+        lease_epoch,
     };
     Ok(step(&mut ctx))
 }
@@ -283,6 +294,20 @@ pub struct GridAmp {
     /// Set to `Some` to profile sequential ticks (see [`TickProfile`]);
     /// refreshed on every tick while enabled.
     pub profile: Option<TickProfile>,
+    /// Simulations this daemon currently holds leases on, with the held
+    /// epoch — rebuilt by the claim phase of every tick. Both work phases
+    /// step only owned simulations.
+    owned: HashMap<i64, i64>,
+    /// Clock-skew fault injection: offset (simulated seconds) added to
+    /// this daemon's view of the clock for lease accounting. A daemon
+    /// running fast sees peers' leases expire early and attempts takeovers
+    /// the epoch fencing must absorb.
+    pub clock_skew_secs: i64,
+    /// Chaos-test instrumentation: invoked after the lease-claim phase and
+    /// before any work phase. A harness can park the daemon here —
+    /// simulating a GC-style stop-the-world pause — while peers take over
+    /// its leases, then let it resume into the fencing guards.
+    pub pause_point: Option<Box<dyn FnMut() + Send>>,
 }
 
 impl GridAmp {
@@ -300,7 +325,29 @@ impl GridAmp {
             last_heartbeat: None,
             ops_log: OpsLog::new(),
             profile: None,
+            owned: HashMap::new(),
+            clock_skew_secs: 0,
+            pause_point: None,
         })
+    }
+
+    /// This daemon's identity in the lease table.
+    pub fn daemon_id(&self) -> &str {
+        &self.config.daemon_id
+    }
+
+    /// The simulations this daemon owned as of its last claim phase.
+    pub fn owned_sims(&self) -> Vec<i64> {
+        let mut ids: Vec<i64> = self.owned.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// All lease rows currently naming this daemon as holder — the
+    /// monitor's view, read from the database rather than from in-memory
+    /// state, so it stays truthful across restarts.
+    pub fn held_leases(&self) -> Result<Vec<Lease>, DbError> {
+        lease::held_by(&self.conn, &self.config.daemon_id)
     }
 
     /// The operations log: every grid call with its Globus-CLI-equivalent
@@ -340,9 +387,68 @@ impl GridAmp {
         let _ = self.notifications().create(&mut n);
     }
 
+    /// Lease-claim phase: walk the live simulations and claim, renew, or
+    /// take over each one's lease. Rebuilds the ownership map both work
+    /// phases filter on.
+    fn claim_leases(&mut self, grid: &Grid, report: &mut TickReport) {
+        let live = match self.live_sim_ids() {
+            Ok(v) => v,
+            Err(e) => {
+                report.daemon_errors.push(e.to_string());
+                return;
+            }
+        };
+        // The daemon's own (possibly skewed) clock drives lease expiry.
+        let now = grid.now().as_secs() as i64 + self.clock_skew_secs;
+        let ttl = self.config.lease_ttl_secs;
+        let mut owned = HashMap::with_capacity(live.len());
+        for sim_id in live {
+            match lease::claim(&self.conn, &self.config.daemon_id, sim_id, now, ttl) {
+                Ok(outcome) => {
+                    match &outcome {
+                        ClaimOutcome::Claimed { .. } => obs_metrics().lease_claims.inc(),
+                        ClaimOutcome::Renewed { .. } => obs_metrics().lease_renewals.inc(),
+                        ClaimOutcome::TakenOver { epoch, from } => {
+                            obs_metrics().lease_takeovers.inc();
+                            amp_obs::flight().record(
+                                "lease_takeover",
+                                format!(
+                                    "t={now} sim {sim_id}: {} -> {} (epoch {epoch})",
+                                    from, self.config.daemon_id
+                                ),
+                            );
+                        }
+                        ClaimOutcome::Lost => obs_metrics().lease_losses.inc(),
+                        ClaimOutcome::Held { .. } => {}
+                    }
+                    if let Some(epoch) = outcome.held_epoch() {
+                        owned.insert(sim_id, epoch);
+                    }
+                }
+                Err(e) => report
+                    .daemon_errors
+                    .push(format!("lease claim sim {sim_id}: {e}")),
+            }
+        }
+        self.owned = owned;
+    }
+
+    /// Drop our lease on a settled (DONE or HOLD) simulation. Advisory —
+    /// expiry would clean up anyway — but keeps the lease table equal to
+    /// the live working set.
+    fn release_lease(&mut self, sim_id: i64) {
+        self.owned.remove(&sim_id);
+        let _ = lease::release(&self.conn, &self.config.daemon_id, sim_id);
+    }
+
     /// One daemon cycle.
-    pub fn tick(&mut self, grid: &mut Grid) -> TickReport {
+    pub fn tick(&mut self, grid: &Grid) -> TickReport {
         self.ticks += 1;
+        let mut claim_report = TickReport::default();
+        self.claim_leases(grid, &mut claim_report);
+        if let Some(hook) = self.pause_point.as_mut() {
+            hook();
+        }
         let report = if self.config.workers > 1 {
             self.tick_parallel(grid, self.config.workers)
         } else {
@@ -358,7 +464,8 @@ impl GridAmp {
             }
             report
         };
-        self.last_heartbeat = Some(grid.now().as_secs() as i64);
+        let report = merge_reports([claim_report, report]);
+        self.last_heartbeat = Some(grid.now().as_secs() as i64 + self.clock_skew_secs);
         // Daemon-class errors are the flight recorder's reason to exist:
         // count them and leave a breadcrumb trail for the failure dump.
         let now = grid.now().as_secs();
@@ -439,6 +546,10 @@ impl GridAmp {
         let now = grid.now();
         let jobs = self.jobs();
         for (job_id, sim_id) in pending {
+            // Only the lease holder polls a simulation's jobs.
+            if !self.owned.contains_key(&sim_id) {
+                continue;
+            }
             let timer = self.profile.is_some().then(std::time::Instant::now);
             let Ok(mut job) = jobs.get(job_id) else {
                 continue;
@@ -474,6 +585,10 @@ impl GridAmp {
 
         let sims = self.sims();
         for sim_id in live {
+            // Only the lease holder steps a simulation's workflow.
+            let Some(&epoch) = self.owned.get(&sim_id) else {
+                continue;
+            };
             if self.backed_off(sim_id) {
                 continue;
             }
@@ -490,6 +605,7 @@ impl GridAmp {
                 &self.cred,
                 &mut sim,
                 &mut self.ops_log,
+                Some(epoch),
             );
             let now = grid.now().as_secs() as i64;
             self.apply_step_outcome(&mut sim, from, outcome, now, report, None);
@@ -548,6 +664,9 @@ impl GridAmp {
                     ),
                 );
                 self.send_transition_mail(sim, from, next, now);
+                if next.is_terminal() {
+                    self.release_lease(sim_id);
+                }
             }
             Ok(None) => {
                 self.transient_streak.remove(&sim_id);
@@ -622,6 +741,10 @@ impl GridAmp {
             Ok(pending) => {
                 let mut chunks: Vec<Vec<(usize, i64)>> = vec![Vec::new(); workers];
                 for (idx, (job_id, sim_id)) in pending.into_iter().enumerate() {
+                    // Only the lease holder polls a simulation's jobs.
+                    if !self.owned.contains_key(&sim_id) {
+                        continue;
+                    }
                     let w = sim_id.rem_euclid(workers as i64) as usize;
                     chunks[w].push((idx, job_id));
                 }
@@ -676,13 +799,17 @@ impl GridAmp {
         // ---- phase 2: workflow steps, sharded by simulation ----
         match self.live_sim_ids() {
             Ok(live) => {
-                let mut chunks: Vec<Vec<(usize, i64)>> = vec![Vec::new(); workers];
+                let mut chunks: Vec<Vec<(usize, i64, i64)>> = vec![Vec::new(); workers];
                 for (idx, sim_id) in live.into_iter().enumerate() {
+                    // Only the lease holder steps a simulation.
+                    let Some(&epoch) = self.owned.get(&sim_id) else {
+                        continue;
+                    };
                     if self.backed_off(sim_id) {
                         continue;
                     }
                     let w = sim_id.rem_euclid(workers as i64) as usize;
-                    chunks[w].push((idx, sim_id));
+                    chunks[w].push((idx, sim_id, epoch));
                 }
                 let mut products: Vec<StepProduct> = std::thread::scope(|scope| {
                     let handles: Vec<_> = chunks
@@ -696,15 +823,22 @@ impl GridAmp {
                             scope.spawn(move || {
                                 let sims: Manager<Simulation> = Manager::new(conn.clone());
                                 let mut products = Vec::with_capacity(chunk.len());
-                                for (idx, sim_id) in chunk {
+                                for (idx, sim_id, epoch) in chunk {
                                     let Ok(mut sim) = sims.get(sim_id) else {
                                         continue;
                                     };
                                     report.sims_stepped += 1;
                                     let from = sim.status;
                                     let mut ops = OpsLog::new();
-                                    let outcome =
-                                        step_sim_once(conn, grid, config, cred, &mut sim, &mut ops);
+                                    let outcome = step_sim_once(
+                                        conn,
+                                        grid,
+                                        config,
+                                        cred,
+                                        &mut sim,
+                                        &mut ops,
+                                        Some(epoch),
+                                    );
                                     // Ok outcomes: persist here, in the
                                     // pool — this row is ours alone and
                                     // distinct-row saves commute.
@@ -778,6 +912,7 @@ impl GridAmp {
             amp_obs::flight().record("hold", format!("t={now} sim {sim_id}: {msg}"));
             self.transient_streak.remove(&sim_id);
             self.next_attempt.remove(&sim_id);
+            self.release_lease(sim_id);
             self.notify_user(
                 sim,
                 "simulation needs attention",
@@ -843,11 +978,19 @@ impl GridAmp {
     /// interval, repeat — until every simulation is terminal (DONE or
     /// HOLD) or `max_sim_hours` of simulated time elapse. Returns the
     /// number of ticks executed.
-    pub fn run_until_settled(&mut self, grid: &mut Grid, max_sim_hours: f64) -> usize {
+    ///
+    /// With `poll_interval_secs == 0` the simulated clock never moves, so
+    /// the deadline alone cannot terminate the loop; a no-progress bailout
+    /// (no clock motion and a tick that changed nothing, many times in a
+    /// row) guards against spinning forever on a stuck campaign.
+    pub fn run_until_settled(&mut self, grid: &Grid, max_sim_hours: f64) -> usize {
+        const MAX_STALLED_TICKS: usize = 1000;
         let deadline = grid.now() + SimDuration::from_hours(max_sim_hours);
         let mut ticks = 0;
+        let mut stalled = 0usize;
         loop {
-            self.tick(grid);
+            let before = grid.now();
+            let report = self.tick(grid);
             ticks += 1;
             let all_settled = self
                 .sims()
@@ -861,6 +1004,17 @@ impl GridAmp {
                 return ticks;
             }
             grid.advance(SimDuration::from_secs(self.config.poll_interval_secs));
+            let progressed = report.job_transitions > 0
+                || !report.transitions.is_empty()
+                || report.new_holds > 0;
+            if grid.now() == before && !progressed {
+                stalled += 1;
+                if stalled >= MAX_STALLED_TICKS {
+                    return ticks;
+                }
+            } else {
+                stalled = 0;
+            }
         }
     }
 }
@@ -873,12 +1027,187 @@ pub struct DaemonMonitor {
     pub max_silence_secs: i64,
 }
 
+/// The monitor's verdict on a daemon's lease posture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseHealth {
+    /// The daemon holds no leases — idle, freshly started, or fully
+    /// fenced out by peers. Not by itself a fault.
+    NoLeases,
+    /// Every held lease is unexpired at `now`.
+    Active { held: usize },
+    /// `stale` of the held leases are past expiry and unrenewed — the
+    /// daemon has stopped renewing (wedged or paused) and peers will
+    /// take its simulations over.
+    Expired { stale: usize },
+}
+
 impl DaemonMonitor {
-    /// True if the daemon looks alive at `now`.
+    /// True if the daemon looks alive at `now` (the monitor's clock).
+    ///
+    /// A heartbeat stamped *ahead* of `now` means the daemon's clock runs
+    /// fast relative to the monitor's, not that the daemon is dead — skew
+    /// produces a negative silence, which trivially passes the threshold.
+    /// Only genuine silence (no beat within `max_silence_secs` of the
+    /// monitor's clock) is unhealthy.
     pub fn healthy(&self, daemon: &GridAmp, now: i64) -> bool {
         match daemon.last_heartbeat {
             Some(hb) => now - hb <= self.max_silence_secs,
             None => false,
         }
+    }
+
+    /// Classify the daemon's lease rows at `now`. Reads the database, not
+    /// the daemon's in-memory ownership map, so a wedged daemon that
+    /// *believes* it owns simulations is still reported truthfully.
+    pub fn lease_health(&self, daemon: &GridAmp, now: i64) -> Result<LeaseHealth, DbError> {
+        let leases = daemon.held_leases()?;
+        if leases.is_empty() {
+            return Ok(LeaseHealth::NoLeases);
+        }
+        let stale = leases.iter().filter(|l| !l.valid_at(now)).count();
+        if stale > 0 {
+            Ok(LeaseHealth::Expired { stale })
+        } else {
+            Ok(LeaseHealth::Active { held: leases.len() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_core::models::{Allocation, AmpUser, Star};
+    use amp_stellar::StellarParams;
+
+    /// A database with one queued simulation, plus a daemon on it.
+    fn fixture() -> (Db, GridAmp, i64) {
+        let db = Db::in_memory();
+        amp_core::setup::initialize(&db).unwrap();
+        let admin = db.connect(amp_core::roles::ROLE_ADMIN).unwrap();
+        let mut user = AmpUser::new("u", "u@x.edu", "h", 0);
+        Manager::<AmpUser>::new(admin.clone())
+            .create(&mut user)
+            .unwrap();
+        let sky = amp_stellar::synthetic_sky(1, 1);
+        let mut star = Star::from_catalog(&sky[0], "local");
+        Manager::<Star>::new(admin.clone())
+            .create(&mut star)
+            .unwrap();
+        let mut alloc = Allocation::new("kraken", "TG-1", 1000.0);
+        Manager::<Allocation>::new(admin.clone())
+            .create(&mut alloc)
+            .unwrap();
+        let mut sim = Simulation::new_direct(
+            star.id.unwrap(),
+            user.id.unwrap(),
+            StellarParams::sun(),
+            "kraken",
+            alloc.id.unwrap(),
+            0,
+        );
+        let sim_id = Manager::<Simulation>::new(admin).create(&mut sim).unwrap();
+        let daemon = GridAmp::new(&db, DaemonConfig::default()).unwrap();
+        (db, daemon, sim_id)
+    }
+
+    #[test]
+    fn monitor_flags_silence_but_tolerates_clock_skew() {
+        let (_db, mut daemon, _sim) = fixture();
+        let monitor = DaemonMonitor {
+            max_silence_secs: 100,
+        };
+        // no heartbeat yet: never healthy
+        assert!(!monitor.healthy(&daemon, 0));
+        daemon.last_heartbeat = Some(1000);
+        assert!(monitor.healthy(&daemon, 1050));
+        assert!(!monitor.healthy(&daemon, 1101));
+        // a fast daemon clock stamps heartbeats in the monitor's future;
+        // negative silence must read as alive, not as an i64 surprise
+        daemon.clock_skew_secs = 500;
+        daemon.last_heartbeat = Some(1500); // monitor clock says 1000
+        assert!(monitor.healthy(&daemon, 1000));
+    }
+
+    #[test]
+    fn lease_health_distinguishes_idle_active_and_expired() {
+        let (_db, daemon, sim_id) = fixture();
+        let monitor = DaemonMonitor {
+            max_silence_secs: 100,
+        };
+        // zero-lease daemon: idle, not faulty
+        assert_eq!(
+            monitor.lease_health(&daemon, 0).unwrap(),
+            LeaseHealth::NoLeases
+        );
+        let conn = daemon.conn.clone();
+        lease::claim(&conn, daemon.daemon_id(), sim_id, 0, 60).unwrap();
+        assert_eq!(
+            monitor.lease_health(&daemon, 30).unwrap(),
+            LeaseHealth::Active { held: 1 }
+        );
+        // expired-but-unrenewed: the daemon stopped renewing
+        assert_eq!(
+            monitor.lease_health(&daemon, 61).unwrap(),
+            LeaseHealth::Expired { stale: 1 }
+        );
+        // a peer takeover moves the row off this daemon entirely
+        lease::claim(&conn, "peer", sim_id, 61, 60).unwrap();
+        assert_eq!(
+            monitor.lease_health(&daemon, 62).unwrap(),
+            LeaseHealth::NoLeases
+        );
+    }
+
+    #[test]
+    fn run_until_settled_bails_out_without_progress() {
+        // A frozen clock (poll interval 0) plus a permanently unreachable
+        // site and an uncapped transient retry budget used to spin
+        // run_until_settled forever: the deadline can never arrive because
+        // simulated time never moves. The no-progress guard must end the
+        // loop instead.
+        let mut dep = crate::setup::deploy(
+            amp_grid::systems::kraken(),
+            DaemonConfig {
+                poll_interval_secs: 0,
+                max_transient_retries: u32::MAX,
+                ..DaemonConfig::default()
+            },
+            None,
+        )
+        .unwrap();
+        dep.grid.faults.add_outage(
+            "kraken",
+            amp_grid::Service::Both,
+            amp_grid::SimTime(0),
+            amp_grid::SimTime(u64::MAX / 2),
+        );
+        let admin = dep.db.connect(amp_core::roles::ROLE_ADMIN).unwrap();
+        let mut user = AmpUser::new("u", "u@x.edu", "h", 0);
+        Manager::<AmpUser>::new(admin.clone())
+            .create(&mut user)
+            .unwrap();
+        let sky = amp_stellar::synthetic_sky(1, 1);
+        let mut star = Star::from_catalog(&sky[0], "local");
+        Manager::<Star>::new(admin.clone())
+            .create(&mut star)
+            .unwrap();
+        let mut alloc = Allocation::new("kraken", "TG-1", 1000.0);
+        Manager::<Allocation>::new(admin.clone())
+            .create(&mut alloc)
+            .unwrap();
+        let mut sim = Simulation::new_direct(
+            star.id.unwrap(),
+            user.id.unwrap(),
+            StellarParams::sun(),
+            "kraken",
+            alloc.id.unwrap(),
+            0,
+        );
+        Manager::<Simulation>::new(admin).create(&mut sim).unwrap();
+        let ticks = dep.daemon.run_until_settled(&dep.grid, 48.0);
+        assert!(
+            (2..=1001).contains(&ticks),
+            "expected the stall guard to fire, got {ticks} ticks"
+        );
     }
 }

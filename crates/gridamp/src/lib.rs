@@ -15,6 +15,9 @@
 //! * [`problem`] — the GA↔stellar-model fitness coupling;
 //! * [`daemon`] — the poll loop, failure taxonomy (transient / model /
 //!   daemon), hold-and-resume, notifications, heartbeat monitor;
+//! * [`lease`] — the multi-daemon lease protocol: CAS claim/renew/
+//!   takeover with fencing epochs, so several daemons share one database
+//!   without ever double-driving a simulation;
 //! * [`gantt`] — the §6 queue-wait analysis tool;
 //! * [`setup`] — deployment wiring for tests, examples, and benches.
 
@@ -25,6 +28,7 @@ pub mod daemon;
 pub mod direct;
 pub mod error;
 pub mod gantt;
+pub mod lease;
 pub mod optimize;
 pub mod problem;
 pub mod setup;
@@ -33,12 +37,15 @@ pub mod workflow;
 pub use advisor::{assess, recommend, Assessment};
 pub use apps::GaRunResult;
 pub use clilog::{OpOutcome, OpsEntry, OpsLog};
-pub use daemon::{merge_reports, DaemonMonitor, GridAmp, TickProfile, TickReport};
+pub use daemon::{merge_reports, DaemonMonitor, GridAmp, LeaseHealth, TickProfile, TickReport};
 pub use error::WorkflowError;
 pub use gantt::{chart_for, render_ascii, stats, GanttChart, GanttRow, WaitRunStats};
+pub use lease::ClaimOutcome;
 pub use optimize::OptimizationResult;
 pub use problem::StellarFitProblem;
-pub use setup::{deploy, deploy_multi, seed_fixtures, small_spec, Deployment};
+pub use setup::{
+    deploy, deploy_cluster, deploy_multi, seed_fixtures, small_spec, ClusterDeployment, Deployment,
+};
 pub use workflow::{workflow_table, DaemonConfig, StageCtx};
 
 #[cfg(test)]
@@ -92,7 +99,7 @@ mod end_to_end {
         let (user, star, alloc, _obs) = seed_fixtures(&dep.db, "kraken", &truth(), 1).unwrap();
         let sim_id = submit_direct(&dep, star, user, alloc);
 
-        let ticks = dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+        let ticks = dep.daemon.run_until_settled(&dep.grid, 48.0);
         assert!(ticks > 2);
 
         let admin = dep.db.connect(amp_core::roles::ROLE_ADMIN).unwrap();
@@ -141,7 +148,7 @@ mod end_to_end {
             Simulation::new_optimization(star, user, small_spec(5), obs, "kraken", alloc, 0);
         let sim_id = sims.create(&mut sim).unwrap();
 
-        dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 14.0);
+        dep.daemon.run_until_settled(&dep.grid, 24.0 * 14.0);
 
         let admin = dep.db.connect(amp_core::roles::ROLE_ADMIN).unwrap();
         let sims = Manager::<Simulation>::new(admin.clone());
@@ -193,7 +200,7 @@ mod end_to_end {
             .add_outage("kraken", Service::Both, SimTime(0), SimTime(7200));
         let sim_id = submit_direct(&dep, star, user, alloc);
 
-        dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+        dep.daemon.run_until_settled(&dep.grid, 48.0);
 
         let admin = dep.db.connect(amp_core::roles::ROLE_ADMIN).unwrap();
         let sim = Manager::<Simulation>::new(admin.clone())
@@ -225,7 +232,7 @@ mod end_to_end {
         let mut sim = Simulation::new_direct(star, user, bad, "kraken", alloc, 0);
         let sim_id = sims.create(&mut sim).unwrap();
 
-        dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+        dep.daemon.run_until_settled(&dep.grid, 48.0);
 
         let admin = dep.db.connect(amp_core::roles::ROLE_ADMIN).unwrap();
         let asims = Manager::<Simulation>::new(admin.clone());
@@ -259,7 +266,7 @@ mod end_to_end {
         let resumed_to = dep.daemon.resume_from_hold(sim_id).unwrap();
         assert_eq!(resumed_to, SimStatus::Running);
 
-        dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+        dep.daemon.run_until_settled(&dep.grid, 48.0);
         assert_eq!(asims.get(sim_id).unwrap().status, SimStatus::Done);
     }
 
@@ -275,7 +282,7 @@ mod end_to_end {
         users.save(&u).unwrap();
 
         let sim_id = submit_direct(&dep, star, user, alloc);
-        dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+        dep.daemon.run_until_settled(&dep.grid, 48.0);
 
         let notes = Manager::<Notification>::new(admin).all().unwrap();
         let mails: Vec<_> = notes
@@ -293,7 +300,7 @@ mod end_to_end {
             max_silence_secs: 3600,
         };
         assert!(!monitor.healthy(&dep.daemon, 0), "no heartbeat yet");
-        dep.daemon.tick(&mut dep.grid);
+        dep.daemon.tick(&dep.grid);
         assert!(monitor.healthy(&dep.daemon, dep.grid.now().as_secs() as i64));
         // daemon "crashes": no ticks while time passes
         dep.grid.advance(SimDuration::from_hours(2.0));
@@ -305,7 +312,7 @@ mod end_to_end {
         let mut dep = deploy(kraken(), fast_config(), None).unwrap();
         let (user, star, alloc, _obs) = seed_fixtures(&dep.db, "kraken", &truth(), 8).unwrap();
         let _sim_id = submit_direct(&dep, star, user, alloc);
-        dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+        dep.daemon.run_until_settled(&dep.grid, 48.0);
 
         let audit = dep.grid.audit();
         assert!(audit.fully_attributed());
@@ -321,7 +328,7 @@ mod end_to_end {
             .faults
             .add_outage("kraken", Service::GridFtp, SimTime(0), SimTime(1800));
         let _sim = submit_direct(&dep, star, user, alloc);
-        dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+        dep.daemon.run_until_settled(&dep.grid, 48.0);
 
         let log = dep.daemon.ops_log();
         assert!(!log.is_empty());

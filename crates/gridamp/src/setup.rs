@@ -67,6 +67,42 @@ pub fn deploy_multi(
     Ok(Deployment { db, grid, daemon })
 }
 
+/// A multi-daemon control plane against one database and one grid: the
+/// lease-based scale-out deployment the chaos tests exercise.
+pub struct ClusterDeployment {
+    pub db: Db,
+    pub grid: Grid,
+    pub daemons: Vec<GridAmp>,
+}
+
+/// Build `n` daemons (distinct `daemon_id`s `gridamp-0..n`) sharing one
+/// database and one simulated system. Every daemon's community credential
+/// is authorized at the site, so any of them can drive any simulation —
+/// the lease table decides who actually does.
+pub fn deploy_cluster(
+    profile: SystemProfile,
+    base_config: DaemonConfig,
+    n: usize,
+) -> Result<ClusterDeployment, DbError> {
+    let db = Db::in_memory();
+    amp_core::setup::initialize(&db)?;
+    let mut grid = Grid::new();
+    let site = profile.name.clone();
+    grid.add_site(profile);
+    crate::apps::install_amp_stack(&mut grid, &site);
+    let mut daemons = Vec::with_capacity(n);
+    for i in 0..n {
+        let config = DaemonConfig {
+            daemon_id: format!("gridamp-{i}"),
+            ..base_config.clone()
+        };
+        let daemon = GridAmp::new(&db, config)?;
+        grid.authorize(&site, daemon.credential());
+        daemons.push(daemon);
+    }
+    Ok(ClusterDeployment { db, grid, daemons })
+}
+
 /// Seed a user (approved), a star, an allocation, and an observation set
 /// synthesized from `truth`. Returns (user id, star id, allocation id,
 /// observation id).

@@ -37,6 +37,13 @@ use crate::error::WorkflowError;
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
+    /// This daemon process's identity in the lease table. Each member of
+    /// a multi-daemon control plane needs a distinct id.
+    pub daemon_id: String,
+    /// Lease time-to-live in simulated seconds: how long a claimed
+    /// simulation stays fenced to this daemon without renewal. Should be
+    /// several poll intervals, so one missed tick never loses ownership.
+    pub lease_ttl_secs: i64,
     /// Target system (AMP's production target was Kraken).
     pub site: String,
     /// Walltime requested for model (batch) jobs — "usually 6 or 24
@@ -69,6 +76,8 @@ pub struct DaemonConfig {
 impl Default for DaemonConfig {
     fn default() -> Self {
         DaemonConfig {
+            daemon_id: "gridamp-0".into(),
+            lease_ttl_secs: 1800,
             site: "kraken".into(),
             work_walltime_hours: 24.0,
             fork_walltime_minutes: 10.0,
@@ -98,6 +107,9 @@ pub struct StageCtx<'a> {
     pub owner_username: String,
     /// The command-line transparency log (§4.4).
     pub ops: &'a mut OpsLog,
+    /// The lease epoch under which this step runs (fencing token). `None`
+    /// disables fencing — direct invocations outside the daemon loop.
+    pub lease_epoch: Option<i64>,
 }
 
 impl StageCtx<'_> {
@@ -139,6 +151,33 @@ impl StageCtx<'_> {
         )?)
     }
 
+    /// Verify this step still holds the lease it started under — the
+    /// fencing-epoch guard. Re-reads the lease row immediately before any
+    /// GRAM submission: a daemon that paused past its lease expiry finds
+    /// the epoch bumped (or the row re-owned) and backs out with a
+    /// transient error instead of double-submitting. The simulation is
+    /// then retried by its new owner.
+    fn check_fence(&mut self) -> Result<(), WorkflowError> {
+        let Some(epoch) = self.lease_epoch else {
+            return Ok(());
+        };
+        let sim_id = self.sim.id.expect("saved sim");
+        let lease = crate::lease::current(self.conn, sim_id)?;
+        let ok = lease
+            .as_ref()
+            .is_some_and(|l| l.daemon_id == self.config.daemon_id && l.epoch == epoch);
+        if ok {
+            return Ok(());
+        }
+        let holder = lease
+            .map(|l| format!("{} at epoch {}", l.daemon_id, l.epoch))
+            .unwrap_or_else(|| "nobody".to_string());
+        let msg = format!("fenced: sim {sim_id} lease moved to {holder} (we held epoch {epoch})");
+        amp_obs::counter("daemon_lease_fences_total").inc();
+        amp_obs::flight().record("lease_fence", format!("t={} {}", self.now(), msg));
+        Err(WorkflowError::Transient(msg))
+    }
+
     /// Submit a fork script job (idempotent: returns the existing record
     /// if one was already submitted for this purpose).
     pub fn submit_fork(
@@ -152,6 +191,7 @@ impl StageCtx<'_> {
                 return Ok(existing);
             }
         }
+        self.check_fence()?;
         let workdir = self.workdir();
         let spec = GramJobSpec {
             service: GramService::Fork,
@@ -180,7 +220,10 @@ impl StageCtx<'_> {
         Ok(rec)
     }
 
-    /// Submit a batch model job and record it.
+    /// Submit a batch model job and record it. Idempotent on the job-state
+    /// key `(simulation, purpose, ga_run, continuation)`: if a submitted
+    /// record already exists — e.g. written by this simulation's new owner
+    /// while we were paused — it is returned instead of re-submitting.
     #[allow(clippy::too_many_arguments)]
     pub fn submit_batch(
         &mut self,
@@ -193,6 +236,19 @@ impl StageCtx<'_> {
         workdir: String,
         depends_on: Vec<GramJobHandle>,
     ) -> Result<GridJobRecord, WorkflowError> {
+        let existing = self.jobs().first(
+            &Query::new()
+                .eq("simulation_id", self.sim.id.expect("saved"))
+                .eq("purpose", purpose.as_str())
+                .eq("ga_run", ga_run)
+                .eq("continuation", continuation),
+        )?;
+        if let Some(existing) = existing {
+            if existing.gram_handle.is_some() {
+                return Ok(existing);
+            }
+        }
+        self.check_fence()?;
         let spec = GramJobSpec {
             service: GramService::Batch,
             executable: executable.to_string(),

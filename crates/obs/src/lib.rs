@@ -11,8 +11,9 @@
 //!   path is a single relaxed atomic op on a cached handle (registration
 //!   takes a lock once; observation never does);
 //! * a bounded ring-buffer [`FlightRecorder`] of structured events (the
-//!   last N daemon state transitions, grid faults, retries) that can be
-//!   dumped when something goes wrong;
+//!   last N daemon state transitions, grid faults, retries, lease
+//!   takeovers and fence rejections) that can be dumped when something
+//!   goes wrong;
 //! * Prometheus text exposition ([`Registry::render_prometheus`]) so the
 //!   portal can serve `GET /metrics`.
 //!
@@ -49,6 +50,14 @@ pub fn flight() -> &'static FlightRecorder {
 }
 
 /// Register (or look up) a counter in the global registry.
+///
+/// Counter names are dotted/underscored Prometheus-style strings chosen
+/// by the producer. The multi-daemon control plane, for instance, reports
+/// its lease protocol through `daemon_lease_claims_total`,
+/// `daemon_lease_renewals_total`, `daemon_lease_takeovers_total`,
+/// `daemon_lease_losses_total` and `daemon_lease_fences_total` (the last
+/// counting submissions refused because the caller's fencing epoch was
+/// stale).
 pub fn counter(name: &str) -> Counter {
     registry().counter(name)
 }

@@ -566,6 +566,39 @@ impl Connection {
             }
         }
     }
+
+    /// Compare-and-swap one row: atomically verify that row `id` of
+    /// `table` still matches every `(column, value)` pair in `expect`,
+    /// and only then apply `set`. Returns `Ok(true)` when the swap
+    /// committed, `Ok(false)` when the row is gone or any expected value
+    /// no longer matches (somebody else won the race).
+    ///
+    /// This is the linearization primitive for optimistic coordination
+    /// rows — e.g. the daemon lease table, where concurrent claimers race
+    /// on `(daemon_id, epoch)` and exactly one CAS per epoch can succeed.
+    /// The check and the update run inside one declared-table-set
+    /// [`Connection::transaction`], i.e. under the table's write lock, so
+    /// no writer can interleave between them.
+    pub fn compare_and_swap(
+        &self,
+        table: &str,
+        id: i64,
+        expect: &[(&str, Value)],
+        set: &[(&str, Value)],
+    ) -> Result<bool, DbError> {
+        self.transaction(&[table], |tx| {
+            let mut q = Query::new();
+            for (column, value) in expect {
+                q = q.filter(column, Op::Eq, value.clone());
+            }
+            let matched = tx.select(table, &q)?.iter().any(|(rid, _)| *rid == id);
+            if !matched {
+                return Ok(false);
+            }
+            tx.update(table, id, set)?;
+            Ok(true)
+        })
+    }
 }
 
 /// A coherent multi-table snapshot (see [`Connection::read_view`]). Reads
@@ -792,6 +825,67 @@ mod tests {
         assert!(res.is_err());
         // ...and the partial work is rolled back.
         assert_eq!(admin.count("request", &Query::new()).unwrap(), 0);
+    }
+
+    #[test]
+    fn compare_and_swap_is_exclusive() {
+        let db = setup();
+        let admin = db.connect("admin").unwrap();
+        let id = admin.insert("star", &[("name", "HD1".into())]).unwrap();
+
+        // matching expectation: swap commits
+        assert!(admin
+            .compare_and_swap(
+                "star",
+                id,
+                &[("name", "HD1".into())],
+                &[("name", "HD2".into())]
+            )
+            .unwrap());
+        // stale expectation: swap refused, row untouched
+        assert!(!admin
+            .compare_and_swap(
+                "star",
+                id,
+                &[("name", "HD1".into())],
+                &[("name", "HD3".into())]
+            )
+            .unwrap());
+        let row = admin.get("star", id).unwrap();
+        assert_eq!(row[0], Value::Text("HD2".into()));
+        // missing row: refused, not an error
+        assert!(!admin
+            .compare_and_swap("star", 999, &[], &[("name", "X".into())])
+            .unwrap());
+
+        // racing swappers on one row: exactly one per generation wins
+        let db2 = db.clone();
+        let winners: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|i| {
+                    let db = db2.clone();
+                    s.spawn(move || {
+                        let c = db.connect("admin").unwrap();
+                        c.compare_and_swap(
+                            "star",
+                            id,
+                            &[("name", "HD2".into())],
+                            &[("name", format!("HD2-{i}").into())],
+                        )
+                        .unwrap() as usize
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1);
+        // permission checks still apply inside the CAS transaction
+        let web = db.connect("web").unwrap();
+        assert!(web
+            .compare_and_swap("star", id, &[], &[("name", "W".into())])
+            .is_err());
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn main() {
         "submitted {} optimization runs on busy lonestar...",
         ids.len()
     );
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 60.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 60.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let mut all_rows = Vec::new();

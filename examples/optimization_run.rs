@@ -52,7 +52,7 @@ fn main() {
     let sims = Manager::<Simulation>::new(admin.clone());
     let mut last_status = String::new();
     loop {
-        dep.daemon.tick(&mut dep.grid);
+        dep.daemon.tick(&dep.grid);
         let s = sims.get(sim_id).unwrap();
         let line = format!("{} ({:.0}%)", s.status, s.progress * 100.0);
         if line != last_status {

@@ -57,7 +57,7 @@ fn run(workers: usize) -> (usize, BTreeMap<i64, String>) {
         sims.create(&mut sim).expect("submit");
     }
 
-    let ticks = dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+    let ticks = dep.daemon.run_until_settled(&dep.grid, 48.0);
     let statuses = Manager::<Simulation>::new(admin)
         .all()
         .expect("sims")

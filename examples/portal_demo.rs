@@ -178,7 +178,7 @@ fn main() {
     // --- the daemon works while the astronomer polls the status page ---
     let mut polls = 0;
     loop {
-        dep.daemon.tick(&mut dep.grid);
+        dep.daemon.tick(&dep.grid);
         portal.set_now(dep.grid.now().as_secs() as i64);
         dep.grid.advance(SimDuration::from_secs(900));
         polls += 1;

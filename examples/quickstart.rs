@@ -30,7 +30,7 @@ fn main() {
 
     // 4. The daemon notices it, stages input, runs pre-job -> model ->
     //    post-job -> cleanup on the simulated machine (Listing 1).
-    let ticks = dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+    let ticks = dep.daemon.run_until_settled(&dep.grid, 48.0);
     println!(
         "daemon settled after {ticks} polls, {} of simulated time",
         dep.grid.now()

@@ -55,13 +55,15 @@ pub use amp_stellar as stellar;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use amp_core::models::{
-        Allocation, AmpUser, GridJobRecord, Notification, Observation, Simulation, Star,
+        Allocation, AmpUser, GridJobRecord, Lease, Notification, Observation, Simulation, Star,
         SystemAuthorization,
     };
     pub use amp_core::{JobPurpose, JobStatus, OptimizationSpec, SimKind, SimStatus};
     pub use amp_ga::{Ga, GaConfig, Problem};
     pub use amp_grid::prelude::*;
-    pub use amp_gridamp::{DaemonConfig, Deployment, GridAmp};
+    pub use amp_gridamp::{
+        ClaimOutcome, DaemonConfig, DaemonMonitor, Deployment, GridAmp, LeaseHealth,
+    };
     pub use amp_portal::{Portal, PortalConfig};
     pub use amp_simdb::orm::{Manager, Model};
     pub use amp_simdb::{Db, Query};

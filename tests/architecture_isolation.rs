@@ -106,7 +106,7 @@ fn only_wellformed_input_files_reach_the_grid() {
 
     // run a few ticks so the input file gets staged
     for _ in 0..4 {
-        dep.daemon.tick(&mut dep.grid);
+        dep.daemon.tick(&dep.grid);
         dep.grid.advance(SimDuration::from_secs(300));
     }
     let fs = &dep.grid.site("kraken").unwrap().fs;
@@ -149,7 +149,7 @@ fn audit_trail_disambiguates_community_users() {
     let mut s2 = Simulation::new_direct(star, u2_id, StellarParams::sun(), "kraken", alloc, 0);
     sims.create(&mut s2).unwrap();
 
-    dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+    dep.daemon.run_until_settled(&dep.grid, 48.0);
 
     let audit = dep.grid.audit();
     assert!(audit.fully_attributed());

@@ -1,0 +1,118 @@
+//! Shared support for the integration suites: canonical fixtures plus
+//! the deterministic chaos scheduler the failure-injection and
+//! lease-failover tests drive their daemons with.
+
+#![allow(dead_code)]
+
+use amp::prelude::*;
+use amp_grid::{DaemonFault, DaemonFaultEvent, DaemonFaultPlan};
+
+/// The canonical "truth" star the failure suites synthesize observations
+/// from.
+pub fn truth() -> StellarParams {
+    StellarParams {
+        mass: 1.05,
+        metallicity: 0.02,
+        helium: 0.27,
+        alpha: 2.0,
+        age: 4.0,
+    }
+}
+
+/// A single-daemon kraken deployment with the given work walltime.
+pub fn deployment(walltime_hours: f64) -> amp::gridamp::Deployment {
+    amp::gridamp::deploy(
+        amp::grid::systems::kraken(),
+        DaemonConfig {
+            work_walltime_hours: walltime_hours,
+            ..DaemonConfig::default()
+        },
+        None,
+    )
+    .unwrap()
+}
+
+/// Drives a fleet of daemons through kill / pause / restart / clock-skew
+/// faults on a fixed, seeded schedule ([`DaemonFaultPlan`]). One
+/// `begin_round` call per harness round: it applies the faults due that
+/// round, restarts daemons whose downtime has ended (as fresh processes
+/// with fresh identities and empty memory), and returns the indices of
+/// the daemons allowed to tick.
+pub struct ChaosScheduler {
+    plan: DaemonFaultPlan,
+    round: u64,
+    /// First round at which each daemon may run again after a kill.
+    down_until: Vec<u64>,
+    /// First round at which each daemon may run again after a pause.
+    paused_until: Vec<u64>,
+    /// Killed daemons awaiting their restart-as-new-process.
+    restart_pending: Vec<bool>,
+    restarts: usize,
+}
+
+impl ChaosScheduler {
+    pub fn new(n: usize, plan: DaemonFaultPlan) -> Self {
+        ChaosScheduler {
+            plan,
+            round: 0,
+            down_until: vec![0; n],
+            paused_until: vec![0; n],
+            restart_pending: vec![false; n],
+            restarts: 0,
+        }
+    }
+
+    /// The round the *next* `begin_round` call will execute.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// How many daemon processes have been killed and restarted so far.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Start the next round: restart revived daemons, apply this round's
+    /// faults, and return the indices of the daemons that tick.
+    pub fn begin_round(&mut self, db: &Db, daemons: &mut [GridAmp]) -> Vec<usize> {
+        let round = self.round;
+        self.round += 1;
+
+        // Revive killed daemons whose downtime has ended. A restart is a
+        // *new process*: fresh identity, empty ownership map, no memory
+        // of prior streaks or leases — it must re-earn everything through
+        // the lease table.
+        for (i, daemon) in daemons.iter_mut().enumerate() {
+            if self.restart_pending[i] && round >= self.down_until[i] {
+                self.restarts += 1;
+                let config = DaemonConfig {
+                    daemon_id: format!("gridamp-{i}-r{}", self.restarts),
+                    ..daemon.config.clone()
+                };
+                *daemon = GridAmp::new(db, config).expect("restart daemon");
+                self.restart_pending[i] = false;
+            }
+        }
+
+        let due: Vec<DaemonFaultEvent> = self.plan.at_round(round).cloned().collect();
+        for event in due {
+            let i = event.daemon;
+            match event.fault {
+                DaemonFault::Kill { down_ticks } => {
+                    self.down_until[i] = round + u64::from(down_ticks);
+                    self.restart_pending[i] = true;
+                }
+                DaemonFault::Pause { ticks } => {
+                    self.paused_until[i] = round + u64::from(ticks);
+                }
+                DaemonFault::ClockSkew { offset_secs } => {
+                    daemons[i].clock_skew_secs = offset_secs;
+                }
+            }
+        }
+
+        (0..daemons.len())
+            .filter(|&i| round >= self.down_until[i] && round >= self.paused_until[i])
+            .collect()
+    }
+}

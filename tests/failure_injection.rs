@@ -3,30 +3,11 @@
 //! resumed, walltime kills absorbed by restart files, and external
 //! services degrading gracefully.
 
+mod common;
+
 use amp::prelude::*;
 use amp_simdb::Op;
-
-fn truth() -> StellarParams {
-    StellarParams {
-        mass: 1.05,
-        metallicity: 0.02,
-        helium: 0.27,
-        alpha: 2.0,
-        age: 4.0,
-    }
-}
-
-fn deployment(walltime_hours: f64) -> amp::gridamp::Deployment {
-    amp::gridamp::deploy(
-        amp::grid::systems::kraken(),
-        DaemonConfig {
-            work_walltime_hours: walltime_hours,
-            ..DaemonConfig::default()
-        },
-        None,
-    )
-    .unwrap()
-}
+use common::{deployment, truth};
 
 #[test]
 fn random_outage_storm_is_survived_silently() {
@@ -53,7 +34,7 @@ fn random_outage_storm_is_survived_silently() {
     let mut sim = Simulation::new_optimization(star, user, spec, obs, "kraken", alloc, 0);
     let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
 
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let done = Manager::<Simulation>::new(admin.clone())
@@ -89,7 +70,7 @@ fn corrupt_restart_file_is_a_model_failure_then_recovers() {
     // run until the first continuation job's restart file exists
     let restart = format!("amp/sim{sim_id}/run0/restart.json");
     for _ in 0..200 {
-        dep.daemon.tick(&mut dep.grid);
+        dep.daemon.tick(&dep.grid);
         if dep.grid.site("kraken").unwrap().fs.exists(&restart) {
             break;
         }
@@ -104,7 +85,7 @@ fn corrupt_restart_file_is_a_model_failure_then_recovers() {
         .fs
         .write(&restart, b"{corrupted".to_vec())
         .unwrap();
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let held = Manager::<Simulation>::new(admin.clone())
@@ -132,7 +113,7 @@ fn corrupt_restart_file_is_a_model_failure_then_recovers() {
         jobs.delete(j.id.unwrap()).unwrap();
     }
     dep.daemon.resume_from_hold(sim_id).unwrap();
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
     let done = Manager::<Simulation>::new(admin).get(sim_id).unwrap();
     assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
 }
@@ -157,7 +138,7 @@ fn walltime_kill_recovers_via_restart_file() {
     let mut sim = Simulation::new_optimization(star, user, spec, obs, "kraken", alloc, 0);
     let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
 
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let done = Manager::<Simulation>::new(admin.clone())
         .get(sim_id)
@@ -198,7 +179,7 @@ fn transient_storm_escalates_to_hold_after_cap() {
     let mut sim = Simulation::new_direct(star, user, StellarParams::sun(), "kraken", alloc, 0);
     let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
 
-    dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+    dep.daemon.run_until_settled(&dep.grid, 48.0);
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let held = Manager::<Simulation>::new(admin).get(sim_id).unwrap();
     assert_eq!(held.status, SimStatus::Hold);
@@ -253,7 +234,7 @@ fn queue_contention_with_background_load_still_completes() {
         dep.grid.now().as_secs() as i64,
     );
     let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 60.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 60.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let done = Manager::<Simulation>::new(admin.clone())

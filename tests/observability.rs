@@ -69,7 +69,7 @@ fn metrics_endpoint_covers_all_three_tiers() {
     };
     let mut sim = Simulation::new_optimization(star, user, spec, obs_id, "kraken", alloc, 0);
     let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let done = Manager::<Simulation>::new(admin).get(sim_id).unwrap();
     assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
@@ -146,7 +146,7 @@ fn flight_recorder_dumps_recent_events_on_daemon_failure() {
     let mut sim = Simulation::new_direct(star, user, truth(), "kraken", alloc, 0);
     let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
 
-    dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+    dep.daemon.run_until_settled(&dep.grid, 48.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let held = Manager::<Simulation>::new(admin).get(sim_id).unwrap();

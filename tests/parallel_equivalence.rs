@@ -109,7 +109,7 @@ fn run_scenario(workers: usize) -> Outcome {
     let mut transitions: BTreeMap<i64, Vec<(String, String)>> = BTreeMap::new();
     let mut ticks = 0;
     loop {
-        let report = dep.daemon.tick(&mut dep.grid);
+        let report = dep.daemon.tick(&dep.grid);
         ticks += 1;
         for (id, from, to) in &report.transitions {
             transitions

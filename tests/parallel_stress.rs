@@ -93,7 +93,7 @@ fn run_stress(workers: usize) -> StressOutcome {
     let mut new_holds = 0;
     let mut ticks = 0;
     loop {
-        let report = dep.daemon.tick(&mut dep.grid);
+        let report = dep.daemon.tick(&dep.grid);
         ticks += 1;
         transient_errors += report.transient_errors;
         new_holds += report.new_holds;
@@ -243,7 +243,7 @@ fn transient_backoff_schedules_retries_exponentially() {
 
     let mut stepped_on: Vec<usize> = Vec::new();
     for tick in 1..=12 {
-        let report = dep.daemon.tick(&mut dep.grid);
+        let report = dep.daemon.tick(&dep.grid);
         if report.sims_stepped > 0 {
             stepped_on.push(tick);
         }

@@ -206,7 +206,7 @@ fn full_user_journey() {
     // 5. the daemon runs it; the portal's status page follows along
     let mut saw_running = false;
     for _ in 0..3000 {
-        r.dep.daemon.tick(&mut r.dep.grid);
+        r.dep.daemon.tick(&r.dep.grid);
         r.portal.set_now(r.dep.grid.now().as_secs() as i64);
         let page = r
             .portal

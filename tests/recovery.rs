@@ -46,7 +46,7 @@ fn replacement_daemon_resumes_midflight_simulation() {
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let sims = Manager::<Simulation>::new(admin.clone());
     for _ in 0..500 {
-        dep.daemon.tick(&mut dep.grid);
+        dep.daemon.tick(&dep.grid);
         if sims.get(sim_id).unwrap().status == SimStatus::Running {
             break;
         }
@@ -76,7 +76,7 @@ fn replacement_daemon_resumes_midflight_simulation() {
 
     // the replacement daemon reads everything it needs from the DB and
     // carries the simulation to completion
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
     let done = sims.get(sim_id).unwrap();
     assert_eq!(done.status, SimStatus::Done, "{}", done.status_message);
     assert!(done.result_json.is_some());
@@ -154,7 +154,7 @@ fn notification_outbox_preserved_across_daemon_restart() {
     let web = dep.db.connect(amp::core::roles::ROLE_WEB).unwrap();
     let mut sim = Simulation::new_direct(star, user, StellarParams::sun(), "kraken", alloc, 0);
     let sim_id = Manager::<Simulation>::new(web).create(&mut sim).unwrap();
-    dep.daemon.run_until_settled(&mut dep.grid, 48.0);
+    dep.daemon.run_until_settled(&dep.grid, 48.0);
 
     // replace the daemon; the completion notification is still in the DB
     dep.daemon = amp_gridamp::GridAmp::new(&dep.db, DaemonConfig::default()).unwrap();

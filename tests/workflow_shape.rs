@@ -47,7 +47,7 @@ fn figure1_shape_holds() {
         seed: 5,
     };
     let sim_id = submit_opt(&dep, spec.clone());
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let sim = Manager::<Simulation>::new(admin.clone())
@@ -124,7 +124,7 @@ fn listing1_state_sequence_exact() {
     // collect every transition the daemon reports
     let mut transitions = Vec::new();
     for _ in 0..200 {
-        let report = dep.daemon.tick(&mut dep.grid);
+        let report = dep.daemon.tick(&dep.grid);
         transitions.extend(
             report
                 .transitions
@@ -168,9 +168,9 @@ fn chaining_submits_dependent_jobs_upfront() {
     };
     let sim_id = submit_opt(&dep, spec);
     // a couple of ticks: chains should already be fully submitted
-    dep.daemon.tick(&mut dep.grid);
+    dep.daemon.tick(&dep.grid);
     dep.grid.advance(SimDuration::from_secs(300));
-    dep.daemon.tick(&mut dep.grid);
+    dep.daemon.tick(&dep.grid);
 
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let jobs = Manager::<GridJobRecord>::new(admin.clone())
@@ -194,7 +194,7 @@ fn chaining_submits_dependent_jobs_upfront() {
     }
 
     // and the run still completes correctly
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
     let sim = Manager::<Simulation>::new(admin).get(sim_id).unwrap();
     assert_eq!(sim.status, SimStatus::Done, "{}", sim.status_message);
 }
@@ -218,7 +218,7 @@ fn two_simulations_share_the_machine() {
         let mut sim = Simulation::new_optimization(star, user, spec, obs, "kraken", alloc, 0);
         ids.push(sims.create(&mut sim).unwrap());
     }
-    dep.daemon.run_until_settled(&mut dep.grid, 24.0 * 30.0);
+    dep.daemon.run_until_settled(&dep.grid, 24.0 * 30.0);
     let admin = dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let mgr = Manager::<Simulation>::new(admin);
     for id in ids {
