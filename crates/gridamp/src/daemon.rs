@@ -487,7 +487,9 @@ impl GridAmp {
     /// The worklist is built through a read view pinning both the job and
     /// simulation tables: the `(job, owning sim)` pairs are one coherent
     /// snapshot — a multi-table transaction (e.g. cancel: sim + its jobs)
-    /// is either entirely visible to this tick or not at all.
+    /// is either entirely visible to this tick or not at all. The view is
+    /// a lock-free MVCC pin: holding it never stalls the pool's engines
+    /// writing job status, no matter how long the tick takes.
     fn pending_job_ids(&self) -> Result<Vec<(i64, i64)>, DbError> {
         let statuses = vec![
             Value::from(JobStatus::Pending.as_str()),

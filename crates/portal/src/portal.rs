@@ -170,17 +170,15 @@ impl Portal {
         if self.config.cache_enabled {
             if let Some(deps) = ResponseCache::cacheable(req) {
                 let key = ResponseCache::key(req);
-                // Stamp before rendering, from a coherent multi-table read
-                // view: all dependency versions are observed at one
-                // instant, so the stamp can never mix a pre-transaction
+                // Stamp before rendering: a commit-clock-validated pin of
+                // each dependency table's published version — a handful of
+                // atomic loads, no lock, no writer blocked. The cut is
+                // coherent, so the stamp can never mix a pre-transaction
                 // version of one table with a post-transaction version of
                 // another. A write racing the render itself can only make
-                // the stored entry look stale, never fresh. (Fallback for
-                // not-yet-migrated tables, which stamp as version 0.)
-                let stamp = match self.conn.read_view(deps) {
-                    Ok(view) => view.versions(),
-                    Err(_) => self.conn.table_versions(deps),
-                };
+                // the stored entry look stale, never fresh.
+                // (Not-yet-migrated tables stamp as version 0.)
+                let stamp = self.conn.table_versions(deps);
                 if let Some(resp) = self.cache.get(&key, &stamp) {
                     CACHE_HITS
                         .get_or_init(|| amp_obs::counter("portal_cache_hits_total"))

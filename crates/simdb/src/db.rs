@@ -56,6 +56,13 @@ pub struct Database {
     /// which tables changed. Runtime-only: rebuilt from zero on load.
     #[serde(skip)]
     versions: BTreeMap<String, u64>,
+    /// Highest WAL sequence number applied per table during recovery.
+    /// Runtime-only bookkeeping threaded from the snapshot's per-table
+    /// coverage through replay into the sharded catalog, where commits
+    /// keep it current and compaction persists it again. Not serialized
+    /// here — the snapshot file carries it alongside the database.
+    #[serde(skip)]
+    applied_seqs: BTreeMap<String, u64>,
 }
 
 impl Database {
@@ -96,6 +103,23 @@ impl Database {
 
     fn bump_version(&mut self, table: &str) {
         *self.versions.entry(table.to_string()).or_insert(0) += 1;
+    }
+
+    /// Record that `table`'s state includes the effects of WAL record
+    /// `seq` (recovery replay; see `applied_seqs`).
+    pub(crate) fn note_applied(&mut self, table: &str, seq: u64) {
+        let e = self.applied_seqs.entry(table.to_string()).or_insert(0);
+        *e = (*e).max(seq);
+    }
+
+    /// Seed the per-table WAL coverage map wholesale (from a snapshot's
+    /// recorded coverage, before replay refines it).
+    pub(crate) fn set_applied_seqs(&mut self, applied: BTreeMap<String, u64>) {
+        self.applied_seqs = applied;
+    }
+
+    pub(crate) fn applied_seq(&self, table: &str) -> Option<u64> {
+        self.applied_seqs.get(table).copied()
     }
 
     pub fn table(&self, name: &str) -> Result<&Table, DbError> {
@@ -159,10 +183,18 @@ impl Database {
         ops::delete(self, table, id)
     }
 
-    /// Decompose into table storage plus the per-table version counters
-    /// (building the sharded runtime catalog after recovery).
-    pub(crate) fn into_parts(self) -> (BTreeMap<String, Table>, BTreeMap<String, u64>) {
-        (self.tables, self.versions)
+    /// Decompose into table storage, per-table version counters, and
+    /// per-table WAL coverage (building the sharded runtime catalog after
+    /// recovery).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        BTreeMap<String, Table>,
+        BTreeMap<String, u64>,
+        BTreeMap<String, u64>,
+    ) {
+        (self.tables, self.versions, self.applied_seqs)
     }
 
     /// Reassemble from table storage (serializing a sharded read view as a
@@ -171,6 +203,7 @@ impl Database {
         Database {
             tables,
             versions: BTreeMap::new(),
+            applied_seqs: BTreeMap::new(),
         }
     }
 

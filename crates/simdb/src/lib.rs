@@ -21,22 +21,29 @@
 //!
 //! # Concurrency model
 //!
-//! The engine is sharded per table: every table has its own
-//! reader/writer lock, so the portal's worker threads reading `star`
-//! never wait on the daemon writing `grid_job`. Operations compute the
-//! set of tables they may touch (the target plus FK targets for
-//! existence checks, or the reverse-FK closure for deletes) from the
-//! catalog and acquire those locks in canonical sorted order, which makes
-//! deadlock structurally impossible (see [`shard`] for the proof sketch).
+//! The engine is sharded per table with an MVCC read path. Writers take
+//! one writer-preferring lock per table they touch, computed as a lock
+//! *plan* (the target plus FK targets for existence checks, or the
+//! reverse-FK closure for deletes) and acquired in canonical sorted
+//! order, which makes deadlock structurally impossible (see [`shard`]
+//! for the proof sketch). Readers take **no locks at all**: every shard
+//! publishes an immutable version of its table that reads pin with a
+//! couple of atomic operations, so the portal's worker threads reading
+//! `star` never wait on anyone — not even the daemon writing `star`.
+//! Writers mutate a private copy-on-write working state and atomically
+//! install it as the new published version at commit; a rolled-back
+//! transaction simply never publishes.
 //!
 //! Multi-table consistency is explicit:
 //!
 //! * [`Connection::read_view`] pins a coherent snapshot of several tables
-//!   behind shared locks — page renders, daemon worklists, and cache
-//!   version stamps read multi-table state without tearing;
+//!   — one atomic version pin per table, validated against the engine's
+//!   commit clock so a multi-table transaction is seen entirely or not at
+//!   all. Page renders, daemon worklists, and cache version stamps read
+//!   multi-table state without tearing, and without blocking any writer;
 //! * [`Connection::transaction`] declares its table set up front, takes
-//!   the write locks in one ordered pass, and applies-or-rolls-back under
-//!   them, so transactions on disjoint tables commit fully in parallel.
+//!   the write locks in one ordered pass, and publishes-or-rolls-back, so
+//!   transactions on disjoint tables commit fully in parallel.
 //!
 //! Entry point: build a [`Db`], define roles, [`Db::connect`] per component.
 //!
@@ -143,8 +150,8 @@ impl Db {
         // Recovery replays into the single-threaded engine, then the table
         // storage is moved (not copied) into the sharded runtime catalog.
         let database = wal::recover(Some(&snapshot), Some(&wal_path))?;
-        let (tables, versions) = database.into_parts();
-        let catalog = shard::Catalog::from_parts(tables, &versions);
+        let (tables, versions, applied) = database.into_parts();
+        let catalog = shard::Catalog::from_parts(tables, &versions, &applied);
         let wal = wal::Wal::open(&wal_path)?;
         Ok(Db {
             shared: Arc::new(DbShared {
@@ -179,16 +186,43 @@ impl Db {
         })
     }
 
-    /// Compact durability state: write a snapshot covering the entire WAL,
-    /// then truncate the WAL. Recovery afterwards reads the snapshot plus
-    /// whatever has been appended since — keeping restart time bounded on
-    /// long-lived gateways.
+    /// Pin every table as one consistent cut and clone out the storage
+    /// (cheap: copy-on-write structural shares) plus each table's WAL
+    /// coverage. Lock-free except for the catalog read lock that resolves
+    /// the shard list (which blocks only DDL).
+    fn pin_all(&self) -> (BTreeMap<String, table::Table>, BTreeMap<String, u64>) {
+        let cut = {
+            let catalog = self.shared.catalog.read();
+            let shards: BTreeMap<String, Arc<shard::Shard>> = catalog
+                .all_shards()
+                .map(|(n, s)| (n.to_string(), Arc::clone(s)))
+                .collect();
+            catalog.pin_cut(&shards)
+        };
+        let mut tables = BTreeMap::new();
+        let mut applied = BTreeMap::new();
+        for (name, version) in cut {
+            tables.insert(name.clone(), version.table.clone());
+            if let Some(seq) = version.applied_seq {
+                applied.insert(name, seq);
+            }
+        }
+        (tables, applied)
+    }
+
+    /// Compact durability state: write a snapshot of a pinned consistent
+    /// cut, then drop every WAL record the snapshot's per-table coverage
+    /// makes redundant. Recovery afterwards reads the snapshot plus the
+    /// surviving suffix — keeping restart time bounded on long-lived
+    /// gateways.
     ///
-    /// Runs entirely under *shared* locks (catalog read + every table
-    /// read): writers queue for the duration — the snapshot/truncate pair
-    /// must be atomic against appends — but readers are never blocked,
-    /// where the seed engine stalled the whole gateway behind an exclusive
-    /// lock held across file I/O.
+    /// Fully non-blocking for both readers *and* writers: the cut is a set
+    /// of pinned immutable versions, so no table lock is held across the
+    /// file I/O (the seed engine stalled the whole gateway behind an
+    /// exclusive lock here; the PR 5 engine still queued every writer).
+    /// Writers racing the compaction keep appending; their records have
+    /// sequence numbers above the pinned coverage and survive the
+    /// truncation untouched (see [`wal::Wal::truncate_keeping`]).
     pub fn compact(&self) -> Result<(), DbError> {
         let path = self
             .shared
@@ -200,60 +234,43 @@ impl Db {
             .wal
             .as_ref()
             .ok_or_else(|| DbError::Io("no WAL configured".into()))?;
-        // Catalog read lock held throughout: DDL cannot add a table (whose
-        // CreateTable record the snapshot would miss) between the cut and
-        // the truncate. Table read guards held throughout: no writer can
-        // claim a WAL sequence past `covered` before the truncate discards
-        // it. Sequence claims happen under table/catalog write locks, so
-        // with every shard read-held, `last_seq` is exactly the applied set.
-        let catalog = self.shared.catalog.read();
-        let guards: Vec<(String, shard::ReadGuard)> = catalog
-            .all_shards()
-            .map(|(n, s)| (n.to_string(), s.read()))
-            .collect();
+        let (tables, applied) = self.pin_all();
         let covered = wal.last_seq();
-        let tables: BTreeMap<String, table::Table> = guards
-            .iter()
-            .map(|(n, g)| (n.clone(), g.table.clone()))
-            .collect();
-        wal::Snapshot::save_tables(tables, covered, &path)?;
-        wal.truncate()
+        wal::Snapshot::save_tables(tables, covered, applied.clone(), &path)?;
+        wal.truncate_keeping(&applied)
     }
 
-    /// Write a snapshot covering the current WAL position.
+    /// Durability policy: when `on`, every committed write is `fdatasync`'d
+    /// before the commit returns (group commit shares one fsync across the
+    /// batch the leader drains), so commits survive power loss rather than
+    /// just process death. Off by default — the historical behavior. No-op
+    /// on an in-memory database.
+    pub fn set_fsync(&self, on: bool) {
+        if let Some(wal) = &self.shared.wal {
+            wal.set_fsync(on);
+        }
+    }
+
+    /// Write a snapshot covering a pinned consistent cut of every table.
     ///
-    /// The engine is locked (shared) only long enough to fix the covered
-    /// sequence number and clone table storage in memory; serialization
-    /// and file I/O happen after every lock is released, so neither
-    /// readers nor writers wait on the disk.
+    /// Entirely lock-free against DML: pinning the cut is an atomic load
+    /// per table, and serialization plus file I/O run against the pinned
+    /// immutable versions — neither readers nor writers ever wait on the
+    /// disk.
     pub fn snapshot(&self) -> Result<(), DbError> {
         let path = self
             .shared
             .snapshot_path
             .clone()
             .ok_or_else(|| DbError::Io("no snapshot path configured".into()))?;
-        let (tables, covered) = {
-            let catalog = self.shared.catalog.read();
-            let guards: Vec<(String, shard::ReadGuard)> = catalog
-                .all_shards()
-                .map(|(n, s)| (n.to_string(), s.read()))
-                .collect();
-            // With every shard read-held, all claimed sequence numbers
-            // belong to ops whose effects are visible — the clone is a
-            // consistent cut at exactly `covered`.
-            let covered = self.shared.wal.as_ref().and_then(|w| w.last_seq());
-            let tables: BTreeMap<String, table::Table> = guards
-                .iter()
-                .map(|(n, g)| (n.clone(), g.table.clone()))
-                .collect();
-            (tables, covered)
-        };
-        wal::Snapshot::save_tables(tables, covered, &path)
+        let (tables, applied) = self.pin_all();
+        let covered = self.shared.wal.as_ref().and_then(|w| w.last_seq());
+        wal::Snapshot::save_tables(tables, covered, applied, &path)
     }
 
     /// Current modification counter for `table`. Monotone; bumped
     /// atomically with every committed mutation of the table. Unknown
-    /// tables report 0.
+    /// tables report 0. Lock-free: one version pin.
     pub fn table_version(&self, table: &str) -> u64 {
         let shard = {
             let catalog = self.shared.catalog.read();
@@ -262,29 +279,28 @@ impl Db {
                 Err(_) => return 0,
             }
         };
-        let guard = shard.read();
-        guard.version
+        shard.pin().version
     }
 
     /// Read several tables' modification counters at one consistent point:
-    /// shared locks on all of them (canonical order), then read the
-    /// stamps. Unknown tables report 0, as in [`Self::table_version`].
+    /// a commit-clock-validated pin of each table's published version — no
+    /// lock taken, no writer blocked. Unknown tables report 0, as in
+    /// [`Self::table_version`].
     pub fn table_versions(&self, tables: &[&str]) -> Vec<u64> {
-        let shards: BTreeMap<&str, Arc<shard::Shard>> = {
-            let catalog = self.shared.catalog.read();
-            tables
-                .iter()
-                .filter_map(|t| catalog.shard(t).ok().map(|s| (*t, Arc::clone(s))))
-                .collect()
-        };
-        // BTreeMap iteration = canonical order; duplicates already merged.
-        let guards: BTreeMap<&str, shard::ReadGuard> = shards
+        let catalog = self.shared.catalog.read();
+        let shards: BTreeMap<String, Arc<shard::Shard>> = tables
             .iter()
-            .map(|(name, shard)| (*name, shard.read()))
+            .filter_map(|t| {
+                catalog
+                    .shard(t)
+                    .ok()
+                    .map(|s| (t.to_string(), Arc::clone(s)))
+            })
             .collect();
+        let cut = catalog.pin_cut(&shards);
         tables
             .iter()
-            .map(|t| guards.get(t).map(|g| g.version).unwrap_or(0))
+            .map(|t| cut.get(*t).map(|v| v.version).unwrap_or(0))
             .collect()
     }
 
@@ -304,14 +320,13 @@ impl Db {
         Ok((*schema).clone())
     }
 
-    /// Row count of a table (takes the table's shared lock briefly).
+    /// Row count of a table (lock-free: one version pin).
     pub fn table_len(&self, table: &str) -> Result<usize, DbError> {
         let shard = {
             let catalog = self.shared.catalog.read();
             Arc::clone(catalog.shard(table)?)
         };
-        let n = shard.read().table.len();
-        Ok(n)
+        Ok(shard.pin().table.len())
     }
 
     /// Claim WAL sequence numbers for `ops` and buffer them. Must be
@@ -368,7 +383,23 @@ impl Connection {
         let last = {
             let mut catalog = self.db.shared.catalog.write();
             let op = catalog.create_table(schema)?;
-            self.db.enqueue_wal(&[op])?
+            let name = match &op {
+                LogOp::CreateTable { schema } => schema.name.clone(),
+                _ => unreachable!("create_table returns a CreateTable op"),
+            };
+            let last = self.db.enqueue_wal(&[op])?;
+            if let Some(seq) = last {
+                // Re-publish the freshly created (still empty) table with
+                // its CreateTable record's sequence number, so compaction
+                // can retire that record once a snapshot includes the
+                // table. Still under the catalog write lock, so nothing
+                // has touched the table yet.
+                let shard = Arc::clone(catalog.shard(&name)?);
+                let mut g = shard.write();
+                g.applied_seq = Some(seq);
+                g.publish();
+            }
+            last
         };
         self.db.sync_wal(last)
     }
@@ -388,8 +419,9 @@ impl Connection {
     }
 
     /// One single-statement write: acquire the plan's locks in order,
-    /// apply, claim WAL sequence numbers *under the guards* (so WAL order
-    /// matches apply order), release, then group-commit the flush.
+    /// apply to the working state, claim WAL sequence numbers *under the
+    /// guards* (so WAL order matches apply order), publish the new
+    /// version(s), release, then group-commit the flush.
     fn run_write<T>(
         &self,
         plan: shard::LockPlan,
@@ -398,23 +430,26 @@ impl Connection {
         let mut locked = plan.acquire();
         let (out, ops) = apply(&mut locked)?;
         let last = self.db.enqueue_wal(&ops)?;
+        locked.commit(last);
         drop(locked);
         self.db.sync_wal(last)?;
         Ok(out)
     }
 
-    /// One single-table read under the table's shared lock.
+    /// One single-table read against the table's published version.
+    /// Lock-free: pin, read, drop — no writer is blocked and no lock-wait
+    /// metric is touched.
     fn run_read<T>(
         &self,
         table: &str,
-        read: impl FnOnce(&shard::ShardState) -> Result<T, DbError>,
+        read: impl FnOnce(&table::Table) -> Result<T, DbError>,
     ) -> Result<T, DbError> {
         let shard = {
             let catalog = self.db.shared.catalog.read();
             Arc::clone(catalog.shard(table)?)
         };
-        let guard = shard.read();
-        read(&guard)
+        let version = shard.pin();
+        read(&version.table)
     }
 
     pub fn insert(&self, table: &str, values: &[(&str, Value)]) -> Result<i64, DbError> {
@@ -503,19 +538,22 @@ impl Connection {
         self.db.table_versions(tables)
     }
 
-    /// Pin a coherent snapshot of several tables: shared locks acquired in
-    /// canonical order and held until the view is dropped. Every read (and
-    /// [`ReadView::versions`] stamp) through the view observes the same
-    /// instant — no writer can interleave between two tables of the view.
+    /// Pin a coherent snapshot of several tables: one atomic version pin
+    /// per table, validated against the engine's commit clock so a
+    /// multi-table transaction is observed entirely or not at all. Every
+    /// read (and [`ReadView::versions`] stamp) through the view observes
+    /// the same instant.
     ///
-    /// Don't mutate a viewed table from the same thread while the view is
-    /// alive: writers queue behind the view's shared locks.
+    /// The view takes **no locks**: it never blocks writers (or anything
+    /// else), and holding one indefinitely costs only the memory of the
+    /// superseded versions it keeps alive (observable as the
+    /// `simdb_table_live_versions` gauge).
     pub fn read_view(&self, tables: &[&str]) -> Result<ReadView, DbError> {
         let catalog = self.db.shared.catalog.read();
-        let guards = shard::ViewGuards::acquire(&catalog, tables)?;
+        let view = shard::PinnedView::pin(&catalog, tables)?;
         drop(catalog);
         Ok(ReadView {
-            guards,
+            view,
             role: Arc::clone(&self.role),
         })
     }
@@ -547,13 +585,19 @@ impl Connection {
             Ok(v) => {
                 let ops = txn.ops;
                 // Enqueue *and* flush while the write guards are held: if
-                // durability fails, the memory state rolls back too.
-                let res = self
-                    .db
-                    .enqueue_wal(&ops)
-                    .and_then(|last| self.db.sync_wal(last));
+                // durability fails, the memory state rolls back too — and
+                // nothing was published, so no reader ever saw the aborted
+                // state. Publication happens only after the batch is
+                // durable, as one commit-clock-protected unit.
+                let res = self.db.enqueue_wal(&ops).and_then(|last| {
+                    self.db.sync_wal(last)?;
+                    Ok(last)
+                });
                 match res {
-                    Ok(()) => Ok(v),
+                    Ok(last) => {
+                        locked.commit(last);
+                        Ok(v)
+                    }
                     Err(e) => {
                         locked.restore(backup);
                         Err(e)
@@ -601,18 +645,23 @@ impl Connection {
     }
 }
 
-/// A coherent multi-table snapshot (see [`Connection::read_view`]). Reads
-/// are permission-checked per table against the connection's role; version
-/// stamps are cache metadata and need no grant.
+/// A coherent multi-table snapshot (see [`Connection::read_view`]): pinned
+/// immutable versions, one per table — it holds no lock and blocks nobody.
+/// Reads are permission-checked per table against the connection's role;
+/// version stamps are cache metadata and need no grant.
 pub struct ReadView {
-    guards: shard::ViewGuards,
+    view: shard::PinnedView,
     role: Arc<Role>,
 }
 
 impl ReadView {
+    fn table(&self, name: &str) -> Result<&table::Table, DbError> {
+        Ok(&self.view.version(name)?.table)
+    }
+
     pub fn select(&self, table: &str, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
         self.role.check(table, Action::Select)?;
-        shard::select(self.guards.state(table)?, query)
+        shard::select(self.table(table)?, query)
     }
 
     /// Single-column projection of a query (see [`Query::project`]).
@@ -623,17 +672,17 @@ impl ReadView {
         column: &str,
     ) -> Result<Vec<(i64, Value)>, DbError> {
         self.role.check(table, Action::Select)?;
-        shard::select_project(self.guards.state(table)?, query, column)
+        shard::select_project(self.table(table)?, query, column)
     }
 
     pub fn get(&self, table: &str, id: i64) -> Result<Row, DbError> {
         self.role.check(table, Action::Select)?;
-        shard::get(self.guards.state(table)?, table, id)
+        shard::get(self.table(table)?, table, id)
     }
 
     pub fn count(&self, table: &str, query: &Query) -> Result<usize, DbError> {
         self.role.check(table, Action::Select)?;
-        shard::count(self.guards.state(table)?, query)
+        shard::count(self.table(table)?, query)
     }
 
     /// Version stamps of the viewed tables, in the order they were passed
@@ -641,12 +690,12 @@ impl ReadView {
     /// the stamp is exactly as old as every row read through the view —
     /// the invariant the portal's response cache relies on.
     pub fn versions(&self) -> Vec<u64> {
-        self.guards.versions()
+        self.view.versions()
     }
 
     /// The viewed table names, in requested order.
     pub fn tables(&self) -> impl Iterator<Item = &str> {
-        self.guards.tables()
+        self.view.tables()
     }
 }
 

@@ -7,7 +7,7 @@
 
 use std::sync::OnceLock;
 
-use amp_obs::{Counter, Histogram, Unit};
+use amp_obs::{Counter, Gauge, Histogram, Unit};
 
 pub(crate) struct SimdbMetrics {
     /// WAL flushes actually issued (group commit: one per leader drain).
@@ -28,12 +28,23 @@ pub(crate) fn metrics() -> &'static SimdbMetrics {
 /// whole-engine `simdb_write_lock_hold_seconds` histogram: with one lock
 /// per table, "who is contended" is a per-table question, so each shard
 /// carries `{table}`-labeled wait and hold histograms.
+///
+/// Since the MVCC read path landed, `lock_wait` and `lock_hold` are
+/// **writer-path** metrics only: plain reads pin a published version with
+/// two atomic ops and record nothing. `Shard::read` is still exercised by
+/// writer-side FK existence locks, so a nonzero `lock_wait` during a
+/// pure-read workload would mean a reader took a lock — the invariant the
+/// contention bench asserts.
 pub(crate) struct ShardMetrics {
     /// Time spent waiting to acquire the table's lock (read or write).
     pub lock_wait: Histogram,
     /// Time the table's *exclusive* lock was held — the window during
-    /// which readers of this table (and only this table) were blocked.
+    /// which other writers of this table (and only this table) waited.
     pub lock_hold: Histogram,
+    /// Published versions of this table still alive: the current one plus
+    /// superseded versions kept reachable by long-lived `ReadView`s.
+    /// Sustained growth means a reader is pinning history.
+    pub live_versions: Gauge,
 }
 
 impl ShardMetrics {
@@ -48,6 +59,10 @@ impl ShardMetrics {
                 &amp_obs::labeled("simdb_table_lock_hold_seconds", &[("table", table)]),
                 Unit::Seconds,
             ),
+            live_versions: registry.gauge(&amp_obs::labeled(
+                "simdb_table_live_versions",
+                &[("table", table)],
+            )),
         }
     }
 }

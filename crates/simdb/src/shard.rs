@@ -1,14 +1,57 @@
-//! Per-table sharded concurrency: one lock per table instead of one lock
-//! per engine.
+//! Per-table sharded concurrency with an MVCC read path: writers take one
+//! lock per table, readers take **no locks at all**.
 //!
 //! The seed engine serialized every portal worker and daemon thread on a
-//! single `RwLock<Database>` — a writer to *any* table blocked readers of
-//! *every* table. This module shards that lock: the [`Catalog`] maps each
-//! table name to an [`Arc<Shard>`] whose lock guards exactly that table's
-//! rows and modification counter, plus the schema-level metadata (FK
-//! edges) needed to plan multi-table operations without holding row locks.
+//! single `RwLock<Database>`; PR 5 sharded that into one lock per table,
+//! but readers still contended with writers on each table's lock. This
+//! module removes readers from the lock protocol entirely: every
+//! [`Shard`] *publishes* an [`Arc<TableVersion>`] — an immutable snapshot
+//! of the table's rows, indexes, modification counter, and WAL coverage —
+//! and readers pin it with two atomic operations ([`Shard::pin`]).
+//! Writers keep the writer-preferring lock *among themselves*, mutate a
+//! private working copy via copy-on-write (see [`crate::table`]), and
+//! atomically install a new version at commit. Rollback = never publish.
 //!
-//! # Locking hierarchy and deadlock freedom
+//! # Version publication protocol
+//!
+//! `Shard::current` holds a raw pointer obtained from
+//! `Arc::into_raw(Arc<TableVersion>)`; the shard owns that strong
+//! reference. The pin/publish handshake is three SeqCst operations on the
+//! reader side and two on the publisher side:
+//!
+//! * **pin** (reader): `pins.fetch_add(1)` → `current.load()` →
+//!   `Arc::increment_strong_count(ptr)` → `pins.fetch_sub(1)`;
+//! * **publish** (writer, serialized by the shard write lock):
+//!   `current.swap(new)`, move the old `Arc` onto the `retained` list,
+//!   then — only if `pins.load() == 0` *after* the swap — drop every
+//!   retained version.
+//!
+//! Safety argument (all operations SeqCst, so they embed in one total
+//! order): a reader holds `pins > 0` from before its pointer load until
+//! after it owns a strong count. If the publisher's post-swap check reads
+//! `pins == 0`, every reader window that could still load `current` must
+//! *start* after that check, hence after the swap — so it observes the new
+//! pointer, and no future pin can reach a superseded version. Retained
+//! versions are then dropped; any still-alive [`crate::ReadView`] keeps
+//! its own strong reference, so it is never invalidated, merely detached
+//! from the shard. If the check reads `pins > 0`, the superseded versions
+//! stay on `retained` until a later publish observes a quiescent moment —
+//! the window is a handful of instructions, so retention is transient; the
+//! `simdb_table_live_versions{table}` gauge makes it observable anyway.
+//!
+//! # Multi-table cuts
+//!
+//! A single publish is atomic, but a transaction commits several tables;
+//! pinning table-by-table could observe half a transaction. The catalog
+//! carries a *commit seqlock* ([`CommitClock`]): multi-table commits hold
+//! its mutex, bump the sequence to odd, publish every dirty table, and
+//! bump back to even. Multi-table pins ([`Catalog::pin_cut`]) read the
+//! sequence, pin, and re-read: an odd or changed sequence means a commit
+//! overlapped and the cut retries. Publishing is wait-free (a few `Arc`
+//! bumps per table), so the retry window is tiny. Single-table commits
+//! skip the clock entirely — their one publish is already atomic.
+//!
+//! # Locking hierarchy and deadlock freedom (writer side)
 //!
 //! Locks are always taken in this order, and released before anything
 //! earlier in the order is re-acquired:
@@ -19,22 +62,25 @@
 //!    with the required mode per table ([`LockPlan::acquire`]);
 //! 3. the **WAL** queue/file mutexes (sequence claim happens while table
 //!    locks are held; the durability flush happens after release for
-//!    single ops, under the guards for transactions so they can roll back).
+//!    single ops, under the guards for transactions so they can roll back);
+//! 4. the **commit clock** mutex — taken only at multi-table publish,
+//!    while holding write guards, never while acquiring any earlier lock.
 //!
 //! Because every operation acquires its entire shard set in one ascending
 //! pass, every wait-for edge points from a lock to a strictly later lock
 //! in the canonical order — the wait-for graph is acyclic, so deadlock is
 //! structurally impossible regardless of which tables writers touch.
+//! Readers participate in no lock at all and cannot deadlock by
+//! construction.
 //!
-//! # Lock sets
+//! # Lock sets (writer side)
 //!
 //! The set of shards an operation must hold is computed from immutable
 //! schema facts (FK edges change only at DDL, under the catalog write
 //! lock):
 //!
-//! * read / `read_view`: read locks on the named tables;
 //! * insert / update on `T`: write `T`, read `T`'s FK target tables
-//!   (existence checks);
+//!   (existence checks must see committed-and-stable rows);
 //! * delete on `T`: write locks on the reverse-FK closure of `T` — every
 //!   table a cascade or SET NULL could touch;
 //! * transaction over declared tables `D`: write locks on the union of the
@@ -49,36 +95,74 @@ use crate::table::{Row, Table};
 use crate::value::Value;
 use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::Instant;
 
-/// What a shard's lock protects: the table's rows/indexes and its
-/// modification counter, which must change atomically with the data.
+/// One published, immutable snapshot of a table. Readers hold these by
+/// `Arc`; the storage inside is copy-on-write, so a version is a cheap
+/// structural share of the writer's working state at commit time.
+pub(crate) struct TableVersion {
+    pub table: Table,
+    /// Monotone per-table modification counter (see `Db::table_version`).
+    pub version: u64,
+    /// Highest WAL sequence number whose effects this version includes
+    /// (`None` until the table's first logged op). Compaction uses these,
+    /// per table, to decide which WAL records a snapshot makes redundant.
+    pub applied_seq: Option<u64>,
+}
+
+/// The writer-side working state a shard's lock protects. Mutations apply
+/// here first; readers never see it — they see the last published
+/// [`TableVersion`]. `retained`/`history` are publisher bookkeeping,
+/// touched only while the write lock is held.
 pub(crate) struct ShardState {
     pub table: Table,
     /// Monotone per-table modification counter (see `Db::table_version`).
     pub version: u64,
+    /// Highest WAL seq applied to this table (stamped into publications).
+    pub applied_seq: Option<u64>,
+    /// Superseded versions that could not yet be proven unreachable (a
+    /// reader was mid-pin at swap time). Pruned at the next quiescent
+    /// publish; see the module docs.
+    retained: Vec<Arc<TableVersion>>,
+    /// Weak handles to every published version, pruned as they die —
+    /// feeds the `simdb_table_live_versions{table}` gauge.
+    history: Vec<Weak<TableVersion>>,
 }
 
-/// Reader/writer bookkeeping for a shard's lock.
+/// Reader/writer bookkeeping for a shard's writer-side lock.
 #[derive(Default)]
 struct LockCore {
     readers: usize,
     writer: bool,
-    /// Writers queued; readers yield to them (writer preference) so a
-    /// stream of page renders cannot starve the daemon's status writes.
+    /// Writers queued; lock-readers yield to them (writer preference) so
+    /// FK-check read locks cannot starve the daemon's status writes.
     waiting_writers: usize,
+    /// Total write-guard releases, ever. An arriving lock-reader snapshots
+    /// `writer_releases + waiting_writers + active` as its admission
+    /// ticket: it yields to the writers already present, but not to
+    /// writers that arrive after it — bounding reader wait under a
+    /// continuous writer stream (the starvation latent in the PR 5 loop).
+    writer_releases: u64,
 }
 
-/// One table's shard: a writer-preferring reader/writer lock with *owned*
-/// guards (guards keep the shard alive via `Arc`, so a consistent
-/// [`crate::ReadView`] can hand them across call frames), plus the
-/// per-table lock metrics.
+/// One table's shard: the published-version slot readers pin lock-free,
+/// plus a writer-preferring reader/writer lock with *owned* guards
+/// (guards keep the shard alive via `Arc`) for the writer side, plus the
+/// per-table metrics.
 ///
-/// Hand-rolled over `Mutex`+`Condvar` because the vendored `parking_lot`
-/// stand-in has no owned-guard (`arc_lock`) API. The fast uncontended
-/// path is one mutex lock/unlock per acquire and release.
+/// The lock is hand-rolled over `Mutex`+`Condvar` because the vendored
+/// `parking_lot` stand-in has no owned-guard (`arc_lock`) API. It no
+/// longer sits on the plain-read path at all — only writers (and the FK
+/// read locks inside write plans) touch it.
 pub(crate) struct Shard {
+    /// `Arc::into_raw` of the latest published [`TableVersion`]; the shard
+    /// owns this strong reference until `swap`ped out or dropped.
+    current: AtomicPtr<TableVersion>,
+    /// Readers currently inside the pin window (between loading `current`
+    /// and owning a strong count).
+    pins: AtomicUsize,
     core: Mutex<LockCore>,
     cond: Condvar,
     state: UnsafeCell<ShardState>,
@@ -88,17 +172,34 @@ pub(crate) struct Shard {
 // SAFETY: `state` is only ever reached through `ReadGuard`/`WriteGuard`,
 // whose construction goes through the reader/writer protocol on `core`:
 // shared references exist only while `readers > 0 && !writer`, exclusive
-// references only while `writer && readers == 0`.
+// references only while `writer && readers == 0`. `current` is reclaimed
+// through the pin protocol documented on the module.
 unsafe impl Send for Shard {}
 unsafe impl Sync for Shard {}
 
 impl Shard {
-    pub fn new(name: &str, table: Table, version: u64) -> Arc<Shard> {
+    pub fn new(name: &str, table: Table, version: u64, applied_seq: Option<u64>) -> Arc<Shard> {
+        let first = Arc::new(TableVersion {
+            table: table.clone(),
+            version,
+            applied_seq,
+        });
+        let history = vec![Arc::downgrade(&first)];
+        let metrics = ShardMetrics::for_table(name);
+        metrics.live_versions.set(1);
         Arc::new(Shard {
+            current: AtomicPtr::new(Arc::into_raw(first) as *mut TableVersion),
+            pins: AtomicUsize::new(0),
             core: Mutex::new(LockCore::default()),
             cond: Condvar::new(),
-            state: UnsafeCell::new(ShardState { table, version }),
-            metrics: ShardMetrics::for_table(name),
+            state: UnsafeCell::new(ShardState {
+                table,
+                version,
+                applied_seq,
+                retained: Vec::new(),
+                history,
+            }),
+            metrics,
         })
     }
 
@@ -106,11 +207,31 @@ impl Shard {
         self.core.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Acquire a shared (read) guard, yielding to queued writers.
+    /// Pin the latest published version: two atomic RMWs and one atomic
+    /// load, no lock, no syscall, no timing. Never blocks and never spins
+    /// — this is the entire read path.
+    pub fn pin(&self) -> Arc<TableVersion> {
+        self.pins.fetch_add(1, SeqCst);
+        let ptr = self.current.load(SeqCst);
+        // SAFETY: `pins > 0` spans the load and the count bump, so the
+        // publisher cannot have released this version's strong count (see
+        // the module-level protocol proof).
+        let pinned = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        self.pins.fetch_sub(1, SeqCst);
+        pinned
+    }
+
+    /// Acquire a shared (writer-side) guard — used by FK-check read locks
+    /// inside write plans, *not* by plain reads (those use [`Shard::pin`]).
+    /// Yields to the writers present at arrival, but not to later ones.
     pub fn read(self: &Arc<Self>) -> ReadGuard {
         let wait_start = Instant::now();
         let mut core = self.lock_core();
-        while core.writer || core.waiting_writers > 0 {
+        let ticket = core.writer_releases + core.waiting_writers as u64 + u64::from(core.writer);
+        while core.writer || (core.waiting_writers > 0 && core.writer_releases < ticket) {
             core = self.cond.wait(core).unwrap_or_else(|e| e.into_inner());
         }
         core.readers += 1;
@@ -137,14 +258,26 @@ impl Shard {
         self.metrics
             .lock_wait
             .observe_duration(wait_start.elapsed());
+        // SAFETY: exclusive from here until the guard drops.
+        let entry_version = unsafe { (*self.state.get()).version };
         WriteGuard {
             shard: Arc::clone(self),
             acquired: Instant::now(),
+            entry_version,
         }
     }
 }
 
-/// Owned shared guard over one shard's state.
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // Reclaim the strong reference parked in `current`. No pins can be
+        // in flight: dropping the shard means no `Arc<Shard>` remains.
+        let ptr = *self.current.get_mut();
+        unsafe { drop(Arc::from_raw(ptr)) };
+    }
+}
+
+/// Owned shared guard over one shard's writer-side state.
 pub(crate) struct ReadGuard {
     shard: Arc<Shard>,
 }
@@ -170,12 +303,14 @@ impl Drop for ReadGuard {
     }
 }
 
-/// Owned exclusive guard over one shard's state. Records the hold
+/// Owned exclusive guard over one shard's working state. Records the hold
 /// duration into the shard's `simdb_table_lock_hold_seconds{table}`
 /// histogram on drop.
 pub(crate) struct WriteGuard {
     shard: Arc<Shard>,
     acquired: Instant,
+    /// `version` at acquisition — publication happens only if it moved.
+    entry_version: u64,
 }
 
 impl std::ops::Deref for WriteGuard {
@@ -193,14 +328,57 @@ impl std::ops::DerefMut for WriteGuard {
     }
 }
 
+impl WriteGuard {
+    /// Uncommitted changes since acquisition?
+    pub fn is_dirty(&self) -> bool {
+        self.version != self.entry_version
+    }
+
+    /// Install the working state as the new published version (see the
+    /// module docs for the swap/retain/prune protocol). Wait-free: a COW
+    /// table clone, one `swap`, and one `pins` check. Callers that
+    /// mutated state and *don't* publish (rollback) leave readers on the
+    /// previous version — that is the abort path.
+    pub fn publish(&mut self) {
+        let shard = Arc::clone(&self.shard);
+        let state = &mut **self;
+        let next = Arc::new(TableVersion {
+            table: state.table.clone(),
+            version: state.version,
+            applied_seq: state.applied_seq,
+        });
+        state.history.push(Arc::downgrade(&next));
+        let next_ptr = Arc::into_raw(next) as *mut TableVersion;
+        let prev_ptr = shard.current.swap(next_ptr, SeqCst);
+        // SAFETY: we own the strong count that was parked in `current`.
+        let prev = unsafe { Arc::from_raw(prev_ptr) };
+        state.retained.push(prev);
+        if shard.pins.load(SeqCst) == 0 {
+            // Quiescent after the swap: no reader can reach a superseded
+            // version through `current` anymore (module-level proof), so
+            // the publisher's references can go. Live `ReadView`s keep
+            // their own strong counts.
+            state.retained.clear();
+        }
+        state.history.retain(|w| w.strong_count() > 0);
+        shard.metrics.live_versions.set(state.history.len() as i64);
+        self.entry_version = self.version;
+    }
+}
+
 impl Drop for WriteGuard {
     fn drop(&mut self) {
+        debug_assert!(
+            std::thread::panicking() || !self.is_dirty(),
+            "write guard dropped with unpublished, unrolled-back changes"
+        );
         self.shard
             .metrics
             .lock_hold
             .observe_duration(self.acquired.elapsed());
         let mut core = self.shard.lock_core();
         core.writer = false;
+        core.writer_releases += 1;
         drop(core);
         self.shard.cond.notify_all();
     }
@@ -210,6 +388,23 @@ impl Drop for WriteGuard {
 /// every FK column in the database. Shared by `Arc` snapshot with
 /// in-flight operations; rebuilt (as a fresh `Arc`) on DDL.
 pub(crate) type ReverseFk = HashMap<String, Vec<(String, usize, OnDelete)>>;
+
+/// The catalog-wide commit seqlock: serializes multi-table publications
+/// (mutex) and lets multi-table pins detect overlap (sequence is odd
+/// while a publication is in flight; see module docs).
+pub(crate) struct CommitClock {
+    seq: AtomicU64,
+    lock: Mutex<()>,
+}
+
+impl CommitClock {
+    fn new() -> Arc<CommitClock> {
+        Arc::new(CommitClock {
+            seq: AtomicU64::new(0),
+            lock: Mutex::new(()),
+        })
+    }
+}
 
 /// The engine's table directory: shards plus the schema-level metadata
 /// (immutable outside the catalog write lock) that lock-set planning and
@@ -222,6 +417,7 @@ pub(crate) struct Catalog {
     /// Direct FK target tables per table (deduped, self excluded).
     fk_targets: HashMap<String, Vec<String>>,
     referencing: Arc<ReverseFk>,
+    commit: Arc<CommitClock>,
 }
 
 impl Catalog {
@@ -231,24 +427,28 @@ impl Catalog {
             schemas: BTreeMap::new(),
             fk_targets: HashMap::new(),
             referencing: Arc::new(HashMap::new()),
+            commit: CommitClock::new(),
         }
     }
 
     /// Build the runtime catalog from recovered storage (snapshot + WAL
-    /// replay), carrying over the version counters the replay produced.
+    /// replay), carrying over the version counters and per-table WAL
+    /// coverage the replay produced.
     pub fn from_parts(
         tables: BTreeMap<String, Table>,
         versions: &BTreeMap<String, u64>,
+        applied: &BTreeMap<String, u64>,
     ) -> Catalog {
         let mut catalog = Catalog::new();
         for (name, table) in tables {
             let version = versions.get(&name).copied().unwrap_or(0);
+            let applied_seq = applied.get(&name).copied();
             catalog
                 .schemas
                 .insert(name.clone(), Arc::new(table.schema.clone()));
             catalog
                 .tables
-                .insert(name.clone(), Shard::new(&name, table, version));
+                .insert(name.clone(), Shard::new(&name, table, version, applied_seq));
         }
         catalog.rebuild_edges();
         catalog
@@ -277,9 +477,14 @@ impl Catalog {
         let table = Table::new(schema.clone())?;
         self.schemas
             .insert(schema.name.clone(), Arc::new(schema.clone()));
-        // Table creation counts as version 1, as in the seed engine.
-        self.tables
-            .insert(schema.name.clone(), Shard::new(&schema.name, table, 1));
+        // Table creation counts as version 1, as in the seed engine. The
+        // WAL seq of the CreateTable record isn't known yet; the DDL path
+        // republishes with it once claimed (still under the catalog write
+        // lock), so compaction can retire the record.
+        self.tables.insert(
+            schema.name.clone(),
+            Shard::new(&schema.name, table, 1, None),
+        );
         self.rebuild_edges();
         Ok(crate::db::LogOp::CreateTable { schema })
     }
@@ -329,9 +534,37 @@ impl Catalog {
             .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
-    /// Every shard in canonical order (snapshot / compaction read views).
+    /// Every shard in canonical order (snapshot / compaction cuts).
     pub fn all_shards(&self) -> impl Iterator<Item = (&str, &Arc<Shard>)> {
         self.tables.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Pin a *consistent* cut across several shards without any lock: pin
+    /// each table's published version, validated against the commit clock
+    /// so a multi-table commit can never be observed half-published. Lone
+    /// tables skip the clock — a single publish is atomic on its own.
+    pub fn pin_cut(
+        &self,
+        shards: &BTreeMap<String, Arc<Shard>>,
+    ) -> BTreeMap<String, Arc<TableVersion>> {
+        if shards.len() <= 1 {
+            return shards.iter().map(|(n, s)| (n.clone(), s.pin())).collect();
+        }
+        loop {
+            let before = self.commit.seq.load(SeqCst);
+            if before & 1 == 1 {
+                // A multi-table publication is mid-flight; it is wait-free,
+                // so yield once and re-read rather than pinning a doomed cut.
+                std::thread::yield_now();
+                continue;
+            }
+            let cut: BTreeMap<String, Arc<TableVersion>> =
+                shards.iter().map(|(n, s)| (n.clone(), s.pin())).collect();
+            if self.commit.seq.load(SeqCst) == before {
+                return cut;
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// The reverse-FK closure of `table`: every table a delete on `table`
@@ -411,6 +644,7 @@ impl Catalog {
         LockPlan {
             entries,
             referencing: Arc::clone(&self.referencing),
+            commit: Arc::clone(&self.commit),
         }
     }
 }
@@ -421,6 +655,7 @@ impl Catalog {
 pub(crate) struct LockPlan {
     entries: BTreeMap<String, (Arc<Shard>, bool)>,
     referencing: Arc<ReverseFk>,
+    commit: Arc<CommitClock>,
 }
 
 impl LockPlan {
@@ -440,6 +675,7 @@ impl LockPlan {
             writes,
             reads,
             referencing: self.referencing,
+            commit: self.commit,
         }
     }
 }
@@ -447,11 +683,14 @@ impl LockPlan {
 /// An acquired lock set: the tables one operation may touch, write guards
 /// for its mutation targets and read guards for FK-existence checks.
 /// Implements [`TableSet`], so the shared mutation engine in
-/// [`crate::db::ops`] runs against it unchanged.
+/// [`crate::db::ops`] runs against it unchanged. Mutations apply to the
+/// private working copies; nothing is visible to readers until
+/// [`LockedTables::commit`] publishes.
 pub(crate) struct LockedTables {
     pub writes: BTreeMap<String, WriteGuard>,
     pub reads: BTreeMap<String, ReadGuard>,
     referencing: Arc<ReverseFk>,
+    commit: Arc<CommitClock>,
 }
 
 impl TableSet for LockedTables {
@@ -492,63 +731,91 @@ impl TableSet for LockedTables {
 }
 
 impl LockedTables {
-    /// Per-table `(rows, version)` backup of the write set — the
-    /// transaction rollback journal. Strictly cheaper than the seed's
-    /// whole-`Database` clone: only the tables the transaction may write.
-    pub fn backup(&self) -> BTreeMap<String, (Table, u64)> {
+    /// Per-table working-state backup of the write set — the transaction
+    /// rollback journal. A copy-on-write structural clone per table:
+    /// O(chunk-spine), not O(rows), even for a 30k-row archive table.
+    pub fn backup(&self) -> BTreeMap<String, (Table, u64, Option<u64>)> {
         self.writes
             .iter()
-            .map(|(n, g)| (n.clone(), (g.table.clone(), g.version)))
+            .map(|(n, g)| (n.clone(), (g.table.clone(), g.version, g.applied_seq)))
             .collect()
     }
 
     /// Restore the write set from a [`Self::backup`] (transaction abort).
-    pub fn restore(&mut self, backup: BTreeMap<String, (Table, u64)>) {
-        for (name, (table, version)) in backup {
+    /// Nothing was published, so readers never saw the aborted state; this
+    /// just resets the working copies for the next writer.
+    pub fn restore(&mut self, backup: BTreeMap<String, (Table, u64, Option<u64>)>) {
+        for (name, (table, version, applied_seq)) in backup {
             if let Some(g) = self.writes.get_mut(&name) {
                 g.table = table;
                 g.version = version;
+                g.applied_seq = applied_seq;
             }
         }
     }
-}
 
-/// The guards behind a [`crate::ReadView`]: shared locks over a set of
-/// tables, acquired in canonical order, exposed in the caller's requested
-/// order (so version stamps line up with the caller's dependency list).
-pub(crate) struct ViewGuards {
-    /// Requested order; duplicates in the request map to one guard.
-    order: Vec<String>,
-    guards: BTreeMap<String, ReadGuard>,
-}
-
-impl ViewGuards {
-    /// Acquire shared locks on `tables` in canonical order. The caller
-    /// holds the catalog read lock while this runs — the catalog lock sits
-    /// *above* every table lock in the hierarchy and table-lock holders
-    /// never acquire the catalog, so blocking here cannot deadlock.
-    pub fn acquire(catalog: &Catalog, tables: &[&str]) -> Result<ViewGuards, DbError> {
-        let mut shards = BTreeMap::new();
-        for t in tables {
-            shards.insert((*t).to_string(), Arc::clone(catalog.shard(t)?));
+    /// Commit: publish a new version of every *dirty* write-locked table,
+    /// stamped with `last_seq` (the batch's final WAL sequence number —
+    /// every table the batch wrote is covered up to it, since other
+    /// writers of those tables are excluded by the guards). Multi-table
+    /// publications run under the commit clock so concurrent `pin_cut`s
+    /// either see all of the batch or none of it.
+    pub fn commit(&mut self, last_seq: Option<u64>) {
+        let dirty = self.writes.values().filter(|g| g.is_dirty()).count();
+        if dirty == 0 {
+            return;
         }
-        let guards = shards
-            .into_iter()
-            .map(|(name, shard)| {
-                let g = shard.read();
-                (name, g)
-            })
-            .collect();
-        Ok(ViewGuards {
+        let _serialize = if dirty > 1 {
+            let guard = self.commit.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.commit.seq.fetch_add(1, SeqCst); // odd: cut invalid
+            Some(guard)
+        } else {
+            None
+        };
+        for g in self.writes.values_mut() {
+            if g.is_dirty() {
+                if last_seq.is_some() {
+                    g.applied_seq = last_seq;
+                }
+                g.publish();
+            }
+        }
+        if dirty > 1 {
+            self.commit.seq.fetch_add(1, SeqCst); // even: cut valid again
+        }
+    }
+}
+
+/// A pinned multi-table snapshot backing [`crate::ReadView`]: one
+/// `Arc<TableVersion>` per table, taken as a commit-clock-validated cut.
+/// Entirely lock-free to construct and to read; holding one blocks no
+/// writer and no other reader — it only keeps superseded versions alive.
+pub(crate) struct PinnedView {
+    /// Requested order; duplicates in the request map to one pin.
+    order: Vec<String>,
+    versions: BTreeMap<String, Arc<TableVersion>>,
+}
+
+impl PinnedView {
+    /// Pin `tables` as one consistent cut (see [`Catalog::pin_cut`]).
+    /// The caller holds the catalog read lock only to resolve names.
+    pub fn pin(catalog: &Catalog, tables: &[&str]) -> Result<PinnedView, DbError> {
+        let mut shards: BTreeMap<String, Arc<Shard>> = BTreeMap::new();
+        for t in tables {
+            if !shards.contains_key(*t) {
+                shards.insert((*t).to_string(), Arc::clone(catalog.shard(t)?));
+            }
+        }
+        Ok(PinnedView {
             order: tables.iter().map(|t| (*t).to_string()).collect(),
-            guards,
+            versions: catalog.pin_cut(&shards),
         })
     }
 
-    pub fn state(&self, table: &str) -> Result<&ShardState, DbError> {
-        self.guards
+    pub fn version(&self, table: &str) -> Result<&TableVersion, DbError> {
+        self.versions
             .get(table)
-            .map(|g| &**g)
+            .map(|v| &**v)
             .ok_or_else(|| DbError::Schema(format!("table {table} is not part of this read view")))
     }
 
@@ -556,7 +823,7 @@ impl ViewGuards {
     pub fn versions(&self) -> Vec<u64> {
         self.order
             .iter()
-            .map(|t| self.guards.get(t).map(|g| g.version).unwrap_or(0))
+            .map(|t| self.versions.get(t).map(|v| v.version).unwrap_or(0))
             .collect()
     }
 
@@ -566,32 +833,28 @@ impl ViewGuards {
 }
 
 /// Read helpers shared by `Connection` single-table reads and `ReadView`:
-/// plain query execution against a pinned table.
-pub(crate) fn select(state: &ShardState, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
-    query.execute(&state.table)
+/// plain query execution against a pinned version's table.
+pub(crate) fn select(table: &Table, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
+    query.execute(table)
 }
 
 pub(crate) fn select_project(
-    state: &ShardState,
+    table: &Table,
     query: &Query,
     column: &str,
 ) -> Result<Vec<(i64, Value)>, DbError> {
-    query.project(&state.table, column)
+    query.project(table, column)
 }
 
-pub(crate) fn get(state: &ShardState, table: &str, id: i64) -> Result<Row, DbError> {
-    state
-        .table
-        .get(id)
-        .cloned()
-        .ok_or_else(|| DbError::NoSuchRow {
-            table: table.to_string(),
-            id,
-        })
+pub(crate) fn get(table: &Table, name: &str, id: i64) -> Result<Row, DbError> {
+    table.get(id).cloned().ok_or_else(|| DbError::NoSuchRow {
+        table: name.to_string(),
+        id,
+    })
 }
 
-pub(crate) fn count(state: &ShardState, query: &Query) -> Result<usize, DbError> {
-    query.count(&state.table)
+pub(crate) fn count(table: &Table, query: &Query) -> Result<usize, DbError> {
+    query.count(table)
 }
 
 #[cfg(test)]
@@ -599,7 +862,7 @@ mod tests {
     use super::*;
     use crate::schema::Column;
     use crate::value::ValueType;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::time::Duration;
 
     fn shard() -> Arc<Shard> {
@@ -608,7 +871,7 @@ mod tests {
             vec![Column::new("v", ValueType::Int)],
         ))
         .unwrap();
-        Shard::new("t", table, 1)
+        Shard::new("t", table, 1, None)
     }
 
     #[test]
@@ -621,8 +884,66 @@ mod tests {
         drop((r1, r2));
         let mut w = s.write();
         w.version = 2;
+        w.publish();
         drop(w);
         assert_eq!(s.read().version, 2);
+        assert_eq!(s.pin().version, 2);
+    }
+
+    #[test]
+    fn pin_sees_only_published_state() {
+        let s = shard();
+        let mut w = s.write();
+        w.version = 7;
+        // Mutated but unpublished: readers still see the old version.
+        assert_eq!(s.pin().version, 1);
+        w.publish();
+        assert_eq!(s.pin().version, 7);
+        drop(w);
+    }
+
+    #[test]
+    fn pinned_version_is_immutable_across_publishes() {
+        let s = shard();
+        let pinned = s.pin();
+        for i in 2..10 {
+            let mut w = s.write();
+            w.version = i;
+            w.publish();
+        }
+        // The pin still reads the state it pinned; fresh pins see the tip.
+        assert_eq!(pinned.version, 1);
+        assert_eq!(s.pin().version, 9);
+    }
+
+    #[test]
+    fn superseded_versions_freed_after_last_pin_drops() {
+        let s = shard();
+        let pinned = s.pin();
+        for i in 2..6 {
+            let mut w = s.write();
+            w.version = i;
+            w.publish();
+        }
+        // The outstanding pin holds version 1 alive alongside the tip.
+        {
+            let w = s.write();
+            assert!(
+                w.history.iter().filter(|h| h.strong_count() > 0).count() >= 2,
+                "pinned + current versions should both be alive"
+            );
+        }
+        drop(pinned);
+        // Next publish prunes everything the dropped pin kept alive.
+        let mut w = s.write();
+        w.version = 6;
+        w.publish();
+        assert_eq!(
+            w.history.iter().filter(|h| h.strong_count() > 0).count(),
+            1,
+            "only the current version should remain alive"
+        );
+        assert!(w.retained.is_empty());
     }
 
     #[test]
@@ -636,6 +957,7 @@ mod tests {
             let mut w = s2.write();
             entered2.store(1, Ordering::SeqCst);
             w.version += 1;
+            w.publish();
         });
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(entered.load(Ordering::SeqCst), 0, "writer ran under reader");
@@ -654,6 +976,7 @@ mod tests {
         let w = std::thread::spawn(move || {
             let mut g = s_w.write();
             g.version = 99;
+            g.publish();
         });
         // Give the writer time to queue behind `r`.
         std::thread::sleep(Duration::from_millis(30));
@@ -666,6 +989,43 @@ mod tests {
     }
 
     #[test]
+    fn lock_readers_admitted_under_continuous_writers() {
+        // Regression for the PR 5 starvation loop: a reader arriving while
+        // writers keep queueing used to spin until `waiting_writers == 0`,
+        // which a continuous writer stream never reaches. The admission
+        // ticket bounds the wait to the writers present at arrival.
+        let s = shard();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let mut g = s.write();
+                        g.version += 1;
+                        g.publish();
+                    }
+                })
+            })
+            .collect();
+        // Let the writer stream establish itself.
+        std::thread::sleep(Duration::from_millis(20));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let s_r = Arc::clone(&s);
+        std::thread::spawn(move || {
+            let g = s_r.read();
+            let _ = tx.send(g.version);
+        });
+        let got = rx.recv_timeout(Duration::from_secs(5));
+        stop.store(true, Ordering::SeqCst);
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert!(got.is_ok(), "reader starved under continuous writer stream");
+    }
+
+    #[test]
     fn stress_many_readers_and_writers() {
         let s = shard();
         let mut handles = Vec::new();
@@ -675,21 +1035,25 @@ mod tests {
                 for _ in 0..500 {
                     let mut g = s.write();
                     g.version += 1;
+                    g.publish();
                 }
             }));
         }
         for _ in 0..4 {
             let s = Arc::clone(&s);
             handles.push(std::thread::spawn(move || {
+                let mut last = 0;
                 for _ in 0..500 {
-                    let g = s.read();
-                    assert!(g.version >= 1);
+                    let v = s.pin().version;
+                    assert!(v >= last, "published versions went backwards");
+                    last = v;
                 }
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
+        assert_eq!(s.pin().version, 1 + 4 * 500);
         assert_eq!(s.read().version, 1 + 4 * 500);
     }
 

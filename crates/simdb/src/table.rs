@@ -1,4 +1,13 @@
 //! In-memory table storage: rows, primary keys, unique & secondary indexes.
+//!
+//! Storage is **copy-on-write** so the MVCC layer ([`crate::shard`]) can
+//! publish immutable snapshots cheaply: rows live in fixed-span chunks
+//! behind `Arc`s, and each per-column index map is itself behind an `Arc`.
+//! `Table::clone` is therefore a *structural* clone — chunk-map spine plus
+//! reference-count bumps, O(rows / chunk span) — while a point mutation
+//! through `Arc::make_mut` deep-copies only the one chunk (and the touched
+//! column index maps) actually written. A 30k-row archive table costs a
+//! ~hundred-entry spine clone per published version, not a 30k-row copy.
 
 use crate::error::DbError;
 use crate::schema::TableSchema;
@@ -6,31 +15,141 @@ use crate::value::{Value, ValueKey};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// A stored row: cell values aligned with `TableSchema::columns` order.
 /// The primary key lives in the table's row map, not in the row itself.
 pub type Row = Vec<Value>;
 
+/// Rows per chunk = 2^CHUNK_SHIFT. 256 balances point-write cost (one
+/// chunk copy) against spine size (rows/256 `Arc` bumps per table clone).
+const CHUNK_SHIFT: u32 = 8;
+
+type Chunk = BTreeMap<i64, Row>;
+
+/// Chunked copy-on-write row storage: `id >> CHUNK_SHIFT` keys a shared,
+/// immutable-when-shared chunk of up to 256 rows. Iteration order is
+/// ascending by id (non-negative ids sort identically chunked or flat).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Rows {
+    chunks: BTreeMap<i64, Arc<Chunk>>,
+    len: usize,
+}
+
+impl Rows {
+    fn chunk_key(id: i64) -> i64 {
+        id >> CHUNK_SHIFT
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, id: i64) -> Option<&Row> {
+        self.chunks.get(&Self::chunk_key(id))?.get(&id)
+    }
+
+    pub fn contains_key(&self, id: i64) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Insert or replace; copies only the destination chunk if shared.
+    pub fn insert(&mut self, id: i64, row: Row) -> Option<Row> {
+        let chunk = self
+            .chunks
+            .entry(Self::chunk_key(id))
+            .or_insert_with(|| Arc::new(Chunk::new()));
+        let old = Arc::make_mut(chunk).insert(id, row);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove; copies only the containing chunk if shared.
+    pub fn remove(&mut self, id: i64) -> Option<Row> {
+        let key = Self::chunk_key(id);
+        let chunk = self.chunks.get_mut(&key)?;
+        if !chunk.contains_key(&id) {
+            return None;
+        }
+        let out = Arc::make_mut(chunk).remove(&id);
+        if chunk.is_empty() {
+            self.chunks.remove(&key);
+        }
+        self.len -= 1;
+        out
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &Row)> {
+        self.chunks
+            .values()
+            .flat_map(|c| c.iter().map(|(id, r)| (*id, r)))
+    }
+}
+
 /// A single table: schema, row storage, and indexes.
 ///
-/// Indexes are rebuilt on load; only schema + rows are serialized.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Indexes are rebuilt on load; only schema + rows are serialized (via a
+/// flat-map proxy, so the on-disk format is identical to the pre-chunked
+/// layout). Cloning shares all chunks and index maps structurally — see
+/// the module docs for the copy-on-write granularity.
+#[derive(Debug, Clone)]
 pub struct Table {
     pub schema: TableSchema,
-    pub(crate) rows: BTreeMap<i64, Row>,
+    pub(crate) rows: Rows,
     pub(crate) next_id: i64,
     /// unique column index -> value -> row id
-    #[serde(skip)]
-    pub(crate) unique: HashMap<usize, HashMap<ValueKey, i64>>,
+    pub(crate) unique: HashMap<usize, Arc<HashMap<ValueKey, i64>>>,
     /// secondary column index -> value -> row ids
-    #[serde(skip)]
-    pub(crate) secondary: HashMap<usize, HashMap<ValueKey, Vec<i64>>>,
+    pub(crate) secondary: HashMap<usize, Arc<HashMap<ValueKey, Vec<i64>>>>,
     /// Ordered companion index (every unique, indexed, or FK column):
     /// column index -> value -> sorted row ids. Serves range scans
     /// (`Lt`/`Le`/`Gt`/`Ge`) and index-ordered iteration; the hash maps
     /// above stay the fast path for point probes.
-    #[serde(skip)]
-    pub(crate) ordered: HashMap<usize, BTreeMap<ValueKey, Vec<i64>>>,
+    pub(crate) ordered: HashMap<usize, Arc<BTreeMap<ValueKey, Vec<i64>>>>,
+}
+
+/// Serialization proxy matching the historic on-disk field layout
+/// (`schema`, flat `rows` map, `next_id`; indexes rebuilt on load).
+#[derive(Serialize, Deserialize)]
+struct TableSer {
+    schema: TableSchema,
+    rows: BTreeMap<i64, Row>,
+    next_id: i64,
+}
+
+impl Serialize for Table {
+    fn to_content(&self) -> serde::Content {
+        TableSer {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().map(|(id, r)| (id, r.clone())).collect(),
+            next_id: self.next_id,
+        }
+        .to_content()
+    }
+}
+
+impl Deserialize for Table {
+    fn from_content(c: &serde::Content) -> Result<Table, serde::DeError> {
+        let ser = TableSer::from_content(c)?;
+        let mut rows = Rows::default();
+        for (id, row) in ser.rows {
+            rows.insert(id, row);
+        }
+        Ok(Table {
+            schema: ser.schema,
+            rows,
+            next_id: ser.next_id,
+            unique: HashMap::new(),
+            secondary: HashMap::new(),
+            ordered: HashMap::new(),
+        })
+    }
 }
 
 impl Table {
@@ -38,7 +157,7 @@ impl Table {
         schema.validate()?;
         let mut t = Table {
             schema,
-            rows: BTreeMap::new(),
+            rows: Rows::default(),
             next_id: 1,
             unique: HashMap::new(),
             secondary: HashMap::new(),
@@ -54,13 +173,13 @@ impl Table {
         self.ordered.clear();
         for (i, c) in self.schema.columns.iter().enumerate() {
             if c.unique {
-                self.unique.insert(i, HashMap::new());
+                self.unique.insert(i, Arc::new(HashMap::new()));
             }
             if c.indexed || c.foreign_key.is_some() {
-                self.secondary.insert(i, HashMap::new());
+                self.secondary.insert(i, Arc::new(HashMap::new()));
             }
             if c.unique || c.indexed || c.foreign_key.is_some() {
-                self.ordered.insert(i, BTreeMap::new());
+                self.ordered.insert(i, Arc::new(BTreeMap::new()));
             }
         }
     }
@@ -68,9 +187,8 @@ impl Table {
     /// Rebuild all indexes from row storage (after deserialization).
     pub fn rebuild_indexes(&mut self) -> Result<(), DbError> {
         self.init_indexes();
-        let ids: Vec<i64> = self.rows.keys().copied().collect();
-        for id in ids {
-            let row = self.rows.get(&id).cloned().expect("row exists");
+        let pairs: Vec<(i64, Row)> = self.rows.iter().map(|(id, r)| (id, r.clone())).collect();
+        for (id, row) in pairs {
             self.index_row(id, &row)?;
         }
         Ok(())
@@ -85,11 +203,11 @@ impl Table {
     }
 
     pub fn get(&self, id: i64) -> Option<&Row> {
-        self.rows.get(&id)
+        self.rows.get(id)
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (i64, &Row)> {
-        self.rows.iter().map(|(id, r)| (*id, r))
+        self.rows.iter()
     }
 
     /// Validate per-column constraints and uniqueness for a candidate row,
@@ -131,13 +249,16 @@ impl Table {
                 continue;
             }
             if let Some(m) = self.unique.get_mut(&i) {
-                m.insert(ValueKey(val.clone()), id);
+                Arc::make_mut(m).insert(ValueKey(val.clone()), id);
             }
             if let Some(m) = self.secondary.get_mut(&i) {
-                m.entry(ValueKey(val.clone())).or_default().push(id);
+                Arc::make_mut(m)
+                    .entry(ValueKey(val.clone()))
+                    .or_default()
+                    .push(id);
             }
             if let Some(m) = self.ordered.get_mut(&i) {
-                let ids = m.entry(ValueKey(val.clone())).or_default();
+                let ids = Arc::make_mut(m).entry(ValueKey(val.clone())).or_default();
                 // Keep each posting list sorted so index-driven results are
                 // deterministic (ascending id) without a per-query sort.
                 if let Err(pos) = ids.binary_search(&id) {
@@ -154,9 +275,10 @@ impl Table {
                 continue;
             }
             if let Some(m) = self.unique.get_mut(&i) {
-                m.remove(&ValueKey(val.clone()));
+                Arc::make_mut(m).remove(&ValueKey(val.clone()));
             }
             if let Some(m) = self.secondary.get_mut(&i) {
+                let m = Arc::make_mut(m);
                 if let Some(v) = m.get_mut(&ValueKey(val.clone())) {
                     v.retain(|&x| x != id);
                     if v.is_empty() {
@@ -165,6 +287,7 @@ impl Table {
                 }
             }
             if let Some(m) = self.ordered.get_mut(&i) {
+                let m = Arc::make_mut(m);
                 if let Some(v) = m.get_mut(&ValueKey(val.clone())) {
                     if let Ok(pos) = v.binary_search(&id) {
                         v.remove(pos);
@@ -191,7 +314,7 @@ impl Table {
 
     /// Insert a row with an explicit id (WAL replay / snapshot restore).
     pub fn insert_with_id(&mut self, id: i64, row: Row) -> Result<(), DbError> {
-        if self.rows.contains_key(&id) {
+        if self.rows.contains_key(id) {
             return Err(DbError::Schema(format!(
                 "table {}: duplicate explicit id {}",
                 self.schema.name, id
@@ -210,7 +333,7 @@ impl Table {
     pub fn update(&mut self, id: i64, row: Row) -> Result<(), DbError> {
         let old = self
             .rows
-            .get(&id)
+            .get(id)
             .cloned()
             .ok_or_else(|| DbError::NoSuchRow {
                 table: self.schema.name.clone(),
@@ -226,7 +349,7 @@ impl Table {
     /// Delete a row, returning it. FK restrictions are handled by the
     /// database layer.
     pub fn delete(&mut self, id: i64) -> Result<Row, DbError> {
-        let row = self.rows.remove(&id).ok_or_else(|| DbError::NoSuchRow {
+        let row = self.rows.remove(id).ok_or_else(|| DbError::NoSuchRow {
             table: self.schema.name.clone(),
             id,
         })?;
@@ -285,7 +408,7 @@ impl Table {
     /// The ordered index over `col` for index-ordered scans (value-sorted
     /// groups of ascending row ids), if one exists.
     pub(crate) fn ordered_index(&self, col: usize) -> Option<&BTreeMap<ValueKey, Vec<i64>>> {
-        self.ordered.get(&col)
+        self.ordered.get(&col).map(|m| &**m)
     }
 }
 

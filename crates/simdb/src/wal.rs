@@ -8,10 +8,22 @@
 use crate::db::{Database, LogOp};
 use crate::error::DbError;
 use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+/// The table a logged op targets (per-table WAL coverage accounting).
+pub(crate) fn op_table(op: &LogOp) -> &str {
+    match op {
+        LogOp::CreateTable { schema } => &schema.name,
+        LogOp::Insert { table, .. } | LogOp::Update { table, .. } | LogOp::Delete { table, .. } => {
+            table
+        }
+    }
+}
 
 /// Byte-exact fast encoder for the hot `LogOp` variants. The generic
 /// serde path builds an intermediate content tree per record, which
@@ -157,6 +169,11 @@ pub struct Wal {
     path: PathBuf,
     queue: Mutex<WalQueue>,
     file: Mutex<WalFile>,
+    /// When set, every group-commit flush is followed by `fdatasync`, so
+    /// a commit survives power loss, not just process death. Off by
+    /// default (the historical behavior); the fsync is amortized across
+    /// the whole batch the group-commit leader drains.
+    fsync: std::sync::atomic::AtomicBool,
 }
 
 #[derive(Debug)]
@@ -217,7 +234,13 @@ impl Wal {
                 flushed_seq: next_seq.checked_sub(1),
                 failed: None,
             }),
+            fsync: std::sync::atomic::AtomicBool::new(false),
         })
+    }
+
+    /// Enable or disable per-commit `fdatasync` (see the `fsync` field).
+    pub fn set_fsync(&self, on: bool) {
+        self.fsync.store(on, std::sync::atomic::Ordering::Relaxed);
     }
 
     pub fn path(&self) -> &Path {
@@ -308,7 +331,14 @@ impl Wal {
         let res = file
             .writer
             .write_all(&chunk)
-            .and_then(|_| file.writer.flush());
+            .and_then(|_| file.writer.flush())
+            .and_then(|_| {
+                if self.fsync.load(std::sync::atomic::Ordering::Relaxed) {
+                    file.writer.get_ref().sync_data()
+                } else {
+                    Ok(())
+                }
+            });
         match res {
             Ok(()) => {
                 file.flushed_seq = Some(upto);
@@ -344,6 +374,62 @@ impl Wal {
         Ok(())
     }
 
+    /// Compaction truncation: drop every record whose effects the covering
+    /// snapshot already contains *per table* — a record survives unless
+    /// `applied[table] >= seq`. Unlike [`Self::truncate`], this is safe
+    /// while writers are running: an in-flight op that claimed a sequence
+    /// number but was not yet published when the snapshot's versions were
+    /// pinned has `seq > applied[table]` (claims and publications of one
+    /// table are serialized by its write guard), so it is preserved.
+    pub(crate) fn truncate_keeping(&self, applied: &BTreeMap<String, u64>) -> Result<(), DbError> {
+        let mut file = self.file.lock().expect("wal file lock");
+        if let Some(e) = &file.failed {
+            return Err(DbError::Io(format!("wal unusable after failed flush: {e}")));
+        }
+        // Flush whatever is buffered so the rewrite below sees every
+        // claimed record. Lines enqueued after this point have sequence
+        // numbers above anything the snapshot covers and simply flush to
+        // the rewritten file later.
+        let (chunk, upto) = {
+            let mut q = self.queue.lock().expect("wal queue lock");
+            q.pending = 0;
+            (std::mem::take(&mut q.buf), q.next_seq.checked_sub(1))
+        };
+        if !chunk.is_empty() {
+            if let Err(e) = file
+                .writer
+                .write_all(&chunk)
+                .and_then(|_| file.writer.flush())
+            {
+                file.failed = Some(e.to_string());
+                return Err(e.into());
+            }
+        } else {
+            file.writer.flush()?;
+        }
+        // Every seq <= upto is now either durable in the file or about to
+        // be dropped as snapshot-covered; either way it needs no re-flush.
+        file.flushed_seq = upto;
+
+        let mut out = Vec::new();
+        for rec in Self::read_records(&self.path)? {
+            let covered = applied
+                .get(op_table(&rec.op))
+                .is_some_and(|&s| s >= rec.seq);
+            if !covered {
+                let line = serde_json::to_string(&rec)
+                    .map_err(|e| DbError::Io(format!("wal rewrite: {e}")))?;
+                out.extend_from_slice(line.as_bytes());
+                out.push(b'\n');
+            }
+        }
+        let tmp = self.path.with_extension("wal.tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &self.path)?;
+        file.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        Ok(())
+    }
+
     /// Read all records from a WAL file.
     pub fn read_records(path: impl AsRef<Path>) -> Result<Vec<WalRecord>, DbError> {
         let f = File::open(path.as_ref())?;
@@ -369,7 +455,10 @@ impl Wal {
         Ok(out)
     }
 
-    /// Replay records with `seq > after` into a database.
+    /// Replay records into a database, skipping those already covered:
+    /// globally (`seq <= after`) or per table (the database's recorded
+    /// per-table WAL coverage — seeded by [`Snapshot::load`] — already
+    /// includes the record). Refreshes the per-table coverage as it goes.
     pub fn replay_into(
         db: &mut Database,
         records: &[WalRecord],
@@ -382,7 +471,12 @@ impl Wal {
                     continue;
                 }
             }
+            let table = op_table(&rec.op).to_string();
+            if db.applied_seq(&table).is_some_and(|s| s >= rec.seq) {
+                continue;
+            }
             db.apply_log_op(&rec.op)?;
+            db.note_applied(&table, rec.seq);
             applied += 1;
         }
         Ok(applied)
@@ -392,11 +486,45 @@ impl Wal {
 /// Full database snapshots.
 pub struct Snapshot;
 
-/// A snapshot file: database state plus the WAL sequence number it covers.
-#[derive(serde::Serialize, serde::Deserialize)]
+/// A snapshot file: database state, the WAL sequence number it covers
+/// globally, and (since per-table compaction) the per-table coverage.
 struct SnapshotFile {
     covered_seq: Option<u64>,
+    /// Highest WAL seq whose effects each table's saved state includes.
+    /// Empty for snapshots written before per-table accounting existed;
+    /// [`Snapshot::load`] then falls back to `covered_seq` for every
+    /// table (sound there: legacy snapshots were taken under a full lock
+    /// cut, so no claimed-but-unpublished op could predate them).
+    applied_seqs: BTreeMap<String, u64>,
     database: Database,
+}
+
+impl Serialize for SnapshotFile {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("covered_seq".to_string(), self.covered_seq.to_content()),
+            ("applied_seqs".to_string(), self.applied_seqs.to_content()),
+            ("database".to_string(), self.database.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for SnapshotFile {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+        let m = c
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("snapshot: expected map"))?;
+        let applied_seqs = if m.iter().any(|(k, _)| k == "applied_seqs") {
+            serde::de_field(m, "applied_seqs")?
+        } else {
+            BTreeMap::new() // legacy snapshot; see the field docs
+        };
+        Ok(SnapshotFile {
+            covered_seq: serde::de_field(m, "covered_seq")?,
+            applied_seqs,
+            database: serde::de_field(m, "database")?,
+        })
+    }
 }
 
 impl Snapshot {
@@ -406,27 +534,41 @@ impl Snapshot {
         covered_seq: Option<u64>,
         path: impl AsRef<Path>,
     ) -> Result<(), DbError> {
-        Self::save_owned(db.clone(), covered_seq, path)
+        // Single-threaded engine: everything is applied, so the global
+        // coverage is also every table's coverage.
+        let applied = match covered_seq {
+            Some(cov) => db.table_names().map(|t| (t.to_string(), cov)).collect(),
+            None => BTreeMap::new(),
+        };
+        Self::save_owned(db.clone(), covered_seq, applied, path)
     }
 
-    /// Write table storage cloned out of a sharded read view. The clone is
-    /// taken under the view's shared locks; this function — serialization
-    /// and file I/O — runs with no engine locks held at all.
+    /// Write table storage cloned out of a sharded pinned cut, with each
+    /// table's own WAL coverage. Runs with no engine locks held at all —
+    /// the cut is a set of pinned immutable versions.
     pub(crate) fn save_tables(
         tables: std::collections::BTreeMap<String, crate::table::Table>,
         covered_seq: Option<u64>,
+        applied_seqs: BTreeMap<String, u64>,
         path: impl AsRef<Path>,
     ) -> Result<(), DbError> {
-        Self::save_owned(Database::from_tables(tables), covered_seq, path)
+        Self::save_owned(
+            Database::from_tables(tables),
+            covered_seq,
+            applied_seqs,
+            path,
+        )
     }
 
     fn save_owned(
         database: Database,
         covered_seq: Option<u64>,
+        applied_seqs: BTreeMap<String, u64>,
         path: impl AsRef<Path>,
     ) -> Result<(), DbError> {
         let file = SnapshotFile {
             covered_seq,
+            applied_seqs,
             database,
         };
         let data =
@@ -438,28 +580,41 @@ impl Snapshot {
         Ok(())
     }
 
-    /// Load a snapshot; returns the database (indexes rebuilt) and the WAL
-    /// sequence number it covers.
+    /// Load a snapshot; returns the database (indexes rebuilt, per-table
+    /// WAL coverage seeded — from the recorded map, or from `covered_seq`
+    /// for legacy snapshots) and the WAL seq it covers globally.
     pub fn load(path: impl AsRef<Path>) -> Result<(Database, Option<u64>), DbError> {
         let data = std::fs::read(path.as_ref())?;
         let file: SnapshotFile = serde_json::from_slice(&data)
             .map_err(|e| DbError::Corrupt(format!("snapshot decode: {e}")))?;
         let mut db = file.database;
         db.rebuild_indexes()?;
+        if file.applied_seqs.is_empty() {
+            if let Some(cov) = file.covered_seq {
+                let seeded = db.table_names().map(|t| (t.to_string(), cov)).collect();
+                db.set_applied_seqs(seeded);
+            }
+        } else {
+            db.set_applied_seqs(file.applied_seqs);
+        }
         Ok((db, file.covered_seq))
     }
 }
 
 /// Recover a database from `snapshot` (if present) + `wal` (if present).
+/// Replay filtering is per table: the snapshot's recorded coverage decides,
+/// table by table, which records are already included (see
+/// [`Wal::truncate_keeping`] for why a global threshold would be unsound
+/// once compaction runs concurrently with writers).
 pub fn recover(snapshot: Option<&Path>, wal: Option<&Path>) -> Result<Database, DbError> {
-    let (mut db, covered) = match snapshot {
+    let (mut db, _covered) = match snapshot {
         Some(p) if p.exists() => Snapshot::load(p)?,
         _ => (Database::new(), None),
     };
     if let Some(w) = wal {
         if w.exists() {
             let records = Wal::read_records(w)?;
-            Wal::replay_into(&mut db, &records, covered)?;
+            Wal::replay_into(&mut db, &records, None)?;
         }
     }
     Ok(db)

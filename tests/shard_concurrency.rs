@@ -13,7 +13,11 @@
 //!    half-applied across them;
 //!
 //! plus (regression for the snapshot/compact fix) that snapshotting never
-//! blocks readers: both run under shared locks only.
+//! blocks readers. Since the MVCC read path landed, readers don't take
+//! shard locks at all — they pin published table versions — so these
+//! properties now hold by construction; the tests keep them pinned down
+//! against regression (see `tests/mvcc_props.rs` for the MVCC-specific
+//! properties: frozen views, version retention, non-blocking compact).
 
 use amp::simdb::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
