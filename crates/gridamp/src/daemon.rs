@@ -134,10 +134,16 @@ struct PollOutcome {
     ops: Option<OpsEntry>,
 }
 
-/// Poll one job's GRAM status and save any change through `conn` — the
-/// §4.4 generic status update, identical for all jobs "regardless of
-/// purpose or execution method". Shared verbatim by the sequential and
-/// parallel paths so their per-job behavior cannot drift.
+/// Poll one job's GRAM status — the §4.4 generic status update, identical
+/// for all jobs "regardless of purpose or execution method". Shared
+/// verbatim by the sequential and parallel paths so their per-job behavior
+/// cannot drift.
+///
+/// Dirtied rows are *not* saved here: they are pushed onto `dirty`, and
+/// the caller commits the whole phase's rows as **one transaction** (one
+/// WAL batch, one durability flush) via [`commit_job_batch`] — the tick
+/// commit path's group write. The old shape paid one durable commit per
+/// transitioned job.
 fn poll_job_once(
     conn: &Connection,
     grid: &Grid,
@@ -145,6 +151,7 @@ fn poll_job_once(
     cred: &CommunityCredential,
     job: &mut GridJobRecord,
     now: SimTime,
+    dirty: &mut Vec<GridJobRecord>,
 ) -> PollOutcome {
     let mut outcome = PollOutcome {
         polled: false,
@@ -156,7 +163,6 @@ fn poll_job_once(
         return outcome;
     };
     let handle = GramJobHandle(handle_str);
-    let jobs = Manager::<GridJobRecord>::new(conn.clone());
     let username = Manager::<Simulation>::new(conn.clone())
         .get(job.simulation_id)
         .ok()
@@ -193,10 +199,9 @@ fn poll_job_once(
                     job.started_at = times.started_at.map(|t| t.as_secs() as i64);
                     job.ended_at = times.ended_at.map(|t| t.as_secs() as i64);
                 }
-                if jobs.save(job).is_ok() {
-                    outcome.transitioned = true;
-                    obs_metrics().job_transitions.inc();
-                }
+                dirty.push(job.clone());
+                outcome.transitioned = true;
+                obs_metrics().job_transitions.inc();
             }
         }
         Err(e) if e.is_transient() => {
@@ -219,16 +224,35 @@ fn poll_job_once(
                 outcome: OpOutcome::Transient(e.to_string()),
             });
             job.detail = format!("transient: {e}");
-            let _ = jobs.save(job);
+            dirty.push(job.clone());
         }
         Err(e) => {
             job.status = JobStatus::Failed;
             job.detail = e.to_string();
-            let _ = jobs.save(job);
+            dirty.push(job.clone());
             outcome.transitioned = true;
         }
     }
     outcome
+}
+
+/// Commit a phase's dirtied job rows as one database transaction: one WAL
+/// batch, one durability point, regardless of how many jobs transitioned
+/// this tick. Rows are per-job disjoint (each job is polled at most once
+/// per tick), so folding them into a single commit changes durability
+/// granularity only — a crash loses at most one tick's poll results, which
+/// the next tick's poll re-derives from GRAM.
+fn commit_job_batch(conn: &Connection, batch: &[GridJobRecord]) -> Result<(), DbError> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    conn.transaction(&[GridJobRecord::TABLE], |tx| {
+        for job in batch {
+            let id = job.id().expect("polled jobs are persisted rows");
+            tx.update(GridJobRecord::TABLE, id, &job.to_values())?;
+        }
+        Ok(())
+    })
 }
 
 /// Run one simulation's workflow step (phase 2), recording grid calls in
@@ -547,6 +571,7 @@ impl GridAmp {
         };
         let now = grid.now();
         let jobs = self.jobs();
+        let mut dirty = Vec::new();
         for (job_id, sim_id) in pending {
             // Only the lease holder polls a simulation's jobs.
             if !self.owned.contains_key(&sim_id) {
@@ -556,7 +581,15 @@ impl GridAmp {
             let Ok(mut job) = jobs.get(job_id) else {
                 continue;
             };
-            let outcome = poll_job_once(&self.conn, grid, &self.config, &self.cred, &mut job, now);
+            let outcome = poll_job_once(
+                &self.conn,
+                grid,
+                &self.config,
+                &self.cred,
+                &mut job,
+                now,
+                &mut dirty,
+            );
             if let (Some(t), Some(p)) = (timer, self.profile.as_mut()) {
                 p.poll_items.push((sim_id, t.elapsed()));
             }
@@ -572,6 +605,9 @@ impl GridAmp {
             if let Some(entry) = outcome.ops {
                 self.ops_log.record(entry);
             }
+        }
+        if let Err(e) = commit_job_batch(&self.conn, &dirty) {
+            report.daemon_errors.push(format!("job batch commit: {e}"));
         }
     }
 
@@ -761,11 +797,14 @@ impl GridAmp {
                             scope.spawn(move || {
                                 let jobs: Manager<GridJobRecord> = Manager::new(conn.clone());
                                 let mut ops = Vec::new();
+                                let mut dirty = Vec::new();
                                 for (idx, job_id) in chunk {
                                     let Ok(mut job) = jobs.get(job_id) else {
                                         continue;
                                     };
-                                    let o = poll_job_once(conn, grid, config, cred, &mut job, now);
+                                    let o = poll_job_once(
+                                        conn, grid, config, cred, &mut job, now, &mut dirty,
+                                    );
                                     if o.polled {
                                         report.jobs_polled += 1;
                                     }
@@ -778,6 +817,14 @@ impl GridAmp {
                                     if let Some(entry) = o.ops {
                                         ops.push((idx, entry));
                                     }
+                                }
+                                // One durable commit per worker chunk; the
+                                // concurrent chunks' fsyncs collapse further
+                                // via WAL group commit.
+                                if let Err(e) = commit_job_batch(conn, &dirty) {
+                                    report
+                                        .daemon_errors
+                                        .push(format!("job batch commit: {e}"));
                                 }
                                 ops
                             })

@@ -197,16 +197,6 @@ impl Database {
         (self.tables, self.versions, self.applied_seqs)
     }
 
-    /// Reassemble from table storage (serializing a sharded read view as a
-    /// snapshot; versions are runtime-only and not persisted).
-    pub(crate) fn from_tables(tables: BTreeMap<String, Table>) -> Database {
-        Database {
-            tables,
-            versions: BTreeMap::new(),
-            applied_seqs: BTreeMap::new(),
-        }
-    }
-
     pub fn select(&self, table: &str, query: &Query) -> Result<Vec<(i64, Row)>, DbError> {
         query.execute(self.table(table)?)
     }

@@ -14,6 +14,16 @@ pub(crate) struct SimdbMetrics {
     pub wal_fsyncs: Counter,
     /// Records made durable per group-commit drain.
     pub wal_batch: Histogram,
+    /// Distinct writer threads whose commits one leader's fsync made
+    /// durable (1 = the leader alone; higher = cross-writer amortization).
+    /// A conservative count: followers that enqueue while a flush is in
+    /// flight join the *next* window.
+    pub group_commit_writers: Histogram,
+    /// Rows materialized per committed write transaction — the
+    /// write-amplification numerator. With per-row `Arc` storage this
+    /// tracks rows *touched*; a regression to chunk-granularity copying
+    /// shows up as a ~256x jump on point updates.
+    pub rows_copied_per_write: Histogram,
 }
 
 pub(crate) fn metrics() -> &'static SimdbMetrics {
@@ -21,6 +31,10 @@ pub(crate) fn metrics() -> &'static SimdbMetrics {
     METRICS.get_or_init(|| SimdbMetrics {
         wal_fsyncs: amp_obs::counter("simdb_wal_fsync_total"),
         wal_batch: amp_obs::registry().histogram("simdb_wal_commit_batch_records", Unit::Count),
+        group_commit_writers: amp_obs::registry()
+            .histogram("simdb_group_commit_writers", Unit::Count),
+        rows_copied_per_write: amp_obs::registry()
+            .histogram("simdb_rows_copied_per_write", Unit::Count),
     })
 }
 

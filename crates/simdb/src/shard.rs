@@ -38,6 +38,9 @@
 //! stay on `retained` until a later publish observes a quiescent moment —
 //! the window is a handful of instructions, so retention is transient; the
 //! `simdb_table_live_versions{table}` gauge makes it observable anyway.
+//! The gauge is maintained by the versions themselves (incremented at
+//! construction, decremented by `Drop`), so it moves the instant the last
+//! `ReadView` pinning a superseded version drops — no publish required.
 //!
 //! # Multi-table cuts
 //!
@@ -96,7 +99,7 @@ use crate::value::Value;
 use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// One published, immutable snapshot of a table. Readers hold these by
@@ -110,6 +113,34 @@ pub(crate) struct TableVersion {
     /// (`None` until the table's first logged op). Compaction uses these,
     /// per table, to decide which WAL records a snapshot makes redundant.
     pub applied_seq: Option<u64>,
+    /// Shared handle on the table's `simdb_table_live_versions` gauge.
+    /// Each version counts itself in at construction and out on `Drop`, so
+    /// the gauge decrements the moment a superseded version's last pin
+    /// drops — not at the next publish.
+    live: amp_obs::Gauge,
+}
+
+impl TableVersion {
+    fn new(
+        table: Table,
+        version: u64,
+        applied_seq: Option<u64>,
+        live: amp_obs::Gauge,
+    ) -> Arc<TableVersion> {
+        live.add(1);
+        Arc::new(TableVersion {
+            table,
+            version,
+            applied_seq,
+            live,
+        })
+    }
+}
+
+impl Drop for TableVersion {
+    fn drop(&mut self) {
+        self.live.add(-1);
+    }
 }
 
 /// The writer-side working state a shard's lock protects. Mutations apply
@@ -126,9 +157,6 @@ pub(crate) struct ShardState {
     /// reader was mid-pin at swap time). Pruned at the next quiescent
     /// publish; see the module docs.
     retained: Vec<Arc<TableVersion>>,
-    /// Weak handles to every published version, pruned as they die —
-    /// feeds the `simdb_table_live_versions{table}` gauge.
-    history: Vec<Weak<TableVersion>>,
 }
 
 /// Reader/writer bookkeeping for a shard's writer-side lock.
@@ -179,14 +207,13 @@ unsafe impl Sync for Shard {}
 
 impl Shard {
     pub fn new(name: &str, table: Table, version: u64, applied_seq: Option<u64>) -> Arc<Shard> {
-        let first = Arc::new(TableVersion {
-            table: table.clone(),
+        let metrics = ShardMetrics::for_table(name);
+        let first = TableVersion::new(
+            table.clone(),
             version,
             applied_seq,
-        });
-        let history = vec![Arc::downgrade(&first)];
-        let metrics = ShardMetrics::for_table(name);
-        metrics.live_versions.set(1);
+            metrics.live_versions.clone(),
+        );
         Arc::new(Shard {
             current: AtomicPtr::new(Arc::into_raw(first) as *mut TableVersion),
             pins: AtomicUsize::new(0),
@@ -197,7 +224,6 @@ impl Shard {
                 version,
                 applied_seq,
                 retained: Vec::new(),
-                history,
             }),
             metrics,
         })
@@ -342,12 +368,12 @@ impl WriteGuard {
     pub fn publish(&mut self) {
         let shard = Arc::clone(&self.shard);
         let state = &mut **self;
-        let next = Arc::new(TableVersion {
-            table: state.table.clone(),
-            version: state.version,
-            applied_seq: state.applied_seq,
-        });
-        state.history.push(Arc::downgrade(&next));
+        let next = TableVersion::new(
+            state.table.clone(),
+            state.version,
+            state.applied_seq,
+            shard.metrics.live_versions.clone(),
+        );
         let next_ptr = Arc::into_raw(next) as *mut TableVersion;
         let prev_ptr = shard.current.swap(next_ptr, SeqCst);
         // SAFETY: we own the strong count that was parked in `current`.
@@ -357,11 +383,10 @@ impl WriteGuard {
             // Quiescent after the swap: no reader can reach a superseded
             // version through `current` anymore (module-level proof), so
             // the publisher's references can go. Live `ReadView`s keep
-            // their own strong counts.
+            // their own strong counts — each version keeps the live_versions
+            // gauge honest from its own `Drop`.
             state.retained.clear();
         }
-        state.history.retain(|w| w.strong_count() > 0);
-        shard.metrics.live_versions.set(state.history.len() as i64);
         self.entry_version = self.version;
     }
 }
@@ -731,35 +756,16 @@ impl TableSet for LockedTables {
 }
 
 impl LockedTables {
-    /// Per-table working-state backup of the write set — the transaction
-    /// rollback journal. A copy-on-write structural clone per table:
-    /// O(chunk-spine), not O(rows), even for a 30k-row archive table.
-    pub fn backup(&self) -> BTreeMap<String, (Table, u64, Option<u64>)> {
-        self.writes
-            .iter()
-            .map(|(n, g)| (n.clone(), (g.table.clone(), g.version, g.applied_seq)))
-            .collect()
-    }
-
-    /// Restore the write set from a [`Self::backup`] (transaction abort).
-    /// Nothing was published, so readers never saw the aborted state; this
-    /// just resets the working copies for the next writer.
-    pub fn restore(&mut self, backup: BTreeMap<String, (Table, u64, Option<u64>)>) {
-        for (name, (table, version, applied_seq)) in backup {
-            if let Some(g) = self.writes.get_mut(&name) {
-                g.table = table;
-                g.version = version;
-                g.applied_seq = applied_seq;
-            }
-        }
-    }
-
     /// Commit: publish a new version of every *dirty* write-locked table,
     /// stamped with `last_seq` (the batch's final WAL sequence number —
     /// every table the batch wrote is covered up to it, since other
     /// writers of those tables are excluded by the guards). Multi-table
     /// publications run under the commit clock so concurrent `pin_cut`s
     /// either see all of the batch or none of it.
+    ///
+    /// Also drains each dirty table's materialized-rows counter into the
+    /// `simdb_rows_copied_per_write` histogram: one observation per commit,
+    /// covering every row the write actually materialized.
     pub fn commit(&mut self, last_seq: Option<u64>) {
         let dirty = self.writes.values().filter(|g| g.is_dirty()).count();
         if dirty == 0 {
@@ -772,16 +778,118 @@ impl LockedTables {
         } else {
             None
         };
+        let mut rows_copied = 0u64;
         for g in self.writes.values_mut() {
             if g.is_dirty() {
                 if last_seq.is_some() {
                     g.applied_seq = last_seq;
                 }
+                rows_copied += g.table.take_copied_rows();
                 g.publish();
             }
         }
         if dirty > 1 {
             self.commit.seq.fetch_add(1, SeqCst); // even: cut valid again
+        }
+        crate::obs::metrics().rows_copied_per_write.observe(rows_copied);
+    }
+}
+
+/// The per-transaction **delta write-buffer**: a [`TableSet`] layered over
+/// an acquired lock set that absorbs every mutation into transaction-
+/// private buffers instead of the shards' working state.
+///
+/// A buffer is created lazily, on the first mutation of each table, as a
+/// copy-on-write *structural* clone of the base working copy — O(chunk
+/// spine) `Arc` bumps, no row data. From then on:
+///
+/// * **reads inside the transaction** resolve buffer-or-base:
+///   [`TableSet::table_ref`] returns the buffer when one exists (the
+///   transaction sees its own writes) and the untouched base otherwise;
+/// * **mutations** apply to the buffer through the ordinary per-row
+///   copy-on-write path, materializing exactly the rows touched;
+/// * **commit** ([`Self::commit`]) installs each dirty buffer as the
+///   shard's new working state — the overlay *is* the merged spine, so the
+///   merge is a move, not a replay — and publishes under the commit clock;
+/// * **rollback is `Drop`**: the buffers vanish and the base working state
+///   was never touched, so there is nothing to restore and no journal to
+///   keep. A transaction that mutates only two of its five declared tables
+///   clones two spines, not five (the old backup journal cloned all).
+pub(crate) struct BufferedTables<'a> {
+    locked: &'a mut LockedTables,
+    buffers: BTreeMap<String, BufferedTable>,
+}
+
+struct BufferedTable {
+    table: Table,
+    version: u64,
+    /// Base `version` at buffer creation; the buffer is dirty iff moved.
+    entry_version: u64,
+}
+
+impl<'a> BufferedTables<'a> {
+    pub fn new(locked: &'a mut LockedTables) -> BufferedTables<'a> {
+        BufferedTables {
+            locked,
+            buffers: BTreeMap::new(),
+        }
+    }
+
+    /// Install every dirty buffer into its shard's working state and
+    /// publish (see [`LockedTables::commit`]). Clean buffers are simply
+    /// dropped — an untouched table is never republished.
+    pub fn commit(self, last_seq: Option<u64>) {
+        for (name, buf) in self.buffers {
+            if buf.version != buf.entry_version {
+                let g = self
+                    .locked
+                    .writes
+                    .get_mut(&name)
+                    .expect("buffer exists only for write-locked tables");
+                g.table = buf.table;
+                g.version = buf.version;
+            }
+        }
+        self.locked.commit(last_seq);
+    }
+}
+
+impl TableSet for BufferedTables<'_> {
+    fn table_ref(&self, name: &str) -> Result<&Table, DbError> {
+        if let Some(b) = self.buffers.get(name) {
+            return Ok(&b.table); // buffer-or-base: own writes visible
+        }
+        self.locked.table_ref(name)
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        if !self.buffers.contains_key(name) {
+            let g = self.locked.writes.get(name).ok_or_else(|| {
+                DbError::Schema(format!(
+                    "table {name} is not write-locked by this operation \
+                     (declare it in the transaction's table list)"
+                ))
+            })?;
+            self.buffers.insert(
+                name.to_string(),
+                BufferedTable {
+                    table: g.table.clone(),
+                    version: g.version,
+                    entry_version: g.version,
+                },
+            );
+        }
+        Ok(&mut self.buffers.get_mut(name).expect("just inserted").table)
+    }
+
+    fn referencing_columns(&self, target: &str) -> Vec<(String, usize, OnDelete)> {
+        self.locked.referencing_columns(target)
+    }
+
+    fn bump_version(&mut self, table: &str) {
+        match self.buffers.get_mut(table) {
+            Some(b) => b.version += 1,
+            None => debug_assert!(false, "bump_version on unbuffered table {table}"),
         }
     }
 }
@@ -918,31 +1026,33 @@ mod tests {
 
     #[test]
     fn superseded_versions_freed_after_last_pin_drops() {
-        let s = shard();
+        // Unique table name: the live-versions gauge is process-global.
+        let table = Table::new(TableSchema::new(
+            "t_freed",
+            vec![Column::new("v", ValueType::Int)],
+        ))
+        .unwrap();
+        let s = Shard::new("t_freed", table, 1, None);
+        let gauge = amp_obs::registry().gauge(&amp_obs::labeled(
+            "simdb_table_live_versions",
+            &[("table", "t_freed")],
+        ));
         let pinned = s.pin();
         for i in 2..6 {
             let mut w = s.write();
             w.version = i;
             w.publish();
         }
-        // The outstanding pin holds version 1 alive alongside the tip.
-        {
-            let w = s.write();
-            assert!(
-                w.history.iter().filter(|h| h.strong_count() > 0).count() >= 2,
-                "pinned + current versions should both be alive"
-            );
-        }
+        // The outstanding pin holds version 1 alive alongside the tip; the
+        // superseded versions in between died at their publish.
+        assert_eq!(gauge.get(), 2, "pinned + current versions alive");
+        // The gauge decrements the moment the pin drops — no publish needed.
         drop(pinned);
-        // Next publish prunes everything the dropped pin kept alive.
+        assert_eq!(gauge.get(), 1, "gauge lagged past the last pin drop");
         let mut w = s.write();
         w.version = 6;
         w.publish();
-        assert_eq!(
-            w.history.iter().filter(|h| h.strong_count() > 0).count(),
-            1,
-            "only the current version should remain alive"
-        );
+        assert_eq!(gauge.get(), 1, "only the current version remains alive");
         assert!(w.retained.is_empty());
     }
 

@@ -2,12 +2,16 @@
 //!
 //! Storage is **copy-on-write** so the MVCC layer ([`crate::shard`]) can
 //! publish immutable snapshots cheaply: rows live in fixed-span chunks
-//! behind `Arc`s, and each per-column index map is itself behind an `Arc`.
-//! `Table::clone` is therefore a *structural* clone — chunk-map spine plus
-//! reference-count bumps, O(rows / chunk span) — while a point mutation
-//! through `Arc::make_mut` deep-copies only the one chunk (and the touched
-//! column index maps) actually written. A 30k-row archive table costs a
-//! ~hundred-entry spine clone per published version, not a 30k-row copy.
+//! behind `Arc`s, every row inside a chunk is behind its *own* `Arc`, and
+//! each per-column index map is itself behind an `Arc`. `Table::clone` is
+//! therefore a *structural* clone — chunk-map spine plus reference-count
+//! bumps — while a point mutation through `Arc::make_mut` re-links one
+//! chunk's row *pointers* (256 `Arc` bumps, no row data) and materializes
+//! exactly the row written. A point update against a 30k-row archive table
+//! copies one row, not a 256-row chunk: committed write cost is O(rows
+//! touched). The [`Rows::take_copied`] accumulator counts materialized
+//! rows per write so the `simdb_rows_copied_per_write` histogram can watch
+//! that invariant in production.
 
 use crate::error::DbError;
 use crate::schema::TableSchema;
@@ -25,15 +29,35 @@ pub type Row = Vec<Value>;
 /// chunk copy) against spine size (rows/256 `Arc` bumps per table clone).
 const CHUNK_SHIFT: u32 = 8;
 
-type Chunk = BTreeMap<i64, Row>;
+type Chunk = BTreeMap<i64, Arc<Row>>;
 
 /// Chunked copy-on-write row storage: `id >> CHUNK_SHIFT` keys a shared,
-/// immutable-when-shared chunk of up to 256 rows. Iteration order is
-/// ascending by id (non-negative ids sort identically chunked or flat).
-#[derive(Debug, Clone, Default)]
+/// immutable-when-shared chunk of up to 256 row *pointers*. Iteration order
+/// is ascending by id (non-negative ids sort identically chunked or flat).
+///
+/// Because each row sits behind its own `Arc`, re-materializing a shared
+/// chunk via `Arc::make_mut` bumps reference counts instead of cloning row
+/// data; the only row ever materialized per mutation is the one written.
+#[derive(Debug, Default)]
 pub(crate) struct Rows {
     chunks: BTreeMap<i64, Arc<Chunk>>,
     len: usize,
+    /// Rows materialized (allocated/deep-copied) by mutations since the
+    /// last [`Self::take_copied`] — the write-amplification numerator.
+    copied: u64,
+}
+
+impl Clone for Rows {
+    fn clone(&self) -> Self {
+        // Structural clone: spine + Arc bumps. The amplification counter is
+        // a property of *this* mutation stream, so a fresh copy (a
+        // transaction write-buffer, a snapshot) starts its own count.
+        Rows {
+            chunks: self.chunks.clone(),
+            len: self.len,
+            copied: 0,
+        }
+    }
 }
 
 impl Rows {
@@ -50,19 +74,31 @@ impl Rows {
     }
 
     pub fn get(&self, id: i64) -> Option<&Row> {
-        self.chunks.get(&Self::chunk_key(id))?.get(&id)
+        self.chunks
+            .get(&Self::chunk_key(id))?
+            .get(&id)
+            .map(|r| r.as_ref())
+    }
+
+    /// The shared handle for `id`, for callers that need to keep the old
+    /// row alive (update's unindex step) without deep-copying it.
+    pub fn get_arc(&self, id: i64) -> Option<Arc<Row>> {
+        self.chunks.get(&Self::chunk_key(id))?.get(&id).cloned()
     }
 
     pub fn contains_key(&self, id: i64) -> bool {
         self.get(id).is_some()
     }
 
-    /// Insert or replace; copies only the destination chunk if shared.
-    pub fn insert(&mut self, id: i64, row: Row) -> Option<Row> {
+    /// Insert or replace. A shared destination chunk is re-linked (`Arc`
+    /// bumps per resident row, no data copies); exactly one row — the one
+    /// written — is materialized and counted.
+    pub fn insert(&mut self, id: i64, row: Arc<Row>) -> Option<Arc<Row>> {
         let chunk = self
             .chunks
             .entry(Self::chunk_key(id))
             .or_insert_with(|| Arc::new(Chunk::new()));
+        self.copied += 1;
         let old = Arc::make_mut(chunk).insert(id, row);
         if old.is_none() {
             self.len += 1;
@@ -70,8 +106,8 @@ impl Rows {
         old
     }
 
-    /// Remove; copies only the containing chunk if shared.
-    pub fn remove(&mut self, id: i64) -> Option<Row> {
+    /// Remove; re-links only the containing chunk if shared.
+    pub fn remove(&mut self, id: i64) -> Option<Arc<Row>> {
         let key = Self::chunk_key(id);
         let chunk = self.chunks.get_mut(&key)?;
         if !chunk.contains_key(&id) {
@@ -88,7 +124,15 @@ impl Rows {
     pub fn iter(&self) -> impl Iterator<Item = (i64, &Row)> {
         self.chunks
             .values()
-            .flat_map(|c| c.iter().map(|(id, r)| (*id, r)))
+            .flat_map(|c| c.iter().map(|(id, r)| (*id, r.as_ref())))
+    }
+
+    /// Drain the materialized-rows counter. The commit path calls this once
+    /// per write transaction and feeds the `simdb_rows_copied_per_write`
+    /// histogram; a healthy engine reports ≈ rows touched, and any return
+    /// to chunk-granularity copying shows up as a 256x jump.
+    pub fn take_copied(&mut self) -> u64 {
+        std::mem::take(&mut self.copied)
     }
 }
 
@@ -125,12 +169,22 @@ struct TableSer {
 
 impl Serialize for Table {
     fn to_content(&self) -> serde::Content {
-        TableSer {
-            schema: self.schema.clone(),
-            rows: self.rows.iter().map(|(id, r)| (id, r.clone())).collect(),
-            next_id: self.next_id,
-        }
-        .to_content()
+        // Built directly rather than through `TableSer` so encoding a
+        // snapshot never deep-copies row storage; must stay field-for-field
+        // identical to `TableSer`'s layout (asserted by test).
+        serde::Content::Map(vec![
+            ("schema".to_string(), self.schema.to_content()),
+            (
+                "rows".to_string(),
+                serde::Content::Map(
+                    self.rows
+                        .iter()
+                        .map(|(id, r)| (id.to_string(), r.to_content()))
+                        .collect(),
+                ),
+            ),
+            ("next_id".to_string(), self.next_id.to_content()),
+        ])
     }
 }
 
@@ -139,8 +193,9 @@ impl Deserialize for Table {
         let ser = TableSer::from_content(c)?;
         let mut rows = Rows::default();
         for (id, row) in ser.rows {
-            rows.insert(id, row);
+            rows.insert(id, Arc::new(row));
         }
+        rows.take_copied();
         Ok(Table {
             schema: ser.schema,
             rows,
@@ -306,6 +361,7 @@ impl Table {
         self.check_row(&row, None)?;
         let id = self.next_id;
         self.next_id += 1;
+        let row = Arc::new(row);
         self.rows.insert(id, row.clone());
         // check_row passed with exclude=None so indexing cannot fail.
         self.index_row(id, &row).expect("validated row indexes");
@@ -321,6 +377,7 @@ impl Table {
             )));
         }
         self.check_row(&row, None)?;
+        let row = Arc::new(row);
         self.rows.insert(id, row.clone());
         self.index_row(id, &row).expect("validated row indexes");
         if id >= self.next_id {
@@ -329,18 +386,16 @@ impl Table {
         Ok(())
     }
 
-    /// Replace an entire row.
+    /// Replace an entire row. The superseded row is held by `Arc` handle —
+    /// never deep-copied — for the unindex step.
     pub fn update(&mut self, id: i64, row: Row) -> Result<(), DbError> {
-        let old = self
-            .rows
-            .get(id)
-            .cloned()
-            .ok_or_else(|| DbError::NoSuchRow {
-                table: self.schema.name.clone(),
-                id,
-            })?;
+        let old = self.rows.get_arc(id).ok_or_else(|| DbError::NoSuchRow {
+            table: self.schema.name.clone(),
+            id,
+        })?;
         self.check_row(&row, Some(id))?;
         self.unindex_row(id, &old);
+        let row = Arc::new(row);
         self.rows.insert(id, row.clone());
         self.index_row(id, &row).expect("validated row indexes");
         Ok(())
@@ -354,7 +409,13 @@ impl Table {
             id,
         })?;
         self.unindex_row(id, &row);
-        Ok(row)
+        Ok(Arc::try_unwrap(row).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Drain the write-amplification counter: rows materialized by
+    /// mutations since the last call. See [`Rows::take_copied`].
+    pub fn take_copied_rows(&mut self) -> u64 {
+        self.rows.take_copied()
     }
 
     /// Fast lookup by unique column value.
@@ -427,6 +488,25 @@ mod tests {
             ],
         ))
         .unwrap()
+    }
+
+    #[test]
+    fn direct_table_serializer_matches_proxy_layout() {
+        let mut t = table();
+        // Span several chunks and leave a deletion hole so chunk
+        // boundaries are exercised, not just one dense map.
+        for i in 0..600 {
+            t.insert(vec![format!("n{i}").into(), Value::Int(i)]).unwrap();
+        }
+        t.delete(300).unwrap();
+        let direct = serde_json::to_vec(&t).unwrap();
+        let proxy = serde_json::to_vec(&TableSer {
+            schema: t.schema.clone(),
+            rows: t.rows.iter().map(|(id, r)| (id, r.clone())).collect(),
+            next_id: t.next_id,
+        })
+        .unwrap();
+        assert_eq!(direct, proxy);
     }
 
     #[test]

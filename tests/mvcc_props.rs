@@ -15,9 +15,15 @@
 //!    transaction holds a table's write lock — and the in-flight
 //!    transaction's records survive the truncation and recover;
 //! 4. plain reads never touch the shard lock: the writer-path lock-wait
-//!    histogram records nothing during a pure-read phase.
+//!    histogram records nothing during a pure-read phase;
+//! 5. the write side's delta buffer is semantically invisible: reads
+//!    inside a transaction see buffer-over-base, a commit publishes
+//!    exactly the merged state, and a rollback leaves the published spine
+//!    untouched — all equal to a single-threaded oracle applying the same
+//!    operations (property test over arbitrary transaction sequences).
 
 use amp::simdb::prelude::*;
+use amp::simdb::Database;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::mpsc;
@@ -118,6 +124,134 @@ proptest! {
     #[test]
     fn pinned_views_are_frozen_and_untorn(batches in proptest::collection::vec(1usize..=5, 1..10)) {
         check_frozen_views(&batches);
+    }
+}
+
+/// One operation inside a generated transaction. `t` selects one of the
+/// two tables; `pick` resolves to a live row id at application time.
+#[derive(Debug, Clone)]
+enum TxOp {
+    Insert { t: bool, v: i16 },
+    Update { t: bool, pick: u8, v: i16 },
+    Delete { t: bool, pick: u8 },
+}
+
+fn arb_tx_op() -> impl Strategy<Value = TxOp> {
+    prop_oneof![
+        (any::<bool>(), any::<i16>()).prop_map(|(t, v)| TxOp::Insert { t, v }),
+        (any::<bool>(), any::<u8>(), any::<i16>())
+            .prop_map(|(t, pick, v)| TxOp::Update { t, pick, v }),
+        (any::<bool>(), any::<u8>()).prop_map(|(t, pick)| TxOp::Delete { t, pick }),
+    ]
+}
+
+/// Drive the same transaction sequence through the buffered MVCC engine
+/// and a single-threaded [`Database`] oracle, checking three things per
+/// transaction:
+///
+/// 1. *buffer-over-base reads*: mid-transaction, `Txn::select` sees the
+///    transaction's own uncommitted ops layered over the published base;
+/// 2. *publish merges exactly*: after a commit, the published state equals
+///    the oracle having applied the same ops;
+/// 3. *rollback is total*: after an aborted transaction, the published
+///    state (including id allocation) is exactly what it was before —
+///    the write buffer is dropped, the spine untouched.
+fn check_buffered_txns_match_oracle(txns: &[(Vec<TxOp>, bool)]) {
+    let db = Db::in_memory();
+    db.define_role(Role::superuser("admin"));
+    let admin = db.connect("admin").unwrap();
+    let mut oracle = Database::new();
+    for t in ["bufa", "bufb"] {
+        let schema = TableSchema::new(t, vec![Column::new("v", ValueType::Int)]);
+        admin.create_table(schema.clone()).unwrap();
+        oracle.create_table(schema).unwrap();
+    }
+    let name = |t: bool| if t { "bufa" } else { "bufb" };
+    let all = Query::new();
+
+    for (ops, rollback) in txns {
+        // Resolve picks and apply against a tentative oracle as we go, so
+        // an op may legitimately target a row inserted (or miss one
+        // deleted) earlier in the same transaction.
+        let mut tentative = oracle.clone();
+        let result: Result<(), DbError> = admin.transaction(&["bufa", "bufb"], |tx| {
+            for op in ops {
+                match op {
+                    TxOp::Insert { t, v } => {
+                        let want = tentative
+                            .insert(name(*t), &[("v", Value::Int(*v as i64))])
+                            .unwrap()
+                            .0;
+                        let got = tx.insert(name(*t), &[("v", Value::Int(*v as i64))])?;
+                        assert_eq!(got, want, "id allocation diverged from oracle");
+                    }
+                    TxOp::Update { t, pick, v } => {
+                        let rows = tentative.select(name(*t), &all).unwrap();
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        let id = rows[*pick as usize % rows.len()].0;
+                        tentative
+                            .update(name(*t), id, &[("v", Value::Int(*v as i64))])
+                            .unwrap();
+                        tx.update(name(*t), id, &[("v", Value::Int(*v as i64))])?;
+                    }
+                    TxOp::Delete { t, pick } => {
+                        let rows = tentative.select(name(*t), &all).unwrap();
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        let id = rows[*pick as usize % rows.len()].0;
+                        tentative.delete(name(*t), id).unwrap();
+                        tx.delete(name(*t), id)?;
+                    }
+                }
+            }
+            // Buffer-over-base: the transaction's own reads see its
+            // uncommitted ops merged over the published base.
+            for t in [true, false] {
+                assert_eq!(
+                    tx.select(name(t), &all).unwrap(),
+                    tentative.select(name(t), &all).unwrap(),
+                    "mid-transaction read diverged from buffered state"
+                );
+            }
+            if *rollback {
+                Err(DbError::Io("forced rollback".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(result.is_err(), *rollback);
+        if !rollback {
+            oracle = tentative;
+        }
+        // Published state must equal the oracle's committed state exactly —
+        // after a rollback that means exactly the pre-transaction state.
+        for t in [true, false] {
+            assert_eq!(
+                admin.select(name(t), &all).unwrap(),
+                oracle.select(name(t), &all).unwrap(),
+                "published state diverged from single-threaded oracle"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: the per-transaction delta write-buffer is invisible in
+    /// the result — buffered reads, committed merges, and rollbacks all
+    /// match a single-threaded engine applying the same operations.
+    #[test]
+    fn buffered_transactions_match_single_threaded_oracle(
+        txns in proptest::collection::vec(
+            (proptest::collection::vec(arb_tx_op(), 0..8), any::<bool>()),
+            0..12,
+        )
+    ) {
+        check_buffered_txns_match_oracle(&txns);
     }
 }
 
