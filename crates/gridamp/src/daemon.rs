@@ -822,9 +822,7 @@ impl GridAmp {
                                 // concurrent chunks' fsyncs collapse further
                                 // via WAL group commit.
                                 if let Err(e) = commit_job_batch(conn, &dirty) {
-                                    report
-                                        .daemon_errors
-                                        .push(format!("job batch commit: {e}"));
+                                    report.daemon_errors.push(format!("job batch commit: {e}"));
                                 }
                                 ops
                             })

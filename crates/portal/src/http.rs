@@ -256,6 +256,14 @@ impl RequestParser {
         self.buf.len()
     }
 
+    /// Total size the in-flight request has *declared* (head bytes plus
+    /// its `Content-Length`), once the head has been parsed. Lets a
+    /// server reject an oversized request as soon as the headers arrive
+    /// instead of buffering the whole body first.
+    pub fn pending_request_bytes(&self) -> Option<usize> {
+        self.head.as_ref().map(|h| self.scanned + h.content_length)
+    }
+
     /// Try to extract the next complete request. Returns the request plus
     /// its keep-alive decision, `Ok(None)` when more bytes are needed.
     pub fn next_request(&mut self) -> Result<Option<(Request, bool)>, HttpError> {
@@ -459,6 +467,17 @@ impl Response {
         }
     }
 
+    /// The over-size rejection: a request exceeding the server's byte
+    /// budget gets the status the RFC assigns it (413), not a generic
+    /// 400, so clients can distinguish "too big" from "malformed".
+    pub fn payload_too_large() -> Response {
+        Response {
+            status: 413,
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: b"413 payload too large".to_vec(),
+        }
+    }
+
     pub fn server_error(msg: &str) -> Response {
         Response {
             status: 500,
@@ -503,6 +522,7 @@ impl Response {
             400 => "Bad Request",
             403 => "Forbidden",
             404 => "Not Found",
+            413 => "Payload Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Status",

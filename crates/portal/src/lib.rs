@@ -22,6 +22,7 @@ pub mod apps;
 pub mod auth;
 pub mod cache;
 pub mod captcha;
+pub(crate) mod event_loop;
 pub mod http;
 pub mod portal;
 pub mod router;

@@ -1,50 +1,79 @@
-//! The TCP front end: a worker-pool HTTP/1.1 server over the portal.
+//! The TCP front end: an event-driven HTTP/1.1 server over the portal.
 //!
 //! Production AMP sat behind Apache; the seed reproduction used a
-//! thread-per-connection loop that closed after one request and polled
-//! `accept` on a 5 ms sleep. This version serves sustained concurrent
-//! load instead:
+//! thread-per-connection loop, and the first rewrite a worker pool that
+//! still parked one blocking thread per in-flight connection — capping
+//! concurrency at `workers` and letting a slow-loris client pin a worker
+//! forever. This version separates connection count from thread count:
 //!
-//! * a fixed pool of [`ServerConfig::workers`] threads drains a bounded
-//!   connection queue (the accept thread blocks when it fills — natural
-//!   backpressure instead of unbounded thread spawn);
-//! * `accept` blocks in the kernel; shutdown wakes it with a self-connect
-//!   instead of a poll loop;
-//! * connections are persistent: HTTP/1.1 keep-alive with Content-Length
-//!   framing, sequential pipelined requests, and an idle timeout;
-//! * request bytes are parsed incrementally ([`RequestParser`]) — no
-//!   re-scan of the buffer on every 4 KiB chunk.
+//! * one event-loop thread ([`crate::event_loop`]) owns every socket via
+//!   OS readiness polling (epoll on Linux, `poll(2)` elsewhere, both
+//!   zero-dependency), so tens of thousands of idle keep-alive
+//!   connections cost a few bytes of state each and no threads;
+//! * a fixed pool of [`ServerConfig::workers`] threads runs
+//!   [`Portal::handle`] only — parsing, buffering, timeouts, and writes
+//!   all happen on the loop;
+//! * a timer wheel enforces both the idle timeout between requests and a
+//!   total per-request read deadline (the slow-loris fix), and every
+//!   close is attributed: `portal_connections_closed_total{reason=...}`;
+//! * backpressure is layered: per-connection (read interest off while a
+//!   response is in flight), queue (accept pauses when the dispatch
+//!   queue fills), and global ([`ServerConfig::max_connections`]).
 //!
 //! The portal logic itself stays transport-independent
 //! ([`Portal::handle`]), which is also how the integration tests drive it.
 
-use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use amp_obs::{Counter, Gauge, Histogram};
 
-use crate::http::{RequestParser, Response};
+use crate::event_loop::{worker_main, CloseReason, Dispatcher, EventLoop, Poller};
 use crate::portal::Portal;
 
 /// Serving-layer metric handles, resolved once per process (the hot path
 /// is then a single relaxed atomic op per observation).
-struct ServerMetrics {
-    queue_depth: Gauge,
-    queue_wait: Histogram,
+pub(crate) struct ServerMetrics {
+    /// Requests waiting for a worker (the dispatch queue).
+    pub(crate) queue_depth: Gauge,
+    /// How long a parsed request waited for a worker.
+    pub(crate) queue_wait: Histogram,
+    /// Currently open connections on the event loop.
+    pub(crate) open_connections: Gauge,
     closed_idle: Counter,
+    closed_read_deadline: Counter,
     closed_eof: Counter,
     closed_client: Counter,
+    closed_server: Counter,
     closed_bad_request: Counter,
     closed_too_large: Counter,
     closed_error: Counter,
+    closed_shutdown: Counter,
 }
 
-fn metrics() -> &'static ServerMetrics {
+impl ServerMetrics {
+    /// The counter a given close reason increments — one reason, one
+    /// series, every close accounted exactly once.
+    pub(crate) fn closed(&self, reason: CloseReason) -> &Counter {
+        match reason {
+            CloseReason::IdleTimeout => &self.closed_idle,
+            CloseReason::ReadDeadline => &self.closed_read_deadline,
+            CloseReason::Eof => &self.closed_eof,
+            CloseReason::ClientClose => &self.closed_client,
+            CloseReason::ServerClose => &self.closed_server,
+            CloseReason::BadRequest => &self.closed_bad_request,
+            CloseReason::TooLarge => &self.closed_too_large,
+            CloseReason::Error => &self.closed_error,
+            CloseReason::Shutdown => &self.closed_shutdown,
+        }
+    }
+}
+
+pub(crate) fn metrics() -> &'static ServerMetrics {
     static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let closed = |reason: &str| {
@@ -56,12 +85,16 @@ fn metrics() -> &'static ServerMetrics {
         ServerMetrics {
             queue_depth: amp_obs::gauge("portal_conn_queue_depth"),
             queue_wait: amp_obs::histogram("portal_conn_queue_wait_seconds"),
+            open_connections: amp_obs::gauge("portal_open_connections"),
             closed_idle: closed("idle_timeout"),
+            closed_read_deadline: closed("read_deadline"),
             closed_eof: closed("eof"),
             closed_client: closed("client_close"),
+            closed_server: closed("server_close"),
             closed_bad_request: closed("bad_request"),
             closed_too_large: closed("too_large"),
             closed_error: closed("error"),
+            closed_shutdown: closed("shutdown"),
         }
     })
 }
@@ -69,17 +102,29 @@ fn metrics() -> &'static ServerMetrics {
 /// Serving-layer tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads draining the connection queue.
+    /// Worker threads running [`Portal::handle`] (socket I/O is not
+    /// theirs: the event loop owns every connection).
     pub workers: usize,
-    /// Accepted-but-unserviced connections held before `accept` blocks.
+    /// Parsed requests waiting for a worker before `accept` pauses.
     pub queue_depth: usize,
     /// Honour HTTP keep-alive (off forces `Connection: close` after the
     /// first response, the seed behaviour — useful for benchmarks).
     pub keep_alive: bool,
     /// How long a persistent connection may sit idle between requests.
     pub idle_timeout: Duration,
-    /// Reject requests whose buffered bytes exceed this.
+    /// Total time budget for receiving one request, headers and body,
+    /// measured from its first byte. A client trickling a byte at a
+    /// time extends the idle timeout forever but never this one.
+    pub read_deadline: Duration,
+    /// Reject requests whose buffered or declared size exceeds this
+    /// (answered `413 Payload Too Large`).
     pub max_request_bytes: usize,
+    /// Concurrently open connections; past this, accept pauses and new
+    /// clients wait in the kernel backlog.
+    pub max_connections: usize,
+    /// Artificial per-request service delay (benchmarks and drain tests
+    /// only; zero in production configs).
+    pub handler_delay: Duration,
 }
 
 impl Default for ServerConfig {
@@ -89,80 +134,11 @@ impl Default for ServerConfig {
             queue_depth: 128,
             keep_alive: true,
             idle_timeout: Duration::from_secs(5),
+            read_deadline: Duration::from_secs(10),
             max_request_bytes: 1 << 20,
+            max_connections: 16_384,
+            handler_delay: Duration::ZERO,
         }
-    }
-}
-
-/// Bounded MPMC queue of accepted connections (std Mutex + Condvar — the
-/// vendored parking_lot has no Condvar).
-struct ConnQueue {
-    state: Mutex<QueueState>,
-    not_empty: Condvar,
-    not_full: Condvar,
-    cap: usize,
-}
-
-struct QueueState {
-    /// Accepted connections, each stamped with its enqueue time so the
-    /// dequeueing worker can record the queue wait.
-    items: VecDeque<(TcpStream, Instant)>,
-    closed: bool,
-}
-
-impl ConnQueue {
-    fn new(cap: usize) -> ConnQueue {
-        ConnQueue {
-            state: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            cap: cap.max(1),
-        }
-    }
-
-    /// Block until there is room (backpressure), then enqueue. Returns
-    /// false once the queue is closed.
-    fn push(&self, stream: TcpStream) -> bool {
-        let mut state = self.state.lock().expect("queue lock");
-        while state.items.len() >= self.cap && !state.closed {
-            state = self.not_full.wait(state).expect("queue lock");
-        }
-        if state.closed {
-            return false;
-        }
-        state.items.push_back((stream, Instant::now()));
-        metrics().queue_depth.set(state.items.len() as i64);
-        drop(state);
-        self.not_empty.notify_one();
-        true
-    }
-
-    /// Block until a connection arrives; `None` once closed and drained.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut state = self.state.lock().expect("queue lock");
-        loop {
-            if let Some((stream, enqueued)) = state.items.pop_front() {
-                let m = metrics();
-                m.queue_depth.set(state.items.len() as i64);
-                drop(state);
-                m.queue_wait.observe_duration(enqueued.elapsed());
-                self.not_full.notify_one();
-                return Some(stream);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.not_empty.wait(state).expect("queue lock");
-        }
-    }
-
-    fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
     }
 }
 
@@ -170,8 +146,9 @@ impl ConnQueue {
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    queue: Arc<ConnQueue>,
-    accept_handle: Option<JoinHandle<()>>,
+    poller: Arc<Poller>,
+    dispatcher: Arc<Dispatcher>,
+    loop_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -191,55 +168,34 @@ impl Server {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(ConnQueue::new(config.queue_depth));
+        let poller = Arc::new(Poller::new()?);
+        let dispatcher = Arc::new(Dispatcher::new());
 
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let portal = portal.clone();
-                let queue = queue.clone();
+                let dispatcher = dispatcher.clone();
+                let poller = poller.clone();
                 let config = config.clone();
-                std::thread::spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        // Every Ok path records its own close reason; an
-                        // Err is a genuine I/O failure mid-connection.
-                        if serve_connection(&portal, stream, &config).is_err() {
-                            metrics().closed_error.inc();
-                        }
-                    }
-                })
+                std::thread::spawn(move || worker_main(portal, dispatcher, poller, config))
             })
             .collect();
 
-        let accept_handle = {
-            let flag = shutdown.clone();
-            let queue = queue.clone();
-            std::thread::spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        // The shutdown wake-up is itself a connection;
-                        // check the flag before queueing anything.
-                        if flag.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if !queue.push(stream) {
-                            break;
-                        }
-                    }
-                    Err(_) => {
-                        if flag.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        // Transient accept failure (e.g. EMFILE); keep going.
-                    }
-                }
-            })
-        };
+        let event_loop = EventLoop::new(
+            listener,
+            poller.clone(),
+            dispatcher.clone(),
+            config,
+            shutdown.clone(),
+        )?;
+        let loop_handle = std::thread::spawn(move || event_loop.run());
 
         Ok(Server {
             addr,
             shutdown,
-            queue,
-            accept_handle: Some(accept_handle),
+            poller,
+            dispatcher,
+            loop_handle: Some(loop_handle),
             workers,
         })
     }
@@ -248,19 +204,21 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting, drain the queue, and join every thread.
+    /// Graceful shutdown: stop accepting, close idle connections, let
+    /// in-flight requests finish and flush, then join every thread.
     pub fn stop(mut self) {
         self.shutdown_and_join();
     }
 
     fn shutdown_and_join(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        self.queue.close();
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_handle.take() {
+        self.poller.wake();
+        // The loop drains in-flight work before exiting, so workers must
+        // stay alive until it has joined.
+        if let Some(h) = self.loop_handle.take() {
             let _ = h.join();
         }
+        self.dispatcher.stop();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -270,76 +228,6 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown_and_join();
-    }
-}
-
-/// Serve one connection to completion: a keep-alive loop parsing requests
-/// incrementally and answering each with Content-Length framing.
-fn serve_connection(
-    portal: &Portal,
-    mut stream: TcpStream,
-    config: &ServerConfig,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(config.idle_timeout))?;
-    stream.set_nodelay(true)?;
-    let mut parser = RequestParser::new();
-    let mut chunk = [0u8; 4096];
-    let mut out = Vec::with_capacity(4096);
-    loop {
-        // Drain every complete request already buffered (pipelining)
-        // before going back to the socket.
-        loop {
-            match parser.next_request() {
-                Ok(Some((request, client_keep_alive))) => {
-                    let keep_alive = config.keep_alive && client_keep_alive;
-                    let response = portal.handle(&request);
-                    out.clear();
-                    response.write_into(&mut out, keep_alive);
-                    stream.write_all(&out)?;
-                    if !keep_alive {
-                        metrics().closed_client.inc();
-                        return Ok(());
-                    }
-                }
-                Ok(None) => break,
-                Err(_) => {
-                    // Any parse failure (including a malformed or
-                    // duplicated Content-Length) poisons the framing:
-                    // answer 400 and close rather than guess where the
-                    // next request starts.
-                    let response = Response::bad_request("malformed request");
-                    out.clear();
-                    response.write_into(&mut out, false);
-                    stream.write_all(&out)?;
-                    metrics().closed_bad_request.inc();
-                    return Ok(());
-                }
-            }
-        }
-        if parser.buffered() > config.max_request_bytes {
-            let response = Response::bad_request("request too large");
-            out.clear();
-            response.write_into(&mut out, false);
-            stream.write_all(&out)?;
-            metrics().closed_too_large.inc();
-            return Ok(());
-        }
-        let n = match stream.read(&mut chunk) {
-            Ok(n) => n,
-            // SO_RCVTIMEO expiry surfaces as WouldBlock on Linux (and
-            // TimedOut on some platforms): an idle keep-alive connection
-            // reaching its timeout is a *graceful* close, not an error.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                metrics().closed_idle.inc();
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        if n == 0 {
-            metrics().closed_eof.inc();
-            return Ok(());
-        }
-        parser.extend(&chunk[..n]);
     }
 }
 
@@ -363,15 +251,23 @@ pub fn read_framed_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::i
         buf.extend_from_slice(&chunk[..n]);
     };
     let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
-    let content_length: usize = head
-        .lines()
-        .find_map(|l| {
-            let (name, value) = l.split_once(':')?;
-            name.trim()
-                .eq_ignore_ascii_case("content-length")
-                .then(|| value.trim().parse().ok())?
-        })
-        .unwrap_or(0);
+    // An unparseable Content-Length must fail loudly, not decay to 0:
+    // a zero-length guess leaves the body bytes in `buf` to be misread
+    // as the next pipelined response (silent framing desync).
+    let content_length: usize = match head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().to_string())
+    }) {
+        Some(v) => v.parse().map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable Content-Length: {v:?}"),
+            )
+        })?,
+        None => 0,
+    };
     let total = header_end + 4 + content_length;
     while buf.len() < total {
         let n = stream.read(&mut chunk)?;

@@ -106,6 +106,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
 
+/// Per-table snapshot-encode cache entry: the published version last
+/// serialized, and its encoded JSON.
+type SnapCache = HashMap<String, (u64, Arc<Vec<u8>>)>;
+
 /// Shared state behind a [`Db`] handle.
 struct DbShared {
     /// The table directory. Its `RwLock` is the *catalog lock* — the top
@@ -125,7 +129,7 @@ struct DbShared {
     /// checkpoint — re-serializing tens of thousands of static rows — into
     /// a buffer copy. Bounded by the snapshot's own size; entries for
     /// vanished tables are pruned at each use.
-    snap_cache: Mutex<HashMap<String, (u64, Arc<Vec<u8>>)>>,
+    snap_cache: Mutex<SnapCache>,
 }
 
 /// A thread-safe database handle. Cheap to clone; all clones share state.
@@ -1022,11 +1026,8 @@ mod tests {
             db.define_role(Role::superuser("admin"));
             let c = db.connect("admin").unwrap();
             for t in ["hot", "cold"] {
-                c.create_table(TableSchema::new(
-                    t,
-                    vec![Column::new("v", ValueType::Int)],
-                ))
-                .unwrap();
+                c.create_table(TableSchema::new(t, vec![Column::new("v", ValueType::Int)]))
+                    .unwrap();
                 c.insert(t, &[("v", Value::Int(1))]).unwrap();
             }
             // First compact encodes both tables and seeds the cache.

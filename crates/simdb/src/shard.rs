@@ -791,7 +791,9 @@ impl LockedTables {
         if dirty > 1 {
             self.commit.seq.fetch_add(1, SeqCst); // even: cut valid again
         }
-        crate::obs::metrics().rows_copied_per_write.observe(rows_copied);
+        crate::obs::metrics()
+            .rows_copied_per_write
+            .observe(rows_copied);
     }
 }
 

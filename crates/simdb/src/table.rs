@@ -496,7 +496,8 @@ mod tests {
         // Span several chunks and leave a deletion hole so chunk
         // boundaries are exercised, not just one dense map.
         for i in 0..600 {
-            t.insert(vec![format!("n{i}").into(), Value::Int(i)]).unwrap();
+            t.insert(vec![format!("n{i}").into(), Value::Int(i)])
+                .unwrap();
         }
         t.delete(300).unwrap();
         let direct = serde_json::to_vec(&t).unwrap();

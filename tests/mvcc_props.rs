@@ -139,8 +139,11 @@ enum TxOp {
 fn arb_tx_op() -> impl Strategy<Value = TxOp> {
     prop_oneof![
         (any::<bool>(), any::<i16>()).prop_map(|(t, v)| TxOp::Insert { t, v }),
-        (any::<bool>(), any::<u8>(), any::<i16>())
-            .prop_map(|(t, pick, v)| TxOp::Update { t, pick, v }),
+        (any::<bool>(), any::<u8>(), any::<i16>()).prop_map(|(t, pick, v)| TxOp::Update {
+            t,
+            pick,
+            v
+        }),
         (any::<bool>(), any::<u8>()).prop_map(|(t, pick)| TxOp::Delete { t, pick }),
     ]
 }

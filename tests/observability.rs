@@ -195,6 +195,104 @@ fn flight_recorder_dumps_recent_events_on_daemon_failure() {
     assert!(obs::counter("daemon_transient_retries_total").get() >= 3);
 }
 
+/// Regression for the close-accounting bugfix: a close the *client*
+/// negotiated (`Connection: close`) and a close the *server* forced
+/// (`keep_alive` disabled in config) are attributed to different
+/// counter families — the old worker-pool server lumped both into
+/// `client_close`, making "are clients hanging up on us?" unanswerable.
+#[test]
+fn close_reasons_distinguish_client_from_server_initiated() {
+    let client_closes = obs::counter(&obs::labeled(
+        "portal_connections_closed_total",
+        &[("reason", "client_close")],
+    ));
+    let server_closes = obs::counter(&obs::labeled(
+        "portal_connections_closed_total",
+        &[("reason", "server_close")],
+    ));
+    let await_at_least = |counter: &amp::obs::Counter, target: u64, what: &str| {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counter.get() < target && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(counter.get() >= target, "{what} not recorded");
+    };
+
+    let db = Db::in_memory();
+    amp::core::setup::initialize(&db).unwrap();
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+
+    // Phase 1: server honours keep-alive; the client asks to close.
+    let c0 = client_closes.get();
+    let s0 = server_closes.get();
+    let server = amp::portal::Server::spawn_with(
+        portal.clone(),
+        0,
+        amp::portal::ServerConfig {
+            workers: 1,
+            ..amp::portal::ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let resp = amp::portal::server::fetch(
+        server.addr(),
+        "GET /stars HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"));
+    await_at_least(&client_closes, c0 + 1, "client-negotiated close");
+    assert_eq!(
+        server_closes.get(),
+        s0,
+        "client-negotiated close miscounted as server_close"
+    );
+    server.stop();
+
+    // Phase 2: keep-alive disabled server-side; the client wanted to
+    // keep the connection.
+    let c1 = client_closes.get();
+    let s1 = server_closes.get();
+    let server = amp::portal::Server::spawn_with(
+        portal.clone(),
+        0,
+        amp::portal::ServerConfig {
+            workers: 1,
+            keep_alive: false,
+            ..amp::portal::ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let resp = amp::portal::server::fetch(server.addr(), "GET /stars HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"));
+    assert!(resp.to_ascii_lowercase().contains("connection: close"));
+    await_at_least(&server_closes, s1 + 1, "server-forced close");
+    assert_eq!(
+        client_closes.get(),
+        c1,
+        "server-forced close miscounted as client_close"
+    );
+
+    // All close-reason families (and the serving gauges) are registered
+    // the moment a server runs, so a scrape can always see the full set.
+    let scrape = portal.handle(&Request::get("/metrics")).body_str();
+    for family in [
+        "reason=\"client_close\"",
+        "reason=\"server_close\"",
+        "reason=\"read_deadline\"",
+        "reason=\"idle_timeout\"",
+        "reason=\"too_large\"",
+        "portal_open_connections",
+        "portal_conn_queue_wait_seconds",
+    ] {
+        assert!(
+            scrape.contains(family),
+            "/metrics missing {family}:\n{scrape}"
+        );
+    }
+    server.stop();
+}
+
 /// Regression for the idle-timeout bugfix: a keep-alive connection that
 /// goes quiet is closed *cleanly* — the reader's `WouldBlock`/`TimedOut`
 /// is mapped to an `idle_timeout` close, not surfaced as an I/O error.

@@ -1,17 +1,25 @@
 //! Serving-layer integration: concurrent keep-alive load over the
-//! worker-pool TCP server, and the cache-transparency property — a portal
-//! serving from the versioned response cache is byte-identical to one
-//! rendering every request fresh, under arbitrary write/read
-//! interleavings.
+//! event-driven TCP server, the event-loop suite (idle-connection scale,
+//! pipelining across readiness wakeups, slow-loris eviction, readable
+//! 413s, graceful drain, byte-split arrival fuzz), and the
+//! cache-transparency property — a portal serving from the versioned
+//! response cache is byte-identical to one rendering every request
+//! fresh, under arbitrary write/read interleavings.
 
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use amp::core::{roles, setup};
-use amp::portal::server::{fetch, fetch_pipelined};
+use amp::obs;
+use amp::portal::server::{fetch, fetch_pipelined, read_framed_response};
 use amp::portal::{hash_password, Portal, PortalConfig, Request, Server, ServerConfig};
 use amp::prelude::*;
 use amp::simdb::Db;
 use proptest::prelude::*;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 fn fresh_db() -> Db {
     let db = Db::in_memory();
@@ -168,6 +176,455 @@ fn close_and_keep_alive_clients_interoperate() {
     let old = fetch(addr, "GET /stars HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
     assert!(old.to_ascii_lowercase().contains("connection: close"));
     server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop suite: concurrency beyond the worker count, deadlines, drain.
+// ---------------------------------------------------------------------------
+
+fn closed_counter(reason: &str) -> obs::Counter {
+    obs::counter(&obs::labeled(
+        "portal_connections_closed_total",
+        &[("reason", reason)],
+    ))
+}
+
+/// The C10K shape in miniature: a crowd of mostly-idle keep-alive
+/// connections parks on the event loop while a hot client hammers the
+/// serving path. The old worker-pool server would have wedged — each
+/// idle connection pinned a blocking worker thread — so with any crowd
+/// larger than `workers` the hot path would starve. Here the crowd
+/// costs a slab slot each, the hot path stays fast, and every parked
+/// connection is still alive (and servable) afterwards.
+#[test]
+fn idle_keep_alive_crowd_does_not_starve_the_hot_path() {
+    let db = fresh_db();
+    let admin = db.connect(roles::ROLE_ADMIN).unwrap();
+    let stars = Manager::<Star>::new(admin);
+    for i in 0..6 {
+        stars.create(&mut star(&format!("HD {i}"))).unwrap();
+    }
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+    let server = Server::spawn_with(
+        portal,
+        0,
+        ServerConfig {
+            workers: 2,
+            // The crowd must out-live the whole test without idling out.
+            idle_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Park the crowd. (Scaled to share the process fd budget with the
+    // rest of the suite; the full 10k run lives in report_http_load.)
+    const IDLE: usize = 2000;
+    let idle: Vec<TcpStream> = (0..IDLE)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+
+    // Hot path: sequential keep-alive requests on one connection.
+    let mut hot = TcpStream::connect(addr).unwrap();
+    hot.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    let mut latencies = Vec::with_capacity(300);
+    for _ in 0..300 {
+        let t = Instant::now();
+        hot.write_all(b"GET /stars HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let resp = read_framed_response(&mut hot, &mut buf).unwrap();
+        latencies.push(t.elapsed());
+        assert!(resp.starts_with("HTTP/1.1 200"), "{}", &resp[..40]);
+    }
+    latencies.sort();
+    let p99 = latencies[latencies.len() * 99 / 100];
+    // Generous bound (debug build, shared CI box): the point is that the
+    // crowd doesn't turn microseconds into seconds.
+    assert!(
+        p99 < Duration::from_millis(250),
+        "hot-path p99 {p99:?} with {IDLE} idle connections parked"
+    );
+
+    // Every sampled parked connection is still live and servable.
+    for mut conn in idle.into_iter().step_by(97) {
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        conn.write_all(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut b = Vec::new();
+        let resp = read_framed_response(&mut conn, &mut b).expect("parked conn still serves");
+        assert!(resp.starts_with("HTTP/1.1 200"));
+    }
+    server.stop();
+}
+
+/// Pipelining across readiness wakeups: multiple requests in one
+/// segment are each answered (the parser buffer is re-polled after a
+/// write completes, without waiting for new socket readiness), and a
+/// request fragmented across many tiny writes still parses.
+#[test]
+fn pipelined_and_fragmented_requests_parse_across_wakeups() {
+    let db = fresh_db();
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+    let server = Server::spawn(portal, 0).unwrap();
+    let addr = server.addr();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Three pipelined requests in a single write.
+    s.write_all(
+        b"GET / HTTP/1.1\r\nHost: t\r\n\r\n\
+          GET /stars HTTP/1.1\r\nHost: t\r\n\r\n\
+          GET /stars?page=2 HTTP/1.1\r\nHost: t\r\n\r\n",
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    for i in 0..3 {
+        let resp = read_framed_response(&mut s, &mut buf).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200"), "pipelined response {i}");
+    }
+
+    // One request dribbled in 7-byte fragments with pauses: each
+    // fragment is a separate readiness wakeup.
+    let raw = b"GET /stars HTTP/1.1\r\nHost: t\r\n\r\n";
+    for chunk in raw.chunks(7) {
+        s.write_all(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let resp = read_framed_response(&mut s, &mut buf).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"));
+    server.stop();
+}
+
+/// The slow-loris fix: a client trickling bytes forever used to pin a
+/// blocking worker for the connection's lifetime, because the only
+/// timeout was per-read (each byte reset it). The total per-request
+/// read deadline evicts the trickler on schedule no matter how
+/// diligently it feeds, and the close is attributed to `read_deadline`,
+/// not `idle_timeout`.
+#[test]
+fn slow_loris_trickler_is_evicted_at_the_read_deadline() {
+    let deadline_closes = closed_counter("read_deadline");
+    let idle_closes = closed_counter("idle_timeout");
+    let deadline_before = deadline_closes.get();
+    let idle_before = idle_closes.get();
+
+    let db = fresh_db();
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+    let server = Server::spawn_with(
+        portal,
+        0,
+        ServerConfig {
+            workers: 1,
+            // Idle timeout is long; only the total-request budget may fire.
+            idle_timeout: Duration::from_secs(30),
+            read_deadline: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_millis(25))).unwrap();
+    let start = Instant::now();
+    s.write_all(b"GET / HTT").unwrap();
+    // Trickle: every write lands well inside any per-read/idle window.
+    let mut evicted_at = None;
+    let mut b = [0u8; 256];
+    while start.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(50));
+        if s.write_all(b"P").is_err() {
+            evicted_at = Some(start.elapsed());
+            break;
+        }
+        match s.read(&mut b) {
+            Ok(0) => {
+                evicted_at = Some(start.elapsed());
+                break;
+            }
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => {
+                evicted_at = Some(start.elapsed());
+                break;
+            }
+        }
+    }
+    let evicted_at = evicted_at.expect("trickling client was never evicted");
+    assert!(
+        evicted_at >= Duration::from_millis(400),
+        "evicted before the read deadline: {evicted_at:?}"
+    );
+    assert!(
+        evicted_at < Duration::from_secs(5),
+        "eviction took far too long: {evicted_at:?}"
+    );
+    assert!(
+        deadline_closes.get() > deadline_before,
+        "close not attributed to read_deadline"
+    );
+    assert_eq!(
+        idle_closes.get(),
+        idle_before,
+        "read-deadline close miscounted as idle_timeout"
+    );
+    server.stop();
+}
+
+/// Over-size rejection is a *readable* 413: the server answers
+/// `413 Payload Too Large` (not a generic 400), half-closes its write
+/// side, and drains the client, so the error arrives intact instead of
+/// being destroyed by an RST. Both triggers are covered: a declared
+/// Content-Length past the budget (rejected from the headers alone) and
+/// actually-buffered bytes past the budget.
+#[test]
+fn oversized_requests_get_a_readable_413_not_a_reset() {
+    let too_large = closed_counter("too_large");
+    let before = too_large.get();
+
+    let db = fresh_db();
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+    let server = Server::spawn_with(
+        portal,
+        0,
+        ServerConfig {
+            workers: 1,
+            max_request_bytes: 2048,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Write the payload, read the full error response to EOF, and drop
+    // the connection (the server finishes its drain on our EOF).
+    let send_and_read = |payload: &[u8]| -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(payload).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut resp = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => resp.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("expected a readable 413 then EOF, got {e}"),
+            }
+        }
+        String::from_utf8_lossy(&resp).into_owned()
+    };
+
+    // Declared oversize: rejected as soon as the headers arrive, before
+    // any body is transferred.
+    let resp = send_and_read(b"POST /stars HTTP/1.1\r\nHost: t\r\nContent-Length: 500000\r\n\r\n");
+    assert!(
+        resp.starts_with("HTTP/1.1 413 Payload Too Large"),
+        "{}",
+        &resp[..60.min(resp.len())]
+    );
+
+    // Buffered oversize: an unterminated header section growing past the
+    // budget.
+    let mut huge = b"GET / HTTP/1.1\r\nX-Filler: ".to_vec();
+    huge.extend_from_slice(&vec![b'a'; 4096]);
+    let resp = send_and_read(&huge);
+    assert!(
+        resp.starts_with("HTTP/1.1 413"),
+        "{}",
+        &resp[..60.min(resp.len())]
+    );
+
+    // The close is accounted when the server finishes draining the
+    // client (its EOF); give the loop a moment.
+    let wait_until = Instant::now() + Duration::from_secs(5);
+    while too_large.get() < before + 2 && Instant::now() < wait_until {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        too_large.get() >= before + 2,
+        "oversize closes not attributed to too_large"
+    );
+    server.stop();
+}
+
+/// Graceful shutdown: `Server::stop` with requests mid-handler must
+/// deliver every in-flight response completely (correct Content-Length
+/// framing, then EOF) rather than snapping the sockets.
+#[test]
+fn graceful_shutdown_drains_in_flight_responses() {
+    let db = fresh_db();
+    let admin = db.connect(roles::ROLE_ADMIN).unwrap();
+    Manager::<Star>::new(admin)
+        .create(&mut star("HD 77"))
+        .unwrap();
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+    let server = Server::spawn_with(
+        portal,
+        0,
+        ServerConfig {
+            workers: 4,
+            // Hold each request in the handler long enough that stop()
+            // provably lands while they are in flight.
+            handler_delay: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut conns: Vec<TcpStream> = (0..3).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    for c in &mut conns {
+        c.write_all(b"GET /stars HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+    }
+    // Give the loop time to dispatch all three to workers, then pull the
+    // plug while the handlers are still sleeping.
+    std::thread::sleep(Duration::from_millis(100));
+    let stopper = std::thread::spawn(move || server.stop());
+
+    for mut c in conns {
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut resp = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match c.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => resp.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("in-flight response was not drained: {e}"),
+            }
+        }
+        let text = String::from_utf8_lossy(&resp);
+        assert!(
+            text.starts_with("HTTP/1.1 200"),
+            "{}",
+            &text[..40.min(text.len())]
+        );
+        // The framing must be complete: exactly header block + declared body.
+        let header_end = resp
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("complete headers");
+        let cl: usize = text
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().unwrap())
+            })
+            .expect("Content-Length header");
+        assert_eq!(
+            resp.len(),
+            header_end + 4 + cl,
+            "response truncated or over-read at shutdown"
+        );
+    }
+    stopper.join().unwrap();
+}
+
+/// Network-level byte-split fuzz: a seeded stream of request batches is
+/// written in arbitrary fragments with arbitrary pauses (so the head,
+/// the body, even the `\r\n\r\n` terminator land across different
+/// readiness wakeups), and every request still gets exactly one
+/// complete, correctly-framed response in order.
+#[test]
+fn arbitrarily_split_request_streams_serve_complete_responses() {
+    let db = fresh_db();
+    let admin = db.connect(roles::ROLE_ADMIN).unwrap();
+    Manager::<Star>::new(admin)
+        .create(&mut star("HD 5"))
+        .unwrap();
+    let portal = Arc::new(Portal::new(&db, PortalConfig::default()).unwrap());
+    let server = Server::spawn_with(
+        portal,
+        0,
+        ServerConfig {
+            workers: 2,
+            idle_timeout: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA3);
+    for round in 0..30 {
+        let n_requests = rng.random_range(1..5usize);
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for _ in 0..n_requests {
+            match rng.random_range(0..3u8) {
+                0 => {
+                    wire.extend_from_slice(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n");
+                    expected.push(200u16);
+                }
+                1 => {
+                    wire.extend_from_slice(b"GET /stars HTTP/1.1\r\nHost: t\r\n\r\n");
+                    expected.push(200);
+                }
+                _ => {
+                    let body = vec![b'x'; rng.random_range(0..40usize)];
+                    wire.extend_from_slice(
+                        format!(
+                            "POST /nope HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+                            body.len()
+                        )
+                        .as_bytes(),
+                    );
+                    wire.extend_from_slice(&body);
+                    expected.push(404);
+                }
+            }
+        }
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut sent = 0;
+        while sent < wire.len() {
+            let n = rng.random_range(1..=(wire.len() - sent).min(23));
+            s.write_all(&wire[sent..sent + n]).unwrap();
+            sent += n;
+            if rng.random_bool(0.3) {
+                std::thread::sleep(Duration::from_millis(rng.random_range(0..3u64)));
+            }
+        }
+        let mut buf = Vec::new();
+        for (i, want) in expected.iter().enumerate() {
+            let resp = read_framed_response(&mut s, &mut buf)
+                .unwrap_or_else(|e| panic!("round {round} response {i}: {e}"));
+            let status: u16 = resp
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            assert_eq!(status, *want, "round {round} response {i}: {resp}");
+        }
+    }
+    server.stop();
+}
+
+/// Regression: `read_framed_response` used to treat an unparseable
+/// `Content-Length` as 0, silently desyncing the client's framing (the
+/// body bytes would be misread as the next pipelined response). It must
+/// fail loudly with `InvalidData` instead.
+#[test]
+fn framed_reader_rejects_unparseable_content_length() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake_server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\nhello")
+            .unwrap();
+    });
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut buf = Vec::new();
+    let err = read_framed_response(&mut stream, &mut buf)
+        .expect_err("a garbage Content-Length must not frame as zero");
+    assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+    assert!(err.to_string().contains("banana"), "{err}");
+    fake_server.join().unwrap();
 }
 
 /// A random step against the shared database / the two portals.
