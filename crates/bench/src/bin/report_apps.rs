@@ -1,0 +1,268 @@
+//! Multi-application throughput-isolation report (ISSUE 10).
+//!
+//! Two campaigns on the same simulated Kraken fleet, both driven to
+//! completion in fully deterministic simulated time:
+//!
+//! * `curvefit_only` — N curvefit direct+optimization pairs alone;
+//! * `mixed` — the same N curvefit pairs sharing the daemon fleet with
+//!   the heavyweight stellar trio (two direct runs + one GA campaign).
+//!
+//! The number under test is the **isolation ratio**: mean curvefit
+//! turnaround in the mixed fleet over curvefit-only turnaround. Because
+//! every simulation is leased independently and a daemon tick walks all
+//! owned simulations, adding a heavyweight co-tenant application must
+//! not stall the cheap one — the ratio is gated at <= 1.25.
+//!
+//! Usage:
+//!   cargo run --release -p amp-bench --bin report_apps [-- --smoke]
+//!
+//! `--smoke` shrinks the campaign so CI exercises the full binary path
+//! in seconds (gate relaxed to <= 1.5, no JSON dump). The full run
+//! writes `BENCH_apps.json` to the current directory.
+
+use std::collections::BTreeMap;
+
+use amp_core::app::curvefit::CurveParams;
+use amp_core::models::{GridJobRecord, Simulation};
+use amp_core::{roles, OptimizationSpec, SimStatus};
+use amp_grid::SimDuration;
+use amp_gridamp::{deploy_cluster, seed_curvefit_fixtures, seed_fixtures, DaemonConfig};
+use amp_simdb::orm::Manager;
+use amp_stellar::StellarParams;
+
+fn stellar_truth() -> StellarParams {
+    StellarParams {
+        mass: 1.05,
+        metallicity: 0.02,
+        helium: 0.27,
+        alpha: 2.0,
+        age: 4.0,
+    }
+}
+
+fn curve_truth() -> CurveParams {
+    CurveParams {
+        amplitude: 1.4,
+        decay: 0.25,
+        omega: 4.0,
+        phase: 0.6,
+        offset: 0.3,
+    }
+}
+
+fn cluster_config() -> DaemonConfig {
+    DaemonConfig {
+        work_walltime_hours: 6.0,
+        lease_ttl_secs: 1800,
+        poll_interval_secs: 300,
+        ..DaemonConfig::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AppStats {
+    sims_done: usize,
+    jobs: usize,
+    mean_turnaround_hours: f64,
+}
+
+#[derive(Debug)]
+struct CampaignReport {
+    makespan_hours: f64,
+    per_app: BTreeMap<String, AppStats>,
+}
+
+/// Run one campaign to completion on `n_daemons` and report per-app
+/// simulated-time statistics. Everything is seeded: two invocations with
+/// the same arguments produce identical numbers.
+fn run_campaign(
+    n_daemons: usize,
+    n_curvefit: usize,
+    with_stellar: bool,
+    seed: u64,
+) -> CampaignReport {
+    let mut cluster =
+        deploy_cluster(amp_grid::systems::kraken(), cluster_config(), n_daemons).expect("cluster");
+    let (user, star, alloc, obs) =
+        seed_fixtures(&cluster.db, "kraken", &stellar_truth(), seed).expect("fixtures");
+    let web = cluster.db.connect(roles::ROLE_WEB).expect("web");
+    let sims = Manager::<Simulation>::new(web);
+
+    if with_stellar {
+        let mut d1 =
+            Simulation::new_direct(star, user, StellarParams::benchmark(), "kraken", alloc, 0);
+        sims.create(&mut d1).expect("stellar direct");
+        let mut d2 = Simulation::new_direct(star, user, stellar_truth(), "kraken", alloc, 0);
+        sims.create(&mut d2).expect("stellar direct");
+        let spec = OptimizationSpec {
+            ga_runs: 2,
+            population: 20,
+            generations: 30,
+            cores_per_run: 128,
+            seed: seed.wrapping_add(5),
+        };
+        let mut opt = Simulation::new_optimization(star, user, spec, obs, "kraken", alloc, 0);
+        sims.create(&mut opt).expect("stellar optimization");
+    }
+
+    for i in 0..n_curvefit {
+        let fixture_seed = seed.wrapping_add(100 + i as u64);
+        let (cf_star, cf_obs) =
+            seed_curvefit_fixtures(&cluster.db, user, &curve_truth(), fixture_seed)
+                .expect("curvefit fixtures");
+        let params = serde_json::json!({
+            "amplitude": 1.4, "decay": 0.25, "omega": 4.0, "phase": 0.6, "offset": 0.3
+        });
+        let mut cd = Simulation::direct_for("curvefit", cf_star, user, params, "kraken", alloc, 0);
+        sims.create(&mut cd).expect("curvefit direct");
+        let spec = OptimizationSpec {
+            ga_runs: 2,
+            population: 24,
+            generations: 40,
+            cores_per_run: 16,
+            seed: fixture_seed.wrapping_add(11),
+        };
+        let mut copt = Simulation::optimization_for(
+            "curvefit", cf_star, user, spec, cf_obs, "kraken", alloc, 0,
+        );
+        sims.create(&mut copt).expect("curvefit optimization");
+    }
+
+    // Fault-free round-robin: every daemon ticks, then simulated time
+    // advances one poll interval.
+    let admin = cluster.db.connect(roles::ROLE_ADMIN).expect("admin");
+    let sims_ro = Manager::<Simulation>::new(admin.clone());
+    let mut settled = false;
+    for _ in 0..20_000 {
+        for d in cluster.daemons.iter_mut() {
+            d.tick(&cluster.grid);
+        }
+        let rows = sims_ro.all().expect("sims");
+        if rows.iter().all(|s| s.status == SimStatus::Done) {
+            settled = true;
+            break;
+        }
+        cluster.grid.advance(SimDuration::from_secs(300));
+    }
+    assert!(settled, "campaign did not settle");
+
+    // Per-app stats in simulated hours.
+    let mut per_app: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    let mut makespan = 0i64;
+    for s in sims_ro.all().expect("sims") {
+        let done_at = s.completed_at.expect("completed");
+        makespan = makespan.max(done_at);
+        let turnaround = (done_at - s.created_at) as f64 / 3600.0;
+        let e = per_app.entry(s.app.clone()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += turnaround;
+    }
+    let mut jobs: BTreeMap<String, usize> = BTreeMap::new();
+    for j in Manager::<GridJobRecord>::new(admin).all().expect("jobs") {
+        *jobs.entry(j.app.clone()).or_insert(0) += 1;
+    }
+    CampaignReport {
+        makespan_hours: makespan as f64 / 3600.0,
+        per_app: per_app
+            .into_iter()
+            .map(|(app, (n, total))| {
+                let stats = AppStats {
+                    sims_done: n,
+                    jobs: jobs.get(&app).copied().unwrap_or(0),
+                    mean_turnaround_hours: total / n as f64,
+                };
+                (app, stats)
+            })
+            .collect(),
+    }
+}
+
+fn print_report(name: &str, r: &CampaignReport) {
+    println!("{name}: makespan {:.1} simulated hours", r.makespan_hours);
+    for (app, s) in &r.per_app {
+        println!(
+            "  {app:<10} {} sims done, {} jobs, mean turnaround {:.2} h",
+            s.sims_done, s.jobs, s.mean_turnaround_hours
+        );
+    }
+}
+
+fn json_app(r: &CampaignReport) -> String {
+    r.per_app
+        .iter()
+        .map(|(app, s)| {
+            format!(
+                "        \"{app}\": {{ \"sims_done\": {}, \"jobs\": {}, \
+                 \"mean_turnaround_hours\": {:.2} }}",
+                s.sims_done, s.jobs, s.mean_turnaround_hours
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+        + "\n"
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_daemons, n_curvefit) = if smoke { (2, 2) } else { (4, 6) };
+    let gate = if smoke { 1.5 } else { 1.25 };
+    println!(
+        "== multi-application throughput isolation ({n_daemons} daemons, \
+         {n_curvefit} curvefit pairs{}) ==\n",
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let baseline = run_campaign(n_daemons, n_curvefit, false, 1);
+    print_report("curvefit_only", &baseline);
+    let mixed = run_campaign(n_daemons, n_curvefit, true, 1);
+    print_report("mixed", &mixed);
+
+    let t_base = baseline.per_app["curvefit"].mean_turnaround_hours;
+    let t_mixed = mixed.per_app["curvefit"].mean_turnaround_hours;
+    let ratio = t_mixed / t_base;
+    println!("\ncurvefit turnaround, mixed vs alone: {ratio:.3}x  [acceptance: <= {gate}]");
+    assert!(
+        mixed.per_app.contains_key("stellar"),
+        "mixed campaign ran no stellar work"
+    );
+
+    if !smoke {
+        let json = format!(
+            r#"{{
+  "bench": "app_isolation",
+  "recorded": "2026-08-09",
+  "command": "cargo run --release -p amp-bench --bin report_apps",
+  "machine": "simulated Kraken fleet; all numbers are deterministic simulated time, not wall clock",
+  "notes": "Two seeded campaigns on a {n_daemons}-daemon fleet: {n_curvefit} curvefit direct+optimization pairs alone, then the same pairs sharing the fleet with the stellar trio (two direct runs + one 2x20x30 GA campaign). Each simulation is leased independently and a daemon tick walks every owned simulation, so the cheap application's turnaround must not degrade when the heavyweight one co-tenants the fleet. isolation_ratio is mixed-fleet mean curvefit turnaround over curvefit-only turnaround.",
+  "results": {{
+    "curvefit_only": {{
+      "makespan_hours": {:.1},
+      "apps": {{
+{}      }}
+    }},
+    "mixed": {{
+      "makespan_hours": {:.1},
+      "apps": {{
+{}      }}
+    }},
+    "isolation_ratio": {ratio:.3},
+    "acceptance": "isolation_ratio <= {gate}"
+  }}
+}}
+"#,
+            baseline.makespan_hours,
+            json_app(&baseline),
+            mixed.makespan_hours,
+            json_app(&mixed),
+        );
+        std::fs::write("BENCH_apps.json", json).expect("write BENCH_apps.json");
+        println!("wrote BENCH_apps.json");
+    }
+
+    assert!(
+        ratio <= gate,
+        "curvefit turnaround degraded {ratio:.3}x when sharing the fleet with stellar \
+         (acceptance <= {gate}): per-application throughput isolation regressed"
+    );
+    println!("OK: per-application throughput isolation holds ({ratio:.3}x <= {gate})");
+}

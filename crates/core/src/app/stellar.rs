@@ -1,0 +1,285 @@
+//! The asteroseismology pipeline (the paper's AMP) as a [`ScienceApp`].
+//!
+//! This is a pure re-packaging: every artifact this implementation emits —
+//! staged parameter files, `output.json` model artifacts, `final.json`
+//! converged-run summaries, failure detail strings, simulated costs — is
+//! byte-identical to the pre-refactor hardwired pipeline (locked by the
+//! golden campaign fixture in `tests/app_equivalence.rs`).
+
+use serde::{Deserialize, Serialize};
+
+use super::{FitnessFn, ModelFailure, ModelRun, ParamSpec, ResourceTemplate, ScienceApp};
+use crate::marshal;
+use crate::models::simulation::{OptimizationSpec, SimKind};
+use amp_stellar::{
+    cost_minutes, evolve, fitness, iteration_minutes, Domain, ModelOutput, ObservedStar,
+    StellarParams,
+};
+
+/// Result summary a converged GA run leaves behind (`final.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaRunResult {
+    pub best_params: StellarParams,
+    pub best_fitness: f64,
+    pub generations: u32,
+}
+
+/// Fit five stellar parameters to pulsation-frequency observations.
+pub struct StellarApp {
+    domain: Domain,
+    schema: Vec<ParamSpec>,
+}
+
+impl StellarApp {
+    pub fn new() -> Self {
+        let domain = Domain::default();
+        let schema = vec![
+            ParamSpec {
+                name: "mass",
+                label: "Mass",
+                unit: "M☉",
+                lo: domain.mass.lo,
+                hi: domain.mass.hi,
+                default: 1.0,
+            },
+            ParamSpec {
+                name: "metallicity",
+                label: "Metallicity Z",
+                unit: "",
+                lo: domain.metallicity.lo,
+                hi: domain.metallicity.hi,
+                default: 0.018,
+            },
+            ParamSpec {
+                name: "helium",
+                label: "Helium Y",
+                unit: "",
+                lo: domain.helium.lo,
+                hi: domain.helium.hi,
+                default: 0.27,
+            },
+            ParamSpec {
+                name: "alpha",
+                label: "Mixing length α",
+                unit: "",
+                lo: domain.alpha.lo,
+                hi: domain.alpha.hi,
+                default: 1.9,
+            },
+            ParamSpec {
+                name: "age",
+                label: "Age",
+                unit: "Gyr",
+                lo: domain.age.lo,
+                hi: domain.age.hi,
+                default: 4.6,
+            },
+        ];
+        StellarApp { domain, schema }
+    }
+
+    fn typed(&self, params: &serde_json::Value) -> Result<StellarParams, String> {
+        serde_json::from_value(params.clone()).map_err(|e| e.to_string())
+    }
+
+    fn summary_rows(m: &ModelOutput) -> Vec<(String, String)> {
+        vec![
+            ("T<sub>eff</sub>".into(), format!("{:.0} K", m.teff)),
+            ("L".into(), format!("{:.3} L☉", m.luminosity)),
+            ("R".into(), format!("{:.3} R☉", m.radius)),
+            ("log g".into(), format!("{:.3}", m.log_g)),
+            ("Δν".into(), format!("{:.2} µHz", m.delta_nu)),
+            ("ν<sub>max</sub>".into(), format!("{:.0} µHz", m.nu_max)),
+            ("mass".into(), format!("{:.3} M☉", m.params.mass)),
+            ("age".into(), format!("{:.2} Gyr", m.params.age)),
+        ]
+    }
+}
+
+impl Default for StellarApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScienceApp for StellarApp {
+    fn id(&self) -> &'static str {
+        "stellar"
+    }
+
+    fn title(&self) -> &'static str {
+        "Asteroseismic Modeling"
+    }
+
+    fn description(&self) -> &'static str {
+        "Derive the properties of Sun-like stars from observations of \
+         their pulsation frequencies: direct ASTEC forward models, or a \
+         parallel genetic algorithm fitting mass, metallicity, helium, \
+         mixing length, and age."
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        &self.schema
+    }
+
+    fn model_input(&self, params: &serde_json::Value) -> Result<String, String> {
+        Ok(marshal::generate_params_file(&self.typed(params)?))
+    }
+
+    fn run_model(&self, input: &str, benchmark_minutes: f64) -> Result<ModelRun, ModelFailure> {
+        let params = marshal::parse_params_file(input).map_err(|e| ModelFailure {
+            cost_minutes: 0.01,
+            detail: format!("bad input: {e}"),
+        })?;
+        let cost = cost_minutes(&params, benchmark_minutes);
+        match evolve(&params, &self.domain) {
+            Ok(output) => Ok(ModelRun {
+                output: serde_json::to_vec(&output).expect("model output serializes"),
+                cost_minutes: cost,
+                log: format!("converged; cost {cost:.2} min"),
+            }),
+            Err(e) => Err(ModelFailure {
+                cost_minutes: cost * 0.3,
+                detail: format!("model failure: {e}"),
+            }),
+        }
+    }
+
+    fn check_model_output(&self, bytes: &[u8]) -> Result<(), String> {
+        serde_json::from_slice::<ModelOutput>(bytes)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn observation_input(&self, data_json: &str) -> Result<String, String> {
+        let observed: ObservedStar = serde_json::from_str(data_json).map_err(|e| e.to_string())?;
+        Ok(marshal::generate_observation_file(&observed))
+    }
+
+    fn fitness_fn(&self, observations: &str) -> Result<FitnessFn, String> {
+        let observed = marshal::parse_observation_file(observations)
+            .map_err(|e| format!("bad observations: {e}"))?;
+        let domain = self.domain;
+        Ok(Box::new(move |phenotype: &[f64]| {
+            match domain.decode(phenotype) {
+                Ok(params) => fitness(&observed, &params, &domain),
+                Err(_) => 0.0,
+            }
+        }))
+    }
+
+    fn generation_minutes(&self, phenotypes: &[Vec<f64>], benchmark_minutes: f64) -> f64 {
+        let params: Vec<StellarParams> = phenotypes
+            .iter()
+            .map(|p| self.domain.decode(p).expect("5-gene phenotype"))
+            .collect();
+        iteration_minutes(params.iter(), benchmark_minutes)
+    }
+
+    fn final_artifact(&self, phenotype: &[f64], fitness: f64, generations: u32) -> Vec<u8> {
+        let result = GaRunResult {
+            best_params: self.domain.decode(phenotype).expect("5-gene phenotype"),
+            best_fitness: fitness,
+            generations,
+        };
+        serde_json::to_vec(&result).expect("result serializes")
+    }
+
+    fn final_fitness(&self, bytes: &[u8]) -> Result<f64, String> {
+        let result: GaRunResult = serde_json::from_slice(bytes).map_err(|e| e.to_string())?;
+        Ok(result.best_fitness)
+    }
+
+    fn solution_input(&self, final_bytes: &[u8]) -> Result<String, String> {
+        let result: GaRunResult = serde_json::from_slice(final_bytes).map_err(|e| e.to_string())?;
+        Ok(marshal::generate_params_file(&result.best_params))
+    }
+
+    fn result_summary(
+        &self,
+        kind: SimKind,
+        result_json: &str,
+    ) -> Option<(String, Vec<(String, String)>)> {
+        match kind {
+            SimKind::Direct => {
+                let m: ModelOutput = serde_json::from_str(result_json).ok()?;
+                Some(("Model output".to_string(), Self::summary_rows(&m)))
+            }
+            SimKind::Optimization => {
+                let v: serde_json::Value = serde_json::from_str(result_json).ok()?;
+                let detail: ModelOutput = serde_json::from_value(v.get("detail")?.clone()).ok()?;
+                let fitness = v
+                    .get("best")
+                    .and_then(|b| b.get("best_fitness"))
+                    .and_then(|f| f.as_f64())
+                    .unwrap_or(0.0);
+                let n_runs = v
+                    .get("runs")
+                    .and_then(|r| r.as_array())
+                    .map(|a| a.len())
+                    .unwrap_or(0);
+                Some((
+                    format!("Optimal model (fitness {fitness:.4}, best of {n_runs} GA runs)"),
+                    Self::summary_rows(&detail),
+                ))
+            }
+        }
+    }
+
+    fn resources(&self) -> ResourceTemplate {
+        ResourceTemplate {
+            model_cores: 1,
+            default_spec: OptimizationSpec::default(),
+        }
+    }
+
+    // The legacy executable paths: ASTEC and MPIKAIA were installed before
+    // the registry existed, and redeploying remote stacks is not free.
+    fn model_path(&self) -> String {
+        "/amp/bin/astec".to_string()
+    }
+
+    fn ga_path(&self) -> String {
+        "/amp/bin/mpikaia".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_input_round_trips_typed_params() {
+        let app = StellarApp::new();
+        let params = serde_json::to_value(&StellarParams::benchmark());
+        let text = app.model_input(&params).unwrap();
+        assert_eq!(
+            marshal::parse_params_file(&text).unwrap(),
+            StellarParams::benchmark()
+        );
+    }
+
+    #[test]
+    fn run_model_matches_legacy_failure_strings() {
+        let app = StellarApp::new();
+        let err = app.run_model("garbage", 20.0).unwrap_err();
+        assert!(err.detail.starts_with("bad input:"), "{}", err.detail);
+        assert_eq!(err.cost_minutes, 0.01);
+
+        let mut p = StellarParams::benchmark();
+        p.mass = 5.0; // out of domain: evolve refuses
+        let input = marshal::generate_params_file(&p);
+        let err = app.run_model(&input, 20.0).unwrap_err();
+        assert!(err.detail.starts_with("model failure:"), "{}", err.detail);
+    }
+
+    #[test]
+    fn final_artifact_round_trips() {
+        let app = StellarApp::new();
+        let bytes = app.final_artifact(&[0.5; 5], 0.25, 30);
+        assert_eq!(app.final_fitness(&bytes).unwrap(), 0.25);
+        let staged = app.solution_input(&bytes).unwrap();
+        let params = marshal::parse_params_file(&staged).unwrap();
+        assert!(Domain::default().contains(&params));
+    }
+}

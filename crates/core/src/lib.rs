@@ -9,15 +9,18 @@
 //! * [`models`] — users, stars, observations, simulations, grid jobs,
 //!   allocations, authorizations, notifications;
 //! * [`status`] — the Listing-1 workflow state vocabulary;
+//! * [`app`] — the `ScienceApp` trait and built-in application registry;
 //! * [`marshal`] — rigid input/parameter file generation and parsing;
 //! * [`roles`] — the `web` / `daemon` / `admin` permission matrix;
 //! * [`setup`] — database bootstrap (migrate all models, define roles).
 
+pub mod app;
 pub mod marshal;
 pub mod models;
 pub mod roles;
 pub mod status;
 
+pub use app::{FitnessFn, ModelFailure, ModelRun, ParamSpec, ResourceTemplate, ScienceApp};
 pub use marshal::{
     generate_observation_file, generate_params_file, parse_observation_file, parse_params_file,
     MarshalError,
@@ -126,7 +129,15 @@ mod tests {
 
         // daemon records a grid job
         let jobs = Manager::<GridJobRecord>::new(daemon.clone());
-        let mut j = GridJobRecord::new(picked.id.unwrap(), -1, JobPurpose::PreJob, 0, "kraken", 0);
+        let mut j = GridJobRecord::new(
+            picked.id.unwrap(),
+            -1,
+            JobPurpose::PreJob,
+            0,
+            "kraken",
+            0,
+            "stellar",
+        );
         jobs.create(&mut j).unwrap();
 
         // the portal can read job progress but not write it

@@ -22,6 +22,9 @@ pub struct GridJobRecord {
     pub purpose: JobPurpose,
     /// 0-based continuation index within a GA run's job chain.
     pub continuation: i64,
+    /// Owning science application (registry id). Part of the idempotent
+    /// GRAM submit key so two apps' jobs can never collide.
+    pub app: String,
     /// GRAM contact string once submitted.
     pub gram_handle: Option<String>,
     pub site: String,
@@ -36,6 +39,7 @@ pub struct GridJobRecord {
 }
 
 impl GridJobRecord {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         simulation_id: i64,
         ga_run: i64,
@@ -43,6 +47,7 @@ impl GridJobRecord {
         continuation: i64,
         site: &str,
         cores: i64,
+        app: &str,
     ) -> Self {
         GridJobRecord {
             id: None,
@@ -50,6 +55,7 @@ impl GridJobRecord {
             ga_run,
             purpose,
             continuation,
+            app: app.to_string(),
             gram_handle: None,
             site: site.to_string(),
             status: JobStatus::Unsubmitted,
@@ -94,6 +100,10 @@ impl Model for GridJobRecord {
                 Column::new("continuation", ValueType::Int)
                     .not_null()
                     .default(0),
+                Column::new("app", ValueType::Text)
+                    .not_null()
+                    .default("stellar")
+                    .indexed(),
                 Column::new("gram_handle", ValueType::Text).max_length(200),
                 Column::new("site", ValueType::Text)
                     .not_null()
@@ -119,6 +129,7 @@ impl Model for GridJobRecord {
                 .parse()
                 .map_err(DbError::Schema)?,
             continuation: get_int::<Self>(row, "continuation")?,
+            app: get_text::<Self>(row, "app")?,
             gram_handle: super::get_opt_text::<Self>(row, "gram_handle")?,
             site: get_text::<Self>(row, "site")?,
             status: get_text::<Self>(row, "status")?
@@ -138,6 +149,7 @@ impl Model for GridJobRecord {
             ("ga_run", self.ga_run.into()),
             ("purpose", self.purpose.as_str().into()),
             ("continuation", self.continuation.into()),
+            ("app", self.app.clone().into()),
             ("gram_handle", self.gram_handle.clone().into()),
             ("site", self.site.clone().into()),
             ("status", self.status.as_str().into()),
@@ -164,9 +176,10 @@ mod tests {
 
     #[test]
     fn new_record_defaults() {
-        let j = GridJobRecord::new(1, 0, JobPurpose::Work, 2, "kraken", 128);
+        let j = GridJobRecord::new(1, 0, JobPurpose::Work, 2, "kraken", 128, "stellar");
         assert_eq!(j.status, JobStatus::Unsubmitted);
         assert_eq!(j.continuation, 2);
+        assert_eq!(j.app, "stellar");
         assert!(j.gram_handle.is_none());
         assert_eq!(j.wait_secs(), None);
         assert_eq!(j.run_secs(), None);
@@ -174,7 +187,7 @@ mod tests {
 
     #[test]
     fn timing_accessors() {
-        let mut j = GridJobRecord::new(1, -1, JobPurpose::PreJob, 0, "kraken", 0);
+        let mut j = GridJobRecord::new(1, -1, JobPurpose::PreJob, 0, "kraken", 0, "stellar");
         j.submitted_at = Some(100);
         j.started_at = Some(400);
         j.ended_at = Some(1000);

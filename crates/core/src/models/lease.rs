@@ -20,6 +20,9 @@ pub struct Lease {
     pub simulation_id: i64,
     /// Identity of the holding daemon process.
     pub daemon_id: String,
+    /// Science application of the leased simulation — keeps lease keys
+    /// app-qualified so per-app ownership is observable from the row alone.
+    pub app: String,
     /// Fencing token: starts at 1, bumped by every expiry takeover. A
     /// writer whose epoch no longer matches the row must not submit.
     pub epoch: i64,
@@ -29,11 +32,18 @@ pub struct Lease {
 }
 
 impl Lease {
-    pub fn new(simulation_id: i64, daemon_id: &str, epoch: i64, expires_at: i64) -> Self {
+    pub fn new(
+        simulation_id: i64,
+        daemon_id: &str,
+        app: &str,
+        epoch: i64,
+        expires_at: i64,
+    ) -> Self {
         Lease {
             id: None,
             simulation_id,
             daemon_id: daemon_id.to_string(),
+            app: app.to_string(),
             epoch,
             expires_at,
         }
@@ -60,6 +70,9 @@ impl Model for Lease {
                     .not_null()
                     .max_length(64)
                     .indexed(),
+                Column::new("app", ValueType::Text)
+                    .not_null()
+                    .default("stellar"),
                 Column::new("epoch", ValueType::Int).not_null().default(1),
                 Column::new("expires_at", ValueType::Timestamp).not_null(),
             ],
@@ -71,6 +84,7 @@ impl Model for Lease {
             id: Some(id),
             simulation_id: get_int::<Self>(row, "simulation_id")?,
             daemon_id: get_text::<Self>(row, "daemon_id")?,
+            app: get_text::<Self>(row, "app")?,
             epoch: get_int::<Self>(row, "epoch")?,
             expires_at: get_opt_ts::<Self>(row, "expires_at")?.unwrap_or_default(),
         })
@@ -80,6 +94,7 @@ impl Model for Lease {
         vec![
             ("simulation_id", self.simulation_id.into()),
             ("daemon_id", self.daemon_id.clone().into()),
+            ("app", self.app.clone().into()),
             ("epoch", self.epoch.into()),
             ("expires_at", Value::Timestamp(self.expires_at)),
         ]
@@ -100,7 +115,7 @@ mod tests {
 
     #[test]
     fn validity_boundary_is_exclusive() {
-        let l = Lease::new(1, "d0", 1, 1000);
+        let l = Lease::new(1, "d0", "stellar", 1, 1000);
         assert!(l.valid_at(999));
         assert!(!l.valid_at(1000));
         assert!(!l.valid_at(2000));
@@ -108,12 +123,13 @@ mod tests {
 
     #[test]
     fn round_trips_through_row() {
-        let l = Lease::new(7, "gridamp-3", 4, 86_400);
+        let l = Lease::new(7, "gridamp-3", "curvefit", 4, 86_400);
         let row: Row = l.to_values().into_iter().map(|(_, v)| v).collect();
         let back = Lease::from_row(42, &row).unwrap();
         assert_eq!(back.id, Some(42));
         assert_eq!(back.simulation_id, 7);
         assert_eq!(back.daemon_id, "gridamp-3");
+        assert_eq!(back.app, "curvefit");
         assert_eq!(back.epoch, 4);
         assert_eq!(back.expires_at, 86_400);
     }

@@ -75,11 +75,14 @@ impl OptimizationSpec {
     }
 }
 
-/// The typed payload stored in `params_json`.
+/// The typed payload stored in `params_json`. Direct parameters are an
+/// application-defined JSON object (validated against the owning
+/// [`crate::app::ScienceApp`] schema); for the stellar application the
+/// object is exactly the legacy `StellarParams` serialization.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SimPayload {
     Direct {
-        params: StellarParams,
+        params: serde_json::Value,
     },
     Optimization {
         spec: OptimizationSpec,
@@ -94,6 +97,8 @@ pub struct Simulation {
     pub star_id: i64,
     pub owner_id: i64,
     pub kind: SimKind,
+    /// Which science application this simulation belongs to (registry id).
+    pub app: String,
     pub payload_json: String,
     pub status: SimStatus,
     /// Plain-text situation note shown with the status (§4.4: transients
@@ -117,10 +122,13 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    pub fn new_direct(
+    /// A direct run for an arbitrary registered application; `params` must
+    /// satisfy that application's schema.
+    pub fn direct_for(
+        app: &str,
         star_id: i64,
         owner_id: i64,
-        params: StellarParams,
+        params: serde_json::Value,
         system: &str,
         allocation_id: i64,
         at: i64,
@@ -130,6 +138,7 @@ impl Simulation {
             star_id,
             owner_id,
             kind: SimKind::Direct,
+            app: app.to_string(),
             payload_json: serde_json::to_string(&SimPayload::Direct { params })
                 .expect("payload serializes"),
             status: SimStatus::Queued,
@@ -145,7 +154,10 @@ impl Simulation {
         }
     }
 
-    pub fn new_optimization(
+    /// An optimization run for an arbitrary registered application.
+    #[allow(clippy::too_many_arguments)]
+    pub fn optimization_for(
+        app: &str,
         star_id: i64,
         owner_id: i64,
         spec: OptimizationSpec,
@@ -159,6 +171,7 @@ impl Simulation {
             star_id,
             owner_id,
             kind: SimKind::Optimization,
+            app: app.to_string(),
             payload_json: serde_json::to_string(&SimPayload::Optimization {
                 spec,
                 observation_id,
@@ -175,6 +188,48 @@ impl Simulation {
             result_json: None,
             held_from: None,
         }
+    }
+
+    /// A stellar direct run (the original single-application API).
+    pub fn new_direct(
+        star_id: i64,
+        owner_id: i64,
+        params: StellarParams,
+        system: &str,
+        allocation_id: i64,
+        at: i64,
+    ) -> Self {
+        Self::direct_for(
+            "stellar",
+            star_id,
+            owner_id,
+            serde_json::to_value(&params),
+            system,
+            allocation_id,
+            at,
+        )
+    }
+
+    /// A stellar optimization run (the original single-application API).
+    pub fn new_optimization(
+        star_id: i64,
+        owner_id: i64,
+        spec: OptimizationSpec,
+        observation_id: i64,
+        system: &str,
+        allocation_id: i64,
+        at: i64,
+    ) -> Self {
+        Self::optimization_for(
+            "stellar",
+            star_id,
+            owner_id,
+            spec,
+            observation_id,
+            system,
+            allocation_id,
+            at,
+        )
     }
 
     pub fn payload(&self) -> Result<SimPayload, DbError> {
@@ -199,6 +254,10 @@ impl Model for Simulation {
                     .references("amp_user", OnDelete::Restrict)
                     .indexed(),
                 Column::new("kind", ValueType::Text).not_null(),
+                Column::new("app", ValueType::Text)
+                    .not_null()
+                    .default("stellar")
+                    .indexed(),
                 Column::new("payload_json", ValueType::Text).not_null(),
                 Column::new("status", ValueType::Text).not_null().indexed(),
                 Column::new("status_message", ValueType::Text)
@@ -230,6 +289,7 @@ impl Model for Simulation {
             kind: get_text::<Self>(row, "kind")?
                 .parse()
                 .map_err(DbError::Schema)?,
+            app: get_text::<Self>(row, "app")?,
             payload_json: get_text::<Self>(row, "payload_json")?,
             status: get_text::<Self>(row, "status")?
                 .parse()
@@ -251,6 +311,7 @@ impl Model for Simulation {
             ("star_id", self.star_id.into()),
             ("owner_id", self.owner_id.into()),
             ("kind", self.kind.as_str().into()),
+            ("app", self.app.clone().into()),
             ("payload_json", self.payload_json.clone().into()),
             ("status", self.status.as_str().into()),
             ("status_message", self.status_message.clone().into()),
@@ -299,8 +360,11 @@ mod tests {
     #[test]
     fn payload_roundtrip() {
         let sim = Simulation::new_direct(1, 1, StellarParams::benchmark(), "kraken", 1, 0);
+        assert_eq!(sim.app, "stellar");
         match sim.payload().unwrap() {
-            SimPayload::Direct { params } => assert_eq!(params, StellarParams::benchmark()),
+            SimPayload::Direct { params } => {
+                assert_eq!(params, serde_json::to_value(&StellarParams::benchmark()))
+            }
             _ => panic!(),
         }
         let sim =

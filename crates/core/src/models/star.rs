@@ -122,12 +122,19 @@ impl Model for Star {
 /// stored as the canonical serialized form that the marshaling layer
 /// regenerates input files from (§3: "the input files are regenerated from
 /// the database").
+///
+/// The payload is application-defined: stellar simulations store a
+/// serialized `ObservedStar`, other science applications store whatever
+/// their [`ScienceApp::observation_input`] hook expects.
+///
+/// [`ScienceApp::observation_input`]: crate::app::ScienceApp::observation_input
 #[derive(Debug, Clone, PartialEq)]
 pub struct Observation {
     pub id: Option<i64>,
     pub star_id: i64,
     pub uploaded_by: i64,
-    /// Serialized [`ObservedStar`].
+    /// Application-defined serialized observation set (for stellar, an
+    /// `ObservedStar`).
     pub data_json: String,
     pub created_at: i64,
 }
@@ -139,6 +146,23 @@ impl Observation {
             star_id,
             uploaded_by,
             data_json: serde_json::to_string(obs).expect("observed star serializes"),
+            created_at: at,
+        }
+    }
+
+    /// An observation set with an already-serialized, application-defined
+    /// payload (the multi-application upload path).
+    pub fn from_data_json(
+        star_id: i64,
+        uploaded_by: i64,
+        data_json: impl Into<String>,
+        at: i64,
+    ) -> Self {
+        Observation {
+            id: None,
+            star_id,
+            uploaded_by,
+            data_json: data_json.into(),
             created_at: at,
         }
     }

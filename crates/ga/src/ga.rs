@@ -22,17 +22,18 @@ use crate::problem::Problem;
 
 /// Fitness-evaluation accounting: fresh evaluations vs individuals whose
 /// cached fitness (elites, checkpoint restores) let us skip the model run.
+/// Labeled per science application so /metrics can attribute GA work.
 struct GaMetrics {
     evals: amp_obs::Counter,
     cached_skips: amp_obs::Counter,
 }
 
-fn obs_metrics() -> &'static GaMetrics {
-    static METRICS: std::sync::OnceLock<GaMetrics> = std::sync::OnceLock::new();
-    METRICS.get_or_init(|| GaMetrics {
-        evals: amp_obs::counter("ga_evals_total"),
-        cached_skips: amp_obs::counter("ga_cached_skips_total"),
-    })
+fn obs_metrics(app: &str) -> GaMetrics {
+    let labels = [("app", app)];
+    GaMetrics {
+        evals: amp_obs::counter(&amp_obs::labeled("ga_evals_total", &labels)),
+        cached_skips: amp_obs::counter(&amp_obs::labeled("ga_cached_skips_total", &labels)),
+    }
 }
 
 /// Engine configuration. Defaults reproduce the paper's Kepler setup.
@@ -186,7 +187,7 @@ impl<'p, P: Problem> Ga<'p, P> {
     /// re-evaluating them was pure waste.
     fn evaluate_all(&mut self) {
         let problem = self.problem;
-        let m = obs_metrics();
+        let m = obs_metrics(problem.app_label());
         self.population.par_iter_mut().for_each(|ind| {
             if ind.evaluated {
                 m.cached_skips.inc();

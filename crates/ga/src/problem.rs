@@ -10,6 +10,12 @@ pub trait Problem: Sync {
     /// Fitness of a phenotype; larger is better. Must be pure (the engine
     /// re-evaluates freely and in parallel).
     fn fitness(&self, phenotype: &[f64]) -> f64;
+
+    /// Science-application label attributed to this problem's work in the
+    /// engine's metrics (`ga_evals_total{app=...}` and friends).
+    fn app_label(&self) -> &'static str {
+        "default"
+    }
 }
 
 /// Sphere test function: maximum 1.0 at `target`.

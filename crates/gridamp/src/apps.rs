@@ -5,17 +5,27 @@
 //! through the scheduler (staging in the input text file and staging out
 //! its restart progress file), a fork post-job script consolidating output
 //! with tar, and a fork cleanup script removing the environment. Plus the
-//! two model executables: ASTEC (direct/solution runs) and MPIKAIA (GA).
+//! two model executables per science application: the forward model
+//! (direct/solution runs) and the GA driver. The wrappers here are
+//! app-generic — all science-specific behavior is delegated through the
+//! [`ScienceApp`] trait, so installing a new application is one registry
+//! entry, not a new pair of executables.
 
-use amp_core::marshal;
+use std::sync::Arc;
+
+use amp_core::app::{self, ScienceApp};
 use amp_ga::{Checkpoint, Ga, GaConfig};
 use amp_grid::{AppContext, AppRun, Application, SiteFs};
-use amp_stellar::{cost_minutes, evolve, iteration_minutes, Domain, StellarParams};
-use serde::{Deserialize, Serialize};
 
-use crate::problem::StellarFitProblem;
+use crate::problem::AppProblem;
 
-/// Remote executable paths, as a real deployment would install them.
+// The stellar `final.json` artifact, re-exported from its new home so
+// existing callers keep compiling.
+pub use amp_core::app::stellar::GaRunResult;
+
+/// Remote executable paths, as a real deployment would install them. The
+/// stellar executables keep their pre-registry locations; other apps live
+/// under `/amp/bin/<app>/{model,ga}` (see [`ScienceApp::model_path`]).
 pub mod paths {
     pub const PREJOB: &str = "/amp/bin/prejob.sh";
     pub const ASTEC: &str = "/amp/bin/astec";
@@ -30,7 +40,7 @@ pub mod files {
     pub const ENV_MARKER: &str = "ENVIRONMENT";
     /// Static physics tables the pre-job stage prepopulates.
     pub const STATIC_INPUT: &str = "static/opacity_tables.dat";
-    /// Direct/solution run input (five parameters).
+    /// Direct/solution run input.
     pub const PARAMS_IN: &str = "input.params";
     /// Direct/solution run output.
     pub const MODEL_OUT: &str = "output.json";
@@ -44,14 +54,6 @@ pub mod files {
     pub const FINAL: &str = "final.json";
     /// Consolidated output bundle from the post-job stage.
     pub const RESULTS_TAR: &str = "results.tar";
-}
-
-/// Result summary a converged GA run leaves behind.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct GaRunResult {
-    pub best_params: StellarParams,
-    pub best_fitness: f64,
-    pub generations: u32,
 }
 
 /// Pre-job fork script: builds the runtime tree (§4.3 "creates a new empty
@@ -70,58 +72,61 @@ impl Application for PreJobScript {
     }
 }
 
-/// The forward model executable (direct runs and solution evaluation).
-pub struct AstecApp;
+/// The forward-model executable of one science application (direct runs
+/// and solution evaluation). For stellar this is ASTEC.
+pub struct ModelApp {
+    app: Arc<dyn ScienceApp>,
+}
 
-impl Application for AstecApp {
+impl ModelApp {
+    pub fn new(app: Arc<dyn ScienceApp>) -> Self {
+        ModelApp { app }
+    }
+}
+
+impl Application for ModelApp {
     fn run(&self, ctx: &AppContext<'_>) -> AppRun {
         let Some(input) = ctx.read_input(files::PARAMS_IN) else {
             return AppRun::failed(0.01, "missing input.params");
         };
         let text = String::from_utf8_lossy(&input);
-        let params = match marshal::parse_params_file(&text) {
-            Ok(p) => p,
-            Err(e) => return AppRun::failed(0.01, &format!("bad input: {e}")),
-        };
-        let domain = Domain::default();
-        let cost = cost_minutes(&params, ctx.profile.model_benchmark_minutes);
-        match evolve(&params, &domain) {
-            Ok(output) => {
-                let json = serde_json::to_vec(&output).expect("model output serializes");
-                AppRun::success(cost)
-                    .with_output(files::MODEL_OUT, json)
-                    .with_output(
-                        "model.log",
-                        format!("converged; cost {cost:.2} min").into_bytes(),
-                    )
-            }
-            Err(e) => AppRun::failed(cost * 0.3, &format!("model failure: {e}")),
+        match self
+            .app
+            .run_model(&text, ctx.profile.model_benchmark_minutes)
+        {
+            Ok(run) => AppRun::success(run.cost_minutes)
+                .with_output(files::MODEL_OUT, run.output)
+                .with_output("model.log", run.log.into_bytes()),
+            Err(e) => AppRun::failed(e.cost_minutes, &e.detail),
         }
     }
 }
 
-/// The MPIKAIA GA executable: runs as many iterations as fit in its
-/// walltime budget, staging out the restart progress file either way.
+/// The GA driver executable of one science application: runs as many
+/// iterations as fit in its walltime budget, staging out the restart
+/// progress file either way. For stellar this is MPIKAIA.
 ///
 /// args: `[population, generations, seed]`.
-pub struct MpikaiaApp;
+pub struct GaApp {
+    app: Arc<dyn ScienceApp>,
+}
 
-impl MpikaiaApp {
-    fn iteration_cost(
-        problem: &StellarFitProblem,
-        ga: &Ga<'_, StellarFitProblem>,
-        bench: f64,
-    ) -> f64 {
-        let params: Vec<StellarParams> = ga
+impl GaApp {
+    pub fn new(app: Arc<dyn ScienceApp>) -> Self {
+        GaApp { app }
+    }
+
+    fn iteration_cost(app: &dyn ScienceApp, ga: &Ga<'_, AppProblem>, bench: f64) -> f64 {
+        let phenotypes: Vec<Vec<f64>> = ga
             .population()
             .iter()
-            .map(|ind| problem.decode(&ind.phenotype))
+            .map(|ind| ind.phenotype.clone())
             .collect();
-        iteration_minutes(params.iter(), bench)
+        app.generation_minutes(&phenotypes, bench)
     }
 }
 
-impl Application for MpikaiaApp {
+impl Application for GaApp {
     fn run(&self, ctx: &AppContext<'_>) -> AppRun {
         let population: usize = match ctx.args.first().and_then(|a| a.parse().ok()) {
             Some(v) => v,
@@ -140,11 +145,11 @@ impl Application for MpikaiaApp {
             return AppRun::failed(0.01, "missing observations.in");
         };
         let obs_text = String::from_utf8_lossy(&obs_raw);
-        let observed = match marshal::parse_observation_file(&obs_text) {
-            Ok(o) => o,
-            Err(e) => return AppRun::failed(0.01, &format!("bad observations: {e}")),
+        let f = match self.app.fitness_fn(&obs_text) {
+            Ok(f) => f,
+            Err(detail) => return AppRun::failed(0.01, &detail),
         };
-        let problem = StellarFitProblem::new(observed);
+        let problem = AppProblem::new(self.app.clone(), f);
 
         let config = GaConfig {
             population,
@@ -180,7 +185,7 @@ impl Application for MpikaiaApp {
                 // Generation 0: the initial random population is evaluated
                 // too; its cost is the paper's "first iteration measured
                 // time" yardstick.
-                let c = Self::iteration_cost(&problem, &ga, bench);
+                let c = Self::iteration_cost(self.app.as_ref(), &ga, bench);
                 consumed += c;
                 iter_log.push_str(&format!("0 {c:.4}\n"));
                 ga
@@ -190,7 +195,7 @@ impl Application for MpikaiaApp {
         let mut last_cost = consumed.max(bench);
         while !ga.finished() && consumed + last_cost <= budget {
             ga.step();
-            let c = Self::iteration_cost(&problem, &ga, bench);
+            let c = Self::iteration_cost(self.app.as_ref(), &ga, bench);
             consumed += c;
             last_cost = c;
             iter_log.push_str(&format!("{} {c:.4}\n", ga.generation()));
@@ -204,14 +209,10 @@ impl Application for MpikaiaApp {
             .insert(files::ITER_LOG.to_string(), iter_log.into_bytes());
         if cp.converged() {
             let best = ga.best();
-            let result = GaRunResult {
-                best_params: problem.decode(&best.phenotype),
-                best_fitness: best.fitness,
-                generations: ga.generation(),
-            };
             run.outputs.insert(
                 files::FINAL.to_string(),
-                serde_json::to_vec(&result).expect("result serializes"),
+                self.app
+                    .final_artifact(&best.phenotype, best.fitness, ga.generation()),
             );
         }
         run
@@ -264,22 +265,34 @@ pub fn cleanup_tree(fs: &mut SiteFs, root: &str) -> usize {
 }
 
 /// Install the full AMP software stack on a site (what the science PI does
-/// "using sudo on the remote resource personally", §3).
+/// "using sudo on the remote resource personally", §3): the shared
+/// pre/post/cleanup scripts plus the model and GA executables of every
+/// registered science application at that application's paths.
 pub fn install_amp_stack(grid: &mut amp_grid::Grid, site: &str) {
-    use std::sync::Arc;
     grid.install_app(site, paths::PREJOB, Arc::new(PreJobScript));
-    grid.install_app(site, paths::ASTEC, Arc::new(AstecApp));
-    grid.install_app(site, paths::MPIKAIA, Arc::new(MpikaiaApp));
     grid.install_app(site, paths::POSTJOB, Arc::new(PostJobScript));
     grid.install_app(site, paths::CLEANUP, Arc::new(CleanupScript));
+    for a in app::builtin() {
+        grid.install_app(site, &a.model_path(), Arc::new(ModelApp::new(a.clone())));
+        grid.install_app(site, &a.ga_path(), Arc::new(GaApp::new(a.clone())));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amp_core::marshal;
     use amp_grid::systems::{kraken, lonestar};
     use amp_grid::SystemProfile;
-    use amp_stellar::synthesize;
+    use amp_stellar::{synthesize, Domain, StellarParams};
+
+    fn stellar_model() -> ModelApp {
+        ModelApp::new(app::lookup("stellar").expect("stellar registered"))
+    }
+
+    fn stellar_ga() -> GaApp {
+        GaApp::new(app::lookup("stellar").expect("stellar registered"))
+    }
 
     fn ctx<'a>(
         fs: &'a SiteFs,
@@ -317,7 +330,7 @@ mod tests {
             marshal::generate_params_file(&StellarParams::benchmark()).into_bytes(),
         )
         .unwrap();
-        let run = AstecApp.run(&ctx(&fs, &profile, vec![], 60.0));
+        let run = stellar_model().run(&ctx(&fs, &profile, vec![], 60.0));
         assert!(run.failure.is_none());
         // Table 1: benchmark star on Lonestar = 15.1 simulated minutes
         assert!(
@@ -334,11 +347,11 @@ mod tests {
     fn astec_rejects_missing_and_bad_input() {
         let mut fs = SiteFs::new("kraken", 1 << 20);
         let profile = kraken();
-        let run = AstecApp.run(&ctx(&fs, &profile, vec![], 60.0));
+        let run = stellar_model().run(&ctx(&fs, &profile, vec![], 60.0));
         assert!(run.failure.unwrap().contains("missing"));
         fs.write("amp/sim1/input.params", b"garbage".to_vec())
             .unwrap();
-        let run = AstecApp.run(&ctx(&fs, &profile, vec![], 60.0));
+        let run = stellar_model().run(&ctx(&fs, &profile, vec![], 60.0));
         assert!(run.failure.unwrap().contains("bad input"));
     }
 
@@ -354,7 +367,7 @@ mod tests {
             marshal::generate_params_file(&p).into_bytes(),
         )
         .unwrap();
-        let run = AstecApp.run(&ctx(&fs, &profile, vec![], 60.0));
+        let run = stellar_model().run(&ctx(&fs, &profile, vec![], 60.0));
         assert!(run.failure.unwrap().contains("model failure"));
     }
 
@@ -387,7 +400,7 @@ mod tests {
         stage_observations(&mut fs);
         // 6h budget on kraken (23.6 min/iter) fits ~14 iterations
         let args: Vec<String> = vec!["30".into(), "50".into(), "7".into()];
-        let run = MpikaiaApp.run(&ctx(&fs, &profile, args, 360.0));
+        let run = stellar_ga().run(&ctx(&fs, &profile, args, 360.0));
         assert!(run.failure.is_none());
         assert!(run.cost_minutes <= 360.0 * 0.98, "{}", run.cost_minutes);
         assert!(run.cost_minutes > 200.0, "{}", run.cost_minutes);
@@ -411,7 +424,7 @@ mod tests {
         loop {
             hops += 1;
             assert!(hops < 20, "no convergence after {hops} hops");
-            let run = MpikaiaApp.run(&ctx(&fs, &profile, args.clone(), 240.0));
+            let run = stellar_ga().run(&ctx(&fs, &profile, args.clone(), 240.0));
             assert!(run.failure.is_none(), "{:?}", run.failure);
             for (name, data) in run.checkpoint_outputs.iter().chain(run.outputs.iter()) {
                 fs.write(&format!("amp/sim1/{name}"), data.clone()).unwrap();
@@ -438,8 +451,41 @@ mod tests {
         fs.write("amp/sim1/restart.json", b"{broken".to_vec())
             .unwrap();
         let args: Vec<String> = vec!["20".into(), "25".into(), "3".into()];
-        let run = MpikaiaApp.run(&ctx(&fs, &profile, args, 240.0));
+        let run = stellar_ga().run(&ctx(&fs, &profile, args, 240.0));
         assert!(run.failure.unwrap().contains("bad restart"));
+    }
+
+    #[test]
+    fn curvefit_ga_converges_in_one_cheap_job() {
+        let cf = app::lookup("curvefit").expect("curvefit registered");
+        let truth = amp_core::app::curvefit::CurveParams {
+            amplitude: 1.4,
+            decay: 0.25,
+            omega: 4.0,
+            phase: 0.6,
+            offset: 0.3,
+        };
+        let obs = amp_core::app::curvefit::synthesize_curve("CF 1", &truth, 60, 0.1, 9);
+        let mut fs = SiteFs::new("kraken", 4 << 20);
+        let profile = kraken();
+        fs.write(
+            "amp/sim1/observations.in",
+            cf.observation_input(&serde_json::to_string(&obs).unwrap())
+                .unwrap()
+                .into_bytes(),
+        )
+        .unwrap();
+        let args: Vec<String> = vec!["24".into(), "40".into(), "11".into()];
+        let run = GaApp::new(cf.clone()).run(&ctx(&fs, &profile, args, 360.0));
+        assert!(run.failure.is_none(), "{:?}", run.failure);
+        // Whole 40-generation run fits one walltime: curvefit is cheap.
+        let final_bytes = run
+            .outputs
+            .get(files::FINAL)
+            .expect("curvefit converges in a single job");
+        let fitness = cf.final_fitness(final_bytes).unwrap();
+        assert!(fitness > 0.05, "fitness {fitness}");
+        assert!(run.cost_minutes < 360.0 * 0.5, "{}", run.cost_minutes);
     }
 
     #[test]
@@ -461,7 +507,7 @@ mod tests {
     }
 
     #[test]
-    fn install_stack_registers_all() {
+    fn install_stack_registers_all_apps() {
         let mut grid = amp_grid::Grid::new();
         grid.add_site(kraken());
         install_amp_stack(&mut grid, "kraken");
@@ -472,6 +518,8 @@ mod tests {
             paths::MPIKAIA,
             paths::POSTJOB,
             paths::CLEANUP,
+            "/amp/bin/curvefit/model",
+            "/amp/bin/curvefit/ga",
         ] {
             assert!(site.apps.get(p).is_some(), "{p} missing");
         }

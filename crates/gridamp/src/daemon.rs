@@ -415,7 +415,7 @@ impl GridAmp {
     /// take over each one's lease. Rebuilds the ownership map both work
     /// phases filter on.
     fn claim_leases(&mut self, grid: &Grid, report: &mut TickReport) {
-        let live = match self.live_sim_ids() {
+        let live = match self.live_sims() {
             Ok(v) => v,
             Err(e) => {
                 report.daemon_errors.push(e.to_string());
@@ -426,8 +426,8 @@ impl GridAmp {
         let now = grid.now().as_secs() as i64 + self.clock_skew_secs;
         let ttl = self.config.lease_ttl_secs;
         let mut owned = HashMap::with_capacity(live.len());
-        for sim_id in live {
-            match lease::claim(&self.conn, &self.config.daemon_id, sim_id, now, ttl) {
+        for (sim_id, app) in live {
+            match lease::claim(&self.conn, &self.config.daemon_id, sim_id, &app, now, ttl) {
                 Ok(outcome) => {
                     match &outcome {
                         ClaimOutcome::Claimed { .. } => obs_metrics().lease_claims.inc(),
@@ -540,7 +540,9 @@ impl GridAmp {
     /// simulations, in primary-key order (same single-`In` projection
     /// scheme and same coherent job+simulation read view as
     /// [`Self::pending_job_ids`]).
-    fn live_sim_ids(&self) -> Result<Vec<i64>, DbError> {
+    /// Live (non-terminal, non-held) simulations as `(id, app)` pairs —
+    /// the app rides along so lease rows carry per-application ownership.
+    fn live_sims(&self) -> Result<Vec<(i64, String)>, DbError> {
         let statuses: Vec<Value> = SimStatus::happy_path()
             .iter()
             .filter(|s| !s.is_terminal())
@@ -549,7 +551,16 @@ impl GridAmp {
         let view = self
             .conn
             .read_view(&[GridJobRecord::TABLE, Simulation::TABLE])?;
-        view.ids::<Simulation>(&Query::new().filter("status", Op::In(statuses), Value::Null))
+        let sims: Vec<Simulation> =
+            view.filter(&Query::new().filter("status", Op::In(statuses), Value::Null))?;
+        Ok(sims
+            .into_iter()
+            .map(|s| (s.id.expect("selected simulation has id"), s.app))
+            .collect())
+    }
+
+    fn live_sim_ids(&self) -> Result<Vec<i64>, DbError> {
+        Ok(self.live_sims()?.into_iter().map(|(id, _)| id).collect())
     }
 
     /// True while a simulation waits out its transient backoff window.
@@ -690,7 +701,11 @@ impl GridAmp {
                 report.transitions.push((sim_id, from, next));
                 amp_obs::counter(&amp_obs::labeled(
                     "daemon_transitions_total",
-                    &[("from", from.as_str()), ("to", next.as_str())],
+                    &[
+                        ("app", &sim.app),
+                        ("from", from.as_str()),
+                        ("to", next.as_str()),
+                    ],
                 ))
                 .inc();
                 amp_obs::flight().record(
@@ -1187,7 +1202,7 @@ mod tests {
             LeaseHealth::NoLeases
         );
         let conn = daemon.conn.clone();
-        lease::claim(&conn, daemon.daemon_id(), sim_id, 0, 60).unwrap();
+        lease::claim(&conn, daemon.daemon_id(), sim_id, "stellar", 0, 60).unwrap();
         assert_eq!(
             monitor.lease_health(&daemon, 30).unwrap(),
             LeaseHealth::Active { held: 1 }
@@ -1198,7 +1213,7 @@ mod tests {
             LeaseHealth::Expired { stale: 1 }
         );
         // a peer takeover moves the row off this daemon entirely
-        lease::claim(&conn, "peer", sim_id, 61, 60).unwrap();
+        lease::claim(&conn, "peer", sim_id, "stellar", 61, 60).unwrap();
         assert_eq!(
             monitor.lease_health(&daemon, 62).unwrap(),
             LeaseHealth::NoLeases

@@ -4,17 +4,20 @@
 //!
 //! Per the paper's design, this module contains *only* the job-definition
 //! and postprocessing code; everything else lives in the base workflow.
+//! All science-specific handling (input-file rendering, artifact
+//! validation) is delegated to the simulation's [`ScienceApp`], so this
+//! engine is application-agnostic.
+//!
+//! [`ScienceApp`]: amp_core::app::ScienceApp
 
-use amp_core::marshal;
 use amp_core::status::{JobPurpose, JobStatus};
 use amp_core::SimPayload;
-use amp_stellar::ModelOutput;
 
-use crate::apps::{files, paths};
+use crate::apps::files;
 use crate::error::WorkflowError;
 use crate::workflow::StageCtx;
 
-fn params_of(ctx: &StageCtx<'_>) -> Result<amp_stellar::StellarParams, WorkflowError> {
+fn params_of(ctx: &StageCtx<'_>) -> Result<serde_json::Value, WorkflowError> {
     match ctx
         .sim
         .payload()
@@ -27,24 +30,25 @@ fn params_of(ctx: &StageCtx<'_>) -> Result<amp_stellar::StellarParams, WorkflowE
     }
 }
 
-/// Stage the parameter file and submit the single-processor model job.
+/// Stage the parameter file and submit the model job.
 pub fn submit_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
     if !ctx.jobs_of(JobPurpose::Work)?.is_empty() {
         return Ok(true); // already submitted (retried transition)
     }
+    let app = ctx.app()?;
     let params = params_of(ctx)?;
+    let input = app
+        .model_input(&params)
+        .map_err(WorkflowError::ModelFailure)?;
     let workdir = format!("{}/direct", ctx.workdir());
-    ctx.stage_in(
-        &format!("{workdir}/{}", files::PARAMS_IN),
-        marshal::generate_params_file(&params),
-    )?;
+    ctx.stage_in(&format!("{workdir}/{}", files::PARAMS_IN), input)?;
     ctx.submit_batch(
         JobPurpose::Work,
         -1,
         0,
-        paths::ASTEC,
+        &app.model_path(),
         vec![],
-        1,
+        app.resources().model_cores,
         workdir,
         vec![],
     )?;
@@ -73,8 +77,11 @@ pub fn check_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
     }
 }
 
-/// Pull the consolidated tar and extract the model output.
+/// Pull the consolidated tar and extract the model output. The artifact is
+/// stored verbatim — the engine validates it through the app but never
+/// re-serializes it, so results are byte-identical to what the model wrote.
 pub fn postprocess(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let app = ctx.app()?;
     let tar = ctx.stage_out(&format!("{}/{}", ctx.workdir(), files::RESULTS_TAR))?;
     let entries = amp_grid::SiteFs::untar(&tar)
         .map_err(|e| WorkflowError::ModelFailure(format!("corrupt results tar: {e}")))?;
@@ -88,8 +95,8 @@ pub fn postprocess(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
             // canonical model failure (§4.4)
             WorkflowError::ModelFailure(format!("mandatory output {out_path} missing"))
         })?;
-    let output: ModelOutput = serde_json::from_slice(data)
+    app.check_model_output(data)
         .map_err(|e| WorkflowError::ModelFailure(format!("result failed to parse: {e}")))?;
-    ctx.sim.result_json = Some(serde_json::to_string(&output).expect("model output serializes"));
+    ctx.sim.result_json = Some(String::from_utf8_lossy(data).into_owned());
     Ok(true)
 }

@@ -57,13 +57,16 @@ impl ClaimOutcome {
 
 /// Claim, renew, or take over the lease on `sim_id` for `daemon_id`.
 ///
-/// `now` is the claimer's *own* clock (simulated seconds) — daemons with
-/// skewed clocks disagree about expiry, which is exactly the hazard the
-/// epoch fencing absorbs. The new expiry is `now + ttl_secs`.
+/// `app` is the simulation's application id, recorded on the lease row so
+/// operators can see per-application ownership at a glance. `now` is the
+/// claimer's *own* clock (simulated seconds) — daemons with skewed clocks
+/// disagree about expiry, which is exactly the hazard the epoch fencing
+/// absorbs. The new expiry is `now + ttl_secs`.
 pub fn claim(
     conn: &Connection,
     daemon_id: &str,
     sim_id: i64,
+    app: &str,
     now: i64,
     ttl_secs: i64,
 ) -> Result<ClaimOutcome, DbError> {
@@ -71,7 +74,7 @@ pub fn claim(
     let existing = leases.first(&Query::new().eq("simulation_id", sim_id))?;
     match existing {
         None => {
-            let mut lease = Lease::new(sim_id, daemon_id, 1, now + ttl_secs);
+            let mut lease = Lease::new(sim_id, daemon_id, app, 1, now + ttl_secs);
             match leases.create(&mut lease) {
                 Ok(_) => Ok(ClaimOutcome::Claimed { epoch: 1 }),
                 // Unique violation on simulation_id: a peer inserted
@@ -204,12 +207,12 @@ mod tests {
         let (_db, conn, sim) = db_with_sim();
         // fresh claim at epoch 1
         assert_eq!(
-            claim(&conn, "d0", sim, 0, 100).unwrap(),
+            claim(&conn, "d0", sim, "stellar", 0, 100).unwrap(),
             ClaimOutcome::Claimed { epoch: 1 }
         );
         // a valid lease repels peers
         assert_eq!(
-            claim(&conn, "d1", sim, 50, 100).unwrap(),
+            claim(&conn, "d1", sim, "stellar", 50, 100).unwrap(),
             ClaimOutcome::Held {
                 by: "d0".into(),
                 until: 100
@@ -217,19 +220,19 @@ mod tests {
         );
         // the owner renews without an epoch bump
         assert_eq!(
-            claim(&conn, "d0", sim, 60, 100).unwrap(),
+            claim(&conn, "d0", sim, "stellar", 60, 100).unwrap(),
             ClaimOutcome::Renewed { epoch: 1 }
         );
         // past expiry a peer takes over with a bumped epoch
         assert_eq!(
-            claim(&conn, "d1", sim, 200, 100).unwrap(),
+            claim(&conn, "d1", sim, "stellar", 200, 100).unwrap(),
             ClaimOutcome::TakenOver {
                 epoch: 2,
                 from: "d0".into()
             }
         );
         // the stale owner's renewal path CAS-misses
-        assert_eq!(claim(&conn, "d0", sim, 201, 100).unwrap(), {
+        assert_eq!(claim(&conn, "d0", sim, "stellar", 201, 100).unwrap(), {
             ClaimOutcome::Held {
                 by: "d1".into(),
                 until: 300,
@@ -251,7 +254,7 @@ mod tests {
                     let db = db.clone();
                     s.spawn(move || {
                         let c = db.connect(amp_core::roles::ROLE_DAEMON).unwrap();
-                        let out = claim(&c, &format!("d{i}"), sim, 0, 1000).unwrap();
+                        let out = claim(&c, &format!("d{i}"), sim, "stellar", 0, 1000).unwrap();
                         matches!(out, ClaimOutcome::Claimed { .. }) as usize
                     })
                 })
@@ -270,7 +273,7 @@ mod tests {
     #[test]
     fn concurrent_takeover_bumps_epoch_exactly_once() {
         let (db, conn, sim) = db_with_sim();
-        claim(&conn, "d0", sim, 0, 10).unwrap();
+        claim(&conn, "d0", sim, "stellar", 0, 10).unwrap();
         // lease expired at t=10; eight peers race the takeover at t=50
         let winners: usize = std::thread::scope(|s| {
             (0..8)
@@ -278,7 +281,7 @@ mod tests {
                     let db = db.clone();
                     s.spawn(move || {
                         let c = db.connect(amp_core::roles::ROLE_DAEMON).unwrap();
-                        let out = claim(&c, &format!("p{i}"), sim, 50, 1000).unwrap();
+                        let out = claim(&c, &format!("p{i}"), sim, "stellar", 50, 1000).unwrap();
                         matches!(out, ClaimOutcome::TakenOver { .. }) as usize
                     })
                 })

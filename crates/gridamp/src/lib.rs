@@ -44,7 +44,8 @@ pub use lease::ClaimOutcome;
 pub use optimize::OptimizationResult;
 pub use problem::StellarFitProblem;
 pub use setup::{
-    deploy, deploy_cluster, deploy_multi, seed_fixtures, small_spec, ClusterDeployment, Deployment,
+    deploy, deploy_cluster, deploy_multi, seed_curvefit_fixtures, seed_fixtures, small_spec,
+    ClusterDeployment, Deployment,
 };
 pub use workflow::{workflow_table, DaemonConfig, StageCtx};
 
@@ -249,7 +250,7 @@ mod end_to_end {
         // an admin "fixes the model" (here: fixes the parameters) and resumes
         let mut fixed = asims.get(sim_id).unwrap();
         fixed.payload_json = serde_json::to_string(&amp_core::SimPayload::Direct {
-            params: StellarParams::benchmark(),
+            params: serde_json::to_value(&StellarParams::benchmark()),
         })
         .unwrap();
         asims.save(&fixed).unwrap();

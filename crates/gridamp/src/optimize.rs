@@ -5,8 +5,15 @@
 //! the best candidate gets a solution-evaluation detail run (§2). "The
 //! most complex portion of the workflow is downloading and interpreting
 //! partial result files" (§5) — that is [`check_work`].
+//!
+//! Science-specific handling is delegated to the simulation's
+//! [`ScienceApp`]: observation staging, converged-artifact fitness
+//! extraction, and solution-input rendering. The engine moves artifacts as
+//! opaque bytes and assembles the final result by splicing them verbatim,
+//! so stored results are byte-identical to what the runs produced.
+//!
+//! [`ScienceApp`]: amp_core::app::ScienceApp
 
-use amp_core::marshal;
 use amp_core::models::Observation;
 use amp_core::status::{JobPurpose, JobStatus};
 use amp_core::OptimizationSpec;
@@ -17,11 +24,13 @@ use amp_simdb::orm::Manager;
 use amp_stellar::ModelOutput;
 use serde::{Deserialize, Serialize};
 
-use crate::apps::{files, paths, GaRunResult};
+use crate::apps::{files, GaRunResult};
 use crate::error::WorkflowError;
 use crate::workflow::StageCtx;
 
-/// The final payload stored on the simulation row.
+/// The stellar final payload shape (kept for typed access by existing
+/// consumers; the engine itself assembles `result_json` by raw splice and
+/// never round-trips through this struct).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OptimizationResult {
     /// Best-of-ensemble GA candidate.
@@ -89,13 +98,13 @@ pub fn submit_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
     if !ctx.jobs_of(JobPurpose::Work)?.is_empty() {
         return Ok(true);
     }
+    let app = ctx.app()?;
     let (spec, observation_id) = spec_of(ctx)?;
     let observations = Manager::<Observation>::new(ctx.conn.clone());
-    let obs = observations
-        .get(observation_id)?
-        .observed()
-        .map_err(|e| WorkflowError::ModelFailure(e.to_string()))?;
-    let obs_text = marshal::generate_observation_file(&obs);
+    let obs_rec = observations.get(observation_id)?;
+    let obs_text = app
+        .observation_input(&obs_rec.data_json)
+        .map_err(WorkflowError::ModelFailure)?;
 
     for r in 0..spec.ga_runs {
         let dir = run_dir(ctx, r);
@@ -111,7 +120,7 @@ pub fn submit_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
                     JobPurpose::Work,
                     r as i64,
                     c,
-                    paths::MPIKAIA,
+                    &app.ga_path(),
                     ga_args(&spec, r),
                     spec.cores_per_run,
                     dir.clone(),
@@ -124,7 +133,7 @@ pub fn submit_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
                 JobPurpose::Work,
                 r as i64,
                 0,
-                paths::MPIKAIA,
+                &app.ga_path(),
                 ga_args(&spec, r),
                 spec.cores_per_run,
                 dir.clone(),
@@ -138,6 +147,7 @@ pub fn submit_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
 /// Interpret partial results, submit continuations, and run the solution
 /// evaluation once every GA run has converged.
 pub fn check_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let app = ctx.app()?;
     let (spec, _) = spec_of(ctx)?;
     let work = ctx.jobs_of(JobPurpose::Work)?;
     if work.is_empty() {
@@ -179,7 +189,7 @@ pub fn check_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
                         JobPurpose::Work,
                         r as i64,
                         next,
-                        paths::MPIKAIA,
+                        &app.ga_path(),
                         ga_args(&spec, r),
                         spec.cores_per_run,
                         dir.clone(),
@@ -198,7 +208,7 @@ pub fn check_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
                             JobPurpose::Work,
                             r as i64,
                             next,
-                            paths::MPIKAIA,
+                            &app.ga_path(),
                             ga_args(&spec, r),
                             spec.cores_per_run,
                             dir.clone(),
@@ -225,19 +235,20 @@ pub fn check_work(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
     let solution = ctx.jobs_of(JobPurpose::SolutionEvaluation)?;
     match solution.first().map(|j| j.status) {
         None => {
-            let best = best_of_ensemble(ctx, &spec)?;
+            let best_raw = best_of_ensemble(ctx, &spec)?;
+            let input = ctx
+                .app()?
+                .solution_input(&best_raw)
+                .map_err(WorkflowError::ModelFailure)?;
             let dir = format!("{}/solution", ctx.workdir());
-            ctx.stage_in(
-                &format!("{dir}/{}", files::PARAMS_IN),
-                marshal::generate_params_file(&best.best_params),
-            )?;
+            ctx.stage_in(&format!("{dir}/{}", files::PARAMS_IN), input)?;
             ctx.submit_batch(
                 JobPurpose::SolutionEvaluation,
                 -1,
                 0,
-                paths::ASTEC,
+                &app.model_path(),
                 vec![],
-                1,
+                app.resources().model_cores,
                 dir,
                 vec![],
             )?;
@@ -271,29 +282,38 @@ fn run_progress(
     }
 }
 
-/// Fetch every run's final result and pick the fittest.
+/// Fetch every run's final artifact and pick the fittest (earliest run
+/// wins ties, matching the original typed comparison). Returns the raw
+/// artifact bytes for verbatim solution staging.
 fn best_of_ensemble(
     ctx: &mut StageCtx<'_>,
     spec: &OptimizationSpec,
-) -> Result<GaRunResult, WorkflowError> {
-    let mut best: Option<GaRunResult> = None;
+) -> Result<Vec<u8>, WorkflowError> {
+    let app = ctx.app()?;
+    let mut best: Option<(f64, Vec<u8>)> = None;
     for r in 0..spec.ga_runs {
         let path = format!("{}/{}", run_dir(ctx, r), files::FINAL);
         let data = try_stage_out(ctx, &path)?
             .ok_or_else(|| WorkflowError::ModelFailure(format!("run {r} final result vanished")))?;
-        let result: GaRunResult = serde_json::from_slice(&data).map_err(|e| {
+        let fitness = app.final_fitness(&data).map_err(|e| {
             WorkflowError::ModelFailure(format!("run {r} result failed to parse: {e}"))
         })?;
         best = match best {
-            Some(b) if b.best_fitness >= result.best_fitness => Some(b),
-            _ => Some(result),
+            Some((bf, braw)) if bf >= fitness => Some((bf, braw)),
+            _ => Some((fitness, data)),
         };
     }
-    best.ok_or_else(|| WorkflowError::Daemon("no GA runs in ensemble".into()))
+    best.map(|(_, raw)| raw)
+        .ok_or_else(|| WorkflowError::Daemon("no GA runs in ensemble".into()))
 }
 
-/// Extract the ensemble's results from the consolidated tar.
+/// Extract the ensemble's results from the consolidated tar. The final
+/// `result_json` is assembled by splicing the raw artifacts verbatim into
+/// `{"best":...,"detail":...,"runs":[...]}` — no re-serialization, so the
+/// stored bytes match a typed round-trip of [`OptimizationResult`] exactly
+/// for well-formed artifacts while staying application-agnostic.
 pub fn postprocess(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
+    let app = ctx.app()?;
     let (spec, _) = spec_of(ctx)?;
     let tar = ctx.stage_out(&format!("{}/{}", ctx.workdir(), files::RESULTS_TAR))?;
     let entries = SiteFs::untar(&tar)
@@ -303,27 +323,41 @@ pub fn postprocess(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
     };
 
     let detail_path = format!("{}/solution/{}", ctx.workdir(), files::MODEL_OUT);
-    let detail: ModelOutput = serde_json::from_slice(find(&detail_path).ok_or_else(|| {
+    let detail = find(&detail_path).ok_or_else(|| {
         WorkflowError::ModelFailure(format!("mandatory output {detail_path} missing"))
-    })?)
-    .map_err(|e| WorkflowError::ModelFailure(format!("solution output: {e}")))?;
+    })?;
+    app.check_model_output(detail)
+        .map_err(|e| WorkflowError::ModelFailure(format!("solution output: {e}")))?;
 
-    let mut runs = Vec::with_capacity(spec.ga_runs as usize);
+    let mut runs: Vec<&Vec<u8>> = Vec::with_capacity(spec.ga_runs as usize);
+    let mut fitnesses = Vec::with_capacity(spec.ga_runs as usize);
     for r in 0..spec.ga_runs {
         let path = format!("{}/{}", run_dir(ctx, r), files::FINAL);
-        let result: GaRunResult = serde_json::from_slice(find(&path).ok_or_else(|| {
+        let data = find(&path).ok_or_else(|| {
             WorkflowError::ModelFailure(format!("run {r} final missing from tar"))
-        })?)
-        .map_err(|e| WorkflowError::ModelFailure(format!("run {r} result: {e}")))?;
-        runs.push(result);
+        })?;
+        let fitness = app
+            .final_fitness(data)
+            .map_err(|e| WorkflowError::ModelFailure(format!("run {r} result: {e}")))?;
+        runs.push(data);
+        fitnesses.push(fitness);
     }
-    let best = runs
+    // max_by keeps the *last* maximal element, matching the original typed
+    // reduction over the runs vector.
+    let best = fitnesses
         .iter()
-        .max_by(|a, b| a.best_fitness.total_cmp(&b.best_fitness))
-        .cloned()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| runs[i])
         .ok_or_else(|| WorkflowError::Daemon("empty ensemble".into()))?;
 
-    let result = OptimizationResult { best, detail, runs };
-    ctx.sim.result_json = Some(serde_json::to_string(&result).expect("result serializes"));
+    let splice = |raw: &[u8]| String::from_utf8_lossy(raw).into_owned();
+    let runs_json: Vec<String> = runs.iter().map(|r| splice(r)).collect();
+    ctx.sim.result_json = Some(format!(
+        "{{\"best\":{},\"detail\":{},\"runs\":[{}]}}",
+        splice(best),
+        splice(detail),
+        runs_json.join(",")
+    ));
     Ok(true)
 }

@@ -1,8 +1,44 @@
-//! The asteroseismic fitting problem: glue between the GA engine and the
-//! forward stellar model (the MPIKAIA↔ASTEC coupling of §2).
+//! GA problem glue: the legacy asteroseismic fitting problem (the
+//! MPIKAIA↔ASTEC coupling of §2) and the generic [`AppProblem`] that binds
+//! any registered [`ScienceApp`]'s compiled fitness function to the engine.
 
+use std::sync::Arc;
+
+use amp_core::app::{FitnessFn, ScienceApp};
 use amp_ga::Problem;
 use amp_stellar::{fitness, Domain, ObservedStar, StellarParams};
+
+/// A [`Problem`] built from a registered science application: genome width
+/// comes from the app's parameter schema, fitness from its compiled
+/// observation closure, and metric attribution from its registry id.
+pub struct AppProblem {
+    app: Arc<dyn ScienceApp>,
+    f: FitnessFn,
+}
+
+impl AppProblem {
+    pub fn new(app: Arc<dyn ScienceApp>, f: FitnessFn) -> Self {
+        AppProblem { app, f }
+    }
+
+    pub fn app(&self) -> &Arc<dyn ScienceApp> {
+        &self.app
+    }
+}
+
+impl Problem for AppProblem {
+    fn n_genes(&self) -> usize {
+        self.app.n_genes()
+    }
+
+    fn fitness(&self, phenotype: &[f64]) -> f64 {
+        (self.f)(phenotype)
+    }
+
+    fn app_label(&self) -> &'static str {
+        self.app.id()
+    }
+}
 
 /// Fit five stellar parameters to an observation set.
 pub struct StellarFitProblem {
@@ -34,6 +70,10 @@ impl Problem for StellarFitProblem {
             Ok(params) => fitness(&self.observed, &params, &self.domain),
             Err(_) => 0.0,
         }
+    }
+
+    fn app_label(&self) -> &'static str {
+        "stellar"
     }
 }
 
@@ -78,6 +118,30 @@ mod tests {
         // and beat a random-corner candidate handily
         let corner = problem.fitness(&[0.95, 0.95, 0.95, 0.95, 0.95]);
         assert!(ga.best().fitness > corner);
+    }
+
+    #[test]
+    fn app_problem_reproduces_stellar_fitness_bit_for_bit() {
+        let domain = Domain::default();
+        let observed = synthesize("T", &StellarParams::benchmark(), &domain, 0.1, 2).unwrap();
+        let staged = amp_core::marshal::generate_observation_file(&observed);
+        let reparsed = amp_core::marshal::parse_observation_file(&staged).unwrap();
+        let legacy = StellarFitProblem::new(reparsed);
+
+        let app = amp_core::app::lookup("stellar").unwrap();
+        let f = app.fitness_fn(&staged).unwrap();
+        let generic = AppProblem::new(app, f);
+
+        assert_eq!(generic.n_genes(), legacy.n_genes());
+        assert_eq!(generic.app_label(), "stellar");
+        for x in [
+            [0.5, 0.5, 0.5, 0.5, 0.5],
+            [0.1, 0.9, 0.3, 0.7, 0.2],
+            [0.95, 0.95, 0.95, 0.95, 0.95],
+            [0.0, 0.0, 0.0, 0.0, 0.0],
+        ] {
+            assert_eq!(generic.fitness(&x).to_bits(), legacy.fitness(&x).to_bits());
+        }
     }
 
     #[test]

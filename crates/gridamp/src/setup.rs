@@ -141,6 +141,35 @@ pub fn seed_fixtures(
     ))
 }
 
+/// Seed curve-fit fixtures for an already-seeded deployment: a fresh
+/// target "star" (the catalog row doubles as the generic observation
+/// target) plus a synthesized damped-sinusoid observation set owned by
+/// `user_id`. Returns (star id, observation id).
+pub fn seed_curvefit_fixtures(
+    db: &Db,
+    user_id: i64,
+    truth: &amp_core::app::curvefit::CurveParams,
+    seed: u64,
+) -> Result<(i64, i64), DbError> {
+    let admin = db.connect(amp_core::roles::ROLE_ADMIN)?;
+    let stars = Manager::<Star>::new(admin.clone());
+    let sky = amp_stellar::synthetic_sky(1, seed.wrapping_add(7000));
+    let mut star = Star::from_catalog(&sky[0], "curvefit");
+    star.identifier = format!("CF {seed}");
+    stars.create(&mut star)?;
+
+    let curve = amp_core::app::curvefit::synthesize_curve(&star.identifier, truth, 60, 0.02, seed);
+    let observations = Manager::<Observation>::new(admin);
+    let mut obs = Observation::from_data_json(
+        star.id.unwrap(),
+        user_id,
+        serde_json::to_string(&curve).expect("curve observation serializes"),
+        0,
+    );
+    observations.create(&mut obs)?;
+    Ok((star.id.unwrap(), obs.id.unwrap()))
+}
+
 /// A quick optimization spec scaled down for tests (seconds instead of
 /// hours of simulated compute, but the same workflow shape).
 pub fn small_spec(seed: u64) -> OptimizationSpec {

@@ -20,6 +20,9 @@
 //! ([`crate::direct`], [`crate::optimize`]) — the paper's
 //! inheritance-with-small-derived-classes design.
 
+use std::sync::Arc;
+
+use amp_core::app::{self, ScienceApp};
 use amp_core::models::{AmpUser, GridJobRecord, Simulation};
 use amp_core::status::{JobPurpose, JobStatus, SimStatus};
 use amp_core::SimKind;
@@ -140,6 +143,13 @@ impl StageCtx<'_> {
         Manager::new(self.conn.clone())
     }
 
+    /// Resolve this simulation's science application from the registry. A
+    /// simulation carrying an unregistered app id is a model failure (it
+    /// can never make progress) rather than a transient.
+    pub fn app(&self) -> Result<Arc<dyn ScienceApp>, WorkflowError> {
+        app_of(self.sim)
+    }
+
     /// All job records of one purpose for this simulation.
     pub fn jobs_of(&self, purpose: JobPurpose) -> Result<Vec<GridJobRecord>, WorkflowError> {
         Ok(self.jobs().filter(
@@ -212,6 +222,7 @@ impl StageCtx<'_> {
             0,
             &self.sim.system,
             0,
+            &self.sim.app,
         );
         rec.gram_handle = Some(handle.to_string());
         rec.status = JobStatus::Pending;
@@ -221,9 +232,11 @@ impl StageCtx<'_> {
     }
 
     /// Submit a batch model job and record it. Idempotent on the job-state
-    /// key `(simulation, purpose, ga_run, continuation)`: if a submitted
-    /// record already exists — e.g. written by this simulation's new owner
-    /// while we were paused — it is returned instead of re-submitting.
+    /// key `(simulation, app, purpose, ga_run, continuation)`: if a
+    /// submitted record already exists — e.g. written by this simulation's
+    /// new owner while we were paused — it is returned instead of
+    /// re-submitting. The app qualifier keeps two applications' job chains
+    /// from ever colliding on one key.
     #[allow(clippy::too_many_arguments)]
     pub fn submit_batch(
         &mut self,
@@ -239,6 +252,7 @@ impl StageCtx<'_> {
         let existing = self.jobs().first(
             &Query::new()
                 .eq("simulation_id", self.sim.id.expect("saved"))
+                .eq("app", self.sim.app.as_str())
                 .eq("purpose", purpose.as_str())
                 .eq("ga_run", ga_run)
                 .eq("continuation", continuation),
@@ -274,6 +288,7 @@ impl StageCtx<'_> {
             continuation,
             &self.sim.system,
             cores as i64,
+            &self.sim.app,
         );
         rec.gram_handle = Some(handle.to_string());
         rec.status = JobStatus::Pending;
@@ -511,10 +526,12 @@ pub fn step(ctx: &mut StageCtx<'_>) -> Result<Option<SimStatus>, WorkflowError> 
 // ---- base stages (the paper's workflow-manager base class) ----
 
 fn check_queued_sim(ctx: &mut StageCtx<'_>) -> Result<bool, WorkflowError> {
-    // Sanity: payload must decode; a corrupt request is a model failure.
+    // Sanity: payload must decode and the app must be registered; a
+    // corrupt request is a model failure.
     ctx.sim
         .payload()
         .map_err(|e| WorkflowError::ModelFailure(e.to_string()))?;
+    ctx.app()?;
     Ok(ctx.sim.status == SimStatus::Queued)
 }
 
@@ -652,6 +669,12 @@ fn mark_star_has_results(ctx: &mut StageCtx<'_>) -> Result<(), WorkflowError> {
 pub fn owner_username(conn: &Connection, sim: &Simulation) -> Result<String, WorkflowError> {
     let users = Manager::<AmpUser>::new(conn.clone());
     Ok(users.get(sim.owner_id)?.username)
+}
+
+/// Resolve a simulation's science application from the built-in registry.
+pub fn app_of(sim: &Simulation) -> Result<Arc<dyn ScienceApp>, WorkflowError> {
+    app::lookup(&sim.app)
+        .ok_or_else(|| WorkflowError::ModelFailure(format!("unknown application {:?}", sim.app)))
 }
 
 #[cfg(test)]

@@ -246,6 +246,23 @@ pub fn star_detail(p: &Portal, req: &Request, params: &Params) -> Response {
          <a href=\"/feeds/star/{id}.rss\">RSS feed</a></p>",
         id = star_id
     ));
+    // Multi-application portal: one submit pair per installed science app.
+    let app_links: Vec<String> = amp_core::app::builtin()
+        .iter()
+        .map(|a| {
+            format!(
+                "{} (<a href=\"/submit/{app}/direct/{id}\">direct</a> | \
+                 <a href=\"/submit/{app}/optimization/{id}\">optimization</a>)",
+                crate::http::html_escape(a.title()),
+                app = a.id(),
+                id = star_id
+            )
+        })
+        .collect();
+    body.push_str(&format!(
+        "<p>Other applications: {} — <a href=\"/apps\">browse all</a></p>",
+        app_links.join(" | ")
+    ));
     // §5: "dynamic links to astronomical catalogs and visualization
     // services such as SIMBAD and Google Sky"
     body.push_str(&format!(

@@ -9,6 +9,7 @@
 
 pub mod accounts;
 pub mod admin;
+pub mod appstore;
 pub mod catalog;
 pub mod feeds;
 pub mod results;
@@ -114,13 +115,28 @@ pub fn build_router(admin_enabled: bool) -> Router {
     r.get("/simulation/<id>", results::detail);
     r.get("/simulation/<id>/plots.json", results::plots);
 
-    // submission app
+    // application browser
+    r.get("/apps", appstore::browse);
+    r.get("/apps/<app>", appstore::detail);
+
+    // submission app — the legacy stellar routes plus the per-application
+    // generic ones (the legacy pair is an alias for app id "stellar")
     r.get("/submit/direct/<star_id>", submit::direct_form);
     r.post("/submit/direct/<star_id>", submit::direct_submit);
     r.get("/submit/optimization/<star_id>", submit::optimization_form);
     r.post(
         "/submit/optimization/<star_id>",
         submit::optimization_submit,
+    );
+    r.get("/submit/<app>/direct/<star_id>", submit::app_direct_form);
+    r.post("/submit/<app>/direct/<star_id>", submit::app_direct_submit);
+    r.get(
+        "/submit/<app>/optimization/<star_id>",
+        submit::app_optimization_form,
+    );
+    r.post(
+        "/submit/<app>/optimization/<star_id>",
+        submit::app_optimization_submit,
     );
 
     // feeds (§6) — the captured segment carries the ".rss" extension

@@ -1,6 +1,7 @@
 //! The results application: simulation lists, status/detail pages, and
 //! plot data (HR diagram + Echelle, §2) as JSON for the AJAX front end.
 
+use amp_core::app;
 use amp_core::models::{GridJobRecord, Simulation, Star};
 use amp_core::status::SimStatus;
 use amp_core::SimKind;
@@ -70,6 +71,18 @@ pub fn detail(p: &Portal, req: &Request, params: &Params) -> Response {
     let Ok(sim) = sims(p).get(id) else {
         return Response::not_found();
     };
+    // A simulation whose application is no longer installed has no way to
+    // render its results — a layout 404, not a crash or an empty page.
+    if app::lookup(&sim.app).is_none() {
+        return p.page_not_found(
+            p.current_user(req).as_ref(),
+            &format!(
+                "simulation #{id} belongs to science application {:?}, \
+                 which is not installed on this portal",
+                sim.app
+            ),
+        );
+    }
     let jobs = Manager::<GridJobRecord>::new(p.conn().clone())
         .filter(&Query::new().eq("simulation_id", id).order_by("id"))
         .unwrap_or_default();
@@ -118,10 +131,14 @@ pub fn detail(p: &Portal, req: &Request, params: &Params) -> Response {
 
     if sim.status == SimStatus::Done {
         body.push_str(&render_results(&sim));
-        body.push_str(&render_ascii_plots(&sim));
-        body.push_str(&format!(
-            "<p><a href=\"/simulation/{id}/plots.json\">HR + Echelle plot data (JSON)</a></p>"
-        ));
+        // The HR/Echelle plots are asteroseismology-specific; other
+        // applications render only their summary table.
+        if sim.app == "stellar" {
+            body.push_str(&render_ascii_plots(&sim));
+            body.push_str(&format!(
+                "<p><a href=\"/simulation/{id}/plots.json\">HR + Echelle plot data (JSON)</a></p>"
+            ));
+        }
     }
     p.page(
         &format!("Simulation #{id}"),
@@ -130,70 +147,29 @@ pub fn detail(p: &Portal, req: &Request, params: &Params) -> Response {
     )
 }
 
+/// Render the result summary through the simulation's science application:
+/// the app owns its artifact format and hands back `(heading, rows)`.
 fn render_results(sim: &Simulation) -> String {
     let Some(raw) = &sim.result_json else {
         return "<p>No results recorded.</p>".to_string();
     };
-    let summary = |m: &ModelOutput| {
-        format!(
-            "<table>\
-             <tr><td>T<sub>eff</sub></td><td>{:.0} K</td></tr>\
-             <tr><td>L</td><td>{:.3} L☉</td></tr>\
-             <tr><td>R</td><td>{:.3} R☉</td></tr>\
-             <tr><td>log g</td><td>{:.3}</td></tr>\
-             <tr><td>Δν</td><td>{:.2} µHz</td></tr>\
-             <tr><td>ν<sub>max</sub></td><td>{:.0} µHz</td></tr>\
-             <tr><td>mass</td><td>{:.3} M☉</td></tr>\
-             <tr><td>age</td><td>{:.2} Gyr</td></tr>\
-             </table>",
-            m.teff,
-            m.luminosity,
-            m.radius,
-            m.log_g,
-            m.delta_nu,
-            m.nu_max,
-            m.params.mass,
-            m.params.age,
-        )
+    let Some(app) = app::lookup(&sim.app) else {
+        return "<p>Result payload unreadable.</p>".to_string();
     };
-    match sim.kind {
-        SimKind::Direct => match serde_json::from_str::<ModelOutput>(raw) {
-            Ok(m) => format!("<h3>Model output</h3>{}", summary(&m)),
-            Err(_) => "<p>Result payload unreadable.</p>".to_string(),
-        },
-        SimKind::Optimization => {
-            // The daemon stores an OptimizationResult; read loosely so the
-            // portal has no dependency on the daemon crate (Figure 2).
-            match serde_json::from_str::<serde_json::Value>(raw) {
-                Ok(v) => {
-                    let detail: Option<ModelOutput> = v
-                        .get("detail")
-                        .and_then(|d| serde_json::from_value(d.clone()).ok());
-                    let fitness = v
-                        .get("best")
-                        .and_then(|b| b.get("best_fitness"))
-                        .and_then(|f| f.as_f64())
-                        .unwrap_or(0.0);
-                    let n_runs = v
-                        .get("runs")
-                        .and_then(|r| r.as_array())
-                        .map(|a| a.len())
-                        .unwrap_or(0);
-                    match detail {
-                        Some(m) => format!(
-                            "<h3>Optimal model (fitness {fitness:.4}, best of {n_runs} GA runs)</h3>{}",
-                            summary(&m)
-                        ),
-                        None => "<p>Result payload unreadable.</p>".to_string(),
-                    }
-                }
-                Err(_) => "<p>Result payload unreadable.</p>".to_string(),
+    match app.result_summary(sim.kind, raw) {
+        Some((heading, rows)) => {
+            let mut out = format!("<h3>{heading}</h3><table>");
+            for (k, v) in rows {
+                out.push_str(&format!("<tr><td>{k}</td><td>{v}</td></tr>"));
             }
+            out.push_str("</table>");
+            out
         }
+        None => "<p>Result payload unreadable.</p>".to_string(),
     }
 }
 
-/// Extract the result model from a simulation row, for plotting.
+/// Extract the stellar result model from a simulation row, for plotting.
 fn result_model(sim: &Simulation) -> Option<ModelOutput> {
     let raw = sim.result_json.as_ref()?;
     match sim.kind {
@@ -229,7 +205,8 @@ pub fn plots(p: &Portal, _req: &Request, params: &Params) -> Response {
     let Ok(sim) = sims(p).get(id) else {
         return Response::not_found();
     };
-    if sim.result_json.is_none() {
+    // HR/Echelle data exists only for the asteroseismology application.
+    if sim.app != "stellar" || sim.result_json.is_none() {
         return Response::not_found();
     }
     let Some(model) = result_model(&sim) else {

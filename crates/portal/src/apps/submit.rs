@@ -1,15 +1,21 @@
-//! The submission application: direct model runs and optimization runs.
+//! The submission application: direct model runs and optimization runs
+//! for any registered science application.
 //!
 //! All user input is validated into typed values here; the simulation row
 //! is the only thing that crosses to the daemon (§3's marshaling story).
 //! Submission requires an approved account plus an authorization to use
-//! the chosen machine/allocation (§4.1).
+//! the chosen machine/allocation (§4.1). Forms are rendered from each
+//! application's [`ScienceApp::params`] schema, so adding an application
+//! adds its submission pages without touching this module.
+//!
+//! [`ScienceApp::params`]: amp_core::app::ScienceApp::params
 
+use std::sync::Arc;
+
+use amp_core::app::{self, ScienceApp};
 use amp_core::models::{Allocation, Observation, Simulation, Star, SystemAuthorization};
-use amp_core::OptimizationSpec;
 use amp_simdb::orm::Manager;
 use amp_simdb::Query;
-use amp_stellar::{Domain, StellarParams};
 
 use crate::http::{html_escape, Request, Response};
 use crate::portal::Portal;
@@ -51,6 +57,19 @@ fn load_star(p: &Portal, params: &Params) -> Result<Star, Response> {
         .map_err(|_| Response::not_found())
 }
 
+/// Resolve the `<app>` path segment against the registry; an unknown id
+/// gets the site-layout 404 page (the application browser lists what *is*
+/// installed).
+fn load_app(p: &Portal, req: &Request, params: &Params) -> Result<Arc<dyn ScienceApp>, Response> {
+    let id = params.get("app").unwrap_or_default();
+    app::lookup(id).ok_or_else(|| {
+        p.page_not_found(
+            p.current_user(req).as_ref(),
+            &format!("no science application {id:?} is installed on this portal"),
+        )
+    })
+}
+
 /// Authorization + allocation resolution shared by both submit paths.
 fn resolve_allocation(
     p: &Portal,
@@ -78,77 +97,83 @@ fn resolve_allocation(
     Ok(alloc)
 }
 
-pub fn direct_form(p: &Portal, req: &Request, params: &Params) -> Response {
-    let star = match load_star(p, params) {
-        Ok(s) => s,
-        Err(r) => return r,
-    };
-    let d = Domain::default();
+/// Render a schema default the way the old hand-written forms did: whole
+/// numbers keep one decimal place ("1.0"), everything else prints plainly.
+fn default_value(v: f64) -> String {
+    if v.fract() == 0.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One `<label>` + `<input>` per schema parameter, bounds inline.
+fn param_fields(app: &dyn ScienceApp) -> String {
+    app.params()
+        .iter()
+        .map(|s| {
+            let unit = if s.unit.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", s.unit)
+            };
+            format!(
+                "<label>{} [{}–{}{unit}] <input name=\"{}\" value=\"{}\"></label><br>",
+                s.label,
+                s.lo,
+                s.hi,
+                s.name,
+                default_value(s.default),
+            )
+        })
+        .collect()
+}
+
+fn render_direct_form(p: &Portal, req: &Request, app: &dyn ScienceApp, star: &Star) -> Response {
     let body = format!(
         "<h2>Direct model run — {}</h2>\
          <form method=\"post\">\
-         <label>Mass [{}–{} M☉] <input name=\"mass\" value=\"1.0\"></label><br>\
-         <label>Metallicity Z [{}–{}] <input name=\"metallicity\" value=\"0.018\"></label><br>\
-         <label>Helium Y [{}–{}] <input name=\"helium\" value=\"0.27\"></label><br>\
-         <label>Mixing length α [{}–{}] <input name=\"alpha\" value=\"1.9\"></label><br>\
-         <label>Age [{}–{} Gyr] <input name=\"age\" value=\"4.6\"></label><br>\
+         {}\
          <label>Allocation <select name=\"allocation\">{}</select></label><br>\
          <button>Run model</button></form>",
         html_escape(&star.identifier),
-        d.mass.lo,
-        d.mass.hi,
-        d.metallicity.lo,
-        d.metallicity.hi,
-        d.helium.lo,
-        d.helium.hi,
-        d.alpha.lo,
-        d.alpha.hi,
-        d.age.lo,
-        d.age.hi,
+        param_fields(app),
         allocation_options(p),
     );
     p.page("Direct run", p.current_user(req).as_ref(), &body)
 }
 
-pub fn direct_submit(p: &Portal, req: &Request, params: &Params) -> Response {
+fn handle_direct_submit(p: &Portal, req: &Request, app: &dyn ScienceApp, star: &Star) -> Response {
     let user = match require_submitter(p, req) {
         Ok(u) => u,
         Err(r) => return r,
     };
-    let star = match load_star(p, params) {
-        Ok(s) => s,
-        Err(r) => return r,
-    };
     let form = req.form();
-    let float = |name: &str| -> Result<f64, Response> {
-        form.get(name)
+    let mut values = serde_json::Map::new();
+    for spec in app.params() {
+        let v = match form
+            .get(spec.name)
             .and_then(|s| s.trim().parse::<f64>().ok())
             .filter(|v| v.is_finite())
-            .ok_or_else(|| Response::bad_request(&format!("{name} must be a number")))
-    };
-    let params5 = match (|| -> Result<StellarParams, Response> {
-        Ok(StellarParams {
-            mass: float("mass")?,
-            metallicity: float("metallicity")?,
-            helium: float("helium")?,
-            alpha: float("alpha")?,
-            age: float("age")?,
-        })
-    })() {
-        Ok(p) => p,
-        Err(r) => return r,
-    };
-    if Domain::default().check(&params5).is_err() {
+        {
+            Some(v) => v,
+            None => return Response::bad_request(&format!("{} must be a number", spec.name)),
+        };
+        values.insert(spec.name.to_string(), serde_json::json!(v));
+    }
+    let params_json = serde_json::Value::Object(values);
+    if app.validate_params(&params_json).is_err() {
         return Response::bad_request("parameters outside the supported domain");
     }
     let alloc = match resolve_allocation(p, &user, &form) {
         Ok(a) => a,
         Err(r) => return r,
     };
-    let mut sim = Simulation::new_direct(
+    let mut sim = Simulation::direct_for(
+        app.id(),
         star.id.unwrap(),
         user.id.unwrap(),
-        params5,
+        params_json,
         &alloc.system,
         alloc.id.unwrap(),
         p.now(),
@@ -159,11 +184,12 @@ pub fn direct_submit(p: &Portal, req: &Request, params: &Params) -> Response {
     }
 }
 
-pub fn optimization_form(p: &Portal, req: &Request, params: &Params) -> Response {
-    let star = match load_star(p, params) {
-        Ok(s) => s,
-        Err(r) => return r,
-    };
+fn render_optimization_form(
+    p: &Portal,
+    req: &Request,
+    app: &dyn ScienceApp,
+    star: &Star,
+) -> Response {
     let observations = Manager::<Observation>::new(p.conn().clone())
         .filter(&Query::new().eq("star_id", star.id.unwrap()))
         .unwrap_or_default();
@@ -178,7 +204,7 @@ pub fn optimization_form(p: &Portal, req: &Request, params: &Params) -> Response
             )
         })
         .collect();
-    let default = OptimizationSpec::default();
+    let default = app.resources().default_spec;
     let body = format!(
         "<h2>Optimization run — {}</h2>\
          <p>Ensemble of independent genetic-algorithm runs (the Kepler \
@@ -198,13 +224,14 @@ pub fn optimization_form(p: &Portal, req: &Request, params: &Params) -> Response
     p.page("Optimization run", p.current_user(req).as_ref(), &body)
 }
 
-pub fn optimization_submit(p: &Portal, req: &Request, params: &Params) -> Response {
+fn handle_optimization_submit(
+    p: &Portal,
+    req: &Request,
+    app: &dyn ScienceApp,
+    star: &Star,
+) -> Response {
     let user = match require_submitter(p, req) {
         Ok(u) => u,
-        Err(r) => return r,
-    };
-    let star = match load_star(p, params) {
-        Ok(s) => s,
         Err(r) => return r,
     };
     let form = req.form();
@@ -217,14 +244,15 @@ pub fn optimization_submit(p: &Portal, req: &Request, params: &Params) -> Respon
         Ok(_) => return Response::bad_request("observation belongs to another star"),
         Err(_) => return Response::bad_request("no such observation"),
     };
+    let default = app.resources().default_spec;
     let ga_runs: u32 = form
         .get("ga_runs")
         .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+        .unwrap_or(default.ga_runs);
     let generations: u32 = form
         .get("generations")
         .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+        .unwrap_or(default.generations);
     if !(1..=16).contains(&ga_runs) || !(1..=1000).contains(&generations) {
         return Response::bad_request("ensemble parameters out of range");
     }
@@ -232,14 +260,15 @@ pub fn optimization_submit(p: &Portal, req: &Request, params: &Params) -> Respon
         Ok(a) => a,
         Err(r) => return r,
     };
-    let spec = OptimizationSpec {
+    let spec = amp_core::OptimizationSpec {
         ga_runs,
         generations,
         // user id + clock give each submission distinct GA seeds (§2)
         seed: (user.id.unwrap() as u64) << 32 | (p.now() as u64 & 0xffff_ffff),
-        ..OptimizationSpec::default()
+        ..default
     };
-    let mut sim = Simulation::new_optimization(
+    let mut sim = Simulation::optimization_for(
+        app.id(),
         star.id.unwrap(),
         user.id.unwrap(),
         spec,
@@ -252,4 +281,94 @@ pub fn optimization_submit(p: &Portal, req: &Request, params: &Params) -> Respon
         Ok(id) => Response::redirect(&format!("/simulation/{id}")),
         Err(e) => Response::server_error(&e.to_string()),
     }
+}
+
+// ---- the legacy stellar routes (/submit/direct/<star_id> etc.) ----
+// Kept verbatim so bookmarks, the catalog's links, and the original test
+// suite keep working; they are aliases for the "stellar" application.
+
+fn stellar() -> Arc<dyn ScienceApp> {
+    app::lookup("stellar").expect("stellar app registered")
+}
+
+pub fn direct_form(p: &Portal, req: &Request, params: &Params) -> Response {
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    render_direct_form(p, req, stellar().as_ref(), &star)
+}
+
+pub fn direct_submit(p: &Portal, req: &Request, params: &Params) -> Response {
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    handle_direct_submit(p, req, stellar().as_ref(), &star)
+}
+
+pub fn optimization_form(p: &Portal, req: &Request, params: &Params) -> Response {
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    render_optimization_form(p, req, stellar().as_ref(), &star)
+}
+
+pub fn optimization_submit(p: &Portal, req: &Request, params: &Params) -> Response {
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    handle_optimization_submit(p, req, stellar().as_ref(), &star)
+}
+
+// ---- the per-application routes (/submit/<app>/direct/<star_id> etc.) ----
+
+pub fn app_direct_form(p: &Portal, req: &Request, params: &Params) -> Response {
+    let app = match load_app(p, req, params) {
+        Ok(a) => a,
+        Err(r) => return r,
+    };
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    render_direct_form(p, req, app.as_ref(), &star)
+}
+
+pub fn app_direct_submit(p: &Portal, req: &Request, params: &Params) -> Response {
+    let app = match load_app(p, req, params) {
+        Ok(a) => a,
+        Err(r) => return r,
+    };
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    handle_direct_submit(p, req, app.as_ref(), &star)
+}
+
+pub fn app_optimization_form(p: &Portal, req: &Request, params: &Params) -> Response {
+    let app = match load_app(p, req, params) {
+        Ok(a) => a,
+        Err(r) => return r,
+    };
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    render_optimization_form(p, req, app.as_ref(), &star)
+}
+
+pub fn app_optimization_submit(p: &Portal, req: &Request, params: &Params) -> Response {
+    let app = match load_app(p, req, params) {
+        Ok(a) => a,
+        Err(r) => return r,
+    };
+    let star = match load_star(p, params) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    handle_optimization_submit(p, req, app.as_ref(), &star)
 }

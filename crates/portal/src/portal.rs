@@ -233,4 +233,18 @@ impl Portal {
         });
         Response::html(registry().render("layout", &ctx))
     }
+
+    /// A 404 rendered in the site layout — used when a route exists but
+    /// its subject doesn't (e.g. an unknown science application id), so
+    /// users get navigation back out instead of a bare error line.
+    pub fn page_not_found(&self, user: Option<&AmpUser>, msg: &str) -> Response {
+        let body = format!(
+            "<h2>Not found</h2><p>{}</p>\
+             <p><a href=\"/apps\">Browse the installed science applications</a></p>",
+            html_escape(msg)
+        );
+        let mut resp = self.page("Not found", user, &body);
+        resp.status = 404;
+        resp
+    }
 }

@@ -82,8 +82,9 @@ fn final_states(db: &Db) -> Vec<(i64, String, Option<String>)> {
         .collect()
 }
 
-/// The duplicate-submission oracle: job-state keys are unique, and the
-/// grid saw exactly one GRAM submit per recorded job handle.
+/// The duplicate-submission oracle: job-state keys — now including the
+/// science application — are unique, and the grid saw exactly one GRAM
+/// submit per recorded job handle.
 fn assert_no_duplicate_submissions(db: &Db, grid: &amp::grid::Grid) {
     let admin = db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
     let jobs = Manager::<GridJobRecord>::new(admin).all().unwrap();
@@ -91,12 +92,14 @@ fn assert_no_duplicate_submissions(db: &Db, grid: &amp::grid::Grid) {
     for j in &jobs {
         assert!(
             keys.insert((
+                j.app.as_str(),
                 j.simulation_id,
                 j.purpose.as_str(),
                 j.ga_run,
                 j.continuation
             )),
-            "duplicate job-state row: sim {} {} run {} cont {}",
+            "duplicate job-state row: app {} sim {} {} run {} cont {}",
+            j.app,
             j.simulation_id,
             j.purpose.as_str(),
             j.ga_run,
@@ -214,6 +217,129 @@ fn four_daemon_chaos_matches_single_daemon_reference() {
 #[ignore = "long-running chaos soak; run explicitly or in the nightly CI step"]
 fn chaos_soak_second_seed_heavier_faults() {
     chaos_campaign(2, 777, 24);
+}
+
+/// Ground truth for the synthetic curve-fitting campaign.
+fn curve_truth() -> amp::core::app::curvefit::CurveParams {
+    amp::core::app::curvefit::CurveParams {
+        amplitude: 1.4,
+        decay: 0.25,
+        omega: 4.0,
+        phase: 0.6,
+        offset: 0.3,
+    }
+}
+
+/// Seed a two-application campaign: the stellar direct + optimization
+/// trio next to a curvefit direct + optimization pair on the same
+/// machine and allocation, all owned by the same user.
+fn seed_mixed_campaign(db: &Db, seed: u64) -> Vec<i64> {
+    let mut ids = seed_campaign(db, seed);
+    let admin = db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let user = Manager::<AmpUser>::new(admin.clone())
+        .all()
+        .unwrap()
+        .first()
+        .and_then(|u| u.id)
+        .expect("seed_campaign created a user");
+    let alloc = Manager::<Allocation>::new(admin)
+        .all()
+        .unwrap()
+        .first()
+        .and_then(|a| a.id)
+        .expect("seed_campaign created an allocation");
+    let (cf_star, cf_obs) =
+        amp::gridamp::seed_curvefit_fixtures(db, user, &curve_truth(), seed).unwrap();
+
+    let web = db.connect(amp::core::roles::ROLE_WEB).unwrap();
+    let sims = Manager::<Simulation>::new(web);
+    let params = serde_json::json!({
+        "amplitude": 1.4, "decay": 0.25, "omega": 4.0, "phase": 0.6, "offset": 0.3
+    });
+    let mut cd = Simulation::direct_for("curvefit", cf_star, user, params, "kraken", alloc, 0);
+    ids.push(sims.create(&mut cd).unwrap());
+    let spec = OptimizationSpec {
+        ga_runs: 2,
+        population: 24,
+        generations: 40,
+        cores_per_run: 16,
+        seed: seed.wrapping_add(11),
+    };
+    let mut copt =
+        Simulation::optimization_for("curvefit", cf_star, user, spec, cf_obs, "kraken", alloc, 0);
+    ids.push(sims.create(&mut copt).unwrap());
+    ids
+}
+
+/// Per-app job counts — the witness that both applications actually
+/// flowed through the shared daemon fleet.
+fn jobs_per_app(db: &Db) -> HashMap<String, usize> {
+    let admin = db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let mut counts = HashMap::new();
+    for j in Manager::<GridJobRecord>::new(admin).all().unwrap() {
+        *counts.entry(j.app.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// ISSUE 10 satellite: a mixed stellar + curvefit campaign through the
+/// chaos harness. Daemons must never cross-submit between applications
+/// (the job-state key now includes `app`), never lose a simulation of
+/// either kind, and land on the same final state as a fault-free
+/// single-daemon reference.
+#[test]
+fn mixed_app_campaign_survives_chaos_without_cross_app_duplicates() {
+    let seed = 11;
+    // Fault-free single-daemon reference of the same mixed campaign.
+    let reference = {
+        let mut r = deploy_cluster(amp::grid::systems::kraken(), cluster_config(), 1).unwrap();
+        seed_mixed_campaign(&r.db, seed);
+        run_chaos(&mut r, amp_grid::DaemonFaultPlan::none(), 10_000);
+        assert_no_duplicate_submissions(&r.db, &r.grid);
+        final_states(&r.db)
+    };
+
+    let mut cluster = deploy_cluster(amp::grid::systems::kraken(), cluster_config(), 3).unwrap();
+    seed_mixed_campaign(&cluster.db, seed);
+    cluster.grid.faults.add_random_outages(
+        "kraken",
+        Service::Both,
+        4,
+        SimDuration::from_minutes(30.0),
+        amp_grid::SimTime(2 * 86_400),
+        991,
+    );
+    let mut plan = amp_grid::DaemonFaultPlan::none();
+    plan.add(4, 0, DaemonFault::Kill { down_ticks: 8 });
+    plan.add(24, 1, DaemonFault::Pause { ticks: 3 });
+    plan.add_random_faults(3, 150, 6, 991);
+
+    let owners = run_chaos(&mut cluster, plan, 10_000);
+
+    // No simulation of either application was lost.
+    let finals = final_states(&cluster.db);
+    assert_eq!(finals.len(), 5);
+    for (sim, status, _) in &finals {
+        assert_eq!(status, SimStatus::Done.as_str(), "sim {sim} was lost");
+    }
+    // Both applications actually ran jobs through the shared fleet, and
+    // no GRAM job was submitted twice — within or across applications.
+    let per_app = jobs_per_app(&cluster.db);
+    assert!(
+        per_app.get("stellar").copied().unwrap_or(0) > 0,
+        "{per_app:?}"
+    );
+    assert!(
+        per_app.get("curvefit").copied().unwrap_or(0) > 0,
+        "{per_app:?}"
+    );
+    assert_no_duplicate_submissions(&cluster.db, &cluster.grid);
+    // Failover happened, and the final state matches the reference.
+    assert!(
+        owners.values().any(|ids| ids.len() >= 2),
+        "chaos plan produced no ownership handoff: {owners:?}"
+    );
+    assert_eq!(finals, reference, "mixed-app chaos run diverged");
 }
 
 /// The GC-pause double-submit scenario the fencing epoch exists for: a

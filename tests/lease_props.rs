@@ -85,7 +85,7 @@ proptest! {
         for attempt in attempts {
             now += attempt.dt;
             let me = format!("d{}", attempt.daemon);
-            let outcome = claim(&conn, &me, sim_id, now, TTL).unwrap();
+            let outcome = claim(&conn, &me, sim_id, "stellar", now, TTL).unwrap();
             match &outcome {
                 ClaimOutcome::Claimed { epoch }
                 | ClaimOutcome::Renewed { epoch }
@@ -140,7 +140,7 @@ proptest! {
                     let db = db.clone();
                     s.spawn(move || {
                         let c = db.connect(amp::core::roles::ROLE_DAEMON).unwrap();
-                        let out = claim(&c, &format!("d{i}"), sim_id, 0, TTL).unwrap();
+                        let out = claim(&c, &format!("d{i}"), sim_id, "stellar", 0, TTL).unwrap();
                         matches!(out, ClaimOutcome::Claimed { .. }) as usize
                     })
                 })

@@ -107,10 +107,13 @@ fn metrics_endpoint_covers_all_three_tiers() {
         "# TYPE simdb_table_lock_hold_seconds histogram",
         "simdb_table_lock_hold_seconds_count{table=\"grid_job\"}",
         "simdb_table_lock_wait_seconds_count{table=\"star\"}",
-        // daemon + GA
-        "daemon_transitions_total",
+        // daemon + GA — per-transition and per-eval series carry the
+        // science-application label, so mixed-app campaigns can be told
+        // apart on one dashboard
+        "daemon_transitions_total{app=\"stellar\",from=\"QUEUED\",to=\"PREJOB\"}",
         "daemon_gram_poll_seconds",
-        "ga_evals_total",
+        "ga_evals_total{app=\"stellar\"}",
+        "ga_cached_skips_total{app=\"stellar\"}",
     ] {
         assert!(body.contains(family), "/metrics missing {family}:\n{body}");
     }

@@ -320,3 +320,77 @@ fn unapproved_users_cannot_submit() {
     );
     assert_eq!(resp.status, 403);
 }
+
+#[test]
+fn app_browser_lists_installed_applications() {
+    let r = rig();
+    let resp = r.portal.handle(&Request::get("/apps"));
+    assert_eq!(resp.status, 200);
+    let body = resp.body_str();
+    assert!(body.contains("Asteroseismic Modeling"), "{body}");
+    assert!(body.contains("/apps/curvefit"), "{body}");
+
+    // The detail page renders the schema straight from the registry.
+    let detail = r.portal.handle(&Request::get("/apps/curvefit"));
+    assert_eq!(detail.status, 200);
+    let body = detail.body_str();
+    assert!(body.contains("Angular frequency"), "{body}");
+    assert!(body.contains("/submit/curvefit/direct/"), "{body}");
+}
+
+#[test]
+fn unknown_app_ids_get_a_clean_404_page() {
+    let r = rig();
+    let admin = r.dep.db.connect(amp::core::roles::ROLE_ADMIN).unwrap();
+    let mut star = Star::from_catalog(&amp::stellar::famous_stars()[0], "local");
+    Manager::<Star>::new(admin.clone())
+        .create(&mut star)
+        .unwrap();
+    let star_id = star.id.unwrap();
+
+    for path in [
+        format!("/submit/warpdrive/direct/{star_id}"),
+        format!("/submit/warpdrive/optimization/{star_id}"),
+        "/apps/warpdrive".to_string(),
+    ] {
+        let resp = r.portal.handle(&Request::get(&path));
+        assert_eq!(resp.status, 404, "{path}");
+        let body = resp.body_str();
+        // A layout page with navigation, not a bare "404 not found" line.
+        assert!(body.contains("<html>"), "bare 404 for {path}: {body}");
+        assert!(body.contains("warpdrive"), "{path}: {body}");
+        assert!(body.contains("/apps"), "{path}: {body}");
+    }
+    // Submitting to an unknown application 404s before any form handling.
+    let resp = r.portal.handle(&Request::post(
+        &format!("/submit/warpdrive/direct/{star_id}"),
+        &[("allocation", "1")],
+    ));
+    assert_eq!(resp.status, 404);
+
+    // A simulation row whose application is no longer installed renders a
+    // 404 page on its results route rather than a broken summary.
+    let mut user = AmpUser::new("orphan", "o@x.edu", "h", 0);
+    Manager::<AmpUser>::new(admin.clone())
+        .create(&mut user)
+        .unwrap();
+    let mut alloc = Allocation::new("kraken", "TG-X", 1000.0);
+    Manager::<Allocation>::new(admin.clone())
+        .create(&mut alloc)
+        .unwrap();
+    let mut sim = Simulation::direct_for(
+        "warpdrive",
+        star_id,
+        user.id.unwrap(),
+        serde_json::json!({"dial": 11.0}),
+        "kraken",
+        alloc.id.unwrap(),
+        0,
+    );
+    let sim_id = Manager::<Simulation>::new(admin).create(&mut sim).unwrap();
+    let resp = r
+        .portal
+        .handle(&Request::get(&format!("/simulation/{sim_id}")));
+    assert_eq!(resp.status, 404);
+    assert!(resp.body_str().contains("warpdrive"));
+}
